@@ -1,0 +1,266 @@
+//! Isolation forest (Liu et al.) — the demo's anomaly-detection analyzer.
+//!
+//! Anomalies are easier to isolate by random axis-aligned splits, so they
+//! sit at shallower average depths; the score is the standard
+//! `2^(−E[h(x)]/c(ψ))` normalization (higher = more anomalous).
+
+use crate::traits::AnomalyScorer;
+use rand::Rng;
+use tcsl_tensor::rng::seeded;
+use tcsl_tensor::Tensor;
+
+#[derive(Clone, Debug)]
+enum INode {
+    Leaf {
+        size: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct ITree {
+    nodes: Vec<INode>,
+}
+
+impl ITree {
+    fn build(
+        x: &Tensor,
+        indices: &[usize],
+        depth: usize,
+        max_depth: usize,
+        rng: &mut impl Rng,
+    ) -> ITree {
+        let mut tree = ITree { nodes: Vec::new() };
+        tree.build_node(x, indices, depth, max_depth, rng);
+        tree
+    }
+
+    fn build_node(
+        &mut self,
+        x: &Tensor,
+        indices: &[usize],
+        depth: usize,
+        max_depth: usize,
+        rng: &mut impl Rng,
+    ) -> usize {
+        if depth >= max_depth || indices.len() <= 1 {
+            self.nodes.push(INode::Leaf {
+                size: indices.len(),
+            });
+            return self.nodes.len() - 1;
+        }
+        // Pick a random feature with spread; give up after a few tries.
+        for _ in 0..8 {
+            let feature = rng.gen_range(0..x.cols());
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for &i in indices {
+                let v = x.at2(i, feature);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi - lo < 1e-9 {
+                continue;
+            }
+            let threshold = rng.gen_range(lo..hi);
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                .iter()
+                .partition(|&&i| x.at2(i, feature) <= threshold);
+            if left_idx.is_empty() || right_idx.is_empty() {
+                continue;
+            }
+            let slot = self.nodes.len();
+            self.nodes.push(INode::Leaf { size: 0 }); // placeholder
+            let left = self.build_node(x, &left_idx, depth + 1, max_depth, rng);
+            let right = self.build_node(x, &right_idx, depth + 1, max_depth, rng);
+            self.nodes[slot] = INode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            };
+            return slot;
+        }
+        self.nodes.push(INode::Leaf {
+            size: indices.len(),
+        });
+        self.nodes.len() - 1
+    }
+
+    fn path_length(&self, row: &[f32]) -> f32 {
+        let mut at = 0usize;
+        let mut depth = 0.0f32;
+        loop {
+            match &self.nodes[at] {
+                INode::Leaf { size } => return depth + c_factor(*size),
+                INode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    depth += 1.0;
+                    at = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Average path length of an unsuccessful BST search over `n` items — the
+/// depth correction for unexpanded leaves.
+fn c_factor(n: usize) -> f32 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f32;
+    2.0 * ((n - 1.0).ln() + 0.577_215_7) - 2.0 * (n - 1.0) / n
+}
+
+/// Isolation forest scorer.
+#[derive(Clone, Debug)]
+pub struct IsolationForest {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Subsample size ψ per tree.
+    pub subsample: usize,
+    /// RNG seed.
+    pub seed: u64,
+    trees: Vec<ITree>,
+    c_psi: f32,
+}
+
+impl IsolationForest {
+    /// Forest with the classic defaults (100 trees, ψ = 256).
+    pub fn new() -> Self {
+        IsolationForest {
+            n_trees: 100,
+            subsample: 256,
+            seed: 0,
+            trees: Vec::new(),
+            c_psi: 1.0,
+        }
+    }
+}
+
+impl Default for IsolationForest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AnomalyScorer for IsolationForest {
+    fn fit(&mut self, x: &Tensor) {
+        assert!(x.rows() > 1, "need at least two training rows");
+        let mut rng = seeded(self.seed);
+        let psi = self.subsample.min(x.rows());
+        let max_depth = (psi as f32).log2().ceil() as usize + 1;
+        self.c_psi = c_factor(psi).max(1e-6);
+        self.trees = (0..self.n_trees)
+            .map(|_| {
+                let sample: Vec<usize> = (0..psi).map(|_| rng.gen_range(0..x.rows())).collect();
+                ITree::build(x, &sample, 0, max_depth, &mut rng)
+            })
+            .collect();
+    }
+
+    fn score(&self, x: &Tensor) -> Vec<f32> {
+        assert!(!self.trees.is_empty(), "score before fit");
+        (0..x.rows())
+            .map(|i| {
+                let row = x.row(i);
+                let mean_depth: f32 = self.trees.iter().map(|t| t.path_length(row)).sum::<f32>()
+                    / self.trees.len() as f32;
+                2f32.powf(-mean_depth / self.c_psi)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsl_tensor::rng::gauss;
+
+    fn data_with_outliers() -> (Tensor, Vec<bool>) {
+        let mut rng = seeded(1);
+        let mut data = Vec::new();
+        let mut is_outlier = Vec::new();
+        for _ in 0..200 {
+            data.push(gauss(&mut rng));
+            data.push(gauss(&mut rng));
+            is_outlier.push(false);
+        }
+        for i in 0..10 {
+            data.push(8.0 + i as f32);
+            data.push(-8.0 - i as f32);
+            is_outlier.push(true);
+        }
+        (Tensor::from_vec(data, [210, 2]), is_outlier)
+    }
+
+    #[test]
+    fn outliers_score_higher() {
+        let (x, truth) = data_with_outliers();
+        let mut forest = IsolationForest::new();
+        forest.fit(&x);
+        let scores = forest.score(&x);
+        let inlier_mean: f32 = scores
+            .iter()
+            .zip(&truth)
+            .filter(|(_, &o)| !o)
+            .map(|(&s, _)| s)
+            .sum::<f32>()
+            / 200.0;
+        let outlier_mean: f32 = scores
+            .iter()
+            .zip(&truth)
+            .filter(|(_, &o)| o)
+            .map(|(&s, _)| s)
+            .sum::<f32>()
+            / 10.0;
+        assert!(
+            outlier_mean > inlier_mean + 0.1,
+            "outliers {outlier_mean} vs inliers {inlier_mean}"
+        );
+    }
+
+    #[test]
+    fn scores_are_in_unit_interval() {
+        let (x, _) = data_with_outliers();
+        let mut forest = IsolationForest::new();
+        forest.fit(&x);
+        assert!(forest.score(&x).iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, _) = data_with_outliers();
+        let mut a = IsolationForest::new();
+        let mut b = IsolationForest::new();
+        a.fit(&x);
+        b.fit(&x);
+        assert_eq!(a.score(&x), b.score(&x));
+    }
+
+    #[test]
+    fn c_factor_grows_with_n() {
+        assert_eq!(c_factor(1), 0.0);
+        assert!(c_factor(10) > c_factor(2));
+        assert!(c_factor(1000) > c_factor(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn score_before_fit_panics() {
+        IsolationForest::new().score(&Tensor::zeros([1, 1]));
+    }
+}

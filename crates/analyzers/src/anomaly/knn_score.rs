@@ -1,0 +1,93 @@
+//! Distance-based anomaly scoring: the mean distance to the `k` nearest
+//! training points. A simple, strong baseline detector.
+
+use crate::traits::AnomalyScorer;
+use tcsl_tensor::Tensor;
+
+/// k-NN distance anomaly scorer.
+#[derive(Clone, Debug)]
+pub struct KnnDistance {
+    /// Number of neighbours to average over.
+    pub k: usize,
+    train: Option<Tensor>,
+}
+
+impl KnnDistance {
+    /// Scorer averaging over `k` neighbours.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        KnnDistance { k, train: None }
+    }
+}
+
+impl AnomalyScorer for KnnDistance {
+    fn fit(&mut self, x: &Tensor) {
+        assert!(x.rows() > 0, "empty training set");
+        self.train = Some(x.clone());
+    }
+
+    fn score(&self, x: &Tensor) -> Vec<f32> {
+        let train = self.train.as_ref().expect("score before fit");
+        (0..x.rows())
+            .map(|i| {
+                let row = x.row(i);
+                let mut dists: Vec<f32> = (0..train.rows())
+                    .map(|j| {
+                        train
+                            .row(j)
+                            .iter()
+                            .zip(row)
+                            .map(|(&a, &b)| (a - b) * (a - b))
+                            .sum::<f32>()
+                            .sqrt()
+                    })
+                    .collect();
+                dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+                // Skip an exact self-match at distance 0 when scoring
+                // training points themselves.
+                let start = usize::from(dists.first().is_some_and(|&d| d < 1e-12));
+                let take = self.k.min(dists.len() - start).max(1);
+                dists[start..start + take].iter().sum::<f32>() / take as f32
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsl_tensor::rng::{gauss, seeded};
+
+    #[test]
+    fn far_points_score_higher() {
+        let mut rng = seeded(2);
+        let mut data = Vec::new();
+        for _ in 0..100 {
+            data.push(gauss(&mut rng));
+        }
+        let train = Tensor::from_vec(data, [100, 1]);
+        let mut scorer = KnnDistance::new(5);
+        scorer.fit(&train);
+        let test = Tensor::from_vec(vec![0.0, 10.0], [2, 1]);
+        let scores = scorer.score(&test);
+        assert!(scores[1] > scores[0] * 3.0, "{scores:?}");
+    }
+
+    #[test]
+    fn self_match_is_skipped_for_training_points() {
+        let train = Tensor::from_vec(vec![0.0, 1.0, 2.0], [3, 1]);
+        let mut scorer = KnnDistance::new(1);
+        scorer.fit(&train);
+        let scores = scorer.score(&train);
+        // Nearest non-self neighbour is 1 away for every point.
+        for s in scores {
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn score_before_fit_panics() {
+        KnnDistance::new(3).score(&Tensor::zeros([1, 1]));
+    }
+}

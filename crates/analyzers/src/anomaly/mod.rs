@@ -1,0 +1,7 @@
+//! Anomaly-detection analyzers.
+
+pub mod iforest;
+pub mod knn_score;
+
+pub use iforest::IsolationForest;
+pub use knn_score::KnnDistance;

@@ -1,0 +1,151 @@
+//! Random forest: bagged CART trees over bootstrap samples with random
+//! feature subspaces, majority vote.
+
+use crate::classify::tree::DecisionTree;
+use crate::traits::Classifier;
+use rand::Rng;
+use tcsl_tensor::rng::seeded;
+use tcsl_tensor::Tensor;
+
+/// Random-forest classifier.
+#[derive(Clone, Debug)]
+pub struct RandomForest {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Depth cap of each tree.
+    pub max_depth: usize,
+    /// Features sampled per tree (0 = √F).
+    pub features_per_tree: usize,
+    /// RNG seed.
+    pub seed: u64,
+    trees: Vec<(DecisionTree, Vec<usize>)>, // tree + its feature subset
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Forest with the given size and defaults (depth 8, √F features).
+    pub fn new(n_trees: usize) -> Self {
+        assert!(n_trees >= 1, "need at least one tree");
+        RandomForest {
+            n_trees,
+            max_depth: 8,
+            features_per_tree: 0,
+            seed: 0,
+            trees: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    fn project(x: &Tensor, rows: &[usize], cols: &[usize]) -> Tensor {
+        let mut out = Tensor::zeros([rows.len(), cols.len()]);
+        for (ri, &r) in rows.iter().enumerate() {
+            for (ci, &c) in cols.iter().enumerate() {
+                out.set(&[ri, ci], x.at2(r, c));
+            }
+        }
+        out
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &Tensor, y: &[usize]) {
+        assert_eq!(x.rows(), y.len(), "one label per row required");
+        assert!(x.rows() > 0, "empty training set");
+        let n = x.rows();
+        let f = x.cols();
+        self.n_classes = y.iter().copied().max().unwrap_or(0) + 1;
+        let per_tree = if self.features_per_tree == 0 {
+            ((f as f32).sqrt().ceil() as usize).clamp(1, f)
+        } else {
+            self.features_per_tree.min(f)
+        };
+        let mut rng = seeded(self.seed);
+        self.trees = (0..self.n_trees)
+            .map(|_| {
+                // Bootstrap rows.
+                let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                // Random feature subset.
+                let perm = tcsl_tensor::rng::permutation(&mut rng, f);
+                let cols: Vec<usize> = perm.into_iter().take(per_tree).collect();
+                let xt = Self::project(x, &rows, &cols);
+                let yt: Vec<usize> = rows.iter().map(|&r| y[r]).collect();
+                let mut tree = DecisionTree::new(self.max_depth);
+                tree.fit(&xt, &yt);
+                (tree, cols)
+            })
+            .collect();
+    }
+
+    fn predict(&self, x: &Tensor) -> Vec<usize> {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        let mut votes = vec![vec![0usize; self.n_classes]; x.rows()];
+        for (tree, cols) in &self.trees {
+            let xt = Self::project(x, &rows, cols);
+            for (i, p) in tree.predict(&xt).into_iter().enumerate() {
+                votes[i][p] += 1;
+            }
+        }
+        votes
+            .into_iter()
+            .map(|v| {
+                let mut best = 0;
+                for (c, &count) in v.iter().enumerate() {
+                    if count > v[best] {
+                        best = c;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::blobs;
+
+    #[test]
+    fn forest_beats_single_shallow_tree_on_noisy_blobs() {
+        let (xtr, ytr) = blobs(3, 40, 8, 2.5, 1);
+        let (xte, yte) = blobs(3, 15, 8, 2.5, 2);
+        let mut forest = RandomForest::new(30);
+        forest.fit(&xtr, &ytr);
+        let facc = forest.accuracy(&xte, &yte);
+        let mut stump = DecisionTree::new(2);
+        stump.fit(&xtr, &ytr);
+        let sacc = stump.accuracy(&xte, &yte);
+        assert!(facc >= sacc, "forest {facc} < stump {sacc}");
+        assert!(facc > 0.75, "forest accuracy only {facc}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = blobs(2, 25, 5, 4.0, 3);
+        let mut a = RandomForest::new(10);
+        let mut b = RandomForest::new(10);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn explicit_feature_budget_is_respected() {
+        let (x, y) = blobs(2, 20, 6, 5.0, 4);
+        let mut f = RandomForest {
+            features_per_tree: 2,
+            ..RandomForest::new(5)
+        };
+        f.fit(&x, &y);
+        for (_, cols) in &f.trees {
+            assert_eq!(cols.len(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        RandomForest::new(3).predict(&Tensor::zeros([1, 2]));
+    }
+}

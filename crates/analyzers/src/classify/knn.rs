@@ -1,0 +1,113 @@
+//! k-nearest-neighbour classification (Euclidean metric, majority vote with
+//! nearest-neighbour tie-break).
+
+use crate::traits::Classifier;
+use tcsl_tensor::Tensor;
+
+/// k-NN classifier.
+#[derive(Clone, Debug)]
+pub struct KnnClassifier {
+    /// Number of neighbours.
+    pub k: usize,
+    train_x: Option<Tensor>,
+    train_y: Vec<usize>,
+}
+
+impl KnnClassifier {
+    /// k-NN with the given `k` (≥ 1).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        KnnClassifier {
+            k,
+            train_x: None,
+            train_y: Vec::new(),
+        }
+    }
+
+    /// Indices and squared distances of the `k` nearest training rows.
+    fn neighbours(&self, row: &[f32]) -> Vec<(usize, f32)> {
+        let x = self.train_x.as_ref().expect("predict before fit");
+        let mut d: Vec<(usize, f32)> = (0..x.rows())
+            .map(|i| {
+                let dist: f32 = x
+                    .row(i)
+                    .iter()
+                    .zip(row)
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum();
+                (i, dist)
+            })
+            .collect();
+        d.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        d.truncate(self.k.min(d.len()));
+        d
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn fit(&mut self, x: &Tensor, y: &[usize]) {
+        assert_eq!(x.rows(), y.len(), "one label per row required");
+        assert!(x.rows() > 0, "empty training set");
+        self.train_x = Some(x.clone());
+        self.train_y = y.to_vec();
+    }
+
+    fn predict(&self, x: &Tensor) -> Vec<usize> {
+        (0..x.rows())
+            .map(|i| {
+                let nn = self.neighbours(x.row(i));
+                let n_classes = self.train_y.iter().copied().max().unwrap_or(0) + 1;
+                let mut votes = vec![0usize; n_classes];
+                for &(idx, _) in &nn {
+                    votes[self.train_y[idx]] += 1;
+                }
+                let top = *votes.iter().max().expect("at least one class");
+                // Tie-break by the nearest neighbour among tied classes.
+                nn.iter()
+                    .find(|(idx, _)| votes[self.train_y[*idx]] == top)
+                    .map(|&(idx, _)| self.train_y[idx])
+                    .expect("non-empty neighbourhood")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::blobs;
+
+    #[test]
+    fn one_nn_memorizes_training_data() {
+        let (x, y) = blobs(3, 15, 3, 5.0, 1);
+        let mut knn = KnnClassifier::new(1);
+        knn.fit(&x, &y);
+        assert_eq!(knn.accuracy(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn five_nn_generalizes() {
+        let (xtr, ytr) = blobs(2, 40, 4, 5.0, 2);
+        let (xte, yte) = blobs(2, 15, 4, 5.0, 3);
+        let mut knn = KnnClassifier::new(5);
+        knn.fit(&xtr, &ytr);
+        assert!(knn.accuracy(&xte, &yte) > 0.9);
+    }
+
+    #[test]
+    fn tie_break_uses_nearest() {
+        // Two training points at distance 1 and 2 with different labels, k=2:
+        // tie (1 vote each) resolved toward the closer point's label.
+        let x = Tensor::from_vec(vec![1.0, 2.0], [2, 1]);
+        let mut knn = KnnClassifier::new(2);
+        knn.fit(&x, &[1, 0]); // labels [1, 0]
+        let q = Tensor::from_vec(vec![1.1], [1, 1]);
+        assert_eq!(knn.predict(&q), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_k_rejected() {
+        KnnClassifier::new(0);
+    }
+}

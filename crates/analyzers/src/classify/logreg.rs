@@ -1,0 +1,157 @@
+//! Multinomial logistic regression trained by full-batch gradient descent
+//! with L2 regularization.
+
+use crate::traits::Classifier;
+use tcsl_tensor::Tensor;
+
+/// Softmax (multinomial) logistic regression.
+#[derive(Clone, Debug)]
+pub struct LogisticRegression {
+    /// Gradient-descent step size.
+    pub learning_rate: f32,
+    /// Iterations of full-batch descent.
+    pub iterations: usize,
+    /// L2 regularization strength.
+    pub l2: f32,
+    w: Option<Tensor>, // (C, F+1), bias last column
+}
+
+impl LogisticRegression {
+    /// Defaults tuned for standardized features.
+    pub fn new() -> Self {
+        LogisticRegression {
+            learning_rate: 0.5,
+            iterations: 200,
+            l2: 1e-4,
+            w: None,
+        }
+    }
+
+    /// Overrides the iteration budget.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        assert!(iterations >= 1, "need at least one iteration");
+        self.iterations = iterations;
+        self
+    }
+
+    fn logits(&self, x: &Tensor) -> Tensor {
+        let w = self.w.as_ref().expect("predict before fit");
+        let (n, f) = (x.rows(), x.cols());
+        let c = w.rows();
+        assert_eq!(w.cols(), f + 1, "feature width changed since fit");
+        let mut out = Tensor::zeros([n, c]);
+        for i in 0..n {
+            let row = x.row(i);
+            for cc in 0..c {
+                let wr = w.row(cc);
+                let mut acc = wr[f];
+                for (&xv, &wv) in row.iter().zip(wr.iter()) {
+                    acc += xv * wv;
+                }
+                out.set(&[i, cc], acc);
+            }
+        }
+        out
+    }
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, x: &Tensor, y: &[usize]) {
+        assert_eq!(x.rows(), y.len(), "one label per row required");
+        let (n, f) = (x.rows(), x.cols());
+        let c = y.iter().copied().max().unwrap_or(0) + 1;
+        let mut w = Tensor::zeros([c, f + 1]);
+        for _ in 0..self.iterations {
+            self.w = Some(w.clone());
+            let logits = self.logits(x);
+            // grad[c] = mean_i (softmax_i[c] − 1{y_i=c}) · [x_i; 1] + l2·w[c]
+            let mut grad = Tensor::zeros([c, f + 1]);
+            for i in 0..n {
+                let row = logits.row(i);
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let exps: Vec<f32> = row.iter().map(|&v| (v - m).exp()).collect();
+                let total: f32 = exps.iter().sum();
+                for cc in 0..c {
+                    let p = exps[cc] / total - if y[i] == cc { 1.0 } else { 0.0 };
+                    let gr = grad.row_mut(cc);
+                    for (gv, &xv) in gr.iter_mut().zip(x.row(i)) {
+                        *gv += p * xv;
+                    }
+                    gr[f] += p;
+                }
+            }
+            grad = grad.scale(1.0 / n as f32);
+            grad.add_scaled_inplace(&w, self.l2);
+            w.add_scaled_inplace(&grad, -self.learning_rate);
+        }
+        self.w = Some(w);
+    }
+
+    fn predict(&self, x: &Tensor) -> Vec<usize> {
+        let logits = self.logits(x);
+        (0..logits.rows())
+            .map(|i| {
+                let row = logits.row(i);
+                let mut best = 0;
+                for (j, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = j;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::blobs;
+
+    #[test]
+    fn fits_blobs() {
+        let (x, y) = blobs(3, 25, 4, 5.0, 1);
+        let mut lr = LogisticRegression::new();
+        lr.fit(&x, &y);
+        assert!(lr.accuracy(&x, &y) > 0.9);
+    }
+
+    #[test]
+    fn binary_case() {
+        let (x, y) = blobs(2, 40, 2, 4.0, 2);
+        let mut lr = LogisticRegression::new();
+        lr.fit(&x, &y);
+        assert!(lr.accuracy(&x, &y) > 0.9);
+    }
+
+    #[test]
+    fn regularization_bounds_weights() {
+        let (x, y) = blobs(2, 20, 3, 8.0, 3);
+        let mut strong = LogisticRegression {
+            l2: 1.0,
+            ..LogisticRegression::new()
+        };
+        let mut weak = LogisticRegression {
+            l2: 1e-6,
+            ..LogisticRegression::new()
+        };
+        strong.fit(&x, &y);
+        weak.fit(&x, &y);
+        let ns = strong.w.as_ref().unwrap().norm();
+        let nw = weak.w.as_ref().unwrap().norm();
+        assert!(ns < nw, "strong reg should shrink weights: {ns} vs {nw}");
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        LogisticRegression::new().predict(&Tensor::zeros([1, 2]));
+    }
+}

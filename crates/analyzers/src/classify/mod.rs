@@ -1,0 +1,15 @@
+//! Classification analyzers.
+
+pub mod forest;
+pub mod gbdt;
+pub mod knn;
+pub mod logreg;
+pub mod svm;
+pub mod tree;
+
+pub use forest::RandomForest;
+pub use gbdt::GradientBoosting;
+pub use knn::KnnClassifier;
+pub use logreg::LogisticRegression;
+pub use svm::LinearSvm;
+pub use tree::DecisionTree;

@@ -1,0 +1,167 @@
+//! Linear SVM trained with Pegasos (stochastic subgradient on the hinge
+//! loss with L2 regularization), one-vs-rest for multiclass — the default
+//! freezing-mode classifier of the demo.
+
+use crate::traits::Classifier;
+use tcsl_tensor::rng::{permutation, seeded};
+use tcsl_tensor::Tensor;
+
+/// One-vs-rest linear SVM.
+#[derive(Clone, Debug)]
+pub struct LinearSvm {
+    /// Regularization strength λ of Pegasos.
+    pub lambda: f32,
+    /// Epochs over the data.
+    pub epochs: usize,
+    /// RNG seed for sample order.
+    pub seed: u64,
+    weights: Vec<Vec<f32>>, // one (F+1)-vector per class (bias last)
+}
+
+impl LinearSvm {
+    /// SVM with sensible defaults (λ=1e-3, 40 epochs).
+    pub fn new() -> Self {
+        LinearSvm {
+            lambda: 1e-3,
+            epochs: 40,
+            seed: 0,
+            weights: Vec::new(),
+        }
+    }
+
+    /// Overrides the regularization strength.
+    pub fn with_lambda(mut self, lambda: f32) -> Self {
+        assert!(lambda > 0.0, "lambda must be positive");
+        self.lambda = lambda;
+        self
+    }
+
+    /// Decision value of class `c` for a feature row.
+    fn decision(&self, c: usize, row: &[f32]) -> f32 {
+        let w = &self.weights[c];
+        let mut acc = w[row.len()]; // bias
+        for (&x, &wi) in row.iter().zip(w.iter()) {
+            acc += x * wi;
+        }
+        acc
+    }
+
+    fn train_binary(&self, x: &Tensor, targets: &[f32]) -> Vec<f32> {
+        let (n, f) = (x.rows(), x.cols());
+        let mut w = vec![0.0f32; f + 1];
+        let mut rng = seeded(self.seed);
+        let mut t = 0u64;
+        for _epoch in 0..self.epochs {
+            for &i in &permutation(&mut rng, n) {
+                t += 1;
+                let eta = 1.0 / (self.lambda * t as f32);
+                let row = x.row(i);
+                let y = targets[i];
+                let margin = y * (row.iter().zip(&w).map(|(&a, &b)| a * b).sum::<f32>() + w[f]);
+                // w ← (1 − ηλ)·w  (+ η·y·x on margin violation)
+                let shrink = 1.0 - eta * self.lambda;
+                for wi in w.iter_mut().take(f) {
+                    *wi *= shrink;
+                }
+                if margin < 1.0 {
+                    for (wi, &xi) in w.iter_mut().zip(row) {
+                        *wi += eta * y * xi;
+                    }
+                    w[f] += eta * y;
+                }
+            }
+        }
+        w
+    }
+}
+
+impl Default for LinearSvm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn fit(&mut self, x: &Tensor, y: &[usize]) {
+        assert_eq!(x.rows(), y.len(), "one label per row required");
+        assert!(x.rows() > 0, "empty training set");
+        let n_classes = y.iter().copied().max().unwrap_or(0) + 1;
+        self.weights = (0..n_classes)
+            .map(|c| {
+                let targets: Vec<f32> =
+                    y.iter().map(|&l| if l == c { 1.0 } else { -1.0 }).collect();
+                self.train_binary(x, &targets)
+            })
+            .collect();
+    }
+
+    fn predict(&self, x: &Tensor) -> Vec<usize> {
+        assert!(!self.weights.is_empty(), "predict before fit");
+        (0..x.rows())
+            .map(|i| {
+                let row = x.row(i);
+                let mut best = 0;
+                let mut best_v = f32::NEG_INFINITY;
+                for c in 0..self.weights.len() {
+                    let v = self.decision(c, row);
+                    if v > best_v {
+                        best_v = v;
+                        best = c;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::blobs;
+
+    #[test]
+    fn separates_two_blobs() {
+        let (x, y) = blobs(2, 30, 4, 6.0, 1);
+        let mut svm = LinearSvm::new();
+        svm.fit(&x, &y);
+        assert!(svm.accuracy(&x, &y) > 0.95);
+    }
+
+    #[test]
+    fn multiclass_one_vs_rest() {
+        let (x, y) = blobs(4, 25, 6, 7.0, 2);
+        let mut svm = LinearSvm::new();
+        svm.fit(&x, &y);
+        assert!(
+            svm.accuracy(&x, &y) > 0.9,
+            "accuracy {}",
+            svm.accuracy(&x, &y)
+        );
+    }
+
+    #[test]
+    fn generalizes_to_held_out_points() {
+        let (xtr, ytr) = blobs(3, 30, 5, 6.0, 3);
+        let (xte, yte) = blobs(3, 10, 5, 6.0, 4);
+        let mut svm = LinearSvm::new();
+        svm.fit(&xtr, &ytr);
+        assert!(svm.accuracy(&xte, &yte) > 0.85);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        LinearSvm::new().predict(&Tensor::zeros([1, 2]));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = blobs(2, 20, 3, 5.0, 5);
+        let mut a = LinearSvm::new();
+        let mut b = LinearSvm::new();
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+}

@@ -1,0 +1,354 @@
+//! CART decision trees: a gini-impurity classifier and a variance-reduction
+//! regression tree (the weak learner of [`crate::classify::gbdt`]).
+
+use crate::traits::Classifier;
+use tcsl_tensor::Tensor;
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        value: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A binary tree over feature thresholds storing `f32` leaf values
+/// (class id for classification, mean target for regression).
+#[derive(Clone, Debug, Default)]
+struct TreeCore {
+    nodes: Vec<Node>,
+}
+
+impl TreeCore {
+    fn predict_row(&self, row: &[f32]) -> f32 {
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// A chosen split: `(feature, threshold, left members, right members)`.
+type Split = (usize, f32, Vec<usize>, Vec<usize>);
+
+/// A candidate split with its impurity score prepended.
+type ScoredSplit = (f32, usize, f32, Vec<usize>, Vec<usize>);
+
+/// Best split of `indices` under an impurity function returning the summed
+/// impurity of a child given its member indices. Returns
+/// `(feature, threshold, left, right)` or `None` when no split helps.
+fn best_split(
+    x: &Tensor,
+    indices: &[usize],
+    impurity: &dyn Fn(&[usize]) -> f32,
+    min_leaf: usize,
+) -> Option<Split> {
+    let parent = impurity(indices);
+    let mut best: Option<ScoredSplit> = None;
+    for f in 0..x.cols() {
+        let mut order: Vec<usize> = indices.to_vec();
+        order.sort_by(|&a, &b| {
+            x.at2(a, f)
+                .partial_cmp(&x.at2(b, f))
+                .expect("finite feature values")
+        });
+        for cut in min_leaf..order.len().saturating_sub(min_leaf - 1) {
+            if cut >= order.len() {
+                break;
+            }
+            let lo = x.at2(order[cut - 1], f);
+            let hi = x.at2(order[cut], f);
+            if hi - lo < 1e-9 {
+                continue;
+            }
+            let threshold = 0.5 * (lo + hi);
+            let (left, right) = (&order[..cut], &order[cut..]);
+            let score = impurity(left) + impurity(right);
+            // Non-worsening splits are allowed (XOR-style targets improve
+            // only two levels down); recursion stays bounded because every
+            // split strictly shrinks both children.
+            if score <= parent + 1e-9 {
+                match &best {
+                    Some((bs, ..)) if *bs <= score => {}
+                    _ => best = Some((score, f, threshold, left.to_vec(), right.to_vec())),
+                }
+            }
+        }
+    }
+    best.map(|(_, f, t, l, r)| (f, t, l, r))
+}
+
+#[allow(clippy::too_many_arguments)] // recursive kernel; a params struct would only relabel these
+fn build(
+    core: &mut TreeCore,
+    x: &Tensor,
+    indices: &[usize],
+    depth: usize,
+    max_depth: usize,
+    min_split: usize,
+    impurity: &dyn Fn(&[usize]) -> f32,
+    leaf_value: &dyn Fn(&[usize]) -> f32,
+) -> usize {
+    let make_leaf = depth >= max_depth || indices.len() < min_split;
+    if !make_leaf {
+        if let Some((feature, threshold, left_idx, right_idx)) = best_split(x, indices, impurity, 1)
+        {
+            let slot = core.nodes.len();
+            core.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
+            let left = build(
+                core,
+                x,
+                &left_idx,
+                depth + 1,
+                max_depth,
+                min_split,
+                impurity,
+                leaf_value,
+            );
+            let right = build(
+                core,
+                x,
+                &right_idx,
+                depth + 1,
+                max_depth,
+                min_split,
+                impurity,
+                leaf_value,
+            );
+            core.nodes[slot] = Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            };
+            return slot;
+        }
+    }
+    core.nodes.push(Node::Leaf {
+        value: leaf_value(indices),
+    });
+    core.nodes.len() - 1
+}
+
+/// Gini-impurity CART classifier.
+#[derive(Clone, Debug)]
+pub struct DecisionTree {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    core: TreeCore,
+    fitted: bool,
+}
+
+impl DecisionTree {
+    /// Tree with the given depth cap.
+    pub fn new(max_depth: usize) -> Self {
+        assert!(max_depth >= 1, "max_depth must be at least 1");
+        DecisionTree {
+            max_depth,
+            min_samples_split: 2,
+            core: TreeCore::default(),
+            fitted: false,
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, x: &Tensor, y: &[usize]) {
+        assert_eq!(x.rows(), y.len(), "one label per row required");
+        assert!(x.rows() > 0, "empty training set");
+        let n_classes = y.iter().copied().max().unwrap_or(0) + 1;
+        let gini = |idx: &[usize]| -> f32 {
+            let mut counts = vec![0usize; n_classes];
+            for &i in idx {
+                counts[y[i]] += 1;
+            }
+            let n = idx.len() as f32;
+            let sum_sq: f32 = counts.iter().map(|&c| (c as f32 / n).powi(2)).sum();
+            (1.0 - sum_sq) * n // weighted gini
+        };
+        let majority = |idx: &[usize]| -> f32 {
+            let mut counts = vec![0usize; n_classes];
+            for &i in idx {
+                counts[y[i]] += 1;
+            }
+            counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .map(|(c, _)| c as f32)
+                .unwrap_or(0.0)
+        };
+        self.core = TreeCore::default();
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        build(
+            &mut self.core,
+            x,
+            &indices,
+            0,
+            self.max_depth,
+            self.min_samples_split,
+            &gini,
+            &majority,
+        );
+        self.fitted = true;
+    }
+
+    fn predict(&self, x: &Tensor) -> Vec<usize> {
+        assert!(self.fitted, "predict before fit");
+        (0..x.rows())
+            .map(|i| self.core.predict_row(x.row(i)) as usize)
+            .collect()
+    }
+}
+
+/// Variance-reduction regression tree (leaf = mean target).
+#[derive(Clone, Debug)]
+pub struct RegressionTree {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    core: TreeCore,
+    fitted: bool,
+}
+
+impl RegressionTree {
+    /// Regression tree with the given depth cap.
+    pub fn new(max_depth: usize) -> Self {
+        assert!(max_depth >= 1, "max_depth must be at least 1");
+        RegressionTree {
+            max_depth,
+            min_samples_split: 2,
+            core: TreeCore::default(),
+            fitted: false,
+        }
+    }
+
+    /// Fits to continuous targets.
+    pub fn fit(&mut self, x: &Tensor, targets: &[f32]) {
+        assert_eq!(x.rows(), targets.len(), "one target per row required");
+        assert!(x.rows() > 0, "empty training set");
+        let sse = |idx: &[usize]| -> f32 {
+            let n = idx.len() as f32;
+            let mean: f32 = idx.iter().map(|&i| targets[i]).sum::<f32>() / n;
+            idx.iter().map(|&i| (targets[i] - mean).powi(2)).sum()
+        };
+        let mean = |idx: &[usize]| -> f32 {
+            idx.iter().map(|&i| targets[i]).sum::<f32>() / idx.len() as f32
+        };
+        self.core = TreeCore::default();
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        build(
+            &mut self.core,
+            x,
+            &indices,
+            0,
+            self.max_depth,
+            self.min_samples_split,
+            &sse,
+            &mean,
+        );
+        self.fitted = true;
+    }
+
+    /// Predicted value per row.
+    pub fn predict(&self, x: &Tensor) -> Vec<f32> {
+        assert!(self.fitted, "predict before fit");
+        (0..x.rows())
+            .map(|i| self.core.predict_row(x.row(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::blobs;
+
+    #[test]
+    fn classifies_blobs() {
+        let (x, y) = blobs(3, 20, 4, 6.0, 1);
+        let mut tree = DecisionTree::new(6);
+        tree.fit(&x, &y);
+        assert!(tree.accuracy(&x, &y) > 0.9);
+    }
+
+    #[test]
+    fn learns_xor_that_stumps_linear_models() {
+        // XOR in 2D: class = sign(x0) != sign(x1).
+        let pts = [
+            (1.0f32, 1.0f32, 0usize),
+            (-1.0, -1.0, 0),
+            (1.0, -1.0, 1),
+            (-1.0, 1.0, 1),
+            (2.0, 2.0, 0),
+            (-2.0, -2.0, 0),
+            (2.0, -2.0, 1),
+            (-2.0, 2.0, 1),
+        ];
+        let data: Vec<f32> = pts.iter().flat_map(|&(a, b, _)| [a, b]).collect();
+        let y: Vec<usize> = pts.iter().map(|&(_, _, l)| l).collect();
+        let x = Tensor::from_vec(data, [8, 2]);
+        // Greedy gini may peel off single points near the root, so give the
+        // tree enough depth to finish the job.
+        let mut tree = DecisionTree::new(8);
+        tree.fit(&x, &y);
+        assert_eq!(tree.accuracy(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn depth_one_is_a_stump() {
+        let (x, y) = blobs(2, 15, 2, 8.0, 2);
+        let mut tree = DecisionTree::new(1);
+        tree.fit(&x, &y);
+        // A stump still separates two well-spread blobs on one axis.
+        assert!(tree.accuracy(&x, &y) > 0.9);
+    }
+
+    #[test]
+    fn regression_tree_fits_step_function() {
+        let x = Tensor::from_vec((0..20).map(|i| i as f32).collect(), [20, 1]);
+        let targets: Vec<f32> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
+        let mut tree = RegressionTree::new(2);
+        tree.fit(&x, &targets);
+        let pred = tree.predict(&x);
+        for (p, t) in pred.iter().zip(&targets) {
+            assert!((p - t).abs() < 0.5, "pred {p} target {t}");
+        }
+    }
+
+    #[test]
+    fn constant_targets_yield_single_leaf() {
+        let x = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], [4, 1]);
+        let mut tree = RegressionTree::new(5);
+        tree.fit(&x, &[2.0; 4]);
+        assert_eq!(tree.predict(&x), vec![2.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        DecisionTree::new(3).predict(&Tensor::zeros([1, 1]));
+    }
+}

@@ -1,0 +1,109 @@
+//! Agglomerative clustering (average linkage, cut at `k` clusters).
+
+use crate::traits::Clusterer;
+use tcsl_tensor::Tensor;
+
+/// Average-linkage agglomerative clusterer.
+#[derive(Clone, Debug)]
+pub struct Agglomerative {
+    /// Number of clusters to cut the dendrogram at.
+    pub k: usize,
+}
+
+impl Agglomerative {
+    /// Agglomerative clustering into `k` clusters.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "need at least one cluster");
+        Agglomerative { k }
+    }
+}
+
+impl Clusterer for Agglomerative {
+    fn fit_predict(&mut self, x: &Tensor) -> Vec<usize> {
+        let n = x.rows();
+        assert!(n >= self.k, "fewer points than clusters");
+        // Active clusters as member lists; O(n³) average-linkage on the
+        // pairwise distance matrix — fine for the dataset sizes TimeCSL
+        // explores interactively.
+        let mut d = vec![vec![0.0f32; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dist: f32 = x
+                    .row(i)
+                    .iter()
+                    .zip(x.row(j))
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum::<f32>()
+                    .sqrt();
+                d[i][j] = dist;
+                d[j][i] = dist;
+            }
+        }
+        let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        while clusters.len() > self.k {
+            let mut best = (0usize, 1usize, f32::INFINITY);
+            for a in 0..clusters.len() {
+                for b in (a + 1)..clusters.len() {
+                    let mut sum = 0.0f32;
+                    for &i in &clusters[a] {
+                        for &j in &clusters[b] {
+                            sum += d[i][j];
+                        }
+                    }
+                    let avg = sum / (clusters[a].len() * clusters[b].len()) as f32;
+                    if avg < best.2 {
+                        best = (a, b, avg);
+                    }
+                }
+            }
+            let merged = clusters.remove(best.1);
+            clusters[best.0].extend(merged);
+        }
+        let mut assign = vec![0usize; n];
+        for (c, members) in clusters.iter().enumerate() {
+            for &i in members {
+                assign[i] = c;
+            }
+        }
+        assign
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::blobs;
+
+    #[test]
+    fn merges_nearby_points() {
+        let (x, y) = blobs(2, 12, 3, 8.0, 1);
+        let mut ag = Agglomerative::new(2);
+        let assign = ag.fit_predict(&x);
+        // All members of one true blob end up together.
+        let first_cluster = assign[0];
+        for (i, &l) in y.iter().enumerate() {
+            if l == y[0] {
+                assert_eq!(assign[i], first_cluster);
+            } else {
+                assert_ne!(assign[i], first_cluster);
+            }
+        }
+    }
+
+    #[test]
+    fn k_equals_n_gives_singletons() {
+        let x = Tensor::from_vec(vec![0.0, 5.0, 10.0], [3, 1]);
+        let mut ag = Agglomerative::new(3);
+        let assign = ag.fit_predict(&x);
+        let mut sorted = assign.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer points")]
+    fn too_many_clusters_panics() {
+        Agglomerative::new(4).fit_predict(&Tensor::zeros([2, 1]));
+    }
+}

@@ -1,0 +1,207 @@
+//! Lloyd's k-means with k-means++ seeding and multiple restarts — the
+//! demo's clustering analyzer.
+
+use crate::traits::Clusterer;
+use rand::Rng;
+use tcsl_tensor::rng::seeded;
+use tcsl_tensor::Tensor;
+
+/// k-means clusterer.
+#[derive(Clone, Debug)]
+pub struct KMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations per restart.
+    pub max_iter: usize,
+    /// Independent restarts; best inertia wins.
+    pub restarts: usize,
+    /// RNG seed.
+    pub seed: u64,
+    centers: Option<Tensor>,
+}
+
+impl KMeans {
+    /// k-means with `k` clusters and sensible defaults.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "need at least one cluster");
+        KMeans {
+            k,
+            max_iter: 100,
+            restarts: 4,
+            seed: 0,
+            centers: None,
+        }
+    }
+
+    /// Fitted centers `(k, F)`, if fitted.
+    pub fn centers(&self) -> Option<&Tensor> {
+        self.centers.as_ref()
+    }
+
+    fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+    }
+
+    fn plus_plus_init(&self, x: &Tensor, rng: &mut impl Rng) -> Tensor {
+        let n = x.rows();
+        let mut centers: Vec<usize> = vec![rng.gen_range(0..n)];
+        let mut d2: Vec<f32> = (0..n)
+            .map(|i| Self::sq_dist(x.row(i), x.row(centers[0])))
+            .collect();
+        while centers.len() < self.k.min(n) {
+            let total: f32 = d2.iter().sum();
+            let next = if total <= 1e-12 {
+                rng.gen_range(0..n)
+            } else {
+                let mut target = rng.gen_range(0.0..total);
+                let mut pick = n - 1;
+                for (i, &d) in d2.iter().enumerate() {
+                    if target < d {
+                        pick = i;
+                        break;
+                    }
+                    target -= d;
+                }
+                pick
+            };
+            centers.push(next);
+            for i in 0..n {
+                let nd = Self::sq_dist(x.row(i), x.row(next));
+                if nd < d2[i] {
+                    d2[i] = nd;
+                }
+            }
+        }
+        let f = x.cols();
+        let mut out = Tensor::zeros([centers.len(), f]);
+        for (c, &i) in centers.iter().enumerate() {
+            out.row_mut(c).copy_from_slice(x.row(i));
+        }
+        out
+    }
+
+    fn lloyd(&self, x: &Tensor, mut centers: Tensor) -> (Tensor, Vec<usize>, f32) {
+        let (n, f) = (x.rows(), x.cols());
+        let k = centers.rows();
+        let mut assign = vec![0usize; n];
+        for _ in 0..self.max_iter {
+            let mut changed = false;
+            for i in 0..n {
+                let row = x.row(i);
+                let mut best = 0;
+                let mut best_d = f32::INFINITY;
+                for c in 0..k {
+                    let d = Self::sq_dist(row, centers.row(c));
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                if assign[i] != best {
+                    assign[i] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            let mut sums = Tensor::zeros([k, f]);
+            let mut counts = vec![0usize; k];
+            for i in 0..n {
+                counts[assign[i]] += 1;
+                for (s, &v) in sums.row_mut(assign[i]).iter_mut().zip(x.row(i)) {
+                    *s += v;
+                }
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    let inv = 1.0 / counts[c] as f32;
+                    for (dst, &s) in centers.row_mut(c).iter_mut().zip(sums.row(c)) {
+                        *dst = s * inv;
+                    }
+                }
+                // Empty clusters keep their previous centre.
+            }
+        }
+        let inertia: f32 = (0..n)
+            .map(|i| Self::sq_dist(x.row(i), centers.row(assign[i])))
+            .sum();
+        (centers, assign, inertia)
+    }
+}
+
+impl Clusterer for KMeans {
+    fn fit_predict(&mut self, x: &Tensor) -> Vec<usize> {
+        assert!(x.rows() >= self.k, "fewer points than clusters");
+        let mut rng = seeded(self.seed);
+        let mut best: Option<(Tensor, Vec<usize>, f32)> = None;
+        for _ in 0..self.restarts.max(1) {
+            let init = self.plus_plus_init(x, &mut rng);
+            let run = self.lloyd(x, init);
+            match &best {
+                Some((_, _, bi)) if *bi <= run.2 => {}
+                _ => best = Some(run),
+            }
+        }
+        let (centers, assign, _) = best.expect("at least one restart");
+        self.centers = Some(centers);
+        assign
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::blobs;
+
+    /// Fraction of same-label pairs placed in the same cluster and
+    /// different-label pairs separated (pairwise clustering accuracy).
+    fn pair_agreement(assign: &[usize], truth: &[usize]) -> f32 {
+        let n = truth.len();
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += 1;
+                let same_c = assign[i] == assign[j];
+                let same_t = truth[i] == truth[j];
+                if same_c == same_t {
+                    agree += 1;
+                }
+            }
+        }
+        agree as f32 / total as f32
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (x, y) = blobs(3, 25, 4, 8.0, 1);
+        let mut km = KMeans::new(3);
+        let assign = km.fit_predict(&x);
+        assert!(pair_agreement(&assign, &y) > 0.95);
+        assert_eq!(km.centers().unwrap().rows(), 3);
+    }
+
+    #[test]
+    fn single_cluster_assigns_everything_to_zero() {
+        let (x, _) = blobs(2, 10, 3, 4.0, 2);
+        let mut km = KMeans::new(1);
+        let assign = km.fit_predict(&x);
+        assert!(assign.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, _) = blobs(3, 15, 3, 5.0, 3);
+        let mut a = KMeans::new(3);
+        let mut b = KMeans::new(3);
+        assert_eq!(a.fit_predict(&x), b.fit_predict(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer points")]
+    fn too_many_clusters_panics() {
+        let x = Tensor::zeros([2, 2]);
+        KMeans::new(5).fit_predict(&x);
+    }
+}

@@ -1,0 +1,7 @@
+//! Clustering analyzers.
+
+pub mod agglo;
+pub mod kmeans;
+
+pub use agglo::Agglomerative;
+pub use kmeans::KMeans;

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+// Index-based loops in the numeric kernels walk several parallel
+// buffers at once; iterator rewrites obscure that correspondence.
+#![allow(clippy::needless_range_loop)]
+
+//! # tcsl-analyzers
+//!
+//! Task-oriented analyzers (paper §2.2, "Task solving"): the freezing mode
+//! plugs *any standard analyzer* on top of the shapelet-based features, so
+//! this crate provides from-scratch implementations of the ones the demo
+//! integrates via scikit-learn — SVM, logistic regression, k-NN, decision
+//! tree and gradient boosting for classification; k-means and agglomerative
+//! clustering; isolation forest and k-NN distance scoring for anomaly
+//! detection — behind small [`traits`].
+//!
+//! All analyzers consume a plain `(N, F)` feature matrix, so they work on
+//! any representation (shapelet features, baseline encoder embeddings,
+//! classical statistics) interchangeably — which is exactly how the
+//! experiment harnesses compare methods.
+
+pub mod anomaly;
+pub mod classify;
+pub mod cluster;
+pub mod preprocessing;
+pub mod traits;
+
+pub use traits::{AnomalyScorer, Classifier, Clusterer};
+
+#[cfg(test)]
+pub(crate) mod testutil;

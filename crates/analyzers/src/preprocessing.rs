@@ -1,0 +1,99 @@
+//! Feature preprocessing.
+
+use tcsl_tensor::Tensor;
+
+/// Per-column standardization fitted on training features — the usual
+/// companion of SVMs and k-means on heterogeneous feature scales (shapelet
+/// features mix distances, cosines and correlations).
+#[derive(Clone, Debug)]
+pub struct StandardScaler {
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl StandardScaler {
+    /// Fits column means and standard deviations.
+    pub fn fit(x: &Tensor) -> Self {
+        let (n, f) = (x.rows(), x.cols());
+        assert!(n > 0, "cannot fit a scaler on zero rows");
+        let mut means = vec![0.0f32; f];
+        for i in 0..n {
+            for (m, &v) in means.iter_mut().zip(x.row(i)) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n as f32;
+        }
+        let mut stds = vec![0.0f32; f];
+        for i in 0..n {
+            for ((s, &v), m) in stds.iter_mut().zip(x.row(i)).zip(&means) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n as f32).sqrt();
+            if *s < 1e-8 {
+                *s = 1.0; // constant column: center only
+            }
+        }
+        StandardScaler { means, stds }
+    }
+
+    /// Standardizes a feature matrix with the fitted statistics.
+    pub fn transform(&self, x: &Tensor) -> Tensor {
+        assert_eq!(
+            x.cols(),
+            self.means.len(),
+            "feature width changed since fit"
+        );
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            for ((v, m), s) in out.row_mut(i).iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = (*v - m) / s;
+            }
+        }
+        out
+    }
+
+    /// Fit and transform in one call.
+    pub fn fit_transform(x: &Tensor) -> (Self, Tensor) {
+        let scaler = Self::fit(x);
+        let t = scaler.transform(x);
+        (scaler, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_columns() {
+        let x = Tensor::from_vec(vec![0.0, 10.0, 2.0, 10.0, 4.0, 10.0], [3, 2]);
+        let (_, t) = StandardScaler::fit_transform(&x);
+        // Column 0 mean 2, std sqrt(8/3); column 1 constant → centered.
+        let col0: Vec<f32> = (0..3).map(|i| t.at2(i, 0)).collect();
+        assert!((col0.iter().sum::<f32>()).abs() < 1e-5);
+        for i in 0..3 {
+            assert_eq!(t.at2(i, 1), 0.0);
+        }
+    }
+
+    #[test]
+    fn transform_applies_train_statistics() {
+        let train = Tensor::from_vec(vec![0.0, 2.0, 4.0, 6.0], [4, 1]);
+        let scaler = StandardScaler::fit(&train);
+        let test = Tensor::from_vec(vec![3.0], [1, 1]);
+        let t = scaler.transform(&test);
+        // mean 3, std sqrt(5) → 0
+        assert!(t.at2(0, 0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "width changed")]
+    fn width_mismatch_panics() {
+        let scaler = StandardScaler::fit(&Tensor::zeros([2, 3]));
+        scaler.transform(&Tensor::zeros([2, 4]));
+    }
+}

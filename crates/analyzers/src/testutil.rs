@@ -1,0 +1,42 @@
+//! Shared fixtures for analyzer tests: separable Gaussian blobs.
+
+use tcsl_tensor::rng::{gauss, seeded};
+use tcsl_tensor::Tensor;
+
+/// `k` Gaussian blobs of `n_per` points in `dim` dimensions, centers spread
+/// `sep` apart. Returns `(features, labels)`.
+pub fn blobs(k: usize, n_per: usize, dim: usize, sep: f32, seed: u64) -> (Tensor, Vec<usize>) {
+    let mut rng = seeded(seed);
+    let centers: Vec<Vec<f32>> = (0..k)
+        .map(|c| {
+            (0..dim)
+                .map(|d| if d % k == c { sep } else { 0.0 })
+                .collect()
+        })
+        .collect();
+    let mut data = Vec::with_capacity(k * n_per * dim);
+    let mut labels = Vec::with_capacity(k * n_per);
+    for (c, center) in centers.iter().enumerate() {
+        for _ in 0..n_per {
+            for &m in center {
+                data.push(m + gauss(&mut rng));
+            }
+            labels.push(c);
+        }
+    }
+    (Tensor::from_vec(data, [k * n_per, dim]), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blob_shapes() {
+        let (x, y) = blobs(3, 10, 4, 5.0, 1);
+        assert_eq!(x.rows(), 30);
+        assert_eq!(x.cols(), 4);
+        assert_eq!(y.len(), 30);
+        assert_eq!(y.iter().filter(|&&l| l == 2).count(), 10);
+    }
+}

@@ -1,0 +1,55 @@
+//! Common analyzer interfaces.
+
+use tcsl_tensor::Tensor;
+
+/// A supervised classifier over feature vectors.
+pub trait Classifier {
+    /// Fits the model to features `x` (`N×F`) and integer labels `y`.
+    fn fit(&mut self, x: &Tensor, y: &[usize]);
+
+    /// Predicts one label per row of `x`.
+    fn predict(&self, x: &Tensor) -> Vec<usize>;
+
+    /// Convenience: fraction of correct predictions on `(x, y)`.
+    fn accuracy(&self, x: &Tensor, y: &[usize]) -> f32 {
+        let pred = self.predict(x);
+        let hits = pred.iter().zip(y).filter(|(p, t)| p == t).count();
+        hits as f32 / y.len().max(1) as f32
+    }
+}
+
+/// An unsupervised clusterer.
+pub trait Clusterer {
+    /// Partitions the rows of `x` into clusters, returning one cluster id
+    /// per row.
+    fn fit_predict(&mut self, x: &Tensor) -> Vec<usize>;
+}
+
+/// An anomaly scorer: higher scores mean more anomalous.
+pub trait AnomalyScorer {
+    /// Fits to (mostly normal) training features.
+    fn fit(&mut self, x: &Tensor);
+
+    /// Anomaly score per row of `x` (higher = more anomalous).
+    fn score(&self, x: &Tensor) -> Vec<f32>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant(usize);
+    impl Classifier for Constant {
+        fn fit(&mut self, _x: &Tensor, _y: &[usize]) {}
+        fn predict(&self, x: &Tensor) -> Vec<usize> {
+            vec![self.0; x.rows()]
+        }
+    }
+
+    #[test]
+    fn accuracy_default_impl() {
+        let c = Constant(1);
+        let x = Tensor::zeros([4, 2]);
+        assert_eq!(c.accuracy(&x, &[1, 1, 0, 1]), 0.75);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for analyzer invariants.
+
+use proptest::prelude::*;
+use tcsl_analyzers::anomaly::KnnDistance;
+use tcsl_analyzers::classify::{DecisionTree, KnnClassifier, LinearSvm};
+use tcsl_analyzers::cluster::KMeans;
+use tcsl_analyzers::preprocessing::StandardScaler;
+use tcsl_analyzers::{AnomalyScorer, Classifier, Clusterer};
+use tcsl_tensor::Tensor;
+
+fn dataset(n: usize, f: usize) -> impl Strategy<Value = (Tensor, Vec<usize>)> {
+    (
+        proptest::collection::vec(-5.0f32..5.0, n * f),
+        proptest::collection::vec(0usize..3, n),
+    )
+        .prop_map(move |(vals, mut labels)| {
+            // Guarantee at least two classes.
+            if labels.iter().all(|&l| l == labels[0]) {
+                labels[0] = (labels[0] + 1) % 3;
+            }
+            // Shift features by class so the problem is learnable.
+            let mut data = vals;
+            for (i, &l) in labels.iter().enumerate() {
+                data[i * f] += 10.0 * l as f32;
+            }
+            (Tensor::from_vec(data, [n, f]), labels)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn one_nn_has_perfect_training_accuracy((x, y) in dataset(20, 4)) {
+        let mut knn = KnnClassifier::new(1);
+        knn.fit(&x, &y);
+        prop_assert_eq!(knn.accuracy(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn deep_tree_fits_training_data((x, y) in dataset(16, 3)) {
+        let mut tree = DecisionTree::new(16);
+        tree.fit(&x, &y);
+        // Distinct rows (probability-1 with continuous features) are
+        // perfectly separable by a deep tree.
+        prop_assert!(tree.accuracy(&x, &y) >= 0.9);
+    }
+
+    #[test]
+    fn svm_predictions_are_valid_classes((x, y) in dataset(24, 4)) {
+        let mut svm = LinearSvm::new();
+        svm.fit(&x, &y);
+        let n_classes = y.iter().copied().max().unwrap() + 1;
+        for p in svm.predict(&x) {
+            prop_assert!(p < n_classes);
+        }
+    }
+
+    #[test]
+    fn kmeans_uses_at_most_k_clusters((x, _y) in dataset(18, 3), k in 1usize..5) {
+        let mut km = KMeans::new(k);
+        let assign = km.fit_predict(&x);
+        prop_assert_eq!(assign.len(), 18);
+        for &c in &assign {
+            prop_assert!(c < k);
+        }
+    }
+
+    #[test]
+    fn knn_scores_are_nonnegative_and_zero_on_duplicates((x, _y) in dataset(15, 3)) {
+        let mut scorer = KnnDistance::new(3);
+        scorer.fit(&x);
+        for s in scorer.score(&x) {
+            prop_assert!(s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn scaler_output_is_centred((x, _y) in dataset(12, 5)) {
+        let (_, t) = StandardScaler::fit_transform(&x);
+        for c in 0..t.cols() {
+            let mean: f32 = (0..t.rows()).map(|i| t.at2(i, c)).sum::<f32>() / t.rows() as f32;
+            prop_assert!(mean.abs() < 1e-3, "column {} mean {}", c, mean);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Finite-difference gradient checking.
+//!
+//! Every backward rule in [`crate::graph`] is validated by comparing the
+//! analytic gradient against a central finite difference of the scalar loss.
+//! The harness rebuilds the graph per perturbation (tapes are single-use),
+//! so the function under test must be a pure builder.
+
+use crate::graph::{Graph, VarId};
+use tcsl_tensor::Tensor;
+
+/// Result of a gradient check: worst absolute and relative deviation.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric gradient.
+    pub max_abs_err: f32,
+    /// Largest relative difference (normalized by gradient magnitude).
+    pub max_rel_err: f32,
+}
+
+impl GradCheckReport {
+    /// Whether the check passes at the given relative tolerance (with an
+    /// absolute floor of the same magnitude for near-zero gradients).
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_rel_err < tol || self.max_abs_err < tol
+    }
+}
+
+/// Checks the gradient of `build` with respect to `inputs`.
+///
+/// `build` receives a fresh graph plus the current input tensors, inserts
+/// them (as params) and returns a scalar loss node. Central differences use
+/// step `h`.
+pub fn gradcheck(
+    inputs: &[Tensor],
+    h: f32,
+    build: impl Fn(&mut Graph, &[Tensor]) -> (Vec<VarId>, VarId),
+) -> GradCheckReport {
+    // Analytic pass.
+    let mut g = Graph::new();
+    let (ids, loss) = build(&mut g, inputs);
+    assert_eq!(
+        ids.len(),
+        inputs.len(),
+        "build must return one VarId per input"
+    );
+    let grads = g.backward(loss);
+    let analytic: Vec<Tensor> = ids
+        .iter()
+        .zip(inputs)
+        .map(|(&id, x)| {
+            grads
+                .get(id)
+                .cloned()
+                .unwrap_or_else(|| Tensor::zeros(x.shape().clone()))
+        })
+        .collect();
+
+    let eval = |xs: &[Tensor]| -> f32 {
+        let mut g = Graph::new();
+        let (_, loss) = build(&mut g, xs);
+        g.value(loss).item()
+    };
+
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    for (pi, x) in inputs.iter().enumerate() {
+        for e in 0..x.numel() {
+            let mut plus = inputs.to_vec();
+            plus[pi].as_mut_slice()[e] += h;
+            let mut minus = inputs.to_vec();
+            minus[pi].as_mut_slice()[e] -= h;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * h);
+            let a = analytic[pi].as_slice()[e];
+            let abs = (a - numeric).abs();
+            let rel = abs / (a.abs().max(numeric.abs()).max(1e-3));
+            max_abs = max_abs.max(abs);
+            max_rel = max_rel.max(rel);
+        }
+    }
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsl_tensor::reduce::Axis;
+    use tcsl_tensor::rng::seeded;
+
+    const H: f32 = 1e-2;
+    const TOL: f32 = 2e-2;
+
+    fn check(inputs: &[Tensor], build: impl Fn(&mut Graph, &[Tensor]) -> (Vec<VarId>, VarId)) {
+        let report = gradcheck(inputs, H, build);
+        assert!(
+            report.passes(TOL),
+            "gradcheck failed: abs={} rel={}",
+            report.max_abs_err,
+            report.max_rel_err
+        );
+    }
+
+    #[test]
+    fn elementwise_chain() {
+        let mut rng = seeded(10);
+        let x = Tensor::rand_uniform([3, 4], 0.5, 2.0, &mut rng);
+        check(&[x], |g, xs| {
+            let a = g.param(xs[0].clone());
+            let s = g.sqrt_eps(a, 1e-6);
+            let e = g.exp(s);
+            let l = g.ln_eps(e, 1e-6);
+            let q = g.square(l);
+            let loss = g.mean_all(q);
+            (vec![a], loss)
+        });
+    }
+
+    #[test]
+    fn div_and_activations() {
+        let mut rng = seeded(11);
+        let x = Tensor::rand_uniform([2, 3], -2.0, 2.0, &mut rng);
+        let y = Tensor::rand_uniform([2, 3], 1.0, 3.0, &mut rng);
+        check(&[x, y], |g, xs| {
+            let a = g.param(xs[0].clone());
+            let b = g.param(xs[1].clone());
+            let d = g.div(a, b);
+            let t = g.tanh(d);
+            let s = g.sigmoid(t);
+            let loss = g.sum_all(s);
+            (vec![a, b], loss)
+        });
+    }
+
+    #[test]
+    fn matmul_chain() {
+        let mut rng = seeded(12);
+        let a = Tensor::randn([3, 4], &mut rng);
+        let b = Tensor::randn([4, 2], &mut rng);
+        check(&[a, b], |g, xs| {
+            let a = g.param(xs[0].clone());
+            let b = g.param(xs[1].clone());
+            let c = g.matmul(a, b);
+            let sq = g.square(c);
+            let loss = g.mean_all(sq);
+            (vec![a, b], loss)
+        });
+    }
+
+    #[test]
+    fn matmul_transb_chain() {
+        let mut rng = seeded(13);
+        let a = Tensor::randn([3, 5], &mut rng);
+        let b = Tensor::randn([4, 5], &mut rng);
+        check(&[a, b], |g, xs| {
+            let a = g.param(xs[0].clone());
+            let b = g.param(xs[1].clone());
+            let c = g.matmul_transb(a, b);
+            let loss = g.mean_all(c);
+            (vec![a, b], loss)
+        });
+    }
+
+    #[test]
+    fn reductions_and_broadcast() {
+        let mut rng = seeded(14);
+        let a = Tensor::randn([4, 3], &mut rng);
+        let v = Tensor::randn([3], &mut rng);
+        check(&[a, v], |g, xs| {
+            let a = g.param(xs[0].clone());
+            let v = g.param(xs[1].clone());
+            let shifted = g.add_row_vec(a, v);
+            let per_col = g.mean_axis(shifted, Axis::Rows);
+            let sq = g.square(per_col);
+            let loss = g.sum_all(sq);
+            (vec![a, v], loss)
+        });
+    }
+
+    #[test]
+    fn relu_with_separated_preactivations() {
+        // Keep every preactivation at least H away from the kink so the
+        // central difference stays on one side.
+        let x = Tensor::from_vec(vec![1.0, -1.5, 2.0, -0.5, 0.75, -2.5], [2, 3]);
+        check(&[x], |g, xs| {
+            let x = g.param(xs[0].clone());
+            let r = g.relu(x);
+            let sq = g.square(r);
+            let loss = g.sum_all(sq);
+            (vec![x], loss)
+        });
+    }
+
+    #[test]
+    fn min_pooling_subgradient() {
+        // Use well-separated values so the argmin is stable under ±h.
+        let a = Tensor::from_vec(vec![5.0, 1.0, 3.0, 2.0, 8.0, 4.0], [2, 3]);
+        check(&[a], |g, xs| {
+            let a = g.param(xs[0].clone());
+            let m = g.min_axis(a, Axis::Cols);
+            let sq = g.square(m);
+            let loss = g.sum_all(sq);
+            (vec![a], loss)
+        });
+    }
+
+    #[test]
+    fn unfold_normalize_and_ce() {
+        let mut rng = seeded(15);
+        let x = Tensor::randn([2, 8], &mut rng);
+        check(&[x], |g, xs| {
+            let x = g.param(xs[0].clone());
+            let w = g.unfold(x, 3, 1, 1);
+            let n = g.row_normalize(w, 1e-6);
+            let loss = g.cross_entropy_logits(n, &[0, 1, 2, 3, 0, 1]);
+            (vec![x], loss)
+        });
+    }
+
+    #[test]
+    fn logsumexp_rows_gradient() {
+        let mut rng = seeded(16);
+        let x = Tensor::randn([3, 4], &mut rng);
+        check(&[x], |g, xs| {
+            let x = g.param(xs[0].clone());
+            let l = g.logsumexp_rows(x);
+            let loss = g.sum_all(l);
+            (vec![x], loss)
+        });
+    }
+
+    #[test]
+    fn pad_transpose_slice() {
+        let mut rng = seeded(17);
+        let x = Tensor::randn([2, 5], &mut rng);
+        check(&[x], |g, xs| {
+            let x = g.param(xs[0].clone());
+            let p = g.pad_cols(x, 2, 1);
+            let t = g.transpose(p);
+            let s = g.slice_cols(t, 0, 2);
+            let sq = g.square(s);
+            let loss = g.mean_all(sq);
+            (vec![x], loss)
+        });
+    }
+
+    #[test]
+    fn dilated_unfold_gradient() {
+        let mut rng = seeded(18);
+        let x = Tensor::randn([1, 10], &mut rng);
+        check(&[x], |g, xs| {
+            let x = g.param(xs[0].clone());
+            let w = g.unfold(x, 3, 1, 2);
+            let sq = g.square(w);
+            let loss = g.sum_all(sq);
+            (vec![x], loss)
+        });
+    }
+
+    #[test]
+    fn concat_rows_and_mask_diag() {
+        let mut rng = seeded(19);
+        let a = Tensor::randn([2, 3], &mut rng);
+        let b = Tensor::randn([1, 3], &mut rng);
+        check(&[a, b], |g, xs| {
+            let a = g.param(xs[0].clone());
+            let b = g.param(xs[1].clone());
+            let z = g.concat_rows(&[a, b]);
+            let s = g.matmul_transb(z, z); // 3×3 gram
+            let m = g.mask_diagonal(s);
+            let loss = g.logsumexp_rows(m);
+            let loss = g.mean_all(loss);
+            (vec![a, b], loss)
+        });
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+// Index-based loops in the numeric kernels walk several parallel
+// buffers at once; iterator rewrites obscure that correspondence.
+#![allow(clippy::needless_range_loop)]
+
+//! # tcsl-autodiff
+//!
+//! Tape-based reverse-mode automatic differentiation over [`tcsl_tensor`].
+//!
+//! This crate replaces the PyTorch autograd engine the TimeCSL paper trains
+//! with. It is deliberately scoped to exactly the operator set the CSL
+//! training objective and the competitor baselines need:
+//!
+//! * elementwise algebra (+, −, ×, ÷, scalar ops, `sqrt`, `exp`, `ln`,
+//!   squares, activations),
+//! * matrix products (`A·B`, `A·Bᵀ`) and row/column-vector broadcasting,
+//! * reductions (`sum`, `mean`) and **arg-routed min/max pooling** — the
+//!   subgradient through the "best-matching window" of the shapelet
+//!   transform,
+//! * sliding-window `unfold` (with dilation, for the CNN baselines) and
+//!   zero-padding,
+//! * shape plumbing (reshape, concat, column slices),
+//! * row-wise L2 normalization, diagonal masking and softmax cross-entropy —
+//!   the building blocks of the NT-Xent contrastive loss.
+//!
+//! Every operator's backward pass is validated against central finite
+//! differences by the [`gradcheck`] harness, which the test-suite runs over
+//! randomized inputs.
+//!
+//! ## Usage
+//!
+//! ```
+//! use tcsl_autodiff::Graph;
+//! use tcsl_tensor::Tensor;
+//!
+//! let mut g = Graph::new();
+//! let w = g.param(Tensor::from_vec(vec![1.0, 2.0], [1, 2]));
+//! let x = g.leaf(Tensor::from_vec(vec![3.0, 4.0], [1, 2]));
+//! let prod = g.mul(w, x);
+//! let loss = g.sum_all(prod); // loss = 1*3 + 2*4
+//! let grads = g.backward(loss);
+//! assert_eq!(g.value(loss).item(), 11.0);
+//! assert_eq!(grads.get(w).unwrap().as_slice(), &[3.0, 4.0]);
+//! ```
+
+pub mod gradcheck;
+pub mod graph;
+pub mod losses;
+pub mod optim;
+pub mod params;
+
+pub use graph::{Grads, Graph, VarId};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use params::ParamStore;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,194 @@
+//! Composed loss builders shared by the CSL trainer and the contrastive
+//! baselines.
+
+use crate::graph::{Graph, VarId};
+
+/// NT-Xent (normalized-temperature cross-entropy) between two view batches
+/// `z1, z2` of shape `(B, F)`, where `z1[i]`/`z2[i]` are views of the same
+/// instance. Embeddings are L2-normalized, the `2B × 2B` similarity matrix
+/// is temperature-scaled, self-similarities are masked, and the loss is the
+/// mean cross-entropy of identifying each embedding's positive partner.
+pub fn nt_xent(g: &mut Graph, z1: VarId, z2: VarId, temperature: f32) -> VarId {
+    assert!(temperature > 0.0, "temperature must be positive");
+    let b = g.value(z1).rows();
+    assert_eq!(g.value(z2).rows(), b, "view batches must have equal size");
+    assert!(b >= 2, "NT-Xent needs at least two instances per batch");
+    let z = g.concat_rows(&[z1, z2]);
+    let zn = g.row_normalize(z, 1e-8);
+    let sim = g.matmul_transb(zn, zn);
+    let scaled = g.mul_scalar(sim, 1.0 / temperature);
+    let masked = g.mask_diagonal(scaled);
+    let targets: Vec<usize> = (0..2 * b).map(|i| (i + b) % (2 * b)).collect();
+    g.cross_entropy_logits(masked, &targets)
+}
+
+/// The triplet logistic loss of Franceschi et al.: pushes the anchor toward
+/// its positive and away from each negative via `−log σ(z_a·z_p) − Σ_n log
+/// σ(−z_a·z_n)`. `anchors`, `positives` are `(B, F)`; `negatives` is
+/// `(B·K, F)` with the `K` negatives of anchor `i` at rows `i·K..(i+1)·K`.
+pub fn triplet_logistic(
+    g: &mut Graph,
+    anchors: VarId,
+    positives: VarId,
+    negatives: VarId,
+    k_negatives: usize,
+) -> VarId {
+    let b = g.value(anchors).rows();
+    assert_eq!(g.value(positives).rows(), b, "one positive per anchor");
+    assert_eq!(
+        g.value(negatives).rows(),
+        b * k_negatives,
+        "k negatives per anchor required"
+    );
+    // Positive term: σ(z_a · z_p), elementwise over matched rows.
+    let prod = g.mul(anchors, positives);
+    let pos_dots = g.sum_axis(prod, tcsl_tensor::reduce::Axis::Cols); // (B)
+    let pos_sig = g.sigmoid(pos_dots);
+    let pos_log = g.ln_eps(pos_sig, 1e-12);
+    let pos_term = g.mean_all(pos_log);
+
+    // Negative term: σ(−z_a · z_n) for each anchor's K negatives.
+    let neg_dots = g.matmul_transb(anchors, negatives); // (B, B·K)
+                                                        // Select matched blocks by masking: build a (B, B·K) {0,1} mask leaf.
+    let mut mask = tcsl_tensor::Tensor::zeros([b, b * k_negatives]);
+    for i in 0..b {
+        for j in 0..k_negatives {
+            mask.set(&[i, i * k_negatives + j], 1.0);
+        }
+    }
+    let mask = g.leaf(mask);
+    let neg_neg = g.neg(neg_dots);
+    let neg_sig = g.sigmoid(neg_neg);
+    let neg_log = g.ln_eps(neg_sig, 1e-12);
+    let masked = g.mul(neg_log, mask);
+    let per_anchor = g.sum_axis(masked, tcsl_tensor::reduce::Axis::Cols); // (B)
+    let neg_term = g.mean_all(per_anchor);
+
+    let total = g.add(pos_term, neg_term);
+    g.mul_scalar(total, -1.0)
+}
+
+/// The temporal-neighbourhood logistic loss (TNC-style): discriminates
+/// neighbouring from distant windows, `−mean[log σ(z_a·z_n)] −
+/// mean[log σ(−z_a·z_d)]`. All inputs are `(B, F)` with matched rows.
+pub fn neighbourhood_logistic(
+    g: &mut Graph,
+    anchors: VarId,
+    neighbours: VarId,
+    distants: VarId,
+) -> VarId {
+    let b = g.value(anchors).rows();
+    assert_eq!(g.value(neighbours).rows(), b, "one neighbour per anchor");
+    assert_eq!(g.value(distants).rows(), b, "one distant window per anchor");
+    let axis = tcsl_tensor::reduce::Axis::Cols;
+
+    let npro = g.mul(anchors, neighbours);
+    let ndots = g.sum_axis(npro, axis);
+    let nsig = g.sigmoid(ndots);
+    let nlog = g.ln_eps(nsig, 1e-12);
+    let npos = g.mean_all(nlog);
+
+    let dpro = g.mul(anchors, distants);
+    let ddots = g.sum_axis(dpro, axis);
+    let dneg = g.neg(ddots);
+    let dsig = g.sigmoid(dneg);
+    let dlog = g.ln_eps(dsig, 1e-12);
+    let dterm = g.mean_all(dlog);
+
+    let total = g.add(npos, dterm);
+    g.mul_scalar(total, -1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsl_tensor::rng::seeded;
+    use tcsl_tensor::Tensor;
+
+    #[test]
+    fn nt_xent_prefers_aligned_views() {
+        let id = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2]);
+        let mut g = Graph::new();
+        let (a, b) = (g.leaf(id.clone()), g.leaf(id));
+        let good = nt_xent(&mut g, a, b, 0.2);
+        let collapsed = Tensor::ones([2, 2]);
+        let mut g2 = Graph::new();
+        let (a, b) = (g2.leaf(collapsed.clone()), g2.leaf(collapsed));
+        let bad = nt_xent(&mut g2, a, b, 0.2);
+        assert!(g.value(good).item() < g2.value(bad).item());
+    }
+
+    #[test]
+    fn triplet_rewards_positive_similarity() {
+        // Anchor aligned with positive, orthogonal negatives → small loss.
+        let a = Tensor::from_vec(vec![2.0, 0.0, 0.0, 2.0], [2, 2]);
+        let n = Tensor::from_vec(vec![0.0, -2.0, -2.0, 0.0, 0.0, -2.0, -2.0, 0.0], [4, 2]);
+        let mut g = Graph::new();
+        let av = g.leaf(a.clone());
+        let pv = g.leaf(a.clone());
+        let nv = g.leaf(n);
+        let good = triplet_logistic(&mut g, av, pv, nv, 2);
+
+        // Anchor aligned with negatives instead → large loss.
+        let mut g2 = Graph::new();
+        let av = g2.leaf(a.clone());
+        let pv = g2.leaf(a.neg());
+        let nv = g2.leaf(Tensor::from_vec(
+            vec![2.0, 0.0, 2.0, 0.0, 0.0, 2.0, 0.0, 2.0],
+            [4, 2],
+        ));
+        let bad = triplet_logistic(&mut g2, av, pv, nv, 2);
+        assert!(g.value(good).item() < g2.value(bad).item());
+    }
+
+    #[test]
+    fn neighbourhood_loss_direction() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2]);
+        let mut g = Graph::new();
+        let av = g.leaf(a.clone());
+        let nv = g.leaf(a.scale(2.0));
+        let dv = g.leaf(a.neg());
+        let good = neighbourhood_logistic(&mut g, av, nv, dv);
+
+        let mut g2 = Graph::new();
+        let av = g2.leaf(a.clone());
+        let nv = g2.leaf(a.neg());
+        let dv = g2.leaf(a.scale(2.0));
+        let bad = neighbourhood_logistic(&mut g2, av, nv, dv);
+        assert!(g.value(good).item() < g2.value(bad).item());
+    }
+
+    #[test]
+    fn all_losses_gradcheck() {
+        let mut rng = seeded(33);
+        let z1 = Tensor::randn([2, 3], &mut rng);
+        let z2 = Tensor::randn([2, 3], &mut rng);
+        let report = crate::gradcheck::gradcheck(&[z1.clone(), z2.clone()], 1e-2, |g, xs| {
+            let a = g.param(xs[0].clone());
+            let b = g.param(xs[1].clone());
+            let loss = nt_xent(g, a, b, 0.5);
+            (vec![a, b], loss)
+        });
+        assert!(report.passes(5e-2), "nt_xent: rel={}", report.max_rel_err);
+
+        let negs = Tensor::randn([4, 3], &mut rng);
+        let report = crate::gradcheck::gradcheck(&[z1.clone(), z2.clone(), negs], 1e-2, |g, xs| {
+            let a = g.param(xs[0].clone());
+            let p = g.param(xs[1].clone());
+            let n = g.param(xs[2].clone());
+            let loss = triplet_logistic(g, a, p, n, 2);
+            (vec![a, p, n], loss)
+        });
+        assert!(report.passes(5e-2), "triplet: rel={}", report.max_rel_err);
+
+        let d = Tensor::randn([2, 3], &mut rng);
+        let report = crate::gradcheck::gradcheck(&[z1, z2, d], 1e-2, |g, xs| {
+            let a = g.param(xs[0].clone());
+            let n = g.param(xs[1].clone());
+            let dd = g.param(xs[2].clone());
+            let loss = neighbourhood_logistic(g, a, n, dd);
+            (vec![a, n, dd], loss)
+        });
+        assert!(report.passes(5e-2), "tnc: rel={}", report.max_rel_err);
+    }
+}

@@ -1,0 +1,245 @@
+//! First-order optimizers: SGD with momentum and Adam.
+//!
+//! Both operate on a [`ParamStore`] plus a gradient vector in store order
+//! (the output of [`ParamStore::collect_grads`]). Optimizer state (momentum
+//! buffers, Adam moments) is lazily shaped on the first step.
+
+use crate::params::ParamStore;
+use tcsl_tensor::Tensor;
+
+/// A gradient-descent update rule.
+pub trait Optimizer {
+    /// Applies one update given gradients in store order.
+    fn step(&mut self, params: &mut ParamStore, grads: &[Tensor]);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum and optional L2
+/// weight decay.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Self::with_momentum(lr, 0.0, 0.0)
+    }
+
+    /// SGD with momentum `mu` and weight decay `wd`.
+    pub fn with_momentum(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut ParamStore, grads: &[Tensor]) {
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "one gradient per parameter required"
+        );
+        if self.velocity.is_empty() {
+            self.velocity = grads
+                .iter()
+                .map(|g| Tensor::zeros(g.shape().clone()))
+                .collect();
+        }
+        for i in 0..params.len() {
+            let p = params.get_mut(i);
+            let mut g = grads[i].clone();
+            if self.weight_decay > 0.0 {
+                g.add_scaled_inplace(p, self.weight_decay);
+            }
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                // v ← μ·v + g ; p ← p − lr·v
+                for (vv, gv) in v.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                    *vv = self.momentum * *vv + gv;
+                }
+                p.add_scaled_inplace(v, -self.lr);
+            } else {
+                p.add_scaled_inplace(&g, -self.lr);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction and optional weight decay.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the standard defaults (β₁=0.9, β₂=0.999, ε=1e-8).
+    pub fn new(lr: f32) -> Self {
+        Self::with_config(lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Fully-parameterized constructor.
+    pub fn with_config(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut ParamStore, grads: &[Tensor]) {
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "one gradient per parameter required"
+        );
+        if self.m.is_empty() {
+            self.m = grads
+                .iter()
+                .map(|g| Tensor::zeros(g.shape().clone()))
+                .collect();
+            self.v = grads
+                .iter()
+                .map(|g| Tensor::zeros(g.shape().clone()))
+                .collect();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let p = params.get_mut(i);
+            let mut g = grads[i].clone();
+            if self.weight_decay > 0.0 {
+                g.add_scaled_inplace(p, self.weight_decay);
+            }
+            let (m, v) = (&mut self.m[i], &mut self.v[i]);
+            for ((mv, vv), (&gv, pv)) in m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice().iter_mut())
+                .zip(g.as_slice().iter().zip(p.as_mut_slice().iter_mut()))
+            {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+                let mhat = *mv / bc1;
+                let vhat = *vv / bc2;
+                *pv -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// Minimizes f(w) = ‖w − c‖² and asserts convergence to c.
+    fn converges(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let target = Tensor::from_vec(vec![1.0, -2.0, 3.0], [3]);
+        let mut ps = ParamStore::new();
+        ps.register("w", Tensor::zeros([3]));
+        for _ in 0..steps {
+            let mut g = Graph::new();
+            let bound = ps.bind(&mut g);
+            let c = g.leaf(target.clone());
+            let loss = g.mse(bound[0], c);
+            let mut grads = g.backward(loss);
+            let gv = ps.collect_grads(&mut grads, &bound);
+            opt.step(&mut ps, &gv);
+        }
+        ps.get(0).max_abs_diff(&target)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.5);
+        assert!(converges(&mut opt, 200) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::with_momentum(0.1, 0.9, 0.0);
+        assert!(converges(&mut opt, 300) < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        assert!(converges(&mut opt, 500) < 1e-2);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        // With zero gradient and weight decay, parameters decay toward 0.
+        let mut ps = ParamStore::new();
+        ps.register("w", Tensor::full([2], 1.0));
+        let mut opt = Sgd::with_momentum(0.1, 0.0, 0.5);
+        let zero = vec![Tensor::zeros([2])];
+        for _ in 0..10 {
+            opt.step(&mut ps, &zero);
+        }
+        assert!(ps.get(0).as_slice()[0] < 1.0);
+    }
+
+    #[test]
+    fn learning_rate_is_adjustable() {
+        let mut opt = Adam::new(0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "one gradient per parameter")]
+    fn mismatched_grads_panic() {
+        let mut ps = ParamStore::new();
+        ps.register("w", Tensor::ones([1]));
+        let mut opt = Sgd::new(0.1);
+        opt.step(&mut ps, &[]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Named persistent parameter storage.
+//!
+//! A [`Graph`] is a single-use tape, so trainable state lives outside it in a
+//! [`ParamStore`]. Each training step copies the current parameter values
+//! into the graph as `param` leaves, runs forward/backward, then hands the
+//! gradients (in store order) to an optimizer.
+
+use crate::graph::{Grads, Graph, VarId};
+use tcsl_tensor::Tensor;
+
+/// An ordered collection of named trainable tensors.
+#[derive(Default)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Tensor>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter; returns its stable index. Names must be unique.
+    pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> usize {
+        let name = name.into();
+        assert!(
+            !self.names.contains(&name),
+            "parameter name '{name}' registered twice"
+        );
+        self.names.push(name);
+        self.values.push(value);
+        self.values.len() - 1
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total scalar count across all parameters.
+    pub fn numel(&self) -> usize {
+        self.values.iter().map(Tensor::numel).sum()
+    }
+
+    /// Value of parameter `i`.
+    pub fn get(&self, i: usize) -> &Tensor {
+        &self.values[i]
+    }
+
+    /// Mutable value of parameter `i`.
+    pub fn get_mut(&mut self, i: usize) -> &mut Tensor {
+        &mut self.values[i]
+    }
+
+    /// Name of parameter `i`.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Looks a parameter up by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Inserts every parameter into `graph` as a tracked leaf, returning the
+    /// `VarId`s in store order.
+    pub fn bind(&self, graph: &mut Graph) -> Vec<VarId> {
+        self.values.iter().map(|v| graph.param(v.clone())).collect()
+    }
+
+    /// Collects the gradient for each bound parameter (zeros where a
+    /// parameter did not participate in the loss).
+    pub fn collect_grads(&self, grads: &mut Grads, bound: &[VarId]) -> Vec<Tensor> {
+        assert_eq!(
+            bound.len(),
+            self.values.len(),
+            "bind/collect length mismatch"
+        );
+        bound
+            .iter()
+            .zip(self.values.iter())
+            .map(|(&id, v)| {
+                grads
+                    .take(id)
+                    .unwrap_or_else(|| Tensor::zeros(v.shape().clone()))
+            })
+            .collect()
+    }
+
+    /// Iterates `(name, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.values.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut ps = ParamStore::new();
+        let a = ps.register("w", Tensor::ones([2, 2]));
+        let b = ps.register("b", Tensor::zeros([2]));
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.numel(), 6);
+        assert_eq!(ps.index_of("b"), Some(1));
+        assert_eq!(ps.index_of("nope"), None);
+        assert_eq!(ps.name(0), "w");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_name_panics() {
+        let mut ps = ParamStore::new();
+        ps.register("w", Tensor::ones([1]));
+        ps.register("w", Tensor::ones([1]));
+    }
+
+    #[test]
+    fn bind_and_collect_round_trip() {
+        let mut ps = ParamStore::new();
+        ps.register("w", Tensor::from_vec(vec![2.0, 3.0], [2]));
+        ps.register("unused", Tensor::ones([3]));
+
+        let mut g = Graph::new();
+        let bound = ps.bind(&mut g);
+        let sq = g.square(bound[0]);
+        let loss = g.sum_all(sq);
+        let mut grads = g.backward(loss);
+        let collected = ps.collect_grads(&mut grads, &bound);
+        assert_eq!(collected[0].as_slice(), &[4.0, 6.0]);
+        // Unused parameter gets a zero gradient of matching shape.
+        assert_eq!(collected[1].as_slice(), &[0.0, 0.0, 0.0]);
+    }
+}

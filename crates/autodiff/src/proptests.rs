@@ -1,0 +1,77 @@
+//! Property-based gradient checks over randomized compositions.
+
+use crate::gradcheck::gradcheck;
+use crate::graph::Graph;
+use proptest::prelude::*;
+use tcsl_tensor::reduce::Axis;
+use tcsl_tensor::Tensor;
+
+fn matrix(r: usize, c: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-3.0f32..3.0, r * c).prop_map(move |v| Tensor::from_vec(v, [r, c]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_affine_tanh_mse(x in matrix(3, 4), w in matrix(2, 4)) {
+        // tanh rather than relu: finite differences are unreliable at the
+        // relu kink, which random preactivations inevitably straddle. The
+        // relu rule is covered by a deterministic gradcheck with
+        // well-separated preactivations.
+        let report = gradcheck(&[x, w], 1e-2, |g, xs| {
+            let x = g.param(xs[0].clone());
+            let w = g.param(xs[1].clone());
+            let h = g.matmul_transb(x, w);
+            let r = g.tanh(h);
+            let target = g.leaf(Tensor::ones([3, 2]));
+            let loss = g.mse(r, target);
+            (vec![x, w], loss)
+        });
+        prop_assert!(report.passes(5e-2), "abs={} rel={}", report.max_abs_err, report.max_rel_err);
+    }
+
+    #[test]
+    fn random_normalize_gram_ce(x in matrix(4, 3)) {
+        let report = gradcheck(&[x], 1e-2, |g, xs| {
+            let x = g.param(xs[0].clone());
+            let n = g.row_normalize(x, 1e-4);
+            let s = g.matmul_transb(n, n);
+            let m = g.mask_diagonal(s);
+            let loss = g.cross_entropy_logits(m, &[1, 0, 3, 2]);
+            (vec![x], loss)
+        });
+        prop_assert!(report.passes(5e-2), "abs={} rel={}", report.max_abs_err, report.max_rel_err);
+    }
+
+    #[test]
+    fn random_axis_reductions(x in matrix(5, 4)) {
+        let report = gradcheck(&[x], 1e-2, |g, xs| {
+            let x = g.param(xs[0].clone());
+            let s = g.sum_axis(x, Axis::Rows);
+            let m = g.mean_axis(x, Axis::Cols);
+            let ssq = g.square(s);
+            let msq = g.square(m);
+            let a = g.sum_all(ssq);
+            let b = g.sum_all(msq);
+            let loss = g.add(a, b);
+            (vec![x], loss)
+        });
+        prop_assert!(report.passes(5e-2), "abs={} rel={}", report.max_abs_err, report.max_rel_err);
+    }
+
+    #[test]
+    fn grad_accumulates_over_reuse(x in matrix(3, 3)) {
+        // y = x ⊙ x used twice: loss = sum(x⊙x) + sum(x⊙x)
+        let mut g = Graph::new();
+        let xv = g.param(x.clone());
+        let sq = g.mul(xv, xv);
+        let s1 = g.sum_all(sq);
+        let s2 = g.sum_all(sq);
+        let loss = g.add(s1, s2);
+        let grads = g.backward(loss);
+        let got = grads.get(xv).unwrap();
+        let want = x.scale(4.0);
+        prop_assert!(got.max_abs_diff(&want) < 1e-4);
+    }
+}

@@ -1,0 +1,179 @@
+//! Dynamic time warping and the classical DTW-1NN classifier — the
+//! strongest non-learned baseline on UEA-style archives, and the method
+//! whose quadratic cost the long-series experiment (E1d) exposes.
+
+use tcsl_data::normalize::{normalize_dataset, Normalization};
+use tcsl_data::{Dataset, TimeSeries};
+use tcsl_tensor::parallel::parallel_map;
+
+/// Multivariate DTW distance (squared-Euclidean local cost summed over
+/// variables) with an optional Sakoe–Chiba band half-width.
+pub fn dtw_distance(a: &TimeSeries, b: &TimeSeries, band: Option<usize>) -> f32 {
+    assert_eq!(a.n_vars(), b.n_vars(), "variable count mismatch");
+    let (n, m) = (a.len(), b.len());
+    let band = band.unwrap_or(n.max(m));
+    // Band must at least cover the length difference or no path exists.
+    let band = band.max(n.abs_diff(m));
+    let d = a.n_vars();
+    let local = |i: usize, j: usize| -> f32 {
+        let mut c = 0.0f32;
+        for v in 0..d {
+            let diff = a.variable(v)[i] - b.variable(v)[j];
+            c += diff * diff;
+        }
+        c
+    };
+    // Two-row DP over the banded matrix.
+    let inf = f32::INFINITY;
+    let mut prev = vec![inf; m + 1];
+    let mut curr = vec![inf; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        curr.fill(inf);
+        let lo = i.saturating_sub(band).max(1);
+        let hi = (i + band).min(m);
+        for j in lo..=hi {
+            let best = prev[j - 1].min(prev[j]).min(curr[j - 1]);
+            curr[j] = local(i - 1, j - 1) + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m].sqrt()
+}
+
+/// One-nearest-neighbour classifier under DTW on (z-normalized) raw series.
+pub struct Dtw1Nn {
+    /// Optional Sakoe–Chiba band half-width (None = unconstrained).
+    pub band: Option<usize>,
+    train: Option<Dataset>,
+}
+
+impl Dtw1Nn {
+    /// Unconstrained DTW-1NN.
+    pub fn new() -> Self {
+        Dtw1Nn {
+            band: None,
+            train: None,
+        }
+    }
+
+    /// DTW-1NN with a Sakoe–Chiba band (speeds up long series).
+    pub fn with_band(band: usize) -> Self {
+        Dtw1Nn {
+            band: Some(band),
+            train: None,
+        }
+    }
+
+    /// Stores the (normalized) training set.
+    pub fn fit(&mut self, train: &Dataset) {
+        assert!(train.labels().is_some(), "DTW-1NN needs labels");
+        assert!(!train.is_empty(), "empty training set");
+        self.train = Some(normalize_dataset(train, Normalization::ZScore));
+    }
+
+    /// Predicts by nearest training series, parallel over test series.
+    pub fn predict(&self, test: &Dataset) -> Vec<usize> {
+        let train = self.train.as_ref().expect("predict before fit");
+        let test = normalize_dataset(test, Normalization::ZScore);
+        let band = self.band;
+        parallel_map(test.len(), |i| {
+            let q = test.series(i);
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for j in 0..train.len() {
+                let d = dtw_distance(q, train.series(j), band);
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
+            }
+            train.label(best)
+        })
+    }
+}
+
+impl Default for Dtw1Nn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsl_data::archive;
+
+    #[test]
+    fn dtw_zero_for_identical_series() {
+        let s = TimeSeries::univariate(vec![1.0, 2.0, 3.0, 2.0]);
+        assert_eq!(dtw_distance(&s, &s, None), 0.0);
+    }
+
+    #[test]
+    fn dtw_absorbs_time_shift_better_than_euclidean() {
+        let a = TimeSeries::univariate(vec![0.0, 0.0, 1.0, 2.0, 1.0, 0.0, 0.0, 0.0]);
+        let b = TimeSeries::univariate(vec![0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0, 0.0]);
+        let dtw = dtw_distance(&a, &b, None);
+        let euc: f32 = a
+            .variable(0)
+            .iter()
+            .zip(b.variable(0))
+            .map(|(&x, &y)| (x - y) * (x - y))
+            .sum::<f32>()
+            .sqrt();
+        assert!(dtw < euc * 0.5, "dtw {dtw} vs euclidean {euc}");
+    }
+
+    #[test]
+    fn dtw_handles_unequal_lengths() {
+        let a = TimeSeries::univariate(vec![1.0, 2.0, 3.0]);
+        let b = TimeSeries::univariate(vec![1.0, 1.5, 2.0, 2.5, 3.0]);
+        let d = dtw_distance(&a, &b, None);
+        assert!(d.is_finite());
+        assert!(d < 2.0);
+    }
+
+    #[test]
+    fn band_is_widened_to_length_difference() {
+        let a = TimeSeries::univariate(vec![1.0; 4]);
+        let b = TimeSeries::univariate(vec![1.0; 10]);
+        // Band 1 < |4−10|; must still produce a finite distance.
+        assert!(dtw_distance(&a, &b, Some(1)).is_finite());
+    }
+
+    #[test]
+    fn dtw_symmetry() {
+        let a = TimeSeries::univariate(vec![0.5, 1.0, -0.5, 0.0, 2.0]);
+        let b = TimeSeries::univariate(vec![1.0, 0.0, 0.5, -1.0]);
+        let ab = dtw_distance(&a, &b, None);
+        let ba = dtw_distance(&b, &a, None);
+        assert!((ab - ba).abs() < 1e-5);
+    }
+
+    #[test]
+    fn classifies_motif_data_reasonably() {
+        let entry = archive::by_name("MotifEasy").unwrap();
+        let (train, test) = archive::generate_split(&entry, 41);
+        let mut nn = Dtw1Nn::new();
+        nn.fit(&train);
+        let pred = nn.predict(&test);
+        let acc = pred
+            .iter()
+            .enumerate()
+            .filter(|(i, &p)| p == test.label(*i))
+            .count() as f32
+            / test.len() as f32;
+        // Motif position is random, so raw-distance methods are mediocre —
+        // but still above chance on an easy 2-class problem.
+        assert!(acc > 0.5, "accuracy {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        let entry = archive::by_name("MotifEasy").unwrap();
+        let (_, test) = archive::generate_split(&entry, 42);
+        Dtw1Nn::new().predict(&test);
+    }
+}

@@ -1,0 +1,154 @@
+//! Hand-crafted statistical features — the classical representation
+//! baseline (a catch22-flavoured subset computed per variable).
+
+use tcsl_data::{Dataset, TimeSeries};
+use tcsl_tensor::stats;
+use tcsl_tensor::Tensor;
+
+/// Features computed per variable.
+pub const PER_VARIABLE: usize = 12;
+
+/// Names of the per-variable features, in extraction order.
+pub fn feature_names(d: usize) -> Vec<String> {
+    let base = [
+        "mean",
+        "std",
+        "skew",
+        "kurt",
+        "min",
+        "max",
+        "median",
+        "iqr",
+        "acf1",
+        "acf5",
+        "crossings",
+        "slope",
+    ];
+    let mut out = Vec::with_capacity(d * PER_VARIABLE);
+    for v in 0..d {
+        for b in base {
+            out.push(format!("v{v}:{b}"));
+        }
+    }
+    out
+}
+
+fn extract_variable(xs: &[f32]) -> [f32; PER_VARIABLE] {
+    let n = xs.len();
+    let mean = stats::mean(xs);
+    let std = stats::std_dev(xs);
+    let min = xs.iter().copied().fold(f32::INFINITY, f32::min);
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let median = stats::median(xs);
+    let iqr = stats::percentile(xs, 0.75) - stats::percentile(xs, 0.25);
+    // Least-squares slope against time (normalized to series length).
+    let tm = (n as f32 - 1.0) / 2.0;
+    let mut cov = 0.0f32;
+    let mut var_t = 0.0f32;
+    for (t, &x) in xs.iter().enumerate() {
+        cov += (t as f32 - tm) * (x - mean);
+        var_t += (t as f32 - tm) * (t as f32 - tm);
+    }
+    let slope = if var_t > 0.0 {
+        cov / var_t * n as f32
+    } else {
+        0.0
+    };
+    [
+        mean,
+        std,
+        stats::skewness(xs),
+        stats::kurtosis(xs),
+        min,
+        max,
+        median,
+        iqr,
+        stats::autocorr(xs, 1),
+        stats::autocorr(xs, 5),
+        stats::mean_crossings(xs) as f32 / n.max(1) as f32,
+        slope,
+    ]
+}
+
+/// Extracts the statistical feature vector of one series.
+pub fn extract_series(s: &TimeSeries) -> Vec<f32> {
+    let mut out = Vec::with_capacity(s.n_vars() * PER_VARIABLE);
+    for v in 0..s.n_vars() {
+        out.extend_from_slice(&extract_variable(s.variable(v)));
+    }
+    out
+}
+
+/// Extracts an `(N, D·12)` feature matrix for a dataset.
+pub fn extract_dataset(ds: &Dataset) -> Tensor {
+    assert!(!ds.is_empty(), "empty dataset");
+    let width = ds.n_vars() * PER_VARIABLE;
+    let mut out = Tensor::zeros([ds.len(), width]);
+    for i in 0..ds.len() {
+        out.row_mut(i)
+            .copy_from_slice(&extract_series(ds.series(i)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_match_names() {
+        let s = TimeSeries::multivariate(vec![vec![1.0, 2.0, 3.0], vec![0.0, 0.5, 1.0]]);
+        let f = extract_series(&s);
+        assert_eq!(f.len(), 2 * PER_VARIABLE);
+        assert_eq!(feature_names(2).len(), f.len());
+    }
+
+    #[test]
+    fn known_values_for_simple_series() {
+        let s = TimeSeries::univariate(vec![1.0, 2.0, 3.0, 4.0]);
+        let f = extract_series(&s);
+        assert!((f[0] - 2.5).abs() < 1e-6); // mean
+        assert_eq!(f[4], 1.0); // min
+        assert_eq!(f[5], 4.0); // max
+        assert!(f[11] > 0.0); // positive slope
+    }
+
+    #[test]
+    fn trend_direction_is_captured() {
+        let up = extract_series(&TimeSeries::univariate((0..32).map(|i| i as f32).collect()));
+        let down = extract_series(&TimeSeries::univariate(
+            (0..32).map(|i| -(i as f32)).collect(),
+        ));
+        assert!(up[11] > 0.0 && down[11] < 0.0);
+    }
+
+    #[test]
+    fn periodicity_shows_in_autocorrelation() {
+        let periodic = TimeSeries::univariate(
+            (0..64)
+                .map(|i| (i as f32 * std::f32::consts::PI / 8.0).sin())
+                .collect(),
+        );
+        let f = extract_series(&periodic);
+        assert!(
+            f[8] > 0.5,
+            "acf1 should be high for smooth signals: {}",
+            f[8]
+        );
+    }
+
+    #[test]
+    fn dataset_matrix_rows_match_series() {
+        let ds = Dataset::unlabeled(
+            "x",
+            vec![
+                TimeSeries::univariate(vec![1.0, 2.0, 3.0, 2.0]),
+                TimeSeries::univariate(vec![5.0, 5.0, 5.0, 5.0]),
+            ],
+        );
+        let m = extract_dataset(&ds);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(0), &extract_series(ds.series(0))[..]);
+        assert!(m.all_finite());
+    }
+}

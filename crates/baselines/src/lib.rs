@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+// Index-based loops in the numeric kernels walk several parallel
+// buffers at once; iterator rewrites obscure that correspondence.
+#![allow(clippy::needless_range_loop)]
+
+//! # tcsl-baselines
+//!
+//! The competitor methods TimeCSL's Figure 1 compares against, rebuilt from
+//! scratch (see DESIGN.md's substitution table):
+//!
+//! * [`encoder::CnnEncoder`] — a dilated causal CNN encoder (the backbone
+//!   family of TS2Vec / T-Loss / TNC) trained with three unsupervised
+//!   objectives via [`url::CnnUrl`]:
+//!   instance contrasting (SimCLR/TS2Vec-style), triplet logistic loss
+//!   (T-Loss-style) and temporal-neighbourhood coding (TNC-style, which
+//!   inherits the "distant-in-time ⇒ dissimilar" assumption the paper's
+//!   introduction criticizes).
+//! * [`dtw`] — dynamic time warping and the classical DTW-1NN classifier.
+//! * [`features`] — a hand-crafted statistical feature extractor
+//!   (catch22-flavoured subset).
+//! * [`fcn`] — a supervised CNN classifier, the "traditional supervised
+//!   method" of the semi-supervised study (E3).
+
+pub mod dtw;
+pub mod encoder;
+pub mod fcn;
+pub mod features;
+pub mod url;
+
+pub use dtw::Dtw1Nn;
+pub use encoder::{CnnArch, CnnEncoder};
+pub use fcn::SupervisedCnn;
+pub use url::{CnnUrl, Objective, UrlConfig};

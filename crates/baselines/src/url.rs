@@ -1,0 +1,312 @@
+//! Unsupervised representation-learning baselines over the shared CNN
+//! encoder: one struct, three published objectives.
+
+use crate::encoder::{CnnArch, CnnEncoder};
+use rand::Rng;
+use std::time::{Duration, Instant};
+use tcsl_autodiff::losses::{neighbourhood_logistic, nt_xent, triplet_logistic};
+use tcsl_autodiff::{Adam, Graph, Optimizer, ParamStore, VarId};
+use tcsl_data::augment::random_crop;
+use tcsl_data::Dataset;
+use tcsl_tensor::rng::{permutation, seeded};
+use tcsl_tensor::Tensor;
+
+/// Which published objective to train the encoder with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Objective {
+    /// SimCLR/TS2Vec-style instance contrasting on crop pairs.
+    InstanceContrast,
+    /// T-Loss-style triplet logistic loss (Franceschi et al.): positives
+    /// are sub-crops of the anchor, negatives are crops of other series.
+    Triplet,
+    /// TNC-style temporal neighbourhood coding: windows close in time are
+    /// positives, distant windows negatives — the assumption periodic data
+    /// violates.
+    TemporalNeighbourhood,
+}
+
+impl Objective {
+    /// Display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::InstanceContrast => "CNN-SimCLR",
+            Objective::Triplet => "CNN-TLoss",
+            Objective::TemporalNeighbourhood => "CNN-TNC",
+        }
+    }
+}
+
+/// Training hyperparameters of the URL baselines.
+#[derive(Clone, Debug)]
+pub struct UrlConfig {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Series per minibatch.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// NT-Xent temperature (instance contrasting only).
+    pub temperature: f32,
+    /// Negatives per anchor (triplet only).
+    pub k_negatives: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UrlConfig {
+    fn default() -> Self {
+        UrlConfig {
+            epochs: 20,
+            batch_size: 16,
+            learning_rate: 0.005,
+            temperature: 0.2,
+            k_negatives: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// A CNN encoder plus one of the three objectives.
+pub struct CnnUrl {
+    /// The objective this baseline trains with.
+    pub objective: Objective,
+    /// Hyperparameters.
+    pub cfg: UrlConfig,
+    encoder: CnnEncoder,
+}
+
+impl CnnUrl {
+    /// Fresh baseline for `d`-variate series.
+    pub fn new(d: usize, objective: Objective, arch: CnnArch, cfg: UrlConfig) -> Self {
+        let mut rng = seeded(cfg.seed ^ 0xC0FFEE);
+        CnnUrl {
+            objective,
+            encoder: CnnEncoder::new(d, arch, &mut rng),
+            cfg,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        self.objective.name()
+    }
+
+    /// The underlying encoder (e.g. for the supervised FCN to reuse).
+    pub fn encoder(&self) -> &CnnEncoder {
+        &self.encoder
+    }
+
+    /// Unsupervised pre-training; returns wall-clock time (the training-
+    /// efficiency axis of Figure 1) and the per-epoch loss curve.
+    pub fn pretrain(&mut self, ds: &Dataset) -> (Duration, Vec<f32>) {
+        assert!(ds.len() >= 2, "need at least two series");
+        assert_eq!(
+            ds.n_vars(),
+            self.encoder.d,
+            "dataset/encoder variable count mismatch"
+        );
+        let mut rng = seeded(self.cfg.seed);
+        let mut ps = ParamStore::new();
+        for (i, p) in self.encoder.params().into_iter().enumerate() {
+            ps.register(format!("p{i}"), p);
+        }
+        let mut opt = Adam::new(self.cfg.learning_rate);
+        let start = Instant::now();
+        let mut curve = Vec::with_capacity(self.cfg.epochs);
+        for _epoch in 0..self.cfg.epochs {
+            let order = permutation(&mut rng, ds.len());
+            let mut sum = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in order.chunks(self.cfg.batch_size) {
+                if chunk.len() < 2 {
+                    continue;
+                }
+                let mut g = Graph::new();
+                let bound = ps.bind(&mut g);
+                let loss = self.batch_loss(&mut g, &bound, ds, chunk, &mut rng);
+                sum += g.value(loss).item() as f64;
+                batches += 1;
+                let mut grads = g.backward(loss);
+                let gv = ps.collect_grads(&mut grads, &bound);
+                opt.step(&mut ps, &gv);
+            }
+            curve.push((sum / batches.max(1) as f64) as f32);
+        }
+        let params: Vec<Tensor> = (0..ps.len()).map(|i| ps.get(i).clone()).collect();
+        self.encoder.set_params(&params);
+        (start.elapsed(), curve)
+    }
+
+    fn batch_loss(
+        &self,
+        g: &mut Graph,
+        bound: &[VarId],
+        ds: &Dataset,
+        chunk: &[usize],
+        rng: &mut impl Rng,
+    ) -> VarId {
+        match self.objective {
+            Objective::InstanceContrast => {
+                let mut za = Vec::with_capacity(chunk.len());
+                let mut zb = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    let s = ds.series(i);
+                    let len = (s.len() / 2).max(8).min(s.len());
+                    za.push(
+                        self.encoder
+                            .forward(g, random_crop(s, len, rng).values(), bound),
+                    );
+                    zb.push(
+                        self.encoder
+                            .forward(g, random_crop(s, len, rng).values(), bound),
+                    );
+                }
+                let za = g.concat_rows(&za);
+                let zb = g.concat_rows(&zb);
+                nt_xent(g, za, zb, self.cfg.temperature)
+            }
+            Objective::Triplet => {
+                let k = self.cfg.k_negatives;
+                let mut anchors = Vec::with_capacity(chunk.len());
+                let mut positives = Vec::with_capacity(chunk.len());
+                let mut negatives = Vec::with_capacity(chunk.len() * k);
+                for &i in chunk {
+                    let s = ds.series(i);
+                    let a_len = (s.len() * 3 / 4).max(8).min(s.len());
+                    let anchor = random_crop(s, a_len, rng);
+                    let p_len = (a_len / 2).max(4);
+                    let positive = random_crop(&anchor, p_len, rng);
+                    anchors.push(self.encoder.forward(g, anchor.values(), bound));
+                    positives.push(self.encoder.forward(g, positive.values(), bound));
+                    for _ in 0..k {
+                        // Negative from a different series when possible.
+                        let j = loop {
+                            let cand = chunk[rng.gen_range(0..chunk.len())];
+                            if cand != i || chunk.len() == 1 {
+                                break cand;
+                            }
+                        };
+                        let o = ds.series(j);
+                        let n_len = p_len.min(o.len());
+                        negatives.push(self.encoder.forward(
+                            g,
+                            random_crop(o, n_len, rng).values(),
+                            bound,
+                        ));
+                    }
+                }
+                let a = g.concat_rows(&anchors);
+                let p = g.concat_rows(&positives);
+                let n = g.concat_rows(&negatives);
+                triplet_logistic(g, a, p, n, k)
+            }
+            Objective::TemporalNeighbourhood => {
+                let mut anchors = Vec::with_capacity(chunk.len());
+                let mut neighbours = Vec::with_capacity(chunk.len());
+                let mut distants = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    let s = ds.series(i);
+                    let len = (s.len() / 4).max(4);
+                    let max_start = s.len() - len;
+                    let a_start = rng.gen_range(0..=max_start);
+                    // Neighbour: within half a window of the anchor.
+                    let lo = a_start.saturating_sub(len / 2);
+                    let hi = (a_start + len / 2).min(max_start);
+                    let n_start = rng.gen_range(lo..=hi);
+                    // Distant: as far from the anchor as the series allows —
+                    // on periodic data this window *still resembles* the
+                    // anchor, which is exactly the failure mode reproduced.
+                    let d_start = if a_start < max_start / 2 {
+                        max_start
+                    } else {
+                        0
+                    };
+                    anchors.push(
+                        self.encoder
+                            .forward(g, s.crop(a_start, len).values(), bound),
+                    );
+                    neighbours.push(
+                        self.encoder
+                            .forward(g, s.crop(n_start, len).values(), bound),
+                    );
+                    distants.push(
+                        self.encoder
+                            .forward(g, s.crop(d_start, len).values(), bound),
+                    );
+                }
+                let a = g.concat_rows(&anchors);
+                let n = g.concat_rows(&neighbours);
+                let d = g.concat_rows(&distants);
+                neighbourhood_logistic(g, a, n, d)
+            }
+        }
+    }
+
+    /// Embeds every series of a dataset (`(N, out)`).
+    pub fn encode(&self, ds: &Dataset) -> Tensor {
+        let batch: Vec<Tensor> = ds.all_series().iter().map(|s| s.values().clone()).collect();
+        self.encoder.encode(&batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsl_data::archive;
+
+    fn quick(objective: Objective) -> (CnnUrl, Dataset) {
+        let entry = archive::by_name("MotifEasy").unwrap();
+        let (train, _) = archive::generate_split(&entry, 31);
+        let train = train.znormed();
+        let arch = CnnArch {
+            hidden: 6,
+            out: 8,
+            kernel: 3,
+            dilations: vec![1, 2],
+        };
+        let cfg = UrlConfig {
+            epochs: 3,
+            batch_size: 8,
+            seed: 9,
+            ..Default::default()
+        };
+        (CnnUrl::new(1, objective, arch, cfg), train)
+    }
+
+    #[test]
+    fn instance_contrast_trains_and_encodes() {
+        let (mut url, train) = quick(Objective::InstanceContrast);
+        let (time, curve) = url.pretrain(&train);
+        assert_eq!(curve.len(), 3);
+        assert!(time.as_nanos() > 0);
+        assert!(
+            curve.last().unwrap() < &curve[0],
+            "loss did not decrease: {curve:?}"
+        );
+        let z = url.encode(&train);
+        assert_eq!(z.shape().dims(), &[train.len(), 8]);
+        assert!(z.all_finite());
+    }
+
+    #[test]
+    fn triplet_trains() {
+        let (mut url, train) = quick(Objective::Triplet);
+        let (_, curve) = url.pretrain(&train);
+        assert!(curve.iter().all(|l| l.is_finite()));
+        assert!(curve.last().unwrap() <= &curve[0]);
+    }
+
+    #[test]
+    fn tnc_trains() {
+        let (mut url, train) = quick(Objective::TemporalNeighbourhood);
+        let (_, curve) = url.pretrain(&train);
+        assert!(curve.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Objective::InstanceContrast.name(), "CNN-SimCLR");
+        assert_eq!(Objective::Triplet.name(), "CNN-TLoss");
+        assert_eq!(Objective::TemporalNeighbourhood.name(), "CNN-TNC");
+    }
+}

@@ -1,0 +1,66 @@
+//! Microbenchmark: analyzer fitting cost on shapelet-sized feature
+//! matrices — the "Run Analyzer" latency of the freezing mode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcsl_analyzers::anomaly::IsolationForest;
+use tcsl_analyzers::classify::{GradientBoosting, LinearSvm, LogisticRegression};
+use tcsl_analyzers::cluster::KMeans;
+use tcsl_analyzers::{AnomalyScorer, Classifier, Clusterer};
+use tcsl_tensor::rng::{gauss, seeded};
+use tcsl_tensor::Tensor;
+
+fn blobs(n_per: usize, k: usize, dim: usize) -> (Tensor, Vec<usize>) {
+    let mut rng = seeded(5);
+    let mut data = Vec::new();
+    let mut y = Vec::new();
+    for c in 0..k {
+        for _ in 0..n_per {
+            for d in 0..dim {
+                data.push(if d % k == c { 4.0 } else { 0.0 } + gauss(&mut rng));
+            }
+            y.push(c);
+        }
+    }
+    (Tensor::from_vec(data, [n_per * k, dim]), y)
+}
+
+fn bench_analyzers(c: &mut Criterion) {
+    let (x, y) = blobs(40, 4, 120); // 160 series × the default D_repr
+    let mut group = c.benchmark_group("analyzers_fit");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("linear_svm", |b| {
+        b.iter(|| {
+            let mut m = LinearSvm::new();
+            m.fit(&x, &y);
+            m.predict(&x)
+        })
+    });
+    group.bench_function("logreg", |b| {
+        b.iter(|| {
+            let mut m = LogisticRegression::new().with_iterations(50);
+            m.fit(&x, &y);
+            m.predict(&x)
+        })
+    });
+    group.bench_function("gbdt_r10", |b| {
+        b.iter(|| {
+            let mut m = GradientBoosting::new(10);
+            m.fit(&x, &y);
+            m.predict(&x)
+        })
+    });
+    group.bench_function("kmeans", |b| b.iter(|| KMeans::new(4).fit_predict(&x)));
+    group.bench_function("iforest", |b| {
+        b.iter(|| {
+            let mut m = IsolationForest::new();
+            m.fit(&x);
+            m.score(&x)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyzers);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Microbenchmark: DTW's quadratic scaling in series length — the cost
+//! curve behind the long-series axis (E1d), where the shapelet transform's
+//! capped-window cost overtakes DTW-1NN.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcsl_baselines::dtw::dtw_distance;
+use tcsl_data::TimeSeries;
+use tcsl_tensor::rng::seeded;
+use tcsl_tensor::Tensor;
+
+fn bench_dtw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtw_distance");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &t in &[64usize, 128, 256, 512] {
+        let mut rng = seeded(3);
+        let a = TimeSeries::new(Tensor::randn([1, t], &mut rng));
+        let b = TimeSeries::new(Tensor::randn([1, t], &mut rng));
+        group.bench_with_input(BenchmarkId::new("full", t), &t, |bch, _| {
+            bch.iter(|| dtw_distance(&a, &b, None))
+        });
+        group.bench_with_input(BenchmarkId::new("band10pct", t), &t, |bch, _| {
+            bch.iter(|| dtw_distance(&a, &b, Some(t / 10)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dtw);
+criterion_main!(benches);

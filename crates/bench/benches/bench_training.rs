@@ -1,0 +1,63 @@
+//! Microbenchmark: one pre-training step of CSL vs the CNN contrastive
+//! baseline — the per-step side of the Figure-1 training-efficiency axis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcsl_baselines::{CnnArch, CnnUrl, Objective, UrlConfig};
+use tcsl_core::{pretrain, CslConfig};
+use tcsl_data::archive;
+use tcsl_shapelet::{init::init_from_data, ShapeletBank, ShapeletConfig};
+use tcsl_tensor::rng::seeded;
+
+fn bench_csl_epoch(c: &mut Criterion) {
+    let entry = archive::by_name("MotifEasy").unwrap();
+    let (train, _) = archive::generate_split(&entry, 9);
+    let train = train.znormed();
+    let scfg = ShapeletConfig::adaptive(train.max_len());
+    let mut group = c.benchmark_group("pretraining_one_epoch");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    group.bench_function("csl", |b| {
+        b.iter_batched(
+            || {
+                let mut bank = ShapeletBank::new(&scfg, 1);
+                init_from_data(&mut bank, &train, 2, &mut seeded(1));
+                bank
+            },
+            |mut bank| {
+                let cfg = CslConfig {
+                    epochs: 1,
+                    batch_size: 16,
+                    seed: 1,
+                    ..Default::default()
+                };
+                pretrain(&mut bank, &train, &cfg)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("cnn_simclr", |b| {
+        b.iter_batched(
+            || {
+                CnnUrl::new(
+                    1,
+                    Objective::InstanceContrast,
+                    CnnArch::default(),
+                    UrlConfig {
+                        epochs: 1,
+                        batch_size: 16,
+                        seed: 1,
+                        ..Default::default()
+                    },
+                )
+            },
+            |mut url| url.pretrain(&train),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_csl_epoch);
+criterion_main!(benches);

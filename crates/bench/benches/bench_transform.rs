@@ -1,0 +1,48 @@
+//! Microbenchmark: shapelet-transform throughput across series lengths and
+//! variable counts — the per-query cost of the freezing mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcsl_data::TimeSeries;
+use tcsl_shapelet::transform::transform_series;
+use tcsl_shapelet::{ShapeletBank, ShapeletConfig};
+use tcsl_tensor::rng::seeded;
+use tcsl_tensor::Tensor;
+
+fn bench_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shapelet_transform");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &t in &[128usize, 256, 512] {
+        for &d in &[1usize, 3] {
+            let mut rng = seeded(1);
+            let mut bank = ShapeletBank::new(&ShapeletConfig::adaptive(t), d);
+            bank.randomize(&mut rng);
+            let series = TimeSeries::new(Tensor::randn([d, t], &mut rng));
+            group.bench_with_input(BenchmarkId::new(format!("adaptive_d{d}"), t), &t, |b, _| {
+                b.iter(|| transform_series(&bank, &series))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_transform_long_stride(c: &mut Criterion) {
+    // The capped-window configuration used on multi-thousand-step series
+    // (E1d): cost should grow sub-quadratically thanks to the stride.
+    let mut group = c.benchmark_group("shapelet_transform_long");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &t in &[1024usize, 4096] {
+        let mut rng = seeded(2);
+        let mut bank = ShapeletBank::new(&ShapeletConfig::adaptive_long(t, 256), 1);
+        bank.randomize(&mut rng);
+        let series = TimeSeries::new(Tensor::randn([1, t], &mut rng));
+        group.bench_with_input(BenchmarkId::new("capped256", t), &t, |b, _| {
+            b.iter(|| transform_series(&bank, &series))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform, bench_transform_long_stride);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Microbenchmark: t-SNE layout cost for the interactive exploration view
+//! (Fig. 3e) at typical dataset sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcsl_explore::tsne::{tsne, TsneConfig};
+use tcsl_tensor::rng::seeded;
+use tcsl_tensor::Tensor;
+
+fn bench_tsne(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tsne");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &n in &[40usize, 80] {
+        let mut rng = seeded(4);
+        let x = Tensor::randn([n, 24], &mut rng);
+        let cfg = TsneConfig {
+            iterations: 100,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("iter100", n), &n, |b, _| {
+            b.iter(|| tsne(&x, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tsne);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! E6 (extension) — ablations of CSL's design choices, the decisions the
+//! research paper motivates: multi-scale banks, multiple (dis)similarity
+//! measures, multi-grained contrasting, the multi-scale alignment term, and
+//! data-driven shapelet initialization.
+//!
+//! For each variant, the freeze-mode SVM accuracy is averaged over three
+//! archive datasets.
+//!
+//! Usage: `cargo run -p tcsl-bench --release --bin exp_ablation`
+
+use tcsl_analyzers::classify::LinearSvm;
+use tcsl_analyzers::Classifier;
+use tcsl_core::{pretrain, CslConfig};
+use tcsl_data::archive;
+use tcsl_eval::metrics::classification::accuracy;
+use tcsl_eval::Table;
+use tcsl_shapelet::init::init_from_data;
+use tcsl_shapelet::transform::transform_dataset;
+use tcsl_shapelet::{Measure, ShapeletBank, ShapeletConfig};
+use tcsl_tensor::rng::seeded;
+
+const DATASETS: [&str; 3] = ["MotifMulti", "GestureSmall", "PeriodicWave"];
+const SEED: u64 = 9;
+
+struct Variant {
+    name: &'static str,
+    shapelet: fn(usize) -> ShapeletConfig,
+    csl: fn() -> CslConfig,
+    random_init: bool,
+}
+
+fn base_shapelets(t: usize) -> ShapeletConfig {
+    ShapeletConfig::adaptive(t)
+}
+
+fn base_csl() -> CslConfig {
+    CslConfig {
+        epochs: 10,
+        batch_size: 16,
+        seed: SEED,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let variants: Vec<Variant> = vec![
+        Variant {
+            name: "full CSL",
+            shapelet: base_shapelets,
+            csl: base_csl,
+            random_init: false,
+        },
+        Variant {
+            name: "no alignment (λ=0)",
+            shapelet: base_shapelets,
+            csl: || CslConfig {
+                alignment_weight: 0.0,
+                ..base_csl()
+            },
+            random_init: false,
+        },
+        Variant {
+            name: "single grain (1.0)",
+            shapelet: base_shapelets,
+            csl: || CslConfig {
+                grains: vec![1.0],
+                ..base_csl()
+            },
+            random_init: false,
+        },
+        Variant {
+            name: "euclidean only",
+            shapelet: |t| ShapeletConfig {
+                measures: vec![Measure::Euclidean],
+                ..base_shapelets(t)
+            },
+            csl: base_csl,
+            random_init: false,
+        },
+        Variant {
+            name: "single scale (0.2T)",
+            shapelet: |t| {
+                let len = ((t as f32) * 0.2).ceil() as usize;
+                ShapeletConfig {
+                    lengths: vec![len.max(3)],
+                    ..base_shapelets(t)
+                }
+            },
+            csl: base_csl,
+            random_init: false,
+        },
+        Variant {
+            name: "K=3 per group",
+            shapelet: |t| ShapeletConfig {
+                k_per_group: 3,
+                ..base_shapelets(t)
+            },
+            csl: base_csl,
+            random_init: false,
+        },
+        Variant {
+            name: "random init",
+            shapelet: base_shapelets,
+            csl: base_csl,
+            random_init: true,
+        },
+        Variant {
+            name: "no training (init only)",
+            shapelet: base_shapelets,
+            csl: || CslConfig {
+                epochs: 1,
+                learning_rate: 1e-9,
+                ..base_csl()
+            },
+            random_init: false,
+        },
+    ];
+
+    let mut table = Table::new(
+        &std::iter::once("variant")
+            .chain(DATASETS.iter().copied())
+            .chain(std::iter::once("mean"))
+            .collect::<Vec<_>>(),
+    );
+    for v in &variants {
+        let mut scores = Vec::new();
+        for name in DATASETS {
+            let entry = archive::by_name(name).expect("dataset");
+            let (train, test) = archive::generate_split(&entry, SEED);
+            let normed_train = train.znormed();
+            let scfg = (v.shapelet)(normed_train.max_len());
+            let mut bank = ShapeletBank::new(&scfg, normed_train.n_vars());
+            if v.random_init {
+                bank.randomize(&mut seeded(SEED));
+            } else {
+                init_from_data(&mut bank, &normed_train, 4, &mut seeded(SEED));
+            }
+            pretrain(&mut bank, &normed_train, &(v.csl)());
+            let ztr = transform_dataset(&bank, &normed_train);
+            let zte = transform_dataset(&bank, &test.znormed());
+            let mut svm = LinearSvm::new();
+            svm.fit(&ztr, train.labels().unwrap());
+            scores.push(accuracy(&svm.predict(&zte), test.labels().unwrap()));
+        }
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        let mut row = scores;
+        row.push(mean);
+        table.row_metric(v.name, &row);
+        println!("  finished variant: {}", v.name);
+    }
+    println!("\n=== E6: CSL design ablations (freeze-mode SVM accuracy) ===");
+    println!("{}", table.to_ascii());
+    println!(
+        "expected shape: the full configuration is at or near the top; dropping\n\
+         scales/measures or skipping training costs accuracy, data-driven init\n\
+         beats random init."
+    );
+}

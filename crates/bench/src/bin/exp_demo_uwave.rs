@@ -1,0 +1,80 @@
+//! E2 — regenerates the §3 demonstration walkthrough on the gesture data
+//! (UWaveGestureLibrary stand-in): SVM accuracy when restricting the
+//! learned bank to each single shapelet length, then to all lengths.
+//!
+//! Paper's reported numbers: 0.75 @ L=31, 0.85 @ L=97, 0.89 @ L=188,
+//! 0.91 with all shapelets — accuracy grows with shapelet length and the
+//! full multi-scale bank is best. The *shape* of that curve is what this
+//! binary reproduces.
+//!
+//! Usage: `cargo run -p tcsl-bench --release --bin exp_demo_uwave`
+
+use tcsl_bench::harness::svm_accuracy;
+use tcsl_core::{CslConfig, TimeCsl};
+use tcsl_data::archive;
+use tcsl_eval::Table;
+
+fn main() {
+    let entry = archive::by_name("GestureFull").expect("archive entry");
+    let (train, test) = archive::generate_split(&entry, 31);
+    println!(
+        "E2: gesture dataset (UWave stand-in): {} train / {} test, D={}, {} classes, T={}",
+        train.len(),
+        test.len(),
+        train.n_vars(),
+        train.n_classes(),
+        train.max_len()
+    );
+
+    let csl_cfg = CslConfig {
+        epochs: 12,
+        batch_size: 16,
+        seed: 1,
+        ..Default::default()
+    };
+    let (model, report) = TimeCsl::pretrain(&train, None, &csl_cfg);
+    println!(
+        "pre-trained {} shapelets over scales {:?} in {:.2?}\n",
+        model.repr_dim(),
+        model.bank().scales(),
+        report.wall_time
+    );
+
+    let ytr = train.labels().unwrap();
+    let yte = test.labels().unwrap();
+    let mut table = Table::new(&["shapelet selection", "SVM accuracy", "paper (shape)"]);
+    let paper = ["0.75 (L=31)", "0.85 (L=97)", "—", "0.89 (L=188)"];
+    let mut per_scale = Vec::new();
+    for (i, len) in model.bank().scales().into_iter().enumerate() {
+        let sub = model.with_scale(len);
+        let acc = svm_accuracy(&sub.transform(&train), ytr, &sub.transform(&test), yte);
+        per_scale.push(acc);
+        table.row(vec![
+            format!("length {len} only"),
+            format!("{acc:.3}"),
+            paper.get(i).unwrap_or(&"—").to_string(),
+        ]);
+    }
+    let all = svm_accuracy(&model.transform(&train), ytr, &model.transform(&test), yte);
+    table.row(vec![
+        "ALL shapelets".into(),
+        format!("{all:.3}"),
+        "0.91".into(),
+    ]);
+    println!("{}", table.to_ascii());
+
+    let monotone = per_scale.windows(2).all(|w| w[1] >= w[0] - 0.02);
+    println!(
+        "shape check: accuracy non-decreasing with length: {}",
+        if monotone { "YES" } else { "NO" }
+    );
+    println!(
+        "shape check: all-scales ({all:.3}) >= best single scale ({:.3}): {}",
+        per_scale.iter().copied().fold(0.0f64, f64::max),
+        if all >= per_scale.iter().copied().fold(0.0f64, f64::max) - 0.02 {
+            "YES"
+        } else {
+            "NO"
+        }
+    );
+}

@@ -1,0 +1,84 @@
+//! E5 — renders the paper's **Figure 3** panels headlessly: (a) raw series,
+//! (b) shapelet↔subsequence match, (c) learned shapelets, (d) tabular
+//! feature view with per-shapelet sorting, (e) t-SNE of the representation.
+//! Output: SVG/text files under `target/fig3/`.
+//!
+//! Usage: `cargo run -p tcsl-bench --release --bin exp_explore_render`
+
+use std::fs;
+use std::path::PathBuf;
+use tcsl_core::{CslConfig, TimeCsl};
+use tcsl_data::archive;
+use tcsl_explore::{svg, ExploreSession, TsneConfig};
+
+fn main() -> std::io::Result<()> {
+    let out = PathBuf::from("target/fig3");
+    fs::create_dir_all(&out)?;
+
+    let entry = archive::by_name("GestureFull").expect("archive entry");
+    let (train, test) = archive::generate_split(&entry, 31);
+    let csl_cfg = CslConfig {
+        epochs: 10,
+        batch_size: 16,
+        seed: 5,
+        ..Default::default()
+    };
+    let (model, report) = TimeCsl::pretrain(&train, None, &csl_cfg);
+
+    fs::write(
+        out.join("learning_curve.svg"),
+        svg::learning_curve_chart(&report.epoch_total, "CSL training loss (step 2 diagnostic)"),
+    )?;
+
+    let session = ExploreSession::new(model, test.clone());
+
+    // (a) raw time series — a few per class.
+    for i in [0usize, 10, 20] {
+        fs::write(
+            out.join(format!("a_series_{i}.svg")),
+            session.render_series(i),
+        )?;
+    }
+    // (c) learned shapelets — one per scale.
+    let scales = session.model().bank().scales();
+    for (si, len) in scales.iter().enumerate() {
+        // First feature column of that scale.
+        let col = session
+            .model()
+            .bank()
+            .scale_columns()
+            .into_iter()
+            .find(|(l, _)| l == len)
+            .map(|(_, r)| r.start)
+            .unwrap();
+        fs::write(
+            out.join(format!("c_shapelet_scale{si}_len{len}.svg")),
+            session.render_shapelet(col),
+        )?;
+    }
+    // (b) the Match button.
+    let m = session.match_shapelet(0, 0);
+    println!(
+        "match: shapelet 0 ↔ series 0 at t={}..{} ({} {:.4})",
+        m.start,
+        m.start + m.len,
+        m.measure.name(),
+        m.score
+    );
+    fs::write(out.join("b_match.svg"), session.render_match(0, 0))?;
+
+    // (d) tabular view, sorted by the first euclidean shapelet.
+    let table = session.tabular(Some(&[0, 1, 2, 3, 4, 5]));
+    let order = table.sort_by(0, true);
+    fs::write(out.join("d_tabular.txt"), table.render(Some(&order)))?;
+
+    // (e) t-SNE of the full representation, coloured by class.
+    let cfg = TsneConfig {
+        iterations: 300,
+        ..Default::default()
+    };
+    fs::write(out.join("e_tsne.svg"), session.render_tsne(None, &cfg))?;
+
+    println!("Figure 3 panels written to {}", out.display());
+    Ok(())
+}

@@ -1,0 +1,190 @@
+//! E1 — regenerates the paper's **Figure 1**: the aggregate comparison of
+//! CSL against the competitors along five axes (classification, clustering,
+//! anomaly detection, long-series representation, training efficiency),
+//! reported as per-dataset scores plus average ranks (smaller = better).
+//!
+//! Usage:
+//! ```text
+//! cargo run -p tcsl-bench --release --bin exp_fig1 -- [classification|clustering|anomaly|long|efficiency|all]
+//! ```
+
+use tcsl_bench::harness::{run_anomaly_entry, run_classification_entry, run_long_entry};
+use tcsl_data::archive;
+use tcsl_eval::ranking::{average_ranks, Direction};
+use tcsl_eval::Table;
+
+const SEED: u64 = 2024;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match which.as_str() {
+        "classification" => classification_and_friends(true, false, false),
+        "clustering" => classification_and_friends(false, true, false),
+        "efficiency" => classification_and_friends(false, false, true),
+        "anomaly" => anomaly(),
+        "long" => long(),
+        "all" => {
+            classification_and_friends(true, true, true);
+            anomaly();
+            long();
+        }
+        other => {
+            eprintln!(
+                "unknown axis '{other}'; use classification|clustering|anomaly|long|efficiency|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The classification suite drives three Figure-1 axes at once: accuracy
+/// (E1a), clustering NMI (E1b) and training time (E1e).
+fn classification_and_friends(do_acc: bool, do_nmi: bool, do_eff: bool) {
+    let entries = archive::classification_suite();
+    println!(
+        "\n=== Figure 1: classification suite ({} datasets) ===",
+        entries.len()
+    );
+    let results: Vec<_> = entries
+        .iter()
+        .map(|e| {
+            let r = run_classification_entry(e, SEED);
+            println!("  finished {}", r.dataset);
+            r
+        })
+        .collect();
+    let methods = results[0].methods.clone();
+
+    if do_acc {
+        println!("\n--- E1a: classification accuracy (freeze-mode SVM; DTW-1NN raw) ---");
+        let mut table = Table::new(
+            &std::iter::once("dataset")
+                .chain(methods.iter().copied())
+                .collect::<Vec<_>>(),
+        );
+        for r in &results {
+            table.row_metric(&r.dataset, &r.accuracy);
+        }
+        println!("{}", table.to_ascii());
+        let scores: Vec<Vec<f64>> = results.iter().map(|r| r.accuracy.clone()).collect();
+        print_ranks("accuracy", &methods, &scores, Direction::HigherIsBetter);
+    }
+
+    if do_nmi {
+        println!("\n--- E1b: clustering NMI (k-means on representations; DTW excluded) ---");
+        let repr_methods: Vec<&str> = methods[..5].to_vec();
+        let mut table = Table::new(
+            &std::iter::once("dataset")
+                .chain(repr_methods.iter().copied())
+                .collect::<Vec<_>>(),
+        );
+        for r in &results {
+            table.row_metric(&r.dataset, &r.nmi[..5]);
+        }
+        println!("{}", table.to_ascii());
+        let scores: Vec<Vec<f64>> = results.iter().map(|r| r.nmi[..5].to_vec()).collect();
+        print_ranks("NMI", &repr_methods, &scores, Direction::HigherIsBetter);
+    }
+
+    if do_eff {
+        println!("\n--- E1e: training efficiency (pre-training seconds, equal epochs) ---");
+        let trained: Vec<&str> = vec![methods[0], methods[1], methods[2], methods[3]];
+        let mut table = Table::new(
+            &std::iter::once("dataset")
+                .chain(trained.iter().copied())
+                .collect::<Vec<_>>(),
+        );
+        for r in &results {
+            table.row_metric(&r.dataset, &r.train_time[..4]);
+        }
+        println!("{}", table.to_ascii());
+        let scores: Vec<Vec<f64>> = results.iter().map(|r| r.train_time[..4].to_vec()).collect();
+        print_ranks("train time", &trained, &scores, Direction::LowerIsBetter);
+    }
+}
+
+/// E1c: anomaly detection — isolation forest over each representation.
+fn anomaly() {
+    let entries = archive::anomaly_suite();
+    println!(
+        "\n=== Figure 1: anomaly-detection suite ({} datasets) ===",
+        entries.len()
+    );
+    let mut all_scores = Vec::new();
+    let mut methods: Vec<&str> = Vec::new();
+    let mut table: Option<Table> = None;
+    for e in &entries {
+        let (name, ms, aucs) = run_anomaly_entry(e, SEED);
+        if table.is_none() {
+            methods = ms.clone();
+            table = Some(Table::new(
+                &std::iter::once("dataset")
+                    .chain(ms.iter().copied())
+                    .collect::<Vec<_>>(),
+            ));
+        }
+        table.as_mut().unwrap().row_metric(&name, &aucs);
+        all_scores.push(aucs);
+        println!("  finished {name}");
+    }
+    println!("\n--- E1c: anomaly ROC-AUC (isolation forest on representations) ---");
+    println!("{}", table.unwrap().to_ascii());
+    print_ranks("AUC", &methods, &all_scores, Direction::HigherIsBetter);
+}
+
+/// E1d: long-series representation — accuracy and total time vs T.
+fn long() {
+    let entries = archive::long_suite();
+    println!(
+        "\n=== Figure 1: long-series suite ({} datasets) ===",
+        entries.len()
+    );
+    let mut acc_scores = Vec::new();
+    let mut time_scores = Vec::new();
+    let mut methods: Vec<&str> = Vec::new();
+    let mut acc_table: Option<Table> = None;
+    let mut time_table: Option<Table> = None;
+    for e in &entries {
+        let r = run_long_entry(e, SEED);
+        if acc_table.is_none() {
+            methods = r.methods.clone();
+            let headers: Vec<&str> = std::iter::once("dataset")
+                .chain(methods.iter().copied())
+                .collect();
+            acc_table = Some(Table::new(&headers));
+            time_table = Some(Table::new(&headers));
+        }
+        acc_table
+            .as_mut()
+            .unwrap()
+            .row_metric(&r.dataset, &r.accuracy);
+        time_table
+            .as_mut()
+            .unwrap()
+            .row_metric(&r.dataset, &r.total_time);
+        acc_scores.push(r.accuracy);
+        time_scores.push(r.total_time);
+        println!("  finished {}", r.dataset);
+    }
+    println!("\n--- E1d: long-series accuracy ---");
+    println!("{}", acc_table.unwrap().to_ascii());
+    print_ranks("accuracy", &methods, &acc_scores, Direction::HigherIsBetter);
+    println!("--- E1d: long-series total wall time (train+encode+classify, s) ---");
+    println!("{}", time_table.unwrap().to_ascii());
+    print_ranks("time", &methods, &time_scores, Direction::LowerIsBetter);
+}
+
+fn print_ranks(metric: &str, methods: &[&str], scores: &[Vec<f64>], dir: Direction) {
+    let summary = average_ranks(methods, scores, dir);
+    let mut table = Table::new(&["method", "avg rank", "wins"]);
+    for (i, m) in summary.methods.iter().enumerate() {
+        table.row(vec![
+            m.clone(),
+            format!("{:.2}", summary.mean_ranks[i]),
+            summary.wins[i].to_string(),
+        ]);
+    }
+    println!("average ranks by {metric} (1 = best):");
+    println!("{}", table.to_ascii());
+    println!("best method: {}\n", summary.methods[summary.best_method()]);
+}

@@ -1,0 +1,135 @@
+//! E4 — exercises the paper's **Figure 2** pipeline end to end: one
+//! unsupervised pre-training run, then classification, clustering and
+//! anomaly detection all from the same Shapelet Transformer, in both
+//! freezing and fine-tuning modes.
+//!
+//! Usage: `cargo run -p tcsl-bench --release --bin exp_pipeline`
+
+use tcsl_analyzers::anomaly::{IsolationForest, KnnDistance};
+use tcsl_analyzers::classify::{GradientBoosting, KnnClassifier, LinearSvm, LogisticRegression};
+use tcsl_analyzers::cluster::{Agglomerative, KMeans};
+use tcsl_analyzers::{AnomalyScorer, Classifier, Clusterer};
+use tcsl_core::{CslConfig, FineTuneConfig, TimeCsl};
+use tcsl_data::archive;
+use tcsl_eval::metrics::anomaly::roc_auc;
+use tcsl_eval::metrics::classification::accuracy;
+use tcsl_eval::metrics::clustering::{adjusted_rand_index, nmi};
+use tcsl_eval::Table;
+
+fn main() {
+    // --- pre-train once -------------------------------------------------
+    let entry = archive::by_name("MotifMulti").expect("archive entry");
+    let (train, test) = archive::generate_split(&entry, 4);
+    println!(
+        "E4: unified pipeline on {} ({} train / {} test, {} classes)",
+        entry.name,
+        train.len(),
+        test.len(),
+        train.n_classes()
+    );
+    let csl_cfg = CslConfig {
+        epochs: 12,
+        batch_size: 16,
+        seed: 4,
+        ..Default::default()
+    };
+    let (model, report) = TimeCsl::pretrain(&train, None, &csl_cfg);
+    println!(
+        "pre-trained {} shapelets in {:.2?} ({} steps)\n",
+        model.repr_dim(),
+        report.wall_time,
+        report.n_steps
+    );
+
+    let ztr = model.transform(&train);
+    let zte = model.transform(&test);
+    let ytr = train.labels().unwrap();
+    let yte = test.labels().unwrap();
+
+    // --- freezing mode: swap analyzers freely ---------------------------
+    println!("--- freezing mode: classification analyzers on the same features ---");
+    let mut table = Table::new(&["analyzer", "accuracy"]);
+    let analyzers: Vec<(&str, Box<dyn Classifier>)> = vec![
+        ("SVM", Box::new(LinearSvm::new())),
+        ("logistic regression", Box::new(LogisticRegression::new())),
+        ("3-NN", Box::new(KnnClassifier::new(3))),
+        ("GBDT", Box::new(GradientBoosting::new(20))),
+    ];
+    for (name, mut clf) in analyzers {
+        clf.fit(&ztr, ytr);
+        table.row(vec![
+            name.into(),
+            format!("{:.3}", accuracy(&clf.predict(&zte), yte)),
+        ]);
+    }
+    println!("{}", table.to_ascii());
+
+    println!("--- freezing mode: clustering analyzers ---");
+    let mut table = Table::new(&["analyzer", "NMI", "ARI"]);
+    let mut km = KMeans::new(train.n_classes());
+    let assign = km.fit_predict(&zte);
+    table.row(vec![
+        "k-means".into(),
+        format!("{:.3}", nmi(&assign, yte)),
+        format!("{:.3}", adjusted_rand_index(&assign, yte)),
+    ]);
+    let mut ag = Agglomerative::new(train.n_classes());
+    let assign = ag.fit_predict(&zte);
+    table.row(vec![
+        "agglomerative".into(),
+        format!("{:.3}", nmi(&assign, yte)),
+        format!("{:.3}", adjusted_rand_index(&assign, yte)),
+    ]);
+    println!("{}", table.to_ascii());
+
+    println!("--- freezing mode: anomaly scorers (imposter noise series) ---");
+    let mut rng = tcsl_tensor::rng::seeded(9);
+    let imposters: Vec<tcsl_data::TimeSeries> = (0..20)
+        .map(|_| tcsl_data::TimeSeries::new(tcsl_tensor::Tensor::randn([2, 160], &mut rng)))
+        .collect();
+    let imposter_ds = tcsl_data::Dataset::unlabeled("imposters", imposters);
+    let zimp = model.transform(&imposter_ds);
+    let truth: Vec<bool> = (0..zte.rows())
+        .map(|_| false)
+        .chain((0..20).map(|_| true))
+        .collect();
+    let mut table = Table::new(&["scorer", "ROC-AUC"]);
+    for (name, scorer) in [
+        (
+            "isolation forest",
+            &mut (Box::new(IsolationForest::new()) as Box<dyn AnomalyScorer>),
+        ),
+        (
+            "kNN distance",
+            &mut (Box::new(KnnDistance::new(5)) as Box<dyn AnomalyScorer>),
+        ),
+    ] {
+        scorer.fit(&ztr);
+        let mut scores = scorer.score(&zte);
+        scores.extend(scorer.score(&zimp));
+        table.row(vec![
+            name.into(),
+            format!("{:.3}", roc_auc(&scores, &truth)),
+        ]);
+    }
+    println!("{}", table.to_ascii());
+
+    // --- fine-tuning mode -----------------------------------------------
+    println!("--- fine-tuning mode: linear head, shapelets updated jointly ---");
+    let mut tuned = model.clone();
+    let (head, ft_report) = tuned.fine_tune(
+        &train,
+        &FineTuneConfig {
+            epochs: 15,
+            seed: 4,
+            ..Default::default()
+        },
+    );
+    let acc = accuracy(&head.predict(&tuned.transform(&test)), yte);
+    println!(
+        "fine-tuned accuracy = {acc:.3} (loss {:.4} → {:.4} over {} epochs)",
+        ft_report.epoch_loss[0],
+        ft_report.epoch_loss.last().unwrap(),
+        ft_report.epoch_loss.len()
+    );
+}

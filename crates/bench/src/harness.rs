@@ -1,0 +1,200 @@
+//! Per-task evaluation harnesses shared by the experiment binaries.
+
+use crate::methods::{train_method, Method};
+use tcsl_analyzers::anomaly::IsolationForest;
+use tcsl_analyzers::classify::LinearSvm;
+use tcsl_analyzers::cluster::KMeans;
+use tcsl_analyzers::{AnomalyScorer, Classifier, Clusterer};
+use tcsl_baselines::Dtw1Nn;
+use tcsl_data::archive::ArchiveEntry;
+use tcsl_data::{archive, Dataset};
+use tcsl_eval::metrics::anomaly::roc_auc;
+use tcsl_eval::metrics::classification::accuracy;
+use tcsl_eval::metrics::clustering::nmi;
+
+/// All per-method results on one dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetResult {
+    /// Dataset name.
+    pub dataset: String,
+    /// Method names, fixed order.
+    pub methods: Vec<&'static str>,
+    /// Classification accuracy per method (freeze-mode SVM; DTW-1NN raw).
+    pub accuracy: Vec<f64>,
+    /// Clustering NMI per *representation* method (DTW excluded).
+    pub nmi: Vec<f64>,
+    /// Training wall time (seconds) per representation method.
+    pub train_time: Vec<f64>,
+}
+
+/// Trains every representation method plus DTW-1NN on one classification
+/// entry and evaluates accuracy, clustering NMI and training time.
+pub fn run_classification_entry(entry: &ArchiveEntry, seed: u64) -> DatasetResult {
+    let (train, test) = archive::generate_split(entry, seed);
+    let ytr = train.labels().expect("labeled entry");
+    let yte = test.labels().expect("labeled entry");
+    let n_classes = train.n_classes();
+
+    let mut methods: Vec<&'static str> = Vec::new();
+    let mut acc = Vec::new();
+    let mut nmis = Vec::new();
+    let mut times = Vec::new();
+
+    for m in Method::ALL {
+        let repr = train_method(m, &train, seed, false);
+        let ztr = repr.encode(&train);
+        let zte = repr.encode(&test);
+
+        let mut svm = LinearSvm::new();
+        svm.fit(&ztr, ytr);
+        acc.push(accuracy(&svm.predict(&zte), yte));
+
+        let mut km = KMeans::new(n_classes);
+        let assign = km.fit_predict(&zte);
+        nmis.push(nmi(&assign, yte));
+
+        times.push(repr.train_time.as_secs_f64());
+        methods.push(repr.name);
+    }
+
+    // DTW-1NN: classification only (no representation, no training).
+    let mut dtw = Dtw1Nn::new();
+    let t0 = std::time::Instant::now();
+    dtw.fit(&train);
+    acc.push(accuracy(&dtw.predict(&test), yte));
+    times.push(t0.elapsed().as_secs_f64()); // fit+predict = its entire cost
+    nmis.push(f64::NAN); // excluded from the clustering axis
+    methods.push("DTW-1NN");
+
+    DatasetResult {
+        dataset: entry.name.to_string(),
+        methods,
+        accuracy: acc,
+        nmi: nmis,
+        train_time: times,
+    }
+}
+
+/// Anomaly-detection evaluation: representation + isolation forest,
+/// ROC-AUC on the labeled test segments.
+pub fn run_anomaly_entry(entry: &ArchiveEntry, seed: u64) -> (String, Vec<&'static str>, Vec<f64>) {
+    let (train, test) = archive::generate_split(entry, seed);
+    let truth: Vec<bool> = test
+        .labels()
+        .expect("labeled")
+        .iter()
+        .map(|&l| l == 1)
+        .collect();
+    let mut names = Vec::new();
+    let mut aucs = Vec::new();
+    for m in Method::ALL {
+        let repr = train_method(m, &train.without_labels(), seed, false);
+        let ztr = repr.encode(&train);
+        let zte = repr.encode(&test);
+        let mut forest = IsolationForest::new();
+        forest.fit(&ztr);
+        let scores = forest.score(&zte);
+        names.push(repr.name);
+        aucs.push(roc_auc(&scores, &truth));
+    }
+    (entry.name.to_string(), names, aucs)
+}
+
+/// Long-series evaluation: accuracy and end-to-end time (train + encode +
+/// classify / DTW predict) per method.
+pub struct LongResult {
+    /// Dataset name.
+    pub dataset: String,
+    /// Method names.
+    pub methods: Vec<&'static str>,
+    /// Accuracy per method.
+    pub accuracy: Vec<f64>,
+    /// Total wall time (seconds) per method.
+    pub total_time: Vec<f64>,
+}
+
+/// Runs the long-series suite entry with CSL (capped windows), one CNN
+/// baseline, statistics and DTW-1NN.
+pub fn run_long_entry(entry: &ArchiveEntry, seed: u64) -> LongResult {
+    let (train, test) = archive::generate_split(entry, seed);
+    let ytr = train.labels().unwrap();
+    let yte = test.labels().unwrap();
+    let mut methods = Vec::new();
+    let mut acc = Vec::new();
+    let mut total = Vec::new();
+
+    for m in [Method::Csl, Method::CnnSimclr, Method::StatFeatures] {
+        let t0 = std::time::Instant::now();
+        let repr = train_method(m, &train, seed, true);
+        let ztr = repr.encode(&train);
+        let zte = repr.encode(&test);
+        let mut svm = LinearSvm::new();
+        svm.fit(&ztr, ytr);
+        let a = accuracy(&svm.predict(&zte), yte);
+        methods.push(repr.name);
+        acc.push(a);
+        total.push(t0.elapsed().as_secs_f64());
+    }
+
+    let t0 = std::time::Instant::now();
+    let mut dtw = Dtw1Nn::new();
+    dtw.fit(&train);
+    let a = accuracy(&dtw.predict(&test), yte);
+    methods.push("DTW-1NN");
+    acc.push(a);
+    total.push(t0.elapsed().as_secs_f64());
+
+    LongResult {
+        dataset: entry.name.to_string(),
+        methods,
+        accuracy: acc,
+        total_time: total,
+    }
+}
+
+/// Convenience: evaluates a frozen feature matrix pair with a linear SVM.
+pub fn svm_accuracy(
+    ztr: &tcsl_tensor::Tensor,
+    ytr: &[usize],
+    zte: &tcsl_tensor::Tensor,
+    yte: &[usize],
+) -> f64 {
+    let mut svm = LinearSvm::new();
+    svm.fit(ztr, ytr);
+    accuracy(&svm.predict(zte), yte)
+}
+
+/// Convenience: subset of `ds` with a stratified labeled fraction.
+pub fn labeled_fraction(ds: &Dataset, frac: f32, seed: u64) -> Dataset {
+    let mut rng = tcsl_tensor::rng::seeded(seed);
+    let (labeled, _) = tcsl_data::split::label_fraction_split(ds, frac, &mut rng);
+    labeled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_entry_produces_full_rows() {
+        let entry = archive::by_name("MotifEasy").unwrap();
+        let res = run_classification_entry(&entry, 77);
+        assert_eq!(res.methods.len(), 6); // 5 representations + DTW
+        assert_eq!(res.accuracy.len(), 6);
+        assert!(res.accuracy.iter().all(|&a| (0.0..=1.0).contains(&a)));
+        // NMI defined for the 5 representation methods, NaN for DTW.
+        assert!(res.nmi[..5].iter().all(|&v| v.is_finite()));
+        assert!(res.nmi[5].is_nan());
+        // CSL trains, statistics don't.
+        assert!(res.train_time[0] > 0.0);
+        assert_eq!(res.train_time[4], 0.0);
+    }
+
+    #[test]
+    fn anomaly_entry_produces_aucs() {
+        let entry = archive::by_name("AnomSpike").unwrap();
+        let (_, names, aucs) = run_anomaly_entry(&entry, 78);
+        assert_eq!(names.len(), 5);
+        assert!(aucs.iter().all(|&a| (0.0..=1.0).contains(&a)));
+    }
+}

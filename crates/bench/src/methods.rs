@@ -1,0 +1,143 @@
+//! Unified wrappers around every representation method the experiments
+//! compare, so the harness can treat "train on this dataset, embed that
+//! one" uniformly.
+
+use std::time::Duration;
+use tcsl_baselines::{features, CnnArch, CnnUrl, Objective, UrlConfig};
+use tcsl_core::{CslConfig, TimeCsl};
+use tcsl_data::Dataset;
+use tcsl_shapelet::ShapeletConfig;
+use tcsl_tensor::Tensor;
+
+/// The representation methods of the Figure-1 comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Contrastive Shapelet Learning (this paper).
+    Csl,
+    /// CNN encoder + SimCLR/TS2Vec-style instance contrasting.
+    CnnSimclr,
+    /// CNN encoder + T-Loss-style triplet loss.
+    CnnTloss,
+    /// CNN encoder + TNC-style temporal neighbourhood coding.
+    CnnTnc,
+    /// Hand-crafted statistical features (no training).
+    StatFeatures,
+}
+
+impl Method {
+    /// All representation methods, CSL first.
+    pub const ALL: [Method; 5] = [
+        Method::Csl,
+        Method::CnnSimclr,
+        Method::CnnTloss,
+        Method::CnnTnc,
+        Method::StatFeatures,
+    ];
+
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Csl => "CSL",
+            Method::CnnSimclr => "CNN-SimCLR",
+            Method::CnnTloss => "CNN-TLoss",
+            Method::CnnTnc => "CNN-TNC",
+            Method::StatFeatures => "StatFeat",
+        }
+    }
+}
+
+/// A trained representation: a name, its training cost, and an embed
+/// function.
+pub struct TrainedRepr {
+    /// Method display name.
+    pub name: &'static str,
+    /// Unsupervised training wall time (zero for untrained methods).
+    pub train_time: Duration,
+    embed: Box<dyn Fn(&Dataset) -> Tensor + Send + Sync>,
+}
+
+impl TrainedRepr {
+    /// Embeds a dataset into the method's feature space.
+    pub fn encode(&self, ds: &Dataset) -> Tensor {
+        (self.embed)(ds)
+    }
+}
+
+/// Epoch budget shared by all trained methods (so the efficiency axis
+/// compares time per equal epochs).
+pub const EPOCHS: usize = 10;
+
+/// Trains `method` on `train`. `long_series` switches CSL to its capped-
+/// window configuration (and shrinks the CNN batch) for multi-thousand-step
+/// series.
+pub fn train_method(method: Method, train: &Dataset, seed: u64, long_series: bool) -> TrainedRepr {
+    match method {
+        Method::Csl => {
+            let csl_cfg = CslConfig {
+                epochs: EPOCHS,
+                batch_size: 16,
+                seed,
+                ..Default::default()
+            };
+            let shapelet_cfg = if long_series {
+                Some(ShapeletConfig::adaptive_long(train.max_len(), 256))
+            } else {
+                None
+            };
+            let (model, report) = TimeCsl::pretrain(train, shapelet_cfg, &csl_cfg);
+            TrainedRepr {
+                name: Method::Csl.name(),
+                train_time: report.wall_time,
+                embed: Box::new(move |ds| model.transform(ds)),
+            }
+        }
+        Method::CnnSimclr | Method::CnnTloss | Method::CnnTnc => {
+            let objective = match method {
+                Method::CnnSimclr => Objective::InstanceContrast,
+                Method::CnnTloss => Objective::Triplet,
+                _ => Objective::TemporalNeighbourhood,
+            };
+            let arch = CnnArch::default();
+            let cfg = UrlConfig {
+                epochs: EPOCHS,
+                batch_size: if long_series { 8 } else { 16 },
+                seed,
+                ..Default::default()
+            };
+            let mut url = CnnUrl::new(train.n_vars(), objective, arch, cfg);
+            let (time, _curve) = url.pretrain(&train.znormed());
+            TrainedRepr {
+                name: method.name(),
+                train_time: time,
+                embed: Box::new(move |ds| url.encode(&ds.znormed())),
+            }
+        }
+        Method::StatFeatures => TrainedRepr {
+            name: Method::StatFeatures.name(),
+            train_time: Duration::ZERO,
+            embed: Box::new(|ds| features::extract_dataset(&ds.znormed())),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsl_data::archive;
+
+    #[test]
+    fn every_method_trains_and_encodes() {
+        let entry = archive::by_name("MotifEasy").unwrap();
+        let (train, test) = archive::generate_split(&entry, 500);
+        let small = train.subset(&(0..12).collect::<Vec<_>>(), "small");
+        for m in Method::ALL {
+            let repr = train_method(m, &small, 1, false);
+            let z = repr.encode(&test);
+            assert_eq!(z.rows(), test.len(), "{}", repr.name);
+            assert!(z.all_finite(), "{}", repr.name);
+            if m != Method::StatFeatures {
+                assert!(repr.train_time.as_nanos() > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! CSL training hyperparameters.
+
+/// Configuration of unsupervised contrastive shapelet learning.
+#[derive(Clone, Debug)]
+pub struct CslConfig {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Series per minibatch (each contributes two views per grain).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// NT-Xent softmax temperature τ.
+    pub temperature: f32,
+    /// Weight λ of the multi-scale alignment term.
+    pub alignment_weight: f32,
+    /// Crop-length fractions (the "grains" of multi-grained contrasting).
+    pub grains: Vec<f32>,
+    /// Minimum crop length in steps.
+    pub min_crop: usize,
+    /// Candidate-pool oversampling factor for shapelet initialization.
+    pub init_oversample: usize,
+    /// Fraction of series held out for a per-epoch validation loss
+    /// (0 disables validation — the default). The demo's GUI plots this
+    /// curve to diagnose over/under-fitting (§3, step 2).
+    pub validation_frac: f32,
+    /// RNG seed controlling initialization, batching and view sampling.
+    pub seed: u64,
+}
+
+impl Default for CslConfig {
+    fn default() -> Self {
+        CslConfig {
+            epochs: 20,
+            batch_size: 16,
+            learning_rate: 0.02,
+            temperature: 0.2,
+            alignment_weight: 0.5,
+            grains: vec![0.5, 0.75, 1.0],
+            min_crop: 8,
+            init_oversample: 4,
+            validation_frac: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl CslConfig {
+    /// A reduced-budget configuration for unit tests and smoke runs.
+    pub fn fast() -> Self {
+        CslConfig {
+            epochs: 4,
+            batch_size: 8,
+            grains: vec![0.6, 1.0],
+            ..Default::default()
+        }
+    }
+
+    /// Validates invariants; called by the trainer.
+    pub fn validate(&self) {
+        assert!(self.epochs >= 1, "need at least one epoch");
+        assert!(
+            self.batch_size >= 2,
+            "contrastive learning needs batch_size >= 2"
+        );
+        assert!(self.learning_rate > 0.0, "learning rate must be positive");
+        assert!(self.temperature > 0.0, "temperature must be positive");
+        assert!(
+            self.alignment_weight >= 0.0,
+            "alignment weight must be non-negative"
+        );
+        assert!(!self.grains.is_empty(), "need at least one grain");
+        assert!(
+            self.grains.iter().all(|&g| g > 0.0 && g <= 1.0),
+            "grains must be in (0, 1]"
+        );
+        assert!(
+            (0.0..0.9).contains(&self.validation_frac),
+            "validation_frac must be in [0, 0.9)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        CslConfig::default().validate();
+        CslConfig::fast().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size")]
+    fn tiny_batch_rejected() {
+        CslConfig {
+            batch_size: 1,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "grains")]
+    fn bad_grain_rejected() {
+        CslConfig {
+            grains: vec![1.5],
+            ..Default::default()
+        }
+        .validate();
+    }
+}

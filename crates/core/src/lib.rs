@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # tcsl-core
+//!
+//! **Contrastive Shapelet Learning (CSL)** and the TimeCSL unified pipeline
+//! (paper §2).
+//!
+//! The crate trains the Shapelet Transformer `f` from `tcsl-shapelet`
+//! without labels, by jointly optimizing:
+//!
+//! * **Multi-Grained Contrasting** ([`loss::nt_xent`]): two random crops of
+//!   the same series — sampled at several *grains* (crop-length fractions)
+//!   — are positives, crops of other series in the batch are negatives;
+//!   NT-Xent is applied per grain and averaged.
+//! * **Multi-Scale Alignment** ([`loss::multi_scale_alignment`]): the
+//!   per-scale sub-embeddings of one series are pulled toward consistent
+//!   geometry across scales.
+//!
+//! After pre-training, [`pipeline::TimeCsl`] exposes the paper's two modes:
+//! *freezing* (extract features, hand them to any analyzer) and
+//! *fine-tuning* ([`finetune`]: a linear head `g` stacked on `f`, both
+//! updated by backpropagation — the semi-supervised configuration of §2.2).
+
+pub mod config;
+pub mod finetune;
+pub mod loss;
+pub mod pipeline;
+pub mod trainer;
+pub mod views;
+
+pub use config::CslConfig;
+pub use finetune::{FineTuneConfig, LinearHead};
+pub use pipeline::TimeCsl;
+pub use trainer::{pretrain, TrainingReport};

@@ -1,0 +1,153 @@
+//! The CSL training objectives.
+//!
+//! * [`nt_xent`] — normalized-temperature cross-entropy over a batch of
+//!   positive view pairs (the Multi-Grained Contrasting term, applied per
+//!   grain).
+//! * [`multi_scale_alignment`] — consistency between per-scale
+//!   sub-embeddings of the same series (the Multi-Scale Alignment term).
+
+use tcsl_autodiff::{Graph, VarId};
+use tcsl_shapelet::ShapeletBank;
+
+/// NT-Xent contrastive loss between two view batches `z1, z2` of shape
+/// `(B, F)` each, where `z1[i]`/`z2[i]` are views of the same series.
+/// Re-exported from [`tcsl_autodiff::losses`] (the baselines share it).
+pub use tcsl_autodiff::losses::nt_xent;
+
+/// Multi-Scale Alignment: mean squared distance between the L2-normalized
+/// per-scale sub-embeddings of each series, averaged over consecutive scale
+/// pairs. `feats` is a `(B, D_repr)` feature matrix laid out scale-major
+/// (the bank's canonical layout). Returns a scalar `0` node if the bank has
+/// a single scale.
+pub fn multi_scale_alignment(g: &mut Graph, bank: &ShapeletBank, feats: VarId) -> VarId {
+    let ranges = bank.scale_columns();
+    if ranges.len() < 2 {
+        return g.leaf(tcsl_tensor::Tensor::scalar(0.0));
+    }
+    let normalized: Vec<VarId> = ranges
+        .iter()
+        .map(|(_, r)| {
+            let sub = g.slice_cols(feats, r.start, r.end);
+            g.row_normalize(sub, 1e-8)
+        })
+        .collect();
+    let mut terms = Vec::with_capacity(normalized.len() - 1);
+    for w in normalized.windows(2) {
+        terms.push(g.mse(w[0], w[1]));
+    }
+    let mut total = terms[0];
+    for &t in &terms[1..] {
+        total = g.add(total, t);
+    }
+    g.mul_scalar(total, 1.0 / terms.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsl_shapelet::{Measure, ShapeletConfig};
+    use tcsl_tensor::rng::seeded;
+    use tcsl_tensor::Tensor;
+
+    #[test]
+    fn nt_xent_low_when_views_agree_and_differ_across_series() {
+        // Perfectly aligned positives, orthogonal negatives → near-minimal loss.
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2]);
+        let mut g = Graph::new();
+        let z1 = g.leaf(a.clone());
+        let z2 = g.leaf(a);
+        let loss_good = nt_xent(&mut g, z1, z2, 0.2);
+        // Collapsed embeddings (all identical) → high loss.
+        let c = Tensor::ones([2, 2]);
+        let mut g2 = Graph::new();
+        let z1 = g2.leaf(c.clone());
+        let z2 = g2.leaf(c);
+        let loss_bad = nt_xent(&mut g2, z1, z2, 0.2);
+        assert!(
+            g.value(loss_good).item() < g2.value(loss_bad).item(),
+            "aligned views should score lower: {} vs {}",
+            g.value(loss_good).item(),
+            g2.value(loss_bad).item()
+        );
+    }
+
+    #[test]
+    fn nt_xent_matches_manual_two_series() {
+        // B = 2, identity-like embeddings; compute expected CE by hand.
+        let z = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2]);
+        let mut g = Graph::new();
+        let z1 = g.param(z.clone());
+        let z2 = g.leaf(z);
+        let loss = nt_xent(&mut g, z1, z2, 1.0);
+        // Normalized rows are unit; sim matrix has 1 on (i, i+2) pairs and 0
+        // on cross pairs; diagonal masked to -1e9.
+        // Row 0 logits: [-1e9, 0, 1, 0], target 2 → CE = ln(e^0+e^1+e^0) − 1.
+        let want = ((1.0f32 + 1.0f32.exp() + 1.0).ln() - 1.0) as f64;
+        assert!(
+            (g.value(loss).item() as f64 - want).abs() < 1e-5,
+            "got {} want {}",
+            g.value(loss).item(),
+            want
+        );
+        // Gradient flows to z1.
+        let grads = g.backward(loss);
+        assert!(grads.get(z1).unwrap().norm_sq() > 0.0);
+    }
+
+    #[test]
+    fn alignment_zero_for_identical_scales_positive_otherwise() {
+        let cfg = ShapeletConfig {
+            lengths: vec![3, 5],
+            k_per_group: 2,
+            measures: vec![Measure::Euclidean],
+            stride: 1,
+        };
+        let bank = tcsl_shapelet::ShapeletBank::new(&cfg, 1);
+        // Features: scale A columns 0..2, scale B columns 2..4.
+        let same = Tensor::from_vec(vec![1.0, 2.0, 1.0, 2.0, 0.5, 0.1, 0.5, 0.1], [2, 4]);
+        let mut g = Graph::new();
+        let f = g.leaf(same);
+        let loss = multi_scale_alignment(&mut g, &bank, f);
+        assert!(g.value(loss).item() < 1e-8);
+
+        let diff = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0], [2, 4]);
+        let mut g2 = Graph::new();
+        let f = g2.leaf(diff);
+        let loss = multi_scale_alignment(&mut g2, &bank, f);
+        assert!(g2.value(loss).item() > 0.1);
+    }
+
+    #[test]
+    fn alignment_is_zero_node_for_single_scale() {
+        let cfg = ShapeletConfig {
+            lengths: vec![4],
+            k_per_group: 3,
+            measures: vec![Measure::Euclidean],
+            stride: 1,
+        };
+        let bank = tcsl_shapelet::ShapeletBank::new(&cfg, 1);
+        let mut g = Graph::new();
+        let f = g.leaf(Tensor::ones([2, 3]));
+        let loss = multi_scale_alignment(&mut g, &bank, f);
+        assert_eq!(g.value(loss).item(), 0.0);
+    }
+
+    #[test]
+    fn nt_xent_gradcheck() {
+        let mut rng = seeded(20);
+        let z1 = Tensor::randn([3, 4], &mut rng);
+        let z2 = Tensor::randn([3, 4], &mut rng);
+        let report = tcsl_autodiff::gradcheck::gradcheck(&[z1, z2], 1e-2, |g, xs| {
+            let a = g.param(xs[0].clone());
+            let b = g.param(xs[1].clone());
+            let loss = nt_xent(g, a, b, 0.5);
+            (vec![a, b], loss)
+        });
+        assert!(
+            report.passes(5e-2),
+            "abs={} rel={}",
+            report.max_abs_err,
+            report.max_rel_err
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! The TimeCSL unified pipeline (paper Figure 2).
+//!
+//! One pre-trained Shapelet Transformer serves every downstream task: the
+//! pipeline z-normalizes incoming series, transforms them into the
+//! shapelet-based representation, and hands the features to any analyzer
+//! (freezing mode) or fine-tunes jointly with a linear head (fine-tuning
+//! mode). It also exposes the shapelet-subset operations behind the demo's
+//! "redo the analysis with the selected shapelets" exploration step.
+
+use crate::config::CslConfig;
+use crate::finetune::{fine_tune, FineTuneConfig, FineTuneReport, LinearHead};
+use crate::trainer::{pretrain, TrainingReport};
+use tcsl_data::normalize::{normalize_dataset, normalize_series, Normalization};
+use tcsl_data::{Dataset, TimeSeries};
+use tcsl_shapelet::init::init_from_data;
+use tcsl_shapelet::transform::{transform_dataset, transform_series};
+use tcsl_shapelet::{ShapeletBank, ShapeletConfig};
+use tcsl_tensor::rng::seeded;
+use tcsl_tensor::Tensor;
+
+/// A pre-trained TimeCSL model: the learned Shapelet Transformer plus the
+/// input normalization it was trained under.
+#[derive(Clone, Debug)]
+pub struct TimeCsl {
+    bank: ShapeletBank,
+    normalization: Normalization,
+}
+
+impl TimeCsl {
+    /// Step 1 + 2 of the demo: configure the Shapelet Transformer (or pass
+    /// `None` for the recommended adaptive configuration, §4.2-style) and
+    /// run unsupervised contrastive learning on `train`.
+    ///
+    /// Labels on `train`, if any, are ignored — pre-training is fully
+    /// unsupervised.
+    pub fn pretrain(
+        train: &Dataset,
+        shapelet_cfg: Option<ShapeletConfig>,
+        csl_cfg: &CslConfig,
+    ) -> (TimeCsl, TrainingReport) {
+        assert!(!train.is_empty(), "cannot pre-train on an empty dataset");
+        let normalization = Normalization::ZScore;
+        let normed = normalize_dataset(&train.without_labels(), normalization);
+        let cfg = shapelet_cfg.unwrap_or_else(|| ShapeletConfig::adaptive(normed.max_len()));
+        let mut bank = ShapeletBank::new(&cfg, normed.n_vars());
+        let mut rng = seeded(csl_cfg.seed ^ 0x5113);
+        init_from_data(&mut bank, &normed, csl_cfg.init_oversample, &mut rng);
+        let report = pretrain(&mut bank, &normed, csl_cfg);
+        (
+            TimeCsl {
+                bank,
+                normalization,
+            },
+            report,
+        )
+    }
+
+    /// Wraps an externally constructed bank (e.g. loaded from disk).
+    pub fn from_bank(bank: ShapeletBank) -> TimeCsl {
+        TimeCsl {
+            bank,
+            normalization: Normalization::ZScore,
+        }
+    }
+
+    /// The learned Shapelet Transformer.
+    pub fn bank(&self) -> &ShapeletBank {
+        &self.bank
+    }
+
+    /// Representation dimensionality `D_repr`.
+    pub fn repr_dim(&self) -> usize {
+        self.bank.repr_dim()
+    }
+
+    /// Stable names of the feature columns.
+    pub fn feature_names(&self) -> Vec<String> {
+        self.bank.feature_names()
+    }
+
+    /// Transforms a dataset into its `(N, D_repr)` representation
+    /// (normalizing each series the way training did).
+    pub fn transform(&self, ds: &Dataset) -> Tensor {
+        let normed = normalize_dataset(ds, self.normalization);
+        transform_dataset(&self.bank, &normed)
+    }
+
+    /// Transforms one series.
+    pub fn transform_one(&self, s: &TimeSeries) -> Vec<f32> {
+        let normed = normalize_series(s, self.normalization);
+        transform_series(&self.bank, &normed)
+    }
+
+    /// Fine-tuning mode: trains a linear head (and, unless frozen, the
+    /// shapelets) on labeled data. The model's bank is updated in place.
+    pub fn fine_tune(
+        &mut self,
+        labeled: &Dataset,
+        cfg: &FineTuneConfig,
+    ) -> (LinearHead, FineTuneReport) {
+        let normed = normalize_dataset(labeled, self.normalization);
+        fine_tune(&mut self.bank, &normed, cfg)
+    }
+
+    /// Restricts the model to the shapelets behind the given feature
+    /// columns — the demo's iterative re-analysis with a shapelet subset.
+    pub fn with_selected_features(&self, columns: &[usize]) -> TimeCsl {
+        TimeCsl {
+            bank: self.bank.subset_columns(columns),
+            normalization: self.normalization,
+        }
+    }
+
+    /// Restricts the model to all shapelets of one length (the §3
+    /// walkthrough: "redo Step 3 using the learned shapelets of length L").
+    pub fn with_scale(&self, len: usize) -> TimeCsl {
+        TimeCsl {
+            bank: self.bank.subset_scale(len),
+            normalization: self.normalization,
+        }
+    }
+
+    /// Serializes the model (bank text format) to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.bank.to_text())
+    }
+
+    /// Loads a model saved by [`Self::save`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<TimeCsl> {
+        let text = std::fs::read_to_string(path)?;
+        let bank = ShapeletBank::from_text(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        Ok(TimeCsl::from_bank(bank))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsl_data::archive;
+    use tcsl_shapelet::Measure;
+
+    fn quick_cfg() -> (ShapeletConfig, CslConfig) {
+        (
+            ShapeletConfig {
+                lengths: vec![8, 16],
+                k_per_group: 4,
+                measures: vec![Measure::Euclidean, Measure::Cosine],
+                stride: 1,
+            },
+            CslConfig {
+                epochs: 3,
+                batch_size: 8,
+                grains: vec![0.7, 1.0],
+                seed: 1,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn end_to_end_pretrain_and_transform() {
+        let entry = archive::by_name("MotifEasy").unwrap();
+        let (train, test) = archive::generate_split(&entry, 21);
+        let (scfg, ccfg) = quick_cfg();
+        let (model, report) = TimeCsl::pretrain(&train, Some(scfg), &ccfg);
+        assert_eq!(report.epoch_total.len(), 3);
+        let feats = model.transform(&test);
+        assert_eq!(feats.rows(), test.len());
+        assert_eq!(feats.cols(), model.repr_dim());
+        assert!(feats.all_finite());
+        // Single-series path agrees with the batch path.
+        let one = model.transform_one(test.series(0));
+        for (a, b) in one.iter().zip(feats.row(0)) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn adaptive_config_is_used_when_none_given() {
+        let entry = archive::by_name("MotifEasy").unwrap();
+        let (train, _) = archive::generate_split(&entry, 22);
+        let small = train.subset(&(0..8).collect::<Vec<_>>(), "small");
+        let ccfg = CslConfig {
+            epochs: 1,
+            batch_size: 4,
+            grains: vec![1.0],
+            seed: 2,
+            ..Default::default()
+        };
+        let (model, _) = TimeCsl::pretrain(&small, None, &ccfg);
+        // Adaptive lengths for T=128: 13, 26, 52, 103.
+        assert_eq!(model.bank().scales(), vec![13, 26, 52, 103]);
+        assert_eq!(model.repr_dim(), 4 * 3 * 10);
+    }
+
+    #[test]
+    fn subset_models_transform_fewer_columns() {
+        let entry = archive::by_name("MotifEasy").unwrap();
+        let (train, test) = archive::generate_split(&entry, 23);
+        let (scfg, ccfg) = quick_cfg();
+        let (model, _) = TimeCsl::pretrain(&train, Some(scfg), &ccfg);
+        let by_scale = model.with_scale(16);
+        assert_eq!(by_scale.repr_dim(), 8);
+        let feats = by_scale.transform(&test);
+        assert_eq!(feats.cols(), 8);
+
+        let by_cols = model.with_selected_features(&[0, 5, 9]);
+        assert_eq!(by_cols.repr_dim(), 3);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let entry = archive::by_name("MotifEasy").unwrap();
+        let (train, test) = archive::generate_split(&entry, 24);
+        let (scfg, ccfg) = quick_cfg();
+        let (model, _) = TimeCsl::pretrain(&train, Some(scfg), &ccfg);
+        let dir = std::env::temp_dir().join("tcsl_pipeline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.tcsl");
+        model.save(&path).unwrap();
+        let loaded = TimeCsl::load(&path).unwrap();
+        let a = model.transform(&test);
+        let b = loaded.transform(&test);
+        assert!(a.max_abs_diff(&b) < 1e-5);
+        std::fs::remove_file(path).ok();
+    }
+}

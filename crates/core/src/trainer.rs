@@ -1,0 +1,314 @@
+//! The unsupervised contrastive pre-training loop (paper §2.1).
+//!
+//! Each step samples a minibatch, draws two crops per series per grain,
+//! pushes all views through the differentiable shapelet transform, and
+//! minimizes `L = L_contrast + λ·L_align` with Adam. The learning curve is
+//! recorded per epoch — the demo plots it so users can "diagnose the model
+//! performance" (§3, step 2).
+
+use crate::config::CslConfig;
+use crate::loss::{multi_scale_alignment, nt_xent};
+use crate::views::sample_views;
+use std::time::{Duration, Instant};
+use tcsl_autodiff::{Adam, Graph, Optimizer, ParamStore};
+use tcsl_data::Dataset;
+use tcsl_shapelet::diff_transform::{diff_features_batch, write_back, BoundBank};
+use tcsl_shapelet::ShapeletBank;
+use tcsl_tensor::rng::{permutation, seeded};
+
+/// Learning-curve record of one pre-training run.
+#[derive(Clone, Debug)]
+pub struct TrainingReport {
+    /// Mean contrastive loss per epoch.
+    pub epoch_contrast: Vec<f32>,
+    /// Mean alignment loss per epoch.
+    pub epoch_align: Vec<f32>,
+    /// Mean total loss per epoch.
+    pub epoch_total: Vec<f32>,
+    /// Validation contrastive loss per epoch (empty when
+    /// `validation_frac == 0`).
+    pub epoch_validation: Vec<f32>,
+    /// Number of optimizer steps taken.
+    pub n_steps: usize,
+    /// Wall-clock training time.
+    pub wall_time: Duration,
+}
+
+impl TrainingReport {
+    /// Renders the learning curve as a small ASCII chart (one line per
+    /// epoch) — the headless stand-in for the GUI's loss plot.
+    pub fn learning_curve_ascii(&self) -> String {
+        let max = self
+            .epoch_total
+            .iter()
+            .copied()
+            .fold(f32::MIN, f32::max)
+            .max(1e-9);
+        let mut out = String::new();
+        for (e, &l) in self.epoch_total.iter().enumerate() {
+            let bar = "#".repeat(((l / max) * 40.0).round() as usize);
+            out.push_str(&format!("epoch {e:>3}  total {l:>8.4}  {bar}\n"));
+        }
+        out
+    }
+}
+
+/// Runs CSL pre-training, updating `bank` in place. The bank must already
+/// be initialized (see [`tcsl_shapelet::init::init_from_data`]); the
+/// high-level entry point [`crate::pipeline::TimeCsl::pretrain`] does both.
+pub fn pretrain(bank: &mut ShapeletBank, ds: &Dataset, cfg: &CslConfig) -> TrainingReport {
+    cfg.validate();
+    assert!(
+        ds.len() >= 2,
+        "contrastive pre-training needs at least two series"
+    );
+    assert_eq!(ds.n_vars(), bank.d, "dataset/bank variable count mismatch");
+
+    let mut rng = seeded(cfg.seed);
+
+    // Optional validation hold-out: the last series of a fixed shuffle.
+    let n_val = ((ds.len() as f32) * cfg.validation_frac).round() as usize;
+    let n_val = if n_val == 1 {
+        2.min(ds.len() / 2)
+    } else {
+        n_val
+    };
+    let split = permutation(&mut rng, ds.len());
+    let (train_idx, val_idx) = split.split_at(ds.len() - n_val);
+    let train_idx: Vec<usize> = train_idx.to_vec();
+    let val_idx: Vec<usize> = val_idx.to_vec();
+
+    let mut ps = ParamStore::new();
+    for (i, grp) in bank.groups().iter().enumerate() {
+        ps.register(format!("group{i}"), grp.shapelets.clone());
+    }
+    let mut opt = Adam::new(cfg.learning_rate);
+
+    let start = Instant::now();
+    let mut report = TrainingReport {
+        epoch_contrast: Vec::with_capacity(cfg.epochs),
+        epoch_align: Vec::with_capacity(cfg.epochs),
+        epoch_total: Vec::with_capacity(cfg.epochs),
+        epoch_validation: Vec::new(),
+        n_steps: 0,
+        wall_time: Duration::ZERO,
+    };
+
+    for _epoch in 0..cfg.epochs {
+        let order: Vec<usize> = {
+            let p = permutation(&mut rng, train_idx.len());
+            p.into_iter().map(|i| train_idx[i]).collect()
+        };
+        let mut sums = (0.0f64, 0.0f64, 0.0f64);
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            if chunk.len() < 2 {
+                continue; // NT-Xent needs at least one negative.
+            }
+            let mut g = Graph::new();
+            let bound = BoundBank {
+                group_vars: ps.bind(&mut g),
+            };
+            let pairs = sample_views(ds, chunk, &cfg.grains, cfg.min_crop, &mut rng);
+
+            let mut contrast_terms = Vec::with_capacity(pairs.len());
+            let mut align_terms = Vec::with_capacity(pairs.len());
+            for pair in &pairs {
+                let za = diff_features_batch(&mut g, bank, &bound, &pair.views_a);
+                let zb = diff_features_batch(&mut g, bank, &bound, &pair.views_b);
+                contrast_terms.push(nt_xent(&mut g, za, zb, cfg.temperature));
+                if cfg.alignment_weight > 0.0 {
+                    align_terms.push(multi_scale_alignment(&mut g, bank, za));
+                }
+            }
+            let contrast = mean_nodes(&mut g, &contrast_terms);
+            let total = if align_terms.is_empty() {
+                contrast
+            } else {
+                let align = mean_nodes(&mut g, &align_terms);
+                let weighted = g.mul_scalar(align, cfg.alignment_weight);
+                sums.1 += g.value(align).item() as f64;
+                g.add(contrast, weighted)
+            };
+            sums.0 += g.value(contrast).item() as f64;
+            sums.2 += g.value(total).item() as f64;
+            batches += 1;
+
+            let mut grads = g.backward(total);
+            let gvec = ps.collect_grads(&mut grads, &bound.group_vars);
+            opt.step(&mut ps, &gvec);
+            report.n_steps += 1;
+        }
+        let n = batches.max(1) as f64;
+        report.epoch_contrast.push((sums.0 / n) as f32);
+        report.epoch_align.push((sums.1 / n) as f32);
+        report.epoch_total.push((sums.2 / n) as f32);
+
+        // Validation: contrastive loss on held-out series, fixed sampling
+        // per epoch, no gradient step.
+        if !val_idx.is_empty() && val_idx.len() >= 2 {
+            let mut vrng = seeded(cfg.seed ^ 0xA11DA7); // fixed validation stream
+            let mut g = Graph::new();
+            let bound = BoundBank {
+                group_vars: ps.bind(&mut g),
+            };
+            let pairs = sample_views(ds, &val_idx, &cfg.grains, cfg.min_crop, &mut vrng);
+            let terms: Vec<_> = pairs
+                .iter()
+                .map(|pair| {
+                    let za = diff_features_batch(&mut g, bank, &bound, &pair.views_a);
+                    let zb = diff_features_batch(&mut g, bank, &bound, &pair.views_b);
+                    nt_xent(&mut g, za, zb, cfg.temperature)
+                })
+                .collect();
+            let val = mean_nodes(&mut g, &terms);
+            report.epoch_validation.push(g.value(val).item());
+        }
+    }
+
+    // Persist learned shapelets back into the bank.
+    let values: Vec<_> = (0..ps.len()).map(|i| ps.get(i).clone()).collect();
+    write_back(bank, &values);
+    report.wall_time = start.elapsed();
+    report
+}
+
+fn mean_nodes(g: &mut Graph, nodes: &[tcsl_autodiff::VarId]) -> tcsl_autodiff::VarId {
+    assert!(!nodes.is_empty());
+    let mut acc = nodes[0];
+    for &n in &nodes[1..] {
+        acc = g.add(acc, n);
+    }
+    g.mul_scalar(acc, 1.0 / nodes.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsl_data::archive;
+    use tcsl_shapelet::{init::init_from_data, Measure, ShapeletConfig};
+
+    fn small_setup() -> (ShapeletBank, Dataset) {
+        let entry = archive::by_name("MotifEasy").unwrap();
+        let (train, _) = archive::generate_split(&entry, 3);
+        let train = train.znormed();
+        let cfg = ShapeletConfig {
+            lengths: vec![8, 16],
+            k_per_group: 4,
+            measures: vec![Measure::Euclidean, Measure::Cosine],
+            stride: 1,
+        };
+        let mut bank = ShapeletBank::new(&cfg, 1);
+        init_from_data(&mut bank, &train, 4, &mut seeded(1));
+        (bank, train)
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let (mut bank, train) = small_setup();
+        let cfg = CslConfig {
+            epochs: 6,
+            batch_size: 10,
+            grains: vec![0.7, 1.0],
+            learning_rate: 0.05,
+            seed: 5,
+            ..Default::default()
+        };
+        let report = pretrain(&mut bank, &train, &cfg);
+        assert_eq!(report.epoch_total.len(), 6);
+        let first = report.epoch_total[0];
+        let last = *report.epoch_total.last().unwrap();
+        assert!(
+            last < first,
+            "training did not reduce the loss: {first} → {last}"
+        );
+        assert!(report.n_steps > 0);
+        assert!(report.wall_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn shapelets_actually_move() {
+        let (mut bank, train) = small_setup();
+        let before: Vec<_> = bank.groups().iter().map(|g| g.shapelets.clone()).collect();
+        let cfg = CslConfig {
+            epochs: 2,
+            batch_size: 8,
+            grains: vec![1.0],
+            seed: 2,
+            ..Default::default()
+        };
+        pretrain(&mut bank, &train, &cfg);
+        let moved = bank
+            .groups()
+            .iter()
+            .zip(&before)
+            .any(|(g, b)| g.shapelets.max_abs_diff(b) > 1e-4);
+        assert!(moved, "no shapelet changed during training");
+    }
+
+    #[test]
+    fn training_is_deterministic_in_seed() {
+        let (bank0, train) = small_setup();
+        let cfg = CslConfig {
+            epochs: 2,
+            batch_size: 8,
+            seed: 7,
+            ..CslConfig::fast()
+        };
+        let mut b1 = bank0.clone();
+        let mut b2 = bank0.clone();
+        let r1 = pretrain(&mut b1, &train, &cfg);
+        let r2 = pretrain(&mut b2, &train, &cfg);
+        assert_eq!(r1.epoch_total, r2.epoch_total);
+        for (g1, g2) in b1.groups().iter().zip(b2.groups()) {
+            assert!(g1.shapelets.max_abs_diff(&g2.shapelets) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn validation_curve_is_tracked_when_requested() {
+        let (mut bank, train) = small_setup();
+        let cfg = CslConfig {
+            epochs: 3,
+            batch_size: 8,
+            grains: vec![1.0],
+            validation_frac: 0.2,
+            seed: 4,
+            ..Default::default()
+        };
+        let report = pretrain(&mut bank, &train, &cfg);
+        assert_eq!(report.epoch_validation.len(), 3);
+        assert!(report.epoch_validation.iter().all(|l| l.is_finite()));
+        // Without validation the curve stays empty.
+        let (mut bank2, _) = small_setup();
+        let cfg0 = CslConfig {
+            validation_frac: 0.0,
+            ..cfg
+        };
+        let report = pretrain(&mut bank2, &train, &cfg0);
+        assert!(report.epoch_validation.is_empty());
+    }
+
+    #[test]
+    fn learning_curve_renders() {
+        let report = TrainingReport {
+            epoch_contrast: vec![1.0, 0.5],
+            epoch_align: vec![0.1, 0.05],
+            epoch_total: vec![1.05, 0.525],
+            epoch_validation: vec![],
+            n_steps: 10,
+            wall_time: Duration::from_millis(5),
+        };
+        let chart = report.learning_curve_ascii();
+        assert!(chart.contains("epoch   0"));
+        assert!(chart.lines().count() == 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two series")]
+    fn single_series_rejected() {
+        let (mut bank, train) = small_setup();
+        let one = train.subset(&[0], "one");
+        pretrain(&mut bank, &one, &CslConfig::fast());
+    }
+}

@@ -1,0 +1,106 @@
+//! Multi-grained view sampling.
+//!
+//! For each grain `g` (a crop-length fraction), every series in the batch
+//! yields two independent random crops. The two crops of one series form a
+//! positive pair; all other crops in the batch are negatives. Crops of
+//! different grains have different lengths, but the shapelet transform maps
+//! them all into the same feature space — the property CSL exploits to
+//! contrast across granularities.
+
+use rand::Rng;
+use tcsl_data::augment::random_crop;
+use tcsl_data::Dataset;
+use tcsl_tensor::Tensor;
+
+/// A pair of view batches at one grain: `views_a[i]` and `views_b[i]` are
+/// crops of the same underlying series.
+pub struct ViewPair {
+    /// Crop-length fraction this pair was sampled at.
+    pub grain: f32,
+    /// First view of each series, as raw `(D, T_crop)` tensors.
+    pub views_a: Vec<Tensor>,
+    /// Second view of each series.
+    pub views_b: Vec<Tensor>,
+}
+
+/// Samples a [`ViewPair`] per grain for the series at `indices`.
+pub fn sample_views(
+    ds: &Dataset,
+    indices: &[usize],
+    grains: &[f32],
+    min_crop: usize,
+    rng: &mut impl Rng,
+) -> Vec<ViewPair> {
+    grains
+        .iter()
+        .map(|&grain| {
+            let mut views_a = Vec::with_capacity(indices.len());
+            let mut views_b = Vec::with_capacity(indices.len());
+            for &i in indices {
+                let s = ds.series(i);
+                let len = ((s.len() as f32 * grain).round() as usize)
+                    .clamp(min_crop.min(s.len()), s.len());
+                views_a.push(random_crop(s, len, rng).values().clone());
+                views_b.push(random_crop(s, len, rng).values().clone());
+            }
+            ViewPair {
+                grain,
+                views_a,
+                views_b,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsl_data::TimeSeries;
+    use tcsl_tensor::rng::seeded;
+
+    fn ds() -> Dataset {
+        let series = (0..5)
+            .map(|i| TimeSeries::univariate((0..40).map(|t| (t * i) as f32).collect()))
+            .collect();
+        Dataset::unlabeled("v", series)
+    }
+
+    #[test]
+    fn one_pair_per_grain_with_matched_counts() {
+        let ds = ds();
+        let mut rng = seeded(1);
+        let pairs = sample_views(&ds, &[0, 2, 4], &[0.5, 1.0], 4, &mut rng);
+        assert_eq!(pairs.len(), 2);
+        for p in &pairs {
+            assert_eq!(p.views_a.len(), 3);
+            assert_eq!(p.views_b.len(), 3);
+        }
+    }
+
+    #[test]
+    fn crop_lengths_follow_grain() {
+        let ds = ds();
+        let mut rng = seeded(2);
+        let pairs = sample_views(&ds, &[1], &[0.5, 1.0], 4, &mut rng);
+        assert_eq!(pairs[0].views_a[0].cols(), 20);
+        assert_eq!(pairs[1].views_a[0].cols(), 40);
+    }
+
+    #[test]
+    fn min_crop_clamps_tiny_grains() {
+        let ds = ds();
+        let mut rng = seeded(3);
+        let pairs = sample_views(&ds, &[1], &[0.01], 6, &mut rng);
+        assert_eq!(pairs[0].views_a[0].cols(), 6);
+    }
+
+    #[test]
+    fn views_of_same_series_usually_differ() {
+        let ds = ds();
+        let mut rng = seeded(4);
+        let pairs = sample_views(&ds, &[3], &[0.5], 4, &mut rng);
+        // With grain 0.5 over length 40 there are 21 possible offsets; the
+        // two views of one series should not always be identical.
+        assert_ne!(pairs[0].views_a[0], pairs[0].views_b[0]);
+    }
+}

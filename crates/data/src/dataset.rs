@@ -1,0 +1,299 @@
+//! Core containers: a single (multivariate) series and a labeled collection.
+
+use tcsl_tensor::window::window_at;
+use tcsl_tensor::Tensor;
+
+/// One multivariate time series: `D` variables observed at `T` time steps,
+/// stored as a `(D, T)` tensor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimeSeries {
+    values: Tensor,
+}
+
+impl TimeSeries {
+    /// Wraps a `(D, T)` tensor.
+    pub fn new(values: Tensor) -> Self {
+        assert_eq!(values.rank(), 2, "a time series is a (D, T) tensor");
+        assert!(
+            values.dim(0) >= 1 && values.dim(1) >= 1,
+            "empty time series"
+        );
+        TimeSeries { values }
+    }
+
+    /// A univariate series from raw samples.
+    pub fn univariate(samples: Vec<f32>) -> Self {
+        let t = samples.len();
+        Self::new(Tensor::from_vec(samples, [1, t]))
+    }
+
+    /// A multivariate series from per-variable sample vectors (all equal
+    /// length).
+    pub fn multivariate(vars: Vec<Vec<f32>>) -> Self {
+        assert!(!vars.is_empty(), "need at least one variable");
+        let t = vars[0].len();
+        let d = vars.len();
+        let mut flat = Vec::with_capacity(d * t);
+        for v in &vars {
+            assert_eq!(v.len(), t, "all variables must share the same length");
+            flat.extend_from_slice(v);
+        }
+        Self::new(Tensor::from_vec(flat, [d, t]))
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.values.dim(0)
+    }
+
+    /// Number of time steps.
+    pub fn len(&self) -> usize {
+        self.values.dim(1)
+    }
+
+    /// Whether the series has zero observations (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The underlying `(D, T)` tensor.
+    pub fn values(&self) -> &Tensor {
+        &self.values
+    }
+
+    /// Samples of variable `v`.
+    pub fn variable(&self, v: usize) -> &[f32] {
+        self.values.row(v)
+    }
+
+    /// Contiguous crop `[start, start+len)` across all variables.
+    pub fn crop(&self, start: usize, len: usize) -> TimeSeries {
+        TimeSeries::new(window_at(&self.values, start, len))
+    }
+
+    /// Per-variable z-normalized copy.
+    pub fn znormed(&self) -> TimeSeries {
+        let mut out = self.values.clone();
+        for v in 0..self.n_vars() {
+            tcsl_tensor::stats::znorm_inplace(out.row_mut(v));
+        }
+        TimeSeries::new(out)
+    }
+}
+
+/// A named collection of time series with optional integer labels.
+///
+/// Series may have different lengths (the shapelet representation is
+/// length-agnostic); variables counts must agree.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Dataset name (for reports).
+    pub name: String,
+    series: Vec<TimeSeries>,
+    labels: Option<Vec<usize>>,
+}
+
+impl Dataset {
+    /// Unlabeled dataset.
+    pub fn unlabeled(name: impl Into<String>, series: Vec<TimeSeries>) -> Self {
+        let ds = Dataset {
+            name: name.into(),
+            series,
+            labels: None,
+        };
+        ds.validate();
+        ds
+    }
+
+    /// Labeled dataset (one label per series).
+    pub fn labeled(name: impl Into<String>, series: Vec<TimeSeries>, labels: Vec<usize>) -> Self {
+        assert_eq!(series.len(), labels.len(), "one label per series required");
+        let ds = Dataset {
+            name: name.into(),
+            series,
+            labels: Some(labels),
+        };
+        ds.validate();
+        ds
+    }
+
+    fn validate(&self) {
+        if let Some(first) = self.series.first() {
+            let d = first.n_vars();
+            for (i, s) in self.series.iter().enumerate() {
+                assert_eq!(
+                    s.n_vars(),
+                    d,
+                    "series {i} has {} variables, dataset has {d}",
+                    s.n_vars()
+                );
+            }
+        }
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether the dataset holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Number of variables per series (0 for an empty dataset).
+    pub fn n_vars(&self) -> usize {
+        self.series.first().map_or(0, TimeSeries::n_vars)
+    }
+
+    /// Length of the shortest series (0 for an empty dataset).
+    pub fn min_len(&self) -> usize {
+        self.series.iter().map(TimeSeries::len).min().unwrap_or(0)
+    }
+
+    /// Length of the longest series (0 for an empty dataset).
+    pub fn max_len(&self) -> usize {
+        self.series.iter().map(TimeSeries::len).max().unwrap_or(0)
+    }
+
+    /// Series `i`.
+    pub fn series(&self, i: usize) -> &TimeSeries {
+        &self.series[i]
+    }
+
+    /// All series.
+    pub fn all_series(&self) -> &[TimeSeries] {
+        &self.series
+    }
+
+    /// Labels, if present.
+    pub fn labels(&self) -> Option<&[usize]> {
+        self.labels.as_deref()
+    }
+
+    /// Label of series `i`. Panics if unlabeled.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels.as_ref().expect("dataset is unlabeled")[i]
+    }
+
+    /// Number of distinct classes (0 if unlabeled).
+    pub fn n_classes(&self) -> usize {
+        match &self.labels {
+            None => 0,
+            Some(ls) => ls.iter().copied().max().map_or(0, |m| m + 1),
+        }
+    }
+
+    /// Subset by indices (labels carried along).
+    pub fn subset(&self, indices: &[usize], name: impl Into<String>) -> Dataset {
+        let series = indices.iter().map(|&i| self.series[i].clone()).collect();
+        match &self.labels {
+            None => Dataset::unlabeled(name, series),
+            Some(ls) => Dataset::labeled(name, series, indices.iter().map(|&i| ls[i]).collect()),
+        }
+    }
+
+    /// Per-variable z-normalized copy of every series.
+    pub fn znormed(&self) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            series: self.series.iter().map(TimeSeries::znormed).collect(),
+            labels: self.labels.clone(),
+        }
+    }
+
+    /// Strips labels (for unsupervised pre-training).
+    pub fn without_labels(&self) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            series: self.series.clone(),
+            labels: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let s0 = TimeSeries::univariate(vec![1.0, 2.0, 3.0, 4.0]);
+        let s1 = TimeSeries::univariate(vec![4.0, 3.0, 2.0, 1.0]);
+        let s2 = TimeSeries::univariate(vec![0.0, 0.0, 1.0, 1.0]);
+        Dataset::labeled("toy", vec![s0, s1, s2], vec![0, 1, 0])
+    }
+
+    #[test]
+    fn series_basics() {
+        let s = TimeSeries::multivariate(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(s.n_vars(), 2);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.variable(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn crop_is_window() {
+        let s = TimeSeries::univariate(vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        let c = s.crop(1, 3);
+        assert_eq!(c.variable(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn znorm_per_variable() {
+        let s = TimeSeries::multivariate(vec![vec![0.0, 2.0], vec![10.0, 10.0]]);
+        let z = s.znormed();
+        assert!((z.variable(0)[0] + 1.0).abs() < 1e-5);
+        // Constant variable is centred, not blown up.
+        assert!(z.variable(1).iter().all(|x| x.abs() < 1e-6));
+    }
+
+    #[test]
+    fn dataset_accessors() {
+        let ds = toy();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.n_vars(), 1);
+        assert_eq!(ds.n_classes(), 2);
+        assert_eq!(ds.label(1), 1);
+        assert_eq!(ds.min_len(), 4);
+    }
+
+    #[test]
+    fn subset_preserves_labels() {
+        let ds = toy();
+        let sub = ds.subset(&[2, 0], "sub");
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.label(0), 0);
+        assert_eq!(sub.series(1).variable(0), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn without_labels_strips() {
+        let ds = toy().without_labels();
+        assert!(ds.labels().is_none());
+        assert_eq!(ds.n_classes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per series")]
+    fn label_count_mismatch_panics() {
+        let s = TimeSeries::univariate(vec![1.0]);
+        Dataset::labeled("bad", vec![s], vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "variables")]
+    fn mixed_variable_counts_panic() {
+        let a = TimeSeries::univariate(vec![1.0, 2.0]);
+        let b = TimeSeries::multivariate(vec![vec![1.0], vec![2.0]]);
+        Dataset::unlabeled("bad", vec![a, b]);
+    }
+
+    #[test]
+    fn variable_length_series_allowed() {
+        let a = TimeSeries::univariate(vec![1.0, 2.0]);
+        let b = TimeSeries::univariate(vec![1.0, 2.0, 3.0, 4.0]);
+        let ds = Dataset::unlabeled("varlen", vec![a, b]);
+        assert_eq!(ds.min_len(), 2);
+        assert_eq!(ds.max_len(), 4);
+    }
+}

@@ -1,0 +1,167 @@
+//! Dataset summaries — the "what am I looking at?" panel of an exploration
+//! session and the CLI's `info` command.
+
+use crate::dataset::Dataset;
+use std::fmt;
+
+/// Descriptive statistics of a dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetSummary {
+    /// Dataset name.
+    pub name: String,
+    /// Number of series.
+    pub n_series: usize,
+    /// Variables per series.
+    pub n_vars: usize,
+    /// Shortest series length.
+    pub min_len: usize,
+    /// Longest series length.
+    pub max_len: usize,
+    /// Mean series length.
+    pub mean_len: f64,
+    /// Per-class series counts (empty when unlabeled).
+    pub class_counts: Vec<usize>,
+    /// Global per-variable `(mean, std)` over all series.
+    pub variable_stats: Vec<(f64, f64)>,
+}
+
+/// Computes a [`DatasetSummary`].
+pub fn describe(ds: &Dataset) -> DatasetSummary {
+    assert!(!ds.is_empty(), "cannot describe an empty dataset");
+    let lengths: Vec<usize> = ds.all_series().iter().map(|s| s.len()).collect();
+    let mean_len = lengths.iter().sum::<usize>() as f64 / lengths.len() as f64;
+
+    let mut class_counts = vec![0usize; ds.n_classes()];
+    if let Some(labels) = ds.labels() {
+        for &l in labels {
+            class_counts[l] += 1;
+        }
+    }
+
+    let d = ds.n_vars();
+    let mut sums = vec![0.0f64; d];
+    let mut sq_sums = vec![0.0f64; d];
+    let mut counts = vec![0usize; d];
+    for s in ds.all_series() {
+        for v in 0..d {
+            for &x in s.variable(v) {
+                sums[v] += x as f64;
+                sq_sums[v] += (x as f64) * (x as f64);
+                counts[v] += 1;
+            }
+        }
+    }
+    let variable_stats: Vec<(f64, f64)> = (0..d)
+        .map(|v| {
+            let n = counts[v] as f64;
+            let mean = sums[v] / n;
+            let var = (sq_sums[v] / n - mean * mean).max(0.0);
+            (mean, var.sqrt())
+        })
+        .collect();
+
+    DatasetSummary {
+        name: ds.name.clone(),
+        n_series: ds.len(),
+        n_vars: d,
+        min_len: ds.min_len(),
+        max_len: ds.max_len(),
+        mean_len,
+        class_counts,
+        variable_stats,
+    }
+}
+
+impl fmt::Display for DatasetSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dataset {}", self.name)?;
+        writeln!(
+            f,
+            "  series: {}   variables: {}",
+            self.n_series, self.n_vars
+        )?;
+        if self.min_len == self.max_len {
+            writeln!(f, "  length: {}", self.min_len)?;
+        } else {
+            writeln!(
+                f,
+                "  length: {}..{} (mean {:.1})",
+                self.min_len, self.max_len, self.mean_len
+            )?;
+        }
+        if self.class_counts.is_empty() {
+            writeln!(f, "  labels: none")?;
+        } else {
+            let counts: Vec<String> = self
+                .class_counts
+                .iter()
+                .enumerate()
+                .map(|(c, n)| format!("{c}:{n}"))
+                .collect();
+            writeln!(
+                f,
+                "  classes ({}): {}",
+                self.class_counts.len(),
+                counts.join("  ")
+            )?;
+        }
+        for (v, (mean, std)) in self.variable_stats.iter().enumerate() {
+            writeln!(f, "  var {v}: mean {mean:.3}, std {std:.3}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::TimeSeries;
+
+    fn ds() -> Dataset {
+        Dataset::labeled(
+            "toy",
+            vec![
+                TimeSeries::multivariate(vec![vec![0.0, 2.0], vec![10.0, 10.0]]),
+                TimeSeries::multivariate(vec![vec![4.0, 6.0, 8.0], vec![10.0, 10.0, 10.0]]),
+            ],
+            vec![0, 1],
+        )
+    }
+
+    #[test]
+    fn summary_values() {
+        let s = describe(&ds());
+        assert_eq!(s.n_series, 2);
+        assert_eq!(s.n_vars, 2);
+        assert_eq!(s.min_len, 2);
+        assert_eq!(s.max_len, 3);
+        assert!((s.mean_len - 2.5).abs() < 1e-9);
+        assert_eq!(s.class_counts, vec![1, 1]);
+        // Variable 0 over all samples: 0,2,4,6,8 → mean 4.
+        assert!((s.variable_stats[0].0 - 4.0).abs() < 1e-6);
+        // Variable 1 is constant 10 → std 0.
+        assert!(s.variable_stats[1].1.abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let text = describe(&ds()).to_string();
+        assert!(text.contains("dataset toy"));
+        assert!(text.contains("series: 2"));
+        assert!(text.contains("classes (2)"));
+        assert!(text.contains("var 1: mean 10.000"));
+    }
+
+    #[test]
+    fn unlabeled_summary() {
+        let s = describe(&ds().without_labels());
+        assert!(s.class_counts.is_empty());
+        assert!(s.to_string().contains("labels: none"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_dataset_rejected() {
+        describe(&Dataset::unlabeled("e", vec![]));
+    }
+}

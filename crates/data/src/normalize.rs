@@ -1,0 +1,96 @@
+//! Normalization strategies for time series.
+
+use crate::dataset::{Dataset, TimeSeries};
+
+/// How to normalize series before learning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Normalization {
+    /// Per-series, per-variable z-normalization (the paper's default).
+    #[default]
+    ZScore,
+    /// Per-series, per-variable min-max scaling to `[0, 1]`.
+    MinMax,
+    /// Leave values untouched.
+    None,
+}
+
+/// Applies a normalization to one series.
+pub fn normalize_series(s: &TimeSeries, how: Normalization) -> TimeSeries {
+    match how {
+        Normalization::None => s.clone(),
+        Normalization::ZScore => s.znormed(),
+        Normalization::MinMax => {
+            let mut t = s.values().clone();
+            for v in 0..s.n_vars() {
+                let row = t.row_mut(v);
+                let lo = row.iter().copied().fold(f32::INFINITY, f32::min);
+                let hi = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let span = hi - lo;
+                if span > 1e-8 {
+                    for x in row.iter_mut() {
+                        *x = (*x - lo) / span;
+                    }
+                } else {
+                    for x in row.iter_mut() {
+                        *x = 0.0;
+                    }
+                }
+            }
+            TimeSeries::new(t)
+        }
+    }
+}
+
+/// Applies a normalization to every series of a dataset.
+pub fn normalize_dataset(ds: &Dataset, how: Normalization) -> Dataset {
+    let series = ds
+        .all_series()
+        .iter()
+        .map(|s| normalize_series(s, how))
+        .collect();
+    match ds.labels() {
+        None => Dataset::unlabeled(ds.name.clone(), series),
+        Some(ls) => Dataset::labeled(ds.name.clone(), series, ls.to_vec()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zscore_standardizes() {
+        let s = TimeSeries::univariate(vec![2.0, 4.0, 6.0, 8.0]);
+        let z = normalize_series(&s, Normalization::ZScore);
+        let vals = z.variable(0);
+        let mean: f32 = vals.iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+    }
+
+    #[test]
+    fn minmax_hits_bounds() {
+        let s = TimeSeries::univariate(vec![1.0, 3.0, 5.0]);
+        let m = normalize_series(&s, Normalization::MinMax);
+        assert_eq!(m.variable(0), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn minmax_constant_is_zeroed() {
+        let s = TimeSeries::univariate(vec![7.0, 7.0]);
+        let m = normalize_series(&s, Normalization::MinMax);
+        assert_eq!(m.variable(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let s = TimeSeries::univariate(vec![1.0, -1.0]);
+        assert_eq!(normalize_series(&s, Normalization::None), s);
+    }
+
+    #[test]
+    fn dataset_normalization_keeps_labels() {
+        let ds = Dataset::labeled("d", vec![TimeSeries::univariate(vec![0.0, 10.0])], vec![3]);
+        let z = normalize_dataset(&ds, Normalization::ZScore);
+        assert_eq!(z.label(0), 3);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the data layer.
+
+use crate::augment::{jitter, random_crop, time_mask};
+use crate::dataset::{Dataset, TimeSeries};
+use crate::io::{from_csv, to_csv};
+use crate::split::train_test_split;
+use proptest::prelude::*;
+use tcsl_tensor::rng::seeded;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (1usize..4, 2usize..20, 2usize..7).prop_flat_map(|(d, n, t)| {
+        (
+            proptest::collection::vec(-50.0f32..50.0, n * d * t),
+            proptest::collection::vec(0usize..3, n),
+        )
+            .prop_map(move |(vals, labels)| {
+                let series = (0..n)
+                    .map(|i| {
+                        let vars: Vec<Vec<f32>> = (0..d)
+                            .map(|v| vals[(i * d + v) * t..(i * d + v + 1) * t].to_vec())
+                            .collect();
+                        TimeSeries::multivariate(vars)
+                    })
+                    .collect();
+                Dataset::labeled("prop", series, labels)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn csv_round_trip(ds in arb_dataset()) {
+        let back = from_csv("prop", &to_csv(&ds)).unwrap();
+        prop_assert_eq!(back.len(), ds.len());
+        for i in 0..ds.len() {
+            prop_assert_eq!(back.series(i), ds.series(i));
+        }
+        prop_assert_eq!(back.labels(), ds.labels());
+    }
+
+    #[test]
+    fn split_partitions(ds in arb_dataset(), frac in 0.1f32..0.6, seed in 0u64..100) {
+        let mut rng = seeded(seed);
+        let (train, test) = train_test_split(&ds, frac, &mut rng);
+        prop_assert_eq!(train.len() + test.len(), ds.len());
+        // Every class present in ds with >= 2 members keeps at least one
+        // member in train (stratified split holds one back from test).
+        for c in 0..ds.n_classes() {
+            let total = ds.labels().unwrap().iter().filter(|&&l| l == c).count();
+            if total >= 1 {
+                let in_train = train.labels().unwrap().iter().filter(|&&l| l == c).count();
+                prop_assert!(in_train >= 1, "class {} lost from train", c);
+            }
+        }
+    }
+
+    #[test]
+    fn crops_are_views(ds in arb_dataset(), seed in 0u64..50) {
+        let mut rng = seeded(seed);
+        let s = ds.series(0);
+        let len = 1 + (seed as usize % s.len());
+        let c = random_crop(s, len, &mut rng);
+        prop_assert_eq!(c.len(), len);
+        prop_assert_eq!(c.n_vars(), s.n_vars());
+    }
+
+    #[test]
+    fn augmentations_preserve_shape(ds in arb_dataset(), seed in 0u64..50) {
+        let mut rng = seeded(seed);
+        let s = ds.series(0);
+        let j = jitter(s, 0.1, &mut rng);
+        prop_assert_eq!(j.len(), s.len());
+        let m = time_mask(s, 0.3, &mut rng);
+        prop_assert_eq!(m.len(), s.len());
+        prop_assert_eq!(m.n_vars(), s.n_vars());
+    }
+}

@@ -1,0 +1,196 @@
+//! Train/test splitting and k-fold cross-validation.
+
+use crate::dataset::Dataset;
+use rand::Rng;
+use tcsl_tensor::rng::permutation;
+
+/// Splits `ds` into `(train, test)` with `test_frac` of the series held out.
+/// When the dataset is labeled the split is stratified per class; otherwise
+/// it is a uniform shuffle.
+pub fn train_test_split(ds: &Dataset, test_frac: f32, rng: &mut impl Rng) -> (Dataset, Dataset) {
+    assert!(
+        (0.0..1.0).contains(&test_frac),
+        "test_frac must be in [0, 1)"
+    );
+    let (train_idx, test_idx) = split_indices(ds, test_frac, rng);
+    (
+        ds.subset(&train_idx, format!("{}-train", ds.name)),
+        ds.subset(&test_idx, format!("{}-test", ds.name)),
+    )
+}
+
+fn split_indices(ds: &Dataset, test_frac: f32, rng: &mut impl Rng) -> (Vec<usize>, Vec<usize>) {
+    match ds.labels() {
+        Some(labels) => {
+            let n_classes = ds.n_classes();
+            let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+            for (i, &l) in labels.iter().enumerate() {
+                per_class[l].push(i);
+            }
+            let mut train = Vec::new();
+            let mut test = Vec::new();
+            for mut members in per_class {
+                let perm = permutation(rng, members.len());
+                let mut shuffled: Vec<usize> = perm.into_iter().map(|p| members[p]).collect();
+                members.clear();
+                let n_test = ((shuffled.len() as f32) * test_frac).round() as usize;
+                let n_test = n_test.min(shuffled.len().saturating_sub(1));
+                test.extend(shuffled.drain(..n_test));
+                train.extend(shuffled);
+            }
+            train.sort_unstable();
+            test.sort_unstable();
+            (train, test)
+        }
+        None => {
+            let perm = permutation(rng, ds.len());
+            let n_test = ((ds.len() as f32) * test_frac).round() as usize;
+            let (test, train) = perm.split_at(n_test);
+            let mut train = train.to_vec();
+            let mut test = test.to_vec();
+            train.sort_unstable();
+            test.sort_unstable();
+            (train, test)
+        }
+    }
+}
+
+/// Keeps a labeled fraction: returns `(labeled, unlabeled)` subsets, with the
+/// labeled portion stratified. Used by the semi-supervised experiment (E3).
+pub fn label_fraction_split(
+    ds: &Dataset,
+    labeled_frac: f32,
+    rng: &mut impl Rng,
+) -> (Dataset, Dataset) {
+    assert!(
+        (0.0..=1.0).contains(&labeled_frac),
+        "labeled_frac must be in [0, 1]"
+    );
+    if labeled_frac >= 1.0 {
+        return (ds.clone(), ds.subset(&[], format!("{}-rest", ds.name)));
+    }
+    let (rest, labeled) = split_indices(ds, labeled_frac, rng);
+    // `split_indices` treats the fraction as the *test* share; labelled set
+    // is the held-out part here. Ensure at least one labeled example per
+    // class survives (stratification guarantees this when frac > 0).
+    (
+        ds.subset(&labeled, format!("{}-labeled", ds.name)),
+        ds.subset(&rest, format!("{}-rest", ds.name)),
+    )
+}
+
+/// Yields `(train, validation)` index pairs for `k`-fold cross-validation.
+pub fn k_fold(n: usize, k: usize, rng: &mut impl Rng) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(n >= k, "need at least k items");
+    let perm = permutation(rng, n);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &idx) in perm.iter().enumerate() {
+        folds[i % k].push(idx);
+    }
+    (0..k)
+        .map(|held| {
+            let val = folds[held].clone();
+            let mut train = Vec::with_capacity(n - val.len());
+            for (f, fold) in folds.iter().enumerate() {
+                if f != held {
+                    train.extend_from_slice(fold);
+                }
+            }
+            (train, val)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::TimeSeries;
+    use tcsl_tensor::rng::seeded;
+
+    fn labeled(n_per_class: usize, classes: usize) -> Dataset {
+        let mut series = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..classes {
+            for i in 0..n_per_class {
+                series.push(TimeSeries::univariate(vec![c as f32, i as f32, 0.0, 0.0]));
+                labels.push(c);
+            }
+        }
+        Dataset::labeled("lab", series, labels)
+    }
+
+    #[test]
+    fn stratified_split_keeps_class_balance() {
+        let ds = labeled(10, 3);
+        let mut rng = seeded(1);
+        let (train, test) = train_test_split(&ds, 0.3, &mut rng);
+        assert_eq!(train.len(), 21);
+        assert_eq!(test.len(), 9);
+        for c in 0..3 {
+            let train_c = train.labels().unwrap().iter().filter(|&&l| l == c).count();
+            let test_c = test.labels().unwrap().iter().filter(|&&l| l == c).count();
+            assert_eq!(train_c, 7);
+            assert_eq!(test_c, 3);
+        }
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let ds = labeled(6, 2);
+        let mut rng = seeded(2);
+        let (train, test) = train_test_split(&ds, 0.5, &mut rng);
+        assert_eq!(train.len() + test.len(), ds.len());
+    }
+
+    #[test]
+    fn unlabeled_split() {
+        let series = (0..10)
+            .map(|i| TimeSeries::univariate(vec![i as f32, 0.0]))
+            .collect();
+        let ds = Dataset::unlabeled("u", series);
+        let mut rng = seeded(3);
+        let (train, test) = train_test_split(&ds, 0.2, &mut rng);
+        assert_eq!(train.len(), 8);
+        assert_eq!(test.len(), 2);
+    }
+
+    #[test]
+    fn label_fraction_keeps_every_class() {
+        let ds = labeled(10, 4);
+        let mut rng = seeded(4);
+        let (labeled_set, rest) = label_fraction_split(&ds, 0.1, &mut rng);
+        assert_eq!(labeled_set.len() + rest.len(), ds.len());
+        // 10% of 10-per-class = 1 per class.
+        for c in 0..4 {
+            assert!(labeled_set.labels().unwrap().contains(&c), "class {c} lost");
+        }
+    }
+
+    #[test]
+    fn label_fraction_one_is_identity() {
+        let ds = labeled(3, 2);
+        let mut rng = seeded(5);
+        let (labeled_set, rest) = label_fraction_split(&ds, 1.0, &mut rng);
+        assert_eq!(labeled_set.len(), ds.len());
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn k_fold_covers_all_indices_once() {
+        let mut rng = seeded(6);
+        let folds = k_fold(17, 4, &mut rng);
+        assert_eq!(folds.len(), 4);
+        let mut seen = [0usize; 17];
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), 17);
+            for &i in val {
+                seen[i] += 1;
+            }
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each index validated exactly once"
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Segment-level anomaly detection datasets.
+//!
+//! Each series is one segment. Normal segments are clean periodic signals
+//! with per-segment random phase; anomalous segments carry one injected
+//! fault. Labels: `0` = normal, `1` = anomalous — matching the segment-level
+//! AD task the CSL paper evaluates (detector trained on shapelet features).
+
+use super::add_noise;
+use crate::dataset::{Dataset, TimeSeries};
+use rand::Rng;
+use tcsl_tensor::rng::gauss;
+
+/// The kinds of fault the generator can inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// A short cluster of high-magnitude spikes.
+    SpikeBurst,
+    /// The oscillation frequency shifts for part of the segment.
+    FrequencyShift,
+    /// The amplitude grows several-fold over a window.
+    AmplitudeBurst,
+    /// The signal flatlines over a window.
+    Flatline,
+}
+
+/// Configuration of the anomaly-segment generator.
+#[derive(Clone, Debug)]
+pub struct AnomalyConfig {
+    /// Variables per segment.
+    pub d: usize,
+    /// Segment length.
+    pub t: usize,
+    /// Samples per period of the normal oscillation.
+    pub period: usize,
+    /// Fraction of segments that are anomalous.
+    pub anomaly_frac: f32,
+    /// Fault types to draw from.
+    pub kinds: Vec<AnomalyKind>,
+    /// Base noise standard deviation.
+    pub noise: f32,
+    /// Fault magnitude multiplier (1.0 = blatant faults; ~0.4 = subtle
+    /// faults that leave detector headroom).
+    pub severity: f32,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        AnomalyConfig {
+            d: 1,
+            t: 128,
+            period: 32,
+            anomaly_frac: 0.15,
+            kinds: vec![
+                AnomalyKind::SpikeBurst,
+                AnomalyKind::FrequencyShift,
+                AnomalyKind::AmplitudeBurst,
+                AnomalyKind::Flatline,
+            ],
+            noise: 0.15,
+            severity: 1.0,
+        }
+    }
+}
+
+/// Generates `n` segments; roughly `anomaly_frac` of them carry a fault.
+pub fn generate(cfg: &AnomalyConfig, n: usize, rng: &mut impl Rng) -> Dataset {
+    assert!(!cfg.kinds.is_empty(), "need at least one anomaly kind");
+    assert!(
+        (0.0..1.0).contains(&cfg.anomaly_frac),
+        "anomaly_frac must be in [0, 1)"
+    );
+    let mut series = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let anomalous = rng.gen_range(0.0..1.0) < cfg.anomaly_frac;
+        series.push(one_segment(cfg, anomalous, rng));
+        labels.push(usize::from(anomalous));
+    }
+    Dataset::labeled("anomaly", series, labels)
+}
+
+fn one_segment(cfg: &AnomalyConfig, anomalous: bool, rng: &mut impl Rng) -> TimeSeries {
+    use std::f32::consts::PI;
+    let phase: f32 = rng.gen_range(0.0..1.0);
+    let mut vars: Vec<Vec<f32>> = (0..cfg.d)
+        .map(|v| {
+            (0..cfg.t)
+                .map(|i| (2.0 * PI * (i as f32 / cfg.period as f32 + phase + 0.2 * v as f32)).sin())
+                .collect()
+        })
+        .collect();
+
+    if anomalous {
+        let kind = cfg.kinds[rng.gen_range(0..cfg.kinds.len())];
+        let span = (cfg.t / 4).max(4);
+        let start = rng.gen_range(0..=cfg.t - span);
+        let sev = cfg.severity;
+        for var in &mut vars {
+            match kind {
+                AnomalyKind::SpikeBurst => {
+                    for _ in 0..4 {
+                        let at = start + rng.gen_range(0..span);
+                        var[at] += 4.0 * sev * gauss(rng).signum() * (2.0 + gauss(rng).abs());
+                    }
+                }
+                AnomalyKind::FrequencyShift => {
+                    // Blend toward a faster oscillation; severity controls
+                    // the blend weight.
+                    for (off, x) in var[start..start + span].iter_mut().enumerate() {
+                        let i = start + off;
+                        let shifted =
+                            (2.0 * PI * (i as f32 / (cfg.period as f32 / 3.0) + phase)).sin();
+                        *x = (1.0 - sev) * *x + sev * shifted;
+                    }
+                }
+                AnomalyKind::AmplitudeBurst => {
+                    let factor = 1.0 + 2.5 * sev;
+                    for x in &mut var[start..start + span] {
+                        *x *= factor;
+                    }
+                }
+                AnomalyKind::Flatline => {
+                    for x in &mut var[start..start + span] {
+                        *x *= 1.0 - sev;
+                    }
+                }
+            }
+        }
+    }
+    for var in &mut vars {
+        add_noise(var, cfg.noise, rng);
+    }
+    TimeSeries::multivariate(vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsl_tensor::rng::seeded;
+
+    #[test]
+    fn labels_match_fraction_roughly() {
+        let cfg = AnomalyConfig {
+            anomaly_frac: 0.2,
+            ..Default::default()
+        };
+        let ds = generate(&cfg, 400, &mut seeded(1));
+        let anomalies = ds.labels().unwrap().iter().filter(|&&l| l == 1).count();
+        assert!(
+            (50..110).contains(&anomalies),
+            "got {anomalies} anomalies of 400"
+        );
+    }
+
+    #[test]
+    fn spike_burst_visibly_exceeds_normal_range() {
+        let cfg = AnomalyConfig {
+            anomaly_frac: 0.999,
+            kinds: vec![AnomalyKind::SpikeBurst],
+            noise: 0.05,
+            ..Default::default()
+        };
+        let ds = generate(&cfg, 10, &mut seeded(2));
+        for i in 0..ds.len() {
+            if ds.label(i) == 1 {
+                let peak = ds
+                    .series(i)
+                    .variable(0)
+                    .iter()
+                    .fold(0.0f32, |a, &x| a.max(x.abs()));
+                assert!(peak > 2.5, "segment {i} peak {peak}");
+            }
+        }
+    }
+
+    #[test]
+    fn flatline_has_low_variance_window() {
+        let cfg = AnomalyConfig {
+            anomaly_frac: 0.999,
+            kinds: vec![AnomalyKind::Flatline],
+            noise: 0.01,
+            ..Default::default()
+        };
+        let ds = generate(&cfg, 5, &mut seeded(3));
+        let s = ds.series(0).variable(0);
+        // Some window of length t/4 should have tiny variance.
+        let span = cfg.t / 4;
+        let min_var = (0..=cfg.t - span)
+            .map(|st| tcsl_tensor::stats::variance(&s[st..st + span]))
+            .fold(f32::INFINITY, f32::min);
+        assert!(
+            min_var < 0.01,
+            "no flatline found, min window variance {min_var}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = AnomalyConfig::default();
+        let a = generate(&cfg, 20, &mut seeded(9));
+        let b = generate(&cfg, 20, &mut seeded(9));
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.series(7), b.series(7));
+    }
+}

@@ -1,0 +1,104 @@
+//! Synthetic dataset families.
+//!
+//! These generators replace the UEA archive (see DESIGN.md's substitution
+//! table). Each family plants a different, documented class structure:
+//!
+//! * [`gesture`] — 8-class, 3-variate accelerometer-style gestures built
+//!   from a shared vocabulary of micro-strokes; class identity is the
+//!   *ordered combination* of strokes, so short shapelets are ambiguous and
+//!   longer ones discriminative (the paper's §3 exploration result).
+//! * [`motif`] — class `k` embeds motif `k` at a random position in
+//!   background noise: the canonical shapelet-friendly regime.
+//! * [`periodic`] — classes are waveform shapes of periodic signals;
+//!   distant-in-time subsequences are *similar*, violating the assumption
+//!   TNC-style methods rely on (the failure mode the paper's intro cites).
+//! * [`trend`] — classes are global trend/level patterns; stresses methods
+//!   biased toward local patterns.
+//! * [`leadlag`] — classes are *orderings* of an event across variables;
+//!   only joint cross-variable windows are informative.
+//! * [`anomaly`] — segment-level anomaly detection: normal periodic
+//!   segments vs segments with injected spikes / frequency shifts /
+//!   amplitude bursts / flatlines.
+//!
+//! All generators are deterministic in the supplied RNG.
+
+pub mod anomaly;
+pub mod gesture;
+pub mod leadlag;
+pub mod motif;
+pub mod periodic;
+pub mod trend;
+
+use rand::Rng;
+use tcsl_tensor::rng::gauss;
+
+/// Adds a smooth bump `amplitude · sin(π·u)` over `[start, start+len)` to a
+/// buffer (clipped at the ends).
+pub(crate) fn add_bump(buf: &mut [f32], start: isize, len: usize, amplitude: f32) {
+    for i in 0..len {
+        let idx = start + i as isize;
+        if idx < 0 || idx as usize >= buf.len() {
+            continue;
+        }
+        let u = (i as f32 + 0.5) / len as f32;
+        buf[idx as usize] += amplitude * (std::f32::consts::PI * u).sin();
+    }
+}
+
+/// Adds iid Gaussian noise.
+pub(crate) fn add_noise(buf: &mut [f32], sigma: f32, rng: &mut impl Rng) {
+    for x in buf.iter_mut() {
+        *x += sigma * gauss(rng);
+    }
+}
+
+/// A smooth random curve of length `n`: a random walk re-smoothed with a
+/// short moving average and z-normalized. Used as motif material and
+/// background texture.
+pub(crate) fn smooth_random_curve(n: usize, rng: &mut impl Rng) -> Vec<f32> {
+    let mut walk = Vec::with_capacity(n);
+    let mut acc = 0.0f32;
+    for _ in 0..n {
+        acc += gauss(rng);
+        walk.push(acc);
+    }
+    // Moving-average smoothing with window ~ n/8 (at least 2).
+    let w = (n / 8).max(2);
+    let mut smooth = vec![0.0f32; n];
+    for (i, s) in smooth.iter_mut().enumerate() {
+        let lo = i.saturating_sub(w / 2);
+        let hi = (i + w / 2 + 1).min(n);
+        *s = walk[lo..hi].iter().sum::<f32>() / (hi - lo) as f32;
+    }
+    tcsl_tensor::stats::znorm_inplace(&mut smooth);
+    smooth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsl_tensor::rng::seeded;
+
+    #[test]
+    fn bump_is_clipped_and_positive() {
+        let mut buf = vec![0.0f32; 10];
+        add_bump(&mut buf, -2, 6, 1.0);
+        assert!(buf[..4].iter().any(|&x| x > 0.0));
+        assert_eq!(buf[9], 0.0);
+        let mut buf2 = vec![0.0f32; 10];
+        add_bump(&mut buf2, 8, 6, 1.0);
+        assert!(buf2[8] > 0.0 && buf2[9] > 0.0);
+    }
+
+    #[test]
+    fn smooth_curve_is_normalized_and_smooth() {
+        let mut rng = seeded(3);
+        let c = smooth_random_curve(64, &mut rng);
+        assert_eq!(c.len(), 64);
+        let m = tcsl_tensor::stats::mean(&c);
+        assert!(m.abs() < 1e-4);
+        // Smoothness: mean |first difference| well below that of white noise.
+        let diffs: f32 = c.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f32>() / 63.0;
+        assert!(diffs < 0.5, "curve not smooth: mean |Δ| = {diffs}");
+    }
+}

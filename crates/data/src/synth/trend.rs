@@ -1,0 +1,118 @@
+//! Trend/level-shift classification.
+//!
+//! Classes are global structural patterns (ramps, level steps, V-shapes).
+//! The discriminative information lives at the largest scale, so this family
+//! probes the *long* end of the multi-scale shapelet bank.
+
+use super::add_noise;
+use crate::dataset::{Dataset, TimeSeries};
+use rand::Rng;
+use tcsl_tensor::rng::gauss;
+
+/// Configuration of the trend generator.
+#[derive(Clone, Debug)]
+pub struct TrendConfig {
+    /// Number of classes, at most 5.
+    pub n_classes: usize,
+    /// Variables per series.
+    pub d: usize,
+    /// Series length.
+    pub t: usize,
+    /// Additive noise standard deviation.
+    pub noise: f32,
+}
+
+impl Default for TrendConfig {
+    fn default() -> Self {
+        TrendConfig {
+            n_classes: 4,
+            d: 1,
+            t: 160,
+            noise: 0.4,
+        }
+    }
+}
+
+fn trend_value(class: usize, u: f32, break_at: f32) -> f32 {
+    match class {
+        0 => 2.0 * u - 1.0, // up ramp
+        1 => 1.0 - 2.0 * u, // down ramp
+        2 => {
+            if u < break_at {
+                -0.8
+            } else {
+                0.8
+            }
+        } // level step
+        3 => 2.0 * (2.0 * (u - 0.5).abs()) - 1.0, // V shape
+        4 => 1.0 - 2.0 * (2.0 * (u - 0.5).abs()), // Λ shape
+        _ => unreachable!("trend supports at most 5 classes"),
+    }
+}
+
+/// Generates `n_per_class` series per class.
+pub fn generate(cfg: &TrendConfig, n_per_class: usize, rng: &mut impl Rng) -> Dataset {
+    assert!(
+        cfg.n_classes >= 2 && cfg.n_classes <= 5,
+        "trend supports 2..=5 classes"
+    );
+    let mut series = Vec::new();
+    let mut labels = Vec::new();
+    for class in 0..cfg.n_classes {
+        for _ in 0..n_per_class {
+            let break_at = 0.5 + 0.1 * gauss(rng);
+            let scale = 1.0 + 0.2 * gauss(rng);
+            let mut vars = Vec::with_capacity(cfg.d);
+            for _ in 0..cfg.d {
+                let mut v: Vec<f32> = (0..cfg.t)
+                    .map(|i| scale * trend_value(class, i as f32 / cfg.t as f32, break_at))
+                    .collect();
+                add_noise(&mut v, cfg.noise, rng);
+                vars.push(v);
+            }
+            series.push(TimeSeries::multivariate(vars));
+            labels.push(class);
+        }
+    }
+    Dataset::labeled("trend", series, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsl_tensor::rng::seeded;
+
+    #[test]
+    fn shapes() {
+        let ds = generate(&TrendConfig::default(), 3, &mut seeded(1));
+        assert_eq!(ds.len(), 12);
+        assert_eq!(ds.n_classes(), 4);
+    }
+
+    #[test]
+    fn up_ramp_ends_higher_than_it_starts() {
+        let cfg = TrendConfig {
+            noise: 0.05,
+            ..Default::default()
+        };
+        let ds = generate(&cfg, 1, &mut seeded(2));
+        let up = ds.series(0).variable(0);
+        assert!(up[cfg.t - 1] > up[0] + 1.0);
+        let down = ds.series(1).variable(0);
+        assert!(down[cfg.t - 1] < down[0] - 1.0);
+    }
+
+    #[test]
+    fn step_class_has_two_levels() {
+        let cfg = TrendConfig {
+            noise: 0.05,
+            n_classes: 3,
+            ..Default::default()
+        };
+        let ds = generate(&cfg, 1, &mut seeded(3));
+        let step = ds.series(2).variable(0);
+        let first_quarter = tcsl_tensor::stats::mean(&step[..cfg.t / 4]);
+        let last_quarter = tcsl_tensor::stats::mean(&step[3 * cfg.t / 4..]);
+        assert!(last_quarter - first_quarter > 1.0);
+    }
+}

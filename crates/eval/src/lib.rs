@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+
+//! # tcsl-eval
+//!
+//! Evaluation machinery for the TimeCSL experiments: classification,
+//! clustering and anomaly-detection metrics (in `f64`), the average-rank
+//! aggregation behind the paper's Figure 1 (smaller rank = better method
+//! across the archive), and plain-text/markdown table rendering for the
+//! experiment harnesses. Dependency-free by design.
+
+pub mod metrics;
+pub mod ranking;
+pub mod report;
+pub mod stats;
+
+pub use ranking::{average_ranks, RankSummary};
+pub use report::Table;

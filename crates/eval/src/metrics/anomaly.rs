@@ -1,0 +1,125 @@
+//! Anomaly-detection metrics over continuous scores.
+
+/// Area under the ROC curve via the Mann–Whitney U statistic (ties share
+/// rank). `labels` are `true` for anomalies, scores higher = more anomalous.
+/// Returns 0.5 when either class is absent.
+pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "score/label length mismatch");
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    // Rank scores ascending with average ranks for ties.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = ranks
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l)
+        .map(|(&r, _)| r)
+        .sum();
+    let u = rank_sum_pos - (pos as f64) * (pos as f64 + 1.0) / 2.0;
+    u / (pos as f64 * neg as f64)
+}
+
+/// Average precision (area under the precision–recall curve, step-wise).
+pub fn average_precision(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "score/label length mismatch");
+    let pos = labels.iter().filter(|&&l| l).count();
+    if pos == 0 {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    let mut tp = 0usize;
+    let mut ap = 0.0f64;
+    for (seen, &idx) in order.iter().enumerate() {
+        if labels[idx] {
+            tp += 1;
+            ap += tp as f64 / (seen + 1) as f64;
+        }
+    }
+    ap / pos as f64
+}
+
+/// Best F1 over all score thresholds.
+pub fn best_f1(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "score/label length mismatch");
+    let pos = labels.iter().filter(|&&l| l).count();
+    if pos == 0 {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    let mut tp = 0usize;
+    let mut best = 0.0f64;
+    for (seen, &idx) in order.iter().enumerate() {
+        if labels[idx] {
+            tp += 1;
+        }
+        let precision = tp as f64 / (seen + 1) as f64;
+        let recall = tp as f64 / pos as f64;
+        if precision + recall > 0.0 {
+            best = best.max(2.0 * precision * recall / (precision + recall));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_gives_unit_auc() {
+        let scores = [0.1f32, 0.2, 0.9, 0.8];
+        let labels = [false, false, true, true];
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-9);
+        assert!((average_precision(&scores, &labels) - 1.0).abs() < 1e-9);
+        assert!((best_f1(&scores, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverted_scores_give_zero_auc() {
+        let scores = [0.9f32, 0.8, 0.1, 0.2];
+        let labels = [false, false, true, true];
+        assert!(roc_auc(&scores, &labels).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_like_scores_near_half() {
+        let scores: Vec<f32> = (0..100).map(|i| ((i * 37) % 100) as f32).collect();
+        let labels: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let auc = roc_auc(&scores, &labels);
+        assert!((auc - 0.5).abs() < 0.15, "auc {auc}");
+    }
+
+    #[test]
+    fn ties_share_rank() {
+        // All equal scores → AUC exactly 0.5 regardless of labels.
+        let scores = [1.0f32; 6];
+        let labels = [true, false, true, false, true, false];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_label_sets() {
+        assert_eq!(roc_auc(&[1.0, 2.0], &[true, true]), 0.5);
+        assert_eq!(average_precision(&[1.0, 2.0], &[false, false]), 0.0);
+        assert_eq!(best_f1(&[1.0], &[false]), 0.0);
+    }
+}

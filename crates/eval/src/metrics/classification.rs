@@ -1,0 +1,102 @@
+//! Classification metrics.
+
+/// Fraction of predictions equal to the truth. Panics on length mismatch;
+/// returns 0 for empty inputs.
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let hits = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Confusion matrix `m[truth][pred]` over `n_classes`.
+pub fn confusion_matrix(pred: &[usize], truth: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&p, &t) in pred.iter().zip(truth) {
+        assert!(p < n_classes && t < n_classes, "label out of range");
+        m[t][p] += 1;
+    }
+    m
+}
+
+/// Per-class precision, recall and F1 (0 where undefined).
+pub fn per_class_prf(pred: &[usize], truth: &[usize], n_classes: usize) -> Vec<(f64, f64, f64)> {
+    let m = confusion_matrix(pred, truth, n_classes);
+    (0..n_classes)
+        .map(|c| {
+            let tp = m[c][c] as f64;
+            let fp: f64 = (0..n_classes)
+                .filter(|&t| t != c)
+                .map(|t| m[t][c] as f64)
+                .sum();
+            let fn_: f64 = (0..n_classes)
+                .filter(|&p| p != c)
+                .map(|p| m[c][p] as f64)
+                .sum();
+            let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+            let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+            let f1 = if precision + recall > 0.0 {
+                2.0 * precision * recall / (precision + recall)
+            } else {
+                0.0
+            };
+            (precision, recall, f1)
+        })
+        .collect()
+}
+
+/// Macro-averaged F1.
+pub fn macro_f1(pred: &[usize], truth: &[usize], n_classes: usize) -> f64 {
+    let prf = per_class_prf(pred, truth, n_classes);
+    prf.iter().map(|&(_, _, f1)| f1).sum::<f64>() / n_classes.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let m = confusion_matrix(&[0, 1, 1, 0], &[0, 1, 0, 1], 2);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[1][0], 1);
+        assert_eq!(m[1][1], 1);
+    }
+
+    #[test]
+    fn perfect_prediction_has_unit_f1() {
+        let y = [0usize, 1, 2, 0, 1, 2];
+        let prf = per_class_prf(&y, &y, 3);
+        for (p, r, f1) in prf {
+            assert_eq!(p, 1.0);
+            assert_eq!(r, 1.0);
+            assert_eq!(f1, 1.0);
+        }
+        assert_eq!(macro_f1(&y, &y, 3), 1.0);
+    }
+
+    #[test]
+    fn absent_class_has_zero_f1() {
+        // Class 2 never predicted and never true.
+        let pred = [0usize, 1, 0, 1];
+        let truth = [0usize, 1, 1, 0];
+        let prf = per_class_prf(&pred, &truth, 3);
+        assert_eq!(prf[2], (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatch_panics() {
+        accuracy(&[0], &[0, 1]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Clustering metrics against ground-truth labels.
+
+/// Contingency table `t[cluster][class]`.
+fn contingency(assign: &[usize], truth: &[usize]) -> Vec<Vec<usize>> {
+    assert_eq!(
+        assign.len(),
+        truth.len(),
+        "assignment/truth length mismatch"
+    );
+    let kc = assign.iter().copied().max().map_or(0, |m| m + 1);
+    let kt = truth.iter().copied().max().map_or(0, |m| m + 1);
+    let mut t = vec![vec![0usize; kt]; kc];
+    for (&a, &y) in assign.iter().zip(truth) {
+        t[a][y] += 1;
+    }
+    t
+}
+
+fn entropy(counts: &[usize], n: f64) -> f64 {
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Normalized mutual information (arithmetic normalization), in `[0, 1]`.
+pub fn nmi(assign: &[usize], truth: &[usize]) -> f64 {
+    let n = assign.len() as f64;
+    if assign.is_empty() {
+        return 0.0;
+    }
+    let t = contingency(assign, truth);
+    let row_sums: Vec<usize> = t.iter().map(|r| r.iter().sum()).collect();
+    let col_sums: Vec<usize> = (0..t[0].len())
+        .map(|c| t.iter().map(|r| r[c]).sum())
+        .collect();
+    let mut mi = 0.0;
+    for (i, row) in t.iter().enumerate() {
+        for (j, &cell) in row.iter().enumerate() {
+            if cell == 0 {
+                continue;
+            }
+            let pij = cell as f64 / n;
+            let pi = row_sums[i] as f64 / n;
+            let pj = col_sums[j] as f64 / n;
+            mi += pij * (pij / (pi * pj)).ln();
+        }
+    }
+    let ha = entropy(&row_sums, n);
+    let hb = entropy(&col_sums, n);
+    let denom = 0.5 * (ha + hb);
+    if denom < 1e-12 {
+        // Both partitions are single-cluster: identical ⇒ 1.
+        return 1.0;
+    }
+    (mi / denom).clamp(0.0, 1.0)
+}
+
+fn comb2(n: usize) -> f64 {
+    let n = n as f64;
+    n * (n - 1.0) / 2.0
+}
+
+/// Adjusted Rand index, in `[-1, 1]` (1 = identical partitions, ~0 =
+/// random).
+pub fn adjusted_rand_index(assign: &[usize], truth: &[usize]) -> f64 {
+    let n = assign.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let t = contingency(assign, truth);
+    let row_sums: Vec<usize> = t.iter().map(|r| r.iter().sum()).collect();
+    let col_sums: Vec<usize> = (0..t[0].len())
+        .map(|c| t.iter().map(|r| r[c]).sum())
+        .collect();
+    let sum_cells: f64 = t.iter().flatten().map(|&c| comb2(c)).sum();
+    let sum_rows: f64 = row_sums.iter().map(|&c| comb2(c)).sum();
+    let sum_cols: f64 = col_sums.iter().map(|&c| comb2(c)).sum();
+    let total = comb2(n);
+    let expected = sum_rows * sum_cols / total;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0;
+    }
+    (sum_cells - expected) / (max_index - expected)
+}
+
+/// Plain Rand index in `[0, 1]`: fraction of agreeing pairs.
+pub fn rand_index(assign: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(
+        assign.len(),
+        truth.len(),
+        "assignment/truth length mismatch"
+    );
+    let n = assign.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += 1;
+            if (assign[i] == assign[j]) == (truth[i] == truth[j]) {
+                agree += 1;
+            }
+        }
+    }
+    agree as f64 / total as f64
+}
+
+/// Purity: each cluster votes its majority class.
+pub fn purity(assign: &[usize], truth: &[usize]) -> f64 {
+    if assign.is_empty() {
+        return 0.0;
+    }
+    let t = contingency(assign, truth);
+    let majority_total: usize = t.iter().map(|r| r.iter().copied().max().unwrap_or(0)).sum();
+    majority_total as f64 / assign.len() as f64
+}
+
+/// Mean silhouette coefficient over points (Euclidean), in `[-1, 1]`.
+/// Points in singleton clusters contribute 0.
+pub fn silhouette(points: &[Vec<f32>], assign: &[usize]) -> f64 {
+    assert_eq!(
+        points.len(),
+        assign.len(),
+        "points/assignment length mismatch"
+    );
+    let n = points.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let k = assign.iter().copied().max().map_or(0, |m| m + 1);
+    let dist = |a: &[f32], b: &[f32]| -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| ((x - y) as f64).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    };
+    let mut total = 0.0;
+    for i in 0..n {
+        let mut sums = vec![0.0f64; k];
+        let mut counts = vec![0usize; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sums[assign[j]] += dist(&points[i], &points[j]);
+            counts[assign[j]] += 1;
+        }
+        let own = assign[i];
+        if counts[own] == 0 {
+            continue; // singleton
+        }
+        let a = sums[own] / counts[own] as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+        }
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let y = [0usize, 0, 1, 1, 2, 2];
+        assert!((nmi(&y, &y) - 1.0).abs() < 1e-9);
+        assert!((adjusted_rand_index(&y, &y) - 1.0).abs() < 1e-9);
+        assert_eq!(rand_index(&y, &y), 1.0);
+        assert_eq!(purity(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn label_permutation_is_irrelevant() {
+        let truth = [0usize, 0, 1, 1];
+        let flipped = [1usize, 1, 0, 0];
+        assert!((nmi(&flipped, &truth) - 1.0).abs() < 1e-9);
+        assert!((adjusted_rand_index(&flipped, &truth) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_cluster_against_two_classes() {
+        let assign = [0usize, 0, 0, 0];
+        let truth = [0usize, 0, 1, 1];
+        assert!(nmi(&assign, &truth) < 1e-9);
+        assert!(adjusted_rand_index(&assign, &truth).abs() < 1e-9);
+        assert_eq!(purity(&assign, &truth), 0.5);
+    }
+
+    #[test]
+    fn ari_near_zero_for_random_like_assignment() {
+        // Alternating assignment against block truth.
+        let assign: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let truth: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
+        assert!(adjusted_rand_index(&assign, &truth).abs() < 0.15);
+    }
+
+    #[test]
+    fn silhouette_high_for_tight_separated_clusters() {
+        let mut pts = Vec::new();
+        let mut assign = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + 0.01 * i as f32]);
+            assign.push(0);
+            pts.push(vec![10.0 + 0.01 * i as f32]);
+            assign.push(1);
+        }
+        assert!(silhouette(&pts, &assign) > 0.9);
+    }
+
+    #[test]
+    fn silhouette_low_for_mixed_clusters() {
+        let pts: Vec<Vec<f32>> = (0..20).map(|i| vec![(i % 5) as f32]).collect();
+        let assign: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        assert!(silhouette(&pts, &assign) < 0.2);
+    }
+}

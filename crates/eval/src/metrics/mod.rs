@@ -1,0 +1,5 @@
+//! Metrics grouped by task.
+
+pub mod anomaly;
+pub mod classification;
+pub mod clustering;

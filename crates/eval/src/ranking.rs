@@ -1,0 +1,147 @@
+//! Average-rank aggregation across datasets — the statistic behind the
+//! paper's Figure 1 ("smaller is better": each method is ranked per
+//! dataset, then ranks are averaged over the archive).
+
+/// Whether larger metric values are better (accuracy, NMI, AUC) or worse
+/// (time, error).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger values rank better.
+    HigherIsBetter,
+    /// Smaller values rank better.
+    LowerIsBetter,
+}
+
+/// Aggregated ranking of methods across datasets.
+#[derive(Clone, Debug)]
+pub struct RankSummary {
+    /// Method names, in input order.
+    pub methods: Vec<String>,
+    /// Mean rank per method (1 = always best).
+    pub mean_ranks: Vec<f64>,
+    /// Number of datasets where each method ranked (solo) first.
+    pub wins: Vec<usize>,
+    /// Per-dataset rank matrix `[dataset][method]`.
+    pub per_dataset_ranks: Vec<Vec<f64>>,
+}
+
+impl RankSummary {
+    /// Index of the method with the best (smallest) mean rank.
+    pub fn best_method(&self) -> usize {
+        let mut best = 0;
+        for (i, &r) in self.mean_ranks.iter().enumerate() {
+            if r < self.mean_ranks[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Ranks each row of `scores[dataset][method]` (ties receive the average of
+/// the tied ranks) and averages over datasets.
+pub fn average_ranks(methods: &[&str], scores: &[Vec<f64>], direction: Direction) -> RankSummary {
+    assert!(!methods.is_empty(), "need at least one method");
+    assert!(!scores.is_empty(), "need at least one dataset");
+    for (d, row) in scores.iter().enumerate() {
+        assert_eq!(
+            row.len(),
+            methods.len(),
+            "dataset {d} has wrong method count"
+        );
+    }
+    let m = methods.len();
+    let mut per_dataset_ranks = Vec::with_capacity(scores.len());
+    let mut mean = vec![0.0f64; m];
+    let mut wins = vec![0usize; m];
+    for row in scores {
+        let ranks = rank_row(row, direction);
+        // Solo winner: rank exactly 1.0.
+        for (i, &r) in ranks.iter().enumerate() {
+            if (r - 1.0).abs() < 1e-12 {
+                wins[i] += 1;
+            }
+            mean[i] += r;
+        }
+        per_dataset_ranks.push(ranks);
+    }
+    for r in &mut mean {
+        *r /= scores.len() as f64;
+    }
+    RankSummary {
+        methods: methods.iter().map(|s| s.to_string()).collect(),
+        mean_ranks: mean,
+        wins,
+        per_dataset_ranks,
+    }
+}
+
+/// Ranks one score row (1 = best) with average-tied ranks.
+pub fn rank_row(row: &[f64], direction: Direction) -> Vec<f64> {
+    let m = row.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| {
+        let cmp = row[a].partial_cmp(&row[b]).expect("finite scores");
+        match direction {
+            Direction::HigherIsBetter => cmp.reverse(),
+            Direction::LowerIsBetter => cmp,
+        }
+    });
+    let mut ranks = vec![0.0f64; m];
+    let mut i = 0;
+    while i < m {
+        let mut j = i;
+        while j + 1 < m && row[order[j + 1]] == row[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranking_higher_better() {
+        let ranks = rank_row(&[0.9, 0.7, 0.8], Direction::HigherIsBetter);
+        assert_eq!(ranks, vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn simple_ranking_lower_better() {
+        let ranks = rank_row(&[10.0, 5.0, 20.0], Direction::LowerIsBetter);
+        assert_eq!(ranks, vec![2.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_get_average_rank() {
+        let ranks = rank_row(&[0.5, 0.5, 0.1], Direction::HigherIsBetter);
+        assert_eq!(ranks, vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn aggregate_over_datasets() {
+        let scores = vec![
+            vec![0.9, 0.8, 0.7], // method0 wins
+            vec![0.6, 0.9, 0.7], // method1 wins
+            vec![0.9, 0.5, 0.6], // method0 wins
+        ];
+        let summary = average_ranks(&["a", "b", "c"], &scores, Direction::HigherIsBetter);
+        assert_eq!(summary.wins, vec![2, 1, 0]);
+        assert_eq!(summary.best_method(), 0);
+        assert!((summary.mean_ranks[0] - (1.0 + 3.0 + 1.0) / 3.0).abs() < 1e-12);
+        assert_eq!(summary.per_dataset_ranks.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong method count")]
+    fn ragged_input_panics() {
+        average_ranks(&["a", "b"], &[vec![1.0]], Direction::HigherIsBetter);
+    }
+}

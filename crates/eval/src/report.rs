@@ -1,0 +1,131 @@
+//! Plain-text and markdown table rendering for the experiment harnesses.
+
+/// A simple string table with aligned ASCII and markdown renderers.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Convenience: formats `f64` cells to 4 decimals after a leading label.
+    pub fn row_metric(&mut self, label: &str, values: &[f64]) -> &mut Self {
+        let mut cells = Vec::with_capacity(values.len() + 1);
+        cells.push(label.to_string());
+        cells.extend(values.iter().map(|v| format!("{v:.4}")));
+        self.row(cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn to_ascii(&self) -> String {
+        let w = self.widths();
+        let fmt_row = |cells: &[String]| -> String {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(&w)
+                .map(|(c, &width)| format!("{c:<width$}"))
+                .collect();
+            parts.join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(w.iter().sum::<usize>() + 2 * (w.len().saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_alignment() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "2".into()]);
+        let s = t.to_ascii();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a     "));
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new(&["m", "acc"]);
+        t.row_metric("csl", &[0.91234]);
+        let md = t.to_markdown();
+        assert!(md.contains("| m | acc |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| csl | 0.9123 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_panics() {
+        Table::new(&["a", "b"]).row(vec!["only one".into()]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Summary statistics for experiment reporting.
+
+/// Mean of a sample (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (n−1 denominator; 0 when n < 2).
+pub fn sample_std(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Normal-approximation 95% confidence half-width of the mean.
+pub fn ci95_half_width(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    1.96 * sample_std(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Two-sided sign test p-value (binomial, normal approximation for n > 25)
+/// for paired samples: tests whether `a` tends to exceed `b`. Ties are
+/// dropped. Returns 1.0 when everything ties.
+pub fn sign_test_p(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "paired samples required");
+    let diffs: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| x - y)
+        .filter(|d| d.abs() > 1e-12)
+        .collect();
+    let n = diffs.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let k = diffs.iter().filter(|&&d| d > 0.0).count();
+    let k_ext = k.max(n - k);
+    if n <= 25 {
+        // Exact two-sided binomial tail.
+        let mut tail = 0.0f64;
+        for i in k_ext..=n {
+            tail += binom(n, i);
+        }
+        (2.0 * tail / 2f64.powi(n as i32)).min(1.0)
+    } else {
+        // Normal approximation with continuity correction.
+        let mu = n as f64 / 2.0;
+        let sigma = (n as f64 / 4.0).sqrt();
+        let z = ((k_ext as f64 - 0.5) - mu) / sigma;
+        (2.0 * (1.0 - phi(z))).clamp(0.0, 1.0)
+    }
+}
+
+fn binom(n: usize, k: usize) -> f64 {
+    let mut acc = 1.0f64;
+    for i in 0..k.min(n - k) {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Standard normal CDF (Abramowitz–Stegun approximation).
+fn phi(z: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.231_641_9 * z.abs());
+    let poly = t
+        * (0.319_381_530
+            + t * (-0.356_563_782
+                + t * (1.781_477_937 + t * (-1.821_255_978 + t * 1.330_274_429))));
+    let cdf = 1.0 - (-z * z / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt() * poly;
+    if z >= 0.0 {
+        cdf
+    } else {
+        1.0 - cdf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        assert!((sample_std(&xs) - (5.0f64 / 3.0).sqrt()).abs() < 1e-9);
+        assert!(ci95_half_width(&xs) > 0.0);
+    }
+
+    #[test]
+    fn sign_test_detects_consistent_difference() {
+        let a: Vec<f64> = (0..20).map(|i| i as f64 + 1.0).collect();
+        let b: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        assert!(sign_test_p(&a, &b) < 0.01);
+    }
+
+    #[test]
+    fn sign_test_neutral_for_mixed() {
+        let a = [1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        let b = [0.0, 1.0, 0.0, 1.0, 0.0, 1.0];
+        assert!(sign_test_p(&a, &b) > 0.5);
+    }
+
+    #[test]
+    fn sign_test_all_ties_is_one() {
+        let a = [1.0, 2.0];
+        assert_eq!(sign_test_p(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn phi_is_a_cdf() {
+        assert!((phi(0.0) - 0.5).abs() < 1e-6);
+        assert!(phi(3.0) > 0.99);
+        assert!(phi(-3.0) < 0.01);
+        assert!((phi(1.0) + phi(-1.0) - 1.0).abs() < 1e-6);
+    }
+}

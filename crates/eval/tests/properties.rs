@@ -1,0 +1,114 @@
+//! Property tests for metric and ranking invariants.
+
+use proptest::prelude::*;
+use tcsl_eval::metrics::anomaly::roc_auc;
+use tcsl_eval::metrics::classification::{accuracy, confusion_matrix, macro_f1};
+use tcsl_eval::metrics::clustering::{adjusted_rand_index, nmi, purity, rand_index};
+use tcsl_eval::ranking::{average_ranks, rank_row, Direction};
+
+fn labels(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..4, n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn accuracy_bounds_and_identity(y in labels(20)) {
+        prop_assert_eq!(accuracy(&y, &y), 1.0);
+        let shifted: Vec<usize> = y.iter().map(|&l| (l + 1) % 4).collect();
+        prop_assert_eq!(accuracy(&shifted, &y), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_totals(pred in labels(30), truth in labels(30)) {
+        let m = confusion_matrix(&pred, &truth, 4);
+        let total: usize = m.iter().flatten().sum();
+        prop_assert_eq!(total, 30);
+        let diag: usize = (0..4).map(|c| m[c][c]).sum();
+        prop_assert!((accuracy(&pred, &truth) - diag as f64 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_in_unit_interval(pred in labels(25), truth in labels(25)) {
+        let f1 = macro_f1(&pred, &truth, 4);
+        prop_assert!((0.0..=1.0).contains(&f1));
+    }
+
+    #[test]
+    fn clustering_metrics_are_permutation_invariant(truth in labels(24), perm_shift in 1usize..4) {
+        // Relabeling clusters must not change any score.
+        let assign = truth.clone();
+        let relabeled: Vec<usize> = assign.iter().map(|&c| (c + perm_shift) % 4).collect();
+        prop_assert!((nmi(&assign, &truth) - nmi(&relabeled, &truth)).abs() < 1e-9);
+        prop_assert!(
+            (adjusted_rand_index(&assign, &truth) - adjusted_rand_index(&relabeled, &truth)).abs()
+                < 1e-9
+        );
+        prop_assert!((rand_index(&assign, &truth) - rand_index(&relabeled, &truth)).abs() < 1e-9);
+        prop_assert!((purity(&assign, &truth) - purity(&relabeled, &truth)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_clustering_scores_one(truth in labels(16)) {
+        prop_assume!(truth.iter().collect::<std::collections::HashSet<_>>().len() >= 2);
+        prop_assert!((nmi(&truth, &truth) - 1.0).abs() < 1e-9);
+        prop_assert!((adjusted_rand_index(&truth, &truth) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_is_invariant_under_monotone_transforms(
+        scores in proptest::collection::vec(0.0f32..1.0, 20..40),
+    ) {
+        let labels: Vec<bool> = scores.iter().enumerate().map(|(i, _)| i % 3 == 0).collect();
+        let a = roc_auc(&scores, &labels);
+        // Affine transform: exactly order-preserving in f32 (a nonlinear
+        // map like s² can round distinct scores into ties and legitimately
+        // change the tie-averaged AUC).
+        let squashed: Vec<f32> = scores.iter().map(|&s| s * 2.0 + 1.0).collect();
+        let b = roc_auc(&squashed, &labels);
+        prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+    }
+
+    #[test]
+    fn flipping_scores_flips_auc(scores in proptest::collection::vec(0.0f32..1.0, 10..30)) {
+        let labels: Vec<bool> = scores.iter().enumerate().map(|(i, _)| i % 2 == 0).collect();
+        let a = roc_auc(&scores, &labels);
+        let negated: Vec<f32> = scores.iter().map(|&s| -s).collect();
+        let b = roc_auc(&negated, &labels);
+        prop_assert!((a + b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranks_are_a_valid_assignment(row in proptest::collection::vec(-10.0f64..10.0, 2..8)) {
+        let ranks = rank_row(&row, Direction::HigherIsBetter);
+        // Ranks sum to n(n+1)/2 regardless of ties.
+        let n = row.len() as f64;
+        let total: f64 = ranks.iter().sum();
+        prop_assert!((total - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        for &r in &ranks {
+            prop_assert!((1.0..=n).contains(&r));
+        }
+    }
+
+    #[test]
+    fn direction_reverses_rank_order(row in proptest::collection::vec(-10.0f64..10.0, 2..8)) {
+        let hi = rank_row(&row, Direction::HigherIsBetter);
+        let lo = rank_row(&row, Direction::LowerIsBetter);
+        let n = row.len() as f64;
+        for (a, b) in hi.iter().zip(&lo) {
+            prop_assert!((a + b - (n + 1.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn average_ranks_best_method_has_min_rank(
+        scores in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 3..=3), 2..6),
+    ) {
+        let summary = average_ranks(&["a", "b", "c"], &scores, Direction::HigherIsBetter);
+        let best = summary.best_method();
+        for r in &summary.mean_ranks {
+            prop_assert!(summary.mean_ranks[best] <= *r + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Shapelet importance ranking — which shapelets are worth exploring?
+//!
+//! The demo asks users to "select a set of interested shapelets"; these
+//! scores suggest where to look. Two rankings are provided:
+//!
+//! * [`anova_f_scores`] (supervised) — the one-way ANOVA F statistic of
+//!   each feature against the class labels: high F = the shapelet's best-
+//!   match (dis)similarity separates the classes.
+//! * [`variance_scores`] (unsupervised) — feature variance after
+//!   standardizing direction; high variance = the shapelet discriminates
+//!   *something* in the data.
+
+use tcsl_tensor::Tensor;
+
+/// One-way ANOVA F statistic per feature column of `features (N×F)`
+/// against integer `labels`. Returns 0 for degenerate columns.
+pub fn anova_f_scores(features: &Tensor, labels: &[usize]) -> Vec<f64> {
+    assert_eq!(features.rows(), labels.len(), "one label per row required");
+    let n = features.rows();
+    assert!(n >= 2, "need at least two samples");
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    assert!(k >= 2, "need at least two classes");
+    let mut counts = vec![0usize; k];
+    for &l in labels {
+        counts[l] += 1;
+    }
+    (0..features.cols())
+        .map(|c| {
+            let col: Vec<f64> = (0..n).map(|i| features.at2(i, c) as f64).collect();
+            let grand = col.iter().sum::<f64>() / n as f64;
+            let mut class_means = vec![0.0f64; k];
+            for (i, &l) in labels.iter().enumerate() {
+                class_means[l] += col[i];
+            }
+            for (m, &cnt) in class_means.iter_mut().zip(&counts) {
+                if cnt > 0 {
+                    *m /= cnt as f64;
+                }
+            }
+            // Between-group and within-group sums of squares.
+            let ssb: f64 = class_means
+                .iter()
+                .zip(&counts)
+                .map(|(&m, &cnt)| cnt as f64 * (m - grand) * (m - grand))
+                .sum();
+            let ssw: f64 = col
+                .iter()
+                .zip(labels)
+                .map(|(&x, &l)| (x - class_means[l]) * (x - class_means[l]))
+                .sum();
+            let df_between = (k - 1) as f64;
+            let df_within = (n - k) as f64;
+            if ssw < 1e-12 || df_within <= 0.0 {
+                if ssb > 1e-12 {
+                    f64::MAX / 1e6 // perfectly separating column
+                } else {
+                    0.0
+                }
+            } else {
+                (ssb / df_between) / (ssw / df_within)
+            }
+        })
+        .collect()
+}
+
+/// Per-column variance of the feature matrix (unsupervised importance).
+pub fn variance_scores(features: &Tensor) -> Vec<f64> {
+    let n = features.rows().max(1) as f64;
+    (0..features.cols())
+        .map(|c| {
+            let mean: f64 = (0..features.rows())
+                .map(|i| features.at2(i, c) as f64)
+                .sum::<f64>()
+                / n;
+            (0..features.rows())
+                .map(|i| {
+                    let d = features.at2(i, c) as f64 - mean;
+                    d * d
+                })
+                .sum::<f64>()
+                / n
+        })
+        .collect()
+}
+
+/// Indices of the `k` highest-scoring columns, best first.
+pub fn top_k(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    order.truncate(k);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f_score_finds_the_separating_column() {
+        // Column 0: class-dependent; column 1: pure noise-like alternation.
+        let feats = Tensor::from_vec(
+            vec![
+                0.0, 5.0, //
+                0.1, -5.0, //
+                0.2, 5.0, //
+                5.0, -5.0, //
+                5.1, 5.0, //
+                5.2, -5.0,
+            ],
+            [6, 2],
+        );
+        let labels = [0usize, 0, 0, 1, 1, 1];
+        let f = anova_f_scores(&feats, &labels);
+        assert!(f[0] > f[1] * 10.0, "F scores {f:?}");
+        assert_eq!(top_k(&f, 1), vec![0]);
+    }
+
+    #[test]
+    fn constant_column_scores_zero() {
+        let feats = Tensor::from_vec(vec![1.0, 2.0, 1.0, 2.0], [4, 1]);
+        let same = Tensor::concat_cols(&[&feats, &Tensor::full([4, 1], 3.0)]);
+        let f = anova_f_scores(&same, &[0, 1, 0, 1]);
+        assert_eq!(f[1], 0.0);
+    }
+
+    #[test]
+    fn perfectly_separating_column_is_top() {
+        let feats = Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0], [4, 1]);
+        let f = anova_f_scores(&feats, &[0, 0, 1, 1]);
+        assert!(f[0] > 1e6);
+    }
+
+    #[test]
+    fn variance_ranks_spread_columns_first() {
+        let feats = Tensor::from_vec(
+            vec![0.0, 100.0, 1.0, -100.0, 0.5, 100.0, 0.7, -100.0],
+            [4, 2],
+        );
+        let v = variance_scores(&feats);
+        assert!(v[1] > v[0]);
+        assert_eq!(top_k(&v, 2), vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two classes")]
+    fn single_class_rejected() {
+        anova_f_scores(&Tensor::zeros([3, 1]), &[0, 0, 0]);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # tcsl-explore
+//!
+//! Explorable Time Series Analysis (paper §2.2 "Visual exploration" and §3
+//! step 4), headless: everything the TimeCSL GUI shows — raw series, learned
+//! shapelets, shapelet↔subsequence matches, the tabular feature view with
+//! per-shapelet sorting, and the 2-D t-SNE embedding of the representation —
+//! is produced here as data structures and SVG documents.
+//!
+//! [`session::ExploreSession`] mirrors the demo's interaction loop: pick
+//! shapelets, match them against series, view features in a table, project
+//! with t-SNE, then redo the analysis with the selected shapelet subset.
+
+pub mod importance;
+pub mod report;
+pub mod session;
+pub mod svg;
+pub mod tabular;
+pub mod tsne;
+
+pub use report::{html_report, ReportConfig};
+pub use session::ExploreSession;
+pub use tsne::TsneConfig;

@@ -1,0 +1,150 @@
+//! A self-contained HTML report bundling the exploration panels — the
+//! closest headless artefact to the demo's GUI screen (Fig. 3): series,
+//! shapelets, matches, the sorted feature table and the t-SNE view in one
+//! document.
+
+use crate::session::ExploreSession;
+use crate::tsne::TsneConfig;
+
+/// What to include in the report.
+#[derive(Clone, Debug)]
+pub struct ReportConfig {
+    /// Series indices to display (panel a).
+    pub series: Vec<usize>,
+    /// Feature columns whose shapelets to display (panel c) and match
+    /// against the first series (panel b).
+    pub shapelets: Vec<usize>,
+    /// Columns of the tabular view (panel d); empty = first 6.
+    pub table_columns: Vec<usize>,
+    /// t-SNE settings for panel e.
+    pub tsne: TsneConfig,
+}
+
+impl Default for ReportConfig {
+    fn default() -> Self {
+        ReportConfig {
+            series: vec![0, 1],
+            shapelets: vec![0],
+            table_columns: Vec::new(),
+            tsne: TsneConfig {
+                iterations: 250,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// Renders the full exploration report as a standalone HTML string.
+pub fn html_report(session: &ExploreSession, cfg: &ReportConfig) -> String {
+    let mut body = String::new();
+    let ds = session.dataset();
+    body.push_str(&format!(
+        "<h1>TimeCSL exploration — {}</h1>\n<p>{} series · {} variables · {} shapelet features</p>\n",
+        ds.name,
+        ds.len(),
+        ds.n_vars(),
+        session.features().cols()
+    ));
+
+    body.push_str("<h2>(a) Time series</h2>\n<div class=\"row\">\n");
+    for &i in &cfg.series {
+        body.push_str(&session.render_series(i));
+    }
+    body.push_str("</div>\n");
+
+    body.push_str("<h2>(c) Learned shapelets</h2>\n<div class=\"row\">\n");
+    for &col in &cfg.shapelets {
+        body.push_str(&session.render_shapelet(col));
+    }
+    body.push_str("</div>\n");
+
+    body.push_str("<h2>(b) Best matches</h2>\n<div class=\"row\">\n");
+    if let Some(&first_series) = cfg.series.first() {
+        for &col in &cfg.shapelets {
+            body.push_str(&session.render_match(first_series, col));
+        }
+    }
+    body.push_str("</div>\n");
+
+    body.push_str("<h2>(d) Shapelet-based features (sorted by first column)</h2>\n");
+    let cols: Vec<usize> = if cfg.table_columns.is_empty() {
+        (0..session.features().cols().min(6)).collect()
+    } else {
+        cfg.table_columns.clone()
+    };
+    let table = session.tabular(Some(&cols));
+    let order = table.sort_by(0, true);
+    body.push_str(&format!("<pre>{}</pre>\n", table.render(Some(&order))));
+
+    body.push_str("<h2>(e) t-SNE of the representation</h2>\n");
+    body.push_str(&session.render_tsne(None, &cfg.tsne));
+
+    format!(
+        concat!(
+            "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">",
+            "<title>TimeCSL exploration</title>",
+            "<style>body{{font-family:sans-serif;margin:24px}}",
+            ".row{{display:flex;flex-wrap:wrap;gap:12px}}",
+            "pre{{background:#f6f6f6;padding:8px;overflow-x:auto}}</style>",
+            "</head><body>\n{}\n</body></html>\n"
+        ),
+        body
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsl_core::{CslConfig, TimeCsl};
+    use tcsl_data::archive;
+    use tcsl_shapelet::{Measure, ShapeletConfig};
+
+    fn session() -> ExploreSession {
+        let entry = archive::by_name("MotifEasy").unwrap();
+        let (train, test) = archive::generate_split(&entry, 71);
+        let scfg = ShapeletConfig {
+            lengths: vec![8, 16],
+            k_per_group: 2,
+            measures: vec![Measure::Euclidean],
+            stride: 1,
+        };
+        let ccfg = CslConfig {
+            epochs: 1,
+            batch_size: 8,
+            grains: vec![1.0],
+            seed: 1,
+            ..Default::default()
+        };
+        let (model, _) = TimeCsl::pretrain(&train, Some(scfg), &ccfg);
+        ExploreSession::new(model, test)
+    }
+
+    #[test]
+    fn report_contains_all_panels() {
+        let s = session();
+        let html = html_report(&s, &ReportConfig::default());
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("(a) Time series"));
+        assert!(html.contains("(b) Best matches"));
+        assert!(html.contains("(c) Learned shapelets"));
+        assert!(html.contains("(d) Shapelet-based features"));
+        assert!(html.contains("(e) t-SNE"));
+        // Three inline SVGs minimum (2 series + 1 shapelet + 1 match + tsne).
+        assert!(html.matches("<svg").count() >= 5);
+        assert!(html.trim_end().ends_with("</html>"));
+    }
+
+    #[test]
+    fn custom_columns_respected() {
+        let s = session();
+        let cfg = ReportConfig {
+            shapelets: vec![0, 3],
+            table_columns: vec![1, 2],
+            ..Default::default()
+        };
+        let html = html_report(&s, &cfg);
+        // Two shapelet panels and two match panels.
+        assert!(html.matches("shapelet 0").count() >= 1);
+        assert!(html.matches("shapelet 3").count() >= 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! The exploration session: the demo's step-4 interaction loop as an API.
+//!
+//! An [`ExploreSession`] wraps a pre-trained [`TimeCsl`] model and a
+//! dataset, caches the representation, and exposes every GUI operation:
+//! view a series or shapelet, "Match" a shapelet against a series, "Show in
+//! Tabular", "Show in t-SNE", and derive a reduced model from a shapelet
+//! selection to redo the analysis.
+
+use crate::svg;
+use crate::tabular::FeatureTable;
+use crate::tsne::{tsne, TsneConfig};
+use tcsl_core::TimeCsl;
+use tcsl_data::normalize::{normalize_series, Normalization};
+use tcsl_data::Dataset;
+use tcsl_shapelet::matching::{best_match_for_feature, ShapeletMatch};
+use tcsl_tensor::Tensor;
+
+/// An interactive exploration session over one dataset.
+pub struct ExploreSession {
+    model: TimeCsl,
+    dataset: Dataset,
+    features: Tensor,
+}
+
+impl ExploreSession {
+    /// Builds a session, computing (and caching) the representation.
+    pub fn new(model: TimeCsl, dataset: Dataset) -> Self {
+        assert!(!dataset.is_empty(), "cannot explore an empty dataset");
+        let features = model.transform(&dataset);
+        ExploreSession {
+            model,
+            dataset,
+            features,
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &TimeCsl {
+        &self.model
+    }
+
+    /// The explored dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The cached `(N, D_repr)` representation.
+    pub fn features(&self) -> &Tensor {
+        &self.features
+    }
+
+    /// Fig. 3a: renders series `i` as SVG.
+    pub fn render_series(&self, i: usize) -> String {
+        svg::series_chart(
+            self.dataset.series(i),
+            &format!("{} — series {i}", self.dataset.name),
+        )
+    }
+
+    /// Fig. 3c: renders the shapelet behind feature column `col` as SVG.
+    pub fn render_shapelet(&self, col: usize) -> String {
+        let (gi, k) = self.model.bank().feature_to_shapelet(col);
+        let grp = &self.model.bank().groups()[gi];
+        let shapelet = grp.shapelet(k, self.model.bank().d);
+        let pseudo = tcsl_data::TimeSeries::new(shapelet);
+        svg::series_chart(
+            &pseudo,
+            &format!("shapelet {} (len {}, {})", col, grp.len, grp.measure.name()),
+        )
+    }
+
+    /// The demo's "Match" button: locates the best-matching subsequence of
+    /// shapelet `col` in series `i`.
+    pub fn match_shapelet(&self, i: usize, col: usize) -> ShapeletMatch {
+        // Matching runs on the normalized series — the space the features
+        // live in.
+        let normed = normalize_series(self.dataset.series(i), Normalization::ZScore);
+        best_match_for_feature(self.model.bank(), col, &normed)
+    }
+
+    /// Fig. 3b: renders the match of shapelet `col` in series `i` as SVG.
+    pub fn render_match(&self, i: usize, col: usize) -> String {
+        let normed = normalize_series(self.dataset.series(i), Normalization::ZScore);
+        let m = best_match_for_feature(self.model.bank(), col, &normed);
+        let (gi, k) = self.model.bank().feature_to_shapelet(col);
+        let shapelet = self.model.bank().groups()[gi].shapelet(k, self.model.bank().d);
+        svg::match_chart(
+            &normed,
+            &shapelet,
+            m.start,
+            m.score,
+            &format!("series {i} × shapelet {col}"),
+        )
+    }
+
+    /// Fig. 3d: the tabular feature view over selected columns (all when
+    /// `None`).
+    pub fn tabular(&self, columns: Option<&[usize]>) -> FeatureTable {
+        let full = FeatureTable::new(self.model.feature_names(), self.features.clone());
+        match columns {
+            Some(cols) => full.select_columns(cols),
+            None => full,
+        }
+    }
+
+    /// Fig. 3e: t-SNE of the representation restricted to selected columns
+    /// (all when `None`). Returns the `(N, 2)` layout.
+    pub fn tsne_embedding(&self, columns: Option<&[usize]>, cfg: &TsneConfig) -> Tensor {
+        let feats = match columns {
+            Some(cols) => self.tabular(Some(cols)).matrix().clone(),
+            None => self.features.clone(),
+        };
+        tsne(&feats, cfg)
+    }
+
+    /// Fig. 3e rendered: t-SNE scatter coloured by labels when present.
+    pub fn render_tsne(&self, columns: Option<&[usize]>, cfg: &TsneConfig) -> String {
+        let layout = self.tsne_embedding(columns, cfg);
+        svg::scatter_chart(
+            &layout,
+            self.dataset.labels(),
+            &format!("{} — t-SNE of shapelet features", self.dataset.name),
+        )
+    }
+
+    /// Suggests the `k` most "interesting" shapelets to explore: ANOVA-F
+    /// against labels when the dataset is labeled, feature variance
+    /// otherwise. Best first.
+    pub fn suggest_shapelets(&self, k: usize) -> Vec<usize> {
+        let scores = match self.dataset.labels() {
+            Some(labels) if self.dataset.n_classes() >= 2 => {
+                crate::importance::anova_f_scores(&self.features, labels)
+            }
+            _ => crate::importance::variance_scores(&self.features),
+        };
+        crate::importance::top_k(&scores, k)
+    }
+
+    /// Derives a reduced session using only the selected feature columns —
+    /// the "redo Step 3 with the shapelets of interest" loop. The analysis
+    /// can then be re-run on `reduced.features()`.
+    pub fn with_selected(&self, columns: &[usize]) -> ExploreSession {
+        let model = self.model.with_selected_features(columns);
+        ExploreSession::new(model, self.dataset.clone())
+    }
+
+    /// Derives a reduced session keeping one scale only (§3: "restart Step 3
+    /// using the learned shapelets of length L").
+    pub fn with_scale(&self, len: usize) -> ExploreSession {
+        let model = self.model.with_scale(len);
+        ExploreSession::new(model, self.dataset.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsl_core::CslConfig;
+    use tcsl_data::archive;
+    use tcsl_shapelet::{Measure, ShapeletConfig};
+
+    fn session() -> ExploreSession {
+        let entry = archive::by_name("MotifEasy").unwrap();
+        let (train, test) = archive::generate_split(&entry, 61);
+        let scfg = ShapeletConfig {
+            lengths: vec![8, 16],
+            k_per_group: 3,
+            measures: vec![Measure::Euclidean, Measure::Cosine],
+            stride: 1,
+        };
+        let ccfg = CslConfig {
+            epochs: 2,
+            batch_size: 8,
+            grains: vec![1.0],
+            seed: 3,
+            ..Default::default()
+        };
+        let (model, _) = TimeCsl::pretrain(&train, Some(scfg), &ccfg);
+        ExploreSession::new(model, test)
+    }
+
+    #[test]
+    fn session_caches_features() {
+        let s = session();
+        assert_eq!(s.features().rows(), s.dataset().len());
+        assert_eq!(s.features().cols(), s.model().repr_dim());
+    }
+
+    #[test]
+    fn match_score_equals_cached_feature() {
+        let s = session();
+        for col in [0usize, 5, 11] {
+            let m = s.match_shapelet(2, col);
+            assert!(
+                (m.score - s.features().at2(2, col)).abs() < 1e-4,
+                "column {col}: {} vs {}",
+                m.score,
+                s.features().at2(2, col)
+            );
+        }
+    }
+
+    #[test]
+    fn svg_panels_render() {
+        let s = session();
+        assert!(s.render_series(0).starts_with("<svg"));
+        assert!(s.render_shapelet(3).contains("shapelet 3"));
+        let m = s.render_match(1, 0);
+        assert!(m.contains("stroke-dasharray"));
+        let t = s.render_tsne(
+            None,
+            &TsneConfig {
+                iterations: 30,
+                ..Default::default()
+            },
+        );
+        assert!(t.matches("<circle").count() == s.dataset().len());
+    }
+
+    #[test]
+    fn tabular_sorting_round_trip() {
+        let s = session();
+        let table = s.tabular(Some(&[0, 1]));
+        assert_eq!(table.column_names().len(), 2);
+        let order = table.sort_by(0, true);
+        assert_eq!(order.len(), s.dataset().len());
+        // Ascending order by euclidean distance: first entry has the
+        // smallest feature value.
+        let first = table.value(order[0], 0);
+        let last = table.value(*order.last().unwrap(), 0);
+        assert!(first <= last);
+    }
+
+    #[test]
+    fn suggested_shapelets_separate_classes_better_than_random() {
+        let s = session();
+        let suggested = s.suggest_shapelets(4);
+        assert_eq!(suggested.len(), 4);
+        // The top suggestion's F score must beat the median column's.
+        let scores = crate::importance::anova_f_scores(s.features(), s.dataset().labels().unwrap());
+        let mut sorted = scores.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(scores[suggested[0]] >= median);
+    }
+
+    #[test]
+    fn selection_reduces_dimensions_consistently() {
+        let s = session();
+        let reduced = s.with_selected(&[0, 2, 7]);
+        assert_eq!(reduced.features().cols(), 3);
+        // Selected columns carry the same values as in the full session.
+        for i in 0..s.dataset().len() {
+            assert!((reduced.features().at2(i, 0) - s.features().at2(i, 0)).abs() < 1e-5);
+            assert!((reduced.features().at2(i, 2) - s.features().at2(i, 7)).abs() < 1e-5);
+        }
+        let by_scale = s.with_scale(16);
+        assert_eq!(by_scale.features().cols(), 6);
+    }
+}

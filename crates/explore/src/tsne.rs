@@ -1,0 +1,254 @@
+//! Exact t-SNE (van der Maaten & Hinton, 2008) for the demo's 2-D
+//! representation view. O(N²) per iteration — fine for the interactive
+//! dataset sizes TimeCSL explores.
+
+use tcsl_tensor::rng::{gauss, seeded};
+use tcsl_tensor::Tensor;
+
+/// t-SNE hyperparameters.
+#[derive(Clone, Debug)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f32,
+    /// Gradient iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f32,
+    /// RNG seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 15.0,
+            iterations: 300,
+            learning_rate: 30.0,
+            exaggeration: 4.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Embeds the rows of `x` (`N×F`) into 2-D. Returns an `(N, 2)` tensor.
+pub fn tsne(x: &Tensor, cfg: &TsneConfig) -> Tensor {
+    let n = x.rows();
+    assert!(n >= 4, "t-SNE needs at least 4 points");
+    let perplexity = cfg.perplexity.min((n as f32 - 1.0) / 3.0).max(2.0);
+
+    // Pairwise squared distances in high dimension.
+    let mut d2 = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist: f32 = x
+                .row(i)
+                .iter()
+                .zip(x.row(j))
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum();
+            d2[i * n + j] = dist;
+            d2[j * n + i] = dist;
+        }
+    }
+
+    // Per-point binary search of sigma to hit the target perplexity.
+    let target_entropy = perplexity.ln();
+    let mut p = vec![0.0f32; n * n];
+    for i in 0..n {
+        let row = &d2[i * n..(i + 1) * n];
+        let (mut beta, mut lo, mut hi) = (1.0f32, 0.0f32, f32::INFINITY);
+        for _ in 0..50 {
+            // Conditional distribution and its entropy at this beta.
+            let mut sum = 0.0f32;
+            let mut weighted = 0.0f32;
+            for (j, &d) in row.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let w = (-beta * d).exp();
+                sum += w;
+                weighted += w * d;
+            }
+            if sum <= 0.0 {
+                break;
+            }
+            let entropy = beta * weighted / sum + sum.ln();
+            if (entropy - target_entropy).abs() < 1e-4 {
+                break;
+            }
+            if entropy > target_entropy {
+                lo = beta;
+                beta = if hi.is_finite() {
+                    0.5 * (beta + hi)
+                } else {
+                    beta * 2.0
+                };
+            } else {
+                hi = beta;
+                beta = 0.5 * (beta + lo);
+            }
+        }
+        let mut sum = 0.0f32;
+        for j in 0..n {
+            if j != i {
+                let w = (-beta * row[j]).exp();
+                p[i * n + j] = w;
+                sum += w;
+            }
+        }
+        if sum > 0.0 {
+            for j in 0..n {
+                p[i * n + j] /= sum;
+            }
+        }
+    }
+    // Symmetrize and normalize.
+    let mut pij = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            pij[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f32)).max(1e-12);
+        }
+    }
+
+    // Gradient descent on the 2-D layout with momentum.
+    let mut rng = seeded(cfg.seed);
+    let mut y: Vec<[f32; 2]> = (0..n)
+        .map(|_| [0.01 * gauss(&mut rng), 0.01 * gauss(&mut rng)])
+        .collect();
+    let mut vel = vec![[0.0f32; 2]; n];
+    let exag_until = cfg.iterations / 4;
+    for iter in 0..cfg.iterations {
+        let exag = if iter < exag_until {
+            cfg.exaggeration
+        } else {
+            1.0
+        };
+        // Low-dimensional affinities (Student-t kernel).
+        let mut q = vec![0.0f32; n * n];
+        let mut qsum = 0.0f32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let w = 1.0 / (1.0 + dx * dx + dy * dy);
+                q[i * n + j] = w;
+                q[j * n + i] = w;
+                qsum += 2.0 * w;
+            }
+        }
+        let momentum = if iter < 20 { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut grad = [0.0f32; 2];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = q[i * n + j];
+                let qnorm = (w / qsum).max(1e-12);
+                let coeff = 4.0 * (exag * pij[i * n + j] - qnorm) * w;
+                grad[0] += coeff * (y[i][0] - y[j][0]);
+                grad[1] += coeff * (y[i][1] - y[j][1]);
+            }
+            for k in 0..2 {
+                // Clamp the per-step displacement: without per-parameter
+                // gains (full Barnes–Hut implementations use them) large
+                // early-exaggeration gradients can otherwise blow the
+                // layout up.
+                vel[i][k] = (momentum * vel[i][k] - cfg.learning_rate * grad[k]).clamp(-5.0, 5.0);
+                y[i][k] += vel[i][k];
+            }
+        }
+    }
+
+    let mut out = Tensor::zeros([n, 2]);
+    for (i, point) in y.iter().enumerate() {
+        out.row_mut(i).copy_from_slice(point);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs(n_per: usize) -> (Tensor, Vec<usize>) {
+        let mut rng = seeded(1);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2 {
+            for _ in 0..n_per {
+                for d in 0..5 {
+                    let center = if d == 0 && c == 1 { 10.0 } else { 0.0 };
+                    data.push(center + gauss(&mut rng));
+                }
+                labels.push(c);
+            }
+        }
+        (Tensor::from_vec(data, [2 * n_per, 5]), labels)
+    }
+
+    #[test]
+    fn separated_blobs_stay_separated_in_2d() {
+        let (x, labels) = two_blobs(15);
+        let y = tsne(
+            &x,
+            &TsneConfig {
+                iterations: 250,
+                ..Default::default()
+            },
+        );
+        assert_eq!(y.shape().dims(), &[30, 2]);
+        assert!(y.all_finite());
+        // Mean intra-class 2-D distance < mean inter-class distance.
+        let dist = |i: usize, j: usize| -> f32 {
+            let (a, b) = (y.row(i), y.row(j));
+            ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt()
+        };
+        let mut intra = (0.0f32, 0usize);
+        let mut inter = (0.0f32, 0usize);
+        for i in 0..30 {
+            for j in (i + 1)..30 {
+                if labels[i] == labels[j] {
+                    intra = (intra.0 + dist(i, j), intra.1 + 1);
+                } else {
+                    inter = (inter.0 + dist(i, j), inter.1 + 1);
+                }
+            }
+        }
+        let (intra, inter) = (intra.0 / intra.1 as f32, inter.0 / inter.1 as f32);
+        assert!(inter > intra * 1.5, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, _) = two_blobs(8);
+        let cfg = TsneConfig {
+            iterations: 50,
+            ..Default::default()
+        };
+        let a = tsne(&x, &cfg);
+        let b = tsne(&x, &cfg);
+        assert!(a.max_abs_diff(&b) < 1e-6);
+    }
+
+    #[test]
+    fn perplexity_is_clamped_for_tiny_inputs() {
+        let (x, _) = two_blobs(3); // 6 points, default perplexity 15 → clamped
+        let y = tsne(
+            &x,
+            &TsneConfig {
+                iterations: 30,
+                ..Default::default()
+            },
+        );
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn too_few_points_panics() {
+        tsne(&Tensor::zeros([3, 2]), &TsneConfig::default());
+    }
+}

@@ -1,0 +1,500 @@
+//! The bank of learnable shapelets: groups of `K` shapelets per
+//! (scale, measure), a stable feature layout, and text serialization.
+
+use crate::config::ShapeletConfig;
+use crate::measure::Measure;
+use std::fmt::Write as _;
+use std::ops::Range;
+use tcsl_tensor::Tensor;
+
+/// One (scale, measure) group of `K` shapelets, stored flattened as a
+/// `(K, D·len)` matrix (channel-major, matching window layout).
+#[derive(Clone, Debug)]
+pub struct ShapeletGroup {
+    /// Shapelet length in time steps.
+    pub len: usize,
+    /// Window stride used when sliding.
+    pub stride: usize,
+    /// The (dis)similarity measure of this group.
+    pub measure: Measure,
+    /// `(K, D·len)` shapelet matrix.
+    pub shapelets: Tensor,
+}
+
+impl ShapeletGroup {
+    /// Number of shapelets in the group.
+    pub fn k(&self) -> usize {
+        self.shapelets.rows()
+    }
+
+    /// One shapelet reshaped back to `(D, len)`.
+    pub fn shapelet(&self, k: usize, d: usize) -> Tensor {
+        assert_eq!(self.shapelets.cols(), d * self.len, "D mismatch");
+        Tensor::from_vec(self.shapelets.row(k).to_vec(), [d, self.len])
+    }
+}
+
+/// A full Shapelet Transformer: all groups, ordered scale-major then
+/// measure — so the feature columns of one scale are contiguous, which the
+/// Multi-Scale Alignment loss and the exploration UI rely on.
+#[derive(Clone, Debug)]
+pub struct ShapeletBank {
+    /// Number of variables the bank was built for.
+    pub d: usize,
+    groups: Vec<ShapeletGroup>,
+}
+
+impl ShapeletBank {
+    /// Builds a zero-initialized bank for `d`-variate series. Use
+    /// [`crate::init::init_from_data`] (or [`Self::randomize`]) before
+    /// training.
+    pub fn new(config: &ShapeletConfig, d: usize) -> Self {
+        config.validate();
+        assert!(d >= 1, "need at least one variable");
+        let mut groups = Vec::with_capacity(config.n_groups());
+        for &len in &config.lengths {
+            for &measure in &config.measures {
+                groups.push(ShapeletGroup {
+                    len,
+                    stride: config.stride,
+                    measure,
+                    shapelets: Tensor::zeros([config.k_per_group, d * len]),
+                });
+            }
+        }
+        ShapeletBank { d, groups }
+    }
+
+    /// Fills every shapelet with standard-normal noise (scaled down).
+    pub fn randomize(&mut self, rng: &mut impl rand::Rng) {
+        for g in &mut self.groups {
+            g.shapelets = Tensor::randn(g.shapelets.shape().clone(), rng).scale(0.5);
+        }
+    }
+
+    /// The groups, in feature order.
+    pub fn groups(&self) -> &[ShapeletGroup] {
+        &self.groups
+    }
+
+    /// Mutable access to the groups (used by training to write back learned
+    /// shapelets).
+    pub fn groups_mut(&mut self) -> &mut [ShapeletGroup] {
+        &mut self.groups
+    }
+
+    /// Total representation dimensionality.
+    pub fn repr_dim(&self) -> usize {
+        self.groups.iter().map(ShapeletGroup::k).sum()
+    }
+
+    /// Distinct scales (ascending).
+    pub fn scales(&self) -> Vec<usize> {
+        let mut ls: Vec<usize> = self.groups.iter().map(|g| g.len).collect();
+        ls.sort_unstable();
+        ls.dedup();
+        ls
+    }
+
+    /// Feature-column range of group `g`.
+    pub fn group_columns(&self, g: usize) -> Range<usize> {
+        let start: usize = self.groups[..g].iter().map(ShapeletGroup::k).sum();
+        start..start + self.groups[g].k()
+    }
+
+    /// Feature-column range of each scale: `(len, start..end)`, contiguous
+    /// by construction.
+    pub fn scale_columns(&self) -> Vec<(usize, Range<usize>)> {
+        let mut out = Vec::new();
+        let mut col = 0;
+        let mut i = 0;
+        while i < self.groups.len() {
+            let len = self.groups[i].len;
+            let start = col;
+            while i < self.groups.len() && self.groups[i].len == len {
+                col += self.groups[i].k();
+                i += 1;
+            }
+            out.push((len, start..col));
+        }
+        out
+    }
+
+    /// Stable, human-readable name of every feature column:
+    /// `"L{len}:{measure}:{k}"`.
+    pub fn feature_names(&self) -> Vec<String> {
+        let mut names = Vec::with_capacity(self.repr_dim());
+        for g in &self.groups {
+            for k in 0..g.k() {
+                names.push(format!("L{}:{}:{}", g.len, g.measure.name(), k));
+            }
+        }
+        names
+    }
+
+    /// Resolves a feature column back to `(group index, shapelet index)`.
+    pub fn feature_to_shapelet(&self, column: usize) -> (usize, usize) {
+        let mut col = column;
+        for (gi, g) in self.groups.iter().enumerate() {
+            if col < g.k() {
+                return (gi, col);
+            }
+            col -= g.k();
+        }
+        panic!("feature column {column} out of range {}", self.repr_dim());
+    }
+
+    /// Builds a sub-bank containing only the shapelets behind the given
+    /// feature columns — the demo's "redo the analysis with the selected
+    /// shapelets" interaction (§3, step 4). Group order is preserved; empty
+    /// groups are dropped.
+    pub fn subset_columns(&self, columns: &[usize]) -> ShapeletBank {
+        assert!(!columns.is_empty(), "cannot build an empty sub-bank");
+        let mut per_group: Vec<Vec<usize>> = vec![Vec::new(); self.groups.len()];
+        for &c in columns {
+            let (g, k) = self.feature_to_shapelet(c);
+            per_group[g].push(k);
+        }
+        let mut groups = Vec::new();
+        for (gi, ks) in per_group.into_iter().enumerate() {
+            if ks.is_empty() {
+                continue;
+            }
+            let src = &self.groups[gi];
+            let width = src.shapelets.cols();
+            let mut data = Vec::with_capacity(ks.len() * width);
+            for &k in &ks {
+                data.extend_from_slice(src.shapelets.row(k));
+            }
+            groups.push(ShapeletGroup {
+                len: src.len,
+                stride: src.stride,
+                measure: src.measure,
+                shapelets: Tensor::from_vec(data, [ks.len(), width]),
+            });
+        }
+        ShapeletBank { d: self.d, groups }
+    }
+
+    /// Prunes near-duplicate shapelets: within each group, a shapelet whose
+    /// cosine similarity to an earlier-kept one exceeds `max_cosine` is
+    /// dropped. Returns the pruned bank and the surviving feature columns
+    /// (in original column order), so existing feature matrices can be
+    /// subset consistently. Contrastive training can converge several
+    /// shapelets onto the same pattern; pruning keeps the representation
+    /// interpretable without retraining.
+    pub fn prune_redundant(&self, max_cosine: f32) -> (ShapeletBank, Vec<usize>) {
+        assert!(
+            (0.0..=1.0).contains(&max_cosine),
+            "max_cosine must be in [0, 1]"
+        );
+        let mut kept_columns = Vec::new();
+        let mut groups = Vec::new();
+        let mut col_base = 0usize;
+        for src in &self.groups {
+            let width = src.shapelets.cols();
+            let mut kept_rows: Vec<usize> = Vec::new();
+            for k in 0..src.k() {
+                let row = src.shapelets.row(k);
+                let norm_k = (row.iter().map(|&x| x * x).sum::<f32>()).sqrt().max(1e-12);
+                let duplicate = kept_rows.iter().any(|&j| {
+                    let other = src.shapelets.row(j);
+                    let norm_j = (other.iter().map(|&x| x * x).sum::<f32>())
+                        .sqrt()
+                        .max(1e-12);
+                    let dot: f32 = row.iter().zip(other).map(|(&a, &b)| a * b).sum();
+                    dot / (norm_k * norm_j) > max_cosine
+                });
+                if !duplicate {
+                    kept_rows.push(k);
+                    kept_columns.push(col_base + k);
+                }
+            }
+            if !kept_rows.is_empty() {
+                let mut data = Vec::with_capacity(kept_rows.len() * width);
+                for &k in &kept_rows {
+                    data.extend_from_slice(src.shapelets.row(k));
+                }
+                groups.push(ShapeletGroup {
+                    len: src.len,
+                    stride: src.stride,
+                    measure: src.measure,
+                    shapelets: Tensor::from_vec(data, [kept_rows.len(), width]),
+                });
+            }
+            col_base += src.k();
+        }
+        assert!(!groups.is_empty(), "pruning removed every shapelet");
+        (ShapeletBank { d: self.d, groups }, kept_columns)
+    }
+
+    /// Builds a sub-bank with every shapelet of one scale (length).
+    pub fn subset_scale(&self, len: usize) -> ShapeletBank {
+        let groups: Vec<ShapeletGroup> = self
+            .groups
+            .iter()
+            .filter(|g| g.len == len)
+            .cloned()
+            .collect();
+        assert!(
+            !groups.is_empty(),
+            "no shapelets of length {len} in the bank"
+        );
+        ShapeletBank { d: self.d, groups }
+    }
+
+    // ------------------------------------------------------- serialization
+
+    /// Serializes the bank to a plain text format (versioned header, one
+    /// line per shapelet).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "tcsl-bank v1 d={} groups={}",
+            self.d,
+            self.groups.len()
+        );
+        for g in &self.groups {
+            let _ = writeln!(
+                out,
+                "group len={} stride={} measure={} k={}",
+                g.len,
+                g.stride,
+                g.measure.name(),
+                g.k()
+            );
+            for k in 0..g.k() {
+                let row: Vec<String> = g.shapelets.row(k).iter().map(|x| x.to_string()).collect();
+                let _ = writeln!(out, "{}", row.join(" "));
+            }
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`Self::to_text`].
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty bank file")?;
+        let mut d = None;
+        let mut n_groups = None;
+        for tok in header.split_whitespace() {
+            if let Some(v) = tok.strip_prefix("d=") {
+                d = Some(v.parse::<usize>().map_err(|e| e.to_string())?);
+            } else if let Some(v) = tok.strip_prefix("groups=") {
+                n_groups = Some(v.parse::<usize>().map_err(|e| e.to_string())?);
+            }
+        }
+        if !header.starts_with("tcsl-bank v1") {
+            return Err(format!("unsupported bank header: {header}"));
+        }
+        let d = d.ok_or("missing d=")?;
+        let n_groups = n_groups.ok_or("missing groups=")?;
+        let mut groups = Vec::with_capacity(n_groups);
+        for _ in 0..n_groups {
+            let gh = lines
+                .next()
+                .ok_or("truncated bank file: missing group header")?;
+            let mut len = None;
+            let mut stride = None;
+            let mut measure = None;
+            let mut k = None;
+            for tok in gh.split_whitespace() {
+                if let Some(v) = tok.strip_prefix("len=") {
+                    len = Some(v.parse::<usize>().map_err(|e| e.to_string())?);
+                } else if let Some(v) = tok.strip_prefix("stride=") {
+                    stride = Some(v.parse::<usize>().map_err(|e| e.to_string())?);
+                } else if let Some(v) = tok.strip_prefix("measure=") {
+                    measure = Some(Measure::parse(v).ok_or_else(|| format!("bad measure {v}"))?);
+                } else if let Some(v) = tok.strip_prefix("k=") {
+                    k = Some(v.parse::<usize>().map_err(|e| e.to_string())?);
+                }
+            }
+            let (len, stride, measure, k) = (
+                len.ok_or("missing len=")?,
+                stride.ok_or("missing stride=")?,
+                measure.ok_or("missing measure=")?,
+                k.ok_or("missing k=")?,
+            );
+            let mut data = Vec::with_capacity(k * d * len);
+            for _ in 0..k {
+                let line = lines
+                    .next()
+                    .ok_or("truncated bank file: missing shapelet row")?;
+                for tok in line.split_whitespace() {
+                    data.push(tok.parse::<f32>().map_err(|e| e.to_string())?);
+                }
+            }
+            if data.len() != k * d * len {
+                return Err(format!(
+                    "group len={len}: expected {} values, got {}",
+                    k * d * len,
+                    data.len()
+                ));
+            }
+            groups.push(ShapeletGroup {
+                len,
+                stride,
+                measure,
+                shapelets: Tensor::from_vec(data, [k, d * len]),
+            });
+        }
+        Ok(ShapeletBank { d, groups })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsl_tensor::rng::seeded;
+
+    fn bank() -> ShapeletBank {
+        let cfg = ShapeletConfig {
+            lengths: vec![4, 8],
+            k_per_group: 3,
+            measures: Measure::ALL.to_vec(),
+            stride: 1,
+        };
+        ShapeletBank::new(&cfg, 2)
+    }
+
+    #[test]
+    fn layout_is_scale_major() {
+        let b = bank();
+        assert_eq!(b.groups().len(), 6);
+        assert_eq!(b.repr_dim(), 18);
+        assert_eq!(b.groups()[0].len, 4);
+        assert_eq!(b.groups()[3].len, 8);
+        assert_eq!(b.scales(), vec![4, 8]);
+        let sc = b.scale_columns();
+        assert_eq!(sc, vec![(4, 0..9), (8, 9..18)]);
+    }
+
+    #[test]
+    fn group_columns_are_contiguous() {
+        let b = bank();
+        assert_eq!(b.group_columns(0), 0..3);
+        assert_eq!(b.group_columns(4), 12..15);
+    }
+
+    #[test]
+    fn feature_names_and_inverse() {
+        let b = bank();
+        let names = b.feature_names();
+        assert_eq!(names.len(), 18);
+        assert_eq!(names[0], "L4:euc:0");
+        assert_eq!(names[17], "L8:xcorr:2");
+        assert_eq!(b.feature_to_shapelet(0), (0, 0));
+        assert_eq!(b.feature_to_shapelet(17), (5, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_feature_column_panics() {
+        bank().feature_to_shapelet(18);
+    }
+
+    #[test]
+    fn shapelet_reshape() {
+        let mut b = bank();
+        b.randomize(&mut seeded(1));
+        let s = b.groups()[0].shapelet(1, 2);
+        assert_eq!(s.shape().dims(), &[2, 4]);
+        assert_eq!(s.as_slice(), b.groups()[0].shapelets.row(1));
+    }
+
+    #[test]
+    fn subset_columns_keeps_selected_shapelets() {
+        let mut b = bank();
+        b.randomize(&mut seeded(4));
+        // Columns 0..3 = group 0 entirely, column 4 = group 1 shapelet 1.
+        let sub = b.subset_columns(&[0, 1, 2, 4]);
+        assert_eq!(sub.repr_dim(), 4);
+        assert_eq!(sub.groups().len(), 2);
+        assert_eq!(sub.groups()[0].shapelets, b.groups()[0].shapelets);
+        assert_eq!(
+            sub.groups()[1].shapelets.row(0),
+            b.groups()[1].shapelets.row(1)
+        );
+    }
+
+    #[test]
+    fn subset_scale_selects_all_measures_of_that_length() {
+        let mut b = bank();
+        b.randomize(&mut seeded(5));
+        let sub = b.subset_scale(8);
+        assert_eq!(sub.groups().len(), 3);
+        assert!(sub.groups().iter().all(|g| g.len == 8));
+        assert_eq!(sub.repr_dim(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no shapelets of length")]
+    fn subset_missing_scale_panics() {
+        bank().subset_scale(99);
+    }
+
+    #[test]
+    fn prune_drops_near_duplicates_only() {
+        let mut b = bank();
+        b.randomize(&mut seeded(6));
+        // Make shapelet 1 of group 0 a scaled copy of shapelet 0 (cosine 1).
+        let copy: Vec<f32> = b.groups()[0]
+            .shapelets
+            .row(0)
+            .iter()
+            .map(|&x| 2.0 * x)
+            .collect();
+        b.groups_mut()[0]
+            .shapelets
+            .row_mut(1)
+            .copy_from_slice(&copy);
+        let before = b.repr_dim();
+        let (pruned, kept) = b.prune_redundant(0.99);
+        assert_eq!(
+            pruned.repr_dim(),
+            before - 1,
+            "exactly the duplicate should go"
+        );
+        assert_eq!(kept.len(), before - 1);
+        assert!(!kept.contains(&1), "column 1 was the duplicate");
+        assert!(kept.contains(&0));
+        // Surviving columns map back to identical shapelet content.
+        let (gi, k) = pruned.feature_to_shapelet(0);
+        assert_eq!(
+            pruned.groups()[gi].shapelets.row(k),
+            b.groups()[0].shapelets.row(0)
+        );
+    }
+
+    #[test]
+    fn prune_with_loose_threshold_keeps_everything() {
+        let mut b = bank();
+        b.randomize(&mut seeded(7));
+        let (pruned, kept) = b.prune_redundant(1.0);
+        assert_eq!(pruned.repr_dim(), b.repr_dim());
+        assert_eq!(kept, (0..b.repr_dim()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut b = bank();
+        b.randomize(&mut seeded(2));
+        let text = b.to_text();
+        let back = ShapeletBank::from_text(&text).unwrap();
+        assert_eq!(back.d, b.d);
+        assert_eq!(back.groups().len(), b.groups().len());
+        for (g1, g2) in b.groups().iter().zip(back.groups()) {
+            assert_eq!(g1.len, g2.len);
+            assert_eq!(g1.measure, g2.measure);
+            assert!(g1.shapelets.max_abs_diff(&g2.shapelets) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(ShapeletBank::from_text("").is_err());
+        assert!(ShapeletBank::from_text("bogus header").is_err());
+        assert!(ShapeletBank::from_text("tcsl-bank v1 d=1 groups=1\n").is_err());
+    }
+}

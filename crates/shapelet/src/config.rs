@@ -1,0 +1,147 @@
+//! Shapelet Transformer configuration, including the adaptive default the
+//! demo's "Step 1" recommends (§4.2 of the CSL paper: lengths set as
+//! fractions of the series length, measures = {Euclidean, cosine,
+//! cross-correlation}).
+
+use crate::measure::Measure;
+
+/// Configuration of a [`crate::ShapeletBank`].
+#[derive(Clone, Debug)]
+pub struct ShapeletConfig {
+    /// Shapelet lengths (scales), in time steps, ascending.
+    pub lengths: Vec<usize>,
+    /// Number of shapelets per (scale, measure) group.
+    pub k_per_group: usize,
+    /// Measures to learn shapelets under.
+    pub measures: Vec<Measure>,
+    /// Window stride used when sliding shapelets over series (1 = every
+    /// position; larger values speed up very long series).
+    pub stride: usize,
+}
+
+impl ShapeletConfig {
+    /// The fractions of the series length the adaptive configuration uses.
+    pub const ADAPTIVE_FRACTIONS: [f32; 4] = [0.1, 0.2, 0.4, 0.8];
+
+    /// The recommended configuration for series of length `t`: lengths
+    /// `⌈p·t⌉` for `p ∈ {0.1, 0.2, 0.4, 0.8}` (clamped to `[3, t]`,
+    /// deduplicated), `K = 10` shapelets per (scale, measure), all three
+    /// measures, stride 1.
+    pub fn adaptive(t: usize) -> Self {
+        let mut lengths: Vec<usize> = Self::ADAPTIVE_FRACTIONS
+            .iter()
+            .map(|&p| (((t as f32) * p).ceil() as usize).clamp(3.min(t), t))
+            .collect();
+        lengths.sort_unstable();
+        lengths.dedup();
+        ShapeletConfig {
+            lengths,
+            k_per_group: 10,
+            measures: Measure::ALL.to_vec(),
+            stride: 1,
+        }
+    }
+
+    /// Adaptive configuration for long series: fixed short scales and a
+    /// stride that caps the window count near `max_windows` (E1d).
+    pub fn adaptive_long(t: usize, max_windows: usize) -> Self {
+        let lengths: Vec<usize> = [32usize, 64, 128].into_iter().filter(|&l| l <= t).collect();
+        let lengths = if lengths.is_empty() {
+            vec![t.max(3).min(t)]
+        } else {
+            lengths
+        };
+        let stride = (t / max_windows.max(1)).max(1);
+        ShapeletConfig {
+            lengths,
+            k_per_group: 10,
+            measures: Measure::ALL.to_vec(),
+            stride,
+        }
+    }
+
+    /// Total number of (scale, measure) groups.
+    pub fn n_groups(&self) -> usize {
+        self.lengths.len() * self.measures.len()
+    }
+
+    /// Total representation dimensionality `D_repr`.
+    pub fn repr_dim(&self) -> usize {
+        self.n_groups() * self.k_per_group
+    }
+
+    /// Validates invariants; call before building a bank.
+    pub fn validate(&self) {
+        assert!(
+            !self.lengths.is_empty(),
+            "at least one shapelet length required"
+        );
+        assert!(!self.measures.is_empty(), "at least one measure required");
+        assert!(self.k_per_group >= 1, "k_per_group must be positive");
+        assert!(self.stride >= 1, "stride must be positive");
+        assert!(
+            self.lengths.windows(2).all(|w| w[0] < w[1]),
+            "lengths must be strictly ascending"
+        );
+        assert!(
+            self.lengths.iter().all(|&l| l >= 2),
+            "shapelet lengths must be >= 2"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_uses_fraction_lengths() {
+        let cfg = ShapeletConfig::adaptive(100);
+        assert_eq!(cfg.lengths, vec![10, 20, 40, 80]);
+        assert_eq!(cfg.k_per_group, 10);
+        assert_eq!(cfg.measures.len(), 3);
+        assert_eq!(cfg.repr_dim(), 4 * 3 * 10);
+        cfg.validate();
+    }
+
+    #[test]
+    fn adaptive_dedupes_tiny_series() {
+        let cfg = ShapeletConfig::adaptive(10);
+        // ceil(1), ceil(2), ceil(4), ceil(8) → clamped and deduped.
+        assert!(cfg.lengths.windows(2).all(|w| w[0] < w[1]));
+        assert!(cfg.lengths.iter().all(|&l| l <= 10));
+        cfg.validate();
+    }
+
+    #[test]
+    fn adaptive_long_caps_windows() {
+        let cfg = ShapeletConfig::adaptive_long(4096, 256);
+        assert_eq!(cfg.lengths, vec![32, 64, 128]);
+        assert_eq!(cfg.stride, 16);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_lengths_rejected() {
+        ShapeletConfig {
+            lengths: vec![20, 10],
+            k_per_group: 5,
+            measures: Measure::ALL.to_vec(),
+            stride: 1,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn empty_lengths_rejected() {
+        ShapeletConfig {
+            lengths: vec![],
+            k_per_group: 5,
+            measures: Measure::ALL.to_vec(),
+            stride: 1,
+        }
+        .validate();
+    }
+}

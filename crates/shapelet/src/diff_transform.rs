@@ -1,0 +1,301 @@
+//! Differentiable shapelet transform for training.
+//!
+//! Gradients only flow to the *shapelets* (and any head stacked on top) —
+//! never to the input series — so window matrices are computed eagerly and
+//! inserted as constant leaves; only the shapelet-side algebra is recorded
+//! on the tape. Min/max pooling uses the arg-routed subgradient.
+//!
+//! The numerics match [`crate::transform`] exactly (verified by tests): the
+//! same features come out of both paths, so a bank trained here can be used
+//! by the fast path directly.
+
+use crate::bank::ShapeletBank;
+use crate::measure::Measure;
+use crate::transform::windows_for;
+use tcsl_autodiff::{Graph, VarId};
+use tcsl_tensor::reduce::Axis;
+use tcsl_tensor::Tensor;
+
+/// Shapelet parameters bound into a graph: one `VarId` per group, in bank
+/// order.
+pub struct BoundBank {
+    /// Group parameter nodes.
+    pub group_vars: Vec<VarId>,
+}
+
+/// Binds every group's shapelet matrix as a trainable parameter.
+pub fn bind_trainable(g: &mut Graph, bank: &ShapeletBank) -> BoundBank {
+    BoundBank {
+        group_vars: bank
+            .groups()
+            .iter()
+            .map(|grp| g.param(grp.shapelets.clone()))
+            .collect(),
+    }
+}
+
+/// Binds every group's shapelet matrix as a frozen constant (freezing mode
+/// with a differentiable head on top).
+pub fn bind_frozen(g: &mut Graph, bank: &ShapeletBank) -> BoundBank {
+    BoundBank {
+        group_vars: bank
+            .groups()
+            .iter()
+            .map(|grp| g.leaf(grp.shapelets.clone()))
+            .collect(),
+    }
+}
+
+/// Builds the feature row `(1, D_repr)` of one series against the bound
+/// bank. `series` is the raw `(D, T)` value tensor.
+pub fn diff_features(
+    g: &mut Graph,
+    bank: &ShapeletBank,
+    bound: &BoundBank,
+    series: &Tensor,
+) -> VarId {
+    assert_eq!(series.rows(), bank.d, "series/bank variable count mismatch");
+    let mut parts: Vec<VarId> = Vec::with_capacity(bank.groups().len());
+    // Cache per-scale window leaves: measures of one scale share windows.
+    let mut cached: Option<(usize, VarId, Vec<f32>)> = None;
+    for (gi, grp) in bank.groups().iter().enumerate() {
+        let (w_leaf, w_sq_norms) = match &cached {
+            Some((len, id, norms)) if *len == grp.len => (*id, norms.clone()),
+            _ => {
+                let w = windows_for(series, grp.len, grp.stride);
+                let norms: Vec<f32> = (0..w.rows())
+                    .map(|i| w.row(i).iter().map(|&x| x * x).sum())
+                    .collect();
+                let id = g.leaf(w);
+                cached = Some((grp.len, id, norms.clone()));
+                (id, norms)
+            }
+        };
+        let s_var = bound.group_vars[gi];
+        let k = grp.k();
+        let width = (bank.d * grp.len) as f32;
+        let pooled = match grp.measure {
+            Measure::Euclidean => {
+                // d² = ‖w‖² − 2·W·Sᵀ + ‖s‖², clamped at 0, normalized, √.
+                let cross = g.matmul_transb(w_leaf, s_var);
+                let neg2 = g.mul_scalar(cross, -2.0);
+                let wn = g.leaf(Tensor::from_vec(w_sq_norms.clone(), [w_sq_norms.len()]));
+                let with_w = g.add_col_vec(neg2, wn);
+                let s_sq = g.square(s_var);
+                let sn = g.sum_axis(s_sq, Axis::Cols);
+                let d2 = g.add_row_vec(with_w, sn);
+                let clamped = g.relu(d2);
+                let normed = g.mul_scalar(clamped, 1.0 / width);
+                let dist = g.sqrt_eps(normed, 1e-8);
+                g.min_axis(dist, Axis::Rows)
+            }
+            Measure::Cosine => {
+                // Window rows normalized eagerly (no grad through them).
+                let wn_val = {
+                    let w = g.value(w_leaf).clone();
+                    let mut out = w;
+                    for i in 0..out.rows() {
+                        let n = (out.row(i).iter().map(|&x| x * x).sum::<f32>() + 1e-12).sqrt();
+                        for x in out.row_mut(i) {
+                            *x /= n;
+                        }
+                    }
+                    out
+                };
+                let wn_leaf = g.leaf(wn_val);
+                let sn = g.row_normalize(s_var, 1e-12);
+                let sim = g.matmul_transb(wn_leaf, sn);
+                g.max_axis(sim, Axis::Rows)
+            }
+            Measure::CrossCorrelation => {
+                let cross = g.matmul_transb(w_leaf, s_var);
+                let sim = g.mul_scalar(cross, 1.0 / width);
+                g.max_axis(sim, Axis::Rows)
+            }
+        };
+        parts.push(g.reshape(pooled, [1, k]));
+    }
+    g.concat_cols(&parts)
+}
+
+/// Builds the `(B, D_repr)` feature matrix of a batch of series.
+pub fn diff_features_batch(
+    g: &mut Graph,
+    bank: &ShapeletBank,
+    bound: &BoundBank,
+    batch: &[Tensor],
+) -> VarId {
+    assert!(!batch.is_empty(), "empty batch");
+    let rows: Vec<VarId> = batch
+        .iter()
+        .map(|s| diff_features(g, bank, bound, s))
+        .collect();
+    g.concat_rows(&rows)
+}
+
+/// Writes updated parameter values (from an optimizer step) back into the
+/// bank, in group order.
+pub fn write_back(bank: &mut ShapeletBank, new_values: &[Tensor]) {
+    assert_eq!(
+        bank.groups().len(),
+        new_values.len(),
+        "group count mismatch"
+    );
+    for (g, v) in bank.groups_mut().iter_mut().zip(new_values) {
+        assert!(
+            g.shapelets.shape().same_as(v.shape()),
+            "shapelet shape changed"
+        );
+        g.shapelets = v.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ShapeletConfig;
+    use crate::transform::transform_series;
+    use tcsl_data::TimeSeries;
+    use tcsl_tensor::rng::seeded;
+
+    fn bank(d: usize) -> ShapeletBank {
+        let cfg = ShapeletConfig {
+            lengths: vec![3, 6],
+            k_per_group: 2,
+            measures: Measure::ALL.to_vec(),
+            stride: 1,
+        };
+        let mut b = ShapeletBank::new(&cfg, d);
+        b.randomize(&mut seeded(3));
+        b
+    }
+
+    #[test]
+    fn diff_path_matches_fast_path() {
+        let b = bank(2);
+        let mut rng = seeded(4);
+        let series = TimeSeries::new(Tensor::randn([2, 20], &mut rng));
+        let fast = transform_series(&b, &series);
+
+        let mut g = Graph::new();
+        let bound = bind_trainable(&mut g, &b);
+        let feats = diff_features(&mut g, &b, &bound, series.values());
+        let slow = g.value(feats);
+        assert_eq!(slow.shape().dims(), &[1, b.repr_dim()]);
+        for (i, (&f, &s)) in fast.iter().zip(slow.as_slice()).enumerate() {
+            assert!((f - s).abs() < 1e-4, "feature {i}: fast={f} diff={s}");
+        }
+    }
+
+    #[test]
+    fn diff_path_matches_fast_path_on_short_series() {
+        let b = bank(1);
+        let series = TimeSeries::univariate(vec![0.4, -0.2]); // shorter than both scales
+        let fast = transform_series(&b, &series);
+        let mut g = Graph::new();
+        let bound = bind_trainable(&mut g, &b);
+        let feats = diff_features(&mut g, &b, &bound, series.values());
+        for (&f, &s) in fast.iter().zip(g.value(feats).as_slice()) {
+            assert!((f - s).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gradients_reach_every_group() {
+        let b = bank(1);
+        let mut rng = seeded(5);
+        let series = TimeSeries::new(Tensor::randn([1, 24], &mut rng));
+        let mut g = Graph::new();
+        let bound = bind_trainable(&mut g, &b);
+        let feats = diff_features(&mut g, &b, &bound, series.values());
+        let sq = g.square(feats);
+        let loss = g.mean_all(sq);
+        let grads = g.backward(loss);
+        for (gi, &id) in bound.group_vars.iter().enumerate() {
+            let grad = grads
+                .get(id)
+                .unwrap_or_else(|| panic!("no grad for group {gi}"));
+            assert!(grad.norm_sq() > 0.0, "zero grad for group {gi}");
+        }
+    }
+
+    #[test]
+    fn frozen_bank_gets_no_gradients() {
+        let b = bank(1);
+        let mut rng = seeded(6);
+        let series = TimeSeries::new(Tensor::randn([1, 24], &mut rng));
+        let mut g = Graph::new();
+        let bound = bind_frozen(&mut g, &b);
+        let feats = diff_features(&mut g, &b, &bound, series.values());
+        let loss = g.mean_all(feats);
+        let grads = g.backward(loss);
+        assert!(grads.get(bound.group_vars[0]).is_none());
+    }
+
+    #[test]
+    fn shapelet_gradcheck_through_full_transform() {
+        // Finite-difference check of d(loss)/d(shapelets) through the whole
+        // euclidean+cosine+xcorr pipeline.
+        let cfg = ShapeletConfig {
+            lengths: vec![3],
+            k_per_group: 2,
+            measures: Measure::ALL.to_vec(),
+            stride: 1,
+        };
+        let mut b = ShapeletBank::new(&cfg, 1);
+        b.randomize(&mut seeded(7));
+        let mut rng = seeded(8);
+        let series = Tensor::randn([1, 10], &mut rng);
+
+        let inputs: Vec<Tensor> = b.groups().iter().map(|g| g.shapelets.clone()).collect();
+        let report = tcsl_autodiff::gradcheck::gradcheck(&inputs, 1e-3, |g, xs| {
+            let bound = BoundBank {
+                group_vars: xs.iter().map(|x| g.param(x.clone())).collect(),
+            };
+            let feats = diff_features(g, &b, &bound, &series);
+            let sq = g.square(feats);
+            let loss = g.mean_all(sq);
+            (bound.group_vars.clone(), loss)
+        });
+        assert!(
+            report.passes(3e-2),
+            "gradcheck failed: abs={} rel={}",
+            report.max_abs_err,
+            report.max_rel_err
+        );
+    }
+
+    #[test]
+    fn batch_features_stack_rows() {
+        let b = bank(1);
+        let mut rng = seeded(9);
+        let s1 = Tensor::randn([1, 15], &mut rng);
+        let s2 = Tensor::randn([1, 18], &mut rng);
+        let mut g = Graph::new();
+        let bound = bind_trainable(&mut g, &b);
+        let feats = diff_features_batch(&mut g, &b, &bound, &[s1.clone(), s2]);
+        assert_eq!(g.value(feats).rows(), 2);
+        // Row 0 equals the single-series features of s1.
+        let mut g2 = Graph::new();
+        let bound2 = bind_trainable(&mut g2, &b);
+        let f1 = diff_features(&mut g2, &b, &bound2, &s1);
+        for (a, bv) in g.value(feats).row(0).iter().zip(g2.value(f1).as_slice()) {
+            assert!((a - bv).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn write_back_updates_bank() {
+        let mut b = bank(1);
+        let new: Vec<Tensor> = b
+            .groups()
+            .iter()
+            .map(|g| Tensor::full(g.shapelets.shape().clone(), 0.25))
+            .collect();
+        write_back(&mut b, &new);
+        assert!(b
+            .groups()
+            .iter()
+            .all(|g| g.shapelets.as_slice().iter().all(|&x| x == 0.25)));
+    }
+}

@@ -1,0 +1,179 @@
+//! Shapelet initialization by diverse subsequence sampling.
+//!
+//! Shapelets start as real subsequences of the training data (the standard
+//! warm start for learned shapelets): for each group, sample a pool of
+//! candidate windows and keep a diverse subset via greedy farthest-point
+//! selection, so the initial bank already spans the data's local patterns.
+
+use crate::bank::ShapeletBank;
+use rand::Rng;
+use tcsl_data::Dataset;
+use tcsl_tensor::rng::index;
+use tcsl_tensor::Tensor;
+
+/// Initializes every group of `bank` from subsequences of `ds`.
+///
+/// `oversample` controls the candidate pool size (`oversample × K` windows
+/// per group; 4 is a good default).
+pub fn init_from_data(
+    bank: &mut ShapeletBank,
+    ds: &Dataset,
+    oversample: usize,
+    rng: &mut impl Rng,
+) {
+    assert!(!ds.is_empty(), "cannot initialize from an empty dataset");
+    assert_eq!(ds.n_vars(), bank.d, "dataset/bank variable count mismatch");
+    assert!(oversample >= 1, "oversample must be at least 1");
+    let d = bank.d;
+    for g in bank.groups_mut() {
+        let k = g.k();
+        let width = d * g.len;
+        let n_candidates = (oversample * k).max(k);
+        let mut candidates = Vec::with_capacity(n_candidates);
+        for _ in 0..n_candidates {
+            let si = index(rng, ds.len());
+            let series = ds.series(si);
+            let padded = crate::transform::pad_to_len(series.values(), g.len);
+            let max_start = padded.cols() - g.len;
+            let start = if max_start == 0 {
+                0
+            } else {
+                rng.gen_range(0..=max_start)
+            };
+            let window = tcsl_tensor::window::window_at(&padded, start, g.len);
+            candidates.push(window.reshape([width]));
+        }
+        let chosen = farthest_point_subset(&candidates, k, rng);
+        let mut data = Vec::with_capacity(k * width);
+        for &c in &chosen {
+            data.extend_from_slice(candidates[c].as_slice());
+        }
+        g.shapelets = Tensor::from_vec(data, [k, width]);
+    }
+}
+
+/// Greedy farthest-point selection of `k` diverse rows.
+fn farthest_point_subset(candidates: &[Tensor], k: usize, rng: &mut impl Rng) -> Vec<usize> {
+    assert!(!candidates.is_empty());
+    let k = k.min(candidates.len());
+    let mut chosen = Vec::with_capacity(k);
+    chosen.push(index(rng, candidates.len()));
+    // min squared distance from each candidate to the chosen set.
+    let mut min_d2: Vec<f32> = candidates
+        .iter()
+        .map(|c| c.sub(&candidates[chosen[0]]).norm_sq())
+        .collect();
+    while chosen.len() < k {
+        let next = min_d2
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite distances"))
+            .map(|(i, _)| i)
+            .expect("non-empty candidates");
+        chosen.push(next);
+        for (i, c) in candidates.iter().enumerate() {
+            let d2 = c.sub(&candidates[next]).norm_sq();
+            if d2 < min_d2[i] {
+                min_d2[i] = d2;
+            }
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ShapeletConfig;
+    use crate::measure::Measure;
+    use tcsl_data::TimeSeries;
+    use tcsl_tensor::rng::seeded;
+
+    fn dataset() -> Dataset {
+        let series = (0..6)
+            .map(|i| {
+                TimeSeries::univariate(
+                    (0..32)
+                        .map(|t| ((t * (i + 1)) as f32 * 0.2).sin())
+                        .collect(),
+                )
+            })
+            .collect();
+        Dataset::unlabeled("init", series)
+    }
+
+    fn bank() -> ShapeletBank {
+        let cfg = ShapeletConfig {
+            lengths: vec![4, 8],
+            k_per_group: 3,
+            measures: vec![Measure::Euclidean, Measure::Cosine],
+            stride: 1,
+        };
+        ShapeletBank::new(&cfg, 1)
+    }
+
+    #[test]
+    fn init_fills_all_groups_with_real_subsequences() {
+        let ds = dataset();
+        let mut b = bank();
+        init_from_data(&mut b, &ds, 4, &mut seeded(1));
+        for g in b.groups() {
+            // No group left at its zero initialization.
+            assert!(g.shapelets.norm_sq() > 0.0);
+            // Every shapelet is bounded like the data (|sin| ≤ 1).
+            assert!(g
+                .shapelets
+                .as_slice()
+                .iter()
+                .all(|&x| x.abs() <= 1.0 + 1e-5));
+        }
+    }
+
+    #[test]
+    fn init_is_deterministic_in_seed() {
+        let ds = dataset();
+        let mut b1 = bank();
+        let mut b2 = bank();
+        init_from_data(&mut b1, &ds, 4, &mut seeded(9));
+        init_from_data(&mut b2, &ds, 4, &mut seeded(9));
+        for (g1, g2) in b1.groups().iter().zip(b2.groups()) {
+            assert_eq!(g1.shapelets, g2.shapelets);
+        }
+    }
+
+    #[test]
+    fn chosen_shapelets_are_diverse() {
+        let ds = dataset();
+        let mut b = bank();
+        init_from_data(&mut b, &ds, 8, &mut seeded(2));
+        // Within one group, no two shapelets should be identical.
+        for g in b.groups() {
+            for i in 0..g.k() {
+                for j in (i + 1)..g.k() {
+                    let di = Tensor::from_vec(g.shapelets.row(i).to_vec(), [g.shapelets.cols()]);
+                    let dj = Tensor::from_vec(g.shapelets.row(j).to_vec(), [g.shapelets.cols()]);
+                    assert!(di.sub(&dj).norm_sq() > 1e-8, "duplicate shapelets {i},{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn farthest_point_picks_extremes() {
+        let candidates = vec![
+            Tensor::from_vec(vec![0.0], [1]),
+            Tensor::from_vec(vec![0.1], [1]),
+            Tensor::from_vec(vec![10.0], [1]),
+        ];
+        let mut rng = seeded(3);
+        let chosen = farthest_point_subset(&candidates, 2, &mut rng);
+        // Whatever the random start, the two chosen points must include one
+        // from each cluster.
+        let vals: Vec<f32> = chosen
+            .iter()
+            .map(|&i| candidates[i].as_slice()[0])
+            .collect();
+        assert!(vals.iter().any(|&v| v > 5.0));
+        assert!(vals.iter().any(|&v| v < 5.0));
+    }
+}

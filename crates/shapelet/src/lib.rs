@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+// Index-based loops in the numeric kernels walk several parallel
+// buffers at once; iterator rewrites obscure that correspondence.
+#![allow(clippy::needless_range_loop)]
+
+//! # tcsl-shapelet
+//!
+//! The **Shapelet Transformer** `f` — the representation encoder at the
+//! heart of TimeCSL (paper §2.1).
+//!
+//! A [`ShapeletBank`] holds learnable shapelets organised into groups, one
+//! per (scale = shapelet length, (dis)similarity measure) combination. For a
+//! series `x`, each shapelet contributes one feature: its best
+//! (dis)similarity against all sliding windows of `x` —
+//!
+//! * minimum length-normalized Euclidean distance,
+//! * maximum cosine similarity,
+//! * maximum cross-correlation,
+//!
+//! so the representation `z = f(x)` is fully interpretable: coordinate `j`
+//! is "how well shapelet `j` matches somewhere in `x`".
+//!
+//! Two evaluation paths share the same numerics:
+//!
+//! * [`transform`] — the fast inference path (no gradients, parallel over
+//!   series),
+//! * [`diff_transform`] — the autodiff path used during contrastive
+//!   learning and fine-tuning, built from [`tcsl_autodiff::Graph`] ops whose
+//!   min/max pooling routes gradients to the best-matching window.
+
+pub mod bank;
+pub mod config;
+pub mod diff_transform;
+pub mod init;
+pub mod matching;
+pub mod measure;
+pub mod transform;
+
+pub use bank::{ShapeletBank, ShapeletGroup};
+pub use config::ShapeletConfig;
+pub use measure::Measure;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,167 @@
+//! Best-match localization: which subsequence of a series a shapelet
+//! matched.
+//!
+//! This powers the demo's "Match" button (Fig. 3b): given a series and a
+//! shapelet, find the window whose (dis)similarity defines the feature
+//! value, so the match can be displayed/aligned against the raw series.
+
+use crate::bank::ShapeletBank;
+use crate::measure::Measure;
+use crate::transform::windows_for;
+use tcsl_data::TimeSeries;
+
+/// The best-matching window of a shapelet in a series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShapeletMatch {
+    /// Group index in the bank.
+    pub group: usize,
+    /// Shapelet index within the group.
+    pub shapelet: usize,
+    /// Start position of the best window (in padded coordinates; equal to
+    /// raw coordinates whenever the series is at least as long as the
+    /// shapelet).
+    pub start: usize,
+    /// Window length (= shapelet length).
+    pub len: usize,
+    /// The feature value: the pooled (dis)similarity at that window.
+    pub score: f32,
+    /// The measure the score is expressed in.
+    pub measure: Measure,
+}
+
+/// Scores of one shapelet against every window of a series.
+pub fn window_scores(
+    bank: &ShapeletBank,
+    group: usize,
+    shapelet: usize,
+    series: &TimeSeries,
+) -> Vec<f32> {
+    let g = &bank.groups()[group];
+    assert!(
+        shapelet < g.k(),
+        "shapelet {shapelet} out of range for group of {}",
+        g.k()
+    );
+    let windows = windows_for(series.values(), g.len, g.stride);
+    let one =
+        tcsl_tensor::Tensor::from_vec(g.shapelets.row(shapelet).to_vec(), [1, g.shapelets.cols()]);
+    let scores = g.measure.score_matrix(&windows, &one);
+    (0..scores.rows()).map(|i| scores.at2(i, 0)).collect()
+}
+
+/// Finds the best-matching window of `(group, shapelet)` in `series`.
+pub fn best_match(
+    bank: &ShapeletBank,
+    group: usize,
+    shapelet: usize,
+    series: &TimeSeries,
+) -> ShapeletMatch {
+    let g = &bank.groups()[group];
+    let scores = window_scores(bank, group, shapelet, series);
+    let (mut best_w, mut best_s) = (0usize, scores[0]);
+    for (w, &s) in scores.iter().enumerate().skip(1) {
+        if g.measure.better(s, best_s) {
+            best_s = s;
+            best_w = w;
+        }
+    }
+    ShapeletMatch {
+        group,
+        shapelet,
+        start: best_w * g.stride,
+        len: g.len,
+        score: best_s,
+        measure: g.measure,
+    }
+}
+
+/// Finds the best match for a *feature column* (the layout analyzers see).
+pub fn best_match_for_feature(
+    bank: &ShapeletBank,
+    feature_column: usize,
+    series: &TimeSeries,
+) -> ShapeletMatch {
+    let (group, shapelet) = bank.feature_to_shapelet(feature_column);
+    best_match(bank, group, shapelet, series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ShapeletConfig;
+    use crate::transform::transform_series;
+    use tcsl_tensor::rng::seeded;
+
+    fn bank() -> ShapeletBank {
+        let cfg = ShapeletConfig {
+            lengths: vec![4],
+            k_per_group: 2,
+            measures: Measure::ALL.to_vec(),
+            stride: 1,
+        };
+        let mut b = ShapeletBank::new(&cfg, 1);
+        b.randomize(&mut seeded(1));
+        b
+    }
+
+    #[test]
+    fn planted_shapelet_is_located() {
+        let b = bank();
+        let planted: Vec<f32> = b.groups()[0].shapelets.row(0).to_vec();
+        let mut vals = vec![9.0f32; 20];
+        vals[11..15].copy_from_slice(&planted);
+        let s = TimeSeries::univariate(vals);
+        let m = best_match(&b, 0, 0, &s);
+        assert_eq!(m.start, 11);
+        assert_eq!(m.len, 4);
+        assert!(
+            m.score < 1e-3,
+            "planted match should be ~exact, got {}",
+            m.score
+        );
+    }
+
+    #[test]
+    fn match_score_equals_feature_value() {
+        let b = bank();
+        let s = TimeSeries::univariate((0..25).map(|i| (i as f32 * 0.7).sin()).collect());
+        let feats = transform_series(&b, &s);
+        for col in 0..b.repr_dim() {
+            let m = best_match_for_feature(&b, col, &s);
+            assert!(
+                (m.score - feats[col]).abs() < 1e-5,
+                "column {col}: match {} vs feature {}",
+                m.score,
+                feats[col]
+            );
+        }
+    }
+
+    #[test]
+    fn window_scores_cover_all_positions() {
+        let b = bank();
+        let s = TimeSeries::univariate(vec![0.0; 12]);
+        let scores = window_scores(&b, 0, 0, &s);
+        assert_eq!(scores.len(), 12 - 4 + 1);
+    }
+
+    #[test]
+    fn cosine_match_prefers_direction() {
+        // Shapelet = rising ramp; series has a rising ramp at a known spot.
+        let cfg = ShapeletConfig {
+            lengths: vec![4],
+            k_per_group: 1,
+            measures: vec![Measure::Cosine],
+            stride: 1,
+        };
+        let mut b = ShapeletBank::new(&cfg, 1);
+        b.groups_mut()[0].shapelets =
+            tcsl_tensor::Tensor::from_vec(vec![-1.0, -0.3, 0.3, 1.0], [1, 4]);
+        let mut vals = vec![0.1f32; 16];
+        vals[6..10].copy_from_slice(&[-2.0, -0.6, 0.6, 2.0]); // scaled copy
+        let s = TimeSeries::univariate(vals);
+        let m = best_match(&b, 0, 0, &s);
+        assert_eq!(m.start, 6);
+        assert!(m.score > 0.99);
+    }
+}

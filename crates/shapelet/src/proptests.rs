@@ -1,0 +1,74 @@
+//! Property tests: fast-path/diff-path agreement and measure axioms.
+
+use crate::bank::ShapeletBank;
+use crate::config::ShapeletConfig;
+use crate::diff_transform::{bind_trainable, diff_features};
+use crate::measure::Measure;
+use crate::transform::transform_series;
+use proptest::prelude::*;
+use tcsl_autodiff::Graph;
+use tcsl_data::TimeSeries;
+use tcsl_tensor::rng::seeded;
+use tcsl_tensor::Tensor;
+
+fn arb_setup() -> impl Strategy<Value = (ShapeletBank, TimeSeries)> {
+    (1usize..3, 8usize..24, 0u64..1000).prop_map(|(d, t, seed)| {
+        let mut rng = seeded(seed);
+        let cfg = ShapeletConfig {
+            lengths: vec![3, 5],
+            k_per_group: 2,
+            measures: Measure::ALL.to_vec(),
+            stride: 1,
+        };
+        let mut bank = ShapeletBank::new(&cfg, d);
+        bank.randomize(&mut rng);
+        let series = TimeSeries::new(Tensor::randn([d, t], &mut rng));
+        (bank, series)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fast_and_diff_paths_agree((bank, series) in arb_setup()) {
+        let fast = transform_series(&bank, &series);
+        let mut g = Graph::new();
+        let bound = bind_trainable(&mut g, &bank);
+        let feats = diff_features(&mut g, &bank, &bound, series.values());
+        let slow = g.value(feats);
+        for (i, (&f, &s)) in fast.iter().zip(slow.as_slice()).enumerate() {
+            prop_assert!((f - s).abs() < 1e-3, "feature {}: {} vs {}", i, f, s);
+        }
+    }
+
+    #[test]
+    fn euclidean_features_are_nonnegative((bank, series) in arb_setup()) {
+        let feats = transform_series(&bank, &series);
+        for (col, &f) in feats.iter().enumerate() {
+            let (gi, _) = bank.feature_to_shapelet(col);
+            if bank.groups()[gi].measure == Measure::Euclidean {
+                prop_assert!(f >= 0.0, "negative euclidean feature {}", f);
+            }
+            if bank.groups()[gi].measure == Measure::Cosine {
+                prop_assert!((-1.0001..=1.0001).contains(&f), "cosine out of range {}", f);
+            }
+        }
+    }
+
+    #[test]
+    fn transform_is_deterministic((bank, series) in arb_setup()) {
+        let a = transform_series(&bank, &series);
+        let b = transform_series(&bank, &series);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn match_scores_equal_features((bank, series) in arb_setup()) {
+        let feats = transform_series(&bank, &series);
+        for col in (0..bank.repr_dim()).step_by(5) {
+            let m = crate::matching::best_match_for_feature(&bank, col, &series);
+            prop_assert!((m.score - feats[col]).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Fast (gradient-free) shapelet transform: series → feature vector.
+//!
+//! This is the inference path used by the freezing mode, the exploration
+//! component and the experiment harnesses. It shares its numerics with
+//! [`crate::diff_transform`] (tested for agreement), runs groups serially
+//! and series in parallel.
+
+use crate::bank::ShapeletBank;
+use tcsl_data::{Dataset, TimeSeries};
+use tcsl_tensor::parallel::parallel_map;
+use tcsl_tensor::window::unfold;
+use tcsl_tensor::Tensor;
+
+/// Zero-pads a `(D, T)` series on the right to at least `min_len` steps.
+/// Series at least `min_len` long are returned as-is.
+pub fn pad_to_len(values: &Tensor, min_len: usize) -> Tensor {
+    let (d, t) = (values.rows(), values.cols());
+    if t >= min_len {
+        return values.clone();
+    }
+    let mut out = Tensor::zeros([d, min_len]);
+    for v in 0..d {
+        out.row_mut(v)[..t].copy_from_slice(values.row(v));
+    }
+    out
+}
+
+/// Window matrix for one scale of the bank, padding short series so every
+/// scale always yields at least one window.
+pub fn windows_for(values: &Tensor, len: usize, stride: usize) -> Tensor {
+    let padded = pad_to_len(values, len);
+    unfold(&padded, len, stride)
+}
+
+/// Transforms one series into its `D_repr`-dimensional representation.
+pub fn transform_series(bank: &ShapeletBank, series: &TimeSeries) -> Vec<f32> {
+    assert_eq!(
+        series.n_vars(),
+        bank.d,
+        "series has {} variables, bank was built for {}",
+        series.n_vars(),
+        bank.d
+    );
+    let mut features = Vec::with_capacity(bank.repr_dim());
+    // Window matrices are shared between the measures of one scale.
+    let mut cached: Option<(usize, Tensor)> = None;
+    for g in bank.groups() {
+        let windows = match &cached {
+            Some((len, w)) if *len == g.len => w.clone(),
+            _ => {
+                let w = windows_for(series.values(), g.len, g.stride);
+                cached = Some((g.len, w.clone()));
+                w
+            }
+        };
+        let scores = g.measure.score_matrix(&windows, &g.shapelets);
+        let (pooled, _args) = g.measure.pool(&scores);
+        features.extend_from_slice(pooled.as_slice());
+    }
+    features
+}
+
+/// Transforms a whole dataset into an `(N, D_repr)` feature matrix,
+/// parallel over series.
+pub fn transform_dataset(bank: &ShapeletBank, ds: &Dataset) -> Tensor {
+    let dim = bank.repr_dim();
+    let rows = parallel_map(ds.len(), |i| transform_series(bank, ds.series(i)));
+    let mut out = Tensor::zeros([ds.len(), dim]);
+    for (i, row) in rows.into_iter().enumerate() {
+        out.row_mut(i).copy_from_slice(&row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ShapeletConfig;
+    use crate::measure::Measure;
+    use tcsl_tensor::rng::seeded;
+
+    fn small_bank(d: usize) -> ShapeletBank {
+        let cfg = ShapeletConfig {
+            lengths: vec![3, 5],
+            k_per_group: 2,
+            measures: Measure::ALL.to_vec(),
+            stride: 1,
+        };
+        let mut bank = ShapeletBank::new(&cfg, d);
+        bank.randomize(&mut seeded(1));
+        bank
+    }
+
+    #[test]
+    fn feature_vector_has_bank_dimension() {
+        let bank = small_bank(2);
+        let s = TimeSeries::multivariate(vec![vec![0.0; 16], vec![1.0; 16]]);
+        let f = transform_series(&bank, &s);
+        assert_eq!(f.len(), bank.repr_dim());
+        assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn exact_shapelet_occurrence_gives_zero_euclidean() {
+        // Plant group-0 shapelet 0 into a noise-free series; the euclidean
+        // feature must be ~0 and cosine ~1.
+        let bank = small_bank(1);
+        let g0 = &bank.groups()[0];
+        let planted = g0.shapelet(0, 1); // (1, 3)
+        let mut vals = vec![5.0f32; 12];
+        vals[4..7].copy_from_slice(planted.as_slice());
+        let s = TimeSeries::univariate(vals);
+        let f = transform_series(&bank, &s);
+        // Column 0 = group 0 (euclidean, len 3), shapelet 0.
+        assert!(f[0] < 1e-3, "euclidean feature should be ~0, got {}", f[0]);
+    }
+
+    #[test]
+    fn short_series_are_padded_not_rejected() {
+        let bank = small_bank(1);
+        let s = TimeSeries::univariate(vec![1.0, 2.0]); // shorter than len 3 and 5
+        let f = transform_series(&bank, &s);
+        assert_eq!(f.len(), bank.repr_dim());
+        assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn dataset_transform_matches_per_series() {
+        let bank = small_bank(1);
+        let series: Vec<TimeSeries> = (0..5)
+            .map(|i| {
+                TimeSeries::univariate((0..20).map(|t| ((t + i) as f32 * 0.3).sin()).collect())
+            })
+            .collect();
+        let ds = Dataset::unlabeled("x", series);
+        let m = transform_dataset(&bank, &ds);
+        assert_eq!(m.rows(), 5);
+        for i in 0..5 {
+            let f = transform_series(&bank, ds.series(i));
+            assert_eq!(m.row(i), &f[..]);
+        }
+    }
+
+    #[test]
+    fn features_are_length_invariant_dimension() {
+        // Different-length series map to the same feature space — the
+        // property the unified pipeline exploits.
+        let bank = small_bank(1);
+        let a = transform_series(&bank, &TimeSeries::univariate(vec![0.5; 10]));
+        let b = transform_series(&bank, &TimeSeries::univariate(vec![0.5; 50]));
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "variables")]
+    fn variable_mismatch_panics() {
+        let bank = small_bank(2);
+        transform_series(&bank, &TimeSeries::univariate(vec![0.0; 10]));
+    }
+}

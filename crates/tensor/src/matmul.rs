@@ -1,0 +1,220 @@
+//! Cache-friendly matrix multiplication kernels.
+//!
+//! The whole TimeCSL stack funnels its heavy arithmetic through these three
+//! kernels (plain product, `A·Bᵀ`, and matrix–vector). They use the i-k-j
+//! loop order so the innermost loop streams both the output row and the `B`
+//! row sequentially — the standard cache-friendly ordering that lets LLVM
+//! auto-vectorize the accumulation.
+
+use crate::tensor::Tensor;
+
+/// `A (m×k) · B (k×n) → (m×n)`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "matmul inner dimensions differ: {k} vs {kb}");
+    let mut out = Tensor::zeros([m, n]);
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    let od = out.as_mut_slice();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut od[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Dot product with eight independent accumulators so LLVM can vectorize
+/// the reduction (a single-accumulator loop has a serial dependency chain
+/// that blocks SIMD). This kernel dominates shapelet-transform cost.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for c in 0..chunks {
+        let (x, y) = (&a[c * 8..c * 8 + 8], &b[c * 8..c * 8 + 8]);
+        for l in 0..8 {
+            acc[l] += x[l] * y[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * 8..a.len() {
+        tail += a[i] * b[i];
+    }
+    acc.iter().sum::<f32>() + tail
+}
+
+/// `A (m×k) · Bᵀ where B is (n×k) → (m×n)`.
+///
+/// Both operands are walked row-wise, so this is the preferred kernel when
+/// the right factor is naturally stored row-major (e.g. a bank of shapelets
+/// or a batch of embeddings whose pairwise similarities we need).
+pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, kb) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "matmul_transb inner dimensions differ: {k} vs {kb}");
+    let mut out = Tensor::zeros([m, n]);
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    let od = out.as_mut_slice();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            od[i * n + j] = dot(arow, &bd[j * k..(j + 1) * k]);
+        }
+    }
+    out
+}
+
+/// `Aᵀ (k×m)ᵀ · B (k×n) → (m×n)` computed without materializing `Aᵀ`.
+pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "matmul_transa inner dimensions differ: {k} vs {kb}");
+    let mut out = Tensor::zeros([m, n]);
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    let od = out.as_mut_slice();
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut od[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `A (m×k) · v (k) → (m)`.
+pub fn matvec(a: &Tensor, v: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    assert_eq!(
+        v.numel(),
+        k,
+        "matvec dimension mismatch: {} vs {k}",
+        v.numel()
+    );
+    let mut out = Tensor::zeros([m]);
+    let (ad, vd) = (a.as_slice(), v.as_slice());
+    let od = out.as_mut_slice();
+    for i in 0..m {
+        od[i] = dot(&ad[i * k..(i + 1) * k], vd);
+    }
+    out
+}
+
+/// Outer product `u (m) ⊗ v (n) → (m×n)`.
+pub fn outer(u: &Tensor, v: &Tensor) -> Tensor {
+    let (m, n) = (u.numel(), v.numel());
+    let mut out = Tensor::zeros([m, n]);
+    let od = out.as_mut_slice();
+    for (i, &uv) in u.as_slice().iter().enumerate() {
+        for (j, &vv) in v.as_slice().iter().enumerate() {
+            od[i * n + j] = uv * vv;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut out = Tensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.at2(i, p) * b.at2(p, j);
+                }
+                out.set(&[i, j], s);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], [2, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_matches_naive_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let a = Tensor::randn([7, 5], &mut rng);
+        let b = Tensor::randn([5, 9], &mut rng);
+        let fast = matmul(&a, &b);
+        let slow = naive(&a, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn transb_and_transa_agree_with_explicit_transpose() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a = Tensor::randn([4, 6], &mut rng);
+        let b = Tensor::randn([3, 6], &mut rng);
+        let viaexp = matmul(&a, &b.transpose2());
+        let direct = matmul_transb(&a, &b);
+        assert!(viaexp.max_abs_diff(&direct) < 1e-5);
+
+        let c = Tensor::randn([6, 4], &mut rng);
+        let d = Tensor::randn([6, 3], &mut rng);
+        let viaexp = matmul(&c.transpose2(), &d);
+        let direct = matmul_transa(&c, &d);
+        assert!(viaexp.max_abs_diff(&direct) < 1e-5);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let a = Tensor::randn([4, 6], &mut rng);
+        let v = Tensor::randn([6], &mut rng);
+        let got = matvec(&a, &v);
+        let want = matmul(&a, &v.clone().reshape([6, 1])).reshape([4]);
+        assert!(got.max_abs_diff(&want) < 1e-5);
+    }
+
+    #[test]
+    fn outer_product() {
+        let u = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let v = Tensor::from_vec(vec![3.0, 4.0, 5.0], [3]);
+        let o = outer(&u, &v);
+        assert_eq!(o.row(1), &[6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = Tensor::randn([5, 5], &mut rng);
+        let i = Tensor::eye(5);
+        assert!(matmul(&a, &i).max_abs_diff(&a) < 1e-6);
+        assert!(matmul(&i, &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        matmul(&a, &b);
+    }
+}

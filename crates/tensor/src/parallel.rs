@@ -1,0 +1,114 @@
+//! Minimal scoped-thread data parallelism.
+//!
+//! The batch shapelet transform and the experiment harnesses map an
+//! independent function over many items (series, datasets, parameter
+//! settings). `parallel_map` covers that with `std::thread::scope` — no
+//! external thread-pool dependency, work split into contiguous chunks, and
+//! results returned in input order.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use: `available_parallelism` capped at the
+/// item count (and at least 1).
+pub fn default_threads(items: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(items).max(1)
+}
+
+/// Maps `f` over `0..n` on multiple threads, returning results in index
+/// order. `f` must be `Sync` (it is shared by reference across workers).
+///
+/// Work is claimed dynamically in small blocks via an atomic cursor, so
+/// uneven per-item cost (e.g. variable-length series) balances well.
+pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = default_threads(n);
+    if threads <= 1 || n == 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let cursor = AtomicUsize::new(0);
+    let block = (n / (threads * 4)).max(1);
+
+    // Hand each worker a disjoint set of &mut slots via raw pointer + index
+    // discipline: every index is claimed exactly once from the atomic cursor.
+    struct Slots<T>(*mut Option<T>);
+    unsafe impl<T: Send> Sync for Slots<T> {}
+    let slots = Slots(out.as_mut_ptr());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let f = &f;
+            let cursor = &cursor;
+            let slots = &slots;
+            scope.spawn(move || loop {
+                let start = cursor.fetch_add(block, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + block).min(n);
+                for i in start..end {
+                    let v = f(i);
+                    // SAFETY: `i` is claimed exactly once across all workers
+                    // (fetch_add hands out disjoint ranges), so no two threads
+                    // ever write the same slot, and `out` outlives the scope.
+                    unsafe { *slots.0.add(i) = Some(v) };
+                }
+            });
+        }
+    });
+
+    out.into_iter()
+        .map(|v| v.expect("parallel_map: worker failed to fill slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let got = parallel_map(100, |i| i * i);
+        let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(parallel_map(0, |i| i).is_empty());
+        assert_eq!(parallel_map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different costs still all complete correctly.
+        let got = parallel_map(64, |i| {
+            let mut acc = 0u64;
+            for k in 0..(i * 1000) as u64 {
+                acc = acc.wrapping_add(k);
+            }
+            (i, acc)
+        });
+        for (i, (idx, _)) in got.iter().enumerate() {
+            assert_eq!(i, *idx);
+        }
+    }
+
+    #[test]
+    fn default_threads_bounds() {
+        assert_eq!(default_threads(0), 1);
+        assert!(default_threads(1) == 1);
+        assert!(default_threads(1000) >= 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests over the tensor algebra.
+
+use crate::matmul::{matmul, matmul_transb};
+use crate::reduce::{self, Axis};
+use crate::tensor::Tensor;
+use crate::window::{count_windows, unfold, unfold_backward};
+use proptest::prelude::*;
+
+fn small_matrix(max_side: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_side, 1..=max_side).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |v| Tensor::from_vec(v, [r, c]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_commutes(a in small_matrix(6)) {
+        let b = a.map(|x| x * 0.5 + 1.0);
+        prop_assert!(a.add(&b).max_abs_diff(&b.add(&a)) < 1e-6);
+    }
+
+    #[test]
+    fn scale_distributes_over_add(a in small_matrix(6), s in -5.0f32..5.0) {
+        let b = a.map(|x| x - 2.0);
+        let lhs = a.add(&b).scale(s);
+        let rhs = a.scale(s).add(&b.scale(s));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn transpose_involution(a in small_matrix(8)) {
+        prop_assert_eq!(a.transpose2().transpose2(), a);
+    }
+
+    #[test]
+    fn matmul_transb_consistent(a in small_matrix(5), cols in 1usize..5) {
+        // Build b with matching inner dimension.
+        let k = a.cols();
+        let b = Tensor::from_fn([cols, k], |i| (i as f32 * 0.37).sin());
+        let direct = matmul_transb(&a, &b);
+        let viaexp = matmul(&a, &b.transpose2());
+        prop_assert!(direct.max_abs_diff(&viaexp) < 1e-4);
+    }
+
+    #[test]
+    fn sum_axis_totals_match(a in small_matrix(7)) {
+        let total = reduce::sum(&a);
+        let via_rows = reduce::sum(&reduce::sum_axis(&a, Axis::Rows));
+        let via_cols = reduce::sum(&reduce::sum_axis(&a, Axis::Cols));
+        prop_assert!((total - via_rows).abs() < 1e-3);
+        prop_assert!((total - via_cols).abs() < 1e-3);
+    }
+
+    #[test]
+    fn min_axis_bounds_every_element(a in small_matrix(7)) {
+        let (mins, args) = reduce::min_axis(&a, Axis::Cols);
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                prop_assert!(mins.as_slice()[i] <= a.at2(i, j));
+            }
+            prop_assert!((mins.as_slice()[i] - a.at2(i, args[i])).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn unfold_adjoint_identity(t in 4usize..20, len in 1usize..5, stride in 1usize..3) {
+        prop_assume!(len <= t);
+        let x = Tensor::from_fn([2, t], |i| ((i * 31) % 17) as f32 - 8.0);
+        let w = unfold(&x, len, stride);
+        prop_assert_eq!(w.rows(), count_windows(t, len, stride));
+        let g = Tensor::from_fn([w.rows(), w.cols()], |i| ((i * 7) % 13) as f32 - 6.0);
+        let lhs = w.dot(&g);
+        let rhs = x.dot(&unfold_backward(&g, 2, t, len, stride));
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn znorm_is_zero_mean(v in proptest::collection::vec(-100.0f32..100.0, 2..64)) {
+        let z = crate::stats::znorm(&v);
+        let m = crate::stats::mean(&z);
+        prop_assert!(m.abs() < 1e-3);
+    }
+}

@@ -1,0 +1,229 @@
+//! Global and per-axis reductions for rank-2 tensors.
+//!
+//! The min/max variants also report the arg-extreme indices because the
+//! shapelet transform's pooling backward pass routes gradients to exactly the
+//! extreme window (the standard subgradient of min/max pooling).
+
+use crate::tensor::Tensor;
+
+/// Sum of all elements.
+pub fn sum(t: &Tensor) -> f32 {
+    t.as_slice().iter().sum()
+}
+
+/// Mean of all elements (0 for an empty tensor).
+pub fn mean(t: &Tensor) -> f32 {
+    if t.numel() == 0 {
+        0.0
+    } else {
+        sum(t) / t.numel() as f32
+    }
+}
+
+/// Global minimum. Panics on empty input.
+pub fn min(t: &Tensor) -> f32 {
+    t.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+}
+
+/// Global maximum. Panics on empty input.
+pub fn max(t: &Tensor) -> f32 {
+    t.as_slice()
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// Index of the global maximum (first occurrence).
+pub fn argmax(t: &Tensor) -> usize {
+    let mut best = 0;
+    let s = t.as_slice();
+    for (i, &v) in s.iter().enumerate() {
+        if v > s[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Index of the global minimum (first occurrence).
+pub fn argmin(t: &Tensor) -> usize {
+    let mut best = 0;
+    let s = t.as_slice();
+    for (i, &v) in s.iter().enumerate() {
+        if v < s[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Which axis of a rank-2 tensor a reduction collapses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Axis {
+    /// Collapse rows: output has one entry per column.
+    Rows,
+    /// Collapse columns: output has one entry per row.
+    Cols,
+}
+
+/// Per-axis sum of a rank-2 tensor.
+pub fn sum_axis(t: &Tensor, axis: Axis) -> Tensor {
+    let (r, c) = (t.rows(), t.cols());
+    match axis {
+        Axis::Rows => {
+            let mut out = Tensor::zeros([c]);
+            for i in 0..r {
+                let row = t.row(i);
+                for (o, &v) in out.as_mut_slice().iter_mut().zip(row.iter()) {
+                    *o += v;
+                }
+            }
+            out
+        }
+        Axis::Cols => {
+            let mut out = Tensor::zeros([r]);
+            for i in 0..r {
+                out.as_mut_slice()[i] = t.row(i).iter().sum();
+            }
+            out
+        }
+    }
+}
+
+/// Per-axis mean of a rank-2 tensor.
+pub fn mean_axis(t: &Tensor, axis: Axis) -> Tensor {
+    let n = match axis {
+        Axis::Rows => t.rows(),
+        Axis::Cols => t.cols(),
+    } as f32;
+    sum_axis(t, axis).scale(1.0 / n)
+}
+
+/// Per-axis minimum with arg indices: `(values, argmin)`.
+///
+/// For `Axis::Rows` the outputs have one entry per column (the minimizing
+/// row index); for `Axis::Cols` one entry per row (the minimizing column).
+pub fn min_axis(t: &Tensor, axis: Axis) -> (Tensor, Vec<usize>) {
+    extreme_axis(t, axis, |a, b| a < b)
+}
+
+/// Per-axis maximum with arg indices: `(values, argmax)`.
+pub fn max_axis(t: &Tensor, axis: Axis) -> (Tensor, Vec<usize>) {
+    extreme_axis(t, axis, |a, b| a > b)
+}
+
+fn extreme_axis(t: &Tensor, axis: Axis, better: impl Fn(f32, f32) -> bool) -> (Tensor, Vec<usize>) {
+    let (r, c) = (t.rows(), t.cols());
+    match axis {
+        Axis::Rows => {
+            assert!(r > 0, "cannot reduce an empty axis");
+            let mut vals = t.row(0).to_vec();
+            let mut args = vec![0usize; c];
+            for i in 1..r {
+                for (j, &v) in t.row(i).iter().enumerate() {
+                    if better(v, vals[j]) {
+                        vals[j] = v;
+                        args[j] = i;
+                    }
+                }
+            }
+            (Tensor::from_vec(vals, [c]), args)
+        }
+        Axis::Cols => {
+            assert!(c > 0, "cannot reduce an empty axis");
+            let mut vals = vec![0.0f32; r];
+            let mut args = vec![0usize; r];
+            for i in 0..r {
+                let row = t.row(i);
+                let (mut bv, mut bj) = (row[0], 0usize);
+                for (j, &v) in row.iter().enumerate().skip(1) {
+                    if better(v, bv) {
+                        bv = v;
+                        bj = j;
+                    }
+                }
+                vals[i] = bv;
+                args[i] = bj;
+            }
+            (Tensor::from_vec(vals, [r]), args)
+        }
+    }
+}
+
+/// Population variance of all elements.
+pub fn variance(t: &Tensor) -> f32 {
+    let m = mean(t);
+    if t.numel() == 0 {
+        return 0.0;
+    }
+    t.as_slice().iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / t.numel() as f32
+}
+
+/// Population standard deviation of all elements.
+pub fn std_dev(t: &Tensor) -> f32 {
+    variance(t).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t23() -> Tensor {
+        Tensor::from_vec(vec![1.0, -2.0, 3.0, 4.0, 0.5, -6.0], [2, 3])
+    }
+
+    #[test]
+    fn global_reductions() {
+        let t = t23();
+        assert!((sum(&t) - 0.5).abs() < 1e-6);
+        assert!((mean(&t) - 0.5 / 6.0).abs() < 1e-6);
+        assert_eq!(min(&t), -6.0);
+        assert_eq!(max(&t), 4.0);
+        assert_eq!(argmin(&t), 5);
+        assert_eq!(argmax(&t), 3);
+    }
+
+    #[test]
+    fn axis_sums() {
+        let t = t23();
+        let rows = sum_axis(&t, Axis::Rows);
+        assert_eq!(rows.as_slice(), &[5.0, -1.5, -3.0]);
+        let cols = sum_axis(&t, Axis::Cols);
+        assert_eq!(cols.as_slice(), &[2.0, -1.5]);
+        let mc = mean_axis(&t, Axis::Cols);
+        assert!((mc.as_slice()[0] - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn axis_extremes_track_args() {
+        let t = t23();
+        let (mv, ma) = min_axis(&t, Axis::Cols);
+        assert_eq!(mv.as_slice(), &[-2.0, -6.0]);
+        assert_eq!(ma, vec![1, 2]);
+        let (xv, xa) = max_axis(&t, Axis::Rows);
+        assert_eq!(xv.as_slice(), &[4.0, 0.5, 3.0]);
+        assert_eq!(xa, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn tie_breaks_to_first() {
+        let t = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], [2, 2]);
+        let (_, args) = min_axis(&t, Axis::Cols);
+        assert_eq!(args, vec![0, 0]);
+        let (_, args) = max_axis(&t, Axis::Rows);
+        assert_eq!(args, vec![0, 0]);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        let t = Tensor::full([3, 3], 2.5);
+        assert!(variance(&t).abs() < 1e-7);
+        assert!(std_dev(&t).abs() < 1e-7);
+    }
+
+    #[test]
+    fn variance_known_value() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [4]);
+        assert!((variance(&t) - 1.25).abs() < 1e-6);
+    }
+}

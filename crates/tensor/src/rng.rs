@@ -1,0 +1,96 @@
+//! Seedable randomness helpers.
+//!
+//! Every stochastic component in TimeCSL takes a `&mut impl Rng` (or a seed
+//! that is turned into one here), so a single `u64` reproduces a whole
+//! experiment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG from a seed — the only way the workspace creates RNGs.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives an independent stream from a base seed and a stream index, so
+/// parallel workers can each own a reproducible RNG.
+pub fn substream(seed: u64, stream: u64) -> StdRng {
+    // SplitMix64 step decorrelates the derived seeds.
+    let mut z = seed.wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// One standard-normal sample via Box–Muller (rejection-free polar form is
+/// not needed at this precision).
+pub fn gauss(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Samples an index in `0..n` (uniform). Panics if `n == 0`.
+pub fn index(rng: &mut impl Rng, n: usize) -> usize {
+    assert!(n > 0, "cannot sample from an empty range");
+    rng.gen_range(0..n)
+}
+
+/// Fisher–Yates shuffles indices `0..n`, returning the permutation.
+pub fn permutation(rng: &mut impl Rng, n: usize) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        p.swap(i, j);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let a: Vec<u32> = {
+            let mut r = seeded(9);
+            (0..5).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = seeded(9);
+            (0..5).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn substreams_differ() {
+        let mut a = substream(9, 0);
+        let mut b = substream(9, 1);
+        let xs: Vec<u32> = (0..4).map(|_| a.gen()).collect();
+        let ys: Vec<u32> = (0..4).map(|_| b.gen()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn gauss_moments() {
+        let mut r = seeded(123);
+        let xs: Vec<f32> = (0..20_000).map(|_| gauss(&mut r)).collect();
+        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / xs.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut r = seeded(5);
+        let p = permutation(&mut r, 50);
+        let mut seen = [false; 50];
+        for &i in &p {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

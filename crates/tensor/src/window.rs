@@ -1,0 +1,226 @@
+//! Sliding-window unfolding of (multivariate) time series.
+//!
+//! The shapelet transform compares every learnable shapelet against every
+//! length-`L` window of a series. `unfold` materializes those windows as the
+//! rows of a matrix so the comparison becomes one `matmul_transb` against the
+//! shapelet bank.
+
+use crate::tensor::Tensor;
+
+/// Number of stride-`stride` windows of length `len` in a series of length
+/// `t` (0 if the series is shorter than the window).
+pub fn count_windows(t: usize, len: usize, stride: usize) -> usize {
+    count_windows_dilated(t, len, stride, 1)
+}
+
+/// Window count when taps are spread `dilation` samples apart: a dilated
+/// window of length `len` spans `(len − 1)·dilation + 1` samples.
+pub fn count_windows_dilated(t: usize, len: usize, stride: usize, dilation: usize) -> usize {
+    assert!(
+        len > 0 && stride > 0 && dilation > 0,
+        "window length, stride and dilation must be positive"
+    );
+    let span = (len - 1) * dilation + 1;
+    if t < span {
+        0
+    } else {
+        (t - span) / stride + 1
+    }
+}
+
+/// Unfolds a multivariate series stored as a rank-2 tensor `(D, T)` into a
+/// window matrix `(N_w, D·len)`.
+///
+/// Row `w` holds the window starting at time `w·stride`, with the `D`
+/// variables concatenated channel-major: `[var0[t..t+len], var1[..], ...]` —
+/// the same layout shapelets are stored in, so a dot product between a row
+/// and a flattened shapelet compares corresponding samples.
+pub fn unfold(series: &Tensor, len: usize, stride: usize) -> Tensor {
+    unfold_dilated(series, len, stride, 1)
+}
+
+/// [`unfold`] with dilated taps: window `w`, variable `v`, tap `i` reads the
+/// sample at time `w·stride + i·dilation`. Used by the dilated causal CNN
+/// baselines.
+pub fn unfold_dilated(series: &Tensor, len: usize, stride: usize, dilation: usize) -> Tensor {
+    let (d, t) = (series.rows(), series.cols());
+    let n = count_windows_dilated(t, len, stride, dilation);
+    assert!(
+        n > 0,
+        "series of length {t} has no windows of length {len} (dilation {dilation})"
+    );
+    let mut out = Tensor::zeros([n, d * len]);
+    let src = series.as_slice();
+    let dst = out.as_mut_slice();
+    for w in 0..n {
+        let start = w * stride;
+        for v in 0..d {
+            let src_off = v * t + start;
+            let dst_off = w * d * len + v * len;
+            if dilation == 1 {
+                dst[dst_off..dst_off + len].copy_from_slice(&src[src_off..src_off + len]);
+            } else {
+                for i in 0..len {
+                    dst[dst_off + i] = src[src_off + i * dilation];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Scatters gradients flowing into the unfolded window matrix back onto the
+/// original `(D, T)` layout (the adjoint of [`unfold`]). Overlapping windows
+/// accumulate.
+pub fn unfold_backward(
+    grad_windows: &Tensor,
+    d: usize,
+    t: usize,
+    len: usize,
+    stride: usize,
+) -> Tensor {
+    unfold_dilated_backward(grad_windows, d, t, len, stride, 1)
+}
+
+/// Adjoint of [`unfold_dilated`]; overlapping taps accumulate.
+pub fn unfold_dilated_backward(
+    grad_windows: &Tensor,
+    d: usize,
+    t: usize,
+    len: usize,
+    stride: usize,
+    dilation: usize,
+) -> Tensor {
+    let n = count_windows_dilated(t, len, stride, dilation);
+    assert_eq!(
+        grad_windows.rows(),
+        n,
+        "window-count mismatch in unfold_backward"
+    );
+    assert_eq!(
+        grad_windows.cols(),
+        d * len,
+        "window-width mismatch in unfold_backward"
+    );
+    let mut out = Tensor::zeros([d, t]);
+    let src = grad_windows.as_slice();
+    let dst = out.as_mut_slice();
+    for w in 0..n {
+        let start = w * stride;
+        for v in 0..d {
+            let src_off = w * d * len + v * len;
+            let dst_off = v * t + start;
+            for i in 0..len {
+                dst[dst_off + i * dilation] += src[src_off + i];
+            }
+        }
+    }
+    out
+}
+
+/// Extracts a single window `(D, len)` starting at `start` from a `(D, T)`
+/// series.
+pub fn window_at(series: &Tensor, start: usize, len: usize) -> Tensor {
+    let (d, t) = (series.rows(), series.cols());
+    assert!(
+        start + len <= t,
+        "window [{start}, {}) exceeds series length {t}",
+        start + len
+    );
+    let mut out = Tensor::zeros([d, len]);
+    for v in 0..d {
+        let row = series.row(v);
+        out.row_mut(v).copy_from_slice(&row[start..start + len]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        assert_eq!(count_windows(10, 3, 1), 8);
+        assert_eq!(count_windows(10, 3, 2), 4);
+        assert_eq!(count_windows(10, 10, 1), 1);
+        assert_eq!(count_windows(5, 6, 1), 0);
+    }
+
+    #[test]
+    fn unfold_univariate() {
+        let s = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0, 4.0], [1, 5]);
+        let w = unfold(&s, 3, 1);
+        assert_eq!(w.shape().dims(), &[3, 3]);
+        assert_eq!(w.row(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(w.row(2), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn unfold_multivariate_channel_major() {
+        let s = Tensor::from_vec(vec![0.0, 1.0, 2.0, 10.0, 11.0, 12.0], [2, 3]);
+        let w = unfold(&s, 2, 1);
+        assert_eq!(w.shape().dims(), &[2, 4]);
+        assert_eq!(w.row(0), &[0.0, 1.0, 10.0, 11.0]);
+        assert_eq!(w.row(1), &[1.0, 2.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn unfold_with_stride() {
+        let s = Tensor::from_vec((0..8).map(|x| x as f32).collect(), [1, 8]);
+        let w = unfold(&s, 2, 3);
+        assert_eq!(w.shape().dims(), &[3, 2]);
+        assert_eq!(w.row(1), &[3.0, 4.0]);
+        assert_eq!(w.row(2), &[6.0, 7.0]);
+    }
+
+    #[test]
+    fn backward_accumulates_overlaps() {
+        // Series length 4, windows of length 2, stride 1 → 3 windows.
+        // Put gradient 1 on every window element; interior timesteps are
+        // covered twice, the ends once.
+        let g = Tensor::ones([3, 2]);
+        let back = unfold_backward(&g, 1, 4, 2, 1);
+        assert_eq!(back.as_slice(), &[1.0, 2.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_is_adjoint_of_forward() {
+        // <unfold(x), g> == <x, unfold_backward(g)> for random x, g.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let x = Tensor::randn([2, 9], &mut rng);
+        let (len, stride) = (3, 2);
+        let w = unfold(&x, len, stride);
+        let g = Tensor::randn([w.rows(), w.cols()], &mut rng);
+        let lhs: f32 = w.dot(&g);
+        let back = unfold_backward(&g, 2, 9, len, stride);
+        let rhs: f32 = x.dot(&back);
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn dilated_unfold_and_adjoint() {
+        let s = Tensor::from_vec((0..8).map(|x| x as f32).collect(), [1, 8]);
+        let w = unfold_dilated(&s, 3, 1, 2); // taps at offsets 0, 2, 4
+        assert_eq!(w.shape().dims(), &[4, 3]);
+        assert_eq!(w.row(0), &[0.0, 2.0, 4.0]);
+        assert_eq!(w.row(3), &[3.0, 5.0, 7.0]);
+
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let g = Tensor::randn([4, 3], &mut rng);
+        let lhs = w.dot(&g);
+        let rhs = s.dot(&unfold_dilated_backward(&g, 1, 8, 3, 1, 2));
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn window_extraction() {
+        let s = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0, 10.0, 11.0, 12.0, 13.0], [2, 4]);
+        let w = window_at(&s, 1, 2);
+        assert_eq!(w.shape().dims(), &[2, 2]);
+        assert_eq!(w.row(0), &[1.0, 2.0]);
+        assert_eq!(w.row(1), &[11.0, 12.0]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Explorable analysis (paper §3 step 4 / Fig. 3, headless): renders every
+//! GUI panel to `target/explore_output/` — raw series, learned shapelets,
+//! a shapelet↔subsequence match, the sortable tabular feature view, and the
+//! t-SNE embedding — then redoes the analysis with a selected shapelet
+//! subset.
+//!
+//! Run with: `cargo run --release --example explore_features`
+
+use std::fs;
+use std::path::PathBuf;
+use timecsl::data::archive;
+use timecsl::eval::metrics::classification::accuracy;
+use timecsl::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    let out_dir = PathBuf::from("target/explore_output");
+    fs::create_dir_all(&out_dir)?;
+
+    let entry = archive::by_name("GestureSmall").expect("archive entry");
+    let (train, test) = archive::generate_split(&entry, 5);
+    let csl_cfg = CslConfig {
+        epochs: 8,
+        batch_size: 16,
+        seed: 2,
+        ..Default::default()
+    };
+    let (model, report) = TimeCsl::pretrain(&train, None, &csl_cfg);
+
+    // The learning-curve diagnostic the GUI plots during step 2.
+    fs::write(
+        out_dir.join("learning_curve.svg"),
+        timecsl::explore::svg::learning_curve_chart(&report.epoch_total, "CSL training loss"),
+    )?;
+
+    let session = ExploreSession::new(model, test.clone());
+
+    // Fig. 3a — a raw series; Fig. 3c — a learned shapelet.
+    fs::write(out_dir.join("series_0.svg"), session.render_series(0))?;
+    fs::write(out_dir.join("shapelet_0.svg"), session.render_shapelet(0))?;
+
+    // Fig. 3b — the "Match" button.
+    let m = session.match_shapelet(0, 0);
+    println!(
+        "shapelet 0 best matches series 0 at t={}..{} with {} score {:.4}",
+        m.start,
+        m.start + m.len,
+        m.measure.name(),
+        m.score
+    );
+    fs::write(out_dir.join("match_0x0.svg"), session.render_match(0, 0))?;
+
+    // Fig. 3d — tabular view, sorted by the first shapelet.
+    let table = session.tabular(Some(&[0, 1, 2, 3]));
+    let order = table.sort_by(0, true);
+    fs::write(out_dir.join("tabular.txt"), table.render(Some(&order)))?;
+    println!("tabular view (4 shapelets, sorted) written; first rows:");
+    for line in table.render(Some(&order)).lines().take(4) {
+        println!("  {line}");
+    }
+
+    // Fig. 3e — t-SNE of the representation.
+    let tsne_cfg = TsneConfig {
+        iterations: 250,
+        ..Default::default()
+    };
+    fs::write(
+        out_dir.join("tsne.svg"),
+        session.render_tsne(None, &tsne_cfg),
+    )?;
+
+    // Which shapelets are worth looking at? (ANOVA-F against the labels.)
+    let suggested = session.suggest_shapelets(5);
+    let names = session.model().feature_names();
+    println!("\nsuggested shapelets to explore:");
+    for &col in &suggested {
+        println!("  {}", names[col]);
+    }
+
+    // One self-contained HTML page with all panels (the GUI screen).
+    let report = timecsl::explore::html_report(
+        &session,
+        &timecsl::explore::ReportConfig {
+            series: vec![0, 1],
+            shapelets: suggested.clone(),
+            table_columns: suggested,
+            ..Default::default()
+        },
+    );
+    fs::write(out_dir.join("report.html"), report)?;
+
+    // Step-4 loop: redo the analysis with only the longest-scale shapelets.
+    let scales = session.model().bank().scales();
+    let longest = *scales.last().unwrap();
+    let reduced = session.with_scale(longest);
+    let mut svm = LinearSvm::new();
+    svm.fit(&reduced.model().transform(&train), train.labels().unwrap());
+    let pred = svm.predict(reduced.features());
+    println!(
+        "redo with only length-{longest} shapelets: accuracy = {:.3}",
+        accuracy(&pred, test.labels().unwrap())
+    );
+
+    println!("\nall panels written to {}", out_dir.display());
+    Ok(())
+}

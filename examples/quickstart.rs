@@ -1,0 +1,78 @@
+//! Quickstart: the TimeCSL unified pipeline (paper Fig. 2) on one dataset —
+//! pre-train once, solve classification, clustering and anomaly scoring
+//! from the same representation.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use timecsl::data::archive;
+use timecsl::eval::metrics::{classification::accuracy, clustering::nmi};
+use timecsl::prelude::*;
+
+fn main() {
+    // The synthetic archive stands in for the UEA datasets the demo ships.
+    let entry = archive::by_name("MotifMulti").expect("archive entry");
+    let (train, test) = archive::generate_split(&entry, 2024);
+    println!(
+        "dataset {}: {} train / {} test series, D={}, {} classes",
+        entry.name,
+        train.len(),
+        test.len(),
+        train.n_vars(),
+        train.n_classes()
+    );
+
+    // Steps 1–2: unsupervised contrastive shapelet learning. `None` uses
+    // the recommended adaptive configuration (§4.2-style).
+    let csl_cfg = CslConfig {
+        epochs: 10,
+        batch_size: 16,
+        seed: 0,
+        ..Default::default()
+    };
+    let (model, report) = TimeCsl::pretrain(&train, None, &csl_cfg);
+    println!(
+        "\nlearned {} shapelets over scales {:?} in {:.2?}",
+        model.repr_dim(),
+        model.bank().scales(),
+        report.wall_time
+    );
+    println!("{}", report.learning_curve_ascii());
+
+    // Step 3 (freezing mode): the same features feed any analyzer.
+    let ztr = model.transform(&train);
+    let zte = model.transform(&test);
+
+    let mut svm = LinearSvm::new();
+    svm.fit(&ztr, train.labels().unwrap());
+    let pred = svm.predict(&zte);
+    println!(
+        "classification: SVM accuracy = {:.3}",
+        accuracy(&pred, test.labels().unwrap())
+    );
+
+    let mut km = KMeans::new(train.n_classes());
+    let assign = km.fit_predict(&zte);
+    println!(
+        "clustering:     k-means NMI  = {:.3}",
+        nmi(&assign, test.labels().unwrap())
+    );
+
+    let mut forest = IsolationForest::new();
+    forest.fit(&ztr);
+    let scores = forest.score(&zte);
+    let max_score = scores.iter().copied().fold(f32::MIN, f32::max);
+    println!("anomaly:        iforest max score = {max_score:.3} (higher = more anomalous)");
+
+    // Step 3 (fine-tuning mode): a linear head g trained jointly with f.
+    let mut tuned = model.clone();
+    let ft_cfg = FineTuneConfig {
+        epochs: 10,
+        ..Default::default()
+    };
+    let (head, _) = tuned.fine_tune(&train, &ft_cfg);
+    let pred = head.predict(&tuned.transform(&test));
+    println!(
+        "fine-tuning:    linear-head accuracy = {:.3}",
+        accuracy(&pred, test.labels().unwrap())
+    );
+}

@@ -1,0 +1,231 @@
+//! `timecsl` — command-line front end to the TimeCSL pipeline, mirroring
+//! the demo's four steps headlessly on CSV datasets (see
+//! `tcsl_data::io` for the format: `series,label,variable,t,value`).
+//!
+//! ```text
+//! timecsl pretrain  <train.csv> <model.tcsl> [epochs]   # steps 1–2
+//! timecsl transform <model.tcsl> <data.csv> <out.csv>   # features to CSV
+//! timecsl classify  <model.tcsl> <train.csv> <test.csv> # freeze-mode SVM
+//! timecsl cluster   <model.tcsl> <data.csv> <k>         # freeze-mode k-means
+//! timecsl match     <model.tcsl> <data.csv> <series> <feature> <out.svg>
+//! timecsl info      <data.csv|data.ts>                  # dataset summary
+//! timecsl report    <model.tcsl> <data.csv> <out.html>  # Fig.3-style report
+//! timecsl demo                                          # synthetic end-to-end run
+//! ```
+//!
+//! Datasets are loaded by extension: `.ts` (sktime/UEA) or CSV (long format).
+
+use std::process::ExitCode;
+use timecsl::data::archive;
+use timecsl::data::io;
+use timecsl::eval::metrics::classification::accuracy;
+use timecsl::eval::metrics::clustering::nmi;
+use timecsl::explore::ExploreSession;
+use timecsl::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("pretrain") => cmd_pretrain(&args[1..]),
+        Some("transform") => cmd_transform(&args[1..]),
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("cluster") => cmd_cluster(&args[1..]),
+        Some("match") => cmd_match(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        Some("demo") => cmd_demo(),
+        _ => {
+            eprintln!(
+                "usage: timecsl <pretrain|transform|classify|cluster|match|info|report|demo> ... \
+                 (see crate docs)"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), String>;
+
+fn arg<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
+    args.get(i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing argument: {what}"))
+}
+
+/// Loads a dataset, dispatching on extension: `.ts` (sktime/UEA format)
+/// or CSV (this crate's long format).
+fn load(name: &str, path: &str) -> Result<Dataset, String> {
+    if path.ends_with(".ts") {
+        timecsl::data::io_ts::load_ts(name, path)
+            .map(|f| f.dataset)
+            .map_err(|e| format!("{path}: {e}"))
+    } else {
+        io::load_csv(name, path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn cmd_pretrain(args: &[String]) -> CliResult {
+    let train_path = arg(args, 0, "train.csv")?;
+    let model_path = arg(args, 1, "model.tcsl")?;
+    let epochs: usize = args
+        .get(2)
+        .map(|s| s.parse().map_err(|e| format!("bad epochs: {e}")))
+        .transpose()?
+        .unwrap_or(20);
+    let train = load("train", train_path)?;
+    println!(
+        "pre-training on {} series (D={})...",
+        train.len(),
+        train.n_vars()
+    );
+    let cfg = CslConfig {
+        epochs,
+        ..Default::default()
+    };
+    let (model, report) = TimeCsl::pretrain(&train, None, &cfg);
+    print!("{}", report.learning_curve_ascii());
+    model.save(model_path).map_err(|e| e.to_string())?;
+    println!("saved {} shapelets to {model_path}", model.repr_dim());
+    Ok(())
+}
+
+fn cmd_transform(args: &[String]) -> CliResult {
+    let model = TimeCsl::load(arg(args, 0, "model.tcsl")?).map_err(|e| e.to_string())?;
+    let data = load("data", arg(args, 1, "data.csv")?)?;
+    let out_path = arg(args, 2, "out.csv")?;
+    let feats = model.transform(&data);
+    let csv = io::matrix_to_csv(&feats, &model.feature_names());
+    std::fs::write(out_path, csv).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {}×{} features to {out_path}",
+        feats.rows(),
+        feats.cols()
+    );
+    Ok(())
+}
+
+fn cmd_classify(args: &[String]) -> CliResult {
+    let model = TimeCsl::load(arg(args, 0, "model.tcsl")?).map_err(|e| e.to_string())?;
+    let train = load("train", arg(args, 1, "train.csv")?)?;
+    let test = load("test", arg(args, 2, "test.csv")?)?;
+    let ytr = train.labels().ok_or("training csv has no labels")?;
+    let mut svm = LinearSvm::new();
+    svm.fit(&model.transform(&train), ytr);
+    let pred = svm.predict(&model.transform(&test));
+    match test.labels() {
+        Some(yte) => println!("accuracy = {:.4}", accuracy(&pred, yte)),
+        None => println!("predictions: {pred:?}"),
+    }
+    Ok(())
+}
+
+fn cmd_cluster(args: &[String]) -> CliResult {
+    let model = TimeCsl::load(arg(args, 0, "model.tcsl")?).map_err(|e| e.to_string())?;
+    let data = load("data", arg(args, 1, "data.csv")?)?;
+    let k: usize = arg(args, 2, "k")?
+        .parse()
+        .map_err(|e| format!("bad k: {e}"))?;
+    let mut km = KMeans::new(k);
+    let assign = km.fit_predict(&model.transform(&data));
+    println!("assignments: {assign:?}");
+    if let Some(labels) = data.labels() {
+        println!("NMI vs labels = {:.4}", nmi(&assign, labels));
+    }
+    Ok(())
+}
+
+fn cmd_match(args: &[String]) -> CliResult {
+    let model = TimeCsl::load(arg(args, 0, "model.tcsl")?).map_err(|e| e.to_string())?;
+    let data = load("data", arg(args, 1, "data.csv")?)?;
+    let series: usize = arg(args, 2, "series")?
+        .parse()
+        .map_err(|e| format!("bad series: {e}"))?;
+    let feature: usize = arg(args, 3, "feature")?
+        .parse()
+        .map_err(|e| format!("bad feature: {e}"))?;
+    let out = arg(args, 4, "out.svg")?;
+    if series >= data.len() {
+        return Err(format!(
+            "series {series} out of range ({} series)",
+            data.len()
+        ));
+    }
+    if feature >= model.repr_dim() {
+        return Err(format!(
+            "feature {feature} out of range ({} features)",
+            model.repr_dim()
+        ));
+    }
+    let session = ExploreSession::new(model, data);
+    let m = session.match_shapelet(series, feature);
+    println!(
+        "best match at t={}..{} ({} score {:.4})",
+        m.start,
+        m.start + m.len,
+        m.measure.name(),
+        m.score
+    );
+    std::fs::write(out, session.render_match(series, feature)).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> CliResult {
+    let path = arg(args, 0, "data.csv|data.ts")?;
+    let data = load("data", path)?;
+    print!("{}", timecsl::data::describe::describe(&data));
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> CliResult {
+    let model = TimeCsl::load(arg(args, 0, "model.tcsl")?).map_err(|e| e.to_string())?;
+    let data = load("data", arg(args, 1, "data.csv")?)?;
+    let out = arg(args, 2, "out.html")?;
+    let session = ExploreSession::new(model, data);
+    let shapelets = session.suggest_shapelets(4);
+    let html = timecsl::explore::html_report(
+        &session,
+        &timecsl::explore::ReportConfig {
+            series: vec![0],
+            shapelets: shapelets.clone(),
+            table_columns: shapelets,
+            ..Default::default()
+        },
+    );
+    std::fs::write(out, html).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// A self-contained synthetic run: generate → save CSVs → pretrain →
+/// classify, exercising every CLI path.
+fn cmd_demo() -> CliResult {
+    let dir = std::env::temp_dir().join("timecsl_cli_demo");
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let entry = archive::by_name("MotifEasy").ok_or("missing archive entry")?;
+    let (train, test) = archive::generate_split(&entry, 1);
+    let train_csv = dir.join("train.csv");
+    let test_csv = dir.join("test.csv");
+    io::save_csv(&train, &train_csv).map_err(|e| e.to_string())?;
+    io::save_csv(&test, &test_csv).map_err(|e| e.to_string())?;
+    let model_path = dir.join("model.tcsl");
+    cmd_pretrain(&[
+        train_csv.to_string_lossy().into_owned(),
+        model_path.to_string_lossy().into_owned(),
+        "8".into(),
+    ])?;
+    cmd_classify(&[
+        model_path.to_string_lossy().into_owned(),
+        train_csv.to_string_lossy().into_owned(),
+        test_csv.to_string_lossy().into_owned(),
+    ])?;
+    println!("demo artifacts in {}", dir.display());
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! # timecsl
+//!
+//! An end-to-end Rust implementation of **TimeCSL** — *Unsupervised
+//! Contrastive Learning of General Shapelets for Explorable Time Series
+//! Analysis* (VLDB 2024) — and of the CSL framework it builds on.
+//!
+//! This facade crate re-exports the workspace under task-oriented names and
+//! is the only dependency downstream users need:
+//!
+//! * [`TimeCsl`] — the unified pipeline: unsupervised contrastive
+//!   pre-training of the Shapelet Transformer, freezing-mode feature
+//!   extraction, and fine-tuning with a linear head.
+//! * [`analyzers`] — SVM, logistic regression, k-NN, trees, GBDT, k-means,
+//!   agglomerative, isolation forest, k-NN distance scoring.
+//! * [`explore`] — shapelet matching, tabular feature views, t-SNE, SVG
+//!   rendering.
+//! * [`data`] — containers, splits, augmentations, CSV I/O and the
+//!   synthetic archive.
+//! * [`baselines`] — the competitor methods of the paper's Figure 1.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use timecsl::prelude::*;
+//!
+//! // A small archive dataset (synthetic stand-in for UEA).
+//! let entry = timecsl::data::archive::by_name("MotifEasy").unwrap();
+//! let (train, test) = timecsl::data::archive::generate_split(&entry, 7);
+//!
+//! // Step 1–2: configure + unsupervised contrastive shapelet learning.
+//! let csl_cfg = CslConfig { epochs: 2, batch_size: 8, ..CslConfig::fast() };
+//! let shapelet_cfg = ShapeletConfig { lengths: vec![8, 16], k_per_group: 3,
+//!     measures: vec![Measure::Euclidean], stride: 1 };
+//! let (model, _report) = TimeCsl::pretrain(&train, Some(shapelet_cfg), &csl_cfg);
+//!
+//! // Step 3: freezing mode — any analyzer on the representation.
+//! let (ztr, zte) = (model.transform(&train), model.transform(&test));
+//! let mut svm = LinearSvm::new();
+//! svm.fit(&ztr, train.labels().unwrap());
+//! let acc = svm.accuracy(&zte, test.labels().unwrap());
+//! assert!(acc > 0.4);
+//! ```
+
+pub use tcsl_analyzers as analyzers;
+pub use tcsl_autodiff as autodiff;
+pub use tcsl_baselines as baselines;
+pub use tcsl_core as core;
+pub use tcsl_data as data;
+pub use tcsl_eval as eval;
+pub use tcsl_explore as explore;
+pub use tcsl_shapelet as shapelet;
+pub use tcsl_tensor as tensor;
+
+pub use tcsl_core::{CslConfig, FineTuneConfig, LinearHead, TimeCsl, TrainingReport};
+pub use tcsl_shapelet::{Measure, ShapeletBank, ShapeletConfig};
+
+/// The commonly used surface in one import.
+pub mod prelude {
+    pub use crate::analyzers::anomaly::{IsolationForest, KnnDistance};
+    pub use crate::analyzers::classify::{
+        DecisionTree, GradientBoosting, KnnClassifier, LinearSvm, LogisticRegression, RandomForest,
+    };
+    pub use crate::analyzers::cluster::{Agglomerative, KMeans};
+    pub use crate::analyzers::{AnomalyScorer, Classifier, Clusterer};
+    pub use crate::data::{Dataset, TimeSeries};
+    pub use crate::explore::{ExploreSession, TsneConfig};
+    pub use crate::{CslConfig, FineTuneConfig, LinearHead, Measure, ShapeletConfig, TimeCsl};
+}

@@ -1,0 +1,126 @@
+//! Integration: CSL against the baseline representations on the regimes
+//! the paper motivates — shapelet-friendly data where best-match pooling
+//! should win, and periodic data where the temporal-neighbourhood
+//! assumption fails.
+
+use timecsl::baselines::{features, CnnArch, CnnUrl, Objective, UrlConfig};
+use timecsl::data::archive;
+use timecsl::eval::metrics::classification::accuracy;
+use timecsl::prelude::*;
+
+fn freeze_accuracy(
+    ztr: &timecsl::tensor::Tensor,
+    ytr: &[usize],
+    zte: &timecsl::tensor::Tensor,
+    yte: &[usize],
+) -> f64 {
+    let mut svm = LinearSvm::new();
+    svm.fit(ztr, ytr);
+    accuracy(&svm.predict(zte), yte)
+}
+
+#[test]
+fn csl_beats_stat_features_on_random_position_motifs() {
+    // Motif position is random, so global statistics are weakly
+    // informative while best-match shapelet features nail it.
+    let entry = archive::by_name("MotifMulti").unwrap();
+    let (train, test) = archive::generate_split(&entry, 400);
+    let (ytr, yte) = (train.labels().unwrap(), test.labels().unwrap());
+
+    let csl_cfg = CslConfig {
+        epochs: 6,
+        batch_size: 12,
+        seed: 8,
+        ..Default::default()
+    };
+    let (model, _) = TimeCsl::pretrain(&train, None, &csl_cfg);
+    let csl_acc = freeze_accuracy(&model.transform(&train), ytr, &model.transform(&test), yte);
+
+    let stat_tr = features::extract_dataset(&train.znormed());
+    let stat_te = features::extract_dataset(&test.znormed());
+    let stat_acc = freeze_accuracy(&stat_tr, ytr, &stat_te, yte);
+
+    assert!(
+        csl_acc > stat_acc,
+        "CSL ({csl_acc:.3}) should beat global statistics ({stat_acc:.3}) on embedded motifs"
+    );
+    assert!(csl_acc > 0.6);
+}
+
+#[test]
+fn csl_beats_tnc_on_periodic_data() {
+    // Periodic series violate TNC's "distant ⇒ dissimilar" assumption —
+    // the failure mode §1 cites. CSL, agnostic to position, is unaffected.
+    let entry = archive::by_name("PeriodicWave").unwrap();
+    let (train, test) = archive::generate_split(&entry, 401);
+    let (ytr, yte) = (train.labels().unwrap(), test.labels().unwrap());
+    let (ntrain, ntest) = (train.znormed(), test.znormed());
+
+    let csl_cfg = CslConfig {
+        epochs: 6,
+        batch_size: 12,
+        seed: 9,
+        ..Default::default()
+    };
+    let (model, _) = TimeCsl::pretrain(&train, None, &csl_cfg);
+    let csl_acc = freeze_accuracy(&model.transform(&train), ytr, &model.transform(&test), yte);
+
+    let arch = CnnArch {
+        hidden: 8,
+        out: 16,
+        kernel: 3,
+        dilations: vec![1, 2, 4],
+    };
+    let url_cfg = UrlConfig {
+        epochs: 6,
+        batch_size: 12,
+        seed: 9,
+        ..Default::default()
+    };
+    let mut tnc = CnnUrl::new(1, Objective::TemporalNeighbourhood, arch, url_cfg);
+    tnc.pretrain(&ntrain);
+    let tnc_acc = freeze_accuracy(&tnc.encode(&ntrain), ytr, &tnc.encode(&ntest), yte);
+
+    assert!(
+        csl_acc >= tnc_acc,
+        "CSL ({csl_acc:.3}) should not lose to TNC ({tnc_acc:.3}) on periodic data"
+    );
+    assert!(csl_acc > 0.5, "CSL accuracy only {csl_acc}");
+}
+
+#[test]
+fn all_url_baselines_produce_usable_representations() {
+    let entry = archive::by_name("MotifEasy").unwrap();
+    let (train, test) = archive::generate_split(&entry, 402);
+    let (ntrain, ntest) = (train.znormed(), test.znormed());
+    let (ytr, yte) = (train.labels().unwrap(), test.labels().unwrap());
+    for objective in [
+        Objective::InstanceContrast,
+        Objective::Triplet,
+        Objective::TemporalNeighbourhood,
+    ] {
+        let arch = CnnArch {
+            hidden: 8,
+            out: 16,
+            kernel: 3,
+            dilations: vec![1, 2],
+        };
+        let cfg = UrlConfig {
+            epochs: 4,
+            batch_size: 10,
+            seed: 10,
+            ..Default::default()
+        };
+        let mut url = CnnUrl::new(1, objective, arch, cfg);
+        let (time, curve) = url.pretrain(&ntrain);
+        assert!(time.as_nanos() > 0);
+        assert!(
+            curve.iter().all(|l| l.is_finite()),
+            "{}: bad curve",
+            url.name()
+        );
+        let acc = freeze_accuracy(&url.encode(&ntrain), ytr, &url.encode(&ntest), yte);
+        // Usable ≥ chance on a 2-class problem.
+        assert!(acc > 0.45, "{} accuracy only {acc}", url.name());
+    }
+}

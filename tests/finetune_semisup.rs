@@ -1,0 +1,110 @@
+//! Integration: the fine-tuning mode and the semi-supervised claim of §2.2
+//! — pre-training + fine-tuning holds up under label scarcity where a
+//! from-scratch supervised model degrades.
+
+use timecsl::baselines::fcn::FcnConfig;
+use timecsl::baselines::{CnnArch, SupervisedCnn};
+use timecsl::data::archive;
+use timecsl::data::split::label_fraction_split;
+use timecsl::eval::metrics::classification::accuracy;
+use timecsl::prelude::*;
+use timecsl::tensor::rng::seeded;
+
+#[test]
+fn finetuning_improves_over_frozen_head_on_training_loss() {
+    let entry = archive::by_name("GestureSmall").unwrap();
+    let (train, test) = archive::generate_split(&entry, 200);
+    let csl = CslConfig {
+        epochs: 5,
+        batch_size: 12,
+        seed: 7,
+        ..Default::default()
+    };
+    let (model, _) = TimeCsl::pretrain(&train, None, &csl);
+
+    // Frozen: linear probing only.
+    let mut frozen = model.clone();
+    let (head_frozen, rep_frozen) = frozen.fine_tune(
+        &train,
+        &FineTuneConfig {
+            epochs: 12,
+            freeze_shapelets: true,
+            seed: 1,
+            ..Default::default()
+        },
+    );
+    // Joint: shapelets adapt too.
+    let mut joint = model.clone();
+    let (head_joint, rep_joint) = joint.fine_tune(
+        &train,
+        &FineTuneConfig {
+            epochs: 12,
+            freeze_shapelets: false,
+            seed: 1,
+            ..Default::default()
+        },
+    );
+    // Joint optimization reaches a lower training loss than probing.
+    assert!(
+        rep_joint.epoch_loss.last().unwrap() <= rep_frozen.epoch_loss.last().unwrap(),
+        "joint {} vs frozen {}",
+        rep_joint.epoch_loss.last().unwrap(),
+        rep_frozen.epoch_loss.last().unwrap()
+    );
+    // Both reach reasonable test accuracy.
+    let yt = test.labels().unwrap();
+    let acc_frozen = accuracy(&head_frozen.predict(&frozen.transform(&test)), yt);
+    let acc_joint = accuracy(&head_joint.predict(&joint.transform(&test)), yt);
+    assert!(acc_frozen > 0.5, "frozen accuracy {acc_frozen}");
+    assert!(acc_joint > 0.5, "joint accuracy {acc_joint}");
+}
+
+#[test]
+fn pretraining_beats_from_scratch_with_scarce_labels() {
+    let entry = archive::by_name("GestureSmall").unwrap();
+    let (train, test) = archive::generate_split(&entry, 201);
+    let yt = test.labels().unwrap();
+
+    // Pre-train on everything (no labels), fine-tune on 10%.
+    let csl = CslConfig {
+        epochs: 6,
+        batch_size: 12,
+        seed: 3,
+        ..Default::default()
+    };
+    let (pretrained, _) = TimeCsl::pretrain(&train, None, &csl);
+    let mut rng = seeded(11);
+    let (labeled, _) = label_fraction_split(&train, 0.1, &mut rng);
+    assert!(labeled.len() < train.len() / 5);
+
+    let mut model = pretrained.clone();
+    let (head, _) = model.fine_tune(
+        &labeled,
+        &FineTuneConfig {
+            epochs: 20,
+            seed: 3,
+            ..Default::default()
+        },
+    );
+    let csl_acc = accuracy(&head.predict(&model.transform(&test)), yt);
+
+    // Supervised CNN from scratch on the same 10%.
+    let mut fcn = SupervisedCnn::new(
+        train.n_vars(),
+        train.n_classes(),
+        CnnArch::default(),
+        FcnConfig {
+            epochs: 20,
+            seed: 3,
+            ..Default::default()
+        },
+    );
+    fcn.fit(&labeled.znormed());
+    let fcn_acc = accuracy(&fcn.predict(&test.znormed()), yt);
+
+    assert!(
+        csl_acc >= fcn_acc,
+        "semi-supervised CSL ({csl_acc}) should not lose to from-scratch CNN ({fcn_acc}) at 10% labels"
+    );
+    assert!(csl_acc > 0.5, "semi-supervised accuracy only {csl_acc}");
+}

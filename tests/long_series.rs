@@ -1,0 +1,59 @@
+//! Integration: the long-series path (E1d) — the capped-window adaptive
+//! configuration keeps the transform tractable at multi-thousand-step
+//! series without giving up accuracy.
+
+use std::time::Instant;
+use timecsl::data::archive;
+use timecsl::eval::metrics::classification::accuracy;
+use timecsl::prelude::*;
+use timecsl::shapelet::ShapeletConfig;
+
+#[test]
+fn capped_window_config_handles_4k_series() {
+    let entry = archive::by_name("LongMotif4k").unwrap();
+    let (train, test) = archive::generate_split(&entry, 600);
+    assert_eq!(train.series(0).len(), 4096);
+
+    let scfg = ShapeletConfig::adaptive_long(4096, 256);
+    assert!(scfg.stride > 1, "long config must stride");
+    let ccfg = CslConfig {
+        epochs: 4,
+        batch_size: 8,
+        seed: 1,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let (model, _) = TimeCsl::pretrain(&train, Some(scfg), &ccfg);
+    let ztr = model.transform(&train);
+    let zte = model.transform(&test);
+    let elapsed = t0.elapsed();
+
+    let mut svm = LinearSvm::new();
+    svm.fit(&ztr, train.labels().unwrap());
+    let acc = accuracy(&svm.predict(&zte), test.labels().unwrap());
+    assert!(acc > 0.7, "long-series accuracy only {acc}");
+    // Tractability: whole train+encode cycle stays interactive.
+    assert!(
+        elapsed.as_secs_f64() < 30.0,
+        "long-series pipeline too slow: {elapsed:?}"
+    );
+}
+
+#[test]
+fn long_and_short_series_share_one_feature_space() {
+    // A model trained on 1k-step series transforms 4k-step series into the
+    // same representation dimensionality.
+    let (train_1k, _) = archive::generate_split(&archive::by_name("LongMotif1k").unwrap(), 601);
+    let (other_4k, _) = archive::generate_split(&archive::by_name("LongMotif4k").unwrap(), 602);
+    let scfg = ShapeletConfig::adaptive_long(1024, 128);
+    let ccfg = CslConfig {
+        epochs: 2,
+        batch_size: 8,
+        seed: 2,
+        ..Default::default()
+    };
+    let (model, _) = TimeCsl::pretrain(&train_1k, Some(scfg), &ccfg);
+    let z = model.transform(&other_4k);
+    assert_eq!(z.cols(), model.repr_dim());
+    assert!(z.all_finite());
+}
