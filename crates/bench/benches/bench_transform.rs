@@ -1,9 +1,13 @@
-//! Microbenchmark: shapelet-transform throughput across series lengths and
-//! variable counts — the per-query cost of the freezing mode.
+//! Microbenchmark: shapelet-transform throughput — the fused streaming
+//! kernel against the unfold+matmul oracle, across series lengths and
+//! variable counts. The per-query cost of the freezing mode.
+//!
+//! For allocator-pressure numbers and the headline speedup table, run the
+//! `bench_transform` *binary* instead (writes `BENCH_transform.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tcsl_data::TimeSeries;
-use tcsl_shapelet::transform::transform_series;
+use tcsl_shapelet::transform::{transform_series, transform_series_oracle};
 use tcsl_shapelet::{ShapeletBank, ShapeletConfig};
 use tcsl_tensor::rng::seeded;
 use tcsl_tensor::Tensor;
@@ -18,8 +22,11 @@ fn bench_transform(c: &mut Criterion) {
             let mut bank = ShapeletBank::new(&ShapeletConfig::adaptive(t), d);
             bank.randomize(&mut rng);
             let series = TimeSeries::new(Tensor::randn([d, t], &mut rng));
-            group.bench_with_input(BenchmarkId::new(format!("adaptive_d{d}"), t), &t, |b, _| {
+            group.bench_with_input(BenchmarkId::new(format!("fused_d{d}"), t), &t, |b, _| {
                 b.iter(|| transform_series(&bank, &series))
+            });
+            group.bench_with_input(BenchmarkId::new(format!("naive_d{d}"), t), &t, |b, _| {
+                b.iter(|| transform_series_oracle(&bank, &series))
             });
         }
     }
@@ -37,8 +44,11 @@ fn bench_transform_long_stride(c: &mut Criterion) {
         let mut bank = ShapeletBank::new(&ShapeletConfig::adaptive_long(t, 256), 1);
         bank.randomize(&mut rng);
         let series = TimeSeries::new(Tensor::randn([1, t], &mut rng));
-        group.bench_with_input(BenchmarkId::new("capped256", t), &t, |b, _| {
+        group.bench_with_input(BenchmarkId::new("capped256_fused", t), &t, |b, _| {
             b.iter(|| transform_series(&bank, &series))
+        });
+        group.bench_with_input(BenchmarkId::new("capped256_naive", t), &t, |b, _| {
+            b.iter(|| transform_series_oracle(&bank, &series))
         });
     }
     group.finish();

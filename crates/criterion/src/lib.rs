@@ -1,0 +1,289 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this API-compatible subset instead: `Criterion`, benchmark groups,
+//! `Bencher::iter` / `iter_batched`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of criterion's
+//! statistical machinery it runs a warmup pass, then times `sample_size`
+//! batches within `measurement_time` and reports mean / min per-iteration
+//! wall time on stdout — enough to track the perf trajectory recorded in
+//! the repo's `BENCH_*.json` files.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; this subset always runs one setup per measured batch).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter value only.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let group_name = name.to_string();
+        run_benchmark(&group_name, "", 10, Duration::from_secs(2), f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<S: Display, F: FnMut(&mut Bencher)>(&mut self, id: S, f: F) -> &mut Self {
+        run_benchmark(
+            &self.name,
+            &id.to_string(),
+            self.sample_size,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<S: Display, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: S,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing nothing extra; samples were already
+    /// reported).
+    pub fn finish(self) {}
+}
+
+/// Hands the benchmark body a timing loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called `iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on inputs built by `setup` (setup excluded from the
+    /// measurement).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    let label = if id.is_empty() {
+        group.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+
+    // Calibration: find an iteration count that makes one sample ~1/10 of
+    // the budget, starting from a single timed call.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let per_sample = measurement_time
+        .div_f64(sample_size as f64)
+        .max(Duration::from_micros(100));
+    let iters = (per_sample.as_secs_f64() / per_iter.as_secs_f64())
+        .clamp(1.0, 1e9)
+        .round() as u64;
+
+    let mut times: Vec<f64> = Vec::with_capacity(sample_size);
+    let budget = Instant::now();
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed.as_secs_f64() / iters as f64);
+        if budget.elapsed() > measurement_time.mul_f64(2.0) {
+            break; // stay within ~2x the requested budget
+        }
+    }
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "{label:<48} mean {:>12}  min {:>12}  ({} samples x {} iters)",
+        format_time(mean),
+        format_time(min),
+        times.len(),
+        iters
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.2} s", secs)
+    }
+}
+
+/// Bundles benchmark functions into a runner, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` for a set of [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(10));
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0, "routine should have been invoked");
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest_batched");
+        group.sample_size(2);
+        group.measurement_time(Duration::from_millis(5));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8usize, |b, &n| {
+            b.iter_batched(
+                || (0..n).map(|i| i as f32).collect::<Vec<_>>(),
+                |v| v.iter().sum::<f32>(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

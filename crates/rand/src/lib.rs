@@ -1,0 +1,263 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this API-compatible subset instead: the [`Rng`] trait with `gen` /
+//! `gen_range`, the [`SeedableRng`] trait, and a deterministic
+//! [`rngs::StdRng`] (xoshiro256++ seeded through SplitMix64). Streams are
+//! deterministic per seed but are **not** bit-compatible with upstream
+//! `rand` — nothing in the workspace depends on upstream streams, only on
+//! same-seed reproducibility (see `tcsl-tensor`'s determinism tests).
+
+/// A source of uniformly random 64-bit words plus the derived sampling
+/// methods the workspace uses.
+pub trait Rng {
+    /// The next uniformly random 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value of a primitive type (`Standard`
+    /// distribution in upstream terms: floats in `[0, 1)`, integers over
+    /// their full range, fair bools).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_rng(self.next_u64())
+    }
+
+    /// A uniformly random value in `range` (half-open or inclusive).
+    /// Panics on an empty range, like upstream.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(&mut || self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p must be in [0, 1]");
+        (self.gen::<f64>()) < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types constructible from a fresh RNG word — the upstream `Standard`
+/// distribution, folded into a trait.
+pub trait Standard: Sized {
+    /// Builds a sample from one uniformly random 64-bit word.
+    fn from_rng(word: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_rng(word: u64) -> Self {
+        word
+    }
+}
+impl Standard for u32 {
+    fn from_rng(word: u64) -> Self {
+        (word >> 32) as u32
+    }
+}
+impl Standard for usize {
+    fn from_rng(word: u64) -> Self {
+        word as usize
+    }
+}
+impl Standard for bool {
+    fn from_rng(word: u64) -> Self {
+        word >> 63 == 1
+    }
+}
+impl Standard for f32 {
+    fn from_rng(word: u64) -> Self {
+        // 24 high bits → [0, 1) with full f32 mantissa resolution.
+        ((word >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+impl Standard for f64 {
+    fn from_rng(word: u64) -> Self {
+        ((word >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types with a uniform sampler over an interval — upstream's
+/// `SampleUniform`. The generic [`SampleRange`] impls below hang off this
+/// trait so type inference behaves like upstream's (one blanket impl per
+/// range shape keeps the element type linked to the range's).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`).
+    fn sample_in(lo: Self, hi: Self, inclusive: bool, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(lo: Self, hi: Self, inclusive: bool, next: &mut dyn FnMut() -> u64) -> Self {
+                if inclusive {
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return lo + next() as $t;
+                    }
+                    lo + (next() % (span + 1)) as $t
+                } else {
+                    let span = (hi - lo) as u64;
+                    lo + (next() % span) as $t
+                }
+            }
+        }
+    )*};
+}
+int_uniform!(usize, u64, u32, i64, i32);
+
+macro_rules! float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(lo: Self, hi: Self, _inclusive: bool, next: &mut dyn FnMut() -> u64) -> Self {
+                let u = <$t as Standard>::from_rng(next());
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+float_uniform!(f32, f64);
+
+/// Ranges that can be sampled uniformly — upstream's `SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one sample using `next` as the word source.
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_in(self.start, self.end, false, next)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_in(lo, hi, true, next)
+    }
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the RNG from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256++ with SplitMix64 seeding.
+    /// Deterministic per seed; not stream-compatible with upstream StdRng.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f32 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f64 = r.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let i = r.gen_range(3usize..10);
+            assert!((3..10).contains(&i));
+            let j = r.gen_range(0usize..=0);
+            assert_eq!(j, 0);
+            let x = r.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_sampling_covers_support() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(6);
+        let _ = r.gen_range(5usize..5);
+    }
+}

@@ -11,9 +11,10 @@
 
 use crate::bank::ShapeletBank;
 use crate::measure::Measure;
-use crate::transform::windows_for;
+use crate::transform::pad_to_len;
 use tcsl_autodiff::{Graph, VarId};
 use tcsl_tensor::reduce::Axis;
+use tcsl_tensor::window::{unfold, window_sq_norms};
 use tcsl_tensor::Tensor;
 
 /// Shapelet parameters bound into a graph: one `VarId` per group, in bank
@@ -62,11 +63,12 @@ pub fn diff_features(
         let (w_leaf, w_sq_norms) = match &cached {
             Some((len, id, norms)) if *len == grp.len => (*id, norms.clone()),
             _ => {
-                let w = windows_for(series, grp.len, grp.stride);
-                let norms: Vec<f32> = (0..w.rows())
-                    .map(|i| w.row(i).iter().map(|&x| x * x).sum())
-                    .collect();
-                let id = g.leaf(w);
+                // Same prefix-sum window-norm machinery as the fused
+                // inference kernel — one O(T) pass instead of a pass over
+                // the materialized rows.
+                let padded = pad_to_len(series, grp.len);
+                let norms = window_sq_norms(&padded, grp.len, grp.stride);
+                let id = g.leaf(unfold(&padded, grp.len, grp.stride));
                 cached = Some((grp.len, id, norms.clone()));
                 (id, norms)
             }

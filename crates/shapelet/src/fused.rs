@@ -1,0 +1,391 @@
+//! The fused streaming shapelet-transform kernel.
+//!
+//! The unfold-based formulation ([`Measure::score_matrix`]) materializes an
+//! `(N_w × D·len)` window matrix per scale — for stride-1 windows a ~`len`×
+//! memory blowup — then re-derives shapelet norms per series. This module
+//! replaces it on the hot path:
+//!
+//! * **Zero-materialization windows** — per-shapelet dot products read the
+//!   overlapping windows directly out of the original contiguous series
+//!   buffer ([`tcsl_tensor::window::window_dot`]).
+//! * **Prefix-sum window norms** — one O(T) pass per scale
+//!   ([`tcsl_tensor::window::window_sq_norms`]) yields `‖w‖²` in O(1) per
+//!   window, shared by all shapelets and measures of the scale
+//!   ([`ScaleWindows`]).
+//! * **Bank-side precomputation** — shapelet row norms come from
+//!   [`ShapeletBank::precomputed`](crate::ShapeletBank::precomputed), once
+//!   per bank instead of once per series.
+//! * **Blocked fallback** — when the series is too large to stay cache
+//!   resident across the per-shapelet passes, windows are copied in small
+//!   tiles (a bounded scratch buffer, reused across tiles) and scored
+//!   matmul-style ([`TILE_WINDOWS`]).
+//!
+//! Peak per-series allocation is O(D·T + N_w + K) — no term proportional
+//! to `N_w × D·len`. All engines funnel scoring through
+//! [`Measure::finish`], and agree with the unfold oracle to f32 round-off
+//! (property-tested in `crate::proptests`).
+
+use crate::bank::{GroupPrecomp, ShapeletGroup};
+use crate::measure::Measure;
+use crate::transform::pad_to_len;
+use tcsl_tensor::window::{count_windows, window_dot, window_dot4, window_sq_norms};
+use tcsl_tensor::Tensor;
+
+/// Series-side state for one (scale, stride): the padded series plus the
+/// prefix-sum-derived per-window norms every measure of the scale shares.
+pub struct ScaleWindows {
+    /// Window length (= shapelet length of the scale).
+    pub len: usize,
+    /// Window stride.
+    pub stride: usize,
+    /// Number of windows.
+    pub n: usize,
+    /// The `(D, max(T, len))` series buffer windows are read from (equal to
+    /// the raw series whenever it is at least `len` long).
+    pub padded: Tensor,
+    /// `‖w‖²` per window, from the O(T) prefix-sum pass.
+    pub sq_norms: Vec<f32>,
+    /// `1 / √(‖w‖² + 1e-12)` per window (cosine's window-side factor).
+    pub inv_norms: Vec<f32>,
+}
+
+impl ScaleWindows {
+    /// Builds the per-scale state for a `(D, T)` series: zero-pads short
+    /// series (so every scale yields at least one window, matching
+    /// [`crate::transform::windows_for`]) and runs the prefix-sum norm
+    /// pass.
+    pub fn new(values: &Tensor, len: usize, stride: usize) -> ScaleWindows {
+        let padded = pad_to_len(values, len);
+        let n = count_windows(padded.cols(), len, stride);
+        let sq_norms = window_sq_norms(&padded, len, stride);
+        let inv_norms = sq_norms.iter().map(|&w| 1.0 / (w + 1e-12).sqrt()).collect();
+        ScaleWindows {
+            len,
+            stride,
+            n,
+            padded,
+            sq_norms,
+            inv_norms,
+        }
+    }
+
+    /// Whether this state serves groups of the given scale/stride.
+    pub fn matches(&self, len: usize, stride: usize) -> bool {
+        self.len == len && self.stride == stride
+    }
+}
+
+/// Windows per tile of the blocked fallback path: 64 windows × D·len f32
+/// keeps the scratch tile in L1/L2 while amortizing each window copy over
+/// all `K` shapelets of the group.
+pub const TILE_WINDOWS: usize = 64;
+
+/// Series bytes above which the blocked path takes over: beyond ~1 MiB the
+/// per-shapelet streaming passes fall out of L2 and re-copying windows
+/// tile-by-tile (one pass over the series, K dots per copied window) wins.
+pub const BLOCKED_SERIES_BYTES: usize = 1 << 20;
+
+/// Pools one group over a series: the per-shapelet best score plus the
+/// best window index, computed without materializing the window matrix.
+/// Equivalent to `score_matrix` + `pool` (the property-tested contract).
+pub fn pool_group(
+    sw: &ScaleWindows,
+    g: &ShapeletGroup,
+    pre: &GroupPrecomp,
+) -> (Vec<f32>, Vec<usize>) {
+    debug_assert!(sw.matches(g.len, g.stride));
+    debug_assert_eq!(pre.sq_norms.len(), g.k());
+    let series_bytes = sw.padded.numel() * core::mem::size_of::<f32>();
+    if g.k() > 1 && series_bytes > BLOCKED_SERIES_BYTES {
+        pool_group_blocked(sw, g, pre)
+    } else {
+        pool_group_fused(sw, g, pre)
+    }
+}
+
+/// Per-window scores of a single shapelet of the group — the streaming
+/// replacement for one `score_matrix` column, used by best-match
+/// localization (which needs every window's score, not just the pooled
+/// one).
+///
+/// Mirrors the fused pooling engine's shapelet blocking (blocks of 4 via
+/// [`window_dot4`], remainder via [`window_dot`]), so the score of shapelet
+/// `k` here is bit-identical to the one [`pool_group_fused`] pooled over —
+/// localization provably explains the feature value.
+pub fn shapelet_scores(
+    sw: &ScaleWindows,
+    g: &ShapeletGroup,
+    pre: &GroupPrecomp,
+    k: usize,
+) -> Vec<f32> {
+    assert!(
+        k < g.k(),
+        "shapelet {k} out of range for group of {}",
+        g.k()
+    );
+    let width = (sw.padded.rows() * sw.len) as f32;
+    let (s_sq, s_inv) = (pre.sq_norms[k], pre.inv_norms[k]);
+    let full = g.k() - g.k() % 4;
+    let mut out = Vec::with_capacity(sw.n);
+    if k < full {
+        let kb = k / 4 * 4;
+        let j = k - kb;
+        let taps = [
+            pre.tap_row(kb),
+            pre.tap_row(kb + 1),
+            pre.tap_row(kb + 2),
+            pre.tap_row(kb + 3),
+        ];
+        for w in 0..sw.n {
+            let cross = window_dot4(&sw.padded, taps, w * sw.stride, sw.len)[j];
+            out.push(score(g.measure, cross, sw, w, s_sq, s_inv, width));
+        }
+    } else {
+        let taps = pre.tap_row(k);
+        for w in 0..sw.n {
+            let cross = window_dot(&sw.padded, taps, w * sw.stride, sw.len);
+            out.push(score(g.measure, cross, sw, w, s_sq, s_inv, width));
+        }
+    }
+    out
+}
+
+/// One (window, shapelet) score. Mirrors [`Measure::finish`] exactly —
+/// cosine uses the cached inverse norms, which are bit-identical to the
+/// ones `finish` derives — so every engine produces the same value for the
+/// same raw dot product.
+#[inline]
+fn score(
+    m: Measure,
+    cross: f32,
+    sw: &ScaleWindows,
+    w: usize,
+    s_sq: f32,
+    s_inv: f32,
+    width: f32,
+) -> f32 {
+    match m {
+        Measure::Euclidean => (((sw.sq_norms[w] - 2.0 * cross + s_sq).max(0.0)) / width).sqrt(),
+        Measure::Cosine => cross * sw.inv_norms[w] * s_inv,
+        Measure::CrossCorrelation => cross / width,
+    }
+}
+
+/// Fully fused engine: shapelet-major, one streaming pass over the series
+/// per block of 4 shapelets (the load-sharing [`window_dot4`] kernel keeps
+/// the window in registers across the block), O(1) extra memory. Best when
+/// the series fits in cache (the common case — a 4k-step univariate series
+/// is 16 KiB).
+pub(crate) fn pool_group_fused(
+    sw: &ScaleWindows,
+    g: &ShapeletGroup,
+    pre: &GroupPrecomp,
+) -> (Vec<f32>, Vec<usize>) {
+    let width = (sw.padded.rows() * sw.len) as f32;
+    let k = g.k();
+    let mut pooled = vec![f32::NAN; k];
+    let mut args = vec![0usize; k];
+    let full = k - k % 4;
+    for kb in (0..full).step_by(4) {
+        let taps = [
+            pre.tap_row(kb),
+            pre.tap_row(kb + 1),
+            pre.tap_row(kb + 2),
+            pre.tap_row(kb + 3),
+        ];
+        for w in 0..sw.n {
+            let cross = window_dot4(&sw.padded, taps, w * sw.stride, sw.len);
+            for (j, &c) in cross.iter().enumerate() {
+                let kk = kb + j;
+                let s = score(
+                    g.measure,
+                    c,
+                    sw,
+                    w,
+                    pre.sq_norms[kk],
+                    pre.inv_norms[kk],
+                    width,
+                );
+                if w == 0 || g.measure.better(s, pooled[kk]) {
+                    pooled[kk] = s;
+                    args[kk] = w;
+                }
+            }
+        }
+    }
+    for kk in full..k {
+        let taps = pre.tap_row(kk);
+        let (s_sq, s_inv) = (pre.sq_norms[kk], pre.inv_norms[kk]);
+        let mut best = f32::NAN;
+        let mut best_w = 0usize;
+        for w in 0..sw.n {
+            let cross = window_dot(&sw.padded, taps, w * sw.stride, sw.len);
+            let s = score(g.measure, cross, sw, w, s_sq, s_inv, width);
+            if w == 0 || g.measure.better(s, best) {
+                best = s;
+                best_w = w;
+            }
+        }
+        pooled[kk] = best;
+        args[kk] = best_w;
+    }
+    (pooled, args)
+}
+
+/// Blocked fallback engine: copies windows into a bounded scratch tile
+/// (reused across tiles, never `N_w` rows at once) and scores each copied
+/// row against all `K` shapelets before moving on — one pass over the
+/// series total, which wins once the series no longer stays cache resident
+/// across `K` streaming passes.
+pub(crate) fn pool_group_blocked(
+    sw: &ScaleWindows,
+    g: &ShapeletGroup,
+    pre: &GroupPrecomp,
+) -> (Vec<f32>, Vec<usize>) {
+    let d = sw.padded.rows();
+    let len = sw.len;
+    let row_w = d * len;
+    let width = row_w as f32;
+    let k = g.k();
+    let mut pooled = vec![f32::NAN; k];
+    let mut args = vec![0usize; k];
+    let mut tile = vec![0.0f32; TILE_WINDOWS.min(sw.n) * row_w];
+    let mut tile_start = 0usize;
+    while tile_start < sw.n {
+        let tile_n = TILE_WINDOWS.min(sw.n - tile_start);
+        for (r, buf) in tile.chunks_mut(row_w).take(tile_n).enumerate() {
+            let start = (tile_start + r) * sw.stride;
+            for v in 0..d {
+                buf[v * len..(v + 1) * len].copy_from_slice(&sw.padded.row(v)[start..start + len]);
+            }
+        }
+        for r in 0..tile_n {
+            let w = tile_start + r;
+            let row = &tile[r * row_w..(r + 1) * row_w];
+            for (j, (p, a)) in pooled.iter_mut().zip(args.iter_mut()).enumerate() {
+                let cross = tcsl_tensor::matmul::dot(row, pre.tap_row(j));
+                let s = score(
+                    g.measure,
+                    cross,
+                    sw,
+                    w,
+                    pre.sq_norms[j],
+                    pre.inv_norms[j],
+                    width,
+                );
+                if w == 0 || g.measure.better(s, *p) {
+                    *p = s;
+                    *a = w;
+                }
+            }
+        }
+        tile_start += tile_n;
+    }
+    (pooled, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ShapeletConfig;
+    use crate::transform::windows_for;
+    use crate::ShapeletBank;
+    use tcsl_tensor::rng::seeded;
+
+    fn setup(d: usize, t: usize, len: usize, stride: usize, k: usize) -> (ShapeletBank, Tensor) {
+        let cfg = ShapeletConfig {
+            lengths: vec![len],
+            k_per_group: k,
+            measures: Measure::ALL.to_vec(),
+            stride,
+        };
+        let mut rng = seeded(11);
+        let mut bank = ShapeletBank::new(&cfg, d);
+        bank.randomize(&mut rng);
+        let series = Tensor::randn([d, t], &mut rng);
+        (bank, series)
+    }
+
+    fn oracle(g: &ShapeletGroup, series: &Tensor) -> (Vec<f32>, Vec<usize>) {
+        let windows = windows_for(series, g.len, g.stride);
+        let scores = g.measure.score_matrix(&windows, &g.shapelets);
+        let (pooled, a) = g.measure.pool(&scores);
+        (pooled.as_slice().to_vec(), a)
+    }
+
+    fn assert_engines_match(bank: &ShapeletBank, series: &Tensor) {
+        let pre = bank.precomputed();
+        for (gi, g) in bank.groups().iter().enumerate() {
+            let sw = ScaleWindows::new(series, g.len, g.stride);
+            let (want, want_args) = oracle(g, series);
+            for (pooled, a) in [
+                pool_group_fused(&sw, g, &pre[gi]),
+                pool_group_blocked(&sw, g, &pre[gi]),
+            ] {
+                for j in 0..g.k() {
+                    assert!(
+                        (pooled[j] - want[j]).abs() < 1e-4,
+                        "{:?} k={j}: fused {} vs oracle {}",
+                        g.measure,
+                        pooled[j],
+                        want[j]
+                    );
+                    assert_eq!(a[j], want_args[j], "{:?} k={j} argmin", g.measure);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_with_oracle() {
+        let (bank, series) = setup(2, 40, 5, 1, 3);
+        assert_engines_match(&bank, &series);
+    }
+
+    #[test]
+    fn engines_agree_with_stride_and_many_tiles() {
+        // > TILE_WINDOWS windows so the blocked path crosses tiles.
+        let (bank, series) = setup(1, 300, 7, 2, 4);
+        assert_engines_match(&bank, &series);
+    }
+
+    #[test]
+    fn short_series_pad_to_one_window() {
+        let (bank, series) = setup(1, 3, 8, 1, 2);
+        let g = &bank.groups()[0];
+        let sw = ScaleWindows::new(&series, g.len, g.stride);
+        assert_eq!(sw.n, 1);
+        assert_engines_match(&bank, &series);
+    }
+
+    #[test]
+    fn shapelet_scores_match_score_matrix_column() {
+        let (bank, series) = setup(2, 30, 4, 1, 3);
+        let pre = bank.precomputed();
+        for (gi, g) in bank.groups().iter().enumerate() {
+            let sw = ScaleWindows::new(&series, g.len, g.stride);
+            let windows = windows_for(&series, g.len, g.stride);
+            let scores = g.measure.score_matrix(&windows, &g.shapelets);
+            for k in 0..g.k() {
+                let col = shapelet_scores(&sw, g, &pre[gi], k);
+                assert_eq!(col.len(), scores.rows());
+                for (w, &s) in col.iter().enumerate() {
+                    assert!((s - scores.at2(w, k)).abs() < 1e-4, "w={w} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_path_engages_on_large_series() {
+        // 2 vars × 200k steps = 1.6 MB > BLOCKED_SERIES_BYTES.
+        let (bank, series) = setup(2, 200_000, 16, 512, 2);
+        let g = &bank.groups()[0];
+        assert!(series.numel() * 4 > BLOCKED_SERIES_BYTES);
+        let pre = bank.precomputed();
+        let sw = ScaleWindows::new(&series, g.len, g.stride);
+        let (via_dispatch, _) = pool_group(&sw, g, &pre[0]);
+        let (via_blocked, _) = pool_group_blocked(&sw, g, &pre[0]);
+        assert_eq!(via_dispatch, via_blocked);
+    }
+}

@@ -31,12 +31,13 @@
 pub mod bank;
 pub mod config;
 pub mod diff_transform;
+pub mod fused;
 pub mod init;
 pub mod matching;
 pub mod measure;
 pub mod transform;
 
-pub use bank::{ShapeletBank, ShapeletGroup};
+pub use bank::{GroupPrecomp, ShapeletBank, ShapeletGroup};
 pub use config::ShapeletConfig;
 pub use measure::Measure;
 

@@ -6,8 +6,8 @@
 //! value, so the match can be displayed/aligned against the raw series.
 
 use crate::bank::ShapeletBank;
+use crate::fused::{shapelet_scores, ScaleWindows};
 use crate::measure::Measure;
-use crate::transform::windows_for;
 use tcsl_data::TimeSeries;
 
 /// The best-matching window of a shapelet in a series.
@@ -30,6 +30,11 @@ pub struct ShapeletMatch {
 }
 
 /// Scores of one shapelet against every window of a series.
+///
+/// Routed through the same streaming machinery as the fused transform
+/// ([`crate::fused::shapelet_scores`]): the scores here are bit-identical
+/// to the ones the transform pooled over, so the localized window provably
+/// explains the feature value.
 pub fn window_scores(
     bank: &ShapeletBank,
     group: usize,
@@ -37,16 +42,8 @@ pub fn window_scores(
     series: &TimeSeries,
 ) -> Vec<f32> {
     let g = &bank.groups()[group];
-    assert!(
-        shapelet < g.k(),
-        "shapelet {shapelet} out of range for group of {}",
-        g.k()
-    );
-    let windows = windows_for(series.values(), g.len, g.stride);
-    let one =
-        tcsl_tensor::Tensor::from_vec(g.shapelets.row(shapelet).to_vec(), [1, g.shapelets.cols()]);
-    let scores = g.measure.score_matrix(&windows, &one);
-    (0..scores.rows()).map(|i| scores.at2(i, 0)).collect()
+    let sw = ScaleWindows::new(series.values(), g.len, g.stride);
+    shapelet_scores(&sw, g, &bank.precomputed()[group], shapelet)
 }
 
 /// Finds the best-matching window of `(group, shapelet)` in `series`.
@@ -143,6 +140,22 @@ mod tests {
         let s = TimeSeries::univariate(vec![0.0; 12]);
         let scores = window_scores(&b, 0, 0, &s);
         assert_eq!(scores.len(), 12 - 4 + 1);
+    }
+
+    #[test]
+    fn best_match_index_agrees_with_fused_pooling() {
+        let b = bank();
+        let s = TimeSeries::univariate((0..40).map(|i| (i as f32 * 0.37).cos()).collect());
+        let pre = b.precomputed();
+        for (gi, g) in b.groups().iter().enumerate() {
+            let sw = ScaleWindows::new(s.values(), g.len, g.stride);
+            let (pooled, args) = crate::fused::pool_group(&sw, g, &pre[gi]);
+            for k in 0..g.k() {
+                let m = best_match(&b, gi, k, &s);
+                assert_eq!(m.start, args[k] * g.stride, "group {gi} shapelet {k}");
+                assert_eq!(m.score, pooled[k], "group {gi} shapelet {k}");
+            }
+        }
     }
 
     #[test]

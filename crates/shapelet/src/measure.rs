@@ -63,9 +63,41 @@ impl Measure {
         }
     }
 
+    /// Finishes a raw window·shapelet dot product into this measure's
+    /// score, given the squared norms of both sides and the flattened
+    /// width `D·len`. Every scoring path — the unfold-based oracle, the
+    /// fused streaming kernel and the blocked tile kernel — funnels through
+    /// this one function, so engines can only differ by the rounding of
+    /// their inputs, never by formula.
+    #[inline]
+    pub fn finish(self, cross: f32, w_sq: f32, s_sq: f32, width: f32) -> f32 {
+        match self {
+            // d(w, s) = sqrt(max(‖w‖² − 2·w·s + ‖s‖², 0) / width)
+            Measure::Euclidean => (((w_sq - 2.0 * cross + s_sq).max(0.0)) / width).sqrt(),
+            // cos(w, s) = w·s / (‖w‖·‖s‖), with the same 1e-12 floor the
+            // normalized-copy formulation used.
+            Measure::Cosine => cross * inv_norm(w_sq) * inv_norm(s_sq),
+            Measure::CrossCorrelation => cross / width,
+        }
+    }
+
     /// Score matrix `(N_w × K)` between window rows and shapelet rows, both
     /// flattened to `D·len` columns.
+    ///
+    /// This is the unfold-based formulation (`matmul_transb` over a
+    /// materialized window matrix). The fused streaming kernel in
+    /// [`crate::fused`] replaces it on the hot path; this stays as the
+    /// reference oracle the fused kernel is property-tested against, and
+    /// as the naive baseline in the benchmark trajectory.
     pub fn score_matrix(self, windows: &Tensor, shapelets: &Tensor) -> Tensor {
+        self.score_matrix_with(windows, shapelets, &row_sq_norms(shapelets))
+    }
+
+    /// [`Self::score_matrix`] with the shapelet-side squared row norms
+    /// supplied by the caller (e.g. from
+    /// `ShapeletBank::precomputed`), so they are not re-derived per series.
+    /// Euclidean and cosine share the single window-side row-norm pass.
+    pub fn score_matrix_with(self, windows: &Tensor, shapelets: &Tensor, sn: &[f32]) -> Tensor {
         let width = windows.cols() as f32;
         assert_eq!(
             windows.cols(),
@@ -74,31 +106,20 @@ impl Measure {
             windows.cols(),
             shapelets.cols()
         );
+        assert_eq!(sn.len(), shapelets.rows(), "shapelet norm count mismatch");
+        let mut out = matmul_transb(windows, shapelets);
         match self {
-            Measure::Euclidean => {
-                // d(w, s) = sqrt(max(‖w‖² − 2·w·s + ‖s‖², 0) / width)
-                let cross = matmul_transb(windows, shapelets);
+            Measure::Euclidean | Measure::Cosine => {
                 let wn = row_sq_norms(windows);
-                let sn = row_sq_norms(shapelets);
-                let mut out = cross;
-                let (nw, k) = (out.rows(), out.cols());
-                for i in 0..nw {
+                for i in 0..wn.len() {
                     let wni = wn[i];
-                    let row = out.row_mut(i);
-                    for (j, x) in row.iter_mut().enumerate() {
-                        let d2 = (wni - 2.0 * *x + sn[j]).max(0.0);
-                        *x = (d2 / width).sqrt();
+                    for (j, x) in out.row_mut(i).iter_mut().enumerate() {
+                        *x = self.finish(*x, wni, sn[j], width);
                     }
                 }
-                let _ = (nw, k);
                 out
             }
-            Measure::Cosine => {
-                let wn = normalize_rows(windows);
-                let sn = normalize_rows(shapelets);
-                matmul_transb(&wn, &sn)
-            }
-            Measure::CrossCorrelation => matmul_transb(windows, shapelets).scale(1.0 / width),
+            Measure::CrossCorrelation => out.scale(1.0 / width),
         }
     }
 
@@ -113,21 +134,18 @@ impl Measure {
     }
 }
 
-fn row_sq_norms(m: &Tensor) -> Vec<f32> {
+/// `1 / √(x + 1e-12)` — the epsilon-floored inverse norm shared by the
+/// cosine formulations.
+#[inline]
+fn inv_norm(sq: f32) -> f32 {
+    1.0 / (sq + 1e-12).sqrt()
+}
+
+/// Squared Euclidean norm of every row.
+pub(crate) fn row_sq_norms(m: &Tensor) -> Vec<f32> {
     (0..m.rows())
         .map(|i| m.row(i).iter().map(|&x| x * x).sum())
         .collect()
-}
-
-fn normalize_rows(m: &Tensor) -> Tensor {
-    let mut out = m.clone();
-    for i in 0..out.rows() {
-        let n = (out.row(i).iter().map(|&x| x * x).sum::<f32>() + 1e-12).sqrt();
-        for x in out.row_mut(i) {
-            *x /= n;
-        }
-    }
-    out
 }
 
 #[cfg(test)]

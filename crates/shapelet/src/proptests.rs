@@ -1,10 +1,12 @@
-//! Property tests: fast-path/diff-path agreement and measure axioms.
+//! Property tests: fused-kernel/oracle agreement, fast-path/diff-path
+//! agreement and measure axioms.
 
 use crate::bank::ShapeletBank;
 use crate::config::ShapeletConfig;
 use crate::diff_transform::{bind_trainable, diff_features};
+use crate::fused::{pool_group_blocked, pool_group_fused, ScaleWindows};
 use crate::measure::Measure;
-use crate::transform::transform_series;
+use crate::transform::{transform_series, transform_series_oracle, windows_for};
 use proptest::prelude::*;
 use tcsl_autodiff::Graph;
 use tcsl_data::TimeSeries;
@@ -25,6 +27,27 @@ fn arb_setup() -> impl Strategy<Value = (ShapeletBank, TimeSeries)> {
         let series = TimeSeries::new(Tensor::randn([d, t], &mut rng));
         (bank, series)
     })
+}
+
+/// Wider shape coverage for the fused-kernel properties: random variable
+/// count, series length (including series *shorter* than the shapelets, the
+/// padding edge case), shapelet length and stride, all measures.
+fn arb_fused_setup() -> impl Strategy<Value = (ShapeletBank, TimeSeries)> {
+    (1usize..4, 2usize..48, 2usize..10, 1usize..4, 0u64..1000).prop_map(
+        |(d, t, len, stride, seed)| {
+            let mut rng = seeded(seed);
+            let cfg = ShapeletConfig {
+                lengths: vec![len],
+                k_per_group: 3,
+                measures: Measure::ALL.to_vec(),
+                stride,
+            };
+            let mut bank = ShapeletBank::new(&cfg, d);
+            bank.randomize(&mut rng);
+            let series = TimeSeries::new(Tensor::randn([d, t], &mut rng));
+            (bank, series)
+        },
+    )
 }
 
 proptest! {
@@ -69,6 +92,56 @@ proptest! {
         for col in (0..bank.repr_dim()).step_by(5) {
             let m = crate::matching::best_match_for_feature(&bank, col, &series);
             prop_assert!((m.score - feats[col]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn fused_transform_agrees_with_oracle((bank, series) in arb_fused_setup()) {
+        let fast = transform_series(&bank, &series);
+        let slow = transform_series_oracle(&bank, &series);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (i, (&f, &s)) in fast.iter().zip(&slow).enumerate() {
+            prop_assert!((f - s).abs() < 1e-4, "feature {}: fused {} vs oracle {}", i, f, s);
+        }
+    }
+
+    #[test]
+    fn fused_engines_agree_with_oracle_pooling((bank, series) in arb_fused_setup()) {
+        // Both streaming engines must reproduce the oracle's pooled score
+        // (≤1e-4) and its exact best-window index, for every measure.
+        let pre = bank.precomputed();
+        for (gi, g) in bank.groups().iter().enumerate() {
+            let sw = ScaleWindows::new(series.values(), g.len, g.stride);
+            let windows = windows_for(series.values(), g.len, g.stride);
+            let scores = g.measure.score_matrix(&windows, &g.shapelets);
+            let (opooled, oargs) = g.measure.pool(&scores);
+            let fused = pool_group_fused(&sw, g, &pre[gi]);
+            let blocked = pool_group_blocked(&sw, g, &pre[gi]);
+            for (pooled, args) in [&fused, &blocked] {
+                for k in 0..g.k() {
+                    prop_assert!(
+                        (pooled[k] - opooled.as_slice()[k]).abs() < 1e-4,
+                        "{:?} k={}: {} vs oracle {}", g.measure, k, pooled[k], opooled.as_slice()[k]
+                    );
+                    prop_assert_eq!(args[k], oargs[k], "{:?} k={} argmin", g.measure, k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_match_is_the_pooled_window((bank, series) in arb_fused_setup()) {
+        // Localization must point at exactly the window whose score the
+        // transform reported — same index, bit-identical score.
+        let pre = bank.precomputed();
+        for (gi, g) in bank.groups().iter().enumerate() {
+            let sw = ScaleWindows::new(series.values(), g.len, g.stride);
+            let (pooled, args) = crate::fused::pool_group(&sw, g, &pre[gi]);
+            for k in 0..g.k() {
+                let m = crate::matching::best_match(&bank, gi, k, &series);
+                prop_assert_eq!(m.start, args[k] * g.stride);
+                prop_assert_eq!(m.score, pooled[k]);
+            }
         }
     }
 }

@@ -4,8 +4,17 @@
 //! component and the experiment harnesses. It shares its numerics with
 //! [`crate::diff_transform`] (tested for agreement), runs groups serially
 //! and series in parallel.
+//!
+//! [`transform_series`] runs the fused streaming kernel of [`crate::fused`]:
+//! no window matrix is materialized, window norms come from one prefix-sum
+//! pass per scale, and shapelet norms from the bank's cached
+//! [`precomputation`](ShapeletBank::precomputed).
+//! [`transform_series_oracle`] keeps the original unfold-based formulation
+//! as the reference the fused path is property-tested against (and as the
+//! naive baseline of the benchmark trajectory).
 
 use crate::bank::ShapeletBank;
+use crate::fused::{pool_group, ScaleWindows};
 use tcsl_data::{Dataset, TimeSeries};
 use tcsl_tensor::parallel::parallel_map;
 use tcsl_tensor::window::unfold;
@@ -32,8 +41,41 @@ pub fn windows_for(values: &Tensor, len: usize, stride: usize) -> Tensor {
     unfold(&padded, len, stride)
 }
 
-/// Transforms one series into its `D_repr`-dimensional representation.
+/// Transforms one series into its `D_repr`-dimensional representation via
+/// the fused streaming kernel.
 pub fn transform_series(bank: &ShapeletBank, series: &TimeSeries) -> Vec<f32> {
+    assert_eq!(
+        series.n_vars(),
+        bank.d,
+        "series has {} variables, bank was built for {}",
+        series.n_vars(),
+        bank.d
+    );
+    let pre = bank.precomputed();
+    let mut features = Vec::with_capacity(bank.repr_dim());
+    // The per-scale window state (padded buffer + prefix-sum norms) is
+    // shared between the measures of one scale.
+    let mut cached: Option<ScaleWindows> = None;
+    for (gi, g) in bank.groups().iter().enumerate() {
+        if !cached
+            .as_ref()
+            .is_some_and(|sw| sw.matches(g.len, g.stride))
+        {
+            cached = Some(ScaleWindows::new(series.values(), g.len, g.stride));
+        }
+        let sw = cached.as_ref().expect("just populated");
+        let (pooled, _args) = pool_group(sw, g, &pre[gi]);
+        features.extend_from_slice(&pooled);
+    }
+    features
+}
+
+/// [`transform_series`] via the unfold-based reference path: materializes
+/// the window matrix per scale and scores it with
+/// [`Measure::score_matrix`](crate::Measure::score_matrix). Kept as the
+/// oracle the fused kernel must agree with, and as the "before" side of the
+/// transform benchmark.
+pub fn transform_series_oracle(bank: &ShapeletBank, series: &TimeSeries) -> Vec<f32> {
     assert_eq!(
         series.n_vars(),
         bank.d,
@@ -45,15 +87,11 @@ pub fn transform_series(bank: &ShapeletBank, series: &TimeSeries) -> Vec<f32> {
     // Window matrices are shared between the measures of one scale.
     let mut cached: Option<(usize, Tensor)> = None;
     for g in bank.groups() {
-        let windows = match &cached {
-            Some((len, w)) if *len == g.len => w.clone(),
-            _ => {
-                let w = windows_for(series.values(), g.len, g.stride);
-                cached = Some((g.len, w.clone()));
-                w
-            }
-        };
-        let scores = g.measure.score_matrix(&windows, &g.shapelets);
+        if cached.as_ref().is_none_or(|(len, _)| *len != g.len) {
+            cached = Some((g.len, windows_for(series.values(), g.len, g.stride)));
+        }
+        let windows = &cached.as_ref().expect("just populated").1;
+        let scores = g.measure.score_matrix(windows, &g.shapelets);
         let (pooled, _args) = g.measure.pool(&scores);
         features.extend_from_slice(pooled.as_slice());
     }
@@ -61,9 +99,11 @@ pub fn transform_series(bank: &ShapeletBank, series: &TimeSeries) -> Vec<f32> {
 }
 
 /// Transforms a whole dataset into an `(N, D_repr)` feature matrix,
-/// parallel over series.
+/// parallel over series. The bank-side precomputation is forced once up
+/// front so the parallel workers share it instead of racing to build it.
 pub fn transform_dataset(bank: &ShapeletBank, ds: &Dataset) -> Tensor {
     let dim = bank.repr_dim();
+    let _ = bank.precomputed();
     let rows = parallel_map(ds.len(), |i| transform_series(bank, ds.series(i)));
     let mut out = Tensor::zeros([ds.len(), dim]);
     for (i, row) in rows.into_iter().enumerate() {
@@ -113,6 +153,23 @@ mod tests {
         let f = transform_series(&bank, &s);
         // Column 0 = group 0 (euclidean, len 3), shapelet 0.
         assert!(f[0] < 1e-3, "euclidean feature should be ~0, got {}", f[0]);
+    }
+
+    #[test]
+    fn fused_agrees_with_oracle_path() {
+        let bank = small_bank(2);
+        let mut rng = seeded(8);
+        for t in [2usize, 7, 30, 64] {
+            let vals = Tensor::randn([2, t], &mut rng);
+            let s =
+                TimeSeries::multivariate((0..2).map(|v| vals.row(v).to_vec()).collect::<Vec<_>>());
+            let fast = transform_series(&bank, &s);
+            let slow = transform_series_oracle(&bank, &s);
+            assert_eq!(fast.len(), slow.len());
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((a - b).abs() < 1e-4, "T={t}: fused {a} vs oracle {b}");
+            }
+        }
     }
 
     #[test]

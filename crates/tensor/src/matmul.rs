@@ -32,11 +32,33 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     out
 }
 
-/// Dot product with eight independent accumulators so LLVM can vectorize
-/// the reduction (a single-accumulator loop has a serial dependency chain
-/// that blocks SIMD). This kernel dominates shapelet-transform cost.
+/// Dot product — the kernel the whole shapelet transform funnels through.
+///
+/// On x86-64 with AVX2+FMA (detected at runtime, so portable builds still
+/// work everywhere) this uses the intrinsics path below; elsewhere it falls
+/// back to [`dot_scalar`]. Every scoring engine calls this same function,
+/// so fused/blocked/oracle transforms see identical dot-product rounding.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // Below this length the call into the (non-inlinable, runtime-detected)
+    // intrinsics path costs more than it saves; the scalar kernel inlines
+    // into the caller's loop. Dispatch depends only on the length, so every
+    // engine sees the same rounding for the same operands.
+    const FMA_MIN_LEN: usize = 64;
+    #[cfg(target_arch = "x86_64")]
+    if a.len() >= FMA_MIN_LEN && x86::fma_available() {
+        // SAFETY: gated on runtime detection of avx2+fma.
+        return unsafe { x86::dot_fma(a, b) };
+    }
+    dot_scalar(a, b)
+}
+
+/// Portable dot product with eight independent accumulators so LLVM can
+/// vectorize the reduction (a single-accumulator loop has a serial
+/// dependency chain that blocks SIMD).
+#[inline]
+pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let mut acc = [0.0f32; 8];
     let chunks = a.len() / 8;
@@ -51,6 +73,137 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
         tail += a[i] * b[i];
     }
     acc.iter().sum::<f32>() + tail
+}
+
+/// Dot products of one vector against four others in a single pass: the
+/// shared side is loaded once per lane instead of four times, which lifts
+/// the kernel off the load-port ceiling a lone [`dot`] hits. This is the
+/// blocked kernel behind the fused shapelet transform's shapelet-major
+/// loop (4 shapelets of a group per streaming pass).
+///
+/// Dispatch depends only on the length, so any two call sites given the
+/// same operands produce bit-identical results.
+#[inline]
+pub fn dot4(w: &[f32], t0: &[f32], t1: &[f32], t2: &[f32], t3: &[f32]) -> [f32; 4] {
+    debug_assert!(
+        t0.len() == w.len() && t1.len() == w.len() && t2.len() == w.len() && t3.len() == w.len()
+    );
+    const FMA_MIN_LEN: usize = 64;
+    #[cfg(target_arch = "x86_64")]
+    if w.len() >= FMA_MIN_LEN && x86::fma_available() {
+        // SAFETY: gated on runtime detection of avx2+fma.
+        return unsafe { x86::dot4_fma(w, t0, t1, t2, t3) };
+    }
+    [dot(w, t0), dot(w, t1), dot(w, t2), dot(w, t3)]
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// Cached runtime check for the avx2+fma dot path.
+    #[inline]
+    pub fn fma_available() -> bool {
+        // is_x86_feature_detected caches the CPUID result internally.
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+
+    /// AVX2+FMA dot product: eight 8-lane accumulator chains (enough
+    /// instruction-level parallelism to keep both FMA ports busy across the
+    /// ~4-cycle FMA latency), lanes reduced sequentially at the end.
+    ///
+    /// # Safety
+    ///
+    /// Requires the `avx2` and `fma` target features at runtime
+    /// ([`fma_available`]); `a` and `b` must be the same length.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_fma(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        unsafe {
+            let mut acc = [_mm256_setzero_ps(); 8];
+            let mut i = 0usize;
+            while i + 64 <= n {
+                for (c, lane) in acc.iter_mut().enumerate() {
+                    let off = i + c * 8;
+                    *lane = _mm256_fmadd_ps(
+                        _mm256_loadu_ps(pa.add(off)),
+                        _mm256_loadu_ps(pb.add(off)),
+                        *lane,
+                    );
+                }
+                i += 64;
+            }
+            while i + 8 <= n {
+                acc[0] = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(pa.add(i)),
+                    _mm256_loadu_ps(pb.add(i)),
+                    acc[0],
+                );
+                i += 8;
+            }
+            let quad = [
+                _mm256_add_ps(acc[0], acc[1]),
+                _mm256_add_ps(acc[2], acc[3]),
+                _mm256_add_ps(acc[4], acc[5]),
+                _mm256_add_ps(acc[6], acc[7]),
+            ];
+            let sum = _mm256_add_ps(
+                _mm256_add_ps(quad[0], quad[1]),
+                _mm256_add_ps(quad[2], quad[3]),
+            );
+            let mut lanes = [0.0f32; 8];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), sum);
+            let mut s: f32 = lanes.iter().sum();
+            while i < n {
+                s += *pa.add(i) * *pb.add(i);
+                i += 1;
+            }
+            s
+        }
+    }
+
+    /// Four dot products sharing the `w` operand: each window chunk is
+    /// loaded once and FMA-ed against all four tap rows (two 8-lane chains
+    /// per row for latency cover).
+    ///
+    /// # Safety
+    ///
+    /// Requires the `avx2` and `fma` target features at runtime
+    /// ([`fma_available`]); all five slices must be the same length.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot4_fma(w: &[f32], t0: &[f32], t1: &[f32], t2: &[f32], t3: &[f32]) -> [f32; 4] {
+        let n = w.len();
+        let pw = w.as_ptr();
+        let pts = [t0.as_ptr(), t1.as_ptr(), t2.as_ptr(), t3.as_ptr()];
+        unsafe {
+            let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+            let mut i = 0usize;
+            while i + 16 <= n {
+                let w0 = _mm256_loadu_ps(pw.add(i));
+                let w1 = _mm256_loadu_ps(pw.add(i + 8));
+                for (j, a) in acc.iter_mut().enumerate() {
+                    a[0] = _mm256_fmadd_ps(w0, _mm256_loadu_ps(pts[j].add(i)), a[0]);
+                    a[1] = _mm256_fmadd_ps(w1, _mm256_loadu_ps(pts[j].add(i + 8)), a[1]);
+                }
+                i += 16;
+            }
+            let mut out = [0.0f32; 4];
+            for (j, a) in acc.iter().enumerate() {
+                let s8 = _mm256_add_ps(a[0], a[1]);
+                let mut lanes = [0.0f32; 8];
+                _mm256_storeu_ps(lanes.as_mut_ptr(), s8);
+                let mut s: f32 = lanes.iter().sum();
+                let mut k = i;
+                while k < n {
+                    s += *pw.add(k) * *pts[j].add(k);
+                    k += 1;
+                }
+                out[j] = s;
+            }
+            out
+        }
+    }
 }
 
 /// `A (m×k) · Bᵀ where B is (n×k) → (m×n)`.
@@ -147,6 +300,45 @@ mod tests {
             }
         }
         out
+    }
+
+    #[test]
+    fn dot_matches_scalar_kernel() {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for n in [0usize, 1, 3, 7, 8, 9, 31, 32, 33, 100, 1023] {
+            let a: Vec<f32> = (0..n).map(|_| rng.gen::<f32>() - 0.5).collect();
+            let b: Vec<f32> = (0..n).map(|_| rng.gen::<f32>() - 0.5).collect();
+            let fast = dot(&a, &b);
+            let scalar = dot_scalar(&a, &b);
+            let scale = 1.0f32.max(scalar.abs());
+            assert!(
+                (fast - scalar).abs() / scale < 1e-5,
+                "n={n}: dot {fast} vs scalar {scalar}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot4_matches_four_dots() {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for n in [0usize, 3, 15, 16, 17, 63, 64, 65, 200, 1031] {
+            let w: Vec<f32> = (0..n).map(|_| rng.gen::<f32>() - 0.5).collect();
+            let ts: Vec<Vec<f32>> = (0..4)
+                .map(|_| (0..n).map(|_| rng.gen::<f32>() - 0.5).collect())
+                .collect();
+            let got = dot4(&w, &ts[0], &ts[1], &ts[2], &ts[3]);
+            for j in 0..4 {
+                let want = dot_scalar(&w, &ts[j]);
+                let scale = 1.0f32.max(want.abs());
+                assert!(
+                    (got[j] - want).abs() / scale < 1e-5,
+                    "n={n} j={j}: dot4 {} vs scalar {want}",
+                    got[j]
+                );
+            }
+        }
     }
 
     #[test]

@@ -47,6 +47,22 @@ pub fn znorm(xs: &[f32]) -> Vec<f32> {
     v
 }
 
+/// Exclusive prefix sums of squares in f64: `out[i] = Σ_{j<i} xs[j]²`,
+/// `out.len() == xs.len() + 1`. The f64 accumulation keeps the windowed
+/// differences `out[b] − out[a]` accurate to f32 round-off even over very
+/// long series — this is the O(T) pass behind the O(1)-per-window Euclidean
+/// norms of the fused shapelet transform.
+pub fn prefix_sq_sums(xs: &[f32]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(xs.len() + 1);
+    let mut acc = 0.0f64;
+    out.push(acc);
+    for &x in xs {
+        acc += (x as f64) * (x as f64);
+        out.push(acc);
+    }
+    out
+}
+
 /// Pearson correlation coefficient of two equal-length slices
 /// (0 when either side is constant).
 pub fn pearson(a: &[f32], b: &[f32]) -> f32 {
@@ -202,6 +218,18 @@ mod tests {
         let xs = [1.0, -1.0, 1.0, -1.0];
         assert_eq!(mean_crossings(&xs), 3);
         assert_eq!(mean_crossings(&[1.0]), 0);
+    }
+
+    #[test]
+    fn prefix_sq_sums_window_differences() {
+        let xs = [1.0f32, 2.0, 3.0, 4.0];
+        let ps = prefix_sq_sums(&xs);
+        assert_eq!(ps.len(), 5);
+        assert_eq!(ps[0], 0.0);
+        // Window [1, 3) = 2² + 3² = 13.
+        assert!((ps[3] - ps[1] - 13.0).abs() < 1e-9);
+        assert!((ps[4] - 30.0).abs() < 1e-9);
+        assert!(prefix_sq_sums(&[]).len() == 1);
     }
 
     #[test]

@@ -118,6 +118,97 @@ pub fn unfold_dilated_backward(
     out
 }
 
+/// Squared Euclidean norm `‖w‖²` of every stride-`stride` window of length
+/// `len`, without materializing the windows: one O(T) prefix-sum-of-squares
+/// pass per variable (f64 accumulators, see
+/// [`crate::stats::prefix_sq_sums`]), then O(1) per window. All measures of
+/// a scale share this vector — it is the backbone of the fused shapelet
+/// transform.
+pub fn window_sq_norms(series: &Tensor, len: usize, stride: usize) -> Vec<f32> {
+    let (d, t) = (series.rows(), series.cols());
+    let n = count_windows(t, len, stride);
+    let mut acc = vec![0.0f64; n];
+    for v in 0..d {
+        let ps = crate::stats::prefix_sq_sums(series.row(v));
+        for (w, a) in acc.iter_mut().enumerate() {
+            let start = w * stride;
+            *a += ps[start + len] - ps[start];
+        }
+    }
+    acc.into_iter().map(|x| x as f32).collect()
+}
+
+/// Dot product of a flattened channel-major shapelet (layout
+/// `[var0[0..len], var1[0..len], ...]`, matching [`unfold`] rows) against
+/// the window starting at `start`, reading the series in place.
+#[inline]
+pub fn window_dot(series: &Tensor, shapelet: &[f32], start: usize, len: usize) -> f32 {
+    let d = series.rows();
+    debug_assert_eq!(shapelet.len(), d * len, "shapelet width mismatch");
+    let mut cross = 0.0f32;
+    for v in 0..d {
+        let row = series.row(v);
+        cross += crate::matmul::dot(&row[start..start + len], &shapelet[v * len..(v + 1) * len]);
+    }
+    cross
+}
+
+/// [`window_dot`] for four shapelets at once, via the load-sharing
+/// [`crate::matmul::dot4`] kernel: the window is streamed through the
+/// registers once and FMA-ed against all four tap rows. Backbone of the
+/// fused transform's shapelet-blocked inner loop.
+#[inline]
+pub fn window_dot4(series: &Tensor, taps: [&[f32]; 4], start: usize, len: usize) -> [f32; 4] {
+    let d = series.rows();
+    debug_assert!(
+        taps.iter().all(|t| t.len() == d * len),
+        "shapelet width mismatch"
+    );
+    let mut cross = [0.0f32; 4];
+    for v in 0..d {
+        let row = &series.row(v)[start..start + len];
+        let span = v * len..(v + 1) * len;
+        let r = crate::matmul::dot4(
+            row,
+            &taps[0][span.clone()],
+            &taps[1][span.clone()],
+            &taps[2][span.clone()],
+            &taps[3][span],
+        );
+        for (c, x) in cross.iter_mut().zip(r) {
+            *c += x;
+        }
+    }
+    cross
+}
+
+/// Dot products of a flattened channel-major shapelet against **every**
+/// stride-`stride` window, streaming over the original series buffer — the
+/// zero-materialization replacement for `unfold` + one `matmul_transb`
+/// column. Appends `count_windows` values to `out`.
+pub fn sliding_dots(
+    series: &Tensor,
+    shapelet: &[f32],
+    len: usize,
+    stride: usize,
+    out: &mut Vec<f32>,
+) {
+    let (d, t) = (series.rows(), series.cols());
+    assert_eq!(shapelet.len(), d * len, "shapelet width mismatch");
+    let n = count_windows(t, len, stride);
+    let base = out.len();
+    out.resize(base + n, 0.0);
+    let dst = &mut out[base..];
+    for v in 0..d {
+        let row = series.row(v);
+        let taps = &shapelet[v * len..(v + 1) * len];
+        for (w, o) in dst.iter_mut().enumerate() {
+            let start = w * stride;
+            *o += crate::matmul::dot(&row[start..start + len], taps);
+        }
+    }
+}
+
 /// Extracts a single window `(D, len)` starting at `start` from a `(D, T)`
 /// series.
 pub fn window_at(series: &Tensor, start: usize, len: usize) -> Tensor {
@@ -213,6 +304,74 @@ mod tests {
         let lhs = w.dot(&g);
         let rhs = s.dot(&unfold_dilated_backward(&g, 1, 8, 3, 1, 2));
         assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn window_sq_norms_match_materialized_rows() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for &(d, t, len, stride) in &[
+            (1usize, 16usize, 4usize, 1usize),
+            (3, 33, 5, 2),
+            (2, 8, 8, 3),
+        ] {
+            let s = Tensor::randn([d, t], &mut rng);
+            let norms = window_sq_norms(&s, len, stride);
+            let w = unfold(&s, len, stride);
+            assert_eq!(norms.len(), w.rows());
+            for i in 0..w.rows() {
+                let direct: f32 = w.row(i).iter().map(|&x| x * x).sum();
+                assert!(
+                    (norms[i] - direct).abs() < 1e-4 * (1.0 + direct),
+                    "window {i}: prefix {} vs direct {direct}",
+                    norms[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_dots_match_unfold_matmul() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        for &(d, t, len, stride) in &[(1usize, 20usize, 3usize, 1usize), (2, 17, 4, 2)] {
+            let s = Tensor::randn([d, t], &mut rng);
+            let shapelet = Tensor::randn([1, d * len], &mut rng);
+            let mut got = Vec::new();
+            sliding_dots(&s, shapelet.as_slice(), len, stride, &mut got);
+            let w = unfold(&s, len, stride);
+            let want = crate::matmul::matmul_transb(&w, &shapelet);
+            assert_eq!(got.len(), want.rows());
+            for (i, &g) in got.iter().enumerate() {
+                assert!((g - want.at2(i, 0)).abs() < 1e-4, "window {i}");
+            }
+            // window_dot agrees with the vectorized variant bit-for-bit.
+            for (i, &g) in got.iter().enumerate() {
+                assert_eq!(g, window_dot(&s, shapelet.as_slice(), i * stride, len));
+            }
+        }
+    }
+
+    #[test]
+    fn window_dot4_matches_single_window_dots() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for &(d, t, len, stride) in &[(1usize, 30usize, 5usize, 1usize), (3, 90, 70, 2)] {
+            let s = Tensor::randn([d, t], &mut rng);
+            let bank = Tensor::randn([4, d * len], &mut rng);
+            let taps = [bank.row(0), bank.row(1), bank.row(2), bank.row(3)];
+            for w in 0..count_windows(t, len, stride) {
+                let got = window_dot4(&s, taps, w * stride, len);
+                for (j, &tap_row) in taps.iter().enumerate() {
+                    let want = window_dot(&s, tap_row, w * stride, len);
+                    assert!(
+                        (got[j] - want).abs() < 1e-4 * (1.0 + want.abs()),
+                        "w={w} j={j}: {} vs {want}",
+                        got[j]
+                    );
+                }
+            }
+        }
     }
 
     #[test]
