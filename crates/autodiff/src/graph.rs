@@ -926,6 +926,16 @@ mod tests {
     }
 
     #[test]
+    fn graph_and_grads_are_send() {
+        // Data-parallel training builds one Graph per worker thread and
+        // ships Grads back to the reducer; keep both thread-transferable.
+        fn assert_send<T: Send>() {}
+        assert_send::<Graph>();
+        assert_send::<Grads>();
+        assert_send::<VarId>();
+    }
+
+    #[test]
     fn grad_skipped_for_untracked_subgraph() {
         let mut g = Graph::new();
         let a = g.leaf(Tensor::ones([2, 2]));

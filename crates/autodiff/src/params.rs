@@ -100,6 +100,66 @@ impl ParamStore {
             .map(String::as_str)
             .zip(self.values.iter())
     }
+
+    /// A zeroed per-parameter gradient accumulator matching this store's
+    /// shapes, for reducing gradients computed by independent worker
+    /// subgraphs (data-parallel training).
+    pub fn grad_accumulator(&self) -> GradAccumulator {
+        GradAccumulator {
+            sums: self
+                .values
+                .iter()
+                .map(|v| Tensor::zeros(v.shape().clone()))
+                .collect(),
+            count: 0,
+        }
+    }
+}
+
+/// Accumulates per-parameter gradients from independent subgraphs.
+///
+/// Callers must invoke [`Self::accumulate`] in a **fixed order** (e.g. pair
+/// index order) regardless of how many threads produced the gradients:
+/// floating-point addition is not associative, so the reduction order — not
+/// the execution schedule — is what makes data-parallel training
+/// bit-for-bit reproducible at any thread count.
+pub struct GradAccumulator {
+    sums: Vec<Tensor>,
+    count: usize,
+}
+
+impl GradAccumulator {
+    /// Adds one worker's gradients (in store order) into the running sums.
+    pub fn accumulate(&mut self, grads: &[Tensor]) {
+        assert_eq!(
+            grads.len(),
+            self.sums.len(),
+            "one gradient per parameter required"
+        );
+        for (acc, g) in self.sums.iter_mut().zip(grads) {
+            acc.add_scaled_inplace(g, 1.0);
+        }
+        self.count += 1;
+    }
+
+    /// Number of gradient sets accumulated so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Finishes the reduction as the **mean** over accumulated sets — the
+    /// reduction matching a loss defined as the mean of per-subgraph terms.
+    pub fn into_mean(self) -> Vec<Tensor> {
+        assert!(self.count > 0, "no gradients accumulated");
+        let scale = 1.0 / self.count as f32;
+        self.sums.into_iter().map(|t| t.scale(scale)).collect()
+    }
+
+    /// Finishes the reduction as the raw sums.
+    pub fn into_sums(self) -> Vec<Tensor> {
+        assert!(self.count > 0, "no gradients accumulated");
+        self.sums
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +186,53 @@ mod tests {
         let mut ps = ParamStore::new();
         ps.register("w", Tensor::ones([1]));
         ps.register("w", Tensor::ones([1]));
+    }
+
+    #[test]
+    fn grad_accumulator_means_in_store_order() {
+        let mut ps = ParamStore::new();
+        ps.register("w", Tensor::from_vec(vec![1.0, 1.0], [2]));
+        ps.register("b", Tensor::zeros([1]));
+        let mut acc = ps.grad_accumulator();
+        assert_eq!(acc.count(), 0);
+        acc.accumulate(&[
+            Tensor::from_vec(vec![2.0, 4.0], [2]),
+            Tensor::from_vec(vec![1.0], [1]),
+        ]);
+        acc.accumulate(&[
+            Tensor::from_vec(vec![6.0, 0.0], [2]),
+            Tensor::from_vec(vec![3.0], [1]),
+        ]);
+        assert_eq!(acc.count(), 2);
+        let mean = acc.into_mean();
+        assert_eq!(mean[0].as_slice(), &[4.0, 2.0]);
+        assert_eq!(mean[1].as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn grad_accumulator_sums_without_scaling() {
+        let mut ps = ParamStore::new();
+        ps.register("w", Tensor::from_vec(vec![1.0], [1]));
+        let mut acc = ps.grad_accumulator();
+        acc.accumulate(&[Tensor::from_vec(vec![2.0], [1])]);
+        acc.accumulate(&[Tensor::from_vec(vec![3.0], [1])]);
+        assert_eq!(acc.into_sums()[0].as_slice(), &[5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no gradients accumulated")]
+    fn empty_accumulator_cannot_finish() {
+        let mut ps = ParamStore::new();
+        ps.register("w", Tensor::ones([1]));
+        ps.grad_accumulator().into_mean();
+    }
+
+    #[test]
+    #[should_panic(expected = "one gradient per parameter")]
+    fn accumulate_length_mismatch_panics() {
+        let mut ps = ParamStore::new();
+        ps.register("w", Tensor::ones([1]));
+        ps.grad_accumulator().accumulate(&[]);
     }
 
     #[test]

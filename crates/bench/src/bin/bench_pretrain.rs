@@ -1,0 +1,189 @@
+//! Pre-training benchmark: serial (`TCSL_THREADS=1`) vs data-parallel
+//! gradient computation, with a bit-for-bit determinism check between the
+//! two legs.
+//!
+//! Run from the repo root:
+//!
+//! ```text
+//! cargo run --release -p tcsl-bench --bin bench_pretrain          # full
+//! cargo run --release -p tcsl-bench --bin bench_pretrain -- --smoke
+//! ```
+//!
+//! Prints a one-line JSON summary per configuration and writes the full
+//! report to `BENCH_pretrain.json` (see EXPERIMENTS.md for the format).
+//!
+//! The parallel leg uses one worker per hardware core; on a single-core
+//! host it oversubscribes to 4 threads so the multi-thread code path is
+//! still exercised (the determinism check is then the interesting result —
+//! no speedup is possible, and `host_cores` in the JSON says why).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use tcsl_core::{pretrain, CslConfig, TrainingReport};
+use tcsl_data::{archive, Dataset};
+use tcsl_shapelet::init::init_from_data;
+use tcsl_shapelet::{Measure, ShapeletBank, ShapeletConfig};
+use tcsl_tensor::rng::seeded;
+use tcsl_tensor::Tensor;
+
+/// One timed leg: the training report, the final shapelets and the best
+/// (minimum) wall-clock seconds over `reps` identical runs.
+struct Leg {
+    report: TrainingReport,
+    shapelets: Vec<Tensor>,
+    best_secs: f64,
+}
+
+fn run_leg(
+    threads: usize,
+    bank0: &ShapeletBank,
+    ds: &Dataset,
+    cfg: &CslConfig,
+    reps: usize,
+) -> Leg {
+    // The override is read per parallel_map call, so setting it between
+    // runs is race-free in this single-threaded driver.
+    std::env::set_var("TCSL_THREADS", threads.to_string());
+    let mut best_secs = f64::INFINITY;
+    let mut out: Option<(TrainingReport, Vec<Tensor>)> = None;
+    for _ in 0..reps {
+        let mut bank = bank0.clone();
+        let start = Instant::now();
+        let report = pretrain(&mut bank, ds, cfg);
+        best_secs = best_secs.min(start.elapsed().as_secs_f64());
+        let shapelets = bank.groups().iter().map(|g| g.shapelets.clone()).collect();
+        out = Some((report, shapelets));
+    }
+    std::env::remove_var("TCSL_THREADS");
+    let (report, shapelets) = out.expect("reps >= 1");
+    Leg {
+        report,
+        shapelets,
+        best_secs,
+    }
+}
+
+/// Bit-for-bit equality of two legs: every epoch-loss entry and every
+/// final shapelet value must match exactly, not approximately.
+fn legs_identical(a: &Leg, b: &Leg) -> bool {
+    a.report.epoch_total == b.report.epoch_total
+        && a.report.epoch_contrast == b.report.epoch_contrast
+        && a.report.epoch_align == b.report.epoch_align
+        && a.report.epoch_validation == b.report.epoch_validation
+        && a.report.n_steps == b.report.n_steps
+        && a.shapelets.len() == b.shapelets.len()
+        && a.shapelets.iter().zip(&b.shapelets).all(|(x, y)| x == y)
+}
+
+fn loss_json(r: &TrainingReport) -> String {
+    format!(
+        "{{\"first_epoch_total\":{:.6},\"last_epoch_total\":{:.6},\"n_steps\":{}}}",
+        r.epoch_total.first().copied().unwrap_or(f32::NAN),
+        r.epoch_total.last().copied().unwrap_or(f32::NAN),
+        r.n_steps
+    )
+}
+
+struct Case {
+    label: &'static str,
+    epochs: usize,
+    grains: Vec<f32>,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // One worker per core when the host has them; otherwise oversubscribe
+    // so the parallel code path (worker threads + reduction) still runs.
+    let parallel_threads = if host_cores > 1 { host_cores } else { 4 };
+    let reps = if smoke { 1 } else { 3 };
+
+    let entry = archive::by_name("MotifEasy").expect("MotifEasy in archive");
+    let (train, _test) = archive::generate_split(&entry, 11);
+    let train = train.znormed();
+
+    let shapelet_cfg = ShapeletConfig {
+        lengths: vec![8, 16],
+        k_per_group: if smoke { 2 } else { 4 },
+        measures: vec![Measure::Euclidean, Measure::Cosine],
+        stride: 1,
+    };
+
+    // Parallelism in pretrain fans out per view pair = per grain, so the
+    // grain count bounds the usable worker count per batch.
+    let cases = if smoke {
+        vec![Case {
+            label: "smoke_2grains",
+            epochs: 1,
+            grains: vec![0.75, 1.0],
+        }]
+    } else {
+        vec![
+            Case {
+                label: "motif_easy_3grains",
+                epochs: 3,
+                grains: vec![0.5, 0.75, 1.0],
+            },
+            Case {
+                label: "motif_easy_5grains",
+                epochs: 3,
+                grains: vec![0.4, 0.55, 0.7, 0.85, 1.0],
+            },
+        ]
+    };
+
+    let mut entries = Vec::new();
+    for case in &cases {
+        let mut bank = ShapeletBank::new(&shapelet_cfg, train.n_vars());
+        init_from_data(&mut bank, &train, 4, &mut seeded(1));
+        let cfg = CslConfig {
+            epochs: case.epochs,
+            batch_size: 16,
+            grains: case.grains.clone(),
+            validation_frac: 0.1,
+            seed: 7,
+            ..Default::default()
+        };
+
+        let serial = run_leg(1, &bank, &train, &cfg, reps);
+        let parallel = run_leg(parallel_threads, &bank, &train, &cfg, reps);
+        let deterministic = legs_identical(&serial, &parallel);
+        assert!(
+            deterministic,
+            "case {}: serial and parallel runs diverged — the fixed-order \
+             reduction contract is broken",
+            case.label
+        );
+        let speedup = serial.best_secs / parallel.best_secs;
+
+        let mut entry = String::new();
+        let _ = write!(
+            entry,
+            "{{\"case\":\"{}\",\"epochs\":{},\"grains\":{},\"batch_size\":{},\"serial_secs\":{:.4},\"parallel_secs\":{:.4},\"parallel_threads\":{},\"speedup\":{:.2},\"deterministic\":{},\"losses\":{}}}",
+            case.label,
+            case.epochs,
+            case.grains.len(),
+            cfg.batch_size,
+            serial.best_secs,
+            parallel.best_secs,
+            parallel_threads,
+            speedup,
+            deterministic,
+            loss_json(&serial.report)
+        );
+        println!("{entry}");
+        entries.push(entry);
+    }
+
+    let report = format!(
+        "{{\"bench\":\"pretrain\",\"host_cores\":{},\"unit_note\":\"serial = TCSL_THREADS=1, parallel = one worker per core (oversubscribed to 4 on 1-core hosts, where no speedup is possible); secs are min over {} runs; deterministic = bit-identical losses and final shapelets across legs\",\"cases\":[\n  {}\n]}}\n",
+        host_cores,
+        reps,
+        entries.join(",\n  ")
+    );
+    std::fs::write("BENCH_pretrain.json", &report).expect("write BENCH_pretrain.json");
+    eprintln!("wrote BENCH_pretrain.json");
+}

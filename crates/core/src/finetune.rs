@@ -2,6 +2,12 @@
 //! to the pre-trained Shapelet Transformer `f`, with `ŷ = g(f(x))`, trained
 //! by cross-entropy backpropagation. The shapelets can be updated jointly
 //! (the advanced mode) or frozen (linear probing).
+//!
+//! Like the pre-trainer, each batch runs data-parallel: the cross-entropy
+//! of one example is independent of the others given the current
+//! parameters, so every example's forward/backward is its own worker
+//! subgraph and the main thread reduces the gradients in fixed example
+//! order (bit-for-bit identical at any `TCSL_THREADS`).
 
 use std::time::{Duration, Instant};
 use tcsl_autodiff::{Adam, Graph, Optimizer, ParamStore, VarId};
@@ -9,6 +15,7 @@ use tcsl_data::Dataset;
 use tcsl_shapelet::diff_transform::{diff_features_batch, write_back, BoundBank};
 use tcsl_shapelet::ShapeletBank;
 use tcsl_tensor::matmul::matmul_transb;
+use tcsl_tensor::parallel::parallel_map;
 use tcsl_tensor::rng::{permutation, seeded};
 use tcsl_tensor::Tensor;
 
@@ -119,37 +126,52 @@ pub fn fine_tune(
         let mut sum = 0.0f64;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
-            let mut g = Graph::new();
-            let bound_all = ps.bind(&mut g);
-            let bound = if cfg.freeze_shapelets {
-                BoundBank {
-                    group_vars: bank
-                        .groups()
-                        .iter()
-                        .map(|grp| g.leaf(grp.shapelets.clone()))
-                        .collect(),
-                }
-            } else {
-                BoundBank {
-                    group_vars: bound_all[..n_groups].to_vec(),
-                }
-            };
-            let (w_var, b_var): (VarId, VarId) = (bound_all[head_w_idx], bound_all[head_b_idx]);
-
             let batch: Vec<Tensor> = chunk
                 .iter()
                 .map(|&i| ds.series(i).values().clone())
                 .collect();
             let targets: Vec<usize> = chunk.iter().map(|&i| ds.label(i)).collect();
-            let feats = diff_features_batch(&mut g, bank, &bound, &batch);
-            let raw = g.matmul_transb(feats, w_var);
-            let logits = g.add_row_vec(raw, b_var);
-            let loss = g.cross_entropy_logits(logits, &targets);
-            sum += g.value(loss).item() as f64;
+
+            // Fan out: one worker subgraph per example. The batch loss is
+            // the mean of per-example cross-entropies, so per-example
+            // gradients reduce to the batch gradient by averaging.
+            let results = parallel_map(batch.len(), |i| {
+                let mut g = Graph::new();
+                let bound_all = ps.bind(&mut g);
+                let bound = if cfg.freeze_shapelets {
+                    BoundBank {
+                        group_vars: bank
+                            .groups()
+                            .iter()
+                            .map(|grp| g.leaf(grp.shapelets.clone()))
+                            .collect(),
+                    }
+                } else {
+                    BoundBank {
+                        group_vars: bound_all[..n_groups].to_vec(),
+                    }
+                };
+                let (w_var, b_var): (VarId, VarId) = (bound_all[head_w_idx], bound_all[head_b_idx]);
+                let feats = diff_features_batch(&mut g, bank, &bound, &batch[i..i + 1]);
+                let raw = g.matmul_transb(feats, w_var);
+                let logits = g.add_row_vec(raw, b_var);
+                let loss = g.cross_entropy_logits(logits, &targets[i..i + 1]);
+                let loss_val = g.value(loss).item();
+                let mut grads = g.backward(loss);
+                (loss_val, ps.collect_grads(&mut grads, &bound_all))
+            });
+
+            // Reduce in fixed example order.
+            let mut acc = ps.grad_accumulator();
+            let mut batch_loss = 0.0f32;
+            for (loss_val, grads) in &results {
+                acc.accumulate(grads);
+                batch_loss += loss_val;
+            }
+            sum += (batch_loss / results.len() as f32) as f64;
             batches += 1;
 
-            let mut grads = g.backward(loss);
-            let gvec = ps.collect_grads(&mut grads, &bound_all);
+            let gvec = acc.into_mean();
             opt.step(&mut ps, &gvec);
         }
         epoch_loss.push((sum / batches.max(1) as f64) as f32);

@@ -25,6 +25,8 @@ pub mod config;
 pub mod finetune;
 pub mod loss;
 pub mod pipeline;
+#[cfg(test)]
+mod proptests;
 pub mod trainer;
 pub mod views;
 

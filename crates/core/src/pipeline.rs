@@ -38,8 +38,19 @@ impl TimeCsl {
         shapelet_cfg: Option<ShapeletConfig>,
         csl_cfg: &CslConfig,
     ) -> (TimeCsl, TrainingReport) {
+        Self::pretrain_normalized(train, shapelet_cfg, csl_cfg, Normalization::ZScore)
+    }
+
+    /// [`Self::pretrain`] under an explicit input normalization. The chosen
+    /// normalization becomes part of the model (applied to every later
+    /// transform/fine-tune input and persisted by [`Self::save`]).
+    pub fn pretrain_normalized(
+        train: &Dataset,
+        shapelet_cfg: Option<ShapeletConfig>,
+        csl_cfg: &CslConfig,
+        normalization: Normalization,
+    ) -> (TimeCsl, TrainingReport) {
         assert!(!train.is_empty(), "cannot pre-train on an empty dataset");
-        let normalization = Normalization::ZScore;
         let normed = normalize_dataset(&train.without_labels(), normalization);
         let cfg = shapelet_cfg.unwrap_or_else(|| ShapeletConfig::adaptive(normed.max_len()));
         let mut bank = ShapeletBank::new(&cfg, normed.n_vars());
@@ -55,17 +66,29 @@ impl TimeCsl {
         )
     }
 
-    /// Wraps an externally constructed bank (e.g. loaded from disk).
+    /// Wraps an externally constructed bank (e.g. loaded from disk),
+    /// assuming the default z-score input normalization.
     pub fn from_bank(bank: ShapeletBank) -> TimeCsl {
+        Self::from_bank_normalized(bank, Normalization::ZScore)
+    }
+
+    /// Wraps an externally constructed bank together with the input
+    /// normalization it was trained under.
+    pub fn from_bank_normalized(bank: ShapeletBank, normalization: Normalization) -> TimeCsl {
         TimeCsl {
             bank,
-            normalization: Normalization::ZScore,
+            normalization,
         }
     }
 
     /// The learned Shapelet Transformer.
     pub fn bank(&self) -> &ShapeletBank {
         &self.bank
+    }
+
+    /// The input normalization applied before every transform.
+    pub fn normalization(&self) -> Normalization {
+        self.normalization
     }
 
     /// Representation dimensionality `D_repr`.
@@ -120,17 +143,65 @@ impl TimeCsl {
         }
     }
 
-    /// Serializes the model (bank text format) to a file.
+    /// Serializes the model to a versioned text format: a `tcsl-model v2`
+    /// header carrying the input normalization, followed by the bank text.
+    /// A bank saved under `MinMax`/`None` therefore round-trips to the same
+    /// features — PR-1-era files persisted only the bank and silently
+    /// re-loaded as `ZScore`.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.bank.to_text())
+        std::fs::write(path, self.to_text())
     }
 
-    /// Loads a model saved by [`Self::save`].
+    /// The versioned model text format written by [`Self::save`].
+    pub fn to_text(&self) -> String {
+        format!(
+            "tcsl-model v2 normalization={}\n{}",
+            self.normalization.name(),
+            self.bank.to_text()
+        )
+    }
+
+    /// Loads a model saved by [`Self::save`]. Accepts both the current
+    /// `tcsl-model v2` format and PR-1-era bare-bank files (which carry no
+    /// normalization and load under the z-score default they were written
+    /// with).
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<TimeCsl> {
         let text = std::fs::read_to_string(path)?;
-        let bank = ShapeletBank::from_text(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        Ok(TimeCsl::from_bank(bank))
+        Self::from_text(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Parses the model text format (see [`Self::load`] for accepted
+    /// versions).
+    pub fn from_text(text: &str) -> Result<TimeCsl, String> {
+        let first = text.lines().next().ok_or("empty model file")?;
+        if !first.starts_with("tcsl-model") {
+            // Backward compatibility: a bare bank file (PR-1 era).
+            let bank = ShapeletBank::from_text(text)?;
+            return Ok(TimeCsl::from_bank(bank));
+        }
+        let mut version = None;
+        let mut normalization = None;
+        for tok in first.split_whitespace().skip(1) {
+            if let Some(v) = tok.strip_prefix('v') {
+                if version.is_none() && v.chars().all(|c| c.is_ascii_digit()) {
+                    version = Some(v.to_string());
+                }
+            }
+            if let Some(v) = tok.strip_prefix("normalization=") {
+                normalization =
+                    Some(Normalization::parse(v).ok_or_else(|| format!("bad normalization {v}"))?);
+            }
+        }
+        if version.as_deref() != Some("2") {
+            return Err(format!("unsupported model header: {first}"));
+        }
+        let normalization = normalization.ok_or("missing normalization=")?;
+        let rest = match text.split_once('\n') {
+            Some((_, rest)) => rest,
+            None => return Err("model file has no bank section".into()),
+        };
+        let bank = ShapeletBank::from_text(rest)?;
+        Ok(TimeCsl::from_bank_normalized(bank, normalization))
     }
 }
 
@@ -224,5 +295,57 @@ mod tests {
         let b = loaded.transform(&test);
         assert!(a.max_abs_diff(&b) < 1e-5);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn save_load_preserves_every_normalization() {
+        // Regression: save() used to persist only the bank and load()
+        // hard-coded ZScore, so a MinMax/None model round-tripped to wrong
+        // features.
+        let entry = archive::by_name("MotifEasy").unwrap();
+        let (train, test) = archive::generate_split(&entry, 25);
+        let (scfg, ccfg) = quick_cfg();
+        for norm in Normalization::ALL {
+            let (model, _) = TimeCsl::pretrain_normalized(&train, Some(scfg.clone()), &ccfg, norm);
+            assert_eq!(model.normalization(), norm);
+            let loaded = TimeCsl::from_text(&model.to_text()).unwrap();
+            assert_eq!(loaded.normalization(), norm);
+            let a = model.transform(&test);
+            let b = loaded.transform(&test);
+            assert!(a.max_abs_diff(&b) < 1e-5, "features changed under {norm:?}");
+        }
+        // Distinct normalizations must actually produce distinct features
+        // (otherwise this test would be vacuous).
+        let (m1, _) =
+            TimeCsl::pretrain_normalized(&train, Some(scfg.clone()), &ccfg, Normalization::ZScore);
+        let wrong = TimeCsl::from_bank_normalized(m1.bank().clone(), Normalization::None);
+        assert!(m1.transform(&test).max_abs_diff(&wrong.transform(&test)) > 1e-3);
+    }
+
+    #[test]
+    fn legacy_bare_bank_files_still_load() {
+        let entry = archive::by_name("MotifEasy").unwrap();
+        let (train, test) = archive::generate_split(&entry, 26);
+        let (scfg, ccfg) = quick_cfg();
+        let (model, _) = TimeCsl::pretrain(&train, Some(scfg), &ccfg);
+        // A PR-1-era file is exactly the bank text, no model header.
+        let legacy = model.bank().to_text();
+        let loaded = TimeCsl::from_text(&legacy).unwrap();
+        assert_eq!(loaded.normalization(), Normalization::ZScore);
+        assert!(
+            model
+                .transform(&test)
+                .max_abs_diff(&loaded.transform(&test))
+                < 1e-5
+        );
+    }
+
+    #[test]
+    fn model_text_rejects_garbage() {
+        assert!(TimeCsl::from_text("").is_err());
+        assert!(TimeCsl::from_text("tcsl-model v99 normalization=zscore\n").is_err());
+        assert!(TimeCsl::from_text("tcsl-model v2 normalization=sigma\n").is_err());
+        assert!(TimeCsl::from_text("tcsl-model v2\n").is_err());
+        assert!(TimeCsl::from_text("tcsl-model v2 normalization=zscore").is_err());
     }
 }

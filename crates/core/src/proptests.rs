@@ -1,0 +1,137 @@
+//! Property tests for the data-parallel trainer's reduction contract: the
+//! gradient of a batch loss computed as one monolithic graph over all view
+//! pairs must agree with per-pair subgraphs reduced in fixed pair order
+//! (the worker/reducer split of `pretrain`). Agreement is up to f32
+//! round-off — the two paths sum the same per-pair contributions in
+//! different association orders.
+
+use crate::views::sample_views;
+use proptest::prelude::*;
+use tcsl_autodiff::{Graph, ParamStore, VarId};
+use tcsl_data::{Dataset, TimeSeries};
+use tcsl_shapelet::diff_transform::{bind_values, diff_features_batch, BoundBank};
+use tcsl_shapelet::{Measure, ShapeletBank, ShapeletConfig};
+use tcsl_tensor::parallel::parallel_map;
+use tcsl_tensor::rng::seeded;
+use tcsl_tensor::Tensor;
+
+use crate::loss::{multi_scale_alignment, nt_xent};
+
+fn arb_setup() -> impl Strategy<Value = (ShapeletBank, Dataset, Vec<f32>, f32, u64)> {
+    (2usize..5, 10usize..26, 0u64..1000, 0usize..3).prop_map(|(n, t, seed, align_case)| {
+        let mut rng = seeded(seed);
+        let cfg = ShapeletConfig {
+            lengths: vec![3, 5],
+            k_per_group: 2,
+            measures: Measure::ALL.to_vec(),
+            stride: 1,
+        };
+        let mut bank = ShapeletBank::new(&cfg, 1);
+        bank.randomize(&mut rng);
+        let series = (0..n)
+            .map(|_| TimeSeries::new(Tensor::randn([1, t], &mut rng)))
+            .collect();
+        let ds = Dataset::unlabeled("prop", series);
+        let grains = vec![0.6, 1.0];
+        let weight = [0.0f32, 0.5, 1.0][align_case];
+        (bank, ds, grains, weight, seed)
+    })
+}
+
+fn mean_nodes(g: &mut Graph, nodes: &[VarId]) -> VarId {
+    let mut acc = nodes[0];
+    for &n in &nodes[1..] {
+        acc = g.add(acc, n);
+    }
+    g.mul_scalar(acc, 1.0 / nodes.len() as f32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_and_monolithic_gradients_agree(
+        (bank, ds, grains, weight, seed) in arb_setup()
+    ) {
+        let indices: Vec<usize> = (0..ds.len()).collect();
+        let temperature = 0.2f32;
+        let snapshot: Vec<Tensor> =
+            bank.groups().iter().map(|g| g.shapelets.clone()).collect();
+        let mut ps = ParamStore::new();
+        for (i, v) in snapshot.iter().enumerate() {
+            ps.register(format!("group{i}"), v.clone());
+        }
+
+        // Identical view pairs for both paths (fixed RNG stream).
+        let pairs = {
+            let mut rng = seeded(seed ^ 0xBEEF);
+            sample_views(&ds, &indices, &grains, 4, &mut rng)
+        };
+
+        // (a) Monolithic: every pair on one tape, loss = mean(contrast)
+        //     + weight * mean(align), a single backward sweep.
+        let mono = {
+            let mut g = Graph::new();
+            let bound = bind_values(&mut g, &snapshot);
+            let mut contrast_terms = Vec::new();
+            let mut align_terms = Vec::new();
+            for pair in &pairs {
+                let za = diff_features_batch(&mut g, &bank, &bound, &pair.views_a);
+                let zb = diff_features_batch(&mut g, &bank, &bound, &pair.views_b);
+                contrast_terms.push(nt_xent(&mut g, za, zb, temperature));
+                if weight > 0.0 {
+                    align_terms.push(multi_scale_alignment(&mut g, &bank, za));
+                }
+            }
+            let contrast = mean_nodes(&mut g, &contrast_terms);
+            let loss = if align_terms.is_empty() {
+                contrast
+            } else {
+                let align = mean_nodes(&mut g, &align_terms);
+                let weighted = g.mul_scalar(align, weight);
+                g.add(contrast, weighted)
+            };
+            let mut grads = g.backward(loss);
+            ps.collect_grads(&mut grads, &bound.group_vars)
+        };
+
+        // (b) Data-parallel: one subgraph per pair on worker threads,
+        //     per-pair loss = contrast + weight * align, gradients reduced
+        //     as the mean in fixed pair order.
+        let reduced = {
+            let per_pair = parallel_map(pairs.len(), |p| {
+                let pair = &pairs[p];
+                let mut g = Graph::new();
+                let bound = BoundBank { group_vars: ps.bind(&mut g) };
+                let za = diff_features_batch(&mut g, &bank, &bound, &pair.views_a);
+                let zb = diff_features_batch(&mut g, &bank, &bound, &pair.views_b);
+                let contrast = nt_xent(&mut g, za, zb, temperature);
+                let loss = if weight > 0.0 {
+                    let align = multi_scale_alignment(&mut g, &bank, za);
+                    let weighted = g.mul_scalar(align, weight);
+                    g.add(contrast, weighted)
+                } else {
+                    contrast
+                };
+                let mut grads = g.backward(loss);
+                ps.collect_grads(&mut grads, &bound.group_vars)
+            });
+            let mut acc = ps.grad_accumulator();
+            for grads in &per_pair {
+                acc.accumulate(grads);
+            }
+            acc.into_mean()
+        };
+
+        prop_assert_eq!(mono.len(), reduced.len());
+        for (gi, (a, b)) in mono.iter().zip(&reduced).enumerate() {
+            let diff = a.max_abs_diff(b);
+            prop_assert!(
+                diff < 1e-4,
+                "group {} gradients diverge by {} (monolithic vs reduced)",
+                gi,
+                diff
+            );
+        }
+    }
+}

@@ -5,16 +5,31 @@
 //! minimizes `L = L_contrast + λ·L_align` with Adam. The learning curve is
 //! recorded per epoch — the demo plots it so users can "diagnose the model
 //! performance" (§3, step 2).
+//!
+//! # Data-parallel execution
+//!
+//! The per-grain view pairs of one batch are independent given the current
+//! parameter values, so each pair's forward/backward runs as its own
+//! subgraph on a worker thread ([`tcsl_tensor::parallel::parallel_map`],
+//! thread count overridable via `TCSL_THREADS`): every worker builds a
+//! private [`Graph`], binds the same read-only parameter snapshot, and
+//! returns its pair's losses and gradients. The main thread then reduces
+//! the gradients **in fixed pair order** and takes one optimizer step.
+//! View sampling stays on the main-thread RNG and reduction order never
+//! depends on the schedule, so training is bit-for-bit identical at any
+//! thread count (`training_is_thread_count_invariant`).
 
 use crate::config::CslConfig;
 use crate::loss::{multi_scale_alignment, nt_xent};
-use crate::views::sample_views;
+use crate::views::{sample_views, ViewPair};
 use std::time::{Duration, Instant};
 use tcsl_autodiff::{Adam, Graph, Optimizer, ParamStore};
 use tcsl_data::Dataset;
 use tcsl_shapelet::diff_transform::{diff_features_batch, write_back, BoundBank};
 use tcsl_shapelet::ShapeletBank;
+use tcsl_tensor::parallel::parallel_map;
 use tcsl_tensor::rng::{permutation, seeded};
+use tcsl_tensor::Tensor;
 
 /// Learning-curve record of one pre-training run.
 #[derive(Clone, Debug)]
@@ -53,9 +68,71 @@ impl TrainingReport {
     }
 }
 
+/// Splits a shuffled index order into training batches. Plain
+/// `chunks(batch_size)` can leave a trailing singleton that NT-Xent cannot
+/// use (it needs at least one negative), which would silently drop that
+/// series from every epoch — instead the leftover is folded into the
+/// previous batch, so every series trains every epoch.
+fn epoch_batches(order: &[usize], batch_size: usize) -> Vec<Vec<usize>> {
+    let mut chunks: Vec<Vec<usize>> = order.chunks(batch_size).map(<[usize]>::to_vec).collect();
+    if chunks.len() >= 2 && chunks.last().is_some_and(|c| c.len() < 2) {
+        let tail = chunks.pop().unwrap();
+        chunks.last_mut().unwrap().extend(tail);
+    }
+    chunks
+}
+
+/// One worker unit of data-parallel pre-training: the full forward/backward
+/// of a single view pair against a shared read-only parameter snapshot.
+/// Builds its own tape, so any number of these run concurrently.
+struct PairGrad {
+    contrast: f32,
+    align: f32,
+    grads: Vec<Tensor>,
+}
+
+fn pair_forward_backward(
+    ps: &ParamStore,
+    bank: &ShapeletBank,
+    cfg: &CslConfig,
+    pair: &ViewPair,
+) -> PairGrad {
+    let mut g = Graph::new();
+    let bound = BoundBank {
+        group_vars: ps.bind(&mut g),
+    };
+    let za = diff_features_batch(&mut g, bank, &bound, &pair.views_a);
+    let zb = diff_features_batch(&mut g, bank, &bound, &pair.views_b);
+    let contrast = nt_xent(&mut g, za, zb, cfg.temperature);
+    let (align_val, loss) = if cfg.alignment_weight > 0.0 {
+        let align = multi_scale_alignment(&mut g, bank, za);
+        let weighted = g.mul_scalar(align, cfg.alignment_weight);
+        let loss = g.add(contrast, weighted);
+        (g.value(align).item(), loss)
+    } else {
+        (0.0, contrast)
+    };
+    let contrast_val = g.value(contrast).item();
+    let mut grads = g.backward(loss);
+    let gvec = ps.collect_grads(&mut grads, &bound.group_vars);
+    PairGrad {
+        contrast: contrast_val,
+        align: align_val,
+        grads: gvec,
+    }
+}
+
 /// Runs CSL pre-training, updating `bank` in place. The bank must already
 /// be initialized (see [`tcsl_shapelet::init::init_from_data`]); the
 /// high-level entry point [`crate::pipeline::TimeCsl::pretrain`] does both.
+///
+/// # Panics
+///
+/// Panics when the dataset has fewer than two series, when
+/// `validation_frac` holds out so much that fewer than two series remain to
+/// train on, or — as a backstop — when an epoch completes without a single
+/// optimizer step (training would otherwise silently no-op and report
+/// `0.0` losses).
 pub fn pretrain(bank: &mut ShapeletBank, ds: &Dataset, cfg: &CslConfig) -> TrainingReport {
     cfg.validate();
     assert!(
@@ -67,12 +144,22 @@ pub fn pretrain(bank: &mut ShapeletBank, ds: &Dataset, cfg: &CslConfig) -> Train
     let mut rng = seeded(cfg.seed);
 
     // Optional validation hold-out: the last series of a fixed shuffle.
-    let n_val = ((ds.len() as f32) * cfg.validation_frac).round() as usize;
-    let n_val = if n_val == 1 {
-        2.min(ds.len() / 2)
+    // Whenever validation is requested the hold-out must have at least two
+    // series (the validation NT-Xent needs a negative), and at least two
+    // must remain to train on — otherwise the curve would silently stay
+    // empty (or training would no-op), so reject the configuration loudly.
+    let n_val = if cfg.validation_frac > 0.0 {
+        (((ds.len() as f32) * cfg.validation_frac).round() as usize).max(2)
     } else {
-        n_val
+        0
     };
+    assert!(
+        ds.len() >= n_val + 2,
+        "validation_frac {} holds out {n_val} of {} series, leaving fewer than two to train \
+         on — use a larger dataset or disable validation",
+        cfg.validation_frac,
+        ds.len()
+    );
     let split = permutation(&mut rng, ds.len());
     let (train_idx, val_idx) = split.split_at(ds.len() - n_val);
     let train_idx: Vec<usize> = train_idx.to_vec();
@@ -101,68 +188,74 @@ pub fn pretrain(bank: &mut ShapeletBank, ds: &Dataset, cfg: &CslConfig) -> Train
         };
         let mut sums = (0.0f64, 0.0f64, 0.0f64);
         let mut batches = 0usize;
-        for chunk in order.chunks(cfg.batch_size) {
+        for chunk in epoch_batches(&order, cfg.batch_size) {
             if chunk.len() < 2 {
                 continue; // NT-Xent needs at least one negative.
             }
-            let mut g = Graph::new();
-            let bound = BoundBank {
-                group_vars: ps.bind(&mut g),
-            };
-            let pairs = sample_views(ds, chunk, &cfg.grains, cfg.min_crop, &mut rng);
+            // View sampling stays on the main-thread RNG — the sampled
+            // crops are identical at any thread count.
+            let pairs = sample_views(ds, &chunk, &cfg.grains, cfg.min_crop, &mut rng);
 
-            let mut contrast_terms = Vec::with_capacity(pairs.len());
-            let mut align_terms = Vec::with_capacity(pairs.len());
-            for pair in &pairs {
-                let za = diff_features_batch(&mut g, bank, &bound, &pair.views_a);
-                let zb = diff_features_batch(&mut g, bank, &bound, &pair.views_b);
-                contrast_terms.push(nt_xent(&mut g, za, zb, cfg.temperature));
-                if cfg.alignment_weight > 0.0 {
-                    align_terms.push(multi_scale_alignment(&mut g, bank, za));
-                }
+            // Fan out: one independent subgraph per pair. `parallel_map`
+            // returns results in pair order whatever the schedule.
+            let results = parallel_map(pairs.len(), |p| {
+                pair_forward_backward(&ps, bank, cfg, &pairs[p])
+            });
+
+            // Reduce in fixed pair order (f32 addition is not associative;
+            // a fixed order is what keeps training deterministic).
+            let inv = 1.0 / results.len() as f32;
+            let mut acc = ps.grad_accumulator();
+            let (mut csum, mut asum) = (0.0f32, 0.0f32);
+            for r in &results {
+                acc.accumulate(&r.grads);
+                csum += r.contrast;
+                asum += r.align;
             }
-            let contrast = mean_nodes(&mut g, &contrast_terms);
-            let total = if align_terms.is_empty() {
-                contrast
-            } else {
-                let align = mean_nodes(&mut g, &align_terms);
-                let weighted = g.mul_scalar(align, cfg.alignment_weight);
-                sums.1 += g.value(align).item() as f64;
-                g.add(contrast, weighted)
-            };
-            sums.0 += g.value(contrast).item() as f64;
-            sums.2 += g.value(total).item() as f64;
+            let contrast_mean = csum * inv;
+            let align_mean = asum * inv;
+            let total = contrast_mean + align_mean * cfg.alignment_weight;
+            sums.0 += contrast_mean as f64;
+            if cfg.alignment_weight > 0.0 {
+                sums.1 += align_mean as f64;
+            }
+            sums.2 += total as f64;
             batches += 1;
 
-            let mut grads = g.backward(total);
-            let gvec = ps.collect_grads(&mut grads, &bound.group_vars);
+            let gvec = acc.into_mean();
             opt.step(&mut ps, &gvec);
             report.n_steps += 1;
         }
-        let n = batches.max(1) as f64;
+        assert!(
+            batches > 0,
+            "pre-training epoch took zero optimizer steps ({} training series, batch_size {}) \
+             — the run would silently no-op",
+            train_idx.len(),
+            cfg.batch_size
+        );
+        let n = batches as f64;
         report.epoch_contrast.push((sums.0 / n) as f32);
         report.epoch_align.push((sums.1 / n) as f32);
         report.epoch_total.push((sums.2 / n) as f32);
 
         // Validation: contrastive loss on held-out series, fixed sampling
-        // per epoch, no gradient step.
-        if !val_idx.is_empty() && val_idx.len() >= 2 {
+        // per epoch, no gradient step. Pairs are scored on worker threads
+        // (values only), mean taken in pair order on the main thread.
+        if !val_idx.is_empty() {
             let mut vrng = seeded(cfg.seed ^ 0xA11DA7); // fixed validation stream
-            let mut g = Graph::new();
-            let bound = BoundBank {
-                group_vars: ps.bind(&mut g),
-            };
             let pairs = sample_views(ds, &val_idx, &cfg.grains, cfg.min_crop, &mut vrng);
-            let terms: Vec<_> = pairs
-                .iter()
-                .map(|pair| {
-                    let za = diff_features_batch(&mut g, bank, &bound, &pair.views_a);
-                    let zb = diff_features_batch(&mut g, bank, &bound, &pair.views_b);
-                    nt_xent(&mut g, za, zb, cfg.temperature)
-                })
-                .collect();
-            let val = mean_nodes(&mut g, &terms);
-            report.epoch_validation.push(g.value(val).item());
+            let vals = parallel_map(pairs.len(), |p| {
+                let mut g = Graph::new();
+                let bound = BoundBank {
+                    group_vars: ps.bind(&mut g),
+                };
+                let za = diff_features_batch(&mut g, bank, &bound, &pairs[p].views_a);
+                let zb = diff_features_batch(&mut g, bank, &bound, &pairs[p].views_b);
+                let v = nt_xent(&mut g, za, zb, cfg.temperature);
+                g.value(v).item()
+            });
+            let mean = vals.iter().sum::<f32>() * (1.0 / vals.len() as f32);
+            report.epoch_validation.push(mean);
         }
     }
 
@@ -171,15 +264,6 @@ pub fn pretrain(bank: &mut ShapeletBank, ds: &Dataset, cfg: &CslConfig) -> Train
     write_back(bank, &values);
     report.wall_time = start.elapsed();
     report
-}
-
-fn mean_nodes(g: &mut Graph, nodes: &[tcsl_autodiff::VarId]) -> tcsl_autodiff::VarId {
-    assert!(!nodes.is_empty());
-    let mut acc = nodes[0];
-    for &n in &nodes[1..] {
-        acc = g.add(acc, n);
-    }
-    g.mul_scalar(acc, 1.0 / nodes.len() as f32)
 }
 
 #[cfg(test)]
@@ -262,6 +346,123 @@ mod tests {
         assert_eq!(r1.epoch_total, r2.epoch_total);
         for (g1, g2) in b1.groups().iter().zip(b2.groups()) {
             assert!(g1.shapelets.max_abs_diff(&g2.shapelets) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn epoch_batches_folds_trailing_singleton() {
+        // Regression: a trailing chunk of one series was skipped every
+        // epoch, so the last series under misaligned splits never trained.
+        let order: Vec<usize> = (0..9).collect();
+        let batches = epoch_batches(&order, 4);
+        assert_eq!(batches, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7, 8]]);
+        // Aligned splits are untouched.
+        let order: Vec<usize> = (0..8).collect();
+        assert_eq!(epoch_batches(&order, 4).len(), 2);
+        assert!(epoch_batches(&order, 4).iter().all(|b| b.len() == 4));
+        // A single undersized chunk cannot be folded anywhere.
+        assert_eq!(epoch_batches(&[7], 4), vec![vec![7]]);
+        // Exactly batch_size + 1 becomes one larger batch.
+        let order: Vec<usize> = (0..5).collect();
+        assert_eq!(epoch_batches(&order, 4), vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn misaligned_split_trains_every_series_and_steps_every_batch() {
+        let (mut bank, train) = small_setup();
+        // Pick a batch size so that len % batch_size == 1 (the old code's
+        // dropped-series case) — and assert the step count matches the
+        // folded batch layout exactly.
+        let n = train.len();
+        let batch_size = n - 1; // chunks: [n-1, 1] → folded: [n]
+        let cfg = CslConfig {
+            epochs: 2,
+            batch_size,
+            grains: vec![1.0],
+            seed: 9,
+            ..Default::default()
+        };
+        let report = pretrain(&mut bank, &train, &cfg);
+        assert_eq!(report.n_steps, 2, "one folded batch per epoch expected");
+        assert!(report.epoch_total.iter().all(|l| *l != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "leaving fewer than two to train")]
+    fn validation_that_starves_training_is_rejected() {
+        // Regression: ds.len() == 3 with a small validation_frac used to
+        // yield a 1-series hold-out that failed the >= 2 guard silently —
+        // now the configuration is rejected loudly.
+        let (mut bank, train) = small_setup();
+        let three = train.subset(&[0, 1, 2], "three");
+        let cfg = CslConfig {
+            epochs: 1,
+            validation_frac: 0.2,
+            ..CslConfig::fast()
+        };
+        pretrain(&mut bank, &three, &cfg);
+    }
+
+    #[test]
+    fn tiny_validation_fraction_still_holds_out_two() {
+        // Regression: round(len * frac) could be 0, silently disabling the
+        // requested validation curve.
+        let (mut bank, train) = small_setup();
+        let cfg = CslConfig {
+            epochs: 2,
+            batch_size: 8,
+            grains: vec![1.0],
+            validation_frac: 0.01, // rounds to 0 series on this dataset
+            seed: 6,
+            ..Default::default()
+        };
+        let report = pretrain(&mut bank, &train, &cfg);
+        assert_eq!(report.epoch_validation.len(), 2);
+        assert!(report.epoch_validation.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn training_is_thread_count_invariant() {
+        // The determinism contract of the data-parallel trainer: view
+        // sampling stays on the main-thread RNG and gradients reduce in
+        // fixed pair order, so serial (TCSL_THREADS=1) and oversubscribed
+        // multi-threaded runs are bit-for-bit identical. Both runs happen
+        // inside one test so the env var is never left set for others.
+        let (bank0, train) = small_setup();
+        let cfg = CslConfig {
+            epochs: 2,
+            batch_size: 8,
+            validation_frac: 0.2,
+            seed: 11,
+            ..CslConfig::fast()
+        };
+        let run = |threads: Option<&str>| {
+            match threads {
+                Some(t) => std::env::set_var("TCSL_THREADS", t),
+                None => std::env::remove_var("TCSL_THREADS"),
+            }
+            let mut b = bank0.clone();
+            let r = pretrain(&mut b, &train, &cfg);
+            std::env::remove_var("TCSL_THREADS");
+            (b, r)
+        };
+        let (b1, r1) = run(Some("1"));
+        let (b4, r4) = run(Some("4"));
+        let (bd, rd) = run(None);
+        assert_eq!(r1.epoch_total, r4.epoch_total);
+        assert_eq!(r1.epoch_contrast, r4.epoch_contrast);
+        assert_eq!(r1.epoch_align, r4.epoch_align);
+        assert_eq!(r1.epoch_validation, r4.epoch_validation);
+        assert_eq!(r1.epoch_total, rd.epoch_total);
+        assert_eq!(r1.epoch_validation, rd.epoch_validation);
+        for (g1, g4) in b1.groups().iter().zip(b4.groups()) {
+            assert_eq!(
+                g1.shapelets, g4.shapelets,
+                "shapelets differ across thread counts"
+            );
+        }
+        for (g1, gd) in b1.groups().iter().zip(bd.groups()) {
+            assert_eq!(g1.shapelets, gd.shapelets);
         }
     }
 

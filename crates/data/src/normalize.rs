@@ -14,6 +14,34 @@ pub enum Normalization {
     None,
 }
 
+impl Normalization {
+    /// Stable serialization token (used by the model file format).
+    pub fn name(self) -> &'static str {
+        match self {
+            Normalization::ZScore => "zscore",
+            Normalization::MinMax => "minmax",
+            Normalization::None => "none",
+        }
+    }
+
+    /// Parses a token produced by [`Self::name`].
+    pub fn parse(s: &str) -> Option<Normalization> {
+        match s {
+            "zscore" => Some(Normalization::ZScore),
+            "minmax" => Some(Normalization::MinMax),
+            "none" => Some(Normalization::None),
+            _ => None,
+        }
+    }
+
+    /// All variants, for exhaustive round-trip tests.
+    pub const ALL: [Normalization; 3] = [
+        Normalization::ZScore,
+        Normalization::MinMax,
+        Normalization::None,
+    ];
+}
+
 /// Applies a normalization to one series.
 pub fn normalize_series(s: &TimeSeries, how: Normalization) -> TimeSeries {
     match how {
@@ -85,6 +113,14 @@ mod tests {
     fn none_is_identity() {
         let s = TimeSeries::univariate(vec![1.0, -1.0]);
         assert_eq!(normalize_series(&s, Normalization::None), s);
+    }
+
+    #[test]
+    fn name_parse_round_trip() {
+        for n in Normalization::ALL {
+            assert_eq!(Normalization::parse(n.name()), Some(n));
+        }
+        assert_eq!(Normalization::parse("bogus"), None);
     }
 
     #[test]

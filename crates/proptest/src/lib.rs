@@ -280,6 +280,7 @@ macro_rules! proptest {
                 for case in 0..config.cases {
                     let mut proptest_rng = $crate::case_rng(stringify!($name), case);
                     $(let $pat = $crate::Strategy::generate(&($strat), &mut proptest_rng);)*
+                    #[allow(unused_mut)]
                     let mut proptest_case = move || $body;
                     proptest_case();
                 }

@@ -35,6 +35,17 @@ pub fn bind_trainable(g: &mut Graph, bank: &ShapeletBank) -> BoundBank {
     }
 }
 
+/// Binds a snapshot of shapelet values (one tensor per group, in bank
+/// order) as trainable parameters. This is the worker-side entry point of
+/// data-parallel training: each worker thread owns its own [`Graph`] and
+/// binds the same shared read-only snapshot (e.g. a `ParamStore`'s current
+/// values), so all workers differentiate against identical parameters.
+pub fn bind_values(g: &mut Graph, values: &[Tensor]) -> BoundBank {
+    BoundBank {
+        group_vars: values.iter().map(|v| g.param(v.clone())).collect(),
+    }
+}
+
 /// Binds every group's shapelet matrix as a frozen constant (freezing mode
 /// with a differentiable head on top).
 pub fn bind_frozen(g: &mut Graph, bank: &ShapeletBank) -> BoundBank {
@@ -284,6 +295,29 @@ mod tests {
         for (a, bv) in g.value(feats).row(0).iter().zip(g2.value(f1).as_slice()) {
             assert!((a - bv).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn bind_values_matches_bind_trainable() {
+        let b = bank(1);
+        let mut rng = seeded(10);
+        let series = TimeSeries::new(Tensor::randn([1, 20], &mut rng));
+        let snapshot: Vec<Tensor> = b.groups().iter().map(|g| g.shapelets.clone()).collect();
+
+        let mut g1 = Graph::new();
+        let bound1 = bind_trainable(&mut g1, &b);
+        let f1 = diff_features(&mut g1, &b, &bound1, series.values());
+
+        let mut g2 = Graph::new();
+        let bound2 = bind_values(&mut g2, &snapshot);
+        let f2 = diff_features(&mut g2, &b, &bound2, series.values());
+
+        assert_eq!(g1.value(f1), g2.value(f2));
+        // Snapshot-bound parameters still receive gradients.
+        let sq = g2.square(f2);
+        let loss = g2.mean_all(sq);
+        let grads = g2.backward(loss);
+        assert!(grads.get(bound2.group_vars[0]).is_some());
     }
 
     #[test]

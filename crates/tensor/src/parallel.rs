@@ -18,6 +18,25 @@ pub fn default_threads(items: usize) -> usize {
     hw.min(items).max(1)
 }
 
+/// Worker count after applying the `TCSL_THREADS` environment override.
+///
+/// When `TCSL_THREADS` is set to a positive integer, that many workers are
+/// used (capped at the item count, *not* at the hardware parallelism — an
+/// oversubscribed setting still exercises the multi-threaded code path,
+/// which CI uses to cover cross-thread determinism on small runners).
+/// Unset, empty, `0`, or unparsable values fall back to
+/// [`default_threads`]. The variable is re-read on every call so tests and
+/// benchmarks can flip between serial and parallel execution in-process.
+pub fn configured_threads(items: usize) -> usize {
+    match std::env::var("TCSL_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n.min(items).max(1),
+        _ => default_threads(items),
+    }
+}
+
 /// Maps `f` over `0..n` on multiple threads, returning results in index
 /// order. `f` must be `Sync` (it is shared by reference across workers).
 ///
@@ -31,7 +50,7 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = default_threads(n);
+    let threads = configured_threads(n);
     if threads <= 1 || n == 1 {
         return (0..n).map(f).collect();
     }
@@ -110,5 +129,25 @@ mod tests {
         assert_eq!(default_threads(0), 1);
         assert!(default_threads(1) == 1);
         assert!(default_threads(1000) >= 1);
+    }
+
+    #[test]
+    fn env_override_controls_thread_count() {
+        // Results of parallel_map never depend on the thread count, so a
+        // transiently visible override cannot perturb concurrent tests.
+        std::env::set_var("TCSL_THREADS", "3");
+        assert_eq!(configured_threads(100), 3);
+        assert_eq!(configured_threads(2), 2); // capped at item count
+                                              // Oversubscription beyond the hardware is allowed on purpose.
+        assert_eq!(configured_threads(1000), 3);
+        let got = parallel_map(50, |i| i * 2);
+        assert_eq!(got, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+
+        std::env::set_var("TCSL_THREADS", "0");
+        assert_eq!(configured_threads(100), default_threads(100));
+        std::env::set_var("TCSL_THREADS", "garbage");
+        assert_eq!(configured_threads(100), default_threads(100));
+        std::env::remove_var("TCSL_THREADS");
+        assert_eq!(configured_threads(100), default_threads(100));
     }
 }

@@ -319,12 +319,11 @@ mod tests {
             let norms = window_sq_norms(&s, len, stride);
             let w = unfold(&s, len, stride);
             assert_eq!(norms.len(), w.rows());
-            for i in 0..w.rows() {
+            for (i, &norm) in norms.iter().enumerate() {
                 let direct: f32 = w.row(i).iter().map(|&x| x * x).sum();
                 assert!(
-                    (norms[i] - direct).abs() < 1e-4 * (1.0 + direct),
-                    "window {i}: prefix {} vs direct {direct}",
-                    norms[i]
+                    (norm - direct).abs() < 1e-4 * (1.0 + direct),
+                    "window {i}: prefix {norm} vs direct {direct}"
                 );
             }
         }
