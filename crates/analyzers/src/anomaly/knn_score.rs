@@ -42,7 +42,9 @@ impl AnomalyScorer for KnnDistance {
                             .sqrt()
                     })
                     .collect();
-                dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+                // total_cmp: NaN distances (e.g. from NaN features in user data)
+                // sort last instead of panicking mid-scoring.
+                dists.sort_by(f32::total_cmp);
                 // Skip an exact self-match at distance 0 when scoring
                 // training points themselves.
                 let start = usize::from(dists.first().is_some_and(|&d| d < 1e-12));

@@ -38,7 +38,8 @@ impl KnnClassifier {
                 (i, dist)
             })
             .collect();
-        d.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        // total_cmp: NaN distances sort last instead of panicking.
+        d.sort_by(|a, b| a.1.total_cmp(&b.1));
         d.truncate(self.k.min(d.len()));
         d
     }
@@ -109,5 +110,19 @@ mod tests {
     #[should_panic(expected = "k must be")]
     fn zero_k_rejected() {
         KnnClassifier::new(0);
+    }
+
+    #[test]
+    fn nan_features_do_not_panic() {
+        // A NaN in user-supplied features used to abort the whole
+        // prediction pass via `partial_cmp().expect`; NaN distances now
+        // sort last and the remaining neighbours vote normally.
+        let x = Tensor::from_vec(vec![0.0, 1.0, f32::NAN], [3, 1]);
+        let mut knn = KnnClassifier::new(1);
+        knn.fit(&x, &[0, 1, 1]);
+        let q = Tensor::from_vec(vec![0.1, f32::NAN], [2, 1]);
+        let pred = knn.predict(&q);
+        assert_eq!(pred.len(), 2);
+        assert_eq!(pred[0], 0, "finite query classifies by its nearest point");
     }
 }

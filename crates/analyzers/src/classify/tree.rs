@@ -67,9 +67,8 @@ fn best_split(
     for f in 0..x.cols() {
         let mut order: Vec<usize> = indices.to_vec();
         order.sort_by(|&a, &b| {
-            x.at2(a, f)
-                .partial_cmp(&x.at2(b, f))
-                .expect("finite feature values")
+            // total_cmp: NaN feature values sort last instead of panicking.
+            x.at2(a, f).total_cmp(&x.at2(b, f))
         });
         for cut in min_leaf..order.len().saturating_sub(min_leaf - 1) {
             if cut >= order.len() {

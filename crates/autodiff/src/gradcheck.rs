@@ -258,6 +258,85 @@ mod tests {
         });
     }
 
+    /// A deliberately non-trivial custom op for the finite-difference
+    /// harness: `y = tanh(a · bᵀ)` fused into one node, with the analytic
+    /// backward written out by hand (not composed from built-in rules).
+    #[derive(Debug)]
+    struct FusedTanhMatmulTransB;
+
+    impl crate::graph::CustomOp for FusedTanhMatmulTransB {
+        fn forward(&self, inputs: &[&Tensor]) -> Tensor {
+            tcsl_tensor::matmul::matmul_transb(inputs[0], inputs[1]).map(f32::tanh)
+        }
+
+        fn backward(
+            &self,
+            grad_out: &Tensor,
+            inputs: &[&Tensor],
+            output: &Tensor,
+        ) -> Vec<Option<Tensor>> {
+            // dL/d(pre) = g ⊙ (1 − y²); then the matmul_transb adjoints.
+            let gpre = grad_out.zip_map(output, |g, y| g * (1.0 - y * y));
+            let ga = tcsl_tensor::matmul::matmul(&gpre, inputs[1]);
+            let gb = tcsl_tensor::matmul::matmul_transa(&gpre, inputs[0]);
+            vec![Some(ga), Some(gb)]
+        }
+    }
+
+    #[test]
+    fn custom_op_gradient_matches_finite_differences() {
+        // gradcheck must exercise Op::Custom exactly like a built-in rule:
+        // the custom node sits mid-graph, with tracked params upstream and
+        // further built-in ops downstream.
+        let mut rng = seeded(20);
+        let a = Tensor::randn([3, 4], &mut rng);
+        let b = Tensor::randn([2, 4], &mut rng);
+        check(&[a, b], |g, xs| {
+            let a = g.param(xs[0].clone());
+            let b = g.param(xs[1].clone());
+            let y = g.custom(std::sync::Arc::new(FusedTanhMatmulTransB), &[a, b]);
+            let sq = g.square(y);
+            let loss = g.mean_all(sq);
+            (vec![a, b], loss)
+        });
+    }
+
+    #[test]
+    fn custom_op_partial_gradients_check_against_declared_inputs() {
+        // An op with a None gradient slot: the finite difference of the
+        // *detached* input must see a flat loss (the analytic zero), which
+        // only holds when the loss genuinely ignores perturbations routed
+        // through no other path.
+        #[derive(Debug)]
+        struct AddDetachB;
+        impl crate::graph::CustomOp for AddDetachB {
+            fn forward(&self, inputs: &[&Tensor]) -> Tensor {
+                // Forward ignores b entirely (treats it as metadata), so
+                // the None backward slot is exactly right.
+                inputs[0].clone()
+            }
+            fn backward(
+                &self,
+                grad_out: &Tensor,
+                _inputs: &[&Tensor],
+                _output: &Tensor,
+            ) -> Vec<Option<Tensor>> {
+                vec![Some(grad_out.clone()), None]
+            }
+        }
+        let mut rng = seeded(21);
+        let a = Tensor::randn([2, 3], &mut rng);
+        let b = Tensor::randn([2, 3], &mut rng);
+        check(&[a, b], |g, xs| {
+            let a = g.param(xs[0].clone());
+            let b = g.param(xs[1].clone());
+            let y = g.custom(std::sync::Arc::new(AddDetachB), &[a, b]);
+            let sq = g.square(y);
+            let loss = g.sum_all(sq);
+            (vec![a, b], loss)
+        });
+    }
+
     #[test]
     fn concat_rows_and_mask_diag() {
         let mut rng = seeded(19);

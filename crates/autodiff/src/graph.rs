@@ -7,6 +7,8 @@
 //! every operator lives side by side in this file so each pair can be audited
 //! together (and is cross-checked by `gradcheck`).
 
+use std::sync::Arc;
+
 use tcsl_tensor::matmul::{matmul, matmul_transa, matmul_transb};
 use tcsl_tensor::reduce::{self, Axis};
 use tcsl_tensor::window::{unfold_dilated, unfold_dilated_backward};
@@ -15,6 +17,43 @@ use tcsl_tensor::{Shape, Tensor};
 /// Handle to a node in a [`Graph`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct VarId(pub(crate) usize);
+
+/// A user-defined operator: a fused forward pass paired with its analytic
+/// backward, registered on the tape via [`Graph::custom`] without growing
+/// the closed internal `Op` enum.
+///
+/// The contract mirrors the built-in rules:
+///
+/// * `forward` computes the node value from the input values. It runs
+///   eagerly at insertion time, exactly once per node.
+/// * `backward` receives the adjoint of the output (`grad_out`), the input
+///   values and the forward output, and returns one `Option<Tensor>` per
+///   input — `Some(∂loss/∂input_i)` shaped like that input, or `None` for
+///   inputs the op is not differentiable in (their gradient contribution is
+///   zero). `backward` is invoked during [`Graph::backward`]'s reverse
+///   topological walk, so every adjoint it sees is already fully
+///   accumulated.
+///
+/// Implementations must be `Send + Sync`: graphs cross thread boundaries in
+/// data-parallel training, and one op instance may be shared (via `Arc`)
+/// between the clones a worker makes. State stashed by `forward` for
+/// `backward` (e.g. argmin indices) therefore needs interior mutability
+/// with a fallback to recomputation — see `ShapeletDistanceOp` in
+/// `tcsl-shapelet` for the canonical pattern.
+pub trait CustomOp: Send + Sync + std::fmt::Debug {
+    /// Computes the output value from the input values.
+    fn forward(&self, inputs: &[&Tensor]) -> Tensor;
+
+    /// Computes per-input gradients given the output adjoint, the input
+    /// values and the forward output. Must return exactly one entry per
+    /// input.
+    fn backward(
+        &self,
+        grad_out: &Tensor,
+        inputs: &[&Tensor],
+        output: &Tensor,
+    ) -> Vec<Option<Tensor>>;
+}
 
 /// Recorded operator of a node, with whatever forward byproducts the
 /// backward pass needs (arg indices, saved norms, ...).
@@ -63,6 +102,13 @@ enum Op {
     CrossEntropyLogits {
         logits: VarId,
         targets: Vec<usize>,
+    },
+    /// A user-defined fused operator ([`CustomOp`]). Held behind `Arc` so
+    /// the tape stays `Clone` and `Send` — the op itself carries no
+    /// per-node tape state.
+    Custom {
+        op: Arc<dyn CustomOp>,
+        inputs: Vec<VarId>,
     },
 }
 
@@ -475,6 +521,26 @@ impl Graph {
         )
     }
 
+    // --------------------------------------------------------- custom ops
+
+    /// Records a [`CustomOp`] node: runs the op's fused forward eagerly
+    /// over the current input values and registers its analytic backward
+    /// on the tape. Gradient tracking follows the usual rule — the node
+    /// requires a gradient iff any input does.
+    pub fn custom(&mut self, op: Arc<dyn CustomOp>, inputs: &[VarId]) -> VarId {
+        let vals: Vec<&Tensor> = inputs.iter().map(|&i| self.value(i)).collect();
+        let v = op.forward(&vals);
+        let r = inputs.iter().any(|&i| self.rg(i));
+        self.push(
+            v,
+            Op::Custom {
+                op,
+                inputs: inputs.to_vec(),
+            },
+            r,
+        )
+    }
+
     // ------------------------------------------------------ composed utils
 
     /// Mean squared error between two same-shape tensors → scalar.
@@ -756,6 +822,28 @@ impl Graph {
                 }
                 add_to!(grads, *logits, delta);
             }
+            Op::Custom { op, inputs } => {
+                let vals: Vec<&Tensor> = inputs.iter().map(|&i| self.value(i)).collect();
+                let deltas = op.backward(g, &vals, &self.nodes[idx].value);
+                assert_eq!(
+                    deltas.len(),
+                    inputs.len(),
+                    "custom op {op:?} returned {} gradients for {} inputs",
+                    deltas.len(),
+                    inputs.len()
+                );
+                for (&input, delta) in inputs.iter().zip(deltas) {
+                    if let Some(d) = delta {
+                        debug_assert!(
+                            d.shape().same_as(self.value(input).shape()),
+                            "custom op {op:?} gradient shape {} != input shape {}",
+                            d.shape(),
+                            self.value(input).shape()
+                        );
+                        add_to!(grads, input, d);
+                    }
+                }
+            }
         }
     }
 }
@@ -933,6 +1021,122 @@ mod tests {
         assert_send::<Graph>();
         assert_send::<Grads>();
         assert_send::<VarId>();
+    }
+
+    /// Toy custom op for the tests: `y = (a ⊙ a) · s`, gradient `2·s·a·g`.
+    #[derive(Debug)]
+    struct SquareScale(f32);
+
+    impl CustomOp for SquareScale {
+        fn forward(&self, inputs: &[&Tensor]) -> Tensor {
+            inputs[0].square().scale(self.0)
+        }
+
+        fn backward(
+            &self,
+            grad_out: &Tensor,
+            inputs: &[&Tensor],
+            _output: &Tensor,
+        ) -> Vec<Option<Tensor>> {
+            vec![Some(
+                grad_out.zip_map(inputs[0], |g, x| 2.0 * self.0 * x * g),
+            )]
+        }
+    }
+
+    /// Two-input custom op returning `a − b` but declaring itself
+    /// non-differentiable in `b` (`None` gradient slot).
+    #[derive(Debug)]
+    struct SubDetachB;
+
+    impl CustomOp for SubDetachB {
+        fn forward(&self, inputs: &[&Tensor]) -> Tensor {
+            inputs[0].sub(inputs[1])
+        }
+
+        fn backward(
+            &self,
+            grad_out: &Tensor,
+            _inputs: &[&Tensor],
+            _output: &Tensor,
+        ) -> Vec<Option<Tensor>> {
+            vec![Some(grad_out.clone()), None]
+        }
+    }
+
+    #[test]
+    fn custom_op_forward_and_backward() {
+        let mut g = Graph::new();
+        let a = g.param(Tensor::from_vec(vec![1.0, -2.0, 3.0], [1, 3]));
+        let y = g.custom(Arc::new(SquareScale(0.5)), &[a]);
+        assert_eq!(g.value(y).as_slice(), &[0.5, 2.0, 4.5]);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        // d/da_i = 2 * 0.5 * a_i = a_i.
+        assert_eq!(grads.get(a).unwrap().as_slice(), &[1.0, -2.0, 3.0]);
+    }
+
+    #[test]
+    fn custom_op_composes_with_builtin_ops() {
+        // Same computation built twice: custom square-scale vs the built-in
+        // ops, downstream of a matmul and upstream of a reduction. The
+        // reverse walk must produce identical gradients.
+        let run = |use_custom: bool| {
+            let mut g = Graph::new();
+            let a = g.param(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]));
+            let b = g.leaf(Tensor::from_vec(vec![0.5, -1.0, 1.5, 0.25], [2, 2]));
+            let m = g.matmul(a, b);
+            let sq = if use_custom {
+                g.custom(Arc::new(SquareScale(2.0)), &[m])
+            } else {
+                let s = g.square(m);
+                g.mul_scalar(s, 2.0)
+            };
+            let loss = g.mean_all(sq);
+            let grads = g.backward(loss);
+            (g.value(loss).item(), grads.get(a).unwrap().clone())
+        };
+        let (v1, g1) = run(true);
+        let (v2, g2) = run(false);
+        assert_eq!(v1, v2);
+        assert_eq!(g1.as_slice(), g2.as_slice());
+    }
+
+    #[test]
+    fn custom_op_none_gradient_slot_is_skipped() {
+        let mut g = Graph::new();
+        let a = g.param(Tensor::from_vec(vec![5.0, 6.0], [1, 2]));
+        let b = g.param(Tensor::from_vec(vec![1.0, 2.0], [1, 2]));
+        let y = g.custom(Arc::new(SubDetachB), &[a, b]);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(a).unwrap().as_slice(), &[1.0, 1.0]);
+        // `b` tracks gradients but the op declared ∂/∂b = None.
+        assert!(grads.get(b).is_none());
+    }
+
+    #[test]
+    fn custom_op_on_constant_inputs_tracks_no_gradient() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::ones([2, 2]));
+        let y = g.custom(Arc::new(SquareScale(1.0)), &[a]);
+        let p = g.param(Tensor::ones([2, 2]));
+        let z = g.mul(y, p);
+        let loss = g.sum_all(z);
+        let grads = g.backward(loss);
+        assert!(grads.get(y).is_none(), "constant subgraph got a gradient");
+        assert_eq!(grads.get(p).unwrap().as_slice(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn graph_with_custom_op_is_send() {
+        // The Arc<dyn CustomOp> inside Op::Custom must not break the
+        // worker-thread contract checked by `graph_and_grads_are_send`.
+        let mut g = Graph::new();
+        let a = g.param(Tensor::ones([1, 2]));
+        g.custom(Arc::new(SquareScale(1.0)), &[a]);
+        fn assert_send<T: Send>(_: &T) {}
+        assert_send(&g);
     }
 
     #[test]

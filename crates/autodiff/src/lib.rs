@@ -21,7 +21,11 @@
 //!   zero-padding,
 //! * shape plumbing (reshape, concat, column slices),
 //! * row-wise L2 normalization, diagonal masking and softmax cross-entropy —
-//!   the building blocks of the NT-Xent contrastive loss.
+//!   the building blocks of the NT-Xent contrastive loss,
+//! * an open extension point ([`CustomOp`] / [`Graph::custom`]) for fused
+//!   forward kernels with hand-written analytic backwards — how the
+//!   streaming shapelet-distance kernel joins the tape without the tape
+//!   knowing about shapelets.
 //!
 //! Every operator's backward pass is validated against central finite
 //! differences by the [`gradcheck`] harness, which the test-suite runs over
@@ -49,7 +53,7 @@ pub mod losses;
 pub mod optim;
 pub mod params;
 
-pub use graph::{Grads, Graph, VarId};
+pub use graph::{CustomOp, Grads, Graph, VarId};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::ParamStore;
 

@@ -1,0 +1,89 @@
+//! Allocation tracking shared by the benchmark binaries.
+//!
+//! [`CountingAlloc`] wraps the system allocator and tracks live bytes, the
+//! high-water mark and total bytes ever requested, so benchmarks can report
+//! the fused kernels' peak-allocation contract (no term proportional to
+//! `N_w × D·len`, in inference *or* training).
+//!
+//! Each binary that wants the numbers declares its own global allocator:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: tcsl_bench::alloc_track::CountingAlloc =
+//!     tcsl_bench::alloc_track::CountingAlloc;
+//! ```
+//!
+//! (The `#[global_allocator]` attribute must live in the binary — a library
+//! cannot impose an allocator on every consumer.) Without it, the counters
+//! simply stay at zero and [`alloc_profile`] reports zeros.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Allocation-counting wrapper around the system allocator.
+pub struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+static TOTAL: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+            TOTAL.fetch_add(layout.size(), Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+/// Resets the peak/total counters to the current live level.
+pub fn reset_counters() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+    TOTAL.store(0, Ordering::Relaxed);
+}
+
+/// Allocation profile of one profiled call — see [`alloc_profile`].
+#[derive(Clone, Copy, Debug)]
+pub struct AllocStats {
+    /// High-water mark of bytes allocated *on top of* the pre-existing
+    /// live set, over one call.
+    pub peak_extra: usize,
+    /// Total bytes requested over one call.
+    pub total: usize,
+}
+
+impl AllocStats {
+    /// `peak_extra` in MiB.
+    pub fn peak_extra_mb(&self) -> f64 {
+        self.peak_extra as f64 / (1024.0 * 1024.0)
+    }
+
+    /// `total` in MiB.
+    pub fn total_mb(&self) -> f64 {
+        self.total as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// Allocation profile of a single invocation of `f`.
+///
+/// Threads spawned by `f` share the global counters, so the profile of a
+/// parallel region is the whole process's allocation behaviour — exactly
+/// what a peak-memory contract is about.
+pub fn alloc_profile<T, F: FnMut() -> T>(mut f: F) -> (T, AllocStats) {
+    let before_live = LIVE.load(Ordering::Relaxed);
+    reset_counters();
+    let out = f();
+    let stats = AllocStats {
+        peak_extra: PEAK.load(Ordering::Relaxed).saturating_sub(before_live),
+        total: TOTAL.load(Ordering::Relaxed),
+    };
+    (out, stats)
+}

@@ -1,6 +1,7 @@
 //! Pre-training benchmark: serial (`TCSL_THREADS=1`) vs data-parallel
-//! gradient computation, with a bit-for-bit determinism check between the
-//! two legs.
+//! gradient computation — with a bit-for-bit determinism check between the
+//! two legs — plus the fused custom-op training path vs the eager-graph
+//! oracle it replaced, with allocator pressure per leg.
 //!
 //! Run from the repo root:
 //!
@@ -20,19 +21,25 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use tcsl_core::{pretrain, CslConfig, TrainingReport};
+use tcsl_bench::alloc_track::{alloc_profile, AllocStats, CountingAlloc};
+use tcsl_core::{pretrain, CslConfig, DiffPath, TrainingReport};
 use tcsl_data::{archive, Dataset};
 use tcsl_shapelet::init::init_from_data;
 use tcsl_shapelet::{Measure, ShapeletBank, ShapeletConfig};
 use tcsl_tensor::rng::seeded;
 use tcsl_tensor::Tensor;
 
-/// One timed leg: the training report, the final shapelets and the best
-/// (minimum) wall-clock seconds over `reps` identical runs.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// One timed leg: the training report, the final shapelets, the best
+/// (minimum) wall-clock seconds over `reps` identical runs, and the
+/// allocation profile of the best-behaved (minimum-peak) run.
 struct Leg {
     report: TrainingReport,
     shapelets: Vec<Tensor>,
     best_secs: f64,
+    allocs: AllocStats,
 }
 
 fn run_leg(
@@ -46,12 +53,18 @@ fn run_leg(
     // runs is race-free in this single-threaded driver.
     std::env::set_var("TCSL_THREADS", threads.to_string());
     let mut best_secs = f64::INFINITY;
+    let mut best_allocs: Option<AllocStats> = None;
     let mut out: Option<(TrainingReport, Vec<Tensor>)> = None;
     for _ in 0..reps {
         let mut bank = bank0.clone();
         let start = Instant::now();
-        let report = pretrain(&mut bank, ds, cfg);
+        let (report, allocs) = alloc_profile(|| pretrain(&mut bank, ds, cfg));
         best_secs = best_secs.min(start.elapsed().as_secs_f64());
+        // Min peak over reps: the steady-state figure, free of one-time
+        // lazy initialization in the first run.
+        if best_allocs.is_none_or(|b| allocs.peak_extra < b.peak_extra) {
+            best_allocs = Some(allocs);
+        }
         let shapelets = bank.groups().iter().map(|g| g.shapelets.clone()).collect();
         out = Some((report, shapelets));
     }
@@ -61,6 +74,7 @@ fn run_leg(
         report,
         shapelets,
         best_secs,
+        allocs: best_allocs.expect("reps >= 1"),
     }
 }
 
@@ -82,6 +96,15 @@ fn loss_json(r: &TrainingReport) -> String {
         r.epoch_total.first().copied().unwrap_or(f32::NAN),
         r.epoch_total.last().copied().unwrap_or(f32::NAN),
         r.n_steps
+    )
+}
+
+fn leg_json(l: &Leg) -> String {
+    format!(
+        "{{\"secs\":{:.4},\"peak_alloc_mb\":{:.4},\"total_alloc_mb\":{:.4}}}",
+        l.best_secs,
+        l.allocs.peak_extra_mb(),
+        l.allocs.total_mb()
     )
 }
 
@@ -159,10 +182,28 @@ fn main() {
         );
         let speedup = serial.best_secs / parallel.best_secs;
 
+        // Old-vs-new training path, both serial so the allocation and
+        // wall-clock numbers are directly comparable: the eager-graph
+        // oracle (materialized window leaves) vs the fused custom op.
+        let oracle_cfg = CslConfig {
+            diff_path: DiffPath::Oracle,
+            ..cfg.clone()
+        };
+        let oracle = run_leg(1, &bank, &train, &oracle_cfg, reps);
+        assert!(
+            serial.allocs.peak_extra < oracle.allocs.peak_extra,
+            "case {}: fused-path training peak allocation ({:.4} MiB) is not below the \
+             oracle path's ({:.4} MiB) — the zero-materialization contract is broken",
+            case.label,
+            serial.allocs.peak_extra_mb(),
+            oracle.allocs.peak_extra_mb()
+        );
+        let peak_ratio = oracle.allocs.peak_extra as f64 / serial.allocs.peak_extra.max(1) as f64;
+
         let mut entry = String::new();
         let _ = write!(
             entry,
-            "{{\"case\":\"{}\",\"epochs\":{},\"grains\":{},\"batch_size\":{},\"serial_secs\":{:.4},\"parallel_secs\":{:.4},\"parallel_threads\":{},\"speedup\":{:.2},\"deterministic\":{},\"losses\":{}}}",
+            "{{\"case\":\"{}\",\"epochs\":{},\"grains\":{},\"batch_size\":{},\"serial_secs\":{:.4},\"parallel_secs\":{:.4},\"parallel_threads\":{},\"speedup\":{:.2},\"deterministic\":{},\"serial\":{},\"parallel\":{},\"oracle_serial\":{},\"oracle_over_fused_peak_alloc\":{:.2},\"losses\":{}}}",
             case.label,
             case.epochs,
             case.grains.len(),
@@ -172,6 +213,10 @@ fn main() {
             parallel_threads,
             speedup,
             deterministic,
+            leg_json(&serial),
+            leg_json(&parallel),
+            leg_json(&oracle),
+            peak_ratio,
             loss_json(&serial.report)
         );
         println!("{entry}");
@@ -179,7 +224,7 @@ fn main() {
     }
 
     let report = format!(
-        "{{\"bench\":\"pretrain\",\"host_cores\":{},\"unit_note\":\"serial = TCSL_THREADS=1, parallel = one worker per core (oversubscribed to 4 on 1-core hosts, where no speedup is possible); secs are min over {} runs; deterministic = bit-identical losses and final shapelets across legs\",\"cases\":[\n  {}\n]}}\n",
+        "{{\"bench\":\"pretrain\",\"host_cores\":{},\"unit_note\":\"serial = TCSL_THREADS=1, parallel = one worker per core (oversubscribed to 4 on 1-core hosts, where no speedup is possible); oracle_serial = eager-graph diff path (materialized window leaves) on 1 thread; secs are min over {} runs; peak_alloc_mb = high-water mark above pre-call live bytes (min over runs); deterministic = bit-identical losses and final shapelets across legs\",\"cases\":[\n  {}\n]}}\n",
         host_cores,
         reps,
         entries.join(",\n  ")

@@ -11,72 +11,18 @@
 //! Prints a one-line JSON summary per configuration and writes the full
 //! report to `BENCH_transform.json` (see EXPERIMENTS.md for the format).
 
-use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+use tcsl_bench::alloc_track::{alloc_profile, CountingAlloc};
 use tcsl_data::TimeSeries;
 use tcsl_shapelet::transform::{transform_series, transform_series_oracle};
 use tcsl_shapelet::{ShapeletBank, ShapeletConfig};
 use tcsl_tensor::rng::seeded;
 use tcsl_tensor::Tensor;
 
-/// Allocation-counting wrapper around the system allocator: tracks live
-/// bytes, the high-water mark and total bytes ever requested, so the
-/// benchmark can report the fused kernel's peak-allocation contract
-/// (no term proportional to `N_w × D·len`).
-struct CountingAlloc;
-
-static LIVE: AtomicUsize = AtomicUsize::new(0);
-static PEAK: AtomicUsize = AtomicUsize::new(0);
-static TOTAL: AtomicUsize = AtomicUsize::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let p = unsafe { System.alloc(layout) };
-        if !p.is_null() {
-            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
-            PEAK.fetch_max(live, Ordering::Relaxed);
-            TOTAL.fetch_add(layout.size(), Ordering::Relaxed);
-        }
-        p
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) };
-        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
-    }
-}
-
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
-
-/// Resets the peak/total counters to the current live level.
-fn reset_counters() {
-    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
-    TOTAL.store(0, Ordering::Relaxed);
-}
-
-#[derive(Clone, Copy)]
-struct AllocStats {
-    /// High-water mark of bytes allocated *on top of* the pre-existing
-    /// live set, over one call.
-    peak_extra: usize,
-    /// Total bytes requested over one call.
-    total: usize,
-}
-
-/// Allocation profile of a single invocation of `f`.
-fn alloc_profile<F: FnMut()>(mut f: F) -> AllocStats {
-    let before_live = LIVE.load(Ordering::Relaxed);
-    reset_counters();
-    f();
-    AllocStats {
-        peak_extra: PEAK.load(Ordering::Relaxed).saturating_sub(before_live),
-        total: TOTAL.load(Ordering::Relaxed),
-    }
-}
 
 /// Seconds per call: the fastest of 5 batches, each sized to ~0.2s.
 /// Min-of-batches filters out scheduling noise from shared machines, which
@@ -107,12 +53,12 @@ struct EngineReport {
 
 fn profile_engine<F: FnMut()>(mut f: F) -> EngineReport {
     let secs = time_per_call(&mut f);
-    let allocs = alloc_profile(&mut f);
+    let ((), allocs) = alloc_profile(&mut f);
     EngineReport {
         secs_per_series: secs,
         series_per_sec: 1.0 / secs,
-        peak_extra_mb: allocs.peak_extra as f64 / (1024.0 * 1024.0),
-        total_mb_per_series: allocs.total as f64 / (1024.0 * 1024.0),
+        peak_extra_mb: allocs.peak_extra_mb(),
+        total_mb_per_series: allocs.total_mb(),
     }
 }
 

@@ -1,5 +1,7 @@
 //! CSL training hyperparameters.
 
+use tcsl_shapelet::diff_transform::DiffPath;
+
 /// Configuration of unsupervised contrastive shapelet learning.
 #[derive(Clone, Debug)]
 pub struct CslConfig {
@@ -25,6 +27,10 @@ pub struct CslConfig {
     pub validation_frac: f32,
     /// RNG seed controlling initialization, batching and view sampling.
     pub seed: u64,
+    /// Which differentiable-transform implementation training runs:
+    /// the fused custom-op kernel (default) or the eager-graph oracle
+    /// (parity tests and old-vs-new benchmarking).
+    pub diff_path: DiffPath,
 }
 
 impl Default for CslConfig {
@@ -40,6 +46,7 @@ impl Default for CslConfig {
             init_oversample: 4,
             validation_frac: 0.0,
             seed: 0,
+            diff_path: DiffPath::default(),
         }
     }
 }

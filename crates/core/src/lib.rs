@@ -33,4 +33,5 @@ pub mod views;
 pub use config::CslConfig;
 pub use finetune::{FineTuneConfig, LinearHead};
 pub use pipeline::TimeCsl;
+pub use tcsl_shapelet::diff_transform::DiffPath;
 pub use trainer::{pretrain, TrainingReport};

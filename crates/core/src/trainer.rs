@@ -25,7 +25,7 @@ use crate::views::{sample_views, ViewPair};
 use std::time::{Duration, Instant};
 use tcsl_autodiff::{Adam, Graph, Optimizer, ParamStore};
 use tcsl_data::Dataset;
-use tcsl_shapelet::diff_transform::{diff_features_batch, write_back, BoundBank};
+use tcsl_shapelet::diff_transform::{diff_features_batch_via, write_back, BoundBank, WindowCache};
 use tcsl_shapelet::ShapeletBank;
 use tcsl_tensor::parallel::parallel_map;
 use tcsl_tensor::rng::{permutation, seeded};
@@ -101,8 +101,28 @@ fn pair_forward_backward(
     let bound = BoundBank {
         group_vars: ps.bind(&mut g),
     };
-    let za = diff_features_batch(&mut g, bank, &bound, &pair.views_a);
-    let zb = diff_features_batch(&mut g, bank, &bound, &pair.views_b);
+    // One window cache spans both views of the pair: full-grain views are
+    // bit-identical crops, so their padded buffers and prefix-sum norms
+    // are computed once and shared (the cache is worker-local — it cannot
+    // perturb the fixed-order reduction that keeps training
+    // thread-count-invariant).
+    let mut cache = WindowCache::new();
+    let za = diff_features_batch_via(
+        cfg.diff_path,
+        &mut g,
+        bank,
+        &bound,
+        &pair.views_a,
+        &mut cache,
+    );
+    let zb = diff_features_batch_via(
+        cfg.diff_path,
+        &mut g,
+        bank,
+        &bound,
+        &pair.views_b,
+        &mut cache,
+    );
     let contrast = nt_xent(&mut g, za, zb, cfg.temperature);
     let (align_val, loss) = if cfg.alignment_weight > 0.0 {
         let align = multi_scale_alignment(&mut g, bank, za);
@@ -249,8 +269,23 @@ pub fn pretrain(bank: &mut ShapeletBank, ds: &Dataset, cfg: &CslConfig) -> Train
                 let bound = BoundBank {
                     group_vars: ps.bind(&mut g),
                 };
-                let za = diff_features_batch(&mut g, bank, &bound, &pairs[p].views_a);
-                let zb = diff_features_batch(&mut g, bank, &bound, &pairs[p].views_b);
+                let mut cache = WindowCache::new();
+                let za = diff_features_batch_via(
+                    cfg.diff_path,
+                    &mut g,
+                    bank,
+                    &bound,
+                    &pairs[p].views_a,
+                    &mut cache,
+                );
+                let zb = diff_features_batch_via(
+                    cfg.diff_path,
+                    &mut g,
+                    bank,
+                    &bound,
+                    &pairs[p].views_b,
+                    &mut cache,
+                );
                 let v = nt_xent(&mut g, za, zb, cfg.temperature);
                 g.value(v).item()
             });
@@ -463,6 +498,37 @@ mod tests {
         }
         for (g1, gd) in b1.groups().iter().zip(bd.groups()) {
             assert_eq!(g1.shapelets, gd.shapelets);
+        }
+    }
+
+    #[test]
+    fn fused_and_oracle_training_paths_agree() {
+        // Training through the custom-op kernel and through the eager
+        // oracle graph follows the same optimization trajectory: the
+        // gradients agree to float tolerance, so short runs must produce
+        // near-identical learning curves and shapelets.
+        use tcsl_shapelet::diff_transform::DiffPath;
+        let (bank0, train) = small_setup();
+        let mk = |path| CslConfig {
+            epochs: 2,
+            batch_size: 8,
+            grains: vec![0.7, 1.0],
+            seed: 13,
+            diff_path: path,
+            ..Default::default()
+        };
+        let mut bf = bank0.clone();
+        let rf = pretrain(&mut bf, &train, &mk(DiffPath::Fused));
+        let mut bo = bank0.clone();
+        let ro = pretrain(&mut bo, &train, &mk(DiffPath::Oracle));
+        for (f, o) in rf.epoch_total.iter().zip(&ro.epoch_total) {
+            assert!((f - o).abs() < 1e-3, "epoch loss diverged: {f} vs {o}");
+        }
+        for (gf, go) in bf.groups().iter().zip(bo.groups()) {
+            assert!(
+                gf.shapelets.max_abs_diff(&go.shapelets) < 1e-3,
+                "trained shapelets diverged across diff paths"
+            );
         }
     }
 

@@ -91,7 +91,25 @@ pub fn from_csv(name: &str, text: &str) -> io::Result<Dataset> {
     if rows.is_empty() {
         return Err(bad("csv contains no observations".into()));
     }
-    let series: Vec<TimeSeries> = rows.into_iter().map(TimeSeries::multivariate).collect();
+    // Validate before constructing: `TimeSeries::multivariate` treats these
+    // as internal invariants (panics), but here they are user data.
+    let mut series = Vec::with_capacity(rows.len());
+    for (i, vars) in rows.into_iter().enumerate() {
+        if vars.is_empty() {
+            return Err(bad(format!(
+                "series {i} has no observations — series indices must be contiguous from 0"
+            )));
+        }
+        let t0 = vars[0].len();
+        if let Some(v) = vars.iter().position(|v| v.len() != t0) {
+            return Err(bad(format!(
+                "series {i}: variable {v} has {} samples but variable 0 has {t0} — all \
+                 variables of a series must cover the same timesteps",
+                vars[v].len()
+            )));
+        }
+        series.push(TimeSeries::multivariate(vars));
+    }
     if labels.iter().all(|&l| l < 0) {
         Ok(Dataset::unlabeled(name, series))
     } else if labels.iter().all(|&l| l >= 0) {
@@ -198,6 +216,24 @@ mod tests {
     fn rejects_garbage_value() {
         let text = "series,label,variable,t,value\n0,0,0,0,abc\n";
         assert!(from_csv("x", text).is_err());
+    }
+
+    #[test]
+    fn rejects_gap_in_series_indices() {
+        // Series 1 never appears; previously this panicked inside
+        // TimeSeries::multivariate instead of returning Err.
+        let text = "series,label,variable,t,value\n0,0,0,0,1.0\n2,0,0,0,2.0\n";
+        let err = from_csv("x", text).unwrap_err();
+        assert!(err.to_string().contains("series 1"), "{err}");
+    }
+
+    #[test]
+    fn rejects_ragged_variable_lengths() {
+        // Variable 1 has fewer samples than variable 0; previously a panic.
+        let text = "series,label,variable,t,value\n\
+                    0,0,0,0,1.0\n0,0,0,1,2.0\n0,0,1,0,3.0\n";
+        let err = from_csv("x", text).unwrap_err();
+        assert!(err.to_string().contains("variable 1"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! `ShapeletDistanceOp` — the fused shapelet-transform kernel as a custom
+//! autodiff operator, so training differentiates the *same* streaming code
+//! path inference runs (one kernel, two modes).
+//!
+//! The eager-graph formulation (kept as
+//! [`crate::diff_transform::oracle`]) inserts an `(N_w × D·len)` unfolded
+//! window matrix as a constant leaf per scale, per series, per worker
+//! graph, per batch — the exact materialization the fused inference kernel
+//! eliminated. This op instead:
+//!
+//! * **forward** — pools one (scale, measure) group over a shared
+//!   [`ScaleWindows`] via [`pool_measure`] (streaming dots, prefix-sum
+//!   window norms, bank-side tap repack from [`GroupPrecomp`]), recording
+//!   the best-window index per shapelet;
+//! * **backward** — routes the adjoint of each pooled feature to its best
+//!   window only (the min/max-pooling subgradient) and applies the
+//!   per-measure analytic rule against that one window, read straight out
+//!   of the series buffer ([`window_row_into`]) — peak memory is one
+//!   `D·len` scratch row, never `N_w × D·len`.
+//!
+//! The numerics match the oracle graph exactly, epsilon for epsilon:
+//! Euclidean applies the oracle's `sqrt(· + 1e-8)` softening on top of the
+//! fused kernel's `sqrt(·)` pooled value (argmin is invariant under the
+//! monotone map `p ↦ √(p²+ε)`, so the recorded best window is the oracle's
+//! too), cosine uses the shared `1e-12` norm floors on both sides.
+//! Gradients are finite-difference checked per measure × stride and
+//! property-pinned to the oracle graph's gradients in `crate::proptests`.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::bank::GroupPrecomp;
+use crate::fused::{pool_measure, ScaleWindows};
+use crate::measure::Measure;
+use tcsl_autodiff::CustomOp;
+use tcsl_tensor::window::window_row_into;
+use tcsl_tensor::Tensor;
+
+/// The epsilon of the oracle graph's `sqrt_eps` on the Euclidean branch —
+/// keeps the distance gradient finite at exact matches.
+pub const EUCLIDEAN_SQRT_EPS: f32 = 1e-8;
+
+/// One (scale, measure) group's pooled shapelet distances as a single tape
+/// node: input `(K, D·len)` shapelets, output `(1, K)` pooled features.
+///
+/// The series side ([`ScaleWindows`]: padded buffer + prefix-sum window
+/// norms) is captured by the op and shared — via `Arc` — across all
+/// measures of a scale and across identical views of a training pair. One
+/// op instance backs one graph node: `forward` stashes the best-window
+/// indices for `backward` (interior mutability — the tape takes `&self`),
+/// and `backward` falls back to recomputing them if the stash was already
+/// consumed (e.g. a second `backward` sweep over the same tape).
+pub struct ShapeletDistanceOp {
+    sw: Arc<ScaleWindows>,
+    measure: Measure,
+    saved_args: Mutex<Option<Vec<usize>>>,
+}
+
+impl ShapeletDistanceOp {
+    /// Builds the op for one group: shared series-side window state plus
+    /// the group's measure.
+    pub fn new(sw: Arc<ScaleWindows>, measure: Measure) -> Self {
+        ShapeletDistanceOp {
+            sw,
+            measure,
+            saved_args: Mutex::new(None),
+        }
+    }
+
+    /// Pools the given shapelet rows, returning the pooled feature per
+    /// shapelet and the best-window index per shapelet. Euclidean applies
+    /// the oracle path's `sqrt_eps` softening to the pooled value (the
+    /// argmin is unaffected — see the module docs).
+    fn pool(&self, shapelets: &Tensor) -> (Vec<f32>, Vec<usize>) {
+        let pre = GroupPrecomp::of(shapelets);
+        let (mut pooled, args) = pool_measure(&self.sw, self.measure, &pre);
+        if self.measure == Measure::Euclidean {
+            for p in &mut pooled {
+                *p = (*p * *p + EUCLIDEAN_SQRT_EPS).sqrt();
+            }
+        }
+        (pooled, args)
+    }
+}
+
+impl fmt::Debug for ShapeletDistanceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ShapeletDistanceOp({:?}, len={}, stride={}, windows={})",
+            self.measure, self.sw.len, self.sw.stride, self.sw.n
+        )
+    }
+}
+
+impl CustomOp for ShapeletDistanceOp {
+    fn forward(&self, inputs: &[&Tensor]) -> Tensor {
+        assert_eq!(inputs.len(), 1, "ShapeletDistanceOp takes one input");
+        let shapelets = inputs[0];
+        assert_eq!(
+            shapelets.cols(),
+            self.sw.padded.rows() * self.sw.len,
+            "shapelet width must be D·len"
+        );
+        let (pooled, args) = self.pool(shapelets);
+        let k = pooled.len();
+        *self.saved_args.lock().expect("saved-args lock poisoned") = Some(args);
+        Tensor::from_vec(pooled, [1, k])
+    }
+
+    fn backward(
+        &self,
+        grad_out: &Tensor,
+        inputs: &[&Tensor],
+        output: &Tensor,
+    ) -> Vec<Option<Tensor>> {
+        let shapelets = inputs[0];
+        let k = shapelets.rows();
+        let sw = &*self.sw;
+        let len = sw.len;
+        let row_w = shapelets.cols();
+        let width = row_w as f32;
+        let args = self
+            .saved_args
+            .lock()
+            .expect("saved-args lock poisoned")
+            .take()
+            .unwrap_or_else(|| self.pool(shapelets).1);
+        debug_assert_eq!(args.len(), k);
+
+        let g = grad_out.as_slice();
+        let out = output.as_slice();
+        let mut grad = Tensor::zeros([k, row_w]);
+        // Best-window scratch row, reused across shapelets.
+        let mut wrow = vec![0.0f32; row_w];
+        for kk in 0..k {
+            let gk = g[kk];
+            if gk == 0.0 {
+                continue;
+            }
+            window_row_into(&sw.padded, args[kk] * sw.stride, len, &mut wrow);
+            let srow = shapelets.row(kk);
+            let drow = grad.row_mut(kk);
+            match self.measure {
+                Measure::Euclidean => {
+                    // f = √(max(d², 0)/width + ε), d² = ‖w* − s‖².
+                    // ∂f/∂s = (s − w*) / (width·f), gated on d² > 0 (the
+                    // oracle's relu subgradient); d² > 0 ⟺ f² > ε.
+                    let f = out[kk];
+                    if f * f > EUCLIDEAN_SQRT_EPS {
+                        let scale = gk / (width * f);
+                        for (d, (&s, &w)) in drow.iter_mut().zip(srow.iter().zip(wrow.iter())) {
+                            *d = scale * (s - w);
+                        }
+                    }
+                }
+                Measure::Cosine => {
+                    // f = ŵ*·ŝ with ŵ = w/√(‖w‖²+1e-12), ŝ = s/n,
+                    // n = √(‖s‖²+1e-12). ∂f/∂s = (ŵ* − ŝ·f)/n — the
+                    // tangent-space gradient of the oracle's row_normalize.
+                    let inv_w = sw.inv_norms[args[kk]];
+                    let s_sq: f32 = srow.iter().map(|&x| x * x).sum();
+                    let n = (s_sq + 1e-12).sqrt();
+                    let f = out[kk];
+                    let scale = gk / n;
+                    for (d, (&s, &w)) in drow.iter_mut().zip(srow.iter().zip(wrow.iter())) {
+                        *d = scale * (w * inv_w - (s / n) * f);
+                    }
+                }
+                Measure::CrossCorrelation => {
+                    // f = (w*·s)/width → ∂f/∂s = w*/width.
+                    let scale = gk / width;
+                    for (d, &w) in drow.iter_mut().zip(wrow.iter()) {
+                        *d = scale * w;
+                    }
+                }
+            }
+        }
+        vec![Some(grad)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsl_autodiff::gradcheck::gradcheck;
+    use tcsl_autodiff::Graph;
+    use tcsl_tensor::rng::seeded;
+
+    /// Finite-difference check of the analytic backward, one measure and
+    /// stride at a time, through a square + mean head (so every feature
+    /// contributes a distinct adjoint).
+    fn check_measure_stride(measure: Measure, stride: usize, seed: u64) {
+        let mut rng = seeded(seed);
+        let d = 1 + (seed as usize) % 2;
+        let len = 4;
+        let series = Tensor::randn([d, 19], &mut rng);
+        let shapelets = Tensor::randn([3, d * len], &mut rng).scale(0.6);
+        let sw = Arc::new(ScaleWindows::new(&series, len, stride));
+        let report = gradcheck(&[shapelets], 1e-3, |g, xs| {
+            let s = g.param(xs[0].clone());
+            let feats = g.custom(Arc::new(ShapeletDistanceOp::new(sw.clone(), measure)), &[s]);
+            let sq = g.square(feats);
+            let loss = g.mean_all(sq);
+            (vec![s], loss)
+        });
+        assert!(
+            report.passes(3e-2),
+            "{measure:?} stride {stride}: gradcheck failed abs={} rel={}",
+            report.max_abs_err,
+            report.max_rel_err
+        );
+    }
+
+    #[test]
+    fn gradcheck_every_measure_and_stride() {
+        for (i, &measure) in Measure::ALL.iter().enumerate() {
+            for stride in 1..=3 {
+                check_measure_stride(measure, stride, 40 + (i * 3 + stride) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn gradcheck_on_padded_short_series() {
+        // Series shorter than the scale: one zero-padded window, so the
+        // arg-routing is trivial but the padding path must still have the
+        // right gradient.
+        for &measure in Measure::ALL.iter() {
+            let mut rng = seeded(60);
+            let series = Tensor::randn([1, 3], &mut rng);
+            let shapelets = Tensor::randn([2, 6], &mut rng).scale(0.5);
+            let sw = Arc::new(ScaleWindows::new(&series, 6, 1));
+            let report = gradcheck(&[shapelets], 1e-3, |g, xs| {
+                let s = g.param(xs[0].clone());
+                let feats = g.custom(Arc::new(ShapeletDistanceOp::new(sw.clone(), measure)), &[s]);
+                let sq = g.square(feats);
+                let loss = g.mean_all(sq);
+                (vec![s], loss)
+            });
+            assert!(
+                report.passes(3e-2),
+                "{measure:?} padded: abs={} rel={}",
+                report.max_abs_err,
+                report.max_rel_err
+            );
+        }
+    }
+
+    #[test]
+    fn forward_output_is_one_row_per_group() {
+        let mut rng = seeded(61);
+        let series = Tensor::randn([2, 30], &mut rng);
+        let shapelets = Tensor::randn([5, 2 * 4], &mut rng);
+        let sw = Arc::new(ScaleWindows::new(&series, 4, 1));
+        let mut g = Graph::new();
+        let s = g.param(shapelets);
+        let feats = g.custom(
+            Arc::new(ShapeletDistanceOp::new(sw, Measure::Euclidean)),
+            &[s],
+        );
+        let v = g.value(feats);
+        assert_eq!(v.shape().dims(), &[1, 5]);
+        assert!(v.as_slice().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn second_backward_sweep_recomputes_saved_args() {
+        // The first backward consumes the stashed best-window indices; a
+        // second sweep over the same tape must transparently recompute
+        // them and produce identical gradients.
+        let mut rng = seeded(62);
+        let series = Tensor::randn([1, 25], &mut rng);
+        let shapelets = Tensor::randn([3, 5], &mut rng);
+        let sw = Arc::new(ScaleWindows::new(&series, 5, 2));
+        let mut g = Graph::new();
+        let s = g.param(shapelets);
+        let feats = g.custom(Arc::new(ShapeletDistanceOp::new(sw, Measure::Cosine)), &[s]);
+        let sq = g.square(feats);
+        let loss = g.mean_all(sq);
+        let g1 = g.backward(loss);
+        let g2 = g.backward(loss);
+        assert_eq!(
+            g1.get(s).unwrap().as_slice(),
+            g2.get(s).unwrap().as_slice(),
+            "recomputed args diverged from saved args"
+        );
+    }
+}

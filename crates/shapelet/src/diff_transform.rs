@@ -1,21 +1,48 @@
 //! Differentiable shapelet transform for training.
 //!
 //! Gradients only flow to the *shapelets* (and any head stacked on top) —
-//! never to the input series — so window matrices are computed eagerly and
-//! inserted as constant leaves; only the shapelet-side algebra is recorded
-//! on the tape. Min/max pooling uses the arg-routed subgradient.
+//! never to the input series — so the series side is precomputed once per
+//! (series, scale, stride) as a [`ScaleWindows`] (padded buffer +
+//! prefix-sum window norms) and captured by a
+//! [`ShapeletDistanceOp`] custom tape op per group. The op runs the same
+//! fused streaming kernel as inference in its forward and an arg-routed
+//! analytic rule in its backward, so training never materializes the
+//! `(N_w × D·len)` window matrix.
+//!
+//! The original eager-graph formulation — windows materialized into a
+//! constant leaf, distances assembled from `matmul`/`relu`/`min_axis` ops —
+//! survives unchanged as the [`oracle`] module. It is the reference the
+//! fused path's values and gradients are pinned against in tests, and
+//! stays selectable at runtime via [`DiffPath`] so benchmarks can compare
+//! the two.
 //!
 //! The numerics match [`crate::transform`] exactly (verified by tests): the
 //! same features come out of both paths, so a bank trained here can be used
 //! by the fast path directly.
 
+use std::sync::Arc;
+
 use crate::bank::ShapeletBank;
-use crate::measure::Measure;
-use crate::transform::pad_to_len;
+use crate::diff_op::ShapeletDistanceOp;
+use crate::fused::ScaleWindows;
 use tcsl_autodiff::{Graph, VarId};
-use tcsl_tensor::reduce::Axis;
-use tcsl_tensor::window::{unfold, window_sq_norms};
 use tcsl_tensor::Tensor;
+
+/// Which implementation of the differentiable transform to run.
+///
+/// Both produce matching features and gradients (pinned by proptests);
+/// they differ in cost: [`DiffPath::Fused`] streams windows through the
+/// custom op, [`DiffPath::Oracle`] materializes an `(N_w × D·len)` window
+/// matrix per scale per series. The oracle exists for parity testing and
+/// old-vs-new benchmarking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DiffPath {
+    /// Custom-op path over the fused streaming kernel (the default).
+    #[default]
+    Fused,
+    /// Reference eager-graph path (`unfold` + matmul leaves).
+    Oracle,
+}
 
 /// Shapelet parameters bound into a graph: one `VarId` per group, in bank
 /// order.
@@ -58,6 +85,98 @@ pub fn bind_frozen(g: &mut Graph, bank: &ShapeletBank) -> BoundBank {
     }
 }
 
+/// Cache of series-side window state, shared across graph nodes.
+///
+/// One [`ScaleWindows`] is an `O(D·T)` pass (padding + prefix-sum norms);
+/// every (scale, measure) group of the bank needs one, and during
+/// contrastive training the *same* series value recurs across graph nodes
+/// — full-grain views of a pair are bit-identical crops. Entries are keyed
+/// by `(len, stride)` plus value equality of the series, so a hit requires
+/// the cached padded buffer to start with exactly the series' values (the
+/// [`ScaleWindows`] is a pure function of those three, so equal keys mean
+/// an equal result).
+///
+/// The cache hands out `Arc`s: each [`ShapeletDistanceOp`] keeps its
+/// window state alive for backward without copying it.
+#[derive(Default)]
+pub struct WindowCache {
+    entries: Vec<CacheEntry>,
+    hits: usize,
+    misses: usize,
+}
+
+struct CacheEntry {
+    /// Column count of the original (pre-padding) series.
+    orig_cols: usize,
+    sw: Arc<ScaleWindows>,
+}
+
+impl WindowCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the window state for `(series, len, stride)`, computing and
+    /// retaining it on first use.
+    pub fn get(&mut self, series: &Tensor, len: usize, stride: usize) -> Arc<ScaleWindows> {
+        if let Some(e) = self.entries.iter().find(|e| e.matches(series, len, stride)) {
+            self.hits += 1;
+            return Arc::clone(&e.sw);
+        }
+        self.misses += 1;
+        let sw = Arc::new(ScaleWindows::new(series, len, stride));
+        self.entries.push(CacheEntry {
+            orig_cols: series.cols(),
+            sw: Arc::clone(&sw),
+        });
+        sw
+    }
+
+    /// Cache hits so far (same series value, scale and stride seen before).
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Cache misses so far (each one computed a fresh [`ScaleWindows`]).
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+}
+
+impl CacheEntry {
+    fn matches(&self, series: &Tensor, len: usize, stride: usize) -> bool {
+        // `padded` zero-extends the series at the tail, so prefix equality
+        // over `orig_cols` columns is value equality of the series itself.
+        self.sw.matches(len, stride)
+            && self.orig_cols == series.cols()
+            && self.sw.padded.rows() == series.rows()
+            && (0..series.rows()).all(|v| self.sw.padded.row(v)[..self.orig_cols] == *series.row(v))
+    }
+}
+
+/// Builds the feature row `(1, D_repr)` of one series against the bound
+/// bank, sharing window state through `cache`. Pass the same cache across
+/// the series of a batch (and across the views of a contrastive pair) to
+/// reuse padded buffers and prefix-sum norms wherever series values repeat.
+pub fn diff_features_cached(
+    g: &mut Graph,
+    bank: &ShapeletBank,
+    bound: &BoundBank,
+    series: &Tensor,
+    cache: &mut WindowCache,
+) -> VarId {
+    assert_eq!(series.rows(), bank.d, "series/bank variable count mismatch");
+    let mut parts: Vec<VarId> = Vec::with_capacity(bank.groups().len());
+    for (gi, grp) in bank.groups().iter().enumerate() {
+        let sw = cache.get(series, grp.len, grp.stride);
+        let op = Arc::new(ShapeletDistanceOp::new(sw, grp.measure));
+        let pooled = g.custom(op, &[bound.group_vars[gi]]);
+        parts.push(pooled);
+    }
+    g.concat_cols(&parts)
+}
+
 /// Builds the feature row `(1, D_repr)` of one series against the bound
 /// bank. `series` is the raw `(D, T)` value tensor.
 pub fn diff_features(
@@ -66,69 +185,25 @@ pub fn diff_features(
     bound: &BoundBank,
     series: &Tensor,
 ) -> VarId {
-    assert_eq!(series.rows(), bank.d, "series/bank variable count mismatch");
-    let mut parts: Vec<VarId> = Vec::with_capacity(bank.groups().len());
-    // Cache per-scale window leaves: measures of one scale share windows.
-    let mut cached: Option<(usize, VarId, Vec<f32>)> = None;
-    for (gi, grp) in bank.groups().iter().enumerate() {
-        let (w_leaf, w_sq_norms) = match &cached {
-            Some((len, id, norms)) if *len == grp.len => (*id, norms.clone()),
-            _ => {
-                // Same prefix-sum window-norm machinery as the fused
-                // inference kernel — one O(T) pass instead of a pass over
-                // the materialized rows.
-                let padded = pad_to_len(series, grp.len);
-                let norms = window_sq_norms(&padded, grp.len, grp.stride);
-                let id = g.leaf(unfold(&padded, grp.len, grp.stride));
-                cached = Some((grp.len, id, norms.clone()));
-                (id, norms)
-            }
-        };
-        let s_var = bound.group_vars[gi];
-        let k = grp.k();
-        let width = (bank.d * grp.len) as f32;
-        let pooled = match grp.measure {
-            Measure::Euclidean => {
-                // d² = ‖w‖² − 2·W·Sᵀ + ‖s‖², clamped at 0, normalized, √.
-                let cross = g.matmul_transb(w_leaf, s_var);
-                let neg2 = g.mul_scalar(cross, -2.0);
-                let wn = g.leaf(Tensor::from_vec(w_sq_norms.clone(), [w_sq_norms.len()]));
-                let with_w = g.add_col_vec(neg2, wn);
-                let s_sq = g.square(s_var);
-                let sn = g.sum_axis(s_sq, Axis::Cols);
-                let d2 = g.add_row_vec(with_w, sn);
-                let clamped = g.relu(d2);
-                let normed = g.mul_scalar(clamped, 1.0 / width);
-                let dist = g.sqrt_eps(normed, 1e-8);
-                g.min_axis(dist, Axis::Rows)
-            }
-            Measure::Cosine => {
-                // Window rows normalized eagerly (no grad through them).
-                let wn_val = {
-                    let w = g.value(w_leaf).clone();
-                    let mut out = w;
-                    for i in 0..out.rows() {
-                        let n = (out.row(i).iter().map(|&x| x * x).sum::<f32>() + 1e-12).sqrt();
-                        for x in out.row_mut(i) {
-                            *x /= n;
-                        }
-                    }
-                    out
-                };
-                let wn_leaf = g.leaf(wn_val);
-                let sn = g.row_normalize(s_var, 1e-12);
-                let sim = g.matmul_transb(wn_leaf, sn);
-                g.max_axis(sim, Axis::Rows)
-            }
-            Measure::CrossCorrelation => {
-                let cross = g.matmul_transb(w_leaf, s_var);
-                let sim = g.mul_scalar(cross, 1.0 / width);
-                g.max_axis(sim, Axis::Rows)
-            }
-        };
-        parts.push(g.reshape(pooled, [1, k]));
-    }
-    g.concat_cols(&parts)
+    let mut cache = WindowCache::new();
+    diff_features_cached(g, bank, bound, series, &mut cache)
+}
+
+/// Builds the `(B, D_repr)` feature matrix of a batch of series, sharing
+/// window state through `cache`.
+pub fn diff_features_batch_cached(
+    g: &mut Graph,
+    bank: &ShapeletBank,
+    bound: &BoundBank,
+    batch: &[Tensor],
+    cache: &mut WindowCache,
+) -> VarId {
+    assert!(!batch.is_empty(), "empty batch");
+    let rows: Vec<VarId> = batch
+        .iter()
+        .map(|s| diff_features_cached(g, bank, bound, s, cache))
+        .collect();
+    g.concat_rows(&rows)
 }
 
 /// Builds the `(B, D_repr)` feature matrix of a batch of series.
@@ -138,12 +213,24 @@ pub fn diff_features_batch(
     bound: &BoundBank,
     batch: &[Tensor],
 ) -> VarId {
-    assert!(!batch.is_empty(), "empty batch");
-    let rows: Vec<VarId> = batch
-        .iter()
-        .map(|s| diff_features(g, bank, bound, s))
-        .collect();
-    g.concat_rows(&rows)
+    let mut cache = WindowCache::new();
+    diff_features_batch_cached(g, bank, bound, batch, &mut cache)
+}
+
+/// Batch features via the selected [`DiffPath`]. The cache is only
+/// consulted on the fused path (the oracle builds its own leaves).
+pub fn diff_features_batch_via(
+    path: DiffPath,
+    g: &mut Graph,
+    bank: &ShapeletBank,
+    bound: &BoundBank,
+    batch: &[Tensor],
+    cache: &mut WindowCache,
+) -> VarId {
+    match path {
+        DiffPath::Fused => diff_features_batch_cached(g, bank, bound, batch, cache),
+        DiffPath::Oracle => oracle::diff_features_batch_oracle(g, bank, bound, batch),
+    }
 }
 
 /// Writes updated parameter values (from an optimizer step) back into the
@@ -163,10 +250,120 @@ pub fn write_back(bank: &mut ShapeletBank, new_values: &[Tensor]) {
     }
 }
 
+/// Reference implementation of the differentiable transform as an eager
+/// tape-op graph over materialized window matrices.
+///
+/// This is the formulation the fused custom-op path replaced: per scale it
+/// `unfold`s the series into an `(N_w × D·len)` constant leaf and builds
+/// each measure from generic tape ops (`matmul_transb`, `relu`,
+/// `min_axis`/`max_axis`, …), whose composed backward rules define the
+/// gradients the fused path's analytic backward must reproduce. Kept for
+/// parity tests and old-vs-new benchmarking — not used by training
+/// defaults.
+pub mod oracle {
+    use super::BoundBank;
+    use crate::bank::ShapeletBank;
+    use crate::measure::Measure;
+    use crate::transform::pad_to_len;
+    use tcsl_autodiff::{Graph, VarId};
+    use tcsl_tensor::reduce::Axis;
+    use tcsl_tensor::window::{unfold, window_sq_norms};
+    use tcsl_tensor::Tensor;
+
+    /// Oracle counterpart of [`super::diff_features`].
+    pub fn diff_features_oracle(
+        g: &mut Graph,
+        bank: &ShapeletBank,
+        bound: &BoundBank,
+        series: &Tensor,
+    ) -> VarId {
+        assert_eq!(series.rows(), bank.d, "series/bank variable count mismatch");
+        let mut parts: Vec<VarId> = Vec::with_capacity(bank.groups().len());
+        // Cache per-scale window leaves: measures of one scale share windows.
+        let mut cached: Option<(usize, VarId, Vec<f32>)> = None;
+        for (gi, grp) in bank.groups().iter().enumerate() {
+            let (w_leaf, w_sq_norms) = match &cached {
+                Some((len, id, norms)) if *len == grp.len => (*id, norms.clone()),
+                _ => {
+                    // Same prefix-sum window-norm machinery as the fused
+                    // inference kernel — one O(T) pass instead of a pass over
+                    // the materialized rows.
+                    let padded = pad_to_len(series, grp.len);
+                    let norms = window_sq_norms(&padded, grp.len, grp.stride);
+                    let id = g.leaf(unfold(&padded, grp.len, grp.stride));
+                    cached = Some((grp.len, id, norms.clone()));
+                    (id, norms)
+                }
+            };
+            let s_var = bound.group_vars[gi];
+            let k = grp.k();
+            let width = (bank.d * grp.len) as f32;
+            let pooled = match grp.measure {
+                Measure::Euclidean => {
+                    // d² = ‖w‖² − 2·W·Sᵀ + ‖s‖², clamped at 0, normalized, √.
+                    let cross = g.matmul_transb(w_leaf, s_var);
+                    let neg2 = g.mul_scalar(cross, -2.0);
+                    let wn = g.leaf(Tensor::from_vec(w_sq_norms.clone(), [w_sq_norms.len()]));
+                    let with_w = g.add_col_vec(neg2, wn);
+                    let s_sq = g.square(s_var);
+                    let sn = g.sum_axis(s_sq, Axis::Cols);
+                    let d2 = g.add_row_vec(with_w, sn);
+                    let clamped = g.relu(d2);
+                    let normed = g.mul_scalar(clamped, 1.0 / width);
+                    let dist = g.sqrt_eps(normed, 1e-8);
+                    g.min_axis(dist, Axis::Rows)
+                }
+                Measure::Cosine => {
+                    // Window rows normalized eagerly (no grad through them).
+                    let wn_val = {
+                        let w = g.value(w_leaf).clone();
+                        let mut out = w;
+                        for i in 0..out.rows() {
+                            let n = (out.row(i).iter().map(|&x| x * x).sum::<f32>() + 1e-12).sqrt();
+                            for x in out.row_mut(i) {
+                                *x /= n;
+                            }
+                        }
+                        out
+                    };
+                    let wn_leaf = g.leaf(wn_val);
+                    let sn = g.row_normalize(s_var, 1e-12);
+                    let sim = g.matmul_transb(wn_leaf, sn);
+                    g.max_axis(sim, Axis::Rows)
+                }
+                Measure::CrossCorrelation => {
+                    let cross = g.matmul_transb(w_leaf, s_var);
+                    let sim = g.mul_scalar(cross, 1.0 / width);
+                    g.max_axis(sim, Axis::Rows)
+                }
+            };
+            parts.push(g.reshape(pooled, [1, k]));
+        }
+        g.concat_cols(&parts)
+    }
+
+    /// Oracle counterpart of [`super::diff_features_batch`].
+    pub fn diff_features_batch_oracle(
+        g: &mut Graph,
+        bank: &ShapeletBank,
+        bound: &BoundBank,
+        batch: &[Tensor],
+    ) -> VarId {
+        assert!(!batch.is_empty(), "empty batch");
+        let rows: Vec<VarId> = batch
+            .iter()
+            .map(|s| diff_features_oracle(g, bank, bound, s))
+            .collect();
+        g.concat_rows(&rows)
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::oracle::{diff_features_batch_oracle, diff_features_oracle};
     use super::*;
     use crate::config::ShapeletConfig;
+    use crate::measure::Measure;
     use crate::transform::transform_series;
     use tcsl_data::TimeSeries;
     use tcsl_tensor::rng::seeded;
@@ -214,6 +411,72 @@ mod tests {
     }
 
     #[test]
+    fn fused_path_matches_oracle_path() {
+        // Same bound parameters, same series → same features from the
+        // custom-op path and the eager-graph oracle.
+        for d in [1, 2] {
+            let b = bank(d);
+            let mut rng = seeded(14 + d as u64);
+            let series = Tensor::randn([d, 22], &mut rng);
+
+            let mut g = Graph::new();
+            let bound = bind_trainable(&mut g, &b);
+            let fused = diff_features(&mut g, &b, &bound, &series);
+            let oracle = diff_features_oracle(&mut g, &b, &bound, &series);
+            let (fv, ov) = (g.value(fused).clone(), g.value(oracle).clone());
+            assert_eq!(fv.shape().dims(), ov.shape().dims());
+            for (i, (&f, &o)) in fv.as_slice().iter().zip(ov.as_slice()).enumerate() {
+                assert!((f - o).abs() < 1e-4, "feature {i}: fused={f} oracle={o}");
+            }
+        }
+    }
+
+    #[test]
+    fn window_cache_reuses_state_across_identical_series() {
+        let b = bank(1);
+        let mut rng = seeded(15);
+        let series = Tensor::randn([1, 30], &mut rng);
+        let other = Tensor::randn([1, 30], &mut rng);
+        let mut g = Graph::new();
+        let bound = bind_trainable(&mut g, &b);
+        let mut cache = WindowCache::new();
+        // Bank has 2 scales × 3 measures: 6 lookups per series, 2 distinct
+        // (len, stride) keys per distinct series value.
+        diff_features_cached(&mut g, &b, &bound, &series, &mut cache);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 4);
+        // The same series value again: all lookups hit.
+        diff_features_cached(&mut g, &b, &bound, &series, &mut cache);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 10);
+        // A different series value misses.
+        diff_features_cached(&mut g, &b, &bound, &other, &mut cache);
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn diff_path_selector_routes_both_paths() {
+        let b = bank(1);
+        let mut rng = seeded(16);
+        let batch = [
+            Tensor::randn([1, 18], &mut rng),
+            Tensor::randn([1, 18], &mut rng),
+        ];
+        let mut g = Graph::new();
+        let bound = bind_trainable(&mut g, &b);
+        let mut cache = WindowCache::new();
+        let fused =
+            diff_features_batch_via(DiffPath::Fused, &mut g, &b, &bound, &batch, &mut cache);
+        let oracle =
+            diff_features_batch_via(DiffPath::Oracle, &mut g, &b, &bound, &batch, &mut cache);
+        let (fv, ov) = (g.value(fused).clone(), g.value(oracle).clone());
+        for (&f, &o) in fv.as_slice().iter().zip(ov.as_slice()) {
+            assert!((f - o).abs() < 1e-4);
+        }
+        assert_eq!(DiffPath::default(), DiffPath::Fused);
+    }
+
+    #[test]
     fn gradients_reach_every_group() {
         let b = bank(1);
         let mut rng = seeded(5);
@@ -248,7 +511,7 @@ mod tests {
     #[test]
     fn shapelet_gradcheck_through_full_transform() {
         // Finite-difference check of d(loss)/d(shapelets) through the whole
-        // euclidean+cosine+xcorr pipeline.
+        // euclidean+cosine+xcorr pipeline (fused custom-op path).
         let cfg = ShapeletConfig {
             lengths: vec![3],
             k_per_group: 2,
@@ -276,6 +539,46 @@ mod tests {
             report.max_abs_err,
             report.max_rel_err
         );
+    }
+
+    #[test]
+    fn fused_gradients_match_oracle_gradients() {
+        // Same loss through both paths → same parameter gradients (the
+        // custom op's analytic backward vs the oracle graph's composed
+        // backward rules).
+        let b = bank(2);
+        let mut rng = seeded(17);
+        let batch = [
+            Tensor::randn([2, 21], &mut rng),
+            Tensor::randn([2, 17], &mut rng),
+        ];
+        let grads_of = |use_oracle: bool| {
+            let mut g = Graph::new();
+            let bound = bind_trainable(&mut g, &b);
+            let feats = if use_oracle {
+                diff_features_batch_oracle(&mut g, &b, &bound, &batch)
+            } else {
+                diff_features_batch(&mut g, &b, &bound, &batch)
+            };
+            let sq = g.square(feats);
+            let loss = g.mean_all(sq);
+            let grads = g.backward(loss);
+            bound
+                .group_vars
+                .iter()
+                .map(|&id| grads.get(id).unwrap().clone())
+                .collect::<Vec<_>>()
+        };
+        let fused = grads_of(false);
+        let oracle = grads_of(true);
+        for (gi, (f, o)) in fused.iter().zip(&oracle).enumerate() {
+            for (i, (&fv, &ov)) in f.as_slice().iter().zip(o.as_slice()).enumerate() {
+                assert!(
+                    (fv - ov).abs() < 1e-4,
+                    "group {gi} grad {i}: fused={fv} oracle={ov}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -95,11 +95,23 @@ pub fn pool_group(
 ) -> (Vec<f32>, Vec<usize>) {
     debug_assert!(sw.matches(g.len, g.stride));
     debug_assert_eq!(pre.sq_norms.len(), g.k());
+    pool_measure(sw, g.measure, pre)
+}
+
+/// [`pool_group`] addressed by measure alone: the shapelet side is fully
+/// described by the precomputation (tap rows + norms), so callers that hold
+/// shapelet values outside a [`ShapeletGroup`] — the training-path custom
+/// op differentiates graph-bound parameter tensors — pool through here.
+pub fn pool_measure(
+    sw: &ScaleWindows,
+    measure: Measure,
+    pre: &GroupPrecomp,
+) -> (Vec<f32>, Vec<usize>) {
     let series_bytes = sw.padded.numel() * core::mem::size_of::<f32>();
-    if g.k() > 1 && series_bytes > BLOCKED_SERIES_BYTES {
-        pool_group_blocked(sw, g, pre)
+    if pre.sq_norms.len() > 1 && series_bytes > BLOCKED_SERIES_BYTES {
+        pool_group_blocked(sw, measure, pre)
     } else {
-        pool_group_fused(sw, g, pre)
+        pool_group_fused(sw, measure, pre)
     }
 }
 
@@ -178,11 +190,11 @@ fn score(
 /// is 16 KiB).
 pub(crate) fn pool_group_fused(
     sw: &ScaleWindows,
-    g: &ShapeletGroup,
+    measure: Measure,
     pre: &GroupPrecomp,
 ) -> (Vec<f32>, Vec<usize>) {
     let width = (sw.padded.rows() * sw.len) as f32;
-    let k = g.k();
+    let k = pre.sq_norms.len();
     let mut pooled = vec![f32::NAN; k];
     let mut args = vec![0usize; k];
     let full = k - k % 4;
@@ -198,7 +210,7 @@ pub(crate) fn pool_group_fused(
             for (j, &c) in cross.iter().enumerate() {
                 let kk = kb + j;
                 let s = score(
-                    g.measure,
+                    measure,
                     c,
                     sw,
                     w,
@@ -206,7 +218,7 @@ pub(crate) fn pool_group_fused(
                     pre.inv_norms[kk],
                     width,
                 );
-                if w == 0 || g.measure.better(s, pooled[kk]) {
+                if w == 0 || measure.better(s, pooled[kk]) {
                     pooled[kk] = s;
                     args[kk] = w;
                 }
@@ -220,8 +232,8 @@ pub(crate) fn pool_group_fused(
         let mut best_w = 0usize;
         for w in 0..sw.n {
             let cross = window_dot(&sw.padded, taps, w * sw.stride, sw.len);
-            let s = score(g.measure, cross, sw, w, s_sq, s_inv, width);
-            if w == 0 || g.measure.better(s, best) {
+            let s = score(measure, cross, sw, w, s_sq, s_inv, width);
+            if w == 0 || measure.better(s, best) {
                 best = s;
                 best_w = w;
             }
@@ -239,14 +251,14 @@ pub(crate) fn pool_group_fused(
 /// across `K` streaming passes.
 pub(crate) fn pool_group_blocked(
     sw: &ScaleWindows,
-    g: &ShapeletGroup,
+    measure: Measure,
     pre: &GroupPrecomp,
 ) -> (Vec<f32>, Vec<usize>) {
     let d = sw.padded.rows();
     let len = sw.len;
     let row_w = d * len;
     let width = row_w as f32;
-    let k = g.k();
+    let k = pre.sq_norms.len();
     let mut pooled = vec![f32::NAN; k];
     let mut args = vec![0usize; k];
     let mut tile = vec![0.0f32; TILE_WINDOWS.min(sw.n) * row_w];
@@ -265,7 +277,7 @@ pub(crate) fn pool_group_blocked(
             for (j, (p, a)) in pooled.iter_mut().zip(args.iter_mut()).enumerate() {
                 let cross = tcsl_tensor::matmul::dot(row, pre.tap_row(j));
                 let s = score(
-                    g.measure,
+                    measure,
                     cross,
                     sw,
                     w,
@@ -273,7 +285,7 @@ pub(crate) fn pool_group_blocked(
                     pre.inv_norms[j],
                     width,
                 );
-                if w == 0 || g.measure.better(s, *p) {
+                if w == 0 || measure.better(s, *p) {
                     *p = s;
                     *a = w;
                 }
@@ -319,8 +331,8 @@ mod tests {
             let sw = ScaleWindows::new(series, g.len, g.stride);
             let (want, want_args) = oracle(g, series);
             for (pooled, a) in [
-                pool_group_fused(&sw, g, &pre[gi]),
-                pool_group_blocked(&sw, g, &pre[gi]),
+                pool_group_fused(&sw, g.measure, &pre[gi]),
+                pool_group_blocked(&sw, g.measure, &pre[gi]),
             ] {
                 for j in 0..g.k() {
                     assert!(
@@ -385,7 +397,7 @@ mod tests {
         let pre = bank.precomputed();
         let sw = ScaleWindows::new(&series, g.len, g.stride);
         let (via_dispatch, _) = pool_group(&sw, g, &pre[0]);
-        let (via_blocked, _) = pool_group_blocked(&sw, g, &pre[0]);
+        let (via_blocked, _) = pool_group_blocked(&sw, g.measure, &pre[0]);
         assert_eq!(via_dispatch, via_blocked);
     }
 }

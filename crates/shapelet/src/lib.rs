@@ -25,11 +25,14 @@
 //! * [`transform`] — the fast inference path (no gradients, parallel over
 //!   series),
 //! * [`diff_transform`] — the autodiff path used during contrastive
-//!   learning and fine-tuning, built from [`tcsl_autodiff::Graph`] ops whose
-//!   min/max pooling routes gradients to the best-matching window.
+//!   learning and fine-tuning. It runs the *same* fused streaming kernel as
+//!   inference, wrapped in a custom tape op ([`diff_op::ShapeletDistanceOp`])
+//!   with an arg-routed analytic backward; the original eager-graph
+//!   formulation survives as [`diff_transform::oracle`] for parity tests.
 
 pub mod bank;
 pub mod config;
+pub mod diff_op;
 pub mod diff_transform;
 pub mod fused;
 pub mod init;

@@ -3,6 +3,7 @@
 
 use crate::bank::ShapeletBank;
 use crate::config::ShapeletConfig;
+use crate::diff_transform::oracle::diff_features_oracle;
 use crate::diff_transform::{bind_trainable, diff_features};
 use crate::fused::{pool_group_blocked, pool_group_fused, ScaleWindows};
 use crate::measure::Measure;
@@ -115,8 +116,8 @@ proptest! {
             let windows = windows_for(series.values(), g.len, g.stride);
             let scores = g.measure.score_matrix(&windows, &g.shapelets);
             let (opooled, oargs) = g.measure.pool(&scores);
-            let fused = pool_group_fused(&sw, g, &pre[gi]);
-            let blocked = pool_group_blocked(&sw, g, &pre[gi]);
+            let fused = pool_group_fused(&sw, g.measure, &pre[gi]);
+            let blocked = pool_group_blocked(&sw, g.measure, &pre[gi]);
             for (pooled, args) in [&fused, &blocked] {
                 for k in 0..g.k() {
                     prop_assert!(
@@ -125,6 +126,41 @@ proptest! {
                     );
                     prop_assert_eq!(args[k], oargs[k], "{:?} k={} argmin", g.measure, k);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_diff_grads_match_oracle_grads((bank, series) in arb_fused_setup()) {
+        // The custom op's analytic backward must reproduce the gradients
+        // defined by the oracle graph's composed backward rules, for any
+        // shape, stride and measure — same loss, same parameters.
+        let grads_of = |use_oracle: bool| {
+            let mut g = Graph::new();
+            let bound = bind_trainable(&mut g, &bank);
+            let feats = if use_oracle {
+                diff_features_oracle(&mut g, &bank, &bound, series.values())
+            } else {
+                diff_features(&mut g, &bank, &bound, series.values())
+            };
+            let sq = g.square(feats);
+            let loss = g.mean_all(sq);
+            let grads = g.backward(loss);
+            bound
+                .group_vars
+                .iter()
+                .map(|&id| grads.get(id).cloned())
+                .collect::<Vec<_>>()
+        };
+        let fused = grads_of(false);
+        let oracle = grads_of(true);
+        for (gi, (f, o)) in fused.iter().zip(&oracle).enumerate() {
+            let (f, o) = (f.as_ref().unwrap(), o.as_ref().unwrap());
+            for (i, (&fv, &ov)) in f.as_slice().iter().zip(o.as_slice()).enumerate() {
+                prop_assert!(
+                    (fv - ov).abs() < 1e-3,
+                    "group {} grad {}: fused {} vs oracle {}", gi, i, fv, ov
+                );
             }
         }
     }

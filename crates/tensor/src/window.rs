@@ -226,6 +226,23 @@ pub fn window_at(series: &Tensor, start: usize, len: usize) -> Tensor {
     out
 }
 
+/// Writes one window's values channel-major (`[var0 | var1 | ...]` — the
+/// flattened shapelet-row layout) into `dst`, which must have length
+/// `D·len`. The no-allocation sibling of [`window_at`]: analytic backward
+/// passes call it once per shapelet into a reused scratch row.
+pub fn window_row_into(series: &Tensor, start: usize, len: usize, dst: &mut [f32]) {
+    let (d, t) = (series.rows(), series.cols());
+    assert!(
+        start + len <= t,
+        "window [{start}, {}) exceeds series length {t}",
+        start + len
+    );
+    assert_eq!(dst.len(), d * len, "dst must hold D·len values");
+    for v in 0..d {
+        dst[v * len..(v + 1) * len].copy_from_slice(&series.row(v)[start..start + len]);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,5 +397,22 @@ mod tests {
         assert_eq!(w.shape().dims(), &[2, 2]);
         assert_eq!(w.row(0), &[1.0, 2.0]);
         assert_eq!(w.row(1), &[11.0, 12.0]);
+    }
+
+    #[test]
+    fn window_row_matches_window_at_flattened() {
+        let s = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0, 10.0, 11.0, 12.0, 13.0], [2, 4]);
+        let mut row = [0.0f32; 4];
+        window_row_into(&s, 1, 2, &mut row);
+        assert_eq!(row, [1.0, 2.0, 11.0, 12.0]);
+        assert_eq!(window_at(&s, 1, 2).as_slice(), &row);
+    }
+
+    #[test]
+    #[should_panic(expected = "D·len")]
+    fn window_row_rejects_wrong_dst_length() {
+        let s = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], [1, 4]);
+        let mut row = [0.0f32; 3];
+        window_row_into(&s, 0, 2, &mut row);
     }
 }
