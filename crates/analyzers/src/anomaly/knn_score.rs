@@ -1,7 +1,12 @@
 //! Distance-based anomaly scoring: the mean distance to the `k` nearest
 //! training points. A simple, strong baseline detector.
+//!
+//! Neighbour search streams through the blocked [`pairdist`] engine's
+//! heap-bounded top-k (`k + 1` neighbours, so a potential exact self-match
+//! can be skipped without a full distance scan).
 
 use crate::traits::AnomalyScorer;
+use tcsl_tensor::pairdist;
 use tcsl_tensor::Tensor;
 
 /// k-NN distance anomaly scorer.
@@ -28,23 +33,14 @@ impl AnomalyScorer for KnnDistance {
 
     fn score(&self, x: &Tensor) -> Vec<f32> {
         let train = self.train.as_ref().expect("score before fit");
-        (0..x.rows())
-            .map(|i| {
-                let row = x.row(i);
-                let mut dists: Vec<f32> = (0..train.rows())
-                    .map(|j| {
-                        train
-                            .row(j)
-                            .iter()
-                            .zip(row)
-                            .map(|(&a, &b)| (a - b) * (a - b))
-                            .sum::<f32>()
-                            .sqrt()
-                    })
-                    .collect();
-                // total_cmp: NaN distances (e.g. from NaN features in user data)
-                // sort last instead of panicking mid-scoring.
-                dists.sort_by(f32::total_cmp);
+        // One extra neighbour covers the self-match skip below; the engine
+        // sorts NaN distances (e.g. from NaN features in user data) last
+        // instead of panicking mid-scoring.
+        let all_nn = pairdist::knn(x, train, self.k + 1);
+        all_nn
+            .into_iter()
+            .map(|nn| {
+                let dists: Vec<f32> = nn.iter().map(|&(_, d)| d.sqrt()).collect();
                 // Skip an exact self-match at distance 0 when scoring
                 // training points themselves.
                 let start = usize::from(dists.first().is_some_and(|&d| d < 1e-12));
@@ -91,5 +87,16 @@ mod tests {
     #[should_panic(expected = "before fit")]
     fn score_before_fit_panics() {
         KnnDistance::new(3).score(&Tensor::zeros([1, 1]));
+    }
+
+    #[test]
+    fn nan_training_rows_sort_last_and_do_not_poison_scores() {
+        let train = Tensor::from_vec(vec![0.0, 1.0, f32::NAN, 2.0], [4, 1]);
+        let mut scorer = KnnDistance::new(2);
+        scorer.fit(&train);
+        let scores = scorer.score(&Tensor::from_vec(vec![0.5], [1, 1]));
+        // Both finite nearest neighbours are 0.5 away; the NaN row ranks
+        // behind every finite one and never enters the average.
+        assert!((scores[0] - 0.5).abs() < 1e-6, "{scores:?}");
     }
 }

@@ -1,7 +1,13 @@
 //! k-nearest-neighbour classification (Euclidean metric, majority vote with
 //! nearest-neighbour tie-break).
+//!
+//! Neighbour search runs on the blocked [`pairdist`] engine: streaming
+//! heap-bounded top-k selection instead of a full per-query distance scan,
+//! with the same ordering contract the old scan had — equal distances
+//! resolve to the lowest training index, NaN distances sort last.
 
 use crate::traits::Classifier;
+use tcsl_tensor::pairdist;
 use tcsl_tensor::Tensor;
 
 /// k-NN classifier.
@@ -23,26 +29,6 @@ impl KnnClassifier {
             train_y: Vec::new(),
         }
     }
-
-    /// Indices and squared distances of the `k` nearest training rows.
-    fn neighbours(&self, row: &[f32]) -> Vec<(usize, f32)> {
-        let x = self.train_x.as_ref().expect("predict before fit");
-        let mut d: Vec<(usize, f32)> = (0..x.rows())
-            .map(|i| {
-                let dist: f32 = x
-                    .row(i)
-                    .iter()
-                    .zip(row)
-                    .map(|(&a, &b)| (a - b) * (a - b))
-                    .sum();
-                (i, dist)
-            })
-            .collect();
-        // total_cmp: NaN distances sort last instead of panicking.
-        d.sort_by(|a, b| a.1.total_cmp(&b.1));
-        d.truncate(self.k.min(d.len()));
-        d
-    }
 }
 
 impl Classifier for KnnClassifier {
@@ -54,10 +40,15 @@ impl Classifier for KnnClassifier {
     }
 
     fn predict(&self, x: &Tensor) -> Vec<usize> {
-        (0..x.rows())
-            .map(|i| {
-                let nn = self.neighbours(x.row(i));
-                let n_classes = self.train_y.iter().copied().max().unwrap_or(0) + 1;
+        let train = self.train_x.as_ref().expect("predict before fit");
+        // The class count depends only on the training labels: computed
+        // once per predict call, not (as it used to be) re-scanned from
+        // scratch inside the per-row closure.
+        let n_classes = self.train_y.iter().copied().max().unwrap_or(0) + 1;
+        let all_nn = pairdist::knn(x, train, self.k);
+        all_nn
+            .into_iter()
+            .map(|nn| {
                 let mut votes = vec![0usize; n_classes];
                 for &(idx, _) in &nn {
                     votes[self.train_y[idx]] += 1;
@@ -104,6 +95,60 @@ mod tests {
         knn.fit(&x, &[1, 0]); // labels [1, 0]
         let q = Tensor::from_vec(vec![1.1], [1, 1]);
         assert_eq!(knn.predict(&q), vec![1]);
+    }
+
+    #[test]
+    fn exactly_tied_rows_resolve_to_lowest_index() {
+        // Training rows 0 and 2 are bit-identical with different labels:
+        // the 1-NN winner must be the lower index (label 7), the order the
+        // old stable full-scan sort produced.
+        let x = Tensor::from_vec(vec![3.0, 3.0, 0.0, 0.0, 3.0, 3.0], [3, 2]);
+        let mut knn = KnnClassifier::new(1);
+        knn.fit(&x, &[7, 1, 4]);
+        let q = Tensor::from_vec(vec![3.0, 3.0], [1, 2]);
+        assert_eq!(knn.predict(&q), vec![7]);
+    }
+
+    #[test]
+    fn predictions_match_naive_full_scan() {
+        // Regression pin for the engine rewiring + the hoisted class count:
+        // the blocked path must reproduce the old per-row full-scan
+        // implementation exactly on generic data.
+        let (xtr, ytr) = blobs(3, 30, 4, 5.0, 7);
+        let (xte, _) = blobs(3, 20, 4, 5.0, 8);
+        let mut knn = KnnClassifier::new(3);
+        knn.fit(&xtr, &ytr);
+        let fast = knn.predict(&xte);
+
+        let naive: Vec<usize> = (0..xte.rows())
+            .map(|i| {
+                let row = xte.row(i);
+                let mut d: Vec<(usize, f32)> = (0..xtr.rows())
+                    .map(|j| {
+                        let dist: f32 = xtr
+                            .row(j)
+                            .iter()
+                            .zip(row)
+                            .map(|(&a, &b)| (a - b) * (a - b))
+                            .sum();
+                        (j, dist)
+                    })
+                    .collect();
+                d.sort_by(|a, b| a.1.total_cmp(&b.1));
+                d.truncate(3);
+                let n_classes = ytr.iter().copied().max().unwrap() + 1;
+                let mut votes = vec![0usize; n_classes];
+                for &(idx, _) in &d {
+                    votes[ytr[idx]] += 1;
+                }
+                let top = *votes.iter().max().unwrap();
+                d.iter()
+                    .find(|(idx, _)| votes[ytr[*idx]] == top)
+                    .map(|&(idx, _)| ytr[idx])
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(fast, naive);
     }
 
     #[test]

@@ -1,6 +1,13 @@
 //! Agglomerative clustering (average linkage, cut at `k` clusters).
+//!
+//! The initial pairwise distance matrix comes from the blocked
+//! [`pairdist`] engine; the merge loop resolves equal-average ties to the
+//! lowest cluster-index pair (the scan order), which
+//! [`Agglomerative::fit_predict_from_distances`] lets tests pin against an
+//! oracle-built matrix.
 
 use crate::traits::Clusterer;
+use tcsl_tensor::pairdist;
 use tcsl_tensor::Tensor;
 
 /// Average-linkage agglomerative clusterer.
@@ -16,38 +23,28 @@ impl Agglomerative {
         assert!(k >= 1, "need at least one cluster");
         Agglomerative { k }
     }
-}
 
-impl Clusterer for Agglomerative {
-    fn fit_predict(&mut self, x: &Tensor) -> Vec<usize> {
-        let n = x.rows();
+    /// Runs the merge loop on a precomputed symmetric `(N, N)` Euclidean
+    /// distance matrix. [`Clusterer::fit_predict`] builds that matrix with
+    /// the blocked engine and delegates here; parity tests feed the naive
+    /// oracle matrix instead to pin zero assignment drift.
+    pub fn fit_predict_from_distances(&self, d: &Tensor) -> Vec<usize> {
+        let n = d.rows();
+        assert_eq!(n, d.cols(), "distance matrix must be square");
         assert!(n >= self.k, "fewer points than clusters");
-        // Active clusters as member lists; O(n³) average-linkage on the
-        // pairwise distance matrix — fine for the dataset sizes TimeCSL
-        // explores interactively.
-        let mut d = vec![vec![0.0f32; n]; n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let dist: f32 = x
-                    .row(i)
-                    .iter()
-                    .zip(x.row(j))
-                    .map(|(&a, &b)| (a - b) * (a - b))
-                    .sum::<f32>()
-                    .sqrt();
-                d[i][j] = dist;
-                d[j][i] = dist;
-            }
-        }
+        // Active clusters as member lists; O(n³) average-linkage — fine for
+        // the dataset sizes TimeCSL explores interactively.
         let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
         while clusters.len() > self.k {
+            // Strict `<`: equal average distances keep the first (lowest
+            // cluster-index) pair found by the scan.
             let mut best = (0usize, 1usize, f32::INFINITY);
             for a in 0..clusters.len() {
                 for b in (a + 1)..clusters.len() {
                     let mut sum = 0.0f32;
                     for &i in &clusters[a] {
                         for &j in &clusters[b] {
-                            sum += d[i][j];
+                            sum += d.at2(i, j);
                         }
                     }
                     let avg = sum / (clusters[a].len() * clusters[b].len()) as f32;
@@ -66,6 +63,14 @@ impl Clusterer for Agglomerative {
             }
         }
         assign
+    }
+}
+
+impl Clusterer for Agglomerative {
+    fn fit_predict(&mut self, x: &Tensor) -> Vec<usize> {
+        assert!(x.rows() >= self.k, "fewer points than clusters");
+        let d = pairdist::pairdist(x, x).sqrt();
+        self.fit_predict_from_distances(&d)
     }
 }
 
@@ -105,5 +110,24 @@ mod tests {
     #[should_panic(expected = "fewer points")]
     fn too_many_clusters_panics() {
         Agglomerative::new(4).fit_predict(&Tensor::zeros([2, 1]));
+    }
+
+    #[test]
+    fn merge_ties_resolve_to_lowest_index_pair() {
+        // d(0,1) == d(1,2) == 1 exactly: the first merge must take the
+        // lowest-index pair (0,1), so the cut at k=2 groups {0,1} | {2}.
+        let x = Tensor::from_vec(vec![0.0, 1.0, 2.0], [3, 1]);
+        let assign = Agglomerative::new(2).fit_predict(&x);
+        assert_eq!(assign[0], assign[1]);
+        assert_ne!(assign[0], assign[2]);
+    }
+
+    #[test]
+    fn engine_matrix_matches_oracle_matrix_assignments() {
+        let (x, _) = blobs(3, 8, 4, 6.0, 5);
+        let mut ag = Agglomerative::new(3);
+        let fast = ag.fit_predict(&x);
+        let oracle = tcsl_tensor::pairdist::pairdist_oracle(&x, &x).sqrt();
+        assert_eq!(fast, ag.fit_predict_from_distances(&oracle));
     }
 }

@@ -1,8 +1,14 @@
 //! Lloyd's k-means with k-means++ seeding and multiple restarts — the
 //! demo's clustering analyzer.
+//!
+//! The assignment step (points × centers, every Lloyd iteration), the
+//! k-means++ seeding distances and the final inertia all run on the
+//! blocked [`pairdist`] engine; equal distances assign to the lowest
+//! center index, exactly as the old strict-`<` scalar scan did.
 
 use crate::traits::Clusterer;
 use rand::Rng;
+use tcsl_tensor::pairdist;
 use tcsl_tensor::rng::seeded;
 use tcsl_tensor::Tensor;
 
@@ -38,16 +44,17 @@ impl KMeans {
         self.centers.as_ref()
     }
 
-    fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
-        a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+    /// Squared distances from every row of `x` to row `j` of `x`, as one
+    /// single-center block through the engine.
+    fn dists_to_row(x: &Tensor, j: usize) -> Vec<f32> {
+        let center = Tensor::from_vec(x.row(j).to_vec(), [1, x.cols()]);
+        pairdist::pairdist(x, &center).into_vec()
     }
 
     fn plus_plus_init(&self, x: &Tensor, rng: &mut impl Rng) -> Tensor {
         let n = x.rows();
         let mut centers: Vec<usize> = vec![rng.gen_range(0..n)];
-        let mut d2: Vec<f32> = (0..n)
-            .map(|i| Self::sq_dist(x.row(i), x.row(centers[0])))
-            .collect();
+        let mut d2: Vec<f32> = Self::dists_to_row(x, centers[0]);
         while centers.len() < self.k.min(n) {
             let total: f32 = d2.iter().sum();
             let next = if total <= 1e-12 {
@@ -65,10 +72,9 @@ impl KMeans {
                 pick
             };
             centers.push(next);
-            for i in 0..n {
-                let nd = Self::sq_dist(x.row(i), x.row(next));
-                if nd < d2[i] {
-                    d2[i] = nd;
+            for (slot, nd) in d2.iter_mut().zip(Self::dists_to_row(x, next)) {
+                if nd < *slot {
+                    *slot = nd;
                 }
             }
         }
@@ -80,28 +86,37 @@ impl KMeans {
         out
     }
 
+    /// Assigns every row of `x` to its nearest center: one blocked
+    /// points×centers distance block, argmin per row with a strict-`<`
+    /// scan so equal distances resolve to the lowest center index (and a
+    /// NaN row, never `<` anything, stays at center 0 rather than
+    /// aborting).
+    fn assign_rows(x: &Tensor, centers: &Tensor) -> Vec<usize> {
+        let d = pairdist::pairdist(x, centers);
+        (0..x.rows())
+            .map(|i| {
+                let row = d.row(i);
+                let mut best = 0usize;
+                let mut best_d = f32::INFINITY;
+                for (c, &dist) in row.iter().enumerate() {
+                    if dist < best_d {
+                        best_d = dist;
+                        best = c;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
     fn lloyd(&self, x: &Tensor, mut centers: Tensor) -> (Tensor, Vec<usize>, f32) {
         let (n, f) = (x.rows(), x.cols());
         let k = centers.rows();
         let mut assign = vec![0usize; n];
         for _ in 0..self.max_iter {
-            let mut changed = false;
-            for i in 0..n {
-                let row = x.row(i);
-                let mut best = 0;
-                let mut best_d = f32::INFINITY;
-                for c in 0..k {
-                    let d = Self::sq_dist(row, centers.row(c));
-                    if d < best_d {
-                        best_d = d;
-                        best = c;
-                    }
-                }
-                if assign[i] != best {
-                    assign[i] = best;
-                    changed = true;
-                }
-            }
+            let new_assign = Self::assign_rows(x, &centers);
+            let changed = new_assign != assign;
+            assign = new_assign;
             if !changed {
                 break;
             }
@@ -123,9 +138,8 @@ impl KMeans {
                 // Empty clusters keep their previous centre.
             }
         }
-        let inertia: f32 = (0..n)
-            .map(|i| Self::sq_dist(x.row(i), centers.row(assign[i])))
-            .sum();
+        let d = pairdist::pairdist(x, &centers);
+        let inertia: f32 = (0..n).map(|i| d.at2(i, assign[i])).sum();
         (centers, assign, inertia)
     }
 }
@@ -203,5 +217,46 @@ mod tests {
     fn too_many_clusters_panics() {
         let x = Tensor::zeros([2, 2]);
         KMeans::new(5).fit_predict(&x);
+    }
+
+    #[test]
+    fn assignment_ties_resolve_to_lowest_center_index() {
+        // A point exactly equidistant from two centers — and a pair of
+        // bit-identical centers — must assign to the lower index.
+        let x = Tensor::from_vec(vec![0.0, 4.0], [2, 1]);
+        let equidistant = Tensor::from_vec(vec![1.0, -1.0], [2, 1]);
+        assert_eq!(KMeans::assign_rows(&x, &equidistant), vec![0, 0]);
+        let duplicated = Tensor::from_vec(vec![4.0, 4.0, 0.0], [3, 1]);
+        assert_eq!(KMeans::assign_rows(&x, &duplicated), vec![2, 0]);
+    }
+
+    #[test]
+    fn assignment_matches_naive_scalar_scan() {
+        let (x, _) = blobs(3, 20, 5, 6.0, 4);
+        let centers = Tensor::from_vec(
+            (0..15).map(|i| (i as f32 * 0.7).sin() * 4.0).collect(),
+            [3, 5],
+        );
+        let fast = KMeans::assign_rows(&x, &centers);
+        let naive: Vec<usize> = (0..x.rows())
+            .map(|i| {
+                let mut best = 0;
+                let mut best_d = f32::INFINITY;
+                for c in 0..centers.rows() {
+                    let d: f32 = x
+                        .row(i)
+                        .iter()
+                        .zip(centers.row(c))
+                        .map(|(&a, &b)| (a - b) * (a - b))
+                        .sum();
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                best
+            })
+            .collect();
+        assert_eq!(fast, naive);
     }
 }

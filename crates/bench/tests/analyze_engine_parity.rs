@@ -1,0 +1,140 @@
+//! End-to-end parity of the blocked pairwise-distance engine on *learned*
+//! representations: the analyzer and t-SNE routing used by
+//! `exp_demo_uwave` / `exp_pipeline` (pre-train → transform → analyze)
+//! must produce identical labels/assignments to the naive oracle path it
+//! replaced — not just on synthetic blobs, but on real pipeline output.
+
+use tcsl_analyzers::anomaly::KnnDistance;
+use tcsl_analyzers::classify::KnnClassifier;
+use tcsl_analyzers::cluster::{Agglomerative, KMeans};
+use tcsl_analyzers::{AnomalyScorer, Classifier, Clusterer};
+use tcsl_core::{CslConfig, TimeCsl};
+use tcsl_data::archive;
+use tcsl_shapelet::{Measure, ShapeletConfig};
+use tcsl_tensor::pairdist::{knn_oracle, pairdist, pairdist_oracle};
+use tcsl_tensor::Tensor;
+
+/// Pre-trains the small MotifEasy model the explore-session tests use and
+/// returns train/test representations with their labels.
+fn representations() -> (Tensor, Vec<usize>, Tensor, Vec<usize>) {
+    let entry = archive::by_name("MotifEasy").unwrap();
+    let (train, test) = archive::generate_split(&entry, 61);
+    let scfg = ShapeletConfig {
+        lengths: vec![8, 16],
+        k_per_group: 3,
+        measures: vec![Measure::Euclidean, Measure::Cosine],
+        stride: 1,
+    };
+    let ccfg = CslConfig {
+        epochs: 2,
+        batch_size: 8,
+        grains: vec![1.0],
+        seed: 3,
+        ..Default::default()
+    };
+    let (model, _) = TimeCsl::pretrain(&train, Some(scfg), &ccfg);
+    let ytr = train.labels().unwrap().to_vec();
+    let yte = test.labels().unwrap().to_vec();
+    (model.transform(&train), ytr, model.transform(&test), yte)
+}
+
+#[test]
+fn engine_routing_matches_oracle_paths_end_to_end() {
+    let (ztr, ytr, zte, _) = representations();
+    let k = 3;
+
+    // k-NN classification: identical predicted labels to a full oracle
+    // scan with the same vote and tie-break rules.
+    let mut clf = KnnClassifier::new(k);
+    clf.fit(&ztr, &ytr);
+    let fast = clf.predict(&zte);
+    let n_classes = ytr.iter().copied().max().unwrap() + 1;
+    let slow: Vec<usize> = knn_oracle(&zte, &ztr, k)
+        .into_iter()
+        .map(|nn| {
+            let mut votes = vec![0usize; n_classes];
+            for &(idx, _) in &nn {
+                votes[ytr[idx]] += 1;
+            }
+            let top = *votes.iter().max().unwrap();
+            nn.iter()
+                .find(|(idx, _)| votes[ytr[*idx]] == top)
+                .map(|&(idx, _)| ytr[idx])
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(fast, slow, "kNN labels drifted from the oracle scan");
+
+    // Anomaly scoring: same mean-of-k-nearest values (to distance-level
+    // tolerance — the two formulas round differently) from the same
+    // neighbour sets.
+    let mut scorer = KnnDistance::new(k);
+    scorer.fit(&ztr);
+    let fast_scores = scorer.score(&zte);
+    let slow_scores: Vec<f32> = knn_oracle(&zte, &ztr, k + 1)
+        .into_iter()
+        .map(|nn| {
+            let dists: Vec<f32> = nn.iter().map(|&(_, d)| d.sqrt()).collect();
+            let start = usize::from(dists.first().is_some_and(|&d| d < 1e-12));
+            let take = k.min(dists.len() - start).max(1);
+            dists[start..start + take].iter().sum::<f32>() / take as f32
+        })
+        .collect();
+    for (i, (f, s)) in fast_scores.iter().zip(&slow_scores).enumerate() {
+        assert!(
+            (f - s).abs() <= 1e-3 * s.abs().max(1.0),
+            "anomaly score {i}: {f} vs oracle {s}"
+        );
+    }
+
+    // Agglomerative clustering: the engine-built distance matrix must cut
+    // to the same assignment as the oracle-built one.
+    let ag = Agglomerative::new(2);
+    let fast_assign = ag.clone().fit_predict(&zte);
+    let oracle_matrix = pairdist_oracle(&zte, &zte).sqrt();
+    assert_eq!(
+        fast_assign,
+        ag.fit_predict_from_distances(&oracle_matrix),
+        "agglomerative assignments drifted from the oracle matrix"
+    );
+
+    // k-means: every fitted assignment must be the scalar-scan argmin of
+    // its row against the fitted centers (strict `<`, lowest index wins).
+    let mut km = KMeans::new(2);
+    let assign = km.fit_predict(&zte);
+    let centers = km.centers().unwrap();
+    for i in 0..zte.rows() {
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for c in 0..centers.rows() {
+            let d: f32 = zte
+                .row(i)
+                .iter()
+                .zip(centers.row(c))
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum();
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        assert_eq!(
+            assign[i], best,
+            "k-means row {i} not assigned to argmin center"
+        );
+    }
+
+    // t-SNE affinity input: the engine matrix agrees with the oracle to
+    // matrix scale (this is the only distance pass inside `explore::tsne`).
+    let fast_d2 = pairdist(&zte, &zte);
+    let slow_d2 = pairdist_oracle(&zte, &zte);
+    let scale = slow_d2
+        .as_slice()
+        .iter()
+        .fold(1.0f32, |acc, &v| acc.max(v.abs()));
+    assert!(
+        fast_d2.max_abs_diff(&slow_d2) / scale < 1e-4,
+        "t-SNE affinity distances drifted: {}",
+        fast_d2.max_abs_diff(&slow_d2)
+    );
+}

@@ -1,7 +1,12 @@
 //! Exact t-SNE (van der Maaten & Hinton, 2008) for the demo's 2-D
 //! representation view. O(N²) per iteration — fine for the interactive
-//! dataset sizes TimeCSL explores.
+//! dataset sizes TimeCSL explores. The high-dimensional affinity pass
+//! (the only part that touches the full feature width) runs on the
+//! blocked [`pairdist`] engine; `pairdist(x, x)` is bitwise symmetric
+//! with an exactly-zero diagonal, so the conditional distributions see
+//! the same symmetric input the old hand-rolled loop produced.
 
+use tcsl_tensor::pairdist;
 use tcsl_tensor::rng::{gauss, seeded};
 use tcsl_tensor::Tensor;
 
@@ -38,26 +43,15 @@ pub fn tsne(x: &Tensor, cfg: &TsneConfig) -> Tensor {
     assert!(n >= 4, "t-SNE needs at least 4 points");
     let perplexity = cfg.perplexity.min((n as f32 - 1.0) / 3.0).max(2.0);
 
-    // Pairwise squared distances in high dimension.
-    let mut d2 = vec![0.0f32; n * n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let dist: f32 = x
-                .row(i)
-                .iter()
-                .zip(x.row(j))
-                .map(|(&a, &b)| (a - b) * (a - b))
-                .sum();
-            d2[i * n + j] = dist;
-            d2[j * n + i] = dist;
-        }
-    }
+    // Pairwise squared distances in high dimension — one blocked engine
+    // call instead of a scalar O(N²·F) double loop.
+    let d2 = pairdist::pairdist(x, x);
 
     // Per-point binary search of sigma to hit the target perplexity.
     let target_entropy = perplexity.ln();
     let mut p = vec![0.0f32; n * n];
     for i in 0..n {
-        let row = &d2[i * n..(i + 1) * n];
+        let row = d2.row(i);
         let (mut beta, mut lo, mut hi) = (1.0f32, 0.0f32, f32::INFINITY);
         for _ in 0..50 {
             // Conditional distribution and its entropy at this beta.

@@ -164,6 +164,7 @@ tuple_strategy!(A, B);
 tuple_strategy!(A, B, C);
 tuple_strategy!(A, B, C, D);
 tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
 
 /// Collection strategies (`proptest::collection::vec`).
 pub mod collection {

@@ -9,7 +9,8 @@
 //! cache-friendly matrix multiplication, axis reductions with argument
 //! tracking (needed by the min/max-pooling backward pass of the autodiff
 //! crate), sliding-window unfolding for time series, descriptive statistics,
-//! and a small scoped-thread parallel map.
+//! a blocked pairwise-distance engine for the representation space, and a
+//! small scoped-thread parallel map.
 //!
 //! Design notes:
 //!
@@ -21,6 +22,7 @@
 //! * All randomness is injected via `rand::Rng` so experiments are seedable.
 
 pub mod matmul;
+pub mod pairdist;
 pub mod parallel;
 pub mod reduce;
 pub mod rng;

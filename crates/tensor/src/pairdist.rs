@@ -1,0 +1,427 @@
+//! Blocked pairwise squared-Euclidean engine for the representation space.
+//!
+//! Every downstream analyzer (k-NN classification and anomaly scoring, the
+//! k-means assignment step, agglomerative clustering's initial matrix) and
+//! the t-SNE affinity pass consume the representation matrix `z = f(x)`
+//! through pairwise Euclidean distances. This module gives them one shared
+//! engine instead of five scalar `zip(..).map(..).sum()` reimplementations:
+//!
+//! * [`pairdist`] — the full `N×M` squared-distance matrix, computed as
+//!   `D[i,j] = |a_i|² + |b_j|² − 2·a_i·b_j` from precomputed row norms plus
+//!   the runtime-dispatched AVX2/FMA [`dot`]/[`dot4`] kernels, tiled so the
+//!   corpus block stays cache-resident, with a [`parallel_chunks_mut`]
+//!   row-block fan-out writing the result in place (no gather copy).
+//! * [`knn_into`] / [`knn`] — streaming per-row top-`k` selection through a
+//!   bounded binary heap, never materializing the `N×M` matrix (the same
+//!   zero-materialization discipline as the fused shapelet transform).
+//! * [`pairdist_oracle`] / [`knn_oracle`] — the naive scalar formulations,
+//!   kept as the agreement oracle for proptests and benchmarks.
+//!
+//! Contracts shared by every entry point:
+//!
+//! * **Determinism.** The row-block partition is a function of `N` alone
+//!   (never of the worker count), and each output block is owned by its
+//!   index, so results are bit-identical for any `TCSL_THREADS` setting.
+//! * **Tie-breaks.** Equal distances resolve to the *lowest* corpus index —
+//!   the order a stable sort over a full scan would produce.
+//! * **NaN.** Distances involving NaN features are NaN and order *last*
+//!   (via `total_cmp`), matching the analyzers' NaN-tolerant sorting; they
+//!   never abort a query.
+//! * **Exact self-distance.** `D[i,j]` is exactly `0.0` when the two rows
+//!   are bit-identical (`x + x − 2x` is exact in IEEE arithmetic), so
+//!   self-match detection by `d < eps` keeps working.
+
+use crate::matmul::{dot, dot4};
+use crate::parallel::{parallel_chunks_mut, parallel_map};
+use crate::tensor::Tensor;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Query rows per parallel work item: big enough to amortize the fan-out,
+/// small enough that dynamic block claiming balances uneven hosts.
+const ROW_BLOCK: usize = 64;
+
+/// Corpus rows per inner tile. A tile of `COL_TILE` rows × up to a few
+/// hundred features stays L2-resident while every query row of the block
+/// streams over it.
+const COL_TILE: usize = 256;
+
+/// Squared Euclidean norm of every row of `x`, via the same [`dot`] kernel
+/// the distance engine uses (so `|a|² + |a|² − 2·a·a` cancels exactly).
+pub fn row_sq_norms(x: &Tensor) -> Vec<f32> {
+    (0..x.rows()).map(|i| dot(x.row(i), x.row(i))).collect()
+}
+
+/// Clamps the tiny negative values the norms-plus-dot identity can produce
+/// for near-duplicate rows. Written as a comparison (not `f32::max`) so NaN
+/// distances stay NaN instead of silently becoming `0.0`.
+#[inline]
+fn clamp_non_negative(v: f32) -> f32 {
+    if v < 0.0 {
+        0.0
+    } else {
+        v
+    }
+}
+
+/// Dot products of `q` against corpus rows `j..te` (at most 4), always via
+/// [`dot4`] — the tail pads with repeats of the last row so every `(i, j)`
+/// pair takes the identical kernel path. `dot4`'s rounding only depends on
+/// the operand pair, not the lane, which keeps `pairdist(x, x)` bitwise
+/// symmetric and [`knn_into`] bit-identical to [`pairdist`].
+#[inline]
+fn dot_group(q: &[f32], b: &Tensor, j: usize, te: usize) -> [f32; 4] {
+    let r = (te - j).min(4);
+    debug_assert!(r >= 1);
+    let at = |l: usize| b.row(j + l.min(r - 1));
+    dot4(q, at(0), at(1), at(2), at(3))
+}
+
+/// Blocked pairwise squared-Euclidean distances: `D (N×M)` with
+/// `D[i,j] = |a_i − b_j|²` for `a (N×F)` and `b (M×F)`.
+pub fn pairdist(a: &Tensor, b: &Tensor) -> Tensor {
+    let (n, m) = (a.rows(), b.rows());
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "pairdist feature dimensions differ: {} vs {}",
+        a.cols(),
+        b.cols()
+    );
+    if n == 0 || m == 0 {
+        return Tensor::zeros([n, m]);
+    }
+    let na = row_sq_norms(a);
+    let nb = row_sq_norms(b);
+    let mut out = Tensor::zeros([n, m]);
+    // Fill the output in place, one ROW_BLOCK of rows per chunk: no gather
+    // copy, so peak memory is the result matrix itself plus the two norm
+    // vectors.
+    parallel_chunks_mut(out.as_mut_slice(), ROW_BLOCK * m, |bi, chunk| {
+        let lo = bi * ROW_BLOCK;
+        let rows = chunk.len() / m;
+        let mut tile = 0usize;
+        while tile < m {
+            let te = (tile + COL_TILE).min(m);
+            for r in 0..rows {
+                let i = lo + r;
+                let q = a.row(i);
+                let qn = na[i];
+                let orow = &mut chunk[r * m..(r + 1) * m];
+                let mut j = tile;
+                while j < te {
+                    let ds = dot_group(q, b, j, te);
+                    let take = (te - j).min(4);
+                    for (l, &dv) in ds.iter().take(take).enumerate() {
+                        orow[j + l] = clamp_non_negative(qn + nb[j + l] - 2.0 * dv);
+                    }
+                    j += take;
+                }
+            }
+            tile = te;
+        }
+    });
+    out
+}
+
+/// Naive scalar oracle for [`pairdist`]: per-element `(x−y)²` sums, the
+/// formulation the analyzers used before the blocked engine existed.
+pub fn pairdist_oracle(a: &Tensor, b: &Tensor) -> Tensor {
+    let (n, m) = (a.rows(), b.rows());
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "pairdist feature dimensions differ: {} vs {}",
+        a.cols(),
+        b.cols()
+    );
+    let mut out = Tensor::zeros([n, m]);
+    for i in 0..n {
+        let q = a.row(i);
+        let orow = out.row_mut(i);
+        for (j, slot) in orow.iter_mut().enumerate() {
+            *slot = b
+                .row(j)
+                .iter()
+                .zip(q)
+                .map(|(&x, &y)| (x - y) * (x - y))
+                .sum();
+        }
+    }
+    out
+}
+
+/// One top-k candidate. Ordered by `(distance, index)` under `total_cmp`,
+/// so the max-heap's worst element is the farthest — and among equals the
+/// *highest*-index — neighbour, which is exactly the one to evict.
+#[derive(Clone, Copy, Debug)]
+struct Cand {
+    d: f32,
+    idx: usize,
+}
+
+impl PartialEq for Cand {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Cand {}
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.d.total_cmp(&other.d).then(self.idx.cmp(&other.idx))
+    }
+}
+
+/// Pushes into a `k`-bounded max-heap. Candidates arrive in ascending index
+/// order, so an incoming candidate tied with the current worst compares
+/// *greater* (higher index) and is correctly rejected: lowest index wins.
+#[inline]
+fn push_bounded(heap: &mut BinaryHeap<Cand>, k: usize, cand: Cand) {
+    if heap.len() < k {
+        heap.push(cand);
+    } else if let Some(&top) = heap.peek() {
+        if cand < top {
+            heap.pop();
+            heap.push(cand);
+        }
+    }
+}
+
+/// Streaming k-nearest-neighbour selection: for every row of `queries`,
+/// the `min(k, M)` nearest rows of `corpus` as `(corpus_index, sq_dist)`,
+/// sorted ascending by `(distance, index)`.
+///
+/// The full `N×M` distance matrix is never materialized: each query row
+/// owns a `k`-bounded binary heap and the corpus streams through in tiles,
+/// so peak scratch is `O(row_block · k)` regardless of `M`. Results are
+/// written into `out` (cleared first), reusing its capacity across calls.
+pub fn knn_into(queries: &Tensor, corpus: &Tensor, k: usize, out: &mut Vec<Vec<(usize, f32)>>) {
+    assert!(k >= 1, "k must be at least 1");
+    let (n, m) = (queries.rows(), corpus.rows());
+    assert_eq!(
+        queries.cols(),
+        corpus.cols(),
+        "knn feature dimensions differ: {} vs {}",
+        queries.cols(),
+        corpus.cols()
+    );
+    out.clear();
+    if n == 0 {
+        return;
+    }
+    if m == 0 {
+        out.extend((0..n).map(|_| Vec::new()));
+        return;
+    }
+    let k = k.min(m);
+    let na = row_sq_norms(queries);
+    let nb = row_sq_norms(corpus);
+    let n_blocks = n.div_ceil(ROW_BLOCK);
+    let blocks = parallel_map(n_blocks, |bi| {
+        let lo = bi * ROW_BLOCK;
+        let hi = ((bi + 1) * ROW_BLOCK).min(n);
+        let mut heaps: Vec<BinaryHeap<Cand>> =
+            (lo..hi).map(|_| BinaryHeap::with_capacity(k + 1)).collect();
+        let mut tile = 0usize;
+        while tile < m {
+            let te = (tile + COL_TILE).min(m);
+            for (heap, i) in heaps.iter_mut().zip(lo..hi) {
+                let q = queries.row(i);
+                let qn = na[i];
+                let mut j = tile;
+                while j < te {
+                    let ds = dot_group(q, corpus, j, te);
+                    let take = (te - j).min(4);
+                    for (l, &dv) in ds.iter().take(take).enumerate() {
+                        let cand = Cand {
+                            d: clamp_non_negative(qn + nb[j + l] - 2.0 * dv),
+                            idx: j + l,
+                        };
+                        push_bounded(heap, k, cand);
+                    }
+                    j += take;
+                }
+            }
+            tile = te;
+        }
+        heaps
+            .into_iter()
+            .map(|h| {
+                h.into_sorted_vec()
+                    .into_iter()
+                    .map(|c| (c.idx, c.d))
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+    });
+    for block in blocks {
+        out.extend(block);
+    }
+}
+
+/// Convenience wrapper over [`knn_into`] allocating a fresh result vector.
+pub fn knn(queries: &Tensor, corpus: &Tensor, k: usize) -> Vec<Vec<(usize, f32)>> {
+    let mut out = Vec::with_capacity(queries.rows());
+    knn_into(queries, corpus, k, &mut out);
+    out
+}
+
+/// Naive oracle for [`knn`]: full [`pairdist_oracle`] matrix, per-row sort
+/// by `(distance, index)` under `total_cmp`, truncated to `k`.
+pub fn knn_oracle(queries: &Tensor, corpus: &Tensor, k: usize) -> Vec<Vec<(usize, f32)>> {
+    assert!(k >= 1, "k must be at least 1");
+    let d = pairdist_oracle(queries, corpus);
+    (0..queries.rows())
+        .map(|i| {
+            let mut row: Vec<(usize, f32)> = d.row(i).iter().copied().enumerate().collect();
+            row.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            row.truncate(k.min(row.len()));
+            row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_oracle_on_random_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for (n, m, f) in [
+            (1, 1, 1),
+            (5, 9, 3),
+            (17, 13, 8),
+            (70, 70, 67),
+            (3, 130, 130),
+        ] {
+            let a = Tensor::randn([n, f], &mut rng);
+            let b = Tensor::randn([m, f], &mut rng);
+            let blocked = pairdist(&a, &b);
+            let oracle = pairdist_oracle(&a, &b);
+            let scale = 1.0f32.max(
+                oracle
+                    .as_slice()
+                    .iter()
+                    .fold(0.0f32, |acc, &v| acc.max(v.abs())),
+            );
+            assert!(
+                blocked.max_abs_diff(&oracle) / scale < 1e-4,
+                "n={n} m={m} f={f}: {}",
+                blocked.max_abs_diff(&oracle)
+            );
+        }
+    }
+
+    #[test]
+    fn self_distance_is_exactly_zero() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = Tensor::randn([20, 33], &mut rng);
+        let d = pairdist(&a, &a);
+        for i in 0..20 {
+            assert_eq!(d.at2(i, i), 0.0, "diagonal {i}");
+        }
+    }
+
+    #[test]
+    fn symmetric_input_gives_symmetric_output() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let a = Tensor::randn([37, 70], &mut rng);
+        let d = pairdist(&a, &a);
+        for i in 0..37 {
+            for j in 0..37 {
+                assert_eq!(d.at2(i, j).to_bits(), d.at2(j, i).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_oracle_and_sorts_ascending() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let q = Tensor::randn([30, 12], &mut rng);
+        let c = Tensor::randn([50, 12], &mut rng);
+        for k in [1, 3, 17, 50, 200] {
+            let fast = knn(&q, &c, k);
+            let slow = knn_oracle(&q, &c, k);
+            for (i, (f, s)) in fast.iter().zip(&slow).enumerate() {
+                let fi: Vec<usize> = f.iter().map(|&(j, _)| j).collect();
+                let si: Vec<usize> = s.iter().map(|&(j, _)| j).collect();
+                assert_eq!(fi, si, "row {i} k={k}");
+                for w in f.windows(2) {
+                    assert!(w[0].1.total_cmp(&w[1].1) != Ordering::Greater);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_ties_resolve_to_lowest_index() {
+        // Corpus rows 1 and 3 are bit-identical and nearest to the query;
+        // the reported neighbour must be index 1.
+        let q = Tensor::from_vec(vec![0.0, 0.0], [1, 2]);
+        let c = Tensor::from_vec(vec![5.0, 5.0, 1.0, 1.0, 9.0, 9.0, 1.0, 1.0], [4, 2]);
+        let nn = knn(&q, &c, 1);
+        assert_eq!(nn[0][0].0, 1);
+        let nn2 = knn(&q, &c, 2);
+        assert_eq!(
+            nn2[0].iter().map(|&(j, _)| j).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+    }
+
+    #[test]
+    fn nan_rows_sort_last_and_do_not_abort() {
+        let q = Tensor::from_vec(vec![0.0], [1, 1]);
+        let c = Tensor::from_vec(vec![2.0, f32::NAN, 1.0], [3, 1]);
+        let nn = knn(&q, &c, 3);
+        let idx: Vec<usize> = nn[0].iter().map(|&(j, _)| j).collect();
+        assert_eq!(idx, vec![2, 0, 1], "NaN corpus row must come last");
+        assert!(nn[0][2].1.is_nan());
+        // And the oracle agrees.
+        let slow = knn_oracle(&q, &c, 3);
+        let sidx: Vec<usize> = slow[0].iter().map(|&(j, _)| j).collect();
+        assert_eq!(idx, sidx);
+    }
+
+    #[test]
+    fn k_larger_than_corpus_returns_everything() {
+        let q = Tensor::from_vec(vec![0.0, 1.0], [2, 1]);
+        let c = Tensor::from_vec(vec![3.0, -1.0], [2, 1]);
+        let nn = knn(&q, &c, 10);
+        assert_eq!(nn[0].len(), 2);
+        assert_eq!(nn[1].len(), 2);
+    }
+
+    #[test]
+    fn empty_corpus_yields_empty_neighbour_lists() {
+        let q = Tensor::from_vec(vec![0.0, 1.0], [2, 1]);
+        let c = Tensor::zeros([0, 1]);
+        let nn = knn(&q, &c, 3);
+        assert_eq!(nn.len(), 2);
+        assert!(nn[0].is_empty() && nn[1].is_empty());
+        assert_eq!(pairdist(&q, &c).shape().dims(), &[2, 0]);
+    }
+
+    #[test]
+    fn knn_into_reuses_the_output_vector() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let q = Tensor::randn([4, 3], &mut rng);
+        let c = Tensor::randn([6, 3], &mut rng);
+        let mut out = vec![vec![(99usize, 0.0f32)]; 17];
+        knn_into(&q, &c, 2, &mut out);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|r| r.len() == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimensions differ")]
+    fn dimension_mismatch_panics() {
+        pairdist(&Tensor::zeros([2, 3]), &Tensor::zeros([2, 4]));
+    }
+}

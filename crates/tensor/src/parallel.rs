@@ -92,6 +92,62 @@ where
         .collect()
 }
 
+/// Applies `f` in parallel to disjoint contiguous chunks of `buf`, each
+/// `chunk_len` elements (the last may be shorter). Chunk `c` always covers
+/// `buf[c·chunk_len .. (c+1)·chunk_len]` regardless of the worker count, so
+/// output ownership is a function of the index alone and results are
+/// bit-identical for any `TCSL_THREADS` setting. This is the in-place
+/// sibling of [`parallel_map`] for kernels that fill one large buffer
+/// (e.g. the pairwise-distance engine) without a gather copy.
+pub fn parallel_chunks_mut<T, F>(buf: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if buf.is_empty() {
+        return;
+    }
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let len = buf.len();
+    let n_chunks = len.div_ceil(chunk_len);
+    let threads = configured_threads(n_chunks);
+    if threads <= 1 || n_chunks == 1 {
+        for (c, chunk) in buf.chunks_mut(chunk_len).enumerate() {
+            f(c, chunk);
+        }
+        return;
+    }
+
+    // Same raw-pointer + index discipline as `parallel_map`: every chunk
+    // index is claimed exactly once from the atomic cursor, and distinct
+    // indices map to disjoint ranges of `buf`.
+    struct Base<T>(*mut T);
+    unsafe impl<T: Send> Sync for Base<T> {}
+    let base = Base(buf.as_mut_ptr());
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let f = &f;
+            let cursor = &cursor;
+            let base = &base;
+            scope.spawn(move || loop {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let start = c * chunk_len;
+                let end = (start + chunk_len).min(len);
+                // SAFETY: `c` is claimed exactly once across all workers and
+                // chunk ranges are pairwise disjoint; `buf` outlives the
+                // scope.
+                let chunk =
+                    unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
+                f(c, chunk);
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +178,36 @@ mod tests {
         for (i, (idx, _)) in got.iter().enumerate() {
             assert_eq!(i, *idx);
         }
+    }
+
+    #[test]
+    fn chunks_mut_fills_every_chunk_with_its_index() {
+        let mut buf = vec![usize::MAX; 103]; // deliberately not a multiple of 10
+        parallel_chunks_mut(&mut buf, 10, |c, chunk| {
+            assert!(chunk.len() == 10 || (c == 10 && chunk.len() == 3));
+            chunk.fill(c);
+        });
+        for (i, &v) in buf.iter().enumerate() {
+            assert_eq!(v, i / 10);
+        }
+    }
+
+    #[test]
+    fn chunks_mut_handles_empty_and_single_chunk() {
+        let mut empty: Vec<u8> = Vec::new();
+        parallel_chunks_mut(&mut empty, 4, |_, _| panic!("no chunks expected"));
+        let mut one = vec![0u8; 3];
+        parallel_chunks_mut(&mut one, 8, |c, chunk| {
+            assert_eq!(c, 0);
+            chunk.fill(7);
+        });
+        assert_eq!(one, vec![7, 7, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len")]
+    fn chunks_mut_rejects_zero_chunk_len() {
+        parallel_chunks_mut(&mut [0u8; 2], 0, |_, _| {});
     }
 
     #[test]

@@ -1,10 +1,57 @@
 //! Property-based tests over the tensor algebra.
 
 use crate::matmul::{matmul, matmul_transb};
+use crate::pairdist::{knn, knn_oracle, pairdist, pairdist_oracle};
 use crate::reduce::{self, Axis};
 use crate::tensor::Tensor;
 use crate::window::{count_windows, unfold, unfold_backward};
 use proptest::prelude::*;
+
+/// Random query/corpus pair on a coarse value grid (multiples of 0.5, small
+/// magnitude): every product and partial sum in both the blocked engine and
+/// the scalar oracle is then exactly representable in f32, so the two
+/// formulations agree bit-for-bit and top-k index parity is deterministic.
+/// `nan_q`/`nan_c` optionally poison one row with a NaN feature (index
+/// taken modulo `rows + 1`; the `rows` value means "no poison").
+#[allow(clippy::type_complexity)]
+fn grid_knn_case() -> impl Strategy<Value = (Tensor, Tensor, usize, usize, usize)> {
+    // dim up to 70 crosses both the 8-lane SIMD width and the FMA kernel's
+    // 64-element dispatch threshold, including non-multiples of each.
+    (
+        1usize..14,
+        1usize..14,
+        1usize..70,
+        1usize..8,
+        0usize..30,
+        0usize..30,
+    )
+        .prop_flat_map(|(n, m, d, k, nan_q, nan_c)| {
+            (
+                proptest::collection::vec(-12i32..13, n * d),
+                proptest::collection::vec(-12i32..13, m * d),
+            )
+                .prop_map(move |(av, bv)| {
+                    let to_grid = |v: Vec<i32>| -> Vec<f32> {
+                        v.into_iter().map(|x| x as f32 * 0.5).collect()
+                    };
+                    let mut av = to_grid(av);
+                    let mut bv = to_grid(bv);
+                    if nan_q % (n + 1) < n {
+                        av[(nan_q % (n + 1)) * d] = f32::NAN;
+                    }
+                    if nan_c % (m + 1) < m {
+                        bv[(nan_c % (m + 1)) * d] = f32::NAN;
+                    }
+                    (
+                        Tensor::from_vec(av, [n, d]),
+                        Tensor::from_vec(bv, [m, d]),
+                        k,
+                        n,
+                        m,
+                    )
+                })
+        })
+}
 
 fn small_matrix(max_side: usize) -> impl Strategy<Value = Tensor> {
     (1..=max_side, 1..=max_side).prop_flat_map(|(r, c)| {
@@ -75,6 +122,53 @@ proptest! {
         let lhs = w.dot(&g);
         let rhs = x.dot(&unfold_backward(&g, 2, t, len, stride));
         prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn pairdist_blocked_matches_oracle((a, b, k, n, m) in grid_knn_case()) {
+        // Full-matrix values: identical up to 1e-4 (bit-exact on the grid),
+        // with NaN entries appearing in exactly the same positions.
+        let blocked = pairdist(&a, &b);
+        let oracle = pairdist_oracle(&a, &b);
+        for (i, (&x, &y)) in blocked.as_slice().iter().zip(oracle.as_slice()).enumerate() {
+            if x.is_nan() || y.is_nan() {
+                prop_assert!(x.is_nan() && y.is_nan(), "flat {i}: {x} vs {y}");
+            } else {
+                prop_assert!((x - y).abs() <= 1e-4, "flat {i}: {x} vs {y}");
+            }
+        }
+        // Streaming top-k: the exact neighbour-index sequence of the oracle
+        // (stable (distance, index) order — lowest index on ties, NaN rows
+        // last), for every k up to past the corpus size.
+        let fast = knn(&a, &b, k);
+        let slow = knn_oracle(&a, &b, k);
+        prop_assert_eq!(fast.len(), n);
+        for (row, (f, s)) in fast.iter().zip(&slow).enumerate() {
+            let fi: Vec<usize> = f.iter().map(|&(j, _)| j).collect();
+            let si: Vec<usize> = s.iter().map(|&(j, _)| j).collect();
+            prop_assert_eq!(&fi, &si, "row {} k={} (m={})", row, k, m);
+            for (&(_, fd), &(_, sd)) in f.iter().zip(s) {
+                if fd.is_nan() || sd.is_nan() {
+                    prop_assert!(fd.is_nan() && sd.is_nan());
+                } else {
+                    prop_assert!((fd - sd).abs() <= 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairdist_values_close_on_continuous_data(
+        n in 1usize..10, m in 1usize..10, d in 1usize..80, seed in 0u64..1_000
+    ) {
+        // Continuous values: no exactness guarantee, but the blocked
+        // norms-plus-dot identity must track the oracle to 1e-4 relative.
+        let a = Tensor::from_fn([n, d], |i| (((i as u64 + seed) * 2654435761 % 1000) as f32 / 500.0) - 1.0);
+        let b = Tensor::from_fn([m, d], |i| (((i as u64 * 31 + seed) * 2246822519 % 1000) as f32 / 500.0) - 1.0);
+        let blocked = pairdist(&a, &b);
+        let oracle = pairdist_oracle(&a, &b);
+        let scale = oracle.as_slice().iter().fold(1.0f32, |acc, &v| acc.max(v));
+        prop_assert!(blocked.max_abs_diff(&oracle) / scale < 1e-4);
     }
 
     #[test]
