@@ -44,8 +44,15 @@ impl AnomalyScorer for KnnDistance {
                 // Skip an exact self-match at distance 0 when scoring
                 // training points themselves.
                 let start = usize::from(dists.first().is_some_and(|&d| d < 1e-12));
-                let take = self.k.min(dists.len() - start).max(1);
-                dists[start..start + take].iter().sum::<f32>() / take as f32
+                let rest = &dists[start..];
+                if rest.is_empty() {
+                    // Degenerate: the single training row is an exact
+                    // self-match, leaving no neighbour to average over.
+                    0.0
+                } else {
+                    let take = self.k.min(rest.len());
+                    rest[..take].iter().sum::<f32>() / take as f32
+                }
             })
             .collect()
     }
@@ -81,6 +88,20 @@ mod tests {
         for s in scores {
             assert!((s - 1.0).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn single_training_row_scoring_itself_does_not_panic() {
+        // Degenerate case: the lone training row self-matches, so after the
+        // skip there is no neighbour left — the score must be 0, not an
+        // out-of-bounds slice.
+        let train = Tensor::from_vec(vec![1.0, 2.0], [1, 2]);
+        let mut scorer = KnnDistance::new(3);
+        scorer.fit(&train);
+        assert_eq!(scorer.score(&train), vec![0.0]);
+        // A non-matching query still averages over the one real neighbour.
+        let q = Tensor::from_vec(vec![1.0, 5.0], [1, 2]);
+        assert!((scorer.score(&q)[0] - 3.0).abs() < 1e-6);
     }
 
     #[test]

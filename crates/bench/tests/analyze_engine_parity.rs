@@ -76,8 +76,13 @@ fn engine_routing_matches_oracle_paths_end_to_end() {
         .map(|nn| {
             let dists: Vec<f32> = nn.iter().map(|&(_, d)| d.sqrt()).collect();
             let start = usize::from(dists.first().is_some_and(|&d| d < 1e-12));
-            let take = k.min(dists.len() - start).max(1);
-            dists[start..start + take].iter().sum::<f32>() / take as f32
+            let rest = &dists[start..];
+            if rest.is_empty() {
+                0.0
+            } else {
+                let take = k.min(rest.len());
+                rest[..take].iter().sum::<f32>() / take as f32
+            }
         })
         .collect();
     for (i, (f, s)) in fast_scores.iter().zip(&slow_scores).enumerate() {

@@ -28,10 +28,21 @@
 //!   (via `total_cmp`), matching the analyzers' NaN-tolerant sorting; they
 //!   never abort a query.
 //! * **Exact self-distance.** `D[i,j]` is exactly `0.0` when the two rows
-//!   are bit-identical (`x + x − 2x` is exact in IEEE arithmetic), so
-//!   self-match detection by `d < eps` keeps working.
+//!   are bit-identical: norms and cross terms go through the *same*
+//!   [`dot4`] lane path (whose rounding depends only on the operand pair,
+//!   not the lane), so the norm and the cross term are the same f32 `x` and
+//!   `x + x − 2x` cancels exactly in IEEE arithmetic — on the scalar and
+//!   the AVX2/FMA dispatch path alike. Self-match detection by `d < eps`
+//!   keeps working.
+//! * **Magnitude domain.** The norms+dot identity needs `|v|²` to be
+//!   representable; once a row's squared norm overflows f32 (entries
+//!   around 1e19 at representation dims) it would degenerate to
+//!   `inf − inf = NaN`. Pairs where either norm is non-finite therefore
+//!   fall back to the scalar `(a−b)²` formulation, which stays finite
+//!   whenever the oracle does (and still yields NaN for NaN features,
+//!   whose norms are NaN).
 
-use crate::matmul::{dot, dot4};
+use crate::matmul::dot4;
 use crate::parallel::{parallel_chunks_mut, parallel_map};
 use crate::tensor::Tensor;
 use std::cmp::Ordering;
@@ -46,10 +57,21 @@ const ROW_BLOCK: usize = 64;
 /// streams over it.
 const COL_TILE: usize = 256;
 
-/// Squared Euclidean norm of every row of `x`, via the same [`dot`] kernel
-/// the distance engine uses (so `|a|² + |a|² − 2·a·a` cancels exactly).
+/// Squared Euclidean norm of every row of `x`, via the same [`dot4`] lane
+/// path the cross terms take. Using plain [`dot`](crate::matmul::dot) here
+/// would break the exact-self-distance contract at dims ≥ the FMA dispatch
+/// threshold: `dot_fma` accumulates in 8×8 lanes while `dot4_fma` uses
+/// 2×8, and the two round differently, so `|a|² + |a|² − 2·a·a` would not
+/// cancel for bit-identical rows. `dot4`'s rounding depends only on the
+/// operand pair, not the lane, so one lane of `dot4(r, r, r, r, r)` is
+/// bit-identical to the cross term the engine computes for that pair.
 pub fn row_sq_norms(x: &Tensor) -> Vec<f32> {
-    (0..x.rows()).map(|i| dot(x.row(i), x.row(i))).collect()
+    (0..x.rows())
+        .map(|i| {
+            let r = x.row(i);
+            dot4(r, r, r, r, r)[0]
+        })
+        .collect()
 }
 
 /// Clamps the tiny negative values the norms-plus-dot identity can produce
@@ -61,6 +83,21 @@ fn clamp_non_negative(v: f32) -> f32 {
         0.0
     } else {
         v
+    }
+}
+
+/// Squared distance of one `(query, corpus-row)` pair from its precomputed
+/// norms and cross term. When either norm overflowed to `inf` the identity
+/// would produce `inf − inf = NaN` for finite data, so such pairs take the
+/// scalar `(a−b)²` sum instead — a function of the row values alone, shared
+/// verbatim by [`pairdist`] and [`knn_into`] so the two stay bit-identical,
+/// and still NaN for rows with NaN features (their norms are NaN).
+#[inline]
+fn pair_sq_dist(qn: f32, nbj: f32, dv: f32, q: &[f32], r: &[f32]) -> f32 {
+    if qn.is_finite() && nbj.is_finite() {
+        clamp_non_negative(qn + nbj - 2.0 * dv)
+    } else {
+        q.iter().zip(r).map(|(&x, &y)| (x - y) * (x - y)).sum()
     }
 }
 
@@ -113,7 +150,7 @@ pub fn pairdist(a: &Tensor, b: &Tensor) -> Tensor {
                     let ds = dot_group(q, b, j, te);
                     let take = (te - j).min(4);
                     for (l, &dv) in ds.iter().take(take).enumerate() {
-                        orow[j + l] = clamp_non_negative(qn + nb[j + l] - 2.0 * dv);
+                        orow[j + l] = pair_sq_dist(qn, nb[j + l], dv, q, b.row(j + l));
                     }
                     j += take;
                 }
@@ -239,7 +276,7 @@ pub fn knn_into(queries: &Tensor, corpus: &Tensor, k: usize, out: &mut Vec<Vec<(
                     let take = (te - j).min(4);
                     for (l, &dv) in ds.iter().take(take).enumerate() {
                         let cand = Cand {
-                            d: clamp_non_negative(qn + nb[j + l] - 2.0 * dv),
+                            d: pair_sq_dist(qn, nb[j + l], dv, q, corpus.row(j + l)),
                             idx: j + l,
                         };
                         push_bounded(heap, k, cand);
@@ -321,12 +358,44 @@ mod tests {
 
     #[test]
     fn self_distance_is_exactly_zero() {
+        // Continuous (non-grid) values, with dims on both sides of the
+        // 64-element FMA dispatch threshold: the diagonal must be exactly
+        // 0.0 on the scalar and the AVX2/FMA path alike, which requires
+        // norms and cross terms to share one kernel's rounding.
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let a = Tensor::randn([20, 33], &mut rng);
-        let d = pairdist(&a, &a);
-        for i in 0..20 {
-            assert_eq!(d.at2(i, i), 0.0, "diagonal {i}");
+        for dim in [1, 33, 63, 64, 65, 128, 200] {
+            let a = Tensor::randn([20, dim], &mut rng);
+            let d = pairdist(&a, &a);
+            for i in 0..20 {
+                assert_eq!(d.at2(i, i), 0.0, "dim {dim} diagonal {i}");
+            }
+            // And the streaming top-k sees the same exact zero, so the
+            // analyzers' self-match skip (d < eps) works at every dim.
+            let nn = knn(&a, &a, 1);
+            for (i, row) in nn.iter().enumerate() {
+                assert_eq!(row[0], (i, 0.0), "dim {dim} self-neighbour {i}");
+            }
         }
+    }
+
+    #[test]
+    fn huge_magnitude_rows_fall_back_to_scalar_instead_of_nan() {
+        // |v|² overflows f32 at this magnitude, so the norms+dot identity
+        // alone would give inf − inf = NaN; the per-pair fallback must
+        // reproduce the oracle's finite distance and keep the diagonal at
+        // an exact zero.
+        let dim = 128;
+        let a = Tensor::from_vec(vec![1.0e19; dim], [1, dim]);
+        let mut bv = vec![1.0e19; dim];
+        bv[0] = 1.5e19;
+        let b = Tensor::from_vec(bv, [1, dim]);
+        let d = pairdist(&a, &b);
+        let oracle = pairdist_oracle(&a, &b);
+        assert!(d.at2(0, 0).is_finite(), "got {}", d.at2(0, 0));
+        assert_eq!(d.at2(0, 0), oracle.at2(0, 0));
+        assert_eq!(pairdist(&a, &a).at2(0, 0), 0.0);
+        let nn = knn(&a, &b, 1);
+        assert_eq!(nn[0][0], (0, oracle.at2(0, 0)));
     }
 
     #[test]

@@ -172,6 +172,21 @@ proptest! {
     }
 
     #[test]
+    fn pairdist_self_diagonal_exactly_zero_on_continuous_data(
+        n in 1usize..12, d in 1usize..200, seed in 0u64..1_000
+    ) {
+        // Bit-identical rows must be at distance exactly 0.0 — not merely
+        // small — for continuous values at every dim, including past the
+        // 64-element FMA dispatch threshold where norms and cross terms
+        // must share one kernel's rounding for the identity to cancel.
+        let a = Tensor::from_fn([n, d], |i| (((i as u64 + seed) * 2654435761 % 1000) as f32 / 500.0) - 1.0);
+        let dmat = pairdist(&a, &a);
+        for i in 0..n {
+            prop_assert_eq!(dmat.at2(i, i), 0.0, "diagonal {} (d={})", i, d);
+        }
+    }
+
+    #[test]
     fn znorm_is_zero_mean(v in proptest::collection::vec(-100.0f32..100.0, 2..64)) {
         let z = crate::stats::znorm(&v);
         let m = crate::stats::mean(&z);
