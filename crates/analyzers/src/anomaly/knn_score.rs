@@ -32,6 +32,7 @@ impl AnomalyScorer for KnnDistance {
     }
 
     fn score(&self, x: &Tensor) -> Vec<f32> {
+        let _span = tcsl_obs::spans::span("knn_anomaly.score");
         let train = self.train.as_ref().expect("score before fit");
         // One extra neighbour covers the self-match skip below; the engine
         // sorts NaN distances (e.g. from NaN features in user data) last

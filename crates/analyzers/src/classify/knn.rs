@@ -40,6 +40,7 @@ impl Classifier for KnnClassifier {
     }
 
     fn predict(&self, x: &Tensor) -> Vec<usize> {
+        let _span = tcsl_obs::spans::span("knn_classify.predict");
         let train = self.train_x.as_ref().expect("predict before fit");
         // The class count depends only on the training labels: computed
         // once per predict call, not (as it used to be) re-scanned from

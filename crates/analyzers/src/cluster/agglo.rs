@@ -68,6 +68,7 @@ impl Agglomerative {
 
 impl Clusterer for Agglomerative {
     fn fit_predict(&mut self, x: &Tensor) -> Vec<usize> {
+        let _span = tcsl_obs::spans::span("agglomerative.fit_predict");
         assert!(x.rows() >= self.k, "fewer points than clusters");
         let d = pairdist::pairdist(x, x).sqrt();
         self.fit_predict_from_distances(&d)

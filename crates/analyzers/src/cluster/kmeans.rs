@@ -146,6 +146,7 @@ impl KMeans {
 
 impl Clusterer for KMeans {
     fn fit_predict(&mut self, x: &Tensor) -> Vec<usize> {
+        let _span = tcsl_obs::spans::span("kmeans.fit_predict");
         assert!(x.rows() >= self.k, "fewer points than clusters");
         let mut rng = seeded(self.seed);
         let mut best: Option<(Tensor, Vec<usize>, f32)> = None;

@@ -1,0 +1,44 @@
+//! Microbenchmark: the per-call cost of the observability layer in both
+//! states — the disabled gate (one relaxed atomic load, the price every
+//! hot loop pays unconditionally) and the enabled recording paths
+//! (counter increments, span enter/exit, thread-local batching).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tcsl_obs::counters::{LocalCounter, PAIRDIST_TILES, WINDOW_CACHE_HIT};
+use tcsl_obs::spans::span;
+
+fn bench_disabled(c: &mut Criterion) {
+    tcsl_obs::set_enabled(false);
+    let mut group = c.benchmark_group("obs_disabled");
+    group.bench_function("counter_add", |b| {
+        b.iter(|| WINDOW_CACHE_HIT.add(black_box(1)));
+    });
+    group.bench_function("span_enter_exit", |b| {
+        b.iter(|| drop(span(black_box("bench.noop"))));
+    });
+    group.finish();
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    tcsl_obs::trace::use_memory_sink();
+    tcsl_obs::set_enabled(true);
+    let mut group = c.benchmark_group("obs_enabled");
+    group.bench_function("counter_add", |b| {
+        b.iter(|| WINDOW_CACHE_HIT.add(black_box(1)));
+    });
+    group.bench_function("local_counter_add", |b| {
+        let mut local = LocalCounter::new(&PAIRDIST_TILES);
+        b.iter(|| local.add(black_box(1)));
+    });
+    group.bench_function("span_enter_exit", |b| {
+        b.iter(|| drop(span(black_box("bench.noop"))));
+    });
+    group.finish();
+    tcsl_obs::set_enabled(false);
+    tcsl_obs::trace::reset_sink();
+    tcsl_obs::counters::reset();
+    tcsl_obs::spans::reset();
+}
+
+criterion_group!(benches, bench_disabled, bench_enabled);
+criterion_main!(benches);

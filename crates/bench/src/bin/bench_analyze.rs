@@ -27,7 +27,6 @@
 //! `BENCH_analyze.json` (see EXPERIMENTS.md for the format).
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use rand::Rng;
 use tcsl_analyzers::classify::KnnClassifier;
@@ -35,6 +34,7 @@ use tcsl_analyzers::cluster::KMeans;
 use tcsl_analyzers::{Classifier, Clusterer};
 use tcsl_bench::alloc_track::{alloc_profile, AllocStats, CountingAlloc};
 use tcsl_eval::metrics::clustering::nmi;
+use tcsl_obs::spans::Stopwatch;
 use tcsl_tensor::pairdist::{knn_oracle, pairdist};
 use tcsl_tensor::rng::{gauss, seeded};
 use tcsl_tensor::Tensor;
@@ -79,9 +79,9 @@ fn run_leg<T>(reps: usize, mut f: impl FnMut() -> T) -> Leg<T> {
     let mut best_allocs: Option<AllocStats> = None;
     let mut value = None;
     for _ in 0..reps {
-        let start = Instant::now();
+        let watch = Stopwatch::start("bench.analyze_leg");
         let (v, allocs) = alloc_profile(&mut f);
-        best_secs = best_secs.min(start.elapsed().as_secs_f64());
+        best_secs = best_secs.min(watch.stop());
         // Min peak over reps: the steady-state figure, free of one-time
         // lazy initialization in the first run.
         if best_allocs.is_none_or(|b| allocs.peak_extra < b.peak_extra) {

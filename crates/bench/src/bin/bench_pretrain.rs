@@ -19,11 +19,11 @@
 //! no speedup is possible, and `host_cores` in the JSON says why).
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use tcsl_bench::alloc_track::{alloc_profile, AllocStats, CountingAlloc};
 use tcsl_core::{pretrain, CslConfig, DiffPath, TrainingReport};
 use tcsl_data::{archive, Dataset};
+use tcsl_obs::spans::Stopwatch;
 use tcsl_shapelet::init::init_from_data;
 use tcsl_shapelet::{Measure, ShapeletBank, ShapeletConfig};
 use tcsl_tensor::rng::seeded;
@@ -57,9 +57,9 @@ fn run_leg(
     let mut out: Option<(TrainingReport, Vec<Tensor>)> = None;
     for _ in 0..reps {
         let mut bank = bank0.clone();
-        let start = Instant::now();
+        let watch = Stopwatch::start("bench.pretrain_leg");
         let (report, allocs) = alloc_profile(|| pretrain(&mut bank, ds, cfg));
-        best_secs = best_secs.min(start.elapsed().as_secs_f64());
+        best_secs = best_secs.min(watch.stop());
         // Min peak over reps: the steady-state figure, free of one-time
         // lazy initialization in the first run.
         if best_allocs.is_none_or(|b| allocs.peak_extra < b.peak_extra) {
@@ -112,6 +112,35 @@ struct Case {
     label: &'static str,
     epochs: usize,
     grains: Vec<f32>,
+}
+
+/// Upper-bounds the wall-clock cost that *disabled* instrumentation adds to
+/// one serial pretrain run: counts every counter `add` call and completed
+/// span an instrumented run generates (events ride on the same gate), then
+/// prices each at the measured cost of the disabled gate check.
+///
+/// Returns `(hits, overhead_secs)`. A batched `add(n)` is one gate check
+/// however many units it carries, so hits tracks calls, not counter values.
+fn disabled_overhead_bound(bank0: &ShapeletBank, ds: &Dataset, cfg: &CslConfig) -> (u64, f64) {
+    std::env::set_var("TCSL_THREADS", "1");
+    tcsl_obs::trace::use_memory_sink();
+    tcsl_obs::set_enabled(true);
+    tcsl_obs::counters::reset();
+    tcsl_obs::spans::reset();
+    let mut bank = bank0.clone();
+    let _ = pretrain(&mut bank, ds, cfg);
+    let hits = tcsl_obs::counters::counter_hits_upper_bound()
+        + tcsl_obs::spans::span_snapshot()
+            .iter()
+            .map(|(_, s)| s.count)
+            .sum::<u64>();
+    tcsl_obs::set_enabled(false);
+    tcsl_obs::trace::reset_sink();
+    tcsl_obs::counters::reset();
+    tcsl_obs::spans::reset();
+    std::env::remove_var("TCSL_THREADS");
+    let per_op = tcsl_obs::disabled_probe_secs_per_op(1_000_000);
+    (hits, hits as f64 * per_op)
 }
 
 fn main() {
@@ -172,6 +201,28 @@ fn main() {
         };
 
         let serial = run_leg(1, &bank, &train, &cfg, reps);
+
+        // Full mode only: assert the telemetry layer is effectively free
+        // when disabled — the priced-out gate cost of every hit one run
+        // generates must stay under 1% of the serial leg's wall time.
+        let (obs_hits, obs_overhead_secs) = if smoke {
+            (0, 0.0)
+        } else {
+            disabled_overhead_bound(&bank, &train, &cfg)
+        };
+        let obs_overhead_frac = obs_overhead_secs / serial.best_secs;
+        if !smoke {
+            assert!(
+                obs_overhead_frac < 0.01,
+                "case {}: disabled instrumentation overhead bound ({:.3e}s over {} hits) \
+                 is not under 1% of the serial leg ({:.4}s)",
+                case.label,
+                obs_overhead_secs,
+                obs_hits,
+                serial.best_secs
+            );
+        }
+
         let parallel = run_leg(parallel_threads, &bank, &train, &cfg, reps);
         let deterministic = legs_identical(&serial, &parallel);
         assert!(
@@ -203,7 +254,7 @@ fn main() {
         let mut entry = String::new();
         let _ = write!(
             entry,
-            "{{\"case\":\"{}\",\"epochs\":{},\"grains\":{},\"batch_size\":{},\"serial_secs\":{:.4},\"parallel_secs\":{:.4},\"parallel_threads\":{},\"speedup\":{:.2},\"deterministic\":{},\"serial\":{},\"parallel\":{},\"oracle_serial\":{},\"oracle_over_fused_peak_alloc\":{:.2},\"losses\":{}}}",
+            "{{\"case\":\"{}\",\"epochs\":{},\"grains\":{},\"batch_size\":{},\"serial_secs\":{:.4},\"parallel_secs\":{:.4},\"parallel_threads\":{},\"speedup\":{:.2},\"deterministic\":{},\"serial\":{},\"parallel\":{},\"oracle_serial\":{},\"oracle_over_fused_peak_alloc\":{:.2},\"obs_hits\":{},\"obs_disabled_overhead_frac\":{:.6},\"losses\":{}}}",
             case.label,
             case.epochs,
             case.grains.len(),
@@ -217,6 +268,8 @@ fn main() {
             leg_json(&parallel),
             leg_json(&oracle),
             peak_ratio,
+            obs_hits,
+            obs_overhead_frac,
             loss_json(&serial.report)
         );
         println!("{entry}");

@@ -12,10 +12,10 @@
 //! report to `BENCH_transform.json` (see EXPERIMENTS.md for the format).
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use tcsl_bench::alloc_track::{alloc_profile, CountingAlloc};
 use tcsl_data::TimeSeries;
+use tcsl_obs::spans::Stopwatch;
 use tcsl_shapelet::transform::{transform_series, transform_series_oracle};
 use tcsl_shapelet::{ShapeletBank, ShapeletConfig};
 use tcsl_tensor::rng::seeded;
@@ -29,17 +29,17 @@ static ALLOC: CountingAlloc = CountingAlloc;
 /// would otherwise dominate the naive/fused ratio run to run.
 fn time_per_call<F: FnMut()>(mut f: F) -> f64 {
     f(); // warm-up (page in buffers, populate the bank cache)
-    let probe = Instant::now();
+    let probe = Stopwatch::start("bench.transform_probe");
     f();
-    let once = probe.elapsed().as_secs_f64();
+    let once = probe.stop();
     let iters = ((0.2 / once.max(1e-9)) as usize).clamp(2, 4_000);
     let mut best = f64::INFINITY;
     for _ in 0..5 {
-        let start = Instant::now();
+        let watch = Stopwatch::start("bench.transform_batch");
         for _ in 0..iters {
             f();
         }
-        best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+        best = best.min(watch.stop() / iters as f64);
     }
     best
 }

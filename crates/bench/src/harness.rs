@@ -59,10 +59,10 @@ pub fn run_classification_entry(entry: &ArchiveEntry, seed: u64) -> DatasetResul
 
     // DTW-1NN: classification only (no representation, no training).
     let mut dtw = Dtw1Nn::new();
-    let t0 = std::time::Instant::now();
+    let watch = tcsl_obs::spans::Stopwatch::start("harness.dtw_1nn");
     dtw.fit(&train);
     acc.push(accuracy(&dtw.predict(&test), yte));
-    times.push(t0.elapsed().as_secs_f64()); // fit+predict = its entire cost
+    times.push(watch.stop()); // fit+predict = its entire cost
     nmis.push(f64::NAN); // excluded from the clustering axis
     methods.push("DTW-1NN");
 
@@ -124,7 +124,7 @@ pub fn run_long_entry(entry: &ArchiveEntry, seed: u64) -> LongResult {
     let mut total = Vec::new();
 
     for m in [Method::Csl, Method::CnnSimclr, Method::StatFeatures] {
-        let t0 = std::time::Instant::now();
+        let watch = tcsl_obs::spans::Stopwatch::start("harness.long_method");
         let repr = train_method(m, &train, seed, true);
         let ztr = repr.encode(&train);
         let zte = repr.encode(&test);
@@ -133,16 +133,16 @@ pub fn run_long_entry(entry: &ArchiveEntry, seed: u64) -> LongResult {
         let a = accuracy(&svm.predict(&zte), yte);
         methods.push(repr.name);
         acc.push(a);
-        total.push(t0.elapsed().as_secs_f64());
+        total.push(watch.stop());
     }
 
-    let t0 = std::time::Instant::now();
+    let watch = tcsl_obs::spans::Stopwatch::start("harness.dtw_1nn");
     let mut dtw = Dtw1Nn::new();
     dtw.fit(&train);
     let a = accuracy(&dtw.predict(&test), yte);
     methods.push("DTW-1NN");
     acc.push(a);
-    total.push(t0.elapsed().as_secs_f64());
+    total.push(watch.stop());
 
     LongResult {
         dataset: entry.name.to_string(),

@@ -14,6 +14,7 @@
 //! | `exp_pipeline` | Figure 2 — the unified pipeline on three tasks |
 //! | `exp_explore_render` | Figure 3 — the exploration panels as SVG |
 
-pub mod alloc_track;
+pub use tcsl_obs::alloc_track;
+
 pub mod harness;
 pub mod methods;

@@ -108,7 +108,7 @@ fn engine_routing_matches_oracle_paths_end_to_end() {
     let mut km = KMeans::new(2);
     let assign = km.fit_predict(&zte);
     let centers = km.centers().unwrap();
-    for i in 0..zte.rows() {
+    for (i, &got) in assign.iter().enumerate() {
         let mut best = 0usize;
         let mut best_d = f32::INFINITY;
         for c in 0..centers.rows() {
@@ -123,10 +123,7 @@ fn engine_routing_matches_oracle_paths_end_to_end() {
                 best = c;
             }
         }
-        assert_eq!(
-            assign[i], best,
-            "k-means row {i} not assigned to argmin center"
-        );
+        assert_eq!(got, best, "k-means row {i} not assigned to argmin center");
     }
 
     // t-SNE affinity input: the engine matrix agrees with the oracle to

@@ -119,18 +119,23 @@ pub fn fine_tune(
     let head_b_idx = ps.register("head_b", Tensor::zeros([n_classes]));
     let mut opt = Adam::new(cfg.learning_rate);
 
+    let _run_span = tcsl_obs::spans::span("fine_tune");
     let start = Instant::now();
     let mut epoch_loss = Vec::with_capacity(cfg.epochs);
-    for _epoch in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        let _epoch_span = tcsl_obs::spans::span("epoch");
+        let epoch_start = Instant::now();
         let order = permutation(&mut rng, ds.len());
         let mut sum = 0.0f64;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
+            let _batch_span = tcsl_obs::spans::span("batch");
             let batch: Vec<Tensor> = chunk
                 .iter()
                 .map(|&i| ds.series(i).values().clone())
                 .collect();
             let targets: Vec<usize> = chunk.iter().map(|&i| ds.label(i)).collect();
+            tcsl_obs::counters::FINETUNE_EXAMPLES.add(batch.len() as u64);
 
             // Fan out: one worker subgraph per example. The batch loss is
             // the mean of per-example cross-entropies, so per-example
@@ -175,6 +180,17 @@ pub fn fine_tune(
             opt.step(&mut ps, &gvec);
         }
         epoch_loss.push((sum / batches.max(1) as f64) as f32);
+        if tcsl_obs::enabled() {
+            let secs = epoch_start.elapsed().as_secs_f64();
+            tcsl_obs::trace::emit(
+                tcsl_obs::trace::Event::new("finetune_epoch")
+                    .u64("epoch", epoch as u64)
+                    .f32("loss", *epoch_loss.last().unwrap())
+                    .u64("n_series", ds.len() as u64)
+                    .f64("secs", secs)
+                    .f64("series_per_sec", ds.len() as f64 / secs.max(1e-12)),
+            );
+        }
     }
 
     if !cfg.freeze_shapelets {

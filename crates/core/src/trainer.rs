@@ -51,7 +51,10 @@ pub struct TrainingReport {
 
 impl TrainingReport {
     /// Renders the learning curve as a small ASCII chart (one line per
-    /// epoch) — the headless stand-in for the GUI's loss plot.
+    /// epoch) — the headless stand-in for the GUI's loss plot. When the
+    /// validation hold-out was enabled, each line also carries the
+    /// held-out contrastive loss (`val` column); without it the layout is
+    /// unchanged.
     pub fn learning_curve_ascii(&self) -> String {
         let max = self
             .epoch_total
@@ -59,10 +62,18 @@ impl TrainingReport {
             .copied()
             .fold(f32::MIN, f32::max)
             .max(1e-9);
+        let has_val = self.epoch_validation.len() == self.epoch_total.len();
         let mut out = String::new();
         for (e, &l) in self.epoch_total.iter().enumerate() {
             let bar = "#".repeat(((l / max) * 40.0).round() as usize);
-            out.push_str(&format!("epoch {e:>3}  total {l:>8.4}  {bar}\n"));
+            if has_val {
+                let v = self.epoch_validation[e];
+                out.push_str(&format!(
+                    "epoch {e:>3}  total {l:>8.4}  val {v:>8.4}  {bar}\n"
+                ));
+            } else {
+                out.push_str(&format!("epoch {e:>3}  total {l:>8.4}  {bar}\n"));
+            }
         }
         out
     }
@@ -191,7 +202,12 @@ pub fn pretrain(bank: &mut ShapeletBank, ds: &Dataset, cfg: &CslConfig) -> Train
     }
     let mut opt = Adam::new(cfg.learning_rate);
 
+    let run_span = tcsl_obs::spans::span("pretrain");
     let start = Instant::now();
+    // Baseline for per-epoch peak-alloc reporting. Read-only: resetting the
+    // shared counters here would clobber an enclosing `alloc_profile` (the
+    // bench binaries profile whole pretrain calls).
+    let live0 = tcsl_obs::alloc_track::live_bytes();
     let mut report = TrainingReport {
         epoch_contrast: Vec::with_capacity(cfg.epochs),
         epoch_align: Vec::with_capacity(cfg.epochs),
@@ -201,26 +217,69 @@ pub fn pretrain(bank: &mut ShapeletBank, ds: &Dataset, cfg: &CslConfig) -> Train
         wall_time: Duration::ZERO,
     };
 
-    for _epoch in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        let epoch_span = tcsl_obs::spans::span("epoch");
+        let epoch_start = Instant::now();
+        // Parameter snapshot for the update-magnitude telemetry — only
+        // cloned when tracing is on.
+        let params_before: Option<Vec<Tensor>> =
+            tcsl_obs::enabled().then(|| (0..ps.len()).map(|i| ps.get(i).clone()).collect());
         let order: Vec<usize> = {
             let p = permutation(&mut rng, train_idx.len());
             p.into_iter().map(|i| train_idx[i]).collect()
         };
         let mut sums = (0.0f64, 0.0f64, 0.0f64);
         let mut batches = 0usize;
+        let mut epoch_pairs = 0usize;
+        let mut grad_norm_sum = 0.0f64;
         for chunk in epoch_batches(&order, cfg.batch_size) {
             if chunk.len() < 2 {
                 continue; // NT-Xent needs at least one negative.
             }
+            let _batch_span = tcsl_obs::spans::span("batch");
             // View sampling stays on the main-thread RNG — the sampled
             // crops are identical at any thread count.
             let pairs = sample_views(ds, &chunk, &cfg.grains, cfg.min_crop, &mut rng);
+            tcsl_obs::counters::TRAINER_PAIRS.add(pairs.len() as u64);
+            epoch_pairs += pairs.len();
 
             // Fan out: one independent subgraph per pair. `parallel_map`
             // returns results in pair order whatever the schedule.
-            let results = parallel_map(pairs.len(), |p| {
-                pair_forward_backward(&ps, bank, cfg, &pairs[p])
-            });
+            //
+            // A non-finite feature value trips the tape's finiteness check
+            // deep inside a worker, where the panic names the op but not
+            // *when* training derailed. Catch it here to attach the
+            // epoch/batch context (and the structured event) before
+            // re-raising; unrelated panics resume untouched.
+            let forward = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                parallel_map(pairs.len(), |p| {
+                    pair_forward_backward(&ps, bank, cfg, &pairs[p])
+                })
+            }));
+            let results = match forward {
+                Ok(r) => r,
+                Err(payload) => {
+                    let detail = payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                        .unwrap_or("unknown panic");
+                    if detail.contains("non-finite") {
+                        tcsl_obs::trace::emit(
+                            tcsl_obs::trace::Event::new("non_finite_loss")
+                                .u64("epoch", epoch as u64)
+                                .u64("batch", batches as u64)
+                                .str("detail", detail),
+                        );
+                        panic!(
+                            "non-finite training state at epoch {epoch}, batch {batches}: \
+                             {detail} — check the input series for NaN/inf values or lower \
+                             the learning rate"
+                        );
+                    }
+                    std::panic::resume_unwind(payload);
+                }
+            };
 
             // Reduce in fixed pair order (f32 addition is not associative;
             // a fixed order is what keeps training deterministic).
@@ -235,6 +294,37 @@ pub fn pretrain(bank: &mut ShapeletBank, ds: &Dataset, cfg: &CslConfig) -> Train
             let contrast_mean = csum * inv;
             let align_mean = asum * inv;
             let total = contrast_mean + align_mean * cfg.alignment_weight;
+
+            let gvec = acc.into_mean();
+            // Guard *before* the optimizer step: once a NaN/inf loss or
+            // gradient reaches Adam every parameter is poisoned, and the
+            // old failure mode was a contextless downstream panic. The
+            // fixed-order f64 sum keeps the reported norm deterministic.
+            let grad_norm = gvec
+                .iter()
+                .flat_map(|t| t.as_slice())
+                .map(|&v| f64::from(v) * f64::from(v))
+                .sum::<f64>()
+                .sqrt();
+            if !total.is_finite() || !grad_norm.is_finite() {
+                tcsl_obs::trace::emit(
+                    tcsl_obs::trace::Event::new("non_finite_loss")
+                        .u64("epoch", epoch as u64)
+                        .u64("batch", batches as u64)
+                        .f32("contrast", contrast_mean)
+                        .f32("align", align_mean)
+                        .f32("total", total)
+                        .f64("grad_norm", grad_norm),
+                );
+                panic!(
+                    "non-finite training state at epoch {epoch}, batch {batches}: \
+                     loss total={total} (contrast={contrast_mean}, align={align_mean}), \
+                     gradient norm={grad_norm} — check the input series for NaN/inf values \
+                     or lower the learning rate"
+                );
+            }
+            grad_norm_sum += grad_norm;
+
             sums.0 += contrast_mean as f64;
             if cfg.alignment_weight > 0.0 {
                 sums.1 += align_mean as f64;
@@ -242,7 +332,6 @@ pub fn pretrain(bank: &mut ShapeletBank, ds: &Dataset, cfg: &CslConfig) -> Train
             sums.2 += total as f64;
             batches += 1;
 
-            let gvec = acc.into_mean();
             opt.step(&mut ps, &gvec);
             report.n_steps += 1;
         }
@@ -262,8 +351,10 @@ pub fn pretrain(bank: &mut ShapeletBank, ds: &Dataset, cfg: &CslConfig) -> Train
         // per epoch, no gradient step. Pairs are scored on worker threads
         // (values only), mean taken in pair order on the main thread.
         if !val_idx.is_empty() {
+            let _val_span = tcsl_obs::spans::span("validate");
             let mut vrng = seeded(cfg.seed ^ 0xA11DA7); // fixed validation stream
             let pairs = sample_views(ds, &val_idx, &cfg.grains, cfg.min_crop, &mut vrng);
+            tcsl_obs::counters::TRAINER_PAIRS.add(pairs.len() as u64);
             let vals = parallel_map(pairs.len(), |p| {
                 let mut g = Graph::new();
                 let bound = BoundBank {
@@ -292,7 +383,51 @@ pub fn pretrain(bank: &mut ShapeletBank, ds: &Dataset, cfg: &CslConfig) -> Train
             let mean = vals.iter().sum::<f32>() * (1.0 / vals.len() as f32);
             report.epoch_validation.push(mean);
         }
+
+        // Per-epoch structured event. Losses, gradient norm, update
+        // magnitude and counts are deterministic (fixed-order reductions
+        // over input-determined work); `secs`, `series_per_sec` and
+        // `peak_alloc_mb` are wall-clock/host quantities — the determinism
+        // test excludes exactly those field names.
+        if tcsl_obs::enabled() {
+            let update_mag = params_before
+                .map(|before| {
+                    let mut sq = 0.0f64;
+                    for (i, old) in before.iter().enumerate() {
+                        sq += old
+                            .as_slice()
+                            .iter()
+                            .zip(ps.get(i).as_slice())
+                            .map(|(&a, &b)| f64::from(b - a) * f64::from(b - a))
+                            .sum::<f64>();
+                    }
+                    sq.sqrt()
+                })
+                .unwrap_or(0.0);
+            let secs = epoch_start.elapsed().as_secs_f64();
+            let peak_mb = tcsl_obs::alloc_track::peak_bytes().saturating_sub(live0) as f64
+                / (1024.0 * 1024.0);
+            let mut ev = tcsl_obs::trace::Event::new("epoch")
+                .u64("epoch", epoch as u64)
+                .f32("contrast", *report.epoch_contrast.last().unwrap())
+                .f32("align", *report.epoch_align.last().unwrap())
+                .f32("total", *report.epoch_total.last().unwrap());
+            if let Some(&v) = report.epoch_validation.last() {
+                ev = ev.f32("validation", v);
+            }
+            tcsl_obs::trace::emit(
+                ev.f64("grad_norm", grad_norm_sum / n)
+                    .f64("update_mag", update_mag)
+                    .u64("n_series", train_idx.len() as u64)
+                    .u64("n_pairs", epoch_pairs as u64)
+                    .f64("secs", secs)
+                    .f64("series_per_sec", train_idx.len() as f64 / secs.max(1e-12))
+                    .f64("peak_alloc_mb", peak_mb),
+            );
+        }
+        drop(epoch_span);
     }
+    drop(run_span);
 
     // Persist learned shapelets back into the bank.
     let values: Vec<_> = (0..ps.len()).map(|i| ps.get(i).clone()).collect();
@@ -569,6 +704,107 @@ mod tests {
         let chart = report.learning_curve_ascii();
         assert!(chart.contains("epoch   0"));
         assert!(chart.lines().count() == 2);
+        // No hold-out: no validation column (the pre-fix layout).
+        assert!(!chart.contains("val "));
+    }
+
+    #[test]
+    fn learning_curve_renders_validation_column() {
+        // Regression: the chart silently ignored epoch_validation, so a
+        // run with the hold-out enabled plotted only the training loss.
+        let report = TrainingReport {
+            epoch_contrast: vec![1.0, 0.5],
+            epoch_align: vec![0.1, 0.05],
+            epoch_total: vec![1.05, 0.525],
+            epoch_validation: vec![1.2, 0.9],
+            n_steps: 10,
+            wall_time: Duration::from_millis(5),
+        };
+        let chart = report.learning_curve_ascii();
+        assert_eq!(chart.lines().count(), 2);
+        // Pin the exact line shape: epoch, total, val, then the bar.
+        let first = chart.lines().next().unwrap();
+        assert!(
+            first.starts_with("epoch   0  total   1.0500  val   1.2000  "),
+            "unexpected layout: {first:?}"
+        );
+        assert!(first.ends_with(&"#".repeat(40)), "bar lost: {first:?}");
+        assert!(chart.lines().all(|l| l.contains("  val ")));
+    }
+
+    fn poisoned_setup() -> (ShapeletBank, Dataset, CslConfig) {
+        use tcsl_data::TimeSeries;
+        // Clean data to initialize a sane bank, then a NaN-poisoned series
+        // in the training set itself.
+        let mut series: Vec<TimeSeries> = (0..4)
+            .map(|s| {
+                TimeSeries::univariate((0..32).map(|t| ((s + t) as f32 * 0.37).sin()).collect())
+            })
+            .collect();
+        let clean = Dataset::unlabeled("clean", series.clone());
+        let cfg = ShapeletConfig {
+            lengths: vec![8],
+            k_per_group: 2,
+            measures: vec![Measure::Euclidean],
+            stride: 1,
+        };
+        let mut bank = ShapeletBank::new(&cfg, 1);
+        init_from_data(&mut bank, &clean, 2, &mut seeded(1));
+        // Values this large overflow the squared-distance computation to
+        // +inf, which survives the Euclidean pooling (raw NaN inputs are
+        // absorbed by an `f32::max` in the kernel and come out as the
+        // epsilon floor instead — overflow is the poison that actually
+        // propagates to the features).
+        series[1] = TimeSeries::univariate(vec![1.0e20; 32]);
+        let ds = Dataset::unlabeled("poisoned", series);
+        let train_cfg = CslConfig {
+            epochs: 1,
+            batch_size: 4,
+            grains: vec![1.0],
+            seed: 3,
+            ..CslConfig::fast()
+        };
+        (bank, ds, train_cfg)
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite training state at epoch 0, batch 0")]
+    fn poisoned_input_panics_with_epoch_and_batch() {
+        let (mut bank, ds, cfg) = poisoned_setup();
+        pretrain(&mut bank, &ds, &cfg);
+    }
+
+    #[test]
+    fn poisoned_input_emits_non_finite_event() {
+        let (mut bank, ds, cfg) = poisoned_setup();
+        // Memory sink first, then enable: no trace file must appear.
+        tcsl_obs::trace::use_memory_sink();
+        tcsl_obs::set_enabled(true);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pretrain(&mut bank, &ds, &cfg)
+        }));
+        tcsl_obs::set_enabled(false);
+        let events = tcsl_obs::trace::take_events();
+        tcsl_obs::trace::reset_sink();
+        assert!(result.is_err(), "poisoned input must abort training");
+        // Concurrent tests may have emitted their own events while tracing
+        // was on; filter by kind.
+        let ev = events
+            .iter()
+            .find(|e| e.kind == "non_finite_loss")
+            .expect("no non_finite_loss event emitted");
+        use tcsl_obs::trace::Value;
+        assert_eq!(ev.field("epoch"), Some(&Value::U64(0)));
+        assert_eq!(ev.field("batch"), Some(&Value::U64(0)));
+        // The event carries the failure detail: either the caught tape
+        // panic (debug builds) or the non-finite loss/grad values (release
+        // builds, where the tape's debug_assert is compiled out).
+        let has_context = match (ev.field("detail"), ev.field("total")) {
+            (Some(Value::Str(d)), _) => d.contains("non-finite"),
+            (None, Some(Value::F64(v))) => !v.is_finite(),
+            _ => false,
+        };
+        assert!(has_context, "event lacks failure context: {ev:?}");
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! The observability determinism contract, end to end: a trace-enabled
+//! pre-training run must produce **identical counter totals and identical
+//! event values** whatever `TCSL_THREADS` says — only wall-clock span
+//! timings and host-shaped fields (`secs`, `series_per_sec`,
+//! `peak_alloc_mb`) may differ between schedules.
+//!
+//! This holds because every instrumented quantity is a function of the
+//! input, never of the schedule: view sampling stays on the main-thread
+//! RNG, the pairdist row-block partition depends on `N` alone, the window
+//! cache is scoped per view pair, and per-epoch loss/grad-norm fields come
+//! from the fixed-order gradient reduction.
+//!
+//! Everything runs inside ONE `#[test]` — the obs registries and the
+//! `TCSL_THREADS` variable are process-global, so concurrent test threads
+//! would race on them.
+
+use tcsl_core::{pretrain, CslConfig};
+use tcsl_data::{archive, Dataset};
+use tcsl_obs::trace::Value;
+use tcsl_shapelet::init::init_from_data;
+use tcsl_shapelet::{Measure, ShapeletBank, ShapeletConfig};
+use tcsl_tensor::rng::seeded;
+
+/// Wall-clock / host-shaped event fields, excluded from the comparison.
+const NONDETERMINISTIC_FIELDS: &[&str] = &["secs", "series_per_sec", "peak_alloc_mb"];
+
+fn setup() -> (ShapeletBank, Dataset) {
+    let entry = archive::by_name("MotifEasy").unwrap();
+    let (train, _) = archive::generate_split(&entry, 3);
+    let train = train.znormed();
+    let cfg = ShapeletConfig {
+        lengths: vec![8, 16],
+        k_per_group: 4,
+        measures: vec![Measure::Euclidean, Measure::Cosine],
+        stride: 1,
+    };
+    let mut bank = ShapeletBank::new(&cfg, 1);
+    init_from_data(&mut bank, &train, 4, &mut seeded(1));
+    (bank, train)
+}
+
+/// An event with the wall-clock fields stripped, rendered to JSON so the
+/// comparison covers names, order and exact serialized values.
+fn deterministic_json(ev: &tcsl_obs::trace::Event) -> String {
+    let mut stripped = tcsl_obs::trace::Event::new(ev.kind);
+    stripped.fields = ev
+        .fields
+        .iter()
+        .filter(|(name, _)| !NONDETERMINISTIC_FIELDS.contains(name))
+        .cloned()
+        .collect();
+    stripped.to_json()
+}
+
+/// One fully-instrumented pretrain run at the given worker count,
+/// returning the aggregated counter totals and the stripped event stream.
+fn traced_run(threads: &str) -> (Vec<(&'static str, u64)>, Vec<String>) {
+    std::env::set_var("TCSL_THREADS", threads);
+    tcsl_obs::trace::use_memory_sink();
+    tcsl_obs::counters::reset();
+    tcsl_obs::spans::reset();
+    tcsl_obs::set_enabled(true);
+
+    let (mut bank, train) = setup();
+    let cfg = CslConfig {
+        epochs: 2,
+        batch_size: 8,
+        validation_frac: 0.2,
+        seed: 11,
+        ..CslConfig::fast()
+    };
+    let report = pretrain(&mut bank, &train, &cfg);
+    assert_eq!(report.epoch_total.len(), 2);
+
+    let counters = tcsl_obs::counters::counter_snapshot();
+    let events: Vec<String> = tcsl_obs::trace::take_events()
+        .iter()
+        .map(deterministic_json)
+        .collect();
+
+    tcsl_obs::set_enabled(false);
+    tcsl_obs::trace::reset_sink();
+    tcsl_obs::counters::reset();
+    tcsl_obs::spans::reset();
+    std::env::remove_var("TCSL_THREADS");
+    (counters, events)
+}
+
+#[test]
+fn trainer_trace_is_deterministic() {
+    // Serial vs oversubscribed (7 workers on any host): aggregated
+    // counter totals and all non-wall-clock event content must be
+    // bit-identical.
+    let (counters_1, events_1) = traced_run("1");
+    let (counters_7, events_7) = traced_run("7");
+
+    assert_eq!(
+        counters_1, counters_7,
+        "aggregated counter totals differ between TCSL_THREADS=1 and 7"
+    );
+    assert_eq!(
+        events_1, events_7,
+        "trace event values differ between TCSL_THREADS=1 and 7"
+    );
+
+    // The run actually exercised the instruments: every well-known
+    // counter the trainer path touches must be non-zero.
+    let value = |name: &str| {
+        counters_1
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("counter {name} missing from snapshot"))
+    };
+    assert!(value("trainer.pairs") > 0);
+    assert!(value("window_cache.hit") > 0);
+    assert!(value("window_cache.miss") > 0);
+    assert!(
+        value("dot.dispatch.avx2_fma") + value("dot.dispatch.scalar") > 0,
+        "no dot products were dispatched"
+    );
+
+    // The event stream carries the per-epoch schema EXPERIMENTS.md
+    // documents: one `epoch` event per epoch with the loss, gradient and
+    // throughput fields (wall-clock fields stripped here, but present in
+    // the raw events — checked via the JSON of an unstripped event).
+    let epochs: Vec<&String> = events_1
+        .iter()
+        .filter(|e| e.starts_with("{\"event\":\"epoch\""))
+        .collect();
+    assert_eq!(epochs.len(), 2, "expected one epoch event per epoch");
+    for (i, e) in epochs.iter().enumerate() {
+        assert!(e.contains(&format!("\"epoch\":{i}")));
+        for field in [
+            "\"contrast\":",
+            "\"align\":",
+            "\"total\":",
+            "\"validation\":",
+            "\"grad_norm\":",
+            "\"update_mag\":",
+            "\"n_series\":",
+            "\"n_pairs\":",
+        ] {
+            assert!(e.contains(field), "epoch event missing {field}: {e}");
+        }
+    }
+
+    // Raw (unstripped) events still carry the wall-clock fields — they
+    // are excluded from the determinism comparison, not from the trace.
+    std::env::set_var("TCSL_THREADS", "1");
+    tcsl_obs::trace::use_memory_sink();
+    tcsl_obs::set_enabled(true);
+    let (mut bank, train) = setup();
+    let cfg = CslConfig {
+        epochs: 1,
+        batch_size: 8,
+        grains: vec![1.0],
+        seed: 11,
+        ..CslConfig::fast()
+    };
+    pretrain(&mut bank, &train, &cfg);
+    tcsl_obs::set_enabled(false);
+    let raw = tcsl_obs::trace::take_events();
+    tcsl_obs::trace::reset_sink();
+    tcsl_obs::counters::reset();
+    tcsl_obs::spans::reset();
+    std::env::remove_var("TCSL_THREADS");
+    let epoch = raw
+        .iter()
+        .find(|e| e.kind == "epoch")
+        .expect("epoch event emitted");
+    for field in NONDETERMINISTIC_FIELDS {
+        match epoch.field(field) {
+            Some(Value::F64(v)) => assert!(v.is_finite(), "{field} not finite"),
+            other => panic!("epoch event missing wall-clock field {field}: {other:?}"),
+        }
+    }
+}

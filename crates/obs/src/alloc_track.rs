@@ -1,21 +1,27 @@
-//! Allocation tracking shared by the benchmark binaries.
+//! Allocation tracking shared by the benchmark binaries and the trainer's
+//! run telemetry.
 //!
 //! [`CountingAlloc`] wraps the system allocator and tracks live bytes, the
 //! high-water mark and total bytes ever requested, so benchmarks can report
 //! the fused kernels' peak-allocation contract (no term proportional to
-//! `N_w × D·len`, in inference *or* training).
+//! `N_w × D·len`, in inference *or* training) and the trainer can report
+//! per-epoch peak allocation in its trace events.
 //!
 //! Each binary that wants the numbers declares its own global allocator:
 //!
 //! ```ignore
 //! #[global_allocator]
-//! static ALLOC: tcsl_bench::alloc_track::CountingAlloc =
-//!     tcsl_bench::alloc_track::CountingAlloc;
+//! static ALLOC: tcsl_obs::alloc_track::CountingAlloc =
+//!     tcsl_obs::alloc_track::CountingAlloc;
 //! ```
 //!
 //! (The `#[global_allocator]` attribute must live in the binary — a library
 //! cannot impose an allocator on every consumer.) Without it, the counters
 //! simply stay at zero and [`alloc_profile`] reports zeros.
+//!
+//! This module lives in `tcsl-obs` (the bottom of the dependency stack) so
+//! `tcsl-core` can read the counters without depending on `tcsl-bench`;
+//! `tcsl_bench::alloc_track` re-exports it for the existing call sites.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -42,6 +48,21 @@ unsafe impl GlobalAlloc for CountingAlloc {
         unsafe { System.dealloc(ptr, layout) };
         LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
     }
+}
+
+/// Bytes currently live (zero unless the running binary installed
+/// [`CountingAlloc`] as its global allocator).
+pub fn live_bytes() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// High-water mark of live bytes since the last [`reset_counters`].
+///
+/// Read-only: safe to call from inside a profiled region (e.g. the
+/// trainer's per-epoch telemetry) without clobbering an enclosing
+/// [`alloc_profile`].
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
 }
 
 /// Resets the peak/total counters to the current live level.

@@ -1,0 +1,407 @@
+//! Registered atomic counters and gauges.
+//!
+//! A [`Counter`] is a named, monotonically increasing `u64`; a [`Gauge`] is
+//! a named last-write-wins `u64`. Both live as `static`s — the well-known
+//! ones every layer of the stack increments are defined here (so they are
+//! always present in reports, zero-valued when a run never touched them),
+//! and other crates can declare their own, which register themselves on
+//! first use.
+//!
+//! **Determinism.** Counter totals are sums of per-call-site contributions
+//! merged into one `u64` atomic with relaxed `fetch_add`. Unsigned addition
+//! is associative and commutative, so the total depends only on *what work
+//! ran*, never on thread count or schedule — the same contract as the
+//! fixed-order gradient reduction. Hot loops accumulate into a
+//! [`LocalCounter`] (a plain per-thread `u64`) and merge once, so tracing a
+//! parallel region costs one atomic per work item rather than per element.
+//! Gauges are last-write-wins and carry **no** cross-thread determinism
+//! guarantee; determinism tests compare counters only.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A named monotonically increasing counter.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    /// Number of `add` invocations (not units added): each call is exactly
+    /// one enabled-gate check, so this is what a *disabled* run of the same
+    /// work pays — the quantity `counter_hits_upper_bound` prices out.
+    calls: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// Declares a counter. Use as a `static`:
+    /// `static HITS: Counter = Counter::new("cache.hit");`
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            calls: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Adds `n` when instrumentation is enabled; a relaxed load and a
+    /// branch otherwise.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if crate::enabled() {
+            self.record(n);
+        }
+    }
+
+    #[cold]
+    fn record(&'static self, n: u64) {
+        self.ensure_registered();
+        self.value.fetch_add(n, Ordering::Relaxed);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Counter name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            let well_known = WELL_KNOWN.iter().any(|c| std::ptr::eq(*c, self));
+            if !well_known {
+                dynamic()
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(self);
+            }
+        }
+    }
+}
+
+/// A named last-write-wins value (e.g. a configured thread count). Not
+/// covered by the counter determinism contract.
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// Declares a gauge. Use as a `static`.
+    pub const fn new(name: &'static str) -> Gauge {
+        Gauge {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Stores `v` when instrumentation is enabled.
+    #[inline]
+    pub fn set(&'static self, v: u64) {
+        if crate::enabled() {
+            self.record(v);
+        }
+    }
+
+    #[cold]
+    fn record(&'static self, v: u64) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            let well_known = WELL_KNOWN_GAUGES.iter().any(|g| std::ptr::eq(*g, self));
+            if !well_known {
+                dynamic_gauges()
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(self);
+            }
+        }
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Gauge name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Per-thread accumulator for a hot loop: adds into a plain `u64` and
+/// merges the sum into its [`Counter`] once on drop (or [`flush`]). One
+/// atomic operation per region instead of per element, with the same
+/// order-independent total.
+///
+/// [`flush`]: LocalCounter::flush
+pub struct LocalCounter {
+    target: &'static Counter,
+    pending: u64,
+}
+
+impl LocalCounter {
+    /// Starts accumulating for `target`.
+    pub fn new(target: &'static Counter) -> LocalCounter {
+        LocalCounter { target, pending: 0 }
+    }
+
+    /// Adds locally — no atomics until the merge.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.pending += n;
+    }
+
+    /// Merges the pending sum now (drop does the same).
+    pub fn flush(&mut self) {
+        if self.pending > 0 {
+            self.target.add(self.pending);
+            self.pending = 0;
+        }
+    }
+}
+
+impl Drop for LocalCounter {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+// --- Well-known instruments (always present in reports) -----------------
+
+/// Fused-path `WindowCache` hit (same series value, scale, stride reused).
+pub static WINDOW_CACHE_HIT: Counter = Counter::new("window_cache.hit");
+/// Fused-path `WindowCache` miss (a fresh `ScaleWindows` was computed).
+pub static WINDOW_CACHE_MISS: Counter = Counter::new("window_cache.miss");
+/// Dot products dispatched to the runtime AVX2+FMA kernels. Counted in
+/// batches by the callers' loops (`count_dot_dispatch`), never inside
+/// `dot`/`dot4` themselves.
+pub static DOT_DISPATCH_AVX2_FMA: Counter = Counter::new("dot.dispatch.avx2_fma");
+/// Dot products that took the portable scalar kernel (same batch counting).
+pub static DOT_DISPATCH_SCALAR: Counter = Counter::new("dot.dispatch.scalar");
+/// Corpus tiles processed by the pairwise-distance engine
+/// (`pairdist` + `knn`): one per (row-block, column-tile) pair.
+pub static PAIRDIST_TILES: Counter = Counter::new("pairdist.tiles");
+/// View pairs pushed through contrastive pre-training (train + validation).
+pub static TRAINER_PAIRS: Counter = Counter::new("trainer.pairs");
+/// Labeled examples pushed through fine-tuning.
+pub static FINETUNE_EXAMPLES: Counter = Counter::new("finetune.examples");
+/// Shapelet groups pooled by the fully fused streaming engine.
+pub static SHAPELET_POOL_FUSED: Counter = Counter::new("shapelet.pool.fused");
+/// Shapelet groups pooled by the blocked (tiled scratch) fallback engine.
+pub static SHAPELET_POOL_BLOCKED: Counter = Counter::new("shapelet.pool.blocked");
+
+/// Worker threads used by the most recent parallel region (schedule
+/// dependent — a gauge, excluded from determinism checks).
+pub static PARALLEL_THREADS: Gauge = Gauge::new("parallel.threads");
+
+static WELL_KNOWN: &[&Counter] = &[
+    &WINDOW_CACHE_HIT,
+    &WINDOW_CACHE_MISS,
+    &DOT_DISPATCH_AVX2_FMA,
+    &DOT_DISPATCH_SCALAR,
+    &PAIRDIST_TILES,
+    &TRAINER_PAIRS,
+    &FINETUNE_EXAMPLES,
+    &SHAPELET_POOL_FUSED,
+    &SHAPELET_POOL_BLOCKED,
+];
+
+static WELL_KNOWN_GAUGES: &[&Gauge] = &[&PARALLEL_THREADS];
+
+fn dynamic() -> &'static Mutex<Vec<&'static Counter>> {
+    static DYN: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+    &DYN
+}
+
+fn dynamic_gauges() -> &'static Mutex<Vec<&'static Gauge>> {
+    static DYN: Mutex<Vec<&'static Gauge>> = Mutex::new(Vec::new());
+    &DYN
+}
+
+/// All counters `(name, value)`, sorted by name — a fixed-order merge of
+/// the well-known set and any dynamically registered counters, so two runs
+/// that did the same work produce byte-identical listings.
+pub fn counter_snapshot() -> Vec<(&'static str, u64)> {
+    let mut out: Vec<(&'static str, u64)> =
+        WELL_KNOWN.iter().map(|c| (c.name, c.value())).collect();
+    out.extend(
+        dynamic()
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|c| (c.name, c.value())),
+    );
+    out.sort_by_key(|&(name, _)| name);
+    out
+}
+
+/// All gauges `(name, value)`, sorted by name.
+pub fn gauge_snapshot() -> Vec<(&'static str, u64)> {
+    let mut out: Vec<(&'static str, u64)> = WELL_KNOWN_GAUGES
+        .iter()
+        .map(|g| (g.name, g.value()))
+        .collect();
+    out.extend(
+        dynamic_gauges()
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|g| (g.name, g.value())),
+    );
+    out.sort_by_key(|&(name, _)| name);
+    out
+}
+
+/// Total number of `add` invocations across every counter — each one is
+/// exactly one enabled-gate check, so this (plus span counts) bounds what a
+/// *disabled* run of the same work pays at counter sites. Used by
+/// `bench_pretrain`'s disabled-overhead estimate. Hot paths batch with
+/// `add(n)` or [`LocalCounter`], so this is far below the value totals.
+pub fn counter_hits_upper_bound() -> u64 {
+    let mut out: u64 = WELL_KNOWN
+        .iter()
+        .map(|c| c.calls.load(Ordering::Relaxed))
+        .sum();
+    out += dynamic()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .iter()
+        .map(|c| c.calls.load(Ordering::Relaxed))
+        .sum::<u64>();
+    out
+}
+
+/// Zeroes every registered counter and gauge (run isolation in tests and
+/// benchmarks).
+pub fn reset() {
+    for c in WELL_KNOWN {
+        c.value.store(0, Ordering::Relaxed);
+        c.calls.store(0, Ordering::Relaxed);
+    }
+    for c in dynamic().lock().unwrap_or_else(|p| p.into_inner()).iter() {
+        c.value.store(0, Ordering::Relaxed);
+        c.calls.store(0, Ordering::Relaxed);
+    }
+    for g in WELL_KNOWN_GAUGES {
+        g.value.store(0, Ordering::Relaxed);
+    }
+    for g in dynamic_gauges()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .iter()
+    {
+        g.value.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testlock;
+
+    static TEST_COUNTER: Counter = Counter::new("test.dynamic.counter");
+    static TEST_GAUGE: Gauge = Gauge::new("test.dynamic.gauge");
+
+    #[test]
+    fn disabled_counters_do_not_move() {
+        let _g = testlock::hold();
+        crate::set_enabled(false);
+        let before = TEST_COUNTER.value();
+        TEST_COUNTER.add(5);
+        assert_eq!(TEST_COUNTER.value(), before);
+    }
+
+    #[test]
+    fn enabled_counters_accumulate_and_register() {
+        let _g = testlock::hold();
+        crate::set_enabled(true);
+        reset();
+        TEST_COUNTER.add(2);
+        TEST_COUNTER.add(3);
+        assert_eq!(TEST_COUNTER.value(), 5);
+        let snap = counter_snapshot();
+        assert!(snap.contains(&("test.dynamic.counter", 5)));
+        // Well-known counters are present even when untouched.
+        assert!(snap.iter().any(|&(n, _)| n == "pairdist.tiles"));
+        // Sorted by name: a fixed-order, deterministic listing.
+        let names: Vec<_> = snap.iter().map(|&(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        crate::set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn hits_bound_counts_gate_checks_not_units() {
+        let _g = testlock::hold();
+        crate::set_enabled(true);
+        reset();
+        // A batched add is ONE gate check however many units it carries —
+        // the disabled-overhead estimate must price calls, not values.
+        TEST_COUNTER.add(1000);
+        TEST_COUNTER.add(1);
+        assert_eq!(TEST_COUNTER.value(), 1001);
+        assert_eq!(counter_hits_upper_bound(), 2);
+        crate::set_enabled(false);
+        reset();
+        assert_eq!(counter_hits_upper_bound(), 0);
+    }
+
+    #[test]
+    fn local_counter_merges_once() {
+        let _g = testlock::hold();
+        crate::set_enabled(true);
+        reset();
+        {
+            let mut local = LocalCounter::new(&TEST_COUNTER);
+            for _ in 0..10 {
+                local.add(3);
+            }
+        } // drop merges
+        assert_eq!(TEST_COUNTER.value(), 30);
+        crate::set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn local_counter_totals_are_schedule_independent() {
+        let _g = testlock::hold();
+        crate::set_enabled(true);
+        reset();
+        // 8 "workers" merging local sums concurrently: the total is exactly
+        // the sum of contributions, whatever the interleaving.
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let mut local = LocalCounter::new(&TEST_COUNTER);
+                    for _ in 0..1000 {
+                        local.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(TEST_COUNTER.value(), 8000);
+        crate::set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn gauges_last_write_wins_and_reset() {
+        let _g = testlock::hold();
+        crate::set_enabled(true);
+        reset();
+        TEST_GAUGE.set(7);
+        TEST_GAUGE.set(9);
+        assert_eq!(TEST_GAUGE.value(), 9);
+        assert!(gauge_snapshot().contains(&("test.dynamic.gauge", 9)));
+        reset();
+        assert_eq!(TEST_GAUGE.value(), 0);
+        crate::set_enabled(false);
+    }
+}

@@ -1,0 +1,66 @@
+//! Minimal JSON writer for the trace sink — no external deps, output is
+//! deterministic (fields serialize in insertion order, floats via Rust's
+//! shortest round-trip formatting, non-finite floats as strings so the
+//! stream stays valid JSON).
+
+/// Escapes `s` into `out` as a JSON string literal (with quotes).
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes an `f64` as a JSON number, or as the strings `"NaN"` /
+/// `"inf"` / `"-inf"` when non-finite (raw NaN would corrupt the stream).
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+        // `{}` on a finite whole f64 prints no ".0"; keep it a JSON number
+        // either way (5 and 5.0 are the same JSON number).
+    } else if v.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if v > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(f: impl FnOnce(&mut String)) -> String {
+        let mut out = String::new();
+        f(&mut out);
+        out
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(s(|o| write_str(o, "plain")), "\"plain\"");
+        assert_eq!(s(|o| write_str(o, "a\"b\\c\nd")), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(s(|o| write_str(o, "\u{1}")), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_round_trip_and_non_finite_become_strings() {
+        assert_eq!(s(|o| write_f64(o, 1.5)), "1.5");
+        assert_eq!(s(|o| write_f64(o, -0.25)), "-0.25");
+        assert_eq!(s(|o| write_f64(o, f64::NAN)), "\"NaN\"");
+        assert_eq!(s(|o| write_f64(o, f64::INFINITY)), "\"inf\"");
+        assert_eq!(s(|o| write_f64(o, f64::NEG_INFINITY)), "\"-inf\"");
+    }
+}

@@ -1,0 +1,247 @@
+//! Hierarchical spans with monotonic timing.
+//!
+//! [`span`] pushes a name onto a thread-local stack and returns a guard;
+//! on drop the elapsed time is folded into a process-global aggregate keyed
+//! by the slash-joined *span path* (e.g. `pretrain/epoch/batch`). Each path
+//! accumulates count, total, min and max nanoseconds.
+//!
+//! Worker threads start with an empty stack, so a span opened inside a
+//! `parallel_map` closure aggregates under its own name (e.g.
+//! `parallel/worker`) rather than under the caller's path — parent/child
+//! nesting is per-thread by construction.
+//!
+//! Span *timings* are wall-clock and therefore not deterministic; the
+//! determinism tests compare counter totals and event values only. Span
+//! *paths and counts* are deterministic whenever the traced work is.
+//!
+//! [`Stopwatch`] is the shared clock path for the benchmark binaries: it
+//! always measures (monotonic `Instant`), and records a span aggregate only
+//! when instrumentation is enabled — so `BENCH_*.json` timings and trace
+//! output come from one clock.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregated statistics for one span path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed spans at this path.
+    pub count: u64,
+    /// Sum of elapsed nanoseconds.
+    pub total_ns: u64,
+    /// Shortest single span, nanoseconds.
+    pub min_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    fn fold(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns += ns;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, SpanStat>> {
+    static REG: Mutex<BTreeMap<String, SpanStat>> = Mutex::new(BTreeMap::new());
+    &REG
+}
+
+/// RAII guard returned by [`span`]; records on drop. Disabled guards hold
+/// nothing — not even a start time — so a disabled span never reads the
+/// clock.
+pub struct SpanGuard {
+    inner: Option<(Instant, String)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((start, path)) = self.inner.take() {
+            let ns = start.elapsed().as_nanos() as u64;
+            STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+            let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+            reg.entry(path)
+                .or_insert(SpanStat {
+                    count: 0,
+                    total_ns: 0,
+                    min_ns: u64::MAX,
+                    max_ns: 0,
+                })
+                .fold(ns);
+        }
+    }
+}
+
+/// Opens a span named `name` under the current thread's span path. When
+/// instrumentation is disabled this is a relaxed load and a branch — the
+/// guard does nothing on drop.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { inner: None };
+    }
+    enter(name)
+}
+
+#[cold]
+fn enter(name: &'static str) -> SpanGuard {
+    let path = STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        stack.push(name);
+        stack.join("/")
+    });
+    SpanGuard {
+        inner: Some((Instant::now(), path)),
+    }
+}
+
+/// Runs `f` inside a span named `name`.
+#[inline]
+pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let _g = span(name);
+    f()
+}
+
+/// A monotonic stopwatch that doubles as a span: always measures, records
+/// into the span registry only when enabled. The benchmark binaries use
+/// this so their JSON timings and the trace share one clock path.
+pub struct Stopwatch {
+    start: Instant,
+    guard: SpanGuard,
+}
+
+impl Stopwatch {
+    /// Starts timing under span `name`.
+    pub fn start(name: &'static str) -> Stopwatch {
+        let guard = span(name);
+        Stopwatch {
+            start: Instant::now(),
+            guard,
+        }
+    }
+
+    /// Elapsed seconds so far, without stopping.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Stops the watch, closing the span, and returns elapsed seconds.
+    pub fn stop(self) -> f64 {
+        let secs = self.start.elapsed().as_secs_f64();
+        drop(self.guard);
+        secs
+    }
+}
+
+/// Snapshot of all span aggregates, sorted by path (BTreeMap order).
+pub fn span_snapshot() -> Vec<(String, SpanStat)> {
+    registry()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+/// Clears all span aggregates (run isolation in tests and benchmarks).
+pub fn reset() {
+    registry().lock().unwrap_or_else(|p| p.into_inner()).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testlock;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = testlock::hold();
+        crate::set_enabled(false);
+        reset();
+        {
+            let _s = span("never");
+        }
+        assert!(span_snapshot().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_aggregate_under_joined_paths() {
+        let _g = testlock::hold();
+        crate::set_enabled(true);
+        reset();
+        {
+            let _outer = span("outer");
+            for _ in 0..3 {
+                let _inner = span("inner");
+            }
+        }
+        let snap = span_snapshot();
+        let paths: Vec<&str> = snap.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, vec!["outer", "outer/inner"]);
+        let inner = &snap[1].1;
+        assert_eq!(inner.count, 3);
+        assert!(inner.min_ns <= inner.max_ns);
+        assert!(inner.total_ns >= inner.max_ns);
+        let outer = &snap[0].1;
+        assert_eq!(outer.count, 1);
+        assert!(outer.total_ns >= inner.total_ns);
+        crate::set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn worker_threads_get_fresh_stacks() {
+        let _g = testlock::hold();
+        crate::set_enabled(true);
+        reset();
+        {
+            let _outer = span("main_phase");
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _w = span("worker");
+                })
+                .join()
+                .unwrap();
+            });
+        }
+        let paths: Vec<String> = span_snapshot().into_iter().map(|(p, _)| p).collect();
+        // The worker span is NOT nested under main_phase — fresh stack.
+        assert_eq!(paths, vec!["main_phase".to_string(), "worker".to_string()]);
+        crate::set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn stopwatch_measures_even_when_disabled() {
+        let _g = testlock::hold();
+        crate::set_enabled(false);
+        reset();
+        let sw = Stopwatch::start("probe");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let secs = sw.stop();
+        assert!(secs >= 0.001, "stopwatch must measure while disabled");
+        assert!(span_snapshot().is_empty());
+    }
+
+    #[test]
+    fn timed_returns_value_and_records() {
+        let _g = testlock::hold();
+        crate::set_enabled(true);
+        reset();
+        let v = timed("calc", || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(span_snapshot()[0].0, "calc");
+        crate::set_enabled(false);
+        reset();
+    }
+}

@@ -1,0 +1,350 @@
+//! Structured run log: a JSONL event sink plus a `RUN_trace.json` summary.
+//!
+//! With instrumentation enabled ([`crate::enabled`]), [`emit`] appends one
+//! JSON object per event to the sink. The sink is chosen on first emit:
+//! a file at `TCSL_TRACE_OUT` (default `RUN_trace.jsonl`), or an in-memory
+//! buffer when a test installed one via [`use_memory_sink`]. At the end of
+//! a run, [`finish_run`] writes a summary JSON (counters, gauges, span
+//! aggregates, run metadata) next to the event stream — for the default
+//! path that is `RUN_trace.json`.
+//!
+//! Events are serialized with fields in insertion order and floats through
+//! [`crate::json`], so two runs that emit the same logical events produce
+//! byte-identical lines. Events deliberately carry **no timestamps**: any
+//! wall-clock quantity (seconds, throughput) is an explicit named field,
+//! which lets the determinism tests compare full events minus a short list
+//! of known-nondeterministic field names.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use crate::json;
+
+/// A field value in a trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (serialized via [`json::write_f64`]; non-finite as strings).
+    F64(f64),
+    /// String.
+    Str(String),
+}
+
+/// One structured event: a kind plus ordered `(name, value)` fields.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Event kind, serialized under the `"event"` key.
+    pub kind: &'static str,
+    /// Fields in insertion order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Starts an event of the given kind.
+    pub fn new(kind: &'static str) -> Event {
+        Event {
+            kind,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, name: &'static str, v: u64) -> Event {
+        self.fields.push((name, Value::U64(v)));
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64(mut self, name: &'static str, v: i64) -> Event {
+        self.fields.push((name, Value::I64(v)));
+        self
+    }
+
+    /// Adds a float field.
+    pub fn f64(mut self, name: &'static str, v: f64) -> Event {
+        self.fields.push((name, Value::F64(v)));
+        self
+    }
+
+    /// Adds an `f32` field (stored as `f64` without noise digits).
+    pub fn f32(mut self, name: &'static str, v: f32) -> Event {
+        self.fields.push((name, Value::F64(f64::from(v))));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, name: &'static str, v: impl Into<String>) -> Event {
+        self.fields.push((name, Value::Str(v.into())));
+        self
+    }
+
+    /// Looks a field up by name (test convenience).
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(n, _)| *n == name).map(|(_, v)| v)
+    }
+
+    /// Serializes the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.fields.len() * 24);
+        out.push_str("{\"event\":");
+        json::write_str(&mut out, self.kind);
+        for (name, value) in &self.fields {
+            out.push(',');
+            json::write_str(&mut out, name);
+            out.push(':');
+            match value {
+                Value::U64(v) => out.push_str(&v.to_string()),
+                Value::I64(v) => out.push_str(&v.to_string()),
+                Value::F64(v) => json::write_f64(&mut out, *v),
+                Value::Str(v) => json::write_str(&mut out, v),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+enum Sink {
+    /// Not yet chosen — resolved on first emit.
+    Unset,
+    /// Appending JSONL to a file at [`trace_out_path`].
+    File(BufWriter<File>),
+    /// Test buffer, drained by [`take_events`].
+    Memory(Vec<Event>),
+    /// The file could not be opened; events are dropped (the run itself
+    /// must not fail because tracing can't write).
+    Discard,
+}
+
+fn sink() -> &'static Mutex<Sink> {
+    static SINK: Mutex<Sink> = Mutex::new(Sink::Unset);
+    &SINK
+}
+
+/// The JSONL event-stream path: `TCSL_TRACE_OUT`, default
+/// `RUN_trace.jsonl`.
+pub fn trace_out_path() -> PathBuf {
+    std::env::var("TCSL_TRACE_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("RUN_trace.jsonl"))
+}
+
+/// The summary path derived from the event-stream path: `x.jsonl` →
+/// `x.json`, anything else gets `.summary.json` appended. The default
+/// stream `RUN_trace.jsonl` therefore summarizes to `RUN_trace.json`.
+pub fn summary_path() -> PathBuf {
+    let p = trace_out_path();
+    match p.to_str() {
+        Some(s) if s.ends_with(".jsonl") => PathBuf::from(&s[..s.len() - 1]),
+        _ => {
+            let mut s = p.into_os_string();
+            s.push(".summary.json");
+            PathBuf::from(s)
+        }
+    }
+}
+
+/// Routes events into an in-memory buffer instead of a file (tests), and
+/// clears any previously buffered events.
+pub fn use_memory_sink() {
+    *sink().lock().unwrap_or_else(|p| p.into_inner()) = Sink::Memory(Vec::new());
+}
+
+/// Drains the in-memory sink. Empty if the sink is not a memory sink.
+pub fn take_events() -> Vec<Event> {
+    match &mut *sink().lock().unwrap_or_else(|p| p.into_inner()) {
+        Sink::Memory(buf) => std::mem::take(buf),
+        _ => Vec::new(),
+    }
+}
+
+/// Forgets the current sink (closing any file) so the next emit re-resolves
+/// it. Run isolation for tests and benchmarks.
+pub fn reset_sink() {
+    *sink().lock().unwrap_or_else(|p| p.into_inner()) = Sink::Unset;
+}
+
+/// Emits one event to the sink when instrumentation is enabled; a relaxed
+/// load and a branch otherwise.
+#[inline]
+pub fn emit(event: Event) {
+    if crate::enabled() {
+        write_event(event);
+    }
+}
+
+#[cold]
+fn write_event(event: Event) {
+    let mut guard = sink().lock().unwrap_or_else(|p| p.into_inner());
+    if matches!(*guard, Sink::Unset) {
+        let path = trace_out_path();
+        *guard = match File::create(&path) {
+            Ok(f) => Sink::File(BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("tcsl-obs: cannot open trace sink {}: {e}", path.display());
+                Sink::Discard
+            }
+        };
+    }
+    match &mut *guard {
+        Sink::File(w) => {
+            let mut line = event.to_json();
+            line.push('\n');
+            let _ = w.write_all(line.as_bytes());
+        }
+        Sink::Memory(buf) => buf.push(event),
+        Sink::Unset | Sink::Discard => {}
+    }
+}
+
+/// Renders the run summary JSON: run metadata, all counters and gauges
+/// (sorted by name), and span aggregates (sorted by path, nanoseconds).
+pub fn summary_json(run: &str) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"schema\":\"tcsl-run-trace-v1\",\"run\":");
+    json::write_str(&mut out, run);
+    out.push_str(",\"counters\":{");
+    for (i, (name, value)) in crate::counters::counter_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_str(&mut out, name);
+        out.push(':');
+        out.push_str(&value.to_string());
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, value)) in crate::counters::gauge_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_str(&mut out, name);
+        out.push(':');
+        out.push_str(&value.to_string());
+    }
+    out.push_str("},\"spans\":{");
+    for (i, (path, stat)) in crate::spans::span_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_str(&mut out, path);
+        out.push_str(&format!(
+            ":{{\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+            stat.count, stat.total_ns, stat.min_ns, stat.max_ns
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Finishes a run: flushes the event stream and, when the sink is a file,
+/// writes the summary JSON next to it (see [`summary_path`]). Returns the
+/// summary path if one was written. No-op while disabled.
+pub fn finish_run(run: &str) -> Option<PathBuf> {
+    if !crate::enabled() {
+        return None;
+    }
+    let mut guard = sink().lock().unwrap_or_else(|p| p.into_inner());
+    match &mut *guard {
+        Sink::File(w) => {
+            let _ = w.flush();
+        }
+        _ => return None,
+    }
+    drop(guard);
+    let path = summary_path();
+    let body = summary_json(run);
+    match std::fs::write(&path, body) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("tcsl-obs: cannot write summary {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testlock;
+
+    #[test]
+    fn events_serialize_deterministically() {
+        let ev = Event::new("epoch")
+            .u64("epoch", 3)
+            .f64("total", 0.5)
+            .f32("contrast", 0.25)
+            .i64("delta", -2)
+            .str("phase", "pre\"train");
+        assert_eq!(
+            ev.to_json(),
+            "{\"event\":\"epoch\",\"epoch\":3,\"total\":0.5,\"contrast\":0.25,\
+             \"delta\":-2,\"phase\":\"pre\\\"train\"}"
+        );
+        assert_eq!(ev.field("epoch"), Some(&Value::U64(3)));
+        assert_eq!(ev.field("missing"), None);
+    }
+
+    #[test]
+    fn non_finite_event_fields_stay_valid_json() {
+        let ev = Event::new("warn").f64("loss", f64::NAN);
+        assert_eq!(ev.to_json(), "{\"event\":\"warn\",\"loss\":\"NaN\"}");
+    }
+
+    #[test]
+    fn memory_sink_buffers_only_when_enabled() {
+        let _g = testlock::hold();
+        use_memory_sink();
+        crate::set_enabled(false);
+        emit(Event::new("dropped"));
+        crate::set_enabled(true);
+        emit(Event::new("kept").u64("n", 1));
+        crate::set_enabled(false);
+        let events = take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "kept");
+        assert!(take_events().is_empty(), "take_events drains");
+        reset_sink();
+    }
+
+    #[test]
+    fn summary_json_is_valid_and_lists_instruments() {
+        let _g = testlock::hold();
+        crate::set_enabled(true);
+        crate::counters::reset();
+        crate::spans::reset();
+        crate::counters::TRAINER_PAIRS.add(7);
+        {
+            let _s = crate::spans::span("phase");
+        }
+        let s = summary_json("unit-test");
+        crate::set_enabled(false);
+        assert!(s.starts_with("{\"schema\":\"tcsl-run-trace-v1\""));
+        assert!(s.contains("\"run\":\"unit-test\""));
+        assert!(s.contains("\"trainer.pairs\":7"));
+        assert!(s.contains("\"pairdist.tiles\":0"), "zero counters present");
+        assert!(s.contains("\"phase\":{\"count\":1"));
+        // Braces balance — cheap structural validity check.
+        let open = s.matches('{').count();
+        let close = s.matches('}').count();
+        assert_eq!(open, close);
+        crate::counters::reset();
+        crate::spans::reset();
+    }
+
+    #[test]
+    fn summary_path_derives_from_stream_path() {
+        // Pure string logic on the default — no env mutation (racy).
+        assert_eq!(
+            PathBuf::from("RUN_trace.json"),
+            match "RUN_trace.jsonl" {
+                s if s.ends_with(".jsonl") => PathBuf::from(&s[..s.len() - 1]),
+                s => PathBuf::from(s),
+            }
+        );
+    }
+}

@@ -122,9 +122,11 @@ impl WindowCache {
     pub fn get(&mut self, series: &Tensor, len: usize, stride: usize) -> Arc<ScaleWindows> {
         if let Some(e) = self.entries.iter().find(|e| e.matches(series, len, stride)) {
             self.hits += 1;
+            tcsl_obs::counters::WINDOW_CACHE_HIT.add(1);
             return Arc::clone(&e.sw);
         }
         self.misses += 1;
+        tcsl_obs::counters::WINDOW_CACHE_MISS.add(1);
         let sw = Arc::new(ScaleWindows::new(series, len, stride));
         self.entries.push(CacheEntry {
             orig_cols: series.cols(),

@@ -109,8 +109,10 @@ pub fn pool_measure(
 ) -> (Vec<f32>, Vec<usize>) {
     let series_bytes = sw.padded.numel() * core::mem::size_of::<f32>();
     if pre.sq_norms.len() > 1 && series_bytes > BLOCKED_SERIES_BYTES {
+        tcsl_obs::counters::SHAPELET_POOL_BLOCKED.add(1);
         pool_group_blocked(sw, measure, pre)
     } else {
+        tcsl_obs::counters::SHAPELET_POOL_FUSED.add(1);
         pool_group_fused(sw, measure, pre)
     }
 }
@@ -135,11 +137,13 @@ pub fn shapelet_scores(
         "shapelet {k} out of range for group of {}",
         g.k()
     );
-    let width = (sw.padded.rows() * sw.len) as f32;
+    let d = sw.padded.rows();
+    let width = (d * sw.len) as f32;
     let (s_sq, s_inv) = (pre.sq_norms[k], pre.inv_norms[k]);
     let full = g.k() - g.k() % 4;
     let mut out = Vec::with_capacity(sw.n);
     if k < full {
+        tcsl_tensor::matmul::count_dot_dispatch(sw.len, (4 * d * sw.n) as u64);
         let kb = k / 4 * 4;
         let j = k - kb;
         let taps = [
@@ -153,6 +157,7 @@ pub fn shapelet_scores(
             out.push(score(g.measure, cross, sw, w, s_sq, s_inv, width));
         }
     } else {
+        tcsl_tensor::matmul::count_dot_dispatch(sw.len, (d * sw.n) as u64);
         let taps = pre.tap_row(k);
         for w in 0..sw.n {
             let cross = window_dot(&sw.padded, taps, w * sw.stride, sw.len);
@@ -193,8 +198,12 @@ pub(crate) fn pool_group_fused(
     measure: Measure,
     pre: &GroupPrecomp,
 ) -> (Vec<f32>, Vec<usize>) {
-    let width = (sw.padded.rows() * sw.len) as f32;
+    let d = sw.padded.rows();
+    let width = (d * sw.len) as f32;
     let k = pre.sq_norms.len();
+    // One gate check for the whole pool call: k dots per window, one
+    // length-only dispatch decision shared by every one of them.
+    tcsl_tensor::matmul::count_dot_dispatch(sw.len, (k * d * sw.n) as u64);
     let mut pooled = vec![f32::NAN; k];
     let mut args = vec![0usize; k];
     let full = k - k % 4;
@@ -259,6 +268,8 @@ pub(crate) fn pool_group_blocked(
     let row_w = d * len;
     let width = row_w as f32;
     let k = pre.sq_norms.len();
+    // Blocked rows are the full d·len window, so dispatch is on row_w.
+    tcsl_tensor::matmul::count_dot_dispatch(row_w, (k * sw.n) as u64);
     let mut pooled = vec![f32::NAN; k];
     let mut args = vec![0usize; k];
     let mut tile = vec![0.0f32; TILE_WINDOWS.min(sw.n) * row_w];

@@ -41,17 +41,39 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    // Below this length the call into the (non-inlinable, runtime-detected)
-    // intrinsics path costs more than it saves; the scalar kernel inlines
-    // into the caller's loop. Dispatch depends only on the length, so every
-    // engine sees the same rounding for the same operands.
-    const FMA_MIN_LEN: usize = 64;
     #[cfg(target_arch = "x86_64")]
     if a.len() >= FMA_MIN_LEN && x86::fma_available() {
         // SAFETY: gated on runtime detection of avx2+fma.
         return unsafe { x86::dot_fma(a, b) };
     }
     dot_scalar(a, b)
+}
+
+/// Below this length the call into the (non-inlinable, runtime-detected)
+/// intrinsics path costs more than it saves; the scalar kernel inlines
+/// into the caller's loop. Dispatch depends only on the length, so every
+/// engine sees the same rounding for the same operands.
+const FMA_MIN_LEN: usize = 64;
+
+/// Records `n` dot products of operand length `len` against the
+/// `dot.dispatch.*` counters — the same length-only decision [`dot`] and
+/// [`dot4`] make, hoisted out of their bodies so hot loops pay **one**
+/// enabled-gate check per batch instead of one per dot product. The batch
+/// kernels (transforms, pairwise distances, the matmul wrappers below)
+/// call this; stray singleton `dot` calls on cold paths go uncounted.
+#[inline]
+pub fn count_dot_dispatch(len: usize, n: u64) {
+    if n == 0 {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if len >= FMA_MIN_LEN && x86::fma_available() {
+        tcsl_obs::counters::DOT_DISPATCH_AVX2_FMA.add(n);
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = len;
+    tcsl_obs::counters::DOT_DISPATCH_SCALAR.add(n);
 }
 
 /// Portable dot product with eight independent accumulators so LLVM can
@@ -88,7 +110,6 @@ pub fn dot4(w: &[f32], t0: &[f32], t1: &[f32], t2: &[f32], t3: &[f32]) -> [f32; 
     debug_assert!(
         t0.len() == w.len() && t1.len() == w.len() && t2.len() == w.len() && t3.len() == w.len()
     );
-    const FMA_MIN_LEN: usize = 64;
     #[cfg(target_arch = "x86_64")]
     if w.len() >= FMA_MIN_LEN && x86::fma_available() {
         // SAFETY: gated on runtime detection of avx2+fma.
@@ -215,6 +236,7 @@ pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
     let (n, kb) = (b.rows(), b.cols());
     assert_eq!(k, kb, "matmul_transb inner dimensions differ: {k} vs {kb}");
+    count_dot_dispatch(k, (m * n) as u64);
     let mut out = Tensor::zeros([m, n]);
     let (ad, bd) = (a.as_slice(), b.as_slice());
     let od = out.as_mut_slice();
@@ -260,6 +282,7 @@ pub fn matvec(a: &Tensor, v: &Tensor) -> Tensor {
         "matvec dimension mismatch: {} vs {k}",
         v.numel()
     );
+    count_dot_dispatch(k, m as u64);
     let mut out = Tensor::zeros([m]);
     let (ad, vd) = (a.as_slice(), v.as_slice());
     let od = out.as_mut_slice();

@@ -66,6 +66,7 @@ const COL_TILE: usize = 256;
 /// operand pair, not the lane, so one lane of `dot4(r, r, r, r, r)` is
 /// bit-identical to the cross term the engine computes for that pair.
 pub fn row_sq_norms(x: &Tensor) -> Vec<f32> {
+    crate::matmul::count_dot_dispatch(x.cols(), 4 * x.rows() as u64);
     (0..x.rows())
         .map(|i| {
             let r = x.row(i);
@@ -128,6 +129,7 @@ pub fn pairdist(a: &Tensor, b: &Tensor) -> Tensor {
     if n == 0 || m == 0 {
         return Tensor::zeros([n, m]);
     }
+    let _span = tcsl_obs::spans::span("pairdist");
     let na = row_sq_norms(a);
     let nb = row_sq_norms(b);
     let mut out = Tensor::zeros([n, m]);
@@ -137,9 +139,18 @@ pub fn pairdist(a: &Tensor, b: &Tensor) -> Tensor {
     parallel_chunks_mut(out.as_mut_slice(), ROW_BLOCK * m, |bi, chunk| {
         let lo = bi * ROW_BLOCK;
         let rows = chunk.len() / m;
+        // One count per (row-block, corpus-tile) pair, merged once per
+        // chunk: the tile partition depends only on (n, m), so the total is
+        // thread-count invariant.
+        let mut tiles = tcsl_obs::counters::LocalCounter::new(&tcsl_obs::counters::PAIRDIST_TILES);
+        // `dot4` doesn't count its own dispatch (it's the innermost hot
+        // call); tally the chunk's dot products here and record them once.
+        let mut dots = 0u64;
         let mut tile = 0usize;
         while tile < m {
+            tiles.add(1);
             let te = (tile + COL_TILE).min(m);
+            dots += 4 * (te - tile).div_ceil(4) as u64 * rows as u64;
             for r in 0..rows {
                 let i = lo + r;
                 let q = a.row(i);
@@ -157,6 +168,7 @@ pub fn pairdist(a: &Tensor, b: &Tensor) -> Tensor {
             }
             tile = te;
         }
+        crate::matmul::count_dot_dispatch(a.cols(), dots);
     });
     out
 }
@@ -259,14 +271,20 @@ pub fn knn_into(queries: &Tensor, corpus: &Tensor, k: usize, out: &mut Vec<Vec<(
     let na = row_sq_norms(queries);
     let nb = row_sq_norms(corpus);
     let n_blocks = n.div_ceil(ROW_BLOCK);
+    let _span = tcsl_obs::spans::span("knn");
     let blocks = parallel_map(n_blocks, |bi| {
         let lo = bi * ROW_BLOCK;
         let hi = ((bi + 1) * ROW_BLOCK).min(n);
         let mut heaps: Vec<BinaryHeap<Cand>> =
             (lo..hi).map(|_| BinaryHeap::with_capacity(k + 1)).collect();
+        // Same tile accounting as `pairdist`: deterministic in (n, m).
+        let mut tiles = tcsl_obs::counters::LocalCounter::new(&tcsl_obs::counters::PAIRDIST_TILES);
+        let mut dots = 0u64;
         let mut tile = 0usize;
         while tile < m {
+            tiles.add(1);
             let te = (tile + COL_TILE).min(m);
+            dots += 4 * (te - tile).div_ceil(4) as u64 * (hi - lo) as u64;
             for (heap, i) in heaps.iter_mut().zip(lo..hi) {
                 let q = queries.row(i);
                 let qn = na[i];
@@ -286,6 +304,7 @@ pub fn knn_into(queries: &Tensor, corpus: &Tensor, k: usize, out: &mut Vec<Vec<(
             }
             tile = te;
         }
+        crate::matmul::count_dot_dispatch(queries.cols(), dots);
         heaps
             .into_iter()
             .map(|h| {

@@ -56,6 +56,7 @@ where
         return Vec::new();
     }
     let threads = configured_threads(n);
+    tcsl_obs::counters::PARALLEL_THREADS.set(threads as u64);
     if threads <= 1 || n == 1 {
         return (0..n).map(f).collect();
     }
@@ -75,18 +76,26 @@ where
             let f = &f;
             let cursor = &cursor;
             let slots = &slots;
-            scope.spawn(move || loop {
-                let start = cursor.fetch_add(block, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + block).min(n);
-                for i in start..end {
-                    let v = f(i);
-                    // SAFETY: `i` is claimed exactly once across all workers
-                    // (fetch_add hands out disjoint ranges), so no two threads
-                    // ever write the same slot, and `out` outlives the scope.
-                    unsafe { *slots.0.add(i) = Some(v) };
+            scope.spawn(move || {
+                // Workers start with a fresh span stack, so this aggregates
+                // under its own path: per-worker lifetime timings (count =
+                // workers, min/max = fastest/slowest worker). Timings are
+                // wall-clock — excluded from the determinism contract.
+                let _w = tcsl_obs::spans::span("parallel_map.worker");
+                loop {
+                    let start = cursor.fetch_add(block, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + block).min(n);
+                    for i in start..end {
+                        let v = f(i);
+                        // SAFETY: `i` is claimed exactly once across all
+                        // workers (fetch_add hands out disjoint ranges), so no
+                        // two threads ever write the same slot, and `out`
+                        // outlives the scope.
+                        unsafe { *slots.0.add(i) = Some(v) };
+                    }
                 }
             });
         }
@@ -116,6 +125,7 @@ where
     let len = buf.len();
     let n_chunks = len.div_ceil(chunk_len);
     let threads = configured_threads(n_chunks);
+    tcsl_obs::counters::PARALLEL_THREADS.set(threads as u64);
     if threads <= 1 || n_chunks == 1 {
         for (c, chunk) in buf.chunks_mut(chunk_len).enumerate() {
             f(c, chunk);
@@ -135,19 +145,23 @@ where
             let f = &f;
             let cursor = &cursor;
             let base = &base;
-            scope.spawn(move || loop {
-                let c = cursor.fetch_add(1, Ordering::Relaxed);
-                if c >= n_chunks {
-                    break;
+            scope.spawn(move || {
+                // See parallel_map: per-worker lifetime span, own path.
+                let _w = tcsl_obs::spans::span("parallel_chunks_mut.worker");
+                loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let start = c * chunk_len;
+                    let end = (start + chunk_len).min(len);
+                    // SAFETY: `c` is claimed exactly once across all workers
+                    // and chunk ranges are pairwise disjoint; `buf` outlives
+                    // the scope.
+                    let chunk =
+                        unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
+                    f(c, chunk);
                 }
-                let start = c * chunk_len;
-                let end = (start + chunk_len).min(len);
-                // SAFETY: `c` is claimed exactly once across all workers and
-                // chunk ranges are pairwise disjoint; `buf` outlives the
-                // scope.
-                let chunk =
-                    unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
-                f(c, chunk);
             });
         }
     });

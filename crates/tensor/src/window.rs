@@ -141,6 +141,10 @@ pub fn window_sq_norms(series: &Tensor, len: usize, stride: usize) -> Vec<f32> {
 /// Dot product of a flattened channel-major shapelet (layout
 /// `[var0[0..len], var1[0..len], ...]`, matching [`unfold`] rows) against
 /// the window starting at `start`, reading the series in place.
+///
+/// Dispatch telemetry is the caller's job (batch one
+/// [`crate::matmul::count_dot_dispatch`] per window loop): this kernel runs
+/// once per window, and even a disabled gate check here would be measurable.
 #[inline]
 pub fn window_dot(series: &Tensor, shapelet: &[f32], start: usize, len: usize) -> f32 {
     let d = series.rows();
@@ -196,6 +200,7 @@ pub fn sliding_dots(
     let (d, t) = (series.rows(), series.cols());
     assert_eq!(shapelet.len(), d * len, "shapelet width mismatch");
     let n = count_windows(t, len, stride);
+    crate::matmul::count_dot_dispatch(len, (d * n) as u64);
     let base = out.len();
     out.resize(base + n, 0.0);
     let dst = &mut out[base..];

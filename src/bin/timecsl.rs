@@ -21,19 +21,30 @@ use timecsl::data::io;
 use timecsl::eval::metrics::classification::accuracy;
 use timecsl::eval::metrics::clustering::nmi;
 use timecsl::explore::ExploreSession;
+use timecsl::obs::alloc_track::CountingAlloc;
 use timecsl::prelude::*;
+
+// Counting allocator so trace events (`peak_alloc_mb`) and the run summary
+// report real high-water marks; a few relaxed atomics per allocation.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("pretrain") => cmd_pretrain(&args[1..]),
-        Some("transform") => cmd_transform(&args[1..]),
-        Some("classify") => cmd_classify(&args[1..]),
-        Some("cluster") => cmd_cluster(&args[1..]),
-        Some("match") => cmd_match(&args[1..]),
-        Some("info") => cmd_info(&args[1..]),
-        Some("report") => cmd_report(&args[1..]),
-        Some("demo") => cmd_demo(),
+    let cmd = args.first().cloned().unwrap_or_default();
+    // With TCSL_TRACE=1 this opens the JSONL stream up front, so every
+    // command — even one that emits no events of its own — gets a run
+    // summary at exit.
+    timecsl::obs::trace::emit(timecsl::obs::trace::Event::new("run_start").str("cmd", cmd.clone()));
+    let result = match cmd.as_str() {
+        "pretrain" => cmd_pretrain(&args[1..]),
+        "transform" => cmd_transform(&args[1..]),
+        "classify" => cmd_classify(&args[1..]),
+        "cluster" => cmd_cluster(&args[1..]),
+        "match" => cmd_match(&args[1..]),
+        "info" => cmd_info(&args[1..]),
+        "report" => cmd_report(&args[1..]),
+        "demo" => cmd_demo(),
         _ => {
             eprintln!(
                 "usage: timecsl <pretrain|transform|classify|cluster|match|info|report|demo> ... \
@@ -42,6 +53,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // With TCSL_TRACE=1 the run streamed JSONL events as it went; close
+    // the stream and write the aggregated counter/span summary next to it.
+    if let Some(path) = timecsl::obs::trace::finish_run(&format!("timecsl {cmd}")) {
+        eprintln!("wrote run summary to {}", path.display());
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -48,6 +48,7 @@ pub use tcsl_core as core;
 pub use tcsl_data as data;
 pub use tcsl_eval as eval;
 pub use tcsl_explore as explore;
+pub use tcsl_obs as obs;
 pub use tcsl_shapelet as shapelet;
 pub use tcsl_tensor as tensor;
 
