@@ -1,12 +1,16 @@
 //! Distance-based anomaly scoring: the mean distance to the `k` nearest
 //! training points. A simple, strong baseline detector.
 //!
-//! Neighbour search streams through the blocked [`pairdist`] engine's
-//! heap-bounded top-k (`k + 1` neighbours, so a potential exact self-match
-//! can be skipped without a full distance scan).
+//! Neighbour search runs through an [`NnIndex`] handle: the default
+//! [`IndexBackend::Exact`] streams the blocked engine's heap-bounded top-k
+//! (`k + 1` neighbours, so a potential exact self-match can be skipped
+//! without a full distance scan), while [`IndexBackend::Ivf`] probes a
+//! coarse inverted-file index built at `fit` — on large reference sets the
+//! per-score scan work becomes sublinear, and because every returned
+//! distance is exact, the self-match skip keeps working unchanged.
 
+use crate::index::{IndexBackend, NnIndex};
 use crate::traits::AnomalyScorer;
-use tcsl_tensor::pairdist;
 use tcsl_tensor::Tensor;
 
 /// k-NN distance anomaly scorer.
@@ -14,30 +18,42 @@ use tcsl_tensor::Tensor;
 pub struct KnnDistance {
     /// Number of neighbours to average over.
     pub k: usize,
-    train: Option<Tensor>,
+    /// Neighbour-search engine; [`IndexBackend::Exact`] by default. Changes
+    /// take effect at the next `fit` (that is when the index is built).
+    pub backend: IndexBackend,
+    index: Option<NnIndex>,
 }
 
 impl KnnDistance {
-    /// Scorer averaging over `k` neighbours.
+    /// Scorer averaging over `k` neighbours on the exact engine.
     pub fn new(k: usize) -> Self {
+        Self::with_backend(k, IndexBackend::Exact)
+    }
+
+    /// Scorer averaging over `k` neighbours searching through `backend`.
+    pub fn with_backend(k: usize, backend: IndexBackend) -> Self {
         assert!(k >= 1, "k must be at least 1");
-        KnnDistance { k, train: None }
+        KnnDistance {
+            k,
+            backend,
+            index: None,
+        }
     }
 }
 
 impl AnomalyScorer for KnnDistance {
     fn fit(&mut self, x: &Tensor) {
         assert!(x.rows() > 0, "empty training set");
-        self.train = Some(x.clone());
+        self.index = Some(NnIndex::build(x.clone(), self.backend));
     }
 
     fn score(&self, x: &Tensor) -> Vec<f32> {
         let _span = tcsl_obs::spans::span("knn_anomaly.score");
-        let train = self.train.as_ref().expect("score before fit");
+        let index = self.index.as_ref().expect("score before fit");
         // One extra neighbour covers the self-match skip below; the engine
         // sorts NaN distances (e.g. from NaN features in user data) last
         // instead of panicking mid-scoring.
-        let all_nn = pairdist::knn(x, train, self.k + 1);
+        let all_nn = index.knn(x, self.k + 1);
         all_nn
             .into_iter()
             .map(|nn| {
@@ -103,6 +119,29 @@ mod tests {
         // A non-matching query still averages over the one real neighbour.
         let q = Tensor::from_vec(vec![1.0, 5.0], [1, 2]);
         assert!((scorer.score(&q)[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ivf_backend_at_full_probe_matches_exact_scores_bitwise() {
+        let mut rng = seeded(5);
+        let train = Tensor::randn([60, 6], &mut rng);
+        let test = Tensor::randn([15, 6], &mut rng);
+        let mut exact = KnnDistance::new(4);
+        exact.fit(&train);
+        let mut ivf = KnnDistance::with_backend(
+            4,
+            IndexBackend::Ivf {
+                nlist: 7,
+                nprobe: 7,
+            },
+        );
+        ivf.fit(&train);
+        let es = exact.score(&test);
+        let vs = ivf.score(&test);
+        assert_eq!(es.len(), vs.len());
+        for (e, v) in es.iter().zip(&vs) {
+            assert_eq!(e.to_bits(), v.to_bits());
+        }
     }
 
     #[test]

@@ -1,13 +1,18 @@
 //! k-nearest-neighbour classification (Euclidean metric, majority vote with
 //! nearest-neighbour tie-break).
 //!
-//! Neighbour search runs on the blocked [`pairdist`] engine: streaming
-//! heap-bounded top-k selection instead of a full per-query distance scan,
-//! with the same ordering contract the old scan had — equal distances
-//! resolve to the lowest training index, NaN distances sort last.
+//! Neighbour search runs through an [`NnIndex`] handle: the default
+//! [`IndexBackend::Exact`] streams the blocked [`pairdist`] engine's
+//! heap-bounded top-k (equal distances resolve to the lowest training
+//! index, NaN distances sort last — the ordering the old full scan had),
+//! while [`IndexBackend::Ivf`] builds a coarse inverted-file index at `fit`
+//! and probes it per query, trading recall for sublinear scan work on large
+//! training sets.
+//!
+//! [`pairdist`]: tcsl_tensor::pairdist
 
+use crate::index::{IndexBackend, NnIndex};
 use crate::traits::Classifier;
-use tcsl_tensor::pairdist;
 use tcsl_tensor::Tensor;
 
 /// k-NN classifier.
@@ -15,17 +20,26 @@ use tcsl_tensor::Tensor;
 pub struct KnnClassifier {
     /// Number of neighbours.
     pub k: usize,
-    train_x: Option<Tensor>,
+    /// Neighbour-search engine; [`IndexBackend::Exact`] by default. Changes
+    /// take effect at the next `fit` (that is when the index is built).
+    pub backend: IndexBackend,
+    index: Option<NnIndex>,
     train_y: Vec<usize>,
 }
 
 impl KnnClassifier {
-    /// k-NN with the given `k` (≥ 1).
+    /// k-NN with the given `k` (≥ 1) on the exact engine.
     pub fn new(k: usize) -> Self {
+        Self::with_backend(k, IndexBackend::Exact)
+    }
+
+    /// k-NN with the given `k` (≥ 1) searching through `backend`.
+    pub fn with_backend(k: usize, backend: IndexBackend) -> Self {
         assert!(k >= 1, "k must be at least 1");
         KnnClassifier {
             k,
-            train_x: None,
+            backend,
+            index: None,
             train_y: Vec::new(),
         }
     }
@@ -35,18 +49,18 @@ impl Classifier for KnnClassifier {
     fn fit(&mut self, x: &Tensor, y: &[usize]) {
         assert_eq!(x.rows(), y.len(), "one label per row required");
         assert!(x.rows() > 0, "empty training set");
-        self.train_x = Some(x.clone());
+        self.index = Some(NnIndex::build(x.clone(), self.backend));
         self.train_y = y.to_vec();
     }
 
     fn predict(&self, x: &Tensor) -> Vec<usize> {
         let _span = tcsl_obs::spans::span("knn_classify.predict");
-        let train = self.train_x.as_ref().expect("predict before fit");
+        let index = self.index.as_ref().expect("predict before fit");
         // The class count depends only on the training labels: computed
         // once per predict call, not (as it used to be) re-scanned from
         // scratch inside the per-row closure.
         let n_classes = self.train_y.iter().copied().max().unwrap_or(0) + 1;
-        let all_nn = pairdist::knn(x, train, self.k);
+        let all_nn = index.knn(x, self.k);
         all_nn
             .into_iter()
             .map(|nn| {
@@ -150,6 +164,38 @@ mod tests {
             })
             .collect();
         assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn ivf_backend_at_full_probe_matches_exact_predictions() {
+        let (xtr, ytr) = blobs(3, 40, 5, 5.0, 9);
+        let (xte, _) = blobs(3, 25, 5, 5.0, 10);
+        let mut exact = KnnClassifier::new(3);
+        exact.fit(&xtr, &ytr);
+        let mut ivf = KnnClassifier::with_backend(
+            3,
+            IndexBackend::Ivf {
+                nlist: 6,
+                nprobe: 6,
+            },
+        );
+        ivf.fit(&xtr, &ytr);
+        assert_eq!(exact.predict(&xte), ivf.predict(&xte));
+    }
+
+    #[test]
+    fn ivf_backend_with_few_probes_stays_accurate_on_separated_blobs() {
+        let (xtr, ytr) = blobs(3, 40, 4, 8.0, 11);
+        let (xte, yte) = blobs(3, 15, 4, 8.0, 12);
+        let mut knn = KnnClassifier::with_backend(
+            5,
+            IndexBackend::Ivf {
+                nlist: 8,
+                nprobe: 2,
+            },
+        );
+        knn.fit(&xtr, &ytr);
+        assert!(knn.accuracy(&xte, &yte) > 0.9);
     }
 
     #[test]

@@ -1,16 +1,60 @@
 //! Lloyd's k-means with k-means++ seeding and multiple restarts — the
-//! demo's clustering analyzer.
+//! demo's clustering analyzer and the coarse quantizer of the IVF index.
 //!
 //! The assignment step (points × centers, every Lloyd iteration), the
 //! k-means++ seeding distances and the final inertia all run on the
 //! blocked [`pairdist`] engine; equal distances assign to the lowest
 //! center index, exactly as the old strict-`<` scalar scan did.
+//!
+//! [`KMeans::fit`] returns the whole fitted model ([`KMeansFit`]: centers,
+//! assignments, inertia) so callers that need both — the IVF index buckets
+//! the corpus by the very partition the fit produced — never run a second
+//! assignment pass; [`Clusterer::fit_predict`] is now a thin wrapper over
+//! it. The returned assignments are always consistent with the returned
+//! centers (each row sits in its engine-argmin cell), even when a run
+//! exhausts `max_iter` without converging.
 
 use crate::traits::Clusterer;
 use rand::Rng;
 use tcsl_tensor::pairdist;
 use tcsl_tensor::rng::seeded;
 use tcsl_tensor::Tensor;
+
+/// A fitted k-means model: the output of one [`KMeans::fit`].
+#[derive(Clone, Debug)]
+pub struct KMeansFit {
+    /// Fitted centers, `(k, F)`.
+    pub centers: Tensor,
+    /// Per-row cluster assignment — always the [`assign_to_centers`]
+    /// partition of the training data under `centers`.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances from every row to its assigned center.
+    pub inertia: f32,
+}
+
+/// Assigns every row of `x` to its nearest row of `centers`: one blocked
+/// points×centers engine call, argmin per row with a strict-`<` scan so
+/// equal distances resolve to the lowest center index (and a NaN row,
+/// never `<` anything, stays at center 0 rather than aborting). This is
+/// the routing step the IVF index reuses to bucket a full corpus under
+/// centroids fitted on a sample.
+pub fn assign_to_centers(x: &Tensor, centers: &Tensor) -> Vec<usize> {
+    let d = pairdist::pairdist(x, centers);
+    (0..x.rows())
+        .map(|i| {
+            let row = d.row(i);
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for (c, &dist) in row.iter().enumerate() {
+                if dist < best_d {
+                    best_d = dist;
+                    best = c;
+                }
+            }
+            best
+        })
+        .collect()
+}
 
 /// k-means clusterer.
 #[derive(Clone, Debug)]
@@ -56,20 +100,28 @@ impl KMeans {
         let mut centers: Vec<usize> = vec![rng.gen_range(0..n)];
         let mut d2: Vec<f32> = Self::dists_to_row(x, centers[0]);
         while centers.len() < self.k.min(n) {
-            let total: f32 = d2.iter().sum();
+            // Non-finite distances (NaN-poisoned rows, overflowed norms)
+            // are excluded from the D² weighting: summing them would make
+            // `total` NaN/inf and abort the draw, where the engine-wide
+            // contract is that NaN rows never abort — they just can't be
+            // *weighted* towards, only picked by the uniform fallback.
+            let total: f32 = d2.iter().filter(|d| d.is_finite()).sum();
             let next = if total <= 1e-12 {
                 rng.gen_range(0..n)
             } else {
                 let mut target = rng.gen_range(0.0..total);
-                let mut pick = n - 1;
+                let mut pick = None;
                 for (i, &d) in d2.iter().enumerate() {
+                    if !d.is_finite() {
+                        continue;
+                    }
+                    pick = Some(i);
                     if target < d {
-                        pick = i;
                         break;
                     }
                     target -= d;
                 }
-                pick
+                pick.expect("positive total implies a finite distance")
             };
             centers.push(next);
             for (slot, nd) in d2.iter_mut().zip(Self::dists_to_row(x, next)) {
@@ -86,40 +138,18 @@ impl KMeans {
         out
     }
 
-    /// Assigns every row of `x` to its nearest center: one blocked
-    /// points×centers distance block, argmin per row with a strict-`<`
-    /// scan so equal distances resolve to the lowest center index (and a
-    /// NaN row, never `<` anything, stays at center 0 rather than
-    /// aborting).
-    fn assign_rows(x: &Tensor, centers: &Tensor) -> Vec<usize> {
-        let d = pairdist::pairdist(x, centers);
-        (0..x.rows())
-            .map(|i| {
-                let row = d.row(i);
-                let mut best = 0usize;
-                let mut best_d = f32::INFINITY;
-                for (c, &dist) in row.iter().enumerate() {
-                    if dist < best_d {
-                        best_d = dist;
-                        best = c;
-                    }
-                }
-                best
-            })
-            .collect()
-    }
-
+    /// One Lloyd run from `centers`. The loop is structured so the
+    /// returned assignments are *always* the [`assign_to_centers`]
+    /// partition of `x` under the returned centers: every center update is
+    /// followed by a fresh assignment, and the run stops when an update
+    /// leaves the partition fixed (or `max_iter` updates have happened —
+    /// with the closing assignment still recomputed against the final
+    /// centers, where the previous formulation returned a stale one).
     fn lloyd(&self, x: &Tensor, mut centers: Tensor) -> (Tensor, Vec<usize>, f32) {
         let (n, f) = (x.rows(), x.cols());
         let k = centers.rows();
-        let mut assign = vec![0usize; n];
+        let mut assign = assign_to_centers(x, &centers);
         for _ in 0..self.max_iter {
-            let new_assign = Self::assign_rows(x, &centers);
-            let changed = new_assign != assign;
-            assign = new_assign;
-            if !changed {
-                break;
-            }
             let mut sums = Tensor::zeros([k, f]);
             let mut counts = vec![0usize; k];
             for i in 0..n {
@@ -137,16 +167,25 @@ impl KMeans {
                 }
                 // Empty clusters keep their previous centre.
             }
+            let new_assign = assign_to_centers(x, &centers);
+            let converged = new_assign == assign;
+            assign = new_assign;
+            if converged {
+                break;
+            }
         }
         let d = pairdist::pairdist(x, &centers);
         let inertia: f32 = (0..n).map(|i| d.at2(i, assign[i])).sum();
         (centers, assign, inertia)
     }
-}
 
-impl Clusterer for KMeans {
-    fn fit_predict(&mut self, x: &Tensor) -> Vec<usize> {
-        let _span = tcsl_obs::spans::span("kmeans.fit_predict");
+    /// Fits the model (k-means++ seeding, `restarts` independent Lloyd
+    /// runs, best inertia wins) and returns the whole fit — centers,
+    /// assignments and inertia — so callers needing more than the labels
+    /// (the IVF index wants the partition *and* the centroids) never rerun
+    /// an assignment pass. Also stores the centers for [`Self::centers`].
+    pub fn fit(&mut self, x: &Tensor) -> KMeansFit {
+        let _span = tcsl_obs::spans::span("kmeans.fit");
         assert!(x.rows() >= self.k, "fewer points than clusters");
         let mut rng = seeded(self.seed);
         let mut best: Option<(Tensor, Vec<usize>, f32)> = None;
@@ -158,9 +197,20 @@ impl Clusterer for KMeans {
                 _ => best = Some(run),
             }
         }
-        let (centers, assign, _) = best.expect("at least one restart");
-        self.centers = Some(centers);
-        assign
+        let (centers, assignments, inertia) = best.expect("at least one restart");
+        self.centers = Some(centers.clone());
+        KMeansFit {
+            centers,
+            assignments,
+            inertia,
+        }
+    }
+}
+
+impl Clusterer for KMeans {
+    fn fit_predict(&mut self, x: &Tensor) -> Vec<usize> {
+        let _span = tcsl_obs::spans::span("kmeans.fit_predict");
+        self.fit(x).assignments
     }
 }
 
@@ -221,14 +271,56 @@ mod tests {
     }
 
     #[test]
+    fn nan_rows_do_not_abort_fitting() {
+        // NaN features make their row's distances NaN; the k-means++ draw
+        // must skip them (not panic on a NaN total) and the fit contract —
+        // assignments are the argmin partition — must still hold, with NaN
+        // rows parked at center 0 by the assignment default.
+        let (x, _) = blobs(3, 12, 4, 6.0, 9);
+        let mut v = x.as_slice().to_vec();
+        v[5] = f32::NAN;
+        v[40] = f32::NAN;
+        let x = Tensor::from_vec(v, [36, 4]);
+        let mut km = KMeans::new(3);
+        let fit = km.fit(&x);
+        assert_eq!(fit.assignments.len(), 36);
+        assert_eq!(fit.assignments, assign_to_centers(&x, &fit.centers));
+    }
+
+    #[test]
     fn assignment_ties_resolve_to_lowest_center_index() {
         // A point exactly equidistant from two centers — and a pair of
         // bit-identical centers — must assign to the lower index.
         let x = Tensor::from_vec(vec![0.0, 4.0], [2, 1]);
         let equidistant = Tensor::from_vec(vec![1.0, -1.0], [2, 1]);
-        assert_eq!(KMeans::assign_rows(&x, &equidistant), vec![0, 0]);
+        assert_eq!(assign_to_centers(&x, &equidistant), vec![0, 0]);
         let duplicated = Tensor::from_vec(vec![4.0, 4.0, 0.0], [3, 1]);
-        assert_eq!(KMeans::assign_rows(&x, &duplicated), vec![2, 0]);
+        assert_eq!(assign_to_centers(&x, &duplicated), vec![2, 0]);
+    }
+
+    #[test]
+    fn fit_assignments_match_partition_implied_by_centers() {
+        // The model contract: `fit` returns assignments that are exactly the
+        // argmin partition of the data under the returned centers — even
+        // when the run exhausts `max_iter` mid-descent and the final center
+        // update never converged.
+        let (x, _) = blobs(4, 30, 6, 3.0, 7);
+        for max_iter in [1, 2, 100] {
+            let mut km = KMeans::new(4);
+            km.max_iter = max_iter;
+            let fit = km.fit(&x);
+            assert_eq!(
+                fit.assignments,
+                assign_to_centers(&x, &fit.centers),
+                "max_iter={max_iter}: assignments drifted from centers"
+            );
+            assert_eq!(km.centers().unwrap().as_slice(), fit.centers.as_slice());
+            let implied: f32 = {
+                let d = pairdist::pairdist(&x, &fit.centers);
+                (0..x.rows()).map(|i| d.at2(i, fit.assignments[i])).sum()
+            };
+            assert_eq!(fit.inertia.to_bits(), implied.to_bits());
+        }
     }
 
     #[test]
@@ -238,7 +330,7 @@ mod tests {
             (0..15).map(|i| (i as f32 * 0.7).sin() * 4.0).collect(),
             [3, 5],
         );
-        let fast = KMeans::assign_rows(&x, &centers);
+        let fast = assign_to_centers(&x, &centers);
         let naive: Vec<usize> = (0..x.rows())
             .map(|i| {
                 let mut best = 0;

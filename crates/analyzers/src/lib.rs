@@ -21,9 +21,11 @@
 pub mod anomaly;
 pub mod classify;
 pub mod cluster;
+pub mod index;
 pub mod preprocessing;
 pub mod traits;
 
+pub use index::{IndexBackend, IvfIndex, NnIndex};
 pub use traits::{AnomalyScorer, Classifier, Clusterer};
 
 #[cfg(test)]

@@ -1,0 +1,60 @@
+//! Thread-count invariance of the IVF index, plus its probe counters.
+//!
+//! This test owns its binary (no other `#[test]` here) so it can safely
+//! pin `TCSL_THREADS` via the environment between runs and flip the global
+//! `tcsl-obs` enable switch: the same build + query pass is executed under
+//! 1 and 7 worker threads, and the cell assignments, every query result
+//! (bitwise), and the `ivf.cells_probed` / `ivf.candidates` totals must
+//! all be identical — the CI `TCSL_THREADS=7` leg runs this file under an
+//! externally pinned thread count as well.
+
+use tcsl_analyzers::index::IvfIndex;
+use tcsl_obs::counters::{IVF_CANDIDATES, IVF_CELLS_PROBED};
+use tcsl_tensor::rng::seeded;
+use tcsl_tensor::Tensor;
+
+#[test]
+fn ivf_build_query_and_counters_are_thread_count_invariant() {
+    let mut rng = seeded(41);
+    let x = Tensor::randn([400, 24], &mut rng);
+    let q = Tensor::randn([37, 24], &mut rng);
+
+    let run = |threads: &str| {
+        std::env::set_var("TCSL_THREADS", threads);
+        tcsl_obs::counters::reset();
+        let index = IvfIndex::build(&x, 16, 0);
+        let nn = index.knn(&q, 10, 4);
+        (
+            index.assignments().to_vec(),
+            nn,
+            IVF_CELLS_PROBED.value(),
+            IVF_CANDIDATES.value(),
+        )
+    };
+    tcsl_obs::set_enabled(true);
+    let (a1, nn1, probed1, cands1) = run("1");
+    let (a7, nn7, probed7, cands7) = run("7");
+    tcsl_obs::set_enabled(false);
+    tcsl_obs::counters::reset();
+
+    assert_eq!(a1, a7, "cell assignments depend on thread count");
+    for (i, (r1, r7)) in nn1.iter().zip(&nn7).enumerate() {
+        assert_eq!(r1.len(), r7.len(), "query {i}");
+        for (&(i1, d1), &(i7, d7)) in r1.iter().zip(r7) {
+            assert_eq!(i1, i7, "query {i}");
+            assert_eq!(d1.to_bits(), d7.to_bits(), "query {i}");
+        }
+    }
+    assert_eq!(probed1, probed7, "probe totals depend on thread count");
+    assert_eq!(cands1, cands7, "candidate totals depend on thread count");
+    // The counters describe real sublinear work: every query probed some
+    // cells (at most `nprobe`), every probed cell held candidates, and the
+    // 4-of-16 probe pattern scanned strictly less than a full exact scan.
+    assert!(probed1 >= q.rows() as u64);
+    assert!(probed1 <= (q.rows() * 4) as u64);
+    assert!(cands1 >= probed1);
+    assert!(
+        cands1 < (q.rows() * x.rows()) as u64,
+        "probing must scan less than the full corpus"
+    );
+}

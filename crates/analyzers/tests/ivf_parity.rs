@@ -1,0 +1,104 @@
+//! Property tests pinning the IVF index's exactness contract: with
+//! `nprobe == nlist` — every cell probed — the index must return *exactly*
+//! the exact engine's neighbour sets: same indices, bit-identical
+//! distances, the same lowest-index tie-breaks, NaN rows last.
+//!
+//! The generator works on a coarse value grid (multiples of 0.5) so the
+//! blocked engine and its scalar oracle agree bit-for-bit, with feature
+//! dims crossing both the 8-lane SIMD width and the 64-element FMA
+//! dispatch threshold, and optional NaN-poisoned query/corpus rows —
+//! mirroring the tensor crate's `grid_knn_case` but driving the whole
+//! build → bucket → probe → re-rank pipeline.
+
+use proptest::prelude::*;
+use tcsl_analyzers::index::IvfIndex;
+use tcsl_tensor::pairdist::knn;
+use tcsl_tensor::Tensor;
+
+/// Query/corpus pair on the f32-exact grid plus IVF shape parameters.
+/// `nan_q`/`nan_c` optionally poison one row with a NaN feature (index
+/// taken modulo `rows + 1`; the `rows` value means "no poison").
+#[allow(clippy::type_complexity)]
+fn grid_ivf_case() -> impl Strategy<Value = (Tensor, Tensor, usize, usize, u64)> {
+    // dim up to 70 crosses both the 8-lane SIMD width and the FMA kernel's
+    // 64-element dispatch threshold, including non-multiples of each.
+    (
+        (1usize..12, 1usize..26, 1usize..70, 1usize..8, 1usize..9),
+        (0usize..40, 0usize..40, 0u64..4),
+    )
+        .prop_flat_map(|((n, m, d, k, nlist), (nan_q, nan_c, seed))| {
+            (
+                proptest::collection::vec(-12i32..13, n * d),
+                proptest::collection::vec(-12i32..13, m * d),
+            )
+                .prop_map(move |(av, bv)| {
+                    let to_grid = |v: Vec<i32>| -> Vec<f32> {
+                        v.into_iter().map(|x| x as f32 * 0.5).collect()
+                    };
+                    let mut av = to_grid(av);
+                    let mut bv = to_grid(bv);
+                    if nan_q % (n + 1) < n {
+                        av[(nan_q % (n + 1)) * d] = f32::NAN;
+                    }
+                    if nan_c % (m + 1) < m {
+                        bv[(nan_c % (m + 1)) * d] = f32::NAN;
+                    }
+                    (
+                        Tensor::from_vec(av, [n, d]),
+                        Tensor::from_vec(bv, [m, d]),
+                        k,
+                        nlist,
+                        seed,
+                    )
+                })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ivf_full_probe_equals_exact_engine_bitwise(
+        (q, c, k, nlist, seed) in grid_ivf_case()
+    ) {
+        let index = IvfIndex::build(&c, nlist, seed);
+        let exact = knn(&q, &c, k);
+        let ivf = index.knn(&q, k, index.nlist());
+        prop_assert_eq!(exact.len(), ivf.len());
+        for (i, (e, v)) in exact.iter().zip(&ivf).enumerate() {
+            prop_assert_eq!(e.len(), v.len(), "query {}", i);
+            for (&(ei, ed), &(vi, vd)) in e.iter().zip(v) {
+                prop_assert_eq!(ei, vi, "query {}", i);
+                prop_assert_eq!(ed.to_bits(), vd.to_bits(), "query {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn ivf_partial_probe_is_an_exact_subset_of_the_exact_ranking(
+        (q, c, k, nlist, seed) in grid_ivf_case()
+    ) {
+        // With fewer probes the only legal deviation is omission: every
+        // returned pair must appear in the exact engine's full ranking with
+        // the identical distance bits, already sorted by (distance, index).
+        let index = IvfIndex::build(&c, nlist, seed);
+        let nprobe = (index.nlist() / 2).max(1);
+        let full = knn(&q, &c, c.rows().max(1));
+        let ivf = index.knn(&q, k, nprobe);
+        for (i, row) in ivf.iter().enumerate() {
+            prop_assert!(row.len() <= k.min(c.rows()));
+            for w in row.windows(2) {
+                let ord = w[0].1.total_cmp(&w[1].1).then(w[0].0.cmp(&w[1].0));
+                prop_assert!(ord == std::cmp::Ordering::Less, "query {} unsorted", i);
+            }
+            for &(j, d) in row {
+                let exact_d = full[i]
+                    .iter()
+                    .find(|&&(ej, _)| ej == j)
+                    .map(|&(_, ed)| ed)
+                    .expect("returned index exists in the corpus ranking");
+                prop_assert_eq!(d.to_bits(), exact_d.to_bits(), "query {} idx {}", i, j);
+            }
+        }
+    }
+}

@@ -7,6 +7,7 @@
 use tcsl_analyzers::anomaly::KnnDistance;
 use tcsl_analyzers::classify::KnnClassifier;
 use tcsl_analyzers::cluster::{Agglomerative, KMeans};
+use tcsl_analyzers::index::{IndexBackend, IvfIndex};
 use tcsl_analyzers::{AnomalyScorer, Classifier, Clusterer};
 use tcsl_core::{CslConfig, TimeCsl};
 use tcsl_data::archive;
@@ -139,4 +140,50 @@ fn engine_routing_matches_oracle_paths_end_to_end() {
         "t-SNE affinity distances drifted: {}",
         fast_d2.max_abs_diff(&slow_d2)
     );
+}
+
+#[test]
+fn ivf_full_probe_matches_exact_backend_on_learned_representations() {
+    // The nprobe == nlist parity contract, end-to-end on real pipeline
+    // output rather than synthetic grids: the IVF-backed analyzers must be
+    // indistinguishable from the exact-backend ones — identical predicted
+    // labels, bit-identical anomaly scores, bit-identical raw neighbour
+    // lists out of the index itself.
+    let (ztr, ytr, zte, _) = representations();
+    let (k, nlist) = (3, 5);
+    let full = IndexBackend::Ivf {
+        nlist,
+        nprobe: nlist,
+    };
+
+    let index = IvfIndex::build(&ztr, nlist, 0);
+    let exact_nn = tcsl_tensor::pairdist::knn(&zte, &ztr, k);
+    let ivf_nn = index.knn(&zte, k, index.nlist());
+    for (i, (e, v)) in exact_nn.iter().zip(&ivf_nn).enumerate() {
+        assert_eq!(e.len(), v.len(), "query {i}");
+        for (&(ei, ed), &(vi, vd)) in e.iter().zip(v) {
+            assert_eq!(ei, vi, "query {i}");
+            assert_eq!(ed.to_bits(), vd.to_bits(), "query {i}");
+        }
+    }
+
+    let mut exact_clf = KnnClassifier::new(k);
+    exact_clf.fit(&ztr, &ytr);
+    let mut ivf_clf = KnnClassifier::with_backend(k, full);
+    ivf_clf.fit(&ztr, &ytr);
+    assert_eq!(
+        exact_clf.predict(&zte),
+        ivf_clf.predict(&zte),
+        "IVF-backed kNN labels drifted from the exact backend"
+    );
+
+    let mut exact_scorer = KnnDistance::new(k);
+    exact_scorer.fit(&ztr);
+    let mut ivf_scorer = KnnDistance::with_backend(k, full);
+    ivf_scorer.fit(&ztr);
+    let es = exact_scorer.score(&zte);
+    let vs = ivf_scorer.score(&zte);
+    for (i, (e, v)) in es.iter().zip(&vs).enumerate() {
+        assert_eq!(e.to_bits(), v.to_bits(), "anomaly score {i}");
+    }
 }

@@ -1,11 +1,25 @@
 //! Exact t-SNE (van der Maaten & Hinton, 2008) for the demo's 2-D
-//! representation view. O(N²) per iteration — fine for the interactive
-//! dataset sizes TimeCSL explores. The high-dimensional affinity pass
-//! (the only part that touches the full feature width) runs on the
-//! blocked [`pairdist`] engine; `pairdist(x, x)` is bitwise symmetric
-//! with an exactly-zero diagonal, so the conditional distributions see
-//! the same symmetric input the old hand-rolled loop produced.
+//! representation view. O(N²) per gradient iteration — fine for the
+//! interactive dataset sizes TimeCSL explores. The high-dimensional
+//! affinity pass (the only part that touches the full feature width) is
+//! routed by [`IndexBackend`]:
+//!
+//! * [`IndexBackend::Exact`] (the default) runs one blocked [`pairdist`]
+//!   engine call; `pairdist(x, x)` is bitwise symmetric with an
+//!   exactly-zero diagonal, so the conditional distributions see the same
+//!   symmetric input the old hand-rolled loop produced.
+//! * [`IndexBackend::Ivf`] computes *sparse* approximate affinities in the
+//!   style of Barnes–Hut t-SNE (van der Maaten, 2014): each point's
+//!   conditional distribution is supported on its `⌈3·perplexity⌉`
+//!   approximate nearest neighbours from the IVF index, which drops the
+//!   affinity pass from O(N²·F) to the index's probed-cell cost. Distant
+//!   pairs contribute (almost) nothing to the exact conditionals, so the
+//!   truncation changes little — and with `nprobe == nlist` the neighbour
+//!   sets themselves are exact.
+//!
+//! [`pairdist`]: tcsl_tensor::pairdist::pairdist
 
+use tcsl_analyzers::index::{IndexBackend, IvfIndex};
 use tcsl_tensor::pairdist;
 use tcsl_tensor::rng::{gauss, seeded};
 use tcsl_tensor::Tensor;
@@ -23,6 +37,9 @@ pub struct TsneConfig {
     pub exaggeration: f32,
     /// RNG seed for the initial layout.
     pub seed: u64,
+    /// Neighbour-search engine for the affinity pass: exact dense
+    /// conditionals, or IVF-pruned sparse ones.
+    pub backend: IndexBackend,
 }
 
 impl Default for TsneConfig {
@@ -33,8 +50,118 @@ impl Default for TsneConfig {
             learning_rate: 30.0,
             exaggeration: 4.0,
             seed: 0,
+            backend: IndexBackend::Exact,
         }
     }
+}
+
+/// Binary-searches the precision `beta` of one conditional distribution
+/// over the given squared distances (self pair excluded by the caller) to
+/// hit `target_entropy`, then writes the normalized weights into `weights`
+/// (cleared and refilled, one per distance, in order). Shared by the dense
+/// and the sparse affinity paths: on the full non-self distance row it
+/// reproduces the previous inline dense computation bit-for-bit.
+fn conditional_weights(dists: &[f32], target_entropy: f32, weights: &mut Vec<f32>) {
+    let (mut beta, mut lo, mut hi) = (1.0f32, 0.0f32, f32::INFINITY);
+    for _ in 0..50 {
+        // Conditional distribution and its entropy at this beta.
+        let mut sum = 0.0f32;
+        let mut weighted = 0.0f32;
+        for &d in dists {
+            let w = (-beta * d).exp();
+            sum += w;
+            weighted += w * d;
+        }
+        if sum <= 0.0 {
+            break;
+        }
+        let entropy = beta * weighted / sum + sum.ln();
+        if (entropy - target_entropy).abs() < 1e-4 {
+            break;
+        }
+        if entropy > target_entropy {
+            lo = beta;
+            beta = if hi.is_finite() {
+                0.5 * (beta + hi)
+            } else {
+                beta * 2.0
+            };
+        } else {
+            hi = beta;
+            beta = 0.5 * (beta + lo);
+        }
+    }
+    weights.clear();
+    weights.extend(dists.iter().map(|&d| (-beta * d).exp()));
+    let sum: f32 = weights.iter().sum();
+    if sum > 0.0 {
+        for w in weights.iter_mut() {
+            *w /= sum;
+        }
+    }
+}
+
+/// Dense conditionals: full `pairdist(x, x)` matrix, every non-self pair in
+/// each point's distribution.
+fn conditional_p_dense(x: &Tensor, target_entropy: f32) -> Vec<f32> {
+    let n = x.rows();
+    // Pairwise squared distances in high dimension — one blocked engine
+    // call instead of a scalar O(N²·F) double loop.
+    let d2 = pairdist::pairdist(x, x);
+    let mut p = vec![0.0f32; n * n];
+    let mut dists = Vec::with_capacity(n - 1);
+    let mut weights = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        let row = d2.row(i);
+        dists.clear();
+        dists.extend(
+            row.iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &d)| d),
+        );
+        conditional_weights(&dists, target_entropy, &mut weights);
+        let mut w_iter = weights.iter();
+        for j in (0..n).filter(|&j| j != i) {
+            p[i * n + j] = *w_iter.next().expect("one weight per non-self pair");
+        }
+    }
+    p
+}
+
+/// Sparse conditionals: each point's distribution is supported on its
+/// `k_nn` approximate nearest neighbours from the IVF index (exact
+/// distances, possibly missing far-cell neighbours), everything else stays
+/// an exact zero until the symmetrization floor.
+fn conditional_p_sparse(
+    x: &Tensor,
+    target_entropy: f32,
+    k_nn: usize,
+    nlist: usize,
+    nprobe: usize,
+) -> Vec<f32> {
+    let n = x.rows();
+    let index = IvfIndex::build(x, nlist, 0);
+    // One extra neighbour covers the self-match each query finds in its
+    // own cell.
+    let nn = index.knn(x, k_nn + 1, nprobe);
+    let mut p = vec![0.0f32; n * n];
+    let mut ids = Vec::with_capacity(k_nn);
+    let mut dists = Vec::with_capacity(k_nn);
+    let mut weights = Vec::with_capacity(k_nn);
+    for (i, row) in nn.iter().enumerate() {
+        ids.clear();
+        dists.clear();
+        for &(j, d) in row.iter().filter(|&&(j, _)| j != i).take(k_nn) {
+            ids.push(j);
+            dists.push(d);
+        }
+        conditional_weights(&dists, target_entropy, &mut weights);
+        for (&j, &w) in ids.iter().zip(&weights) {
+            p[i * n + j] = w;
+        }
+    }
+    p
 }
 
 /// Embeds the rows of `x` (`N×F`) into 2-D. Returns an `(N, 2)` tensor.
@@ -43,61 +170,16 @@ pub fn tsne(x: &Tensor, cfg: &TsneConfig) -> Tensor {
     assert!(n >= 4, "t-SNE needs at least 4 points");
     let perplexity = cfg.perplexity.min((n as f32 - 1.0) / 3.0).max(2.0);
 
-    // Pairwise squared distances in high dimension — one blocked engine
-    // call instead of a scalar O(N²·F) double loop.
-    let d2 = pairdist::pairdist(x, x);
-
     // Per-point binary search of sigma to hit the target perplexity.
     let target_entropy = perplexity.ln();
-    let mut p = vec![0.0f32; n * n];
-    for i in 0..n {
-        let row = d2.row(i);
-        let (mut beta, mut lo, mut hi) = (1.0f32, 0.0f32, f32::INFINITY);
-        for _ in 0..50 {
-            // Conditional distribution and its entropy at this beta.
-            let mut sum = 0.0f32;
-            let mut weighted = 0.0f32;
-            for (j, &d) in row.iter().enumerate() {
-                if j == i {
-                    continue;
-                }
-                let w = (-beta * d).exp();
-                sum += w;
-                weighted += w * d;
-            }
-            if sum <= 0.0 {
-                break;
-            }
-            let entropy = beta * weighted / sum + sum.ln();
-            if (entropy - target_entropy).abs() < 1e-4 {
-                break;
-            }
-            if entropy > target_entropy {
-                lo = beta;
-                beta = if hi.is_finite() {
-                    0.5 * (beta + hi)
-                } else {
-                    beta * 2.0
-                };
-            } else {
-                hi = beta;
-                beta = 0.5 * (beta + lo);
-            }
+    let p = match cfg.backend {
+        IndexBackend::Exact => conditional_p_dense(x, target_entropy),
+        IndexBackend::Ivf { nlist, nprobe } => {
+            // The usual Barnes–Hut neighbourhood size: 3× perplexity.
+            let k_nn = ((3.0 * perplexity).ceil() as usize).clamp(2, n - 1);
+            conditional_p_sparse(x, target_entropy, k_nn, nlist, nprobe)
         }
-        let mut sum = 0.0f32;
-        for j in 0..n {
-            if j != i {
-                let w = (-beta * row[j]).exp();
-                p[i * n + j] = w;
-                sum += w;
-            }
-        }
-        if sum > 0.0 {
-            for j in 0..n {
-                p[i * n + j] /= sum;
-            }
-        }
-    }
+    };
     // Symmetrize and normalize.
     let mut pij = vec![0.0f32; n * n];
     for i in 0..n {
@@ -244,5 +326,61 @@ mod tests {
     #[should_panic(expected = "at least 4")]
     fn too_few_points_panics() {
         tsne(&Tensor::zeros([3, 2]), &TsneConfig::default());
+    }
+
+    #[test]
+    fn ivf_backend_keeps_separated_blobs_separated() {
+        let (x, labels) = two_blobs(15);
+        let y = tsne(
+            &x,
+            &TsneConfig {
+                iterations: 250,
+                backend: IndexBackend::Ivf {
+                    nlist: 4,
+                    nprobe: 2,
+                },
+                ..Default::default()
+            },
+        );
+        assert!(y.all_finite());
+        let dist = |i: usize, j: usize| -> f32 {
+            let (a, b) = (y.row(i), y.row(j));
+            ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt()
+        };
+        let mut intra = (0.0f32, 0usize);
+        let mut inter = (0.0f32, 0usize);
+        for i in 0..30 {
+            for j in (i + 1)..30 {
+                if labels[i] == labels[j] {
+                    intra = (intra.0 + dist(i, j), intra.1 + 1);
+                } else {
+                    inter = (inter.0 + dist(i, j), inter.1 + 1);
+                }
+            }
+        }
+        let (intra, inter) = (intra.0 / intra.1 as f32, inter.0 / inter.1 as f32);
+        assert!(inter > intra * 1.5, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn ivf_full_probe_layouts_are_partition_independent() {
+        // With every cell probed the sparse path's neighbour sets are the
+        // exact top-k whatever the coarse partition looks like, so two
+        // completely different `nlist` choices must yield bit-identical
+        // layouts — the t-SNE face of the nprobe == nlist parity contract.
+        let (x, _) = two_blobs(10);
+        let cfg = |nlist: usize| TsneConfig {
+            iterations: 60,
+            backend: IndexBackend::Ivf {
+                nlist,
+                nprobe: nlist,
+            },
+            ..Default::default()
+        };
+        let a = tsne(&x, &cfg(1));
+        let b = tsne(&x, &cfg(5));
+        for (va, vb) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
     }
 }

@@ -194,6 +194,13 @@ pub static FINETUNE_EXAMPLES: Counter = Counter::new("finetune.examples");
 pub static SHAPELET_POOL_FUSED: Counter = Counter::new("shapelet.pool.fused");
 /// Shapelet groups pooled by the blocked (tiled scratch) fallback engine.
 pub static SHAPELET_POOL_BLOCKED: Counter = Counter::new("shapelet.pool.blocked");
+/// Inverted-file cells scanned by IVF index queries (one per probed
+/// non-empty cell per query row).
+pub static IVF_CELLS_PROBED: Counter = Counter::new("ivf.cells_probed");
+/// Candidate corpus rows scored by IVF probes (the shortlist size the
+/// sublinear path actually paid for, vs. the full corpus an exact scan
+/// would touch).
+pub static IVF_CANDIDATES: Counter = Counter::new("ivf.candidates");
 
 /// Worker threads used by the most recent parallel region (schedule
 /// dependent — a gauge, excluded from determinism checks).
@@ -209,6 +216,8 @@ static WELL_KNOWN: &[&Counter] = &[
     &FINETUNE_EXAMPLES,
     &SHAPELET_POOL_FUSED,
     &SHAPELET_POOL_BLOCKED,
+    &IVF_CELLS_PROBED,
+    &IVF_CANDIDATES,
 ];
 
 static WELL_KNOWN_GAUGES: &[&Gauge] = &[&PARALLEL_THREADS];

@@ -13,7 +13,16 @@
 //!   row-block fan-out writing the result in place (no gather copy).
 //! * [`knn_into`] / [`knn`] — streaming per-row top-`k` selection through a
 //!   bounded binary heap, never materializing the `N×M` matrix (the same
-//!   zero-materialization discipline as the fused shapelet transform).
+//!   zero-materialization discipline as the fused shapelet transform). The
+//!   heaps live directly in the caller's output vectors, so repeated calls
+//!   with a reused `out` reach a zero-allocation steady state for results.
+//! * [`topk_push`] / [`topk_sort`] / [`scan_cell_into`] — the bounded-heap
+//!   and probed-scan primitives underneath [`knn_into`], exported so the
+//!   IVF index (`tcsl_analyzers::index`) can merge shortlists from several
+//!   repacked corpus cells into one accumulator with *bit-identical*
+//!   distances and ordering: [`dot4`]'s rounding depends only on the
+//!   operand pair, never on which rows share its group, so a row scanned
+//!   from a repacked cell scores exactly as it does in the full corpus.
 //! * [`pairdist_oracle`] / [`knn_oracle`] — the naive scalar formulations,
 //!   kept as the agreement oracle for proptests and benchmarks.
 //!
@@ -43,10 +52,9 @@
 //!   whose norms are NaN).
 
 use crate::matmul::dot4;
-use crate::parallel::{parallel_chunks_mut, parallel_map};
+use crate::parallel::parallel_chunks_mut;
 use crate::tensor::Tensor;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Query rows per parallel work item: big enough to amortize the fan-out,
 /// small enough that dynamic block claiming balances uneven hosts.
@@ -200,44 +208,116 @@ pub fn pairdist_oracle(a: &Tensor, b: &Tensor) -> Tensor {
     out
 }
 
-/// One top-k candidate. Ordered by `(distance, index)` under `total_cmp`,
-/// so the max-heap's worst element is the farthest — and among equals the
-/// *highest*-index — neighbour, which is exactly the one to evict.
-#[derive(Clone, Copy, Debug)]
-struct Cand {
-    d: f32,
-    idx: usize,
-}
-
-impl PartialEq for Cand {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl Eq for Cand {}
-impl PartialOrd for Cand {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Cand {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.d.total_cmp(&other.d).then(self.idx.cmp(&other.idx))
-    }
-}
-
-/// Pushes into a `k`-bounded max-heap. Candidates arrive in ascending index
-/// order, so an incoming candidate tied with the current worst compares
-/// *greater* (higher index) and is correctly rejected: lowest index wins.
+/// `(index, distance)` candidate ordering shared by every top-k surface:
+/// `a` ranks strictly *worse* than `b` when its distance is greater under
+/// `total_cmp` (NaN last) or, at equal distance, its index is higher —
+/// so the max-heap's root is always the one candidate to evict and the
+/// final ascending sort puts the lowest index first among ties.
 #[inline]
-fn push_bounded(heap: &mut BinaryHeap<Cand>, k: usize, cand: Cand) {
+fn cand_gt(a: (usize, f32), b: (usize, f32)) -> bool {
+    match a.1.total_cmp(&b.1) {
+        Ordering::Greater => true,
+        Ordering::Less => false,
+        Ordering::Equal => a.0 > b.0,
+    }
+}
+
+/// Folds candidate `(idx, d)` into the `k`-bounded max-heap stored in
+/// `heap`'s own buffer (classic sift-up/sift-down — no separate heap
+/// structure, no allocation beyond growing `heap` to `k` once). The heap
+/// invariant is over [`cand_gt`], so the retained set is exactly the `k`
+/// smallest candidates under `(total_cmp distance, index)` regardless of
+/// arrival order — which is what lets the IVF index merge probed cells in
+/// any cell order and still match the exact engine's tie-breaks.
+#[inline]
+pub fn topk_push(heap: &mut Vec<(usize, f32)>, k: usize, idx: usize, d: f32) {
+    debug_assert!(k >= 1);
+    let cand = (idx, d);
     if heap.len() < k {
         heap.push(cand);
-    } else if let Some(&top) = heap.peek() {
-        if cand < top {
-            heap.pop();
-            heap.push(cand);
+        let mut i = heap.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if cand_gt(heap[i], heap[parent]) {
+                heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
         }
+    } else if cand_gt(heap[0], cand) {
+        heap[0] = cand;
+        let mut i = 0usize;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut worst = i;
+            if l < heap.len() && cand_gt(heap[l], heap[worst]) {
+                worst = l;
+            }
+            if r < heap.len() && cand_gt(heap[r], heap[worst]) {
+                worst = r;
+            }
+            if worst == i {
+                break;
+            }
+            heap.swap(i, worst);
+            i = worst;
+        }
+    }
+}
+
+/// Sorts a finished [`topk_push`] accumulator ascending by
+/// `(total_cmp distance, index)` — in place (`sort_unstable_by` allocates
+/// nothing; the key is a strict total order, so stability is irrelevant).
+pub fn topk_sort(heap: &mut [(usize, f32)]) {
+    heap.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+}
+
+/// Streams the rows of one repacked corpus `cell` against a single query,
+/// folding candidates into the `k`-bounded accumulator `acc` under the
+/// engine's global contract. `norms` are the cell rows' [`row_sq_norms`]
+/// and `ids` their *original* corpus indices; `qn` is the query's own
+/// `dot4`-path squared norm. Because [`dot4`]'s rounding depends only on
+/// the operand pair (not the lane or the group), a row scores bit-identical
+/// here to what [`pairdist`]/[`knn_into`] compute for it in the full
+/// corpus — so probing every cell reproduces the exact engine's neighbour
+/// sets, distances, and tie-breaks verbatim. This is the probe primitive
+/// of the IVF index in `tcsl_analyzers::index`.
+pub fn scan_cell_into(
+    q: &[f32],
+    qn: f32,
+    cell: &Tensor,
+    norms: &[f32],
+    ids: &[usize],
+    k: usize,
+    acc: &mut Vec<(usize, f32)>,
+) {
+    assert!(k >= 1, "k must be at least 1");
+    assert_eq!(
+        q.len(),
+        cell.cols(),
+        "scan_cell feature dimensions differ: {} vs {}",
+        q.len(),
+        cell.cols()
+    );
+    let m = cell.rows();
+    debug_assert_eq!(norms.len(), m);
+    debug_assert_eq!(ids.len(), m);
+    if m == 0 {
+        return;
+    }
+    let mut tiles = tcsl_obs::counters::LocalCounter::new(&tcsl_obs::counters::PAIRDIST_TILES);
+    tiles.add(m.div_ceil(COL_TILE) as u64);
+    crate::matmul::count_dot_dispatch(q.len(), 4 * m.div_ceil(4) as u64);
+    let mut j = 0usize;
+    while j < m {
+        let ds = dot_group(q, cell, j, m);
+        let take = (m - j).min(4);
+        for (l, &dv) in ds.iter().take(take).enumerate() {
+            let d = pair_sq_dist(qn, norms[j + l], dv, q, cell.row(j + l));
+            topk_push(acc, k, ids[j + l], d);
+        }
+        j += take;
     }
 }
 
@@ -245,10 +325,13 @@ fn push_bounded(heap: &mut BinaryHeap<Cand>, k: usize, cand: Cand) {
 /// the `min(k, M)` nearest rows of `corpus` as `(corpus_index, sq_dist)`,
 /// sorted ascending by `(distance, index)`.
 ///
-/// The full `N×M` distance matrix is never materialized: each query row
-/// owns a `k`-bounded binary heap and the corpus streams through in tiles,
-/// so peak scratch is `O(row_block · k)` regardless of `M`. Results are
-/// written into `out` (cleared first), reusing its capacity across calls.
+/// The full `N×M` distance matrix is never materialized: each query row's
+/// `k`-bounded heap lives directly in its `out` slot while the corpus
+/// streams through in tiles, so peak scratch is the two norm vectors
+/// regardless of `M`. `out` is reshaped to `N` rows *reusing* both the
+/// outer vector and every surviving inner vector's capacity — repeated
+/// calls with the same shapes reach a zero-allocation steady state for
+/// results (pinned by the `knn_alloc` regression test).
 pub fn knn_into(queries: &Tensor, corpus: &Tensor, k: usize, out: &mut Vec<Vec<(usize, f32)>>) {
     assert!(k >= 1, "k must be at least 1");
     let (n, m) = (queries.rows(), corpus.rows());
@@ -259,24 +342,25 @@ pub fn knn_into(queries: &Tensor, corpus: &Tensor, k: usize, out: &mut Vec<Vec<(
         queries.cols(),
         corpus.cols()
     );
-    out.clear();
-    if n == 0 {
-        return;
+    out.truncate(n);
+    for row in out.iter_mut() {
+        row.clear();
     }
-    if m == 0 {
-        out.extend((0..n).map(|_| Vec::new()));
+    while out.len() < n {
+        out.push(Vec::new());
+    }
+    if n == 0 || m == 0 {
         return;
     }
     let k = k.min(m);
     let na = row_sq_norms(queries);
     let nb = row_sq_norms(corpus);
-    let n_blocks = n.div_ceil(ROW_BLOCK);
     let _span = tcsl_obs::spans::span("knn");
-    let blocks = parallel_map(n_blocks, |bi| {
+    // One ROW_BLOCK of query rows per chunk, the chunk owned by its index
+    // (bit-identical for any TCSL_THREADS, like `pairdist`), each output
+    // row serving as its query's heap storage.
+    parallel_chunks_mut(&mut out[..], ROW_BLOCK, |bi, rows_out| {
         let lo = bi * ROW_BLOCK;
-        let hi = ((bi + 1) * ROW_BLOCK).min(n);
-        let mut heaps: Vec<BinaryHeap<Cand>> =
-            (lo..hi).map(|_| BinaryHeap::with_capacity(k + 1)).collect();
         // Same tile accounting as `pairdist`: deterministic in (n, m).
         let mut tiles = tcsl_obs::counters::LocalCounter::new(&tcsl_obs::counters::PAIRDIST_TILES);
         let mut dots = 0u64;
@@ -284,8 +368,9 @@ pub fn knn_into(queries: &Tensor, corpus: &Tensor, k: usize, out: &mut Vec<Vec<(
         while tile < m {
             tiles.add(1);
             let te = (tile + COL_TILE).min(m);
-            dots += 4 * (te - tile).div_ceil(4) as u64 * (hi - lo) as u64;
-            for (heap, i) in heaps.iter_mut().zip(lo..hi) {
+            dots += 4 * (te - tile).div_ceil(4) as u64 * rows_out.len() as u64;
+            for (r, heap) in rows_out.iter_mut().enumerate() {
+                let i = lo + r;
                 let q = queries.row(i);
                 let qn = na[i];
                 let mut j = tile;
@@ -293,11 +378,8 @@ pub fn knn_into(queries: &Tensor, corpus: &Tensor, k: usize, out: &mut Vec<Vec<(
                     let ds = dot_group(q, corpus, j, te);
                     let take = (te - j).min(4);
                     for (l, &dv) in ds.iter().take(take).enumerate() {
-                        let cand = Cand {
-                            d: pair_sq_dist(qn, nb[j + l], dv, q, corpus.row(j + l)),
-                            idx: j + l,
-                        };
-                        push_bounded(heap, k, cand);
+                        let d = pair_sq_dist(qn, nb[j + l], dv, q, corpus.row(j + l));
+                        topk_push(heap, k, j + l, d);
                     }
                     j += take;
                 }
@@ -305,19 +387,10 @@ pub fn knn_into(queries: &Tensor, corpus: &Tensor, k: usize, out: &mut Vec<Vec<(
             tile = te;
         }
         crate::matmul::count_dot_dispatch(queries.cols(), dots);
-        heaps
-            .into_iter()
-            .map(|h| {
-                h.into_sorted_vec()
-                    .into_iter()
-                    .map(|c| (c.idx, c.d))
-                    .collect::<Vec<_>>()
-            })
-            .collect::<Vec<_>>()
+        for heap in rows_out.iter_mut() {
+            topk_sort(heap);
+        }
     });
-    for block in blocks {
-        out.extend(block);
-    }
 }
 
 /// Convenience wrapper over [`knn_into`] allocating a fresh result vector.
@@ -505,6 +578,100 @@ mod tests {
         knn_into(&q, &c, 2, &mut out);
         assert_eq!(out.len(), 4);
         assert!(out.iter().all(|r| r.len() == 2));
+    }
+
+    #[test]
+    fn knn_into_keeps_inner_vector_buffers_across_calls() {
+        // The whole point of the reshape-in-place contract: a second call
+        // with the same shapes writes into the *same* heap buffers (no
+        // per-row reallocation), which the steady-state alloc regression
+        // test relies on. Buffer identity is checked by pointer.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let q = Tensor::randn([5, 8], &mut rng);
+        let c = Tensor::randn([40, 8], &mut rng);
+        let mut out = Vec::new();
+        knn_into(&q, &c, 3, &mut out);
+        let ptrs: Vec<*const (usize, f32)> = out.iter().map(|r| r.as_ptr()).collect();
+        let first: Vec<Vec<(usize, f32)>> = out.clone();
+        knn_into(&q, &c, 3, &mut out);
+        let ptrs2: Vec<*const (usize, f32)> = out.iter().map(|r| r.as_ptr()).collect();
+        assert_eq!(ptrs, ptrs2, "inner buffers were reallocated");
+        assert_eq!(first, out, "reused buffers changed the results");
+    }
+
+    #[test]
+    fn topk_push_retains_k_smallest_in_any_arrival_order() {
+        // Candidates pushed in descending/interleaved order must leave the
+        // same set as ascending order — the heap's (distance, index) total
+        // order handles arrival order, which the IVF cell merge relies on.
+        let cands: Vec<(usize, f32)> = vec![(7, 3.0), (2, 1.0), (9, 1.0), (0, 5.0), (4, 0.25)];
+        let mut fwd = Vec::new();
+        let mut rev = Vec::new();
+        for &(i, d) in &cands {
+            topk_push(&mut fwd, 3, i, d);
+        }
+        for &(i, d) in cands.iter().rev() {
+            topk_push(&mut rev, 3, i, d);
+        }
+        topk_sort(&mut fwd);
+        topk_sort(&mut rev);
+        assert_eq!(fwd, rev);
+        // Ties at the k boundary resolve to the lowest index: 2 beats 9.
+        assert_eq!(fwd, vec![(4, 0.25), (2, 1.0), (9, 1.0)]);
+        let mut tight = Vec::new();
+        for &(i, d) in &[(9usize, 1.0f32), (2, 1.0), (4, 0.25)] {
+            topk_push(&mut tight, 2, i, d);
+        }
+        topk_sort(&mut tight);
+        assert_eq!(tight, vec![(4, 0.25), (2, 1.0)]);
+    }
+
+    #[test]
+    fn scan_cell_into_matches_knn_bitwise_under_repacking() {
+        // Split the corpus into two interleaved "cells" (odd/even rows,
+        // repacked contiguously) and probe both into one accumulator: the
+        // result must equal the full-corpus knn bit-for-bit — distances,
+        // indices, tie-breaks — at dims on both sides of the FMA dispatch
+        // threshold. This is the contract the IVF index is built on.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for dim in [7, 63, 64, 65, 130] {
+            let q = Tensor::randn([6, dim], &mut rng);
+            let c = Tensor::randn([23, dim], &mut rng);
+            let (mut cells, mut idsets): (Vec<Vec<f32>>, Vec<Vec<usize>>) =
+                (vec![Vec::new(), Vec::new()], vec![Vec::new(), Vec::new()]);
+            for j in 0..c.rows() {
+                cells[j % 2].extend_from_slice(c.row(j));
+                idsets[j % 2].push(j);
+            }
+            let cells: Vec<Tensor> = cells
+                .into_iter()
+                .zip(&idsets)
+                .map(|(v, ids)| Tensor::from_vec(v, [ids.len(), dim]))
+                .collect();
+            let norms: Vec<Vec<f32>> = cells.iter().map(row_sq_norms).collect();
+            let qnorms = row_sq_norms(&q);
+            let exact = knn(&q, &c, 4);
+            for (i, want) in exact.iter().enumerate() {
+                let mut acc = Vec::new();
+                for cell in 0..2 {
+                    scan_cell_into(
+                        q.row(i),
+                        qnorms[i],
+                        &cells[cell],
+                        &norms[cell],
+                        &idsets[cell],
+                        4,
+                        &mut acc,
+                    );
+                }
+                topk_sort(&mut acc);
+                assert_eq!(&acc, want, "dim {dim} query {i}");
+                for (&(ai, ad), &(wi, wd)) in acc.iter().zip(want) {
+                    assert_eq!(ai, wi);
+                    assert_eq!(ad.to_bits(), wd.to_bits(), "dim {dim} query {i}");
+                }
+            }
+        }
     }
 
     #[test]

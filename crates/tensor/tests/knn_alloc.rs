@@ -1,0 +1,59 @@
+//! Steady-state allocation regression for the streaming top-k engine.
+//!
+//! `knn_into` reshapes the caller's `out` in place — outer vector and every
+//! inner heap buffer keep their capacity across calls — so a serving loop
+//! that reuses one result buffer must reach a steady state where repeated
+//! queries grow the heap **not at all**: live bytes are flat and the only
+//! transient allocations are the two per-call norm vectors.
+//!
+//! This test owns its binary (no other `#[test]` here) so it can safely pin
+//! `TCSL_THREADS=1` via the environment before any engine call: the serial
+//! path spawns no worker threads, whose stacks would otherwise dominate the
+//! allocation profile. Cross-thread determinism of the parallel path is
+//! covered by the CI `TCSL_THREADS=7` legs.
+
+use tcsl_obs::alloc_track::{alloc_profile, CountingAlloc};
+use tcsl_tensor::pairdist::knn_into;
+use tcsl_tensor::Tensor;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn knn_into_has_zero_steady_state_allocation_growth() {
+    std::env::set_var("TCSL_THREADS", "1");
+    let (n, m, dim, k) = (96, 700, 40, 7);
+    let mut rng = tcsl_tensor::rng::seeded(29);
+    let queries = Tensor::randn([n, dim], &mut rng);
+    let corpus = Tensor::randn([m, dim], &mut rng);
+
+    let mut out = Vec::new();
+    // Warm-up: grows `out` to its steady-state shape (n rows × k slots).
+    knn_into(&queries, &corpus, k, &mut out);
+    let baseline = out.clone();
+
+    let live_before = tcsl_obs::alloc_track::live_bytes();
+    let (_, stats) = alloc_profile(|| {
+        for _ in 0..25 {
+            knn_into(&queries, &corpus, k, &mut out);
+        }
+    });
+    let live_after = tcsl_obs::alloc_track::live_bytes();
+
+    assert_eq!(
+        live_before, live_after,
+        "steady-state knn_into calls grew live allocation"
+    );
+    // Transient allocation per call is the two norm vectors, (n + m) f32s.
+    // Anything near the per-call result size (n·k pairs ≈ 10.5 KiB) or the
+    // old per-block heap churn would blow well past this budget.
+    let norms_bytes = (n + m) * std::mem::size_of::<f32>();
+    let budget = 25 * (norms_bytes + 256);
+    assert!(
+        stats.total <= budget,
+        "steady-state total allocation {} exceeds norm-vector budget {}",
+        stats.total,
+        budget
+    );
+    assert_eq!(baseline, out, "reused buffers changed the results");
+}
