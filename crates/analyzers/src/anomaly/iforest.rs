@@ -160,6 +160,15 @@ impl Default for IsolationForest {
 impl AnomalyScorer for IsolationForest {
     fn fit(&mut self, x: &Tensor) {
         assert!(x.rows() > 1, "need at least two training rows");
+        // At ψ ≤ 1 every tree is a lone leaf: `c_factor(1) == 0` used to be
+        // clamped to 1e-6 and every score collapsed toward 2^(-depth/1e-6)
+        // ≈ 0 — a silently degenerate forest instead of an error.
+        assert!(
+            self.subsample >= 2,
+            "isolation forest subsample must be >= 2 (got {}): a single-row \
+             subsample degenerates every tree to a leaf and all scores to ~0",
+            self.subsample
+        );
         let mut rng = seeded(self.seed);
         let psi = self.subsample.min(x.rows());
         let max_depth = (psi as f32).log2().ceil() as usize + 1;
@@ -262,5 +271,18 @@ mod tests {
     #[should_panic(expected = "before fit")]
     fn score_before_fit_panics() {
         IsolationForest::new().score(&Tensor::zeros([1, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "subsample must be >= 2")]
+    fn degenerate_subsample_rejected_at_fit() {
+        // Regression: ψ = 1 used to fit "successfully" and score everything
+        // ≈ 0 through the clamped c_factor instead of failing loudly.
+        let (x, _) = data_with_outliers();
+        let mut forest = IsolationForest {
+            subsample: 1,
+            ..IsolationForest::new()
+        };
+        forest.fit(&x);
     }
 }

@@ -212,6 +212,9 @@ impl IvfIndex {
         // call), plus the queries' own engine-path norms for the scans.
         let cd = pairdist::pairdist(queries, &self.centroids);
         let qnorms = row_sq_norms(queries);
+        // Query blocks fan out on the persistent pool; each block's output
+        // rows are owned by its block index, so merged results and counter
+        // totals are thread-count invariant.
         parallel_chunks_mut(&mut out[..], QUERY_BLOCK, |bi, rows_out| {
             let lo = bi * QUERY_BLOCK;
             // Probe/candidate totals are functions of the data alone (which

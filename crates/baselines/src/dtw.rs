@@ -72,7 +72,8 @@ impl Dtw1Nn {
         self.train = Some(normalize_dataset(train, Normalization::ZScore));
     }
 
-    /// Predicts by nearest training series, parallel over test series.
+    /// Predicts by nearest training series, parallel over test series on
+    /// the persistent pool (one parked-worker wake per call, no spawns).
     pub fn predict(&self, test: &Dataset) -> Vec<usize> {
         let train = self.train.as_ref().expect("predict before fit");
         let test = normalize_dataset(test, Normalization::ZScore);

@@ -3,6 +3,14 @@
 //! two legs — plus the fused custom-op training path vs the eager-graph
 //! oracle it replaced, with allocator pressure per leg.
 //!
+//! The parallel leg runs twice: once on the persistent worker pool (the
+//! default) and once with `TCSL_POOL=scoped` forcing the old per-call
+//! spawn path, with bit-equality asserted across all three legs. A
+//! dispatch microbench prices the per-call overhead of each mode (the
+//! spawn tax the pool removes), and one instrumented rep collects the
+//! pool's per-thread busy-time spans (`pool.worker.NN` / `pool.caller`)
+//! into the report.
+//!
 //! Run from the repo root:
 //!
 //! ```text
@@ -143,6 +151,82 @@ fn disabled_overhead_bound(bank0: &ShapeletBank, ds: &Dataset, cfg: &CslConfig) 
     (hits, hits as f64 * per_op)
 }
 
+/// Per-dispatch overhead of the persistent pool vs the scoped-spawn
+/// baseline: times `k` near-empty `parallel_map` calls at `threads`
+/// contexts under each mode and returns `(pool_us, scoped_us)` per
+/// dispatch. The work per call is trivial on purpose — what's measured is
+/// the fixed cost of fanning out (waking parked workers vs spawning OS
+/// threads), which is the tax every batch of real work pays.
+fn dispatch_overhead(threads: usize, k: usize) -> (f64, f64) {
+    std::env::set_var("TCSL_THREADS", threads.to_string());
+    let mut per_dispatch_us = [0.0f64; 2];
+    for (slot, scoped) in [(0usize, false), (1, true)] {
+        if scoped {
+            std::env::set_var("TCSL_POOL", "scoped");
+        } else {
+            std::env::remove_var("TCSL_POOL");
+        }
+        // Warm-up dispatch: the pool's first call pays one-time worker
+        // spawning; that cost is amortized, not per-dispatch.
+        let _ = tcsl_tensor::parallel::parallel_map(threads, |i| i);
+        let watch = Stopwatch::start("bench.dispatch_overhead");
+        for _ in 0..k {
+            let r = tcsl_tensor::parallel::parallel_map(threads, |i| i);
+            std::hint::black_box(&r);
+        }
+        per_dispatch_us[slot] = watch.stop() / k as f64 * 1e6;
+    }
+    std::env::remove_var("TCSL_POOL");
+    std::env::remove_var("TCSL_THREADS");
+    (per_dispatch_us[0], per_dispatch_us[1])
+}
+
+/// One instrumented parallel pretrain rep, returning the pool's
+/// per-thread span aggregates (`pool.worker.NN` busy time per worker plus
+/// the caller's own `pool.caller` share) as a JSON object keyed by span
+/// path. Runs against the in-memory trace sink and resets all telemetry
+/// state afterwards so the timed legs stay uninstrumented.
+fn per_thread_span_json(
+    threads: usize,
+    bank0: &ShapeletBank,
+    ds: &Dataset,
+    cfg: &CslConfig,
+) -> String {
+    std::env::set_var("TCSL_THREADS", threads.to_string());
+    tcsl_obs::trace::use_memory_sink();
+    tcsl_obs::set_enabled(true);
+    tcsl_obs::counters::reset();
+    tcsl_obs::spans::reset();
+    let mut bank = bank0.clone();
+    let _ = pretrain(&mut bank, ds, cfg);
+    let mut rows: Vec<(String, u64, f64)> = tcsl_obs::spans::span_snapshot()
+        .into_iter()
+        .filter(|(path, _)| {
+            let leaf = path.rsplit('/').next().unwrap_or(path);
+            leaf.starts_with("pool.worker.") || leaf == "pool.caller"
+        })
+        .map(|(path, s)| (path, s.count, s.total_ns as f64 / 1e6))
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    tcsl_obs::set_enabled(false);
+    tcsl_obs::trace::reset_sink();
+    tcsl_obs::counters::reset();
+    tcsl_obs::spans::reset();
+    std::env::remove_var("TCSL_THREADS");
+    let mut json = String::from("{");
+    for (i, (path, count, total_ms)) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "\"{path}\":{{\"count\":{count},\"busy_ms\":{total_ms:.3}}}"
+        );
+    }
+    json.push('}');
+    json
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let host_cores = std::thread::available_parallelism()
@@ -233,6 +317,25 @@ fn main() {
         );
         let speedup = serial.best_secs / parallel.best_secs;
 
+        // Same thread count, old per-call spawn path: `TCSL_POOL=scoped`
+        // is re-read per dispatch like `TCSL_THREADS`, so flipping it
+        // between legs is race-free here. Results must stay bit-identical
+        // — the pool changes scheduling mechanics, never arithmetic.
+        std::env::set_var("TCSL_POOL", "scoped");
+        let scoped = run_leg(parallel_threads, &bank, &train, &cfg, reps);
+        std::env::remove_var("TCSL_POOL");
+        assert!(
+            legs_identical(&parallel, &scoped),
+            "case {}: persistent-pool and scoped-spawn runs diverged — the \
+             pool broke the index-owned-output contract",
+            case.label
+        );
+        let pool_vs_scoped = scoped.best_secs / parallel.best_secs;
+
+        // Per-thread busy time under the pool: one instrumented rep,
+        // separate from the timed legs above.
+        let thread_spans = per_thread_span_json(parallel_threads, &bank, &train, &cfg);
+
         // Old-vs-new training path, both serial so the allocation and
         // wall-clock numbers are directly comparable: the eager-graph
         // oracle (materialized window leaves) vs the fused custom op.
@@ -254,7 +357,7 @@ fn main() {
         let mut entry = String::new();
         let _ = write!(
             entry,
-            "{{\"case\":\"{}\",\"epochs\":{},\"grains\":{},\"batch_size\":{},\"serial_secs\":{:.4},\"parallel_secs\":{:.4},\"parallel_threads\":{},\"speedup\":{:.2},\"deterministic\":{},\"serial\":{},\"parallel\":{},\"oracle_serial\":{},\"oracle_over_fused_peak_alloc\":{:.2},\"obs_hits\":{},\"obs_disabled_overhead_frac\":{:.6},\"losses\":{}}}",
+            "{{\"case\":\"{}\",\"epochs\":{},\"grains\":{},\"batch_size\":{},\"serial_secs\":{:.4},\"parallel_secs\":{:.4},\"parallel_threads\":{},\"speedup\":{:.2},\"pool_vs_scoped\":{:.2},\"deterministic\":{},\"serial\":{},\"parallel\":{},\"parallel_scoped\":{},\"oracle_serial\":{},\"oracle_over_fused_peak_alloc\":{:.2},\"obs_hits\":{},\"obs_disabled_overhead_frac\":{:.6},\"per_thread_spans\":{},\"losses\":{}}}",
             case.label,
             case.epochs,
             case.grains.len(),
@@ -263,22 +366,39 @@ fn main() {
             parallel.best_secs,
             parallel_threads,
             speedup,
+            pool_vs_scoped,
             deterministic,
             leg_json(&serial),
             leg_json(&parallel),
+            leg_json(&scoped),
             leg_json(&oracle),
             peak_ratio,
             obs_hits,
             obs_overhead_frac,
+            thread_spans,
             loss_json(&serial.report)
         );
         println!("{entry}");
         entries.push(entry);
     }
 
+    // The spawn tax in isolation: fixed per-dispatch cost of each fan-out
+    // mode, independent of any training workload.
+    let overhead_dispatches = if smoke { 200 } else { 2000 };
+    let (pool_us, scoped_us) = dispatch_overhead(parallel_threads, overhead_dispatches);
+    let pool_overhead = format!(
+        "{{\"threads\":{},\"dispatches\":{},\"pool_dispatch_us\":{:.2},\"scoped_dispatch_us\":{:.2},\"spawn_tax\":{:.2}}}",
+        parallel_threads,
+        overhead_dispatches,
+        pool_us,
+        scoped_us,
+        scoped_us / pool_us.max(1e-9)
+    );
+
     let report = format!(
-        "{{\"bench\":\"pretrain\",\"host_cores\":{},\"unit_note\":\"serial = TCSL_THREADS=1, parallel = one worker per core (oversubscribed to 4 on 1-core hosts, where no speedup is possible); oracle_serial = eager-graph diff path (materialized window leaves) on 1 thread; secs are min over {} runs; peak_alloc_mb = high-water mark above pre-call live bytes (min over runs); deterministic = bit-identical losses and final shapelets across legs\",\"cases\":[\n  {}\n]}}\n",
+        "{{\"bench\":\"pretrain\",\"host_cores\":{},\"pool_overhead\":{},\"unit_note\":\"serial = TCSL_THREADS=1, parallel = one worker per core (oversubscribed to 4 on 1-core hosts, where no speedup is possible) on the persistent pool; parallel_scoped = same thread count under TCSL_POOL=scoped (per-call thread spawning); oracle_serial = eager-graph diff path (materialized window leaves) on 1 thread; secs are min over {} runs; peak_alloc_mb = high-water mark above pre-call live bytes (min over runs); deterministic = bit-identical losses and final shapelets across legs (also asserted pool vs scoped); pool_overhead prices one near-empty dispatch per mode in microseconds; per_thread_spans = busy-time of each pool context over one instrumented rep\",\"cases\":[\n  {}\n]}}\n",
         host_cores,
+        pool_overhead,
         reps,
         entries.join(",\n  ")
     );

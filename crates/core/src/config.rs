@@ -81,6 +81,11 @@ impl CslConfig {
             "grains must be in (0, 1]"
         );
         assert!(
+            self.min_crop >= 1,
+            "min_crop must be at least 1 — a zero minimum lets tiny grains \
+             round crops down to zero-length views"
+        );
+        assert!(
             (0.0..0.9).contains(&self.validation_frac),
             "validation_frac must be in [0, 0.9)"
         );
@@ -112,6 +117,16 @@ mod tests {
     fn bad_grain_rejected() {
         CslConfig {
             grains: vec![1.5],
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "min_crop")]
+    fn zero_min_crop_rejected() {
+        CslConfig {
+            min_crop: 0,
             ..Default::default()
         }
         .validate();

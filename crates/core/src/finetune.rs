@@ -137,9 +137,10 @@ pub fn fine_tune(
             let targets: Vec<usize> = chunk.iter().map(|&i| ds.label(i)).collect();
             tcsl_obs::counters::FINETUNE_EXAMPLES.add(batch.len() as u64);
 
-            // Fan out: one worker subgraph per example. The batch loss is
-            // the mean of per-example cross-entropies, so per-example
-            // gradients reduce to the batch gradient by averaging.
+            // Fan out: one pool-worker subgraph per example. The batch
+            // loss is the mean of per-example cross-entropies, so
+            // per-example gradients reduce to the batch gradient by
+            // averaging.
             let results = parallel_map(batch.len(), |i| {
                 let mut g = Graph::new();
                 let bound_all = ps.bind(&mut g);

@@ -10,10 +10,12 @@
 //!
 //! The per-grain view pairs of one batch are independent given the current
 //! parameter values, so each pair's forward/backward runs as its own
-//! subgraph on a worker thread ([`tcsl_tensor::parallel::parallel_map`],
-//! thread count overridable via `TCSL_THREADS`): every worker builds a
-//! private [`Graph`], binds the same read-only parameter snapshot, and
-//! returns its pair's losses and gradients. The main thread then reduces
+//! subgraph on a persistent-pool worker
+//! ([`tcsl_tensor::parallel::parallel_map`] — parked workers woken per
+//! batch rather than OS threads spawned per batch; thread count
+//! overridable via `TCSL_THREADS`, re-read each dispatch): every worker
+//! builds a private [`Graph`], binds the same read-only parameter
+//! snapshot, and returns its pair's losses and gradients. The main thread then reduces
 //! the gradients **in fixed pair order** and takes one optimizer step.
 //! View sampling stays on the main-thread RNG and reduction order never
 //! depends on the schedule, so training is bit-for-bit identical at any
@@ -243,8 +245,10 @@ pub fn pretrain(bank: &mut ShapeletBank, ds: &Dataset, cfg: &CslConfig) -> Train
             tcsl_obs::counters::TRAINER_PAIRS.add(pairs.len() as u64);
             epoch_pairs += pairs.len();
 
-            // Fan out: one independent subgraph per pair. `parallel_map`
-            // returns results in pair order whatever the schedule.
+            // Fan out: one independent subgraph per pair, on the shared
+            // persistent pool. `parallel_map` returns results in pair
+            // order whatever the schedule, and a worker panic re-raises
+            // here without killing the pool for the next batch.
             //
             // A non-finite feature value trips the tape's finiteness check
             // deep inside a worker, where the panic names the op but not

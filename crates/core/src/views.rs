@@ -38,8 +38,14 @@ pub fn sample_views(
             let mut views_b = Vec::with_capacity(indices.len());
             for &i in indices {
                 let s = ds.series(i);
+                // Lower bound clamps to at least 1: with `min_crop == 0` a
+                // tiny grain rounds the target length down to zero, and a
+                // zero-length crop would feed an empty view into the fused
+                // kernel (no windows to pool — downstream panic or NaN
+                // features). `CslConfig::validate` rejects `min_crop == 0`
+                // loudly; this guard keeps direct callers safe too.
                 let len = ((s.len() as f32 * grain).round() as usize)
-                    .clamp(min_crop.min(s.len()), s.len());
+                    .clamp(min_crop.clamp(1, s.len()), s.len());
                 views_a.push(random_crop(s, len, rng).values().clone());
                 views_b.push(random_crop(s, len, rng).values().clone());
             }
@@ -92,6 +98,20 @@ mod tests {
         let mut rng = seeded(3);
         let pairs = sample_views(&ds, &[1], &[0.01], 6, &mut rng);
         assert_eq!(pairs[0].views_a[0].cols(), 6);
+    }
+
+    #[test]
+    fn tiny_grain_with_zero_min_crop_never_yields_empty_views() {
+        // Regression: grain 0.01 over length-40 series rounds to 0, and
+        // min_crop == 0 used to let that through as a zero-length crop.
+        let ds = ds();
+        let mut rng = seeded(5);
+        let pairs = sample_views(&ds, &[0, 1, 2], &[0.01], 0, &mut rng);
+        for p in &pairs {
+            for v in p.views_a.iter().chain(&p.views_b) {
+                assert!(v.cols() >= 1, "sampled a zero-length view");
+            }
+        }
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! routed by [`IndexBackend`]:
 //!
 //! * [`IndexBackend::Exact`] (the default) runs one blocked [`pairdist`]
-//!   engine call; `pairdist(x, x)` is bitwise symmetric with an
-//!   exactly-zero diagonal, so the conditional distributions see the same
-//!   symmetric input the old hand-rolled loop produced.
+//!   engine call (row blocks fanned out on the persistent worker pool);
+//!   `pairdist(x, x)` is bitwise symmetric with an exactly-zero diagonal,
+//!   so the conditional distributions see the same symmetric input the
+//!   old hand-rolled loop produced.
 //! * [`IndexBackend::Ivf`] computes *sparse* approximate affinities in the
 //!   style of Barnes–Hut t-SNE (van der Maaten, 2014): each point's
 //!   conditional distribution is supported on its `⌈3·perplexity⌉`

@@ -16,6 +16,15 @@
 //! parallel region costs one atomic per work item rather than per element.
 //! Gauges are last-write-wins and carry **no** cross-thread determinism
 //! guarantee; determinism tests compare counters only.
+//!
+//! **Schedule-class counters.** A few counters measure the *execution
+//! schedule* itself rather than the work — how many pool dispatches ran,
+//! how many parked workers were woken. Their totals are monotone and exact,
+//! but they legitimately differ between `TCSL_THREADS=1` (serial fallback:
+//! zero dispatches) and `TCSL_THREADS=7`, so they live in a separate
+//! well-known set reported by [`sched_counter_snapshot`] and are *excluded*
+//! from [`counter_snapshot`], which the thread-count-invariance tests
+//! compare verbatim.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -71,7 +80,10 @@ impl Counter {
 
     fn ensure_registered(&'static self) {
         if !self.registered.swap(true, Ordering::Relaxed) {
-            let well_known = WELL_KNOWN.iter().any(|c| std::ptr::eq(*c, self));
+            let well_known = WELL_KNOWN
+                .iter()
+                .chain(WELL_KNOWN_SCHED)
+                .any(|c| std::ptr::eq(*c, self));
             if !well_known {
                 dynamic()
                     .lock()
@@ -202,9 +214,23 @@ pub static IVF_CELLS_PROBED: Counter = Counter::new("ivf.cells_probed");
 /// would touch).
 pub static IVF_CANDIDATES: Counter = Counter::new("ivf.candidates");
 
-/// Worker threads used by the most recent parallel region (schedule
-/// dependent — a gauge, excluded from determinism checks).
+/// Workers resident in the persistent thread pool. Written only when the
+/// pool grows (lazy init / a dispatch that needed more workers), **never**
+/// from the serial fallback path — the old per-dispatch last-writer-wins
+/// write made nested and concurrent sections report whichever call ran
+/// last. Per-dispatch engagement is counted by [`POOL_WAKE`] instead.
 pub static PARALLEL_THREADS: Gauge = Gauge::new("parallel.threads");
+
+/// Pool dispatches: one per `parallel_map`/`parallel_chunks_mut` call that
+/// actually engaged the persistent pool (serial fallbacks don't count).
+/// Schedule-class: depends on `TCSL_THREADS`, reported via
+/// [`sched_counter_snapshot`].
+pub static POOL_DISPATCH: Counter = Counter::new("pool.dispatch");
+
+/// Parked pool workers woken across all dispatches (the dispatching caller
+/// participates on its own thread and is not counted here). Schedule-class:
+/// depends on `TCSL_THREADS`, reported via [`sched_counter_snapshot`].
+pub static POOL_WAKE: Counter = Counter::new("pool.wake");
 
 static WELL_KNOWN: &[&Counter] = &[
     &WINDOW_CACHE_HIT,
@@ -221,6 +247,11 @@ static WELL_KNOWN: &[&Counter] = &[
 ];
 
 static WELL_KNOWN_GAUGES: &[&Gauge] = &[&PARALLEL_THREADS];
+
+/// Schedule-class counters: exact totals that measure the execution
+/// schedule, not the work — excluded from [`counter_snapshot`] (and thus
+/// from the thread-count-invariance comparisons), reported separately.
+static WELL_KNOWN_SCHED: &[&Counter] = &[&POOL_DISPATCH, &POOL_WAKE];
 
 fn dynamic() -> &'static Mutex<Vec<&'static Counter>> {
     static DYN: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
@@ -245,6 +276,20 @@ pub fn counter_snapshot() -> Vec<(&'static str, u64)> {
             .iter()
             .map(|c| (c.name, c.value())),
     );
+    out.sort_by_key(|&(name, _)| name);
+    out
+}
+
+/// Schedule-class counters `(name, value)`, sorted by name. These are
+/// deliberately **not** part of [`counter_snapshot`]: their totals depend
+/// on `TCSL_THREADS` (a serial run never dispatches to the pool), so
+/// including them would break the thread-count-invariance contract the
+/// determinism tests pin.
+pub fn sched_counter_snapshot() -> Vec<(&'static str, u64)> {
+    let mut out: Vec<(&'static str, u64)> = WELL_KNOWN_SCHED
+        .iter()
+        .map(|c| (c.name, c.value()))
+        .collect();
     out.sort_by_key(|&(name, _)| name);
     out
 }
@@ -274,6 +319,7 @@ pub fn gauge_snapshot() -> Vec<(&'static str, u64)> {
 pub fn counter_hits_upper_bound() -> u64 {
     let mut out: u64 = WELL_KNOWN
         .iter()
+        .chain(WELL_KNOWN_SCHED)
         .map(|c| c.calls.load(Ordering::Relaxed))
         .sum();
     out += dynamic()
@@ -288,7 +334,7 @@ pub fn counter_hits_upper_bound() -> u64 {
 /// Zeroes every registered counter and gauge (run isolation in tests and
 /// benchmarks).
 pub fn reset() {
-    for c in WELL_KNOWN {
+    for c in WELL_KNOWN.iter().chain(WELL_KNOWN_SCHED) {
         c.value.store(0, Ordering::Relaxed);
         c.calls.store(0, Ordering::Relaxed);
     }
@@ -396,6 +442,35 @@ mod tests {
             }
         });
         assert_eq!(TEST_COUNTER.value(), 8000);
+        crate::set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn sched_counters_stay_out_of_the_deterministic_snapshot() {
+        let _g = testlock::hold();
+        crate::set_enabled(true);
+        reset();
+        POOL_DISPATCH.add(3);
+        POOL_WAKE.add(12);
+        // Reported in their own snapshot...
+        let sched = sched_counter_snapshot();
+        assert!(sched.contains(&("pool.dispatch", 3)));
+        assert!(sched.contains(&("pool.wake", 12)));
+        // ...and absent from the deterministic one (the invariance tests
+        // compare that snapshot verbatim across thread counts).
+        let snap = counter_snapshot();
+        assert!(snap.iter().all(|&(n, _)| !n.starts_with("pool.")));
+        // Registered as well-known: they must not leak into the dynamic
+        // registry (which counter_snapshot includes).
+        reset();
+        assert_eq!(
+            sched_counter_snapshot(),
+            vec![("pool.dispatch", 0), ("pool.wake", 0)]
+        );
+        // Disabled-overhead pricing still counts their gate checks.
+        POOL_DISPATCH.add(1);
+        assert_eq!(counter_hits_upper_bound(), 1);
         crate::set_enabled(false);
         reset();
     }

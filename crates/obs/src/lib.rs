@@ -31,8 +31,10 @@
 //! *work* is a function of the input alone (which the `TCSL_THREADS`
 //! contracts of `parallel_map`/`parallel_chunks_mut` guarantee), aggregated
 //! counter totals are bit-identical for any thread count or schedule.
-//! Span *timings* and gauges carry no such guarantee — reports list them,
-//! but determinism tests must exclude them.
+//! Span *timings*, gauges, and the schedule-class counters (pool dispatch
+//! and wake totals — see [`counters::sched_counter_snapshot`]) carry no
+//! such guarantee — reports list them, but determinism tests must exclude
+//! them.
 //!
 //! ## Run telemetry
 //!

@@ -5,10 +5,12 @@
 //! by the slash-joined *span path* (e.g. `pretrain/epoch/batch`). Each path
 //! accumulates count, total, min and max nanoseconds.
 //!
-//! Worker threads start with an empty stack, so a span opened inside a
-//! `parallel_map` closure aggregates under its own name (e.g.
-//! `parallel/worker`) rather than under the caller's path — parent/child
-//! nesting is per-thread by construction.
+//! Worker threads start with an empty stack, so a span opened on a
+//! persistent-pool worker aggregates under its own name (one
+//! `pool.worker.NN` path per worker, opened per *dispatch* — worker
+//! lifetime no longer equals dispatch lifetime, so the per-dispatch span is
+//! what keeps count/total meaningful) rather than under the caller's path —
+//! parent/child nesting is per-thread by construction.
 //!
 //! Span *timings* are wall-clock and therefore not deterministic; the
 //! determinism tests compare counter totals and event values only. Span

@@ -202,14 +202,24 @@ fn write_event(event: Event) {
     }
 }
 
-/// Renders the run summary JSON: run metadata, all counters and gauges
-/// (sorted by name), and span aggregates (sorted by path, nanoseconds).
+/// Renders the run summary JSON: run metadata, all counters
+/// (deterministic and schedule-class, each sorted by name), gauges, and
+/// span aggregates (sorted by path, nanoseconds).
 pub fn summary_json(run: &str) -> String {
     let mut out = String::with_capacity(1024);
     out.push_str("{\"schema\":\"tcsl-run-trace-v1\",\"run\":");
     json::write_str(&mut out, run);
     out.push_str(",\"counters\":{");
     for (i, (name, value)) in crate::counters::counter_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_str(&mut out, name);
+        out.push(':');
+        out.push_str(&value.to_string());
+    }
+    out.push_str("},\"sched_counters\":{");
+    for (i, (name, value)) in crate::counters::sched_counter_snapshot().iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -327,6 +337,10 @@ mod tests {
         assert!(s.contains("\"run\":\"unit-test\""));
         assert!(s.contains("\"trainer.pairs\":7"));
         assert!(s.contains("\"pairdist.tiles\":0"), "zero counters present");
+        assert!(
+            s.contains("\"sched_counters\":{\"pool.dispatch\":"),
+            "schedule-class counters have their own section"
+        );
         assert!(s.contains("\"phase\":{\"count\":1"));
         // Braces balance — cheap structural validity check.
         let open = s.matches('{').count();

@@ -99,8 +99,9 @@ pub fn transform_series_oracle(bank: &ShapeletBank, series: &TimeSeries) -> Vec<
 }
 
 /// Transforms a whole dataset into an `(N, D_repr)` feature matrix,
-/// parallel over series. The bank-side precomputation is forced once up
-/// front so the parallel workers share it instead of racing to build it.
+/// parallel over series on the persistent pool. The bank-side
+/// precomputation is forced once up front so the pool workers share it
+/// instead of racing to build it.
 pub fn transform_dataset(bank: &ShapeletBank, ds: &Dataset) -> Tensor {
     let dim = bank.repr_dim();
     let _ = bank.precomputed();

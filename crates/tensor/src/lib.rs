@@ -10,7 +10,8 @@
 //! tracking (needed by the min/max-pooling backward pass of the autodiff
 //! crate), sliding-window unfolding for time series, descriptive statistics,
 //! a blocked pairwise-distance engine for the representation space, and a
-//! small scoped-thread parallel map.
+//! small data-parallel map running on a persistent process-wide worker
+//! pool (`parallel`).
 //!
 //! Design notes:
 //!
@@ -24,6 +25,7 @@
 pub mod matmul;
 pub mod pairdist;
 pub mod parallel;
+mod pool;
 pub mod reduce;
 pub mod rng;
 pub mod shape;

@@ -10,7 +10,9 @@
 //!   `D[i,j] = |a_i|² + |b_j|² − 2·a_i·b_j` from precomputed row norms plus
 //!   the runtime-dispatched AVX2/FMA [`dot`]/[`dot4`] kernels, tiled so the
 //!   corpus block stays cache-resident, with a [`parallel_chunks_mut`]
-//!   row-block fan-out writing the result in place (no gather copy).
+//!   row-block fan-out (persistent-pool workers; row-block ownership is a
+//!   function of the chunk index alone) writing the result in place (no
+//!   gather copy).
 //! * [`knn_into`] / [`knn`] — streaming per-row top-`k` selection through a
 //!   bounded binary heap, never materializing the `N×M` matrix (the same
 //!   zero-materialization discipline as the fused shapelet transform). The

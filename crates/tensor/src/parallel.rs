@@ -1,13 +1,24 @@
-//! Minimal scoped-thread data parallelism.
+//! Data parallelism over index-owned work, on a persistent pool.
 //!
-//! The batch shapelet transform and the experiment harnesses map an
-//! independent function over many items (series, datasets, parameter
-//! settings). `parallel_map` covers that with `std::thread::scope` — no
-//! external thread-pool dependency, work split into contiguous chunks, and
-//! results returned in input order.
+//! The batch shapelet transform, the training fan-out, the pairwise-distance
+//! engine and the IVF index all map an independent function over many items
+//! (series, pairs, row blocks). [`parallel_map`] and [`parallel_chunks_mut`]
+//! cover that. Since the persistent-pool refactor they dispatch to the
+//! process-wide parked-worker pool in [`crate::pool`] instead of spawning
+//! fresh OS threads per call; the per-call `std::thread::scope`
+//! implementation survives in [`scoped`] as the benchable reference the
+//! pool is measured against (`TCSL_POOL=scoped` routes to it in-process).
+//!
+//! Determinism contract (unchanged from the scoped era): output ownership
+//! is a function of the item/chunk index alone — `parallel_map` writes
+//! result `i` into slot `i`, `parallel_chunks_mut` hands chunk `c` exactly
+//! the range `buf[c·chunk_len ..]` — so results are bit-identical for any
+//! `TCSL_THREADS` setting and either pool mode.
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::pool;
 
 /// Number of worker threads to use: `available_parallelism` capped at the
 /// item count (and at least 1).
@@ -25,8 +36,10 @@ pub fn default_threads(items: usize) -> usize {
 /// oversubscribed setting still exercises the multi-threaded code path,
 /// which CI uses to cover cross-thread determinism on small runners).
 /// Unset, empty, `0`, or unparsable values fall back to
-/// [`default_threads`]. The variable is re-read on every call so tests and
-/// benchmarks can flip between serial and parallel execution in-process.
+/// [`default_threads`]. The variable is re-read on every call — it caps how
+/// many parked pool workers a dispatch wakes, so tests and benchmarks can
+/// flip between serial and parallel execution in-process without touching
+/// the pool itself.
 pub fn configured_threads(items: usize) -> usize {
     threads_from_override(std::env::var("TCSL_THREADS").ok().as_deref(), items)
 }
@@ -42,12 +55,39 @@ fn threads_from_override(raw: Option<&str>, items: usize) -> usize {
     }
 }
 
+/// Whether `TCSL_POOL=scoped` routes dispatches to the per-call
+/// scoped-spawn reference implementation. Re-read per call, like
+/// `TCSL_THREADS`, so benchmarks can compare both modes in-process.
+fn scoped_mode() -> bool {
+    scoped_from_override(std::env::var("TCSL_POOL").ok().as_deref())
+}
+
+/// Pure parsing core of [`scoped_mode`].
+fn scoped_from_override(raw: Option<&str>) -> bool {
+    matches!(raw.map(str::trim), Some("scoped"))
+}
+
 /// Maps `f` over `0..n` on multiple threads, returning results in index
 /// order. `f` must be `Sync` (it is shared by reference across workers).
 ///
 /// Work is claimed dynamically in small blocks via an atomic cursor, so
-/// uneven per-item cost (e.g. variable-length series) balances well.
+/// uneven per-item cost (e.g. variable-length series) balances well; the
+/// result still lands in slot `i` whatever thread computed it.
+///
+/// A panicking `f` re-raises on the calling thread after the dispatch has
+/// drained — and the pool stays usable for the next call.
 pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map_with(configured_threads(n.max(1)), n, f)
+}
+
+/// [`parallel_map`] with an explicit worker count instead of the
+/// `TCSL_THREADS` override — the env-free entry point tests and callers
+/// that already resolved a thread count use.
+pub fn parallel_map_with<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -55,51 +95,54 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = configured_threads(n);
-    tcsl_obs::counters::PARALLEL_THREADS.set(threads as u64);
-    if threads <= 1 || n == 1 {
+    // Nested parallel sections (a body that itself calls parallel_*) run
+    // serially: the pool has one job slot, and index-owned outputs make
+    // the serial result bit-identical anyway.
+    if threads <= 1 || n == 1 || pool::in_parallel_region() {
         return (0..n).map(f).collect();
+    }
+    if scoped_mode() {
+        return scoped::parallel_map_with(threads, n, f);
     }
 
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let cursor = AtomicUsize::new(0);
     let block = (n / (threads * 4)).max(1);
 
-    // Hand each worker a disjoint set of &mut slots via raw pointer + index
-    // discipline: every index is claimed exactly once from the atomic cursor.
+    // Hand each execution context a disjoint set of &mut slots via raw
+    // pointer + index discipline: every index is claimed exactly once from
+    // the atomic cursor. Accessed through a method so the closure captures
+    // the `Sync` wrapper, not the raw pointer field (2021 disjoint capture
+    // would otherwise grab the non-`Sync` pointer itself).
     struct Slots<T>(*mut Option<T>);
     unsafe impl<T: Send> Sync for Slots<T> {}
+    impl<T> Slots<T> {
+        fn ptr(&self) -> *mut Option<T> {
+            self.0
+        }
+    }
     let slots = Slots(out.as_mut_ptr());
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let f = &f;
-            let cursor = &cursor;
-            let slots = &slots;
-            scope.spawn(move || {
-                // Workers start with a fresh span stack, so this aggregates
-                // under its own path: per-worker lifetime timings (count =
-                // workers, min/max = fastest/slowest worker). Timings are
-                // wall-clock — excluded from the determinism contract.
-                let _w = tcsl_obs::spans::span("parallel_map.worker");
-                loop {
-                    let start = cursor.fetch_add(block, Ordering::Relaxed);
-                    if start >= n {
-                        break;
-                    }
-                    let end = (start + block).min(n);
-                    for i in start..end {
-                        let v = f(i);
-                        // SAFETY: `i` is claimed exactly once across all
-                        // workers (fetch_add hands out disjoint ranges), so no
-                        // two threads ever write the same slot, and `out`
-                        // outlives the scope.
-                        unsafe { *slots.0.add(i) = Some(v) };
-                    }
-                }
-            });
+    let body = || {
+        loop {
+            let start = cursor.fetch_add(block, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + block).min(n);
+            for i in start..end {
+                let v = f(i);
+                // SAFETY: `i` is claimed exactly once across all contexts
+                // (fetch_add hands out disjoint ranges), so no two threads
+                // ever write the same slot, and `out` outlives the
+                // dispatch (dispatch blocks until every worker finished).
+                unsafe { *slots.ptr().add(i) = Some(v) };
+            }
         }
-    });
+    };
+    // The caller participates, so `threads` contexts need `threads - 1`
+    // pool workers.
+    pool::dispatch(threads - 1, &body);
 
     out.into_iter()
         .map(|v| v.expect("parallel_map: worker failed to fill slot"))
@@ -118,53 +161,174 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = buf.len().div_ceil(chunk_len);
+    parallel_chunks_mut_with(configured_threads(n_chunks.max(1)), buf, chunk_len, f)
+}
+
+/// [`parallel_chunks_mut`] with an explicit worker count instead of the
+/// `TCSL_THREADS` override.
+pub fn parallel_chunks_mut_with<T, F>(threads: usize, buf: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
     if buf.is_empty() {
         return;
     }
     assert!(chunk_len > 0, "chunk_len must be positive");
     let len = buf.len();
     let n_chunks = len.div_ceil(chunk_len);
-    let threads = configured_threads(n_chunks);
-    tcsl_obs::counters::PARALLEL_THREADS.set(threads as u64);
-    if threads <= 1 || n_chunks == 1 {
+    if threads <= 1 || n_chunks == 1 || pool::in_parallel_region() {
         for (c, chunk) in buf.chunks_mut(chunk_len).enumerate() {
             f(c, chunk);
         }
         return;
     }
+    if scoped_mode() {
+        return scoped::parallel_chunks_mut_with(threads, buf, chunk_len, f);
+    }
 
     // Same raw-pointer + index discipline as `parallel_map`: every chunk
     // index is claimed exactly once from the atomic cursor, and distinct
-    // indices map to disjoint ranges of `buf`.
+    // indices map to disjoint ranges of `buf`. Method access keeps the
+    // closure capturing the `Sync` wrapper (see `Slots` above).
     struct Base<T>(*mut T);
     unsafe impl<T: Send> Sync for Base<T> {}
+    impl<T> Base<T> {
+        fn ptr(&self) -> *mut T {
+            self.0
+        }
+    }
     let base = Base(buf.as_mut_ptr());
     let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let f = &f;
-            let cursor = &cursor;
-            let base = &base;
-            scope.spawn(move || {
-                // See parallel_map: per-worker lifetime span, own path.
-                let _w = tcsl_obs::spans::span("parallel_chunks_mut.worker");
-                loop {
-                    let c = cursor.fetch_add(1, Ordering::Relaxed);
-                    if c >= n_chunks {
-                        break;
-                    }
-                    let start = c * chunk_len;
-                    let end = (start + chunk_len).min(len);
-                    // SAFETY: `c` is claimed exactly once across all workers
-                    // and chunk ranges are pairwise disjoint; `buf` outlives
-                    // the scope.
-                    let chunk =
-                        unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
-                    f(c, chunk);
-                }
-            });
+    let body = || {
+        loop {
+            let c = cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= n_chunks {
+                break;
+            }
+            let start = c * chunk_len;
+            let end = (start + chunk_len).min(len);
+            // SAFETY: `c` is claimed exactly once across all contexts and
+            // chunk ranges are pairwise disjoint; `buf` outlives the
+            // dispatch.
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut(base.ptr().add(start), end - start) };
+            f(c, chunk);
         }
-    });
+    };
+    pool::dispatch(threads - 1, &body);
+}
+
+/// The pre-pool implementations: one `std::thread::scope` spawn per call.
+///
+/// Kept as the measurement baseline for the persistent pool (the
+/// `TCSL_POOL=scoped` escape hatch and the spawn-overhead legs of
+/// `bench_pretrain`/`bench_analyze` route here) — not as a recommended
+/// path. Results are bit-identical to the pooled path for any thread
+/// count: both sides share the index-owned output discipline; only *who*
+/// executes a claim differs, never *where its result lands*.
+pub mod scoped {
+    use super::*;
+
+    /// Per-call scoped-spawn [`parallel_map`](super::parallel_map).
+    pub fn parallel_map_with<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        if threads <= 1 || n == 1 {
+            return (0..n).map(f).collect();
+        }
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let cursor = AtomicUsize::new(0);
+        let block = (n / (threads * 4)).max(1);
+        struct Slots<T>(*mut Option<T>);
+        unsafe impl<T: Send> Sync for Slots<T> {}
+        let slots = Slots(out.as_mut_ptr());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let f = &f;
+                let cursor = &cursor;
+                let slots = &slots;
+                scope.spawn(move || {
+                    // Freshly spawned per call: worker lifetime == dispatch
+                    // lifetime here, unlike the pool's per-dispatch spans.
+                    let _w = tcsl_obs::spans::span("parallel_scoped.worker");
+                    loop {
+                        let start = cursor.fetch_add(block, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + block).min(n);
+                        for i in start..end {
+                            let v = f(i);
+                            // SAFETY: `i` is claimed exactly once across all
+                            // workers; `out` outlives the scope.
+                            unsafe { *slots.0.add(i) = Some(v) };
+                        }
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|v| v.expect("parallel_map: worker failed to fill slot"))
+            .collect()
+    }
+
+    /// Per-call scoped-spawn
+    /// [`parallel_chunks_mut`](super::parallel_chunks_mut).
+    pub fn parallel_chunks_mut_with<T, F>(threads: usize, buf: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if buf.is_empty() {
+            return;
+        }
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        let len = buf.len();
+        let n_chunks = len.div_ceil(chunk_len);
+        if threads <= 1 || n_chunks == 1 {
+            for (c, chunk) in buf.chunks_mut(chunk_len).enumerate() {
+                f(c, chunk);
+            }
+            return;
+        }
+        struct Base<T>(*mut T);
+        unsafe impl<T: Send> Sync for Base<T> {}
+        let base = Base(buf.as_mut_ptr());
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let f = &f;
+                let cursor = &cursor;
+                let base = &base;
+                scope.spawn(move || {
+                    let _w = tcsl_obs::spans::span("parallel_scoped.worker");
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let start = c * chunk_len;
+                        let end = (start + chunk_len).min(len);
+                        // SAFETY: `c` is claimed exactly once across all
+                        // workers and chunk ranges are pairwise disjoint;
+                        // `buf` outlives the scope.
+                        let chunk = unsafe {
+                            std::slice::from_raw_parts_mut(base.0.add(start), end - start)
+                        };
+                        f(c, chunk);
+                    }
+                });
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -185,9 +349,20 @@ mod tests {
     }
 
     #[test]
+    fn pooled_map_matches_serial_at_any_thread_count() {
+        // Explicit thread counts exercise the pool without touching the
+        // process environment (set_var would race with concurrent tests).
+        let want: Vec<usize> = (0..257).map(|i| i * 3 + 1).collect();
+        for threads in [2, 3, 7, 16] {
+            let got = parallel_map_with(threads, 257, |i| i * 3 + 1);
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn uneven_work_is_balanced() {
         // Items with wildly different costs still all complete correctly.
-        let got = parallel_map(64, |i| {
+        let got = parallel_map_with(4, 64, |i| {
             let mut acc = 0u64;
             for k in 0..(i * 1000) as u64 {
                 acc = acc.wrapping_add(k);
@@ -212,6 +387,25 @@ mod tests {
     }
 
     #[test]
+    fn pooled_chunks_match_serial_at_any_thread_count() {
+        let mut want = vec![0usize; 509];
+        parallel_chunks_mut_with(1, &mut want, 16, |c, chunk| {
+            for (o, v) in chunk.iter_mut().enumerate() {
+                *v = c * 1000 + o;
+            }
+        });
+        for threads in [2, 5, 11] {
+            let mut got = vec![usize::MAX; 509];
+            parallel_chunks_mut_with(threads, &mut got, 16, |c, chunk| {
+                for (o, v) in chunk.iter_mut().enumerate() {
+                    *v = c * 1000 + o;
+                }
+            });
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn chunks_mut_handles_empty_and_single_chunk() {
         let mut empty: Vec<u8> = Vec::new();
         parallel_chunks_mut(&mut empty, 4, |_, _| panic!("no chunks expected"));
@@ -227,6 +421,36 @@ mod tests {
     #[should_panic(expected = "chunk_len")]
     fn chunks_mut_rejects_zero_chunk_len() {
         parallel_chunks_mut(&mut [0u8; 2], 0, |_, _| {});
+    }
+
+    #[test]
+    fn nested_parallel_sections_run_serially_without_deadlock() {
+        // A pooled body that itself calls parallel_map must not wait on the
+        // pool's single job slot — the inner call detects the region flag
+        // and runs inline, producing the same index-owned results.
+        let got = parallel_map_with(4, 8, |i| {
+            let inner = parallel_map_with(4, 5, move |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        let want: Vec<usize> = (0..8)
+            .map(|i| (0..5).map(|j| i * 10 + j).sum::<usize>())
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scoped_reference_path_matches_pooled_results() {
+        let want: Vec<usize> = (0..100).map(|i| i ^ 0x5a).collect();
+        assert_eq!(scoped::parallel_map_with(4, 100, |i| i ^ 0x5a), want);
+        let mut pooled = vec![0u32; 100];
+        let mut scoped_buf = vec![0u32; 100];
+        parallel_chunks_mut_with(4, &mut pooled, 7, |c, chunk| {
+            chunk.fill(c as u32);
+        });
+        scoped::parallel_chunks_mut_with(4, &mut scoped_buf, 7, |c, chunk| {
+            chunk.fill(c as u32);
+        });
+        assert_eq!(pooled, scoped_buf);
     }
 
     #[test]
@@ -260,6 +484,19 @@ mod tests {
         assert_eq!(
             configured_threads(100),
             threads_from_override(std::env::var("TCSL_THREADS").ok().as_deref(), 100)
+        );
+    }
+
+    #[test]
+    fn pool_mode_override_parses() {
+        assert!(scoped_from_override(Some("scoped")));
+        assert!(scoped_from_override(Some(" scoped ")));
+        assert!(!scoped_from_override(Some("persistent")));
+        assert!(!scoped_from_override(Some("")));
+        assert!(!scoped_from_override(None));
+        assert_eq!(
+            scoped_mode(),
+            scoped_from_override(std::env::var("TCSL_POOL").ok().as_deref())
         );
     }
 }

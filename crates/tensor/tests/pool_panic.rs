@@ -1,0 +1,101 @@
+//! Panic containment contract of the persistent pool, end to end through
+//! the environment-driven entry points: a panicking task must re-raise on
+//! the calling thread, and the pool must stay fully usable for subsequent
+//! dispatches — no poisoned job slot, no dead workers, no wrong results.
+//!
+//! This file owns its test binary (one `#[test]`) so it can safely pin
+//! `TCSL_THREADS` between phases via `std::env::set_var` — the variable is
+//! re-read per dispatch, and no other test in this process reads it
+//! concurrently. `TCSL_THREADS=1` exercises the serial inline path,
+//! `TCSL_THREADS=7` the oversubscribed pooled path (7 contexts on any
+//! host, like the CI determinism legs).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use tcsl_tensor::parallel::{parallel_chunks_mut, parallel_map};
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("<non-string payload>")
+}
+
+#[test]
+fn task_panics_propagate_and_the_pool_stays_usable() {
+    // Expected panics would spew one backtrace per failing task; silence
+    // the hook for the duration (safe: this test owns the process).
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    for threads in ["1", "7"] {
+        std::env::set_var("TCSL_THREADS", threads);
+
+        // A panicking map task re-raises on the caller with its payload.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(64, |i| {
+                if i == 13 {
+                    panic!("map boom at {i}");
+                }
+                i * 2
+            })
+        }));
+        let payload = r.expect_err("map panic must reach the caller");
+        assert!(
+            payload_message(payload.as_ref()).contains("map boom"),
+            "TCSL_THREADS={threads}: wrong payload: {}",
+            payload_message(payload.as_ref())
+        );
+
+        // The pool is not poisoned: the very next dispatch computes
+        // correct, complete results.
+        let got = parallel_map(100, |i| i * i);
+        let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+        assert_eq!(
+            got, want,
+            "TCSL_THREADS={threads}: pool unusable after panic"
+        );
+
+        // Same contract for the in-place chunk variant.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let mut buf = vec![0u32; 64];
+            parallel_chunks_mut(&mut buf, 8, |c, chunk| {
+                if c == 3 {
+                    panic!("chunk boom at {c}");
+                }
+                chunk.fill(c as u32);
+            });
+        }));
+        let payload = r.expect_err("chunks panic must reach the caller");
+        assert!(payload_message(payload.as_ref()).contains("chunk boom"));
+
+        let mut buf = vec![usize::MAX; 103];
+        parallel_chunks_mut(&mut buf, 10, |c, chunk| chunk.fill(c));
+        for (i, &v) in buf.iter().enumerate() {
+            assert_eq!(
+                v,
+                i / 10,
+                "TCSL_THREADS={threads}: chunks wrong after panic"
+            );
+        }
+
+        // Repeated panics don't accumulate poison either: every failed
+        // dispatch fails cleanly, every healthy one still succeeds.
+        for round in 0..3 {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                parallel_map(16, |i| {
+                    if i % 2 == 0 {
+                        panic!("round {round} boom");
+                    }
+                    i
+                })
+            }));
+            assert!(r.is_err(), "round {round} must panic");
+        }
+        assert_eq!(parallel_map(5, |i| i + 1), vec![1, 2, 3, 4, 5]);
+    }
+
+    std::env::remove_var("TCSL_THREADS");
+    std::panic::set_hook(hook);
+}
