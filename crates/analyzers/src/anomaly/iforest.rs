@@ -4,8 +4,10 @@
 //! sit at shallower average depths; the score is the standard
 //! `2^(−E[h(x)]/c(ψ))` normalization (higher = more anomalous).
 
+use crate::check;
 use crate::traits::AnomalyScorer;
 use rand::Rng;
+use tcsl_error::{TcslError, TcslResult};
 use tcsl_tensor::rng::seeded;
 use tcsl_tensor::Tensor;
 
@@ -136,6 +138,7 @@ pub struct IsolationForest {
     pub seed: u64,
     trees: Vec<ITree>,
     c_psi: f32,
+    n_features: usize,
 }
 
 impl IsolationForest {
@@ -147,6 +150,7 @@ impl IsolationForest {
             seed: 0,
             trees: Vec::new(),
             c_psi: 1.0,
+            n_features: 0,
         }
     }
 }
@@ -158,17 +162,24 @@ impl Default for IsolationForest {
 }
 
 impl AnomalyScorer for IsolationForest {
-    fn fit(&mut self, x: &Tensor) {
-        assert!(x.rows() > 1, "need at least two training rows");
+    fn fit(&mut self, x: &Tensor) -> TcslResult<()> {
+        check::check_train(x, None, "isolation forest")?;
+        if x.rows() < 2 {
+            return Err(TcslError::config(
+                "isolation forest needs at least two training rows".to_string(),
+            ));
+        }
         // At ψ ≤ 1 every tree is a lone leaf: `c_factor(1) == 0` used to be
         // clamped to 1e-6 and every score collapsed toward 2^(-depth/1e-6)
         // ≈ 0 — a silently degenerate forest instead of an error.
-        assert!(
-            self.subsample >= 2,
-            "isolation forest subsample must be >= 2 (got {}): a single-row \
-             subsample degenerates every tree to a leaf and all scores to ~0",
-            self.subsample
-        );
+        if self.subsample < 2 {
+            return Err(TcslError::config(format!(
+                "isolation forest subsample must be >= 2 (got {}): a single-row \
+                 subsample degenerates every tree to a leaf and all scores to ~0",
+                self.subsample
+            )));
+        }
+        self.n_features = x.cols();
         let mut rng = seeded(self.seed);
         let psi = self.subsample.min(x.rows());
         let max_depth = (psi as f32).log2().ceil() as usize + 1;
@@ -179,18 +190,22 @@ impl AnomalyScorer for IsolationForest {
                 ITree::build(x, &sample, 0, max_depth, &mut rng)
             })
             .collect();
+        Ok(())
     }
 
-    fn score(&self, x: &Tensor) -> Vec<f32> {
-        assert!(!self.trees.is_empty(), "score before fit");
-        (0..x.rows())
+    fn score(&self, x: &Tensor) -> TcslResult<Vec<f32>> {
+        if self.trees.is_empty() {
+            return Err(check::before_fit("isolation forest score"));
+        }
+        check::check_query(x, self.n_features, "isolation forest score")?;
+        Ok((0..x.rows())
             .map(|i| {
                 let row = x.row(i);
                 let mean_depth: f32 = self.trees.iter().map(|t| t.path_length(row)).sum::<f32>()
                     / self.trees.len() as f32;
                 2f32.powf(-mean_depth / self.c_psi)
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -220,8 +235,8 @@ mod tests {
     fn outliers_score_higher() {
         let (x, truth) = data_with_outliers();
         let mut forest = IsolationForest::new();
-        forest.fit(&x);
-        let scores = forest.score(&x);
+        forest.fit(&x).unwrap();
+        let scores = forest.score(&x).unwrap();
         let inlier_mean: f32 = scores
             .iter()
             .zip(&truth)
@@ -246,8 +261,12 @@ mod tests {
     fn scores_are_in_unit_interval() {
         let (x, _) = data_with_outliers();
         let mut forest = IsolationForest::new();
-        forest.fit(&x);
-        assert!(forest.score(&x).iter().all(|&s| (0.0..=1.0).contains(&s)));
+        forest.fit(&x).unwrap();
+        assert!(forest
+            .score(&x)
+            .unwrap()
+            .iter()
+            .all(|&s| (0.0..=1.0).contains(&s)));
     }
 
     #[test]
@@ -255,9 +274,9 @@ mod tests {
         let (x, _) = data_with_outliers();
         let mut a = IsolationForest::new();
         let mut b = IsolationForest::new();
-        a.fit(&x);
-        b.fit(&x);
-        assert_eq!(a.score(&x), b.score(&x));
+        a.fit(&x).unwrap();
+        b.fit(&x).unwrap();
+        assert_eq!(a.score(&x).unwrap(), b.score(&x).unwrap());
     }
 
     #[test]
@@ -268,13 +287,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "before fit")]
-    fn score_before_fit_panics() {
-        IsolationForest::new().score(&Tensor::zeros([1, 1]));
+    fn score_before_fit_is_a_typed_error() {
+        let err = IsolationForest::new()
+            .score(&Tensor::zeros([1, 1]))
+            .unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::Config);
+        assert!(err.to_string().contains("before fit"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "subsample must be >= 2")]
     fn degenerate_subsample_rejected_at_fit() {
         // Regression: ψ = 1 used to fit "successfully" and score everything
         // ≈ 0 through the clamped c_factor instead of failing loudly.
@@ -283,6 +304,8 @@ mod tests {
             subsample: 1,
             ..IsolationForest::new()
         };
-        forest.fit(&x);
+        let err = forest.fit(&x).unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::Config);
+        assert!(err.to_string().contains("subsample must be >= 2"), "{err}");
     }
 }

@@ -9,8 +9,10 @@
 //! per-score scan work becomes sublinear, and because every returned
 //! distance is exact, the self-match skip keeps working unchanged.
 
+use crate::check;
 use crate::index::{IndexBackend, NnIndex};
 use crate::traits::AnomalyScorer;
+use tcsl_error::TcslResult;
 use tcsl_tensor::Tensor;
 
 /// k-NN distance anomaly scorer.
@@ -42,19 +44,22 @@ impl KnnDistance {
 }
 
 impl AnomalyScorer for KnnDistance {
-    fn fit(&mut self, x: &Tensor) {
-        assert!(x.rows() > 0, "empty training set");
+    fn fit(&mut self, x: &Tensor) -> TcslResult<()> {
+        check::check_train(x, None, "k-NN distance")?;
         self.index = Some(NnIndex::build(x.clone(), self.backend));
+        Ok(())
     }
 
-    fn score(&self, x: &Tensor) -> Vec<f32> {
+    fn score(&self, x: &Tensor) -> TcslResult<Vec<f32>> {
         let _span = tcsl_obs::spans::span("knn_anomaly.score");
-        let index = self.index.as_ref().expect("score before fit");
-        // One extra neighbour covers the self-match skip below; the engine
-        // sorts NaN distances (e.g. from NaN features in user data) last
-        // instead of panicking mid-scoring.
-        let all_nn = index.knn(x, self.k + 1);
-        all_nn
+        let index = self
+            .index
+            .as_ref()
+            .ok_or_else(|| check::before_fit("k-NN distance score"))?;
+        check::check_query(x, index.dim(), "k-NN distance score")?;
+        // One extra neighbour covers the self-match skip below.
+        let all_nn = index.knn(x, self.k + 1)?;
+        Ok(all_nn
             .into_iter()
             .map(|nn| {
                 let dists: Vec<f32> = nn.iter().map(|&(_, d)| d.sqrt()).collect();
@@ -71,7 +76,7 @@ impl AnomalyScorer for KnnDistance {
                     rest[..take].iter().sum::<f32>() / take as f32
                 }
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -89,9 +94,9 @@ mod tests {
         }
         let train = Tensor::from_vec(data, [100, 1]);
         let mut scorer = KnnDistance::new(5);
-        scorer.fit(&train);
+        scorer.fit(&train).unwrap();
         let test = Tensor::from_vec(vec![0.0, 10.0], [2, 1]);
-        let scores = scorer.score(&test);
+        let scores = scorer.score(&test).unwrap();
         assert!(scores[1] > scores[0] * 3.0, "{scores:?}");
     }
 
@@ -99,8 +104,8 @@ mod tests {
     fn self_match_is_skipped_for_training_points() {
         let train = Tensor::from_vec(vec![0.0, 1.0, 2.0], [3, 1]);
         let mut scorer = KnnDistance::new(1);
-        scorer.fit(&train);
-        let scores = scorer.score(&train);
+        scorer.fit(&train).unwrap();
+        let scores = scorer.score(&train).unwrap();
         // Nearest non-self neighbour is 1 away for every point.
         for s in scores {
             assert!((s - 1.0).abs() < 1e-6);
@@ -114,11 +119,11 @@ mod tests {
         // out-of-bounds slice.
         let train = Tensor::from_vec(vec![1.0, 2.0], [1, 2]);
         let mut scorer = KnnDistance::new(3);
-        scorer.fit(&train);
-        assert_eq!(scorer.score(&train), vec![0.0]);
+        scorer.fit(&train).unwrap();
+        assert_eq!(scorer.score(&train).unwrap(), vec![0.0]);
         // A non-matching query still averages over the one real neighbour.
         let q = Tensor::from_vec(vec![1.0, 5.0], [1, 2]);
-        assert!((scorer.score(&q)[0] - 3.0).abs() < 1e-6);
+        assert!((scorer.score(&q).unwrap()[0] - 3.0).abs() < 1e-6);
     }
 
     #[test]
@@ -127,7 +132,7 @@ mod tests {
         let train = Tensor::randn([60, 6], &mut rng);
         let test = Tensor::randn([15, 6], &mut rng);
         let mut exact = KnnDistance::new(4);
-        exact.fit(&train);
+        exact.fit(&train).unwrap();
         let mut ivf = KnnDistance::with_backend(
             4,
             IndexBackend::Ivf {
@@ -135,9 +140,9 @@ mod tests {
                 nprobe: 7,
             },
         );
-        ivf.fit(&train);
-        let es = exact.score(&test);
-        let vs = ivf.score(&test);
+        ivf.fit(&train).unwrap();
+        let es = exact.score(&test).unwrap();
+        let vs = ivf.score(&test).unwrap();
         assert_eq!(es.len(), vs.len());
         for (e, v) in es.iter().zip(&vs) {
             assert_eq!(e.to_bits(), v.to_bits());
@@ -145,19 +150,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "before fit")]
-    fn score_before_fit_panics() {
-        KnnDistance::new(3).score(&Tensor::zeros([1, 1]));
+    fn score_before_fit_is_a_typed_error() {
+        let err = KnnDistance::new(3)
+            .score(&Tensor::zeros([1, 1]))
+            .unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::Config);
+        assert!(err.to_string().contains("before fit"), "{err}");
     }
 
     #[test]
-    fn nan_training_rows_sort_last_and_do_not_poison_scores() {
+    fn nan_training_rows_are_a_typed_error() {
+        // NaN reference rows used to sort last silently; the request path
+        // now rejects them up front with a typed error instead.
         let train = Tensor::from_vec(vec![0.0, 1.0, f32::NAN, 2.0], [4, 1]);
         let mut scorer = KnnDistance::new(2);
-        scorer.fit(&train);
-        let scores = scorer.score(&Tensor::from_vec(vec![0.5], [1, 1]));
-        // Both finite nearest neighbours are 0.5 away; the NaN row ranks
-        // behind every finite one and never enters the average.
-        assert!((scores[0] - 0.5).abs() < 1e-6, "{scores:?}");
+        let err = scorer.fit(&train).unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::NonFiniteInput);
+
+        scorer
+            .fit(&Tensor::from_vec(vec![0.0, 1.0], [2, 1]))
+            .unwrap();
+        let err = scorer
+            .score(&Tensor::from_vec(vec![f32::NAN], [1, 1]))
+            .unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::NonFiniteInput);
     }
 }

@@ -1,0 +1,95 @@
+//! Shared request validation for analyzer entry points.
+//!
+//! Every analyzer's public `fit`/`predict`/`score` surface funnels its
+//! input checks through these helpers so the error taxonomy stays uniform
+//! across the crate: empty training data is `EmptyInput`, label/width
+//! mismatches are `ShapeMismatch`, NaN/inf features are `NonFiniteInput`
+//! and querying an unfitted model is `Config` (API misuse). See the
+//! "Error taxonomy & panic policy" section of DESIGN.md.
+
+use tcsl_error::{TcslError, TcslResult};
+use tcsl_tensor::Tensor;
+
+/// Validates a training feature matrix: non-empty and all-finite. When
+/// `y` is given, it must hold exactly one label per row.
+pub(crate) fn check_train(x: &Tensor, y: Option<&[usize]>, what: &str) -> TcslResult<()> {
+    if x.rows() == 0 {
+        return Err(TcslError::empty(format!("{what} training set")));
+    }
+    if let Some(y) = y {
+        if y.len() != x.rows() {
+            return Err(TcslError::shape_mismatch(
+                format!("{what} labels"),
+                format!("{} (one per row)", x.rows()),
+                y.len(),
+            ));
+        }
+    }
+    check_finite(x, &format!("{what} training features"))
+}
+
+/// Validates a query matrix against the fitted feature width. Empty query
+/// sets are allowed — they simply produce empty outputs.
+pub(crate) fn check_query(x: &Tensor, expected_cols: usize, what: &str) -> TcslResult<()> {
+    if x.cols() != expected_cols {
+        return Err(TcslError::shape_mismatch(
+            format!("{what} feature width"),
+            expected_cols,
+            x.cols(),
+        ));
+    }
+    check_finite(x, &format!("{what} features"))
+}
+
+/// Every sample finite, else [`TcslError::NonFiniteInput`].
+pub(crate) fn check_finite(x: &Tensor, what: &str) -> TcslResult<()> {
+    if !x.as_slice().iter().all(|v| v.is_finite()) {
+        return Err(TcslError::non_finite(what.to_string()));
+    }
+    Ok(())
+}
+
+/// The "called before fit" error — API misuse, so a `Config` error.
+pub(crate) fn before_fit(what: &str) -> TcslError {
+    TcslError::config(format!("{what} called before fit"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsl_error::ErrorClass;
+
+    #[test]
+    fn each_helper_maps_to_its_error_class() {
+        let empty = Tensor::zeros([0, 3]);
+        assert_eq!(
+            check_train(&empty, None, "svm").unwrap_err().class(),
+            ErrorClass::EmptyInput
+        );
+        let x = Tensor::zeros([2, 3]);
+        assert_eq!(
+            check_train(&x, Some(&[0]), "svm").unwrap_err().class(),
+            ErrorClass::ShapeMismatch
+        );
+        let nan = Tensor::from_vec(vec![0.0, f32::NAN], [1, 2]);
+        assert_eq!(
+            check_train(&nan, None, "svm").unwrap_err().class(),
+            ErrorClass::NonFiniteInput
+        );
+        assert_eq!(
+            check_query(&x, 4, "predict").unwrap_err().class(),
+            ErrorClass::ShapeMismatch
+        );
+        assert_eq!(before_fit("predict").class(), ErrorClass::Config);
+        assert!(before_fit("predict").to_string().contains("before fit"));
+    }
+
+    #[test]
+    fn valid_input_passes_every_check() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        check_train(&x, Some(&[0, 1]), "knn").unwrap();
+        check_query(&x, 2, "predict").unwrap();
+        // Empty queries are allowed.
+        check_query(&Tensor::zeros([0, 2]), 2, "predict").unwrap();
+    }
+}

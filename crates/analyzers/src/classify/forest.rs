@@ -1,9 +1,11 @@
 //! Random forest: bagged CART trees over bootstrap samples with random
 //! feature subspaces, majority vote.
 
+use crate::check;
 use crate::classify::tree::DecisionTree;
 use crate::traits::Classifier;
 use rand::Rng;
+use tcsl_error::TcslResult;
 use tcsl_tensor::rng::seeded;
 use tcsl_tensor::Tensor;
 
@@ -20,6 +22,7 @@ pub struct RandomForest {
     pub seed: u64,
     trees: Vec<(DecisionTree, Vec<usize>)>, // tree + its feature subset
     n_classes: usize,
+    n_features: usize,
 }
 
 impl RandomForest {
@@ -33,6 +36,7 @@ impl RandomForest {
             seed: 0,
             trees: Vec::new(),
             n_classes: 0,
+            n_features: 0,
         }
     }
 
@@ -48,9 +52,8 @@ impl RandomForest {
 }
 
 impl Classifier for RandomForest {
-    fn fit(&mut self, x: &Tensor, y: &[usize]) {
-        assert_eq!(x.rows(), y.len(), "one label per row required");
-        assert!(x.rows() > 0, "empty training set");
+    fn fit(&mut self, x: &Tensor, y: &[usize]) -> TcslResult<()> {
+        check::check_train(x, Some(y), "random forest")?;
         let n = x.rows();
         let f = x.cols();
         self.n_classes = y.iter().copied().max().unwrap_or(0) + 1;
@@ -60,6 +63,7 @@ impl Classifier for RandomForest {
             self.features_per_tree.min(f)
         };
         let mut rng = seeded(self.seed);
+        self.n_features = f;
         self.trees = (0..self.n_trees)
             .map(|_| {
                 // Bootstrap rows.
@@ -70,23 +74,27 @@ impl Classifier for RandomForest {
                 let xt = Self::project(x, &rows, &cols);
                 let yt: Vec<usize> = rows.iter().map(|&r| y[r]).collect();
                 let mut tree = DecisionTree::new(self.max_depth);
-                tree.fit(&xt, &yt);
-                (tree, cols)
+                tree.fit(&xt, &yt)?;
+                Ok((tree, cols))
             })
-            .collect();
+            .collect::<TcslResult<Vec<_>>>()?;
+        Ok(())
     }
 
-    fn predict(&self, x: &Tensor) -> Vec<usize> {
-        assert!(!self.trees.is_empty(), "predict before fit");
+    fn predict(&self, x: &Tensor) -> TcslResult<Vec<usize>> {
+        if self.trees.is_empty() {
+            return Err(check::before_fit("random forest predict"));
+        }
+        check::check_query(x, self.n_features, "random forest predict")?;
         let rows: Vec<usize> = (0..x.rows()).collect();
         let mut votes = vec![vec![0usize; self.n_classes]; x.rows()];
         for (tree, cols) in &self.trees {
             let xt = Self::project(x, &rows, cols);
-            for (i, p) in tree.predict(&xt).into_iter().enumerate() {
+            for (i, p) in tree.predict(&xt)?.into_iter().enumerate() {
                 votes[i][p] += 1;
             }
         }
-        votes
+        Ok(votes
             .into_iter()
             .map(|v| {
                 let mut best = 0;
@@ -97,7 +105,7 @@ impl Classifier for RandomForest {
                 }
                 best
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -111,11 +119,11 @@ mod tests {
         let (xtr, ytr) = blobs(3, 40, 8, 2.5, 1);
         let (xte, yte) = blobs(3, 15, 8, 2.5, 2);
         let mut forest = RandomForest::new(30);
-        forest.fit(&xtr, &ytr);
-        let facc = forest.accuracy(&xte, &yte);
+        forest.fit(&xtr, &ytr).unwrap();
+        let facc = forest.accuracy(&xte, &yte).unwrap();
         let mut stump = DecisionTree::new(2);
-        stump.fit(&xtr, &ytr);
-        let sacc = stump.accuracy(&xte, &yte);
+        stump.fit(&xtr, &ytr).unwrap();
+        let sacc = stump.accuracy(&xte, &yte).unwrap();
         assert!(facc >= sacc, "forest {facc} < stump {sacc}");
         assert!(facc > 0.75, "forest accuracy only {facc}");
     }
@@ -125,9 +133,9 @@ mod tests {
         let (x, y) = blobs(2, 25, 5, 4.0, 3);
         let mut a = RandomForest::new(10);
         let mut b = RandomForest::new(10);
-        a.fit(&x, &y);
-        b.fit(&x, &y);
-        assert_eq!(a.predict(&x), b.predict(&x));
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
     }
 
     #[test]
@@ -137,15 +145,18 @@ mod tests {
             features_per_tree: 2,
             ..RandomForest::new(5)
         };
-        f.fit(&x, &y);
+        f.fit(&x, &y).unwrap();
         for (_, cols) in &f.trees {
             assert_eq!(cols.len(), 2);
         }
     }
 
     #[test]
-    #[should_panic(expected = "before fit")]
-    fn predict_before_fit_panics() {
-        RandomForest::new(3).predict(&Tensor::zeros([1, 2]));
+    fn predict_before_fit_is_a_typed_error() {
+        let err = RandomForest::new(3)
+            .predict(&Tensor::zeros([1, 2]))
+            .unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::Config);
+        assert!(err.to_string().contains("before fit"), "{err}");
     }
 }

@@ -1,8 +1,10 @@
 //! Gradient-boosted decision trees: one-vs-rest logistic boosting with
 //! shallow regression trees as weak learners.
 
+use crate::check;
 use crate::classify::tree::RegressionTree;
 use crate::traits::Classifier;
+use tcsl_error::TcslResult;
 use tcsl_tensor::Tensor;
 
 /// One-vs-rest gradient boosting classifier.
@@ -15,6 +17,7 @@ pub struct GradientBoosting {
     /// Depth of each weak learner.
     pub tree_depth: usize,
     ensembles: Vec<Vec<RegressionTree>>, // per class
+    n_features: usize,
 }
 
 impl GradientBoosting {
@@ -26,11 +29,11 @@ impl GradientBoosting {
             shrinkage: 0.3,
             tree_depth: 3,
             ensembles: Vec::new(),
+            n_features: 0,
         }
     }
 
     fn raw_scores(&self, x: &Tensor) -> Tensor {
-        assert!(!self.ensembles.is_empty(), "predict before fit");
         let (n, c) = (x.rows(), self.ensembles.len());
         let mut out = Tensor::zeros([n, c]);
         for (cc, ensemble) in self.ensembles.iter().enumerate() {
@@ -50,9 +53,9 @@ fn sigmoid(x: f32) -> f32 {
 }
 
 impl Classifier for GradientBoosting {
-    fn fit(&mut self, x: &Tensor, y: &[usize]) {
-        assert_eq!(x.rows(), y.len(), "one label per row required");
-        assert!(x.rows() > 0, "empty training set");
+    fn fit(&mut self, x: &Tensor, y: &[usize]) -> TcslResult<()> {
+        check::check_train(x, Some(y), "gradient boosting")?;
+        self.n_features = x.cols();
         let n = x.rows();
         let n_classes = y.iter().copied().max().unwrap_or(0) + 1;
         self.ensembles = (0..n_classes)
@@ -77,11 +80,16 @@ impl Classifier for GradientBoosting {
                 ensemble
             })
             .collect();
+        Ok(())
     }
 
-    fn predict(&self, x: &Tensor) -> Vec<usize> {
+    fn predict(&self, x: &Tensor) -> TcslResult<Vec<usize>> {
+        if self.ensembles.is_empty() {
+            return Err(check::before_fit("gradient boosting predict"));
+        }
+        check::check_query(x, self.n_features, "gradient boosting predict")?;
         let scores = self.raw_scores(x);
-        (0..scores.rows())
+        Ok((0..scores.rows())
             .map(|i| {
                 let row = scores.row(i);
                 let mut best = 0;
@@ -92,7 +100,7 @@ impl Classifier for GradientBoosting {
                 }
                 best
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -114,18 +122,18 @@ mod tests {
             tree_depth: 1,
             ..GradientBoosting::new(1)
         };
-        one.fit(&x, &y);
-        many.fit(&x, &y);
-        assert!(many.accuracy(&x, &y) >= one.accuracy(&x, &y));
-        assert!(many.accuracy(&x, &y) > 0.9);
+        one.fit(&x, &y).unwrap();
+        many.fit(&x, &y).unwrap();
+        assert!(many.accuracy(&x, &y).unwrap() >= one.accuracy(&x, &y).unwrap());
+        assert!(many.accuracy(&x, &y).unwrap() > 0.9);
     }
 
     #[test]
     fn multiclass_blobs() {
         let (x, y) = blobs(3, 20, 4, 5.0, 2);
         let mut gb = GradientBoosting::new(15);
-        gb.fit(&x, &y);
-        assert!(gb.accuracy(&x, &y) > 0.9);
+        gb.fit(&x, &y).unwrap();
+        assert!(gb.accuracy(&x, &y).unwrap() > 0.9);
     }
 
     #[test]
@@ -148,13 +156,16 @@ mod tests {
             tree_depth: 4,
             ..GradientBoosting::new(1)
         };
-        gb.fit(&x, &y);
-        assert_eq!(gb.accuracy(&x, &y), 1.0);
+        gb.fit(&x, &y).unwrap();
+        assert_eq!(gb.accuracy(&x, &y).unwrap(), 1.0);
     }
 
     #[test]
-    #[should_panic(expected = "before fit")]
-    fn predict_before_fit_panics() {
-        GradientBoosting::new(2).predict(&Tensor::zeros([1, 1]));
+    fn predict_before_fit_is_a_typed_error() {
+        let err = GradientBoosting::new(2)
+            .predict(&Tensor::zeros([1, 1]))
+            .unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::Config);
+        assert!(err.to_string().contains("before fit"), "{err}");
     }
 }

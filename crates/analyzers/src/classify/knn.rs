@@ -11,8 +11,10 @@
 //!
 //! [`pairdist`]: tcsl_tensor::pairdist
 
+use crate::check;
 use crate::index::{IndexBackend, NnIndex};
 use crate::traits::Classifier;
+use tcsl_error::TcslResult;
 use tcsl_tensor::Tensor;
 
 /// k-NN classifier.
@@ -46,36 +48,42 @@ impl KnnClassifier {
 }
 
 impl Classifier for KnnClassifier {
-    fn fit(&mut self, x: &Tensor, y: &[usize]) {
-        assert_eq!(x.rows(), y.len(), "one label per row required");
-        assert!(x.rows() > 0, "empty training set");
+    fn fit(&mut self, x: &Tensor, y: &[usize]) -> TcslResult<()> {
+        check::check_train(x, Some(y), "k-NN")?;
         self.index = Some(NnIndex::build(x.clone(), self.backend));
         self.train_y = y.to_vec();
+        Ok(())
     }
 
-    fn predict(&self, x: &Tensor) -> Vec<usize> {
+    fn predict(&self, x: &Tensor) -> TcslResult<Vec<usize>> {
         let _span = tcsl_obs::spans::span("knn_classify.predict");
-        let index = self.index.as_ref().expect("predict before fit");
+        let index = self
+            .index
+            .as_ref()
+            .ok_or_else(|| check::before_fit("k-NN predict"))?;
+        check::check_query(x, index.dim(), "k-NN predict")?;
         // The class count depends only on the training labels: computed
         // once per predict call, not (as it used to be) re-scanned from
         // scratch inside the per-row closure.
         let n_classes = self.train_y.iter().copied().max().unwrap_or(0) + 1;
-        let all_nn = index.knn(x, self.k);
-        all_nn
+        let all_nn = index.knn(x, self.k)?;
+        Ok(all_nn
             .into_iter()
             .map(|nn| {
                 let mut votes = vec![0usize; n_classes];
                 for &(idx, _) in &nn {
                     votes[self.train_y[idx]] += 1;
                 }
+                #[allow(clippy::disallowed_methods)] // n_classes >= 1 by construction
                 let top = *votes.iter().max().expect("at least one class");
                 // Tie-break by the nearest neighbour among tied classes.
+                #[allow(clippy::disallowed_methods)] // the index returns >= 1 neighbour
                 nn.iter()
                     .find(|(idx, _)| votes[self.train_y[*idx]] == top)
                     .map(|&(idx, _)| self.train_y[idx])
                     .expect("non-empty neighbourhood")
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -88,8 +96,8 @@ mod tests {
     fn one_nn_memorizes_training_data() {
         let (x, y) = blobs(3, 15, 3, 5.0, 1);
         let mut knn = KnnClassifier::new(1);
-        knn.fit(&x, &y);
-        assert_eq!(knn.accuracy(&x, &y), 1.0);
+        knn.fit(&x, &y).unwrap();
+        assert_eq!(knn.accuracy(&x, &y).unwrap(), 1.0);
     }
 
     #[test]
@@ -97,8 +105,8 @@ mod tests {
         let (xtr, ytr) = blobs(2, 40, 4, 5.0, 2);
         let (xte, yte) = blobs(2, 15, 4, 5.0, 3);
         let mut knn = KnnClassifier::new(5);
-        knn.fit(&xtr, &ytr);
-        assert!(knn.accuracy(&xte, &yte) > 0.9);
+        knn.fit(&xtr, &ytr).unwrap();
+        assert!(knn.accuracy(&xte, &yte).unwrap() > 0.9);
     }
 
     #[test]
@@ -107,9 +115,9 @@ mod tests {
         // tie (1 vote each) resolved toward the closer point's label.
         let x = Tensor::from_vec(vec![1.0, 2.0], [2, 1]);
         let mut knn = KnnClassifier::new(2);
-        knn.fit(&x, &[1, 0]); // labels [1, 0]
+        knn.fit(&x, &[1, 0]).unwrap(); // labels [1, 0]
         let q = Tensor::from_vec(vec![1.1], [1, 1]);
-        assert_eq!(knn.predict(&q), vec![1]);
+        assert_eq!(knn.predict(&q).unwrap(), vec![1]);
     }
 
     #[test]
@@ -119,9 +127,9 @@ mod tests {
         // old stable full-scan sort produced.
         let x = Tensor::from_vec(vec![3.0, 3.0, 0.0, 0.0, 3.0, 3.0], [3, 2]);
         let mut knn = KnnClassifier::new(1);
-        knn.fit(&x, &[7, 1, 4]);
+        knn.fit(&x, &[7, 1, 4]).unwrap();
         let q = Tensor::from_vec(vec![3.0, 3.0], [1, 2]);
-        assert_eq!(knn.predict(&q), vec![7]);
+        assert_eq!(knn.predict(&q).unwrap(), vec![7]);
     }
 
     #[test]
@@ -132,8 +140,8 @@ mod tests {
         let (xtr, ytr) = blobs(3, 30, 4, 5.0, 7);
         let (xte, _) = blobs(3, 20, 4, 5.0, 8);
         let mut knn = KnnClassifier::new(3);
-        knn.fit(&xtr, &ytr);
-        let fast = knn.predict(&xte);
+        knn.fit(&xtr, &ytr).unwrap();
+        let fast = knn.predict(&xte).unwrap();
 
         let naive: Vec<usize> = (0..xte.rows())
             .map(|i| {
@@ -171,7 +179,7 @@ mod tests {
         let (xtr, ytr) = blobs(3, 40, 5, 5.0, 9);
         let (xte, _) = blobs(3, 25, 5, 5.0, 10);
         let mut exact = KnnClassifier::new(3);
-        exact.fit(&xtr, &ytr);
+        exact.fit(&xtr, &ytr).unwrap();
         let mut ivf = KnnClassifier::with_backend(
             3,
             IndexBackend::Ivf {
@@ -179,8 +187,8 @@ mod tests {
                 nprobe: 6,
             },
         );
-        ivf.fit(&xtr, &ytr);
-        assert_eq!(exact.predict(&xte), ivf.predict(&xte));
+        ivf.fit(&xtr, &ytr).unwrap();
+        assert_eq!(exact.predict(&xte).unwrap(), ivf.predict(&xte).unwrap());
     }
 
     #[test]
@@ -194,8 +202,8 @@ mod tests {
                 nprobe: 2,
             },
         );
-        knn.fit(&xtr, &ytr);
-        assert!(knn.accuracy(&xte, &yte) > 0.9);
+        knn.fit(&xtr, &ytr).unwrap();
+        assert!(knn.accuracy(&xte, &yte).unwrap() > 0.9);
     }
 
     #[test]
@@ -205,16 +213,37 @@ mod tests {
     }
 
     #[test]
-    fn nan_features_do_not_panic() {
+    fn nan_features_are_a_typed_error() {
         // A NaN in user-supplied features used to abort the whole
-        // prediction pass via `partial_cmp().expect`; NaN distances now
-        // sort last and the remaining neighbours vote normally.
+        // prediction pass via `partial_cmp().expect`; now it is rejected
+        // up front as a request error instead of silently sorting last.
         let x = Tensor::from_vec(vec![0.0, 1.0, f32::NAN], [3, 1]);
         let mut knn = KnnClassifier::new(1);
-        knn.fit(&x, &[0, 1, 1]);
-        let q = Tensor::from_vec(vec![0.1, f32::NAN], [2, 1]);
-        let pred = knn.predict(&q);
-        assert_eq!(pred.len(), 2);
-        assert_eq!(pred[0], 0, "finite query classifies by its nearest point");
+        let err = knn.fit(&x, &[0, 1, 1]).unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::NonFiniteInput);
+
+        let clean = Tensor::from_vec(vec![0.0, 1.0], [2, 1]);
+        knn.fit(&clean, &[0, 1]).unwrap();
+        let q = Tensor::from_vec(vec![f32::NAN], [1, 1]);
+        let err = knn.predict(&q).unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::NonFiniteInput);
+    }
+
+    #[test]
+    fn misuse_is_a_typed_error_not_a_panic() {
+        let knn = KnnClassifier::new(1);
+        let err = knn.predict(&Tensor::zeros([1, 2])).unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::Config);
+        assert!(err.to_string().contains("before fit"), "{err}");
+
+        let mut knn = KnnClassifier::new(1);
+        let err = knn.fit(&Tensor::zeros([0, 2]), &[]).unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::EmptyInput);
+        let err = knn.fit(&Tensor::zeros([2, 2]), &[0]).unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::ShapeMismatch);
+
+        knn.fit(&Tensor::zeros([2, 2]), &[0, 1]).unwrap();
+        let err = knn.predict(&Tensor::zeros([1, 3])).unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::ShapeMismatch);
     }
 }

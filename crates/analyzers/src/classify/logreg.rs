@@ -1,7 +1,9 @@
 //! Multinomial logistic regression trained by full-batch gradient descent
 //! with L2 regularization.
 
+use crate::check;
 use crate::traits::Classifier;
+use tcsl_error::TcslResult;
 use tcsl_tensor::Tensor;
 
 /// Softmax (multinomial) logistic regression.
@@ -34,8 +36,7 @@ impl LogisticRegression {
         self
     }
 
-    fn logits(&self, x: &Tensor) -> Tensor {
-        let w = self.w.as_ref().expect("predict before fit");
+    fn logits(w: &Tensor, x: &Tensor) -> Tensor {
         let (n, f) = (x.rows(), x.cols());
         let c = w.rows();
         assert_eq!(w.cols(), f + 1, "feature width changed since fit");
@@ -62,14 +63,13 @@ impl Default for LogisticRegression {
 }
 
 impl Classifier for LogisticRegression {
-    fn fit(&mut self, x: &Tensor, y: &[usize]) {
-        assert_eq!(x.rows(), y.len(), "one label per row required");
+    fn fit(&mut self, x: &Tensor, y: &[usize]) -> TcslResult<()> {
+        check::check_train(x, Some(y), "logistic regression")?;
         let (n, f) = (x.rows(), x.cols());
         let c = y.iter().copied().max().unwrap_or(0) + 1;
         let mut w = Tensor::zeros([c, f + 1]);
         for _ in 0..self.iterations {
-            self.w = Some(w.clone());
-            let logits = self.logits(x);
+            let logits = Self::logits(&w, x);
             // grad[c] = mean_i (softmax_i[c] − 1{y_i=c}) · [x_i; 1] + l2·w[c]
             let mut grad = Tensor::zeros([c, f + 1]);
             for i in 0..n {
@@ -91,11 +91,17 @@ impl Classifier for LogisticRegression {
             w.add_scaled_inplace(&grad, -self.learning_rate);
         }
         self.w = Some(w);
+        Ok(())
     }
 
-    fn predict(&self, x: &Tensor) -> Vec<usize> {
-        let logits = self.logits(x);
-        (0..logits.rows())
+    fn predict(&self, x: &Tensor) -> TcslResult<Vec<usize>> {
+        let w = self
+            .w
+            .as_ref()
+            .ok_or_else(|| check::before_fit("logistic regression predict"))?;
+        check::check_query(x, w.cols() - 1, "logistic regression predict")?;
+        let logits = Self::logits(w, x);
+        Ok((0..logits.rows())
             .map(|i| {
                 let row = logits.row(i);
                 let mut best = 0;
@@ -106,7 +112,7 @@ impl Classifier for LogisticRegression {
                 }
                 best
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -119,16 +125,16 @@ mod tests {
     fn fits_blobs() {
         let (x, y) = blobs(3, 25, 4, 5.0, 1);
         let mut lr = LogisticRegression::new();
-        lr.fit(&x, &y);
-        assert!(lr.accuracy(&x, &y) > 0.9);
+        lr.fit(&x, &y).unwrap();
+        assert!(lr.accuracy(&x, &y).unwrap() > 0.9);
     }
 
     #[test]
     fn binary_case() {
         let (x, y) = blobs(2, 40, 2, 4.0, 2);
         let mut lr = LogisticRegression::new();
-        lr.fit(&x, &y);
-        assert!(lr.accuracy(&x, &y) > 0.9);
+        lr.fit(&x, &y).unwrap();
+        assert!(lr.accuracy(&x, &y).unwrap() > 0.9);
     }
 
     #[test]
@@ -142,16 +148,28 @@ mod tests {
             l2: 1e-6,
             ..LogisticRegression::new()
         };
-        strong.fit(&x, &y);
-        weak.fit(&x, &y);
+        strong.fit(&x, &y).unwrap();
+        weak.fit(&x, &y).unwrap();
         let ns = strong.w.as_ref().unwrap().norm();
         let nw = weak.w.as_ref().unwrap().norm();
         assert!(ns < nw, "strong reg should shrink weights: {ns} vs {nw}");
     }
 
     #[test]
-    #[should_panic(expected = "before fit")]
-    fn predict_before_fit_panics() {
-        LogisticRegression::new().predict(&Tensor::zeros([1, 2]));
+    fn predict_before_fit_is_a_typed_error() {
+        let err = LogisticRegression::new()
+            .predict(&Tensor::zeros([1, 2]))
+            .unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::Config);
+        assert!(err.to_string().contains("before fit"), "{err}");
+    }
+
+    #[test]
+    fn width_mismatch_is_a_shape_error() {
+        let (x, y) = blobs(2, 10, 3, 4.0, 4);
+        let mut lr = LogisticRegression::new();
+        lr.fit(&x, &y).unwrap();
+        let err = lr.predict(&Tensor::zeros([1, 5])).unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::ShapeMismatch);
     }
 }

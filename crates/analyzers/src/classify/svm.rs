@@ -2,7 +2,9 @@
 //! loss with L2 regularization), one-vs-rest for multiclass — the default
 //! freezing-mode classifier of the demo.
 
+use crate::check;
 use crate::traits::Classifier;
+use tcsl_error::TcslResult;
 use tcsl_tensor::rng::{permutation, seeded};
 use tcsl_tensor::Tensor;
 
@@ -82,9 +84,8 @@ impl Default for LinearSvm {
 }
 
 impl Classifier for LinearSvm {
-    fn fit(&mut self, x: &Tensor, y: &[usize]) {
-        assert_eq!(x.rows(), y.len(), "one label per row required");
-        assert!(x.rows() > 0, "empty training set");
+    fn fit(&mut self, x: &Tensor, y: &[usize]) -> TcslResult<()> {
+        check::check_train(x, Some(y), "SVM")?;
         let n_classes = y.iter().copied().max().unwrap_or(0) + 1;
         self.weights = (0..n_classes)
             .map(|c| {
@@ -93,11 +94,15 @@ impl Classifier for LinearSvm {
                 self.train_binary(x, &targets)
             })
             .collect();
+        Ok(())
     }
 
-    fn predict(&self, x: &Tensor) -> Vec<usize> {
-        assert!(!self.weights.is_empty(), "predict before fit");
-        (0..x.rows())
+    fn predict(&self, x: &Tensor) -> TcslResult<Vec<usize>> {
+        if self.weights.is_empty() {
+            return Err(check::before_fit("SVM predict"));
+        }
+        check::check_query(x, self.weights[0].len() - 1, "SVM predict")?;
+        Ok((0..x.rows())
             .map(|i| {
                 let row = x.row(i);
                 let mut best = 0;
@@ -111,7 +116,7 @@ impl Classifier for LinearSvm {
                 }
                 best
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -124,19 +129,19 @@ mod tests {
     fn separates_two_blobs() {
         let (x, y) = blobs(2, 30, 4, 6.0, 1);
         let mut svm = LinearSvm::new();
-        svm.fit(&x, &y);
-        assert!(svm.accuracy(&x, &y) > 0.95);
+        svm.fit(&x, &y).unwrap();
+        assert!(svm.accuracy(&x, &y).unwrap() > 0.95);
     }
 
     #[test]
     fn multiclass_one_vs_rest() {
         let (x, y) = blobs(4, 25, 6, 7.0, 2);
         let mut svm = LinearSvm::new();
-        svm.fit(&x, &y);
+        svm.fit(&x, &y).unwrap();
         assert!(
-            svm.accuracy(&x, &y) > 0.9,
+            svm.accuracy(&x, &y).unwrap() > 0.9,
             "accuracy {}",
-            svm.accuracy(&x, &y)
+            svm.accuracy(&x, &y).unwrap()
         );
     }
 
@@ -145,14 +150,17 @@ mod tests {
         let (xtr, ytr) = blobs(3, 30, 5, 6.0, 3);
         let (xte, yte) = blobs(3, 10, 5, 6.0, 4);
         let mut svm = LinearSvm::new();
-        svm.fit(&xtr, &ytr);
-        assert!(svm.accuracy(&xte, &yte) > 0.85);
+        svm.fit(&xtr, &ytr).unwrap();
+        assert!(svm.accuracy(&xte, &yte).unwrap() > 0.85);
     }
 
     #[test]
-    #[should_panic(expected = "before fit")]
-    fn predict_before_fit_panics() {
-        LinearSvm::new().predict(&Tensor::zeros([1, 2]));
+    fn predict_before_fit_is_a_typed_error() {
+        let err = LinearSvm::new()
+            .predict(&Tensor::zeros([1, 2]))
+            .unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::Config);
+        assert!(err.to_string().contains("before fit"), "{err}");
     }
 
     #[test]
@@ -160,8 +168,8 @@ mod tests {
         let (x, y) = blobs(2, 20, 3, 5.0, 5);
         let mut a = LinearSvm::new();
         let mut b = LinearSvm::new();
-        a.fit(&x, &y);
-        b.fit(&x, &y);
-        assert_eq!(a.predict(&x), b.predict(&x));
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
     }
 }

@@ -1,7 +1,9 @@
 //! CART decision trees: a gini-impurity classifier and a variance-reduction
 //! regression tree (the weak learner of [`crate::classify::gbdt`]).
 
+use crate::check;
 use crate::traits::Classifier;
+use tcsl_error::TcslResult;
 use tcsl_tensor::Tensor;
 
 #[derive(Clone, Debug)]
@@ -157,6 +159,7 @@ pub struct DecisionTree {
     pub min_samples_split: usize,
     core: TreeCore,
     fitted: bool,
+    n_features: usize,
 }
 
 impl DecisionTree {
@@ -168,14 +171,14 @@ impl DecisionTree {
             min_samples_split: 2,
             core: TreeCore::default(),
             fitted: false,
+            n_features: 0,
         }
     }
 }
 
 impl Classifier for DecisionTree {
-    fn fit(&mut self, x: &Tensor, y: &[usize]) {
-        assert_eq!(x.rows(), y.len(), "one label per row required");
-        assert!(x.rows() > 0, "empty training set");
+    fn fit(&mut self, x: &Tensor, y: &[usize]) -> TcslResult<()> {
+        check::check_train(x, Some(y), "decision tree")?;
         let n_classes = y.iter().copied().max().unwrap_or(0) + 1;
         let gini = |idx: &[usize]| -> f32 {
             let mut counts = vec![0usize; n_classes];
@@ -211,13 +214,18 @@ impl Classifier for DecisionTree {
             &majority,
         );
         self.fitted = true;
+        self.n_features = x.cols();
+        Ok(())
     }
 
-    fn predict(&self, x: &Tensor) -> Vec<usize> {
-        assert!(self.fitted, "predict before fit");
-        (0..x.rows())
+    fn predict(&self, x: &Tensor) -> TcslResult<Vec<usize>> {
+        if !self.fitted {
+            return Err(check::before_fit("decision tree predict"));
+        }
+        check::check_query(x, self.n_features, "decision tree predict")?;
+        Ok((0..x.rows())
             .map(|i| self.core.predict_row(x.row(i)) as usize)
-            .collect()
+            .collect())
     }
 }
 
@@ -289,8 +297,8 @@ mod tests {
     fn classifies_blobs() {
         let (x, y) = blobs(3, 20, 4, 6.0, 1);
         let mut tree = DecisionTree::new(6);
-        tree.fit(&x, &y);
-        assert!(tree.accuracy(&x, &y) > 0.9);
+        tree.fit(&x, &y).unwrap();
+        assert!(tree.accuracy(&x, &y).unwrap() > 0.9);
     }
 
     #[test]
@@ -312,17 +320,17 @@ mod tests {
         // Greedy gini may peel off single points near the root, so give the
         // tree enough depth to finish the job.
         let mut tree = DecisionTree::new(8);
-        tree.fit(&x, &y);
-        assert_eq!(tree.accuracy(&x, &y), 1.0);
+        tree.fit(&x, &y).unwrap();
+        assert_eq!(tree.accuracy(&x, &y).unwrap(), 1.0);
     }
 
     #[test]
     fn depth_one_is_a_stump() {
         let (x, y) = blobs(2, 15, 2, 8.0, 2);
         let mut tree = DecisionTree::new(1);
-        tree.fit(&x, &y);
+        tree.fit(&x, &y).unwrap();
         // A stump still separates two well-spread blobs on one axis.
-        assert!(tree.accuracy(&x, &y) > 0.9);
+        assert!(tree.accuracy(&x, &y).unwrap() > 0.9);
     }
 
     #[test]
@@ -346,8 +354,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "before fit")]
-    fn predict_before_fit_panics() {
-        DecisionTree::new(3).predict(&Tensor::zeros([1, 1]));
+    fn predict_before_fit_is_a_typed_error() {
+        let err = DecisionTree::new(3)
+            .predict(&Tensor::zeros([1, 1]))
+            .unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::Config);
+        assert!(err.to_string().contains("before fit"), "{err}");
     }
 }

@@ -6,7 +6,9 @@
 //! [`Agglomerative::fit_predict_from_distances`] lets tests pin against an
 //! oracle-built matrix.
 
+use crate::check;
 use crate::traits::Clusterer;
+use tcsl_error::{TcslError, TcslResult};
 use tcsl_tensor::pairdist;
 use tcsl_tensor::Tensor;
 
@@ -67,11 +69,18 @@ impl Agglomerative {
 }
 
 impl Clusterer for Agglomerative {
-    fn fit_predict(&mut self, x: &Tensor) -> Vec<usize> {
+    fn fit_predict(&mut self, x: &Tensor) -> TcslResult<Vec<usize>> {
         let _span = tcsl_obs::spans::span("agglomerative.fit_predict");
-        assert!(x.rows() >= self.k, "fewer points than clusters");
+        check::check_train(x, None, "agglomerative clustering")?;
+        if x.rows() < self.k {
+            return Err(TcslError::config(format!(
+                "agglomerative clustering: {} clusters requested but only {} points given",
+                self.k,
+                x.rows()
+            )));
+        }
         let d = pairdist::pairdist(x, x).sqrt();
-        self.fit_predict_from_distances(&d)
+        Ok(self.fit_predict_from_distances(&d))
     }
 }
 
@@ -84,7 +93,7 @@ mod tests {
     fn merges_nearby_points() {
         let (x, y) = blobs(2, 12, 3, 8.0, 1);
         let mut ag = Agglomerative::new(2);
-        let assign = ag.fit_predict(&x);
+        let assign = ag.fit_predict(&x).unwrap();
         // All members of one true blob end up together.
         let first_cluster = assign[0];
         for (i, &l) in y.iter().enumerate() {
@@ -100,7 +109,7 @@ mod tests {
     fn k_equals_n_gives_singletons() {
         let x = Tensor::from_vec(vec![0.0, 5.0, 10.0], [3, 1]);
         let mut ag = Agglomerative::new(3);
-        let assign = ag.fit_predict(&x);
+        let assign = ag.fit_predict(&x).unwrap();
         let mut sorted = assign.clone();
         sorted.sort_unstable();
         sorted.dedup();
@@ -108,9 +117,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "fewer points")]
-    fn too_many_clusters_panics() {
-        Agglomerative::new(4).fit_predict(&Tensor::zeros([2, 1]));
+    fn too_many_clusters_is_a_config_error() {
+        let err = Agglomerative::new(4)
+            .fit_predict(&Tensor::zeros([2, 1]))
+            .unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::Config);
+        assert!(err.to_string().contains("clusters"), "{err}");
     }
 
     #[test]
@@ -118,7 +130,7 @@ mod tests {
         // d(0,1) == d(1,2) == 1 exactly: the first merge must take the
         // lowest-index pair (0,1), so the cut at k=2 groups {0,1} | {2}.
         let x = Tensor::from_vec(vec![0.0, 1.0, 2.0], [3, 1]);
-        let assign = Agglomerative::new(2).fit_predict(&x);
+        let assign = Agglomerative::new(2).fit_predict(&x).unwrap();
         assert_eq!(assign[0], assign[1]);
         assert_ne!(assign[0], assign[2]);
     }
@@ -127,7 +139,7 @@ mod tests {
     fn engine_matrix_matches_oracle_matrix_assignments() {
         let (x, _) = blobs(3, 8, 4, 6.0, 5);
         let mut ag = Agglomerative::new(3);
-        let fast = ag.fit_predict(&x);
+        let fast = ag.fit_predict(&x).unwrap();
         let oracle = tcsl_tensor::pairdist::pairdist_oracle(&x, &x).sqrt();
         assert_eq!(fast, ag.fit_predict_from_distances(&oracle));
     }

@@ -14,8 +14,10 @@
 //! centers (each row sits in its engine-argmin cell), even when a run
 //! exhausts `max_iter` without converging.
 
+use crate::check;
 use crate::traits::Clusterer;
 use rand::Rng;
+use tcsl_error::{TcslError, TcslResult};
 use tcsl_tensor::pairdist;
 use tcsl_tensor::rng::seeded;
 use tcsl_tensor::Tensor;
@@ -121,6 +123,7 @@ impl KMeans {
                     }
                     target -= d;
                 }
+                #[allow(clippy::disallowed_methods)] // total > 0 implies a finite d2
                 pick.expect("positive total implies a finite distance")
             };
             centers.push(next);
@@ -197,6 +200,7 @@ impl KMeans {
                 _ => best = Some(run),
             }
         }
+        #[allow(clippy::disallowed_methods)] // restarts >= 1 by construction
         let (centers, assignments, inertia) = best.expect("at least one restart");
         self.centers = Some(centers.clone());
         KMeansFit {
@@ -208,9 +212,21 @@ impl KMeans {
 }
 
 impl Clusterer for KMeans {
-    fn fit_predict(&mut self, x: &Tensor) -> Vec<usize> {
+    /// Validating wrapper over [`KMeans::fit`] for request-path callers:
+    /// empty or NaN-poisoned features and `k > N` are typed errors here,
+    /// while the inherent `fit` keeps the engine-level NaN tolerance the
+    /// IVF coarse quantizer relies on.
+    fn fit_predict(&mut self, x: &Tensor) -> TcslResult<Vec<usize>> {
         let _span = tcsl_obs::spans::span("kmeans.fit_predict");
-        self.fit(x).assignments
+        check::check_train(x, None, "k-means")?;
+        if x.rows() < self.k {
+            return Err(TcslError::config(format!(
+                "k-means: {} clusters requested but only {} points given",
+                self.k,
+                x.rows()
+            )));
+        }
+        Ok(self.fit(x).assignments)
     }
 }
 
@@ -242,7 +258,7 @@ mod tests {
     fn recovers_separated_blobs() {
         let (x, y) = blobs(3, 25, 4, 8.0, 1);
         let mut km = KMeans::new(3);
-        let assign = km.fit_predict(&x);
+        let assign = km.fit_predict(&x).unwrap();
         assert!(pair_agreement(&assign, &y) > 0.95);
         assert_eq!(km.centers().unwrap().rows(), 3);
     }
@@ -251,7 +267,7 @@ mod tests {
     fn single_cluster_assigns_everything_to_zero() {
         let (x, _) = blobs(2, 10, 3, 4.0, 2);
         let mut km = KMeans::new(1);
-        let assign = km.fit_predict(&x);
+        let assign = km.fit_predict(&x).unwrap();
         assert!(assign.iter().all(|&c| c == 0));
     }
 
@@ -260,14 +276,24 @@ mod tests {
         let (x, _) = blobs(3, 15, 3, 5.0, 3);
         let mut a = KMeans::new(3);
         let mut b = KMeans::new(3);
-        assert_eq!(a.fit_predict(&x), b.fit_predict(&x));
+        assert_eq!(a.fit_predict(&x).unwrap(), b.fit_predict(&x).unwrap());
     }
 
     #[test]
-    #[should_panic(expected = "fewer points")]
-    fn too_many_clusters_panics() {
+    fn too_many_clusters_is_a_config_error() {
         let x = Tensor::zeros([2, 2]);
-        KMeans::new(5).fit_predict(&x);
+        let err = KMeans::new(5).fit_predict(&x).unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::Config);
+        assert!(err.to_string().contains("clusters"), "{err}");
+    }
+
+    #[test]
+    fn nan_features_are_a_typed_error_through_the_trait() {
+        // The trait surface validates; the inherent `fit` below stays
+        // NaN-tolerant for the IVF coarse quantizer.
+        let x = Tensor::from_vec(vec![0.0, f32::NAN, 1.0, 2.0], [2, 2]);
+        let err = KMeans::new(2).fit_predict(&x).unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::NonFiniteInput);
     }
 
     #[test]

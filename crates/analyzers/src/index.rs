@@ -28,6 +28,7 @@
 //! exact oracle is the whole quality story (measured by `bench_index`).
 
 use crate::cluster::kmeans::{assign_to_centers, KMeans};
+use tcsl_error::{TcslError, TcslResult};
 use tcsl_obs::counters::{LocalCounter, IVF_CANDIDATES, IVF_CELLS_PROBED};
 use tcsl_tensor::pairdist::{self, row_sq_norms, scan_cell_into, topk_sort};
 use tcsl_tensor::parallel::parallel_chunks_mut;
@@ -179,22 +180,31 @@ impl IvfIndex {
     /// into `out` with the same reshape-in-place, capacity-reusing contract
     /// as [`pairdist::knn_into`]. Results are sorted ascending by
     /// `(distance, index)`; each row holds `min(k, candidates)` entries.
+    ///
+    /// `k == 0` and a query feature width that differs from the indexed
+    /// corpus are request errors (`out` is left untouched); oversized `k`
+    /// and `nprobe` clamp, and empty corpora/query sets yield empty rows.
+    /// The distance engine itself is NaN-tolerant (non-finite rows sort
+    /// last, exactly as in the exact engine) — finiteness validation
+    /// belongs to the analyzer entry points above this.
     pub fn knn_into(
         &self,
         queries: &Tensor,
         k: usize,
         nprobe: usize,
         out: &mut Vec<Vec<(usize, f32)>>,
-    ) {
-        assert!(k >= 1, "k must be at least 1");
+    ) -> TcslResult<()> {
+        if k == 0 {
+            return Err(TcslError::config("knn: k must be at least 1"));
+        }
+        if queries.cols() != self.dim {
+            return Err(TcslError::shape_mismatch(
+                "ivf query feature width",
+                self.dim,
+                queries.cols(),
+            ));
+        }
         let n = queries.rows();
-        assert_eq!(
-            queries.cols(),
-            self.dim,
-            "ivf query feature dimensions differ: {} vs {}",
-            queries.cols(),
-            self.dim
-        );
         out.truncate(n);
         for row in out.iter_mut() {
             row.clear();
@@ -203,7 +213,7 @@ impl IvfIndex {
             out.push(Vec::new());
         }
         if n == 0 || self.rows == 0 {
-            return;
+            return Ok(());
         }
         let _span = tcsl_obs::spans::span("ivf.query");
         let nprobe = nprobe.clamp(1, self.cells.len());
@@ -247,14 +257,20 @@ impl IvfIndex {
                 topk_sort(acc);
             }
         });
+        Ok(())
     }
 
     /// Convenience wrapper over [`Self::knn_into`] allocating a fresh
     /// result vector.
-    pub fn knn(&self, queries: &Tensor, k: usize, nprobe: usize) -> Vec<Vec<(usize, f32)>> {
+    pub fn knn(
+        &self,
+        queries: &Tensor,
+        k: usize,
+        nprobe: usize,
+    ) -> TcslResult<Vec<Vec<(usize, f32)>>> {
         let mut out = Vec::with_capacity(queries.rows());
-        self.knn_into(queries, k, nprobe, &mut out);
-        out
+        self.knn_into(queries, k, nprobe, &mut out)?;
+        Ok(out)
     }
 }
 
@@ -301,12 +317,30 @@ impl NnIndex {
         self.backend
     }
 
+    /// Feature width of the wrapped corpus.
+    pub fn dim(&self) -> usize {
+        self.corpus.cols()
+    }
+
     /// k-nearest neighbours of every query row under the configured
-    /// backend (exact full scan, or IVF probe + exact re-rank).
-    pub fn knn(&self, queries: &Tensor, k: usize) -> Vec<Vec<(usize, f32)>> {
+    /// backend (exact full scan, or IVF probe + exact re-rank). `k == 0`
+    /// and mismatched query widths are request errors on both backends.
+    pub fn knn(&self, queries: &Tensor, k: usize) -> TcslResult<Vec<Vec<(usize, f32)>>> {
         match (self.backend, &self.ivf) {
             (IndexBackend::Ivf { nprobe, .. }, Some(ivf)) => ivf.knn(queries, k, nprobe),
-            _ => pairdist::knn(queries, &self.corpus, k),
+            _ => {
+                if k == 0 {
+                    return Err(TcslError::config("knn: k must be at least 1"));
+                }
+                if queries.cols() != self.corpus.cols() {
+                    return Err(TcslError::shape_mismatch(
+                        "query feature width",
+                        self.corpus.cols(),
+                        queries.cols(),
+                    ));
+                }
+                Ok(pairdist::knn(queries, &self.corpus, k))
+            }
         }
     }
 }
@@ -344,7 +378,7 @@ mod tests {
         let (q, _) = blobs(3, 5, 7, 4.0, 14);
         let index = IvfIndex::build(&x, 6, 0);
         let exact = knn(&q, &x, 5);
-        let ivf = index.knn(&q, 5, index.nlist());
+        let ivf = index.knn(&q, 5, index.nlist()).unwrap();
         assert_eq!(exact.len(), ivf.len());
         for (e, v) in exact.iter().zip(&ivf) {
             assert_eq!(e.len(), v.len());
@@ -360,7 +394,7 @@ mod tests {
         let (x, _) = blobs(4, 25, 5, 8.0, 17);
         let index = IvfIndex::build(&x, 4, 0);
         let exact = knn(&x, &x, 1);
-        let ivf = index.knn(&x, 1, 1);
+        let ivf = index.knn(&x, 1, 1).unwrap();
         // Each row's own cell is always the nearest centroid, so 1-probe
         // self-queries find the exact self-match with its exact 0.0.
         for (i, row) in ivf.iter().enumerate() {
@@ -375,7 +409,7 @@ mod tests {
         let index = IvfIndex::build(&x, 99, 0);
         assert!(index.nlist() <= 4);
         let q = Tensor::from_vec(vec![0.4], [1, 1]);
-        let nn = index.knn(&q, 99, 99);
+        let nn = index.knn(&q, 99, 99).unwrap();
         assert_eq!(nn[0].len(), 4, "k clamps to the corpus size");
         assert_eq!(nn[0][0].0, 0);
     }
@@ -386,12 +420,12 @@ mod tests {
         let index = IvfIndex::build(&empty, 4, 0);
         assert_eq!(index.nlist(), 0);
         let q = Tensor::zeros([2, 3]);
-        let nn = index.knn(&q, 3, 1);
+        let nn = index.knn(&q, 3, 1).unwrap();
         assert_eq!(nn.len(), 2);
         assert!(nn.iter().all(|r| r.is_empty()));
         let (x, _) = blobs(2, 10, 3, 4.0, 19);
         let index = IvfIndex::build(&x, 2, 0);
-        assert!(index.knn(&Tensor::zeros([0, 3]), 3, 1).is_empty());
+        assert!(index.knn(&Tensor::zeros([0, 3]), 3, 1).unwrap().is_empty());
     }
 
     #[test]
@@ -400,10 +434,10 @@ mod tests {
         let (q, _) = blobs(3, 6, 4, 5.0, 24);
         let index = IvfIndex::build(&x, 4, 0);
         let mut out = Vec::new();
-        index.knn_into(&q, 3, 2, &mut out);
+        index.knn_into(&q, 3, 2, &mut out).unwrap();
         let ptrs: Vec<*const (usize, f32)> = out.iter().map(|r| r.as_ptr()).collect();
         let first = out.clone();
-        index.knn_into(&q, 3, 2, &mut out);
+        index.knn_into(&q, 3, 2, &mut out).unwrap();
         let ptrs2: Vec<*const (usize, f32)> = out.iter().map(|r| r.as_ptr()).collect();
         assert_eq!(ptrs, ptrs2, "inner buffers were reallocated");
         assert_eq!(first, out, "reused buffers changed the results");
@@ -422,6 +456,6 @@ mod tests {
                 nprobe: 5,
             },
         );
-        assert_eq!(exact.knn(&q, 4), full.knn(&q, 4));
+        assert_eq!(exact.knn(&q, 4).unwrap(), full.knn(&q, 4).unwrap());
     }
 }

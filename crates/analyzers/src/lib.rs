@@ -2,7 +2,9 @@
 // Index-based loops in the numeric kernels walk several parallel
 // buffers at once; iterator rewrites obscure that correspondence.
 #![allow(clippy::needless_range_loop)]
-
+// The error wall (clippy.toml) exempts test builds: tests assert on values
+// and unwrap() freely.
+#![cfg_attr(test, allow(clippy::disallowed_methods, clippy::disallowed_macros))]
 //! # tcsl-analyzers
 //!
 //! Task-oriented analyzers (paper §2.2, "Task solving"): the freezing mode
@@ -19,6 +21,7 @@
 //! experiment harnesses compare methods.
 
 pub mod anomaly;
+pub(crate) mod check;
 pub mod classify;
 pub mod cluster;
 pub mod index;

@@ -1,20 +1,34 @@
 //! Common analyzer interfaces.
+//!
+//! Every entry point is fallible: analyzers sit on the serving path behind
+//! the CLI and exploration sessions, so bad request data — empty or
+//! NaN-poisoned features, label mismatches, querying an unfitted model —
+//! is a typed [`TcslError`], not a panic (DESIGN.md, "Error taxonomy &
+//! panic policy").
 
+use tcsl_error::{TcslError, TcslResult};
 use tcsl_tensor::Tensor;
 
 /// A supervised classifier over feature vectors.
 pub trait Classifier {
     /// Fits the model to features `x` (`N×F`) and integer labels `y`.
-    fn fit(&mut self, x: &Tensor, y: &[usize]);
+    fn fit(&mut self, x: &Tensor, y: &[usize]) -> TcslResult<()>;
 
     /// Predicts one label per row of `x`.
-    fn predict(&self, x: &Tensor) -> Vec<usize>;
+    fn predict(&self, x: &Tensor) -> TcslResult<Vec<usize>>;
 
     /// Convenience: fraction of correct predictions on `(x, y)`.
-    fn accuracy(&self, x: &Tensor, y: &[usize]) -> f32 {
-        let pred = self.predict(x);
+    fn accuracy(&self, x: &Tensor, y: &[usize]) -> TcslResult<f32> {
+        if y.len() != x.rows() {
+            return Err(TcslError::shape_mismatch(
+                "accuracy labels",
+                format!("{} (one per row)", x.rows()),
+                y.len(),
+            ));
+        }
+        let pred = self.predict(x)?;
         let hits = pred.iter().zip(y).filter(|(p, t)| p == t).count();
-        hits as f32 / y.len().max(1) as f32
+        Ok(hits as f32 / y.len().max(1) as f32)
     }
 }
 
@@ -22,16 +36,16 @@ pub trait Classifier {
 pub trait Clusterer {
     /// Partitions the rows of `x` into clusters, returning one cluster id
     /// per row.
-    fn fit_predict(&mut self, x: &Tensor) -> Vec<usize>;
+    fn fit_predict(&mut self, x: &Tensor) -> TcslResult<Vec<usize>>;
 }
 
 /// An anomaly scorer: higher scores mean more anomalous.
 pub trait AnomalyScorer {
     /// Fits to (mostly normal) training features.
-    fn fit(&mut self, x: &Tensor);
+    fn fit(&mut self, x: &Tensor) -> TcslResult<()>;
 
     /// Anomaly score per row of `x` (higher = more anomalous).
-    fn score(&self, x: &Tensor) -> Vec<f32>;
+    fn score(&self, x: &Tensor) -> TcslResult<Vec<f32>>;
 }
 
 #[cfg(test)]
@@ -40,9 +54,11 @@ mod tests {
 
     struct Constant(usize);
     impl Classifier for Constant {
-        fn fit(&mut self, _x: &Tensor, _y: &[usize]) {}
-        fn predict(&self, x: &Tensor) -> Vec<usize> {
-            vec![self.0; x.rows()]
+        fn fit(&mut self, _x: &Tensor, _y: &[usize]) -> TcslResult<()> {
+            Ok(())
+        }
+        fn predict(&self, x: &Tensor) -> TcslResult<Vec<usize>> {
+            Ok(vec![self.0; x.rows()])
         }
     }
 
@@ -50,6 +66,14 @@ mod tests {
     fn accuracy_default_impl() {
         let c = Constant(1);
         let x = Tensor::zeros([4, 2]);
-        assert_eq!(c.accuracy(&x, &[1, 1, 0, 1]), 0.75);
+        assert_eq!(c.accuracy(&x, &[1, 1, 0, 1]).unwrap(), 0.75);
+    }
+
+    #[test]
+    fn accuracy_rejects_mismatched_labels() {
+        let c = Constant(0);
+        let x = Tensor::zeros([4, 2]);
+        let err = c.accuracy(&x, &[1, 1]).unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::ShapeMismatch);
     }
 }

@@ -10,6 +10,9 @@
 //! mirroring the tensor crate's `grid_knn_case` but driving the whole
 //! build → bucket → probe → re-rank pipeline.
 
+// Tests are exempt from the request-path error wall (clippy.toml).
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+
 use proptest::prelude::*;
 use tcsl_analyzers::index::IvfIndex;
 use tcsl_tensor::pairdist::knn;
@@ -63,7 +66,7 @@ proptest! {
     ) {
         let index = IvfIndex::build(&c, nlist, seed);
         let exact = knn(&q, &c, k);
-        let ivf = index.knn(&q, k, index.nlist());
+        let ivf = index.knn(&q, k, index.nlist()).unwrap();
         prop_assert_eq!(exact.len(), ivf.len());
         for (i, (e, v)) in exact.iter().zip(&ivf).enumerate() {
             prop_assert_eq!(e.len(), v.len(), "query {}", i);
@@ -84,7 +87,7 @@ proptest! {
         let index = IvfIndex::build(&c, nlist, seed);
         let nprobe = (index.nlist() / 2).max(1);
         let full = knn(&q, &c, c.rows().max(1));
-        let ivf = index.knn(&q, k, nprobe);
+        let ivf = index.knn(&q, k, nprobe).unwrap();
         for (i, row) in ivf.iter().enumerate() {
             prop_assert!(row.len() <= k.min(c.rows()));
             for w in row.windows(2) {

@@ -33,21 +33,21 @@ fn bench_analyzers(c: &mut Criterion) {
     group.bench_function("linear_svm", |b| {
         b.iter(|| {
             let mut m = LinearSvm::new();
-            m.fit(&x, &y);
+            m.fit(&x, &y).expect("bench features are well-formed");
             m.predict(&x)
         })
     });
     group.bench_function("logreg", |b| {
         b.iter(|| {
             let mut m = LogisticRegression::new().with_iterations(50);
-            m.fit(&x, &y);
+            m.fit(&x, &y).expect("bench features are well-formed");
             m.predict(&x)
         })
     });
     group.bench_function("gbdt_r10", |b| {
         b.iter(|| {
             let mut m = GradientBoosting::new(10);
-            m.fit(&x, &y);
+            m.fit(&x, &y).expect("bench features are well-formed");
             m.predict(&x)
         })
     });
@@ -55,7 +55,7 @@ fn bench_analyzers(c: &mut Criterion) {
     group.bench_function("iforest", |b| {
         b.iter(|| {
             let mut m = IsolationForest::new();
-            m.fit(&x);
+            m.fit(&x).expect("bench features are well-formed");
             m.score(&x)
         })
     });

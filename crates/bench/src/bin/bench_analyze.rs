@@ -282,8 +282,12 @@ fn main() {
         let (query_x, _) = blobs(classes, n_query_per, dim, 4.0, 22);
         let naive = run_leg(reps, || naive_knn_predict(&train_x, &train_y, &query_x, k));
         let mut clf = KnnClassifier::new(k);
-        clf.fit(&train_x, &train_y);
-        let blocked = run_leg(reps, || clf.predict(&query_x));
+        clf.fit(&train_x, &train_y)
+            .expect("bench features are well-formed");
+        let blocked = run_leg(reps, || {
+            clf.predict(&query_x)
+                .expect("bench features are well-formed")
+        });
         let labels_identical = naive.value == blocked.value;
         assert!(
             labels_identical,
@@ -324,7 +328,11 @@ fn main() {
     {
         let (x, _) = blobs(classes, n_train_per, dim, 6.0, 31);
         let naive = run_leg(reps, || naive_kmeans::fit_predict(classes, 4, 0, &x));
-        let blocked = run_leg(reps, || KMeans::new(classes).fit_predict(&x));
+        let blocked = run_leg(reps, || {
+            KMeans::new(classes)
+                .fit_predict(&x)
+                .expect("bench features are well-formed")
+        });
         let agreement = nmi(&naive.value, &blocked.value);
         let speedup = naive.best_secs / blocked.best_secs;
         let mut e = String::new();

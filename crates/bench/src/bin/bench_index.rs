@@ -104,7 +104,9 @@ fn main() {
         // Exact oracle (batched — identical results to per-row calls by
         // the engine's determinism contract) for recall, plus warm-up.
         let exact_nn = pairdist::knn(&queries, &corpus, K);
-        let ivf_nn = index.knn(&queries, K, nprobe);
+        let ivf_nn = index
+            .knn(&queries, K, nprobe)
+            .expect("bench queries share the corpus width");
         let mut hit = 0usize;
         let mut total = 0usize;
         for (e, v) in exact_nn.iter().zip(&ivf_nn) {
@@ -130,7 +132,9 @@ fn main() {
             .iter()
             .map(|q| {
                 let w = Stopwatch::start("bench.index_ivf_query");
-                index.knn_into(q, K, nprobe, &mut out);
+                index
+                    .knn_into(q, K, nprobe, &mut out)
+                    .expect("bench queries share the corpus width");
                 w.stop()
             })
             .collect();
@@ -141,7 +145,9 @@ fn main() {
         // Instrumented (untimed) pass for the probe counters.
         tcsl_obs::set_enabled(true);
         tcsl_obs::counters::reset();
-        index.knn(&queries, K, nprobe);
+        index
+            .knn(&queries, K, nprobe)
+            .expect("bench queries share the corpus width");
         let cells_probed = IVF_CELLS_PROBED.value();
         let candidates = IVF_CANDIDATES.value();
         tcsl_obs::set_enabled(false);
@@ -169,7 +175,9 @@ fn main() {
         let (corpus, queries) = low_rank_cloud(n, n_queries, 97);
         let index = IvfIndex::build(&corpus, (n as f64).sqrt().round() as usize, 0);
         let exact = pairdist::knn(&queries, &corpus, K);
-        let full = index.knn(&queries, K, index.nlist());
+        let full = index
+            .knn(&queries, K, index.nlist())
+            .expect("bench queries share the corpus width");
         for (e, v) in exact.iter().zip(&full) {
             assert_eq!(e.len(), v.len(), "full-probe IVF dropped neighbours");
             for (&(ei, ed), &(vi, vd)) in e.iter().zip(v) {

@@ -121,7 +121,9 @@ fn main() {
             std::hint::black_box(transform_series_oracle(&bank, &series));
         });
         let fused = profile_engine(|| {
-            std::hint::black_box(transform_series(&bank, &series));
+            std::hint::black_box(
+                transform_series(&bank, &series).expect("bench series are well-formed"),
+            );
         });
         let speedup = naive.secs_per_series / fused.secs_per_series;
 

@@ -136,11 +136,17 @@ fn main() {
                 init_from_data(&mut bank, &normed_train, 4, &mut seeded(SEED));
             }
             pretrain(&mut bank, &normed_train, &(v.csl)());
-            let ztr = transform_dataset(&bank, &normed_train);
-            let zte = transform_dataset(&bank, &test.znormed());
+            let ztr =
+                transform_dataset(&bank, &normed_train).expect("ablation datasets are well-formed");
+            let zte = transform_dataset(&bank, &test.znormed())
+                .expect("ablation datasets are well-formed");
             let mut svm = LinearSvm::new();
-            svm.fit(&ztr, train.labels().unwrap());
-            scores.push(accuracy(&svm.predict(&zte), test.labels().unwrap()));
+            svm.fit(&ztr, train.labels().unwrap())
+                .expect("ablation features are well-formed");
+            let pred = svm
+                .predict(&zte)
+                .expect("ablation features are well-formed");
+            scores.push(accuracy(&pred, test.labels().unwrap()));
         }
         let mean = scores.iter().sum::<f64>() / scores.len() as f64;
         let mut row = scores;

@@ -46,8 +46,13 @@ fn main() {
     let paper = ["0.75 (L=31)", "0.85 (L=97)", "—", "0.89 (L=188)"];
     let mut per_scale = Vec::new();
     for (i, len) in model.bank().scales().into_iter().enumerate() {
-        let sub = model.with_scale(len);
-        let acc = svm_accuracy(&sub.transform(&train), ytr, &sub.transform(&test), yte);
+        let sub = model.with_scale(len).expect("model has this scale");
+        let acc = svm_accuracy(
+            &sub.transform(&train).expect("uwave data is well-formed"),
+            ytr,
+            &sub.transform(&test).expect("uwave data is well-formed"),
+            yte,
+        );
         per_scale.push(acc);
         table.row(vec![
             format!("length {len} only"),
@@ -55,7 +60,12 @@ fn main() {
             paper.get(i).unwrap_or(&"—").to_string(),
         ]);
     }
-    let all = svm_accuracy(&model.transform(&train), ytr, &model.transform(&test), yte);
+    let all = svm_accuracy(
+        &model.transform(&train).expect("uwave data is well-formed"),
+        ytr,
+        &model.transform(&test).expect("uwave data is well-formed"),
+        yte,
+    );
     table.row(vec![
         "ALL shapelets".into(),
         format!("{all:.3}"),

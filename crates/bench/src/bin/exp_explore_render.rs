@@ -30,13 +30,15 @@ fn main() -> std::io::Result<()> {
         svg::learning_curve_chart(&report.epoch_total, "CSL training loss (step 2 diagnostic)"),
     )?;
 
-    let session = ExploreSession::new(model, test.clone());
+    let session = ExploreSession::new(model, test.clone()).expect("fig3 render inputs are valid");
 
     // (a) raw time series — a few per class.
     for i in [0usize, 10, 20] {
         fs::write(
             out.join(format!("a_series_{i}.svg")),
-            session.render_series(i),
+            session
+                .render_series(i)
+                .expect("fig3 render inputs are valid"),
         )?;
     }
     // (c) learned shapelets — one per scale.
@@ -53,11 +55,15 @@ fn main() -> std::io::Result<()> {
             .unwrap();
         fs::write(
             out.join(format!("c_shapelet_scale{si}_len{len}.svg")),
-            session.render_shapelet(col),
+            session
+                .render_shapelet(col)
+                .expect("fig3 render inputs are valid"),
         )?;
     }
     // (b) the Match button.
-    let m = session.match_shapelet(0, 0);
+    let m = session
+        .match_shapelet(0, 0)
+        .expect("fig3 render inputs are valid");
     println!(
         "match: shapelet 0 ↔ series 0 at t={}..{} ({} {:.4})",
         m.start,
@@ -65,10 +71,17 @@ fn main() -> std::io::Result<()> {
         m.measure.name(),
         m.score
     );
-    fs::write(out.join("b_match.svg"), session.render_match(0, 0))?;
+    fs::write(
+        out.join("b_match.svg"),
+        session
+            .render_match(0, 0)
+            .expect("fig3 render inputs are valid"),
+    )?;
 
     // (d) tabular view, sorted by the first euclidean shapelet.
-    let table = session.tabular(Some(&[0, 1, 2, 3, 4, 5]));
+    let table = session
+        .tabular(Some(&[0, 1, 2, 3, 4, 5]))
+        .expect("fig3 render inputs are valid");
     let order = table.sort_by(0, true);
     fs::write(out.join("d_tabular.txt"), table.render(Some(&order)))?;
 
@@ -77,7 +90,12 @@ fn main() -> std::io::Result<()> {
         iterations: 300,
         ..Default::default()
     };
-    fs::write(out.join("e_tsne.svg"), session.render_tsne(None, &cfg))?;
+    fs::write(
+        out.join("e_tsne.svg"),
+        session
+            .render_tsne(None, &cfg)
+            .expect("fig3 render inputs are valid"),
+    )?;
 
     println!("Figure 3 panels written to {}", out.display());
     Ok(())

@@ -41,8 +41,12 @@ fn main() {
         report.n_steps
     );
 
-    let ztr = model.transform(&train);
-    let zte = model.transform(&test);
+    let ztr = model
+        .transform(&train)
+        .expect("pipeline demo data is well-formed");
+    let zte = model
+        .transform(&test)
+        .expect("pipeline demo data is well-formed");
     let ytr = train.labels().unwrap();
     let yte = test.labels().unwrap();
 
@@ -56,25 +60,30 @@ fn main() {
         ("GBDT", Box::new(GradientBoosting::new(20))),
     ];
     for (name, mut clf) in analyzers {
-        clf.fit(&ztr, ytr);
-        table.row(vec![
-            name.into(),
-            format!("{:.3}", accuracy(&clf.predict(&zte), yte)),
-        ]);
+        clf.fit(&ztr, ytr)
+            .expect("pipeline demo data is well-formed");
+        let pred = clf
+            .predict(&zte)
+            .expect("pipeline demo data is well-formed");
+        table.row(vec![name.into(), format!("{:.3}", accuracy(&pred, yte))]);
     }
     println!("{}", table.to_ascii());
 
     println!("--- freezing mode: clustering analyzers ---");
     let mut table = Table::new(&["analyzer", "NMI", "ARI"]);
     let mut km = KMeans::new(train.n_classes());
-    let assign = km.fit_predict(&zte);
+    let assign = km
+        .fit_predict(&zte)
+        .expect("pipeline demo data is well-formed");
     table.row(vec![
         "k-means".into(),
         format!("{:.3}", nmi(&assign, yte)),
         format!("{:.3}", adjusted_rand_index(&assign, yte)),
     ]);
     let mut ag = Agglomerative::new(train.n_classes());
-    let assign = ag.fit_predict(&zte);
+    let assign = ag
+        .fit_predict(&zte)
+        .expect("pipeline demo data is well-formed");
     table.row(vec![
         "agglomerative".into(),
         format!("{:.3}", nmi(&assign, yte)),
@@ -88,7 +97,9 @@ fn main() {
         .map(|_| tcsl_data::TimeSeries::new(tcsl_tensor::Tensor::randn([2, 160], &mut rng)))
         .collect();
     let imposter_ds = tcsl_data::Dataset::unlabeled("imposters", imposters);
-    let zimp = model.transform(&imposter_ds);
+    let zimp = model
+        .transform(&imposter_ds)
+        .expect("pipeline demo data is well-formed");
     let truth: Vec<bool> = (0..zte.rows())
         .map(|_| false)
         .chain((0..20).map(|_| true))
@@ -104,9 +115,15 @@ fn main() {
             &mut (Box::new(KnnDistance::new(5)) as Box<dyn AnomalyScorer>),
         ),
     ] {
-        scorer.fit(&ztr);
-        let mut scores = scorer.score(&zte);
-        scores.extend(scorer.score(&zimp));
+        scorer.fit(&ztr).expect("pipeline demo data is well-formed");
+        let mut scores = scorer
+            .score(&zte)
+            .expect("pipeline demo data is well-formed");
+        scores.extend(
+            scorer
+                .score(&zimp)
+                .expect("pipeline demo data is well-formed"),
+        );
         table.row(vec![
             name.into(),
             format!("{:.3}", roc_auc(&scores, &truth)),
@@ -125,7 +142,10 @@ fn main() {
             ..Default::default()
         },
     );
-    let acc = accuracy(&head.predict(&tuned.transform(&test)), yte);
+    let zte_tuned = tuned
+        .transform(&test)
+        .expect("pipeline demo data is well-formed");
+    let acc = accuracy(&head.predict(&zte_tuned), yte);
     println!(
         "fine-tuned accuracy = {acc:.3} (loss {:.4} → {:.4} over {} epochs)",
         ft_report.epoch_loss[0],

@@ -60,14 +60,21 @@ fn main() {
                 ..Default::default()
             },
         );
-        let ft_acc = accuracy(&head.predict(&model.transform(&test)), yte);
+        let zte = model
+            .transform(&test)
+            .expect("bench datasets are well-formed");
+        let ft_acc = accuracy(&head.predict(&zte), yte);
 
         // Freeze mode on the same labeled set (ablation: how much does
         // fine-tuning add?).
         let frz_acc = svm_accuracy(
-            &pretrained.transform(&labeled),
+            &pretrained
+                .transform(&labeled)
+                .expect("bench datasets are well-formed"),
             labeled.labels().unwrap(),
-            &pretrained.transform(&test),
+            &pretrained
+                .transform(&test)
+                .expect("bench datasets are well-formed"),
             yte,
         );
 

@@ -46,11 +46,14 @@ pub fn run_classification_entry(entry: &ArchiveEntry, seed: u64) -> DatasetResul
         let zte = repr.encode(&test);
 
         let mut svm = LinearSvm::new();
-        svm.fit(&ztr, ytr);
-        acc.push(accuracy(&svm.predict(&zte), yte));
+        svm.fit(&ztr, ytr).expect("bench features are well-formed");
+        let pred = svm.predict(&zte).expect("bench features are well-formed");
+        acc.push(accuracy(&pred, yte));
 
         let mut km = KMeans::new(n_classes);
-        let assign = km.fit_predict(&zte);
+        let assign = km
+            .fit_predict(&zte)
+            .expect("bench features are well-formed");
         nmis.push(nmi(&assign, yte));
 
         times.push(repr.train_time.as_secs_f64());
@@ -92,8 +95,8 @@ pub fn run_anomaly_entry(entry: &ArchiveEntry, seed: u64) -> (String, Vec<&'stat
         let ztr = repr.encode(&train);
         let zte = repr.encode(&test);
         let mut forest = IsolationForest::new();
-        forest.fit(&ztr);
-        let scores = forest.score(&zte);
+        forest.fit(&ztr).expect("bench features are well-formed");
+        let scores = forest.score(&zte).expect("bench features are well-formed");
         names.push(repr.name);
         aucs.push(roc_auc(&scores, &truth));
     }
@@ -129,8 +132,9 @@ pub fn run_long_entry(entry: &ArchiveEntry, seed: u64) -> LongResult {
         let ztr = repr.encode(&train);
         let zte = repr.encode(&test);
         let mut svm = LinearSvm::new();
-        svm.fit(&ztr, ytr);
-        let a = accuracy(&svm.predict(&zte), yte);
+        svm.fit(&ztr, ytr).expect("bench features are well-formed");
+        let pred = svm.predict(&zte).expect("bench features are well-formed");
+        let a = accuracy(&pred, yte);
         methods.push(repr.name);
         acc.push(a);
         total.push(watch.stop());
@@ -160,8 +164,9 @@ pub fn svm_accuracy(
     yte: &[usize],
 ) -> f64 {
     let mut svm = LinearSvm::new();
-    svm.fit(ztr, ytr);
-    accuracy(&svm.predict(zte), yte)
+    svm.fit(ztr, ytr).expect("bench features are well-formed");
+    let pred = svm.predict(zte).expect("bench features are well-formed");
+    accuracy(&pred, yte)
 }
 
 /// Convenience: subset of `ds` with a stratified labeled fraction.

@@ -88,7 +88,11 @@ pub fn train_method(method: Method, train: &Dataset, seed: u64, long_series: boo
             TrainedRepr {
                 name: Method::Csl.name(),
                 train_time: report.wall_time,
-                embed: Box::new(move |ds| model.transform(ds)),
+                embed: Box::new(move |ds| {
+                    model
+                        .transform(ds)
+                        .expect("bench datasets are non-empty and finite")
+                }),
             }
         }
         Method::CnnSimclr | Method::CnnTloss | Method::CnnTnc => {

@@ -36,7 +36,9 @@ fn representations() -> (Tensor, Vec<usize>, Tensor, Vec<usize>) {
     let (model, _) = TimeCsl::pretrain(&train, Some(scfg), &ccfg);
     let ytr = train.labels().unwrap().to_vec();
     let yte = test.labels().unwrap().to_vec();
-    (model.transform(&train), ytr, model.transform(&test), yte)
+    let ztr = model.transform(&train).unwrap();
+    let zte = model.transform(&test).unwrap();
+    (ztr, ytr, zte, yte)
 }
 
 #[test]
@@ -47,8 +49,8 @@ fn engine_routing_matches_oracle_paths_end_to_end() {
     // k-NN classification: identical predicted labels to a full oracle
     // scan with the same vote and tie-break rules.
     let mut clf = KnnClassifier::new(k);
-    clf.fit(&ztr, &ytr);
-    let fast = clf.predict(&zte);
+    clf.fit(&ztr, &ytr).unwrap();
+    let fast = clf.predict(&zte).unwrap();
     let n_classes = ytr.iter().copied().max().unwrap() + 1;
     let slow: Vec<usize> = knn_oracle(&zte, &ztr, k)
         .into_iter()
@@ -70,8 +72,8 @@ fn engine_routing_matches_oracle_paths_end_to_end() {
     // tolerance — the two formulas round differently) from the same
     // neighbour sets.
     let mut scorer = KnnDistance::new(k);
-    scorer.fit(&ztr);
-    let fast_scores = scorer.score(&zte);
+    scorer.fit(&ztr).unwrap();
+    let fast_scores = scorer.score(&zte).unwrap();
     let slow_scores: Vec<f32> = knn_oracle(&zte, &ztr, k + 1)
         .into_iter()
         .map(|nn| {
@@ -96,7 +98,7 @@ fn engine_routing_matches_oracle_paths_end_to_end() {
     // Agglomerative clustering: the engine-built distance matrix must cut
     // to the same assignment as the oracle-built one.
     let ag = Agglomerative::new(2);
-    let fast_assign = ag.clone().fit_predict(&zte);
+    let fast_assign = ag.clone().fit_predict(&zte).unwrap();
     let oracle_matrix = pairdist_oracle(&zte, &zte).sqrt();
     assert_eq!(
         fast_assign,
@@ -107,7 +109,7 @@ fn engine_routing_matches_oracle_paths_end_to_end() {
     // k-means: every fitted assignment must be the scalar-scan argmin of
     // its row against the fitted centers (strict `<`, lowest index wins).
     let mut km = KMeans::new(2);
-    let assign = km.fit_predict(&zte);
+    let assign = km.fit_predict(&zte).unwrap();
     let centers = km.centers().unwrap();
     for (i, &got) in assign.iter().enumerate() {
         let mut best = 0usize;
@@ -158,7 +160,7 @@ fn ivf_full_probe_matches_exact_backend_on_learned_representations() {
 
     let index = IvfIndex::build(&ztr, nlist, 0);
     let exact_nn = tcsl_tensor::pairdist::knn(&zte, &ztr, k);
-    let ivf_nn = index.knn(&zte, k, index.nlist());
+    let ivf_nn = index.knn(&zte, k, index.nlist()).unwrap();
     for (i, (e, v)) in exact_nn.iter().zip(&ivf_nn).enumerate() {
         assert_eq!(e.len(), v.len(), "query {i}");
         for (&(ei, ed), &(vi, vd)) in e.iter().zip(v) {
@@ -168,21 +170,21 @@ fn ivf_full_probe_matches_exact_backend_on_learned_representations() {
     }
 
     let mut exact_clf = KnnClassifier::new(k);
-    exact_clf.fit(&ztr, &ytr);
+    exact_clf.fit(&ztr, &ytr).unwrap();
     let mut ivf_clf = KnnClassifier::with_backend(k, full);
-    ivf_clf.fit(&ztr, &ytr);
+    ivf_clf.fit(&ztr, &ytr).unwrap();
     assert_eq!(
-        exact_clf.predict(&zte),
-        ivf_clf.predict(&zte),
+        exact_clf.predict(&zte).unwrap(),
+        ivf_clf.predict(&zte).unwrap(),
         "IVF-backed kNN labels drifted from the exact backend"
     );
 
     let mut exact_scorer = KnnDistance::new(k);
-    exact_scorer.fit(&ztr);
+    exact_scorer.fit(&ztr).unwrap();
     let mut ivf_scorer = KnnDistance::with_backend(k, full);
-    ivf_scorer.fit(&ztr);
-    let es = exact_scorer.score(&zte);
-    let vs = ivf_scorer.score(&zte);
+    ivf_scorer.fit(&ztr).unwrap();
+    let es = exact_scorer.score(&zte).unwrap();
+    let vs = ivf_scorer.score(&zte).unwrap();
     for (i, (e, v)) in es.iter().zip(&vs).enumerate() {
         assert_eq!(e.to_bits(), v.to_bits(), "anomaly score {i}");
     }

@@ -1,5 +1,6 @@
 //! CSL training hyperparameters.
 
+use tcsl_error::{TcslError, TcslResult};
 use tcsl_shapelet::diff_transform::DiffPath;
 
 /// Configuration of unsupervised contrastive shapelet learning.
@@ -62,33 +63,41 @@ impl CslConfig {
         }
     }
 
-    /// Validates invariants; called by the trainer.
-    pub fn validate(&self) {
-        assert!(self.epochs >= 1, "need at least one epoch");
-        assert!(
-            self.batch_size >= 2,
-            "contrastive learning needs batch_size >= 2"
-        );
-        assert!(self.learning_rate > 0.0, "learning rate must be positive");
-        assert!(self.temperature > 0.0, "temperature must be positive");
-        assert!(
-            self.alignment_weight >= 0.0,
-            "alignment weight must be non-negative"
-        );
-        assert!(!self.grains.is_empty(), "need at least one grain");
-        assert!(
-            self.grains.iter().all(|&g| g > 0.0 && g <= 1.0),
-            "grains must be in (0, 1]"
-        );
-        assert!(
-            self.min_crop >= 1,
-            "min_crop must be at least 1 — a zero minimum lets tiny grains \
-             round crops down to zero-length views"
-        );
-        assert!(
-            (0.0..0.9).contains(&self.validation_frac),
-            "validation_frac must be in [0, 0.9)"
-        );
+    /// Validates invariants; called by the trainer. Each violation is a
+    /// [`TcslError::Config`] naming the offending field.
+    pub fn validate(&self) -> TcslResult<()> {
+        let bad = |msg: &str| Err(TcslError::config(msg.to_string()));
+        if self.epochs < 1 {
+            return bad("epochs: need at least one epoch");
+        }
+        if self.batch_size < 2 {
+            return bad("batch_size: contrastive learning needs batch_size >= 2");
+        }
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
+            return bad("learning_rate must be positive and finite");
+        }
+        if !(self.temperature.is_finite() && self.temperature > 0.0) {
+            return bad("temperature must be positive");
+        }
+        if !(self.alignment_weight.is_finite() && self.alignment_weight >= 0.0) {
+            return bad("alignment_weight must be non-negative");
+        }
+        if self.grains.is_empty() {
+            return bad("grains: need at least one grain");
+        }
+        if !self.grains.iter().all(|&g| g > 0.0 && g <= 1.0) {
+            return bad("grains must be in (0, 1]");
+        }
+        if self.min_crop < 1 {
+            return bad(
+                "min_crop must be at least 1 — a zero minimum lets tiny grains \
+                 round crops down to zero-length views",
+            );
+        }
+        if !(0.0..0.9).contains(&self.validation_frac) {
+            return bad("validation_frac must be in [0, 0.9)");
+        }
+        Ok(())
     }
 }
 
@@ -98,37 +107,57 @@ mod tests {
 
     #[test]
     fn default_is_valid() {
-        CslConfig::default().validate();
-        CslConfig::fast().validate();
+        CslConfig::default().validate().unwrap();
+        CslConfig::fast().validate().unwrap();
+    }
+
+    fn rejected_with(cfg: CslConfig, needle: &str) {
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::Config);
+        assert!(err.to_string().contains(needle), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "batch_size")]
     fn tiny_batch_rejected() {
-        CslConfig {
-            batch_size: 1,
-            ..Default::default()
-        }
-        .validate();
+        rejected_with(
+            CslConfig {
+                batch_size: 1,
+                ..Default::default()
+            },
+            "batch_size",
+        );
     }
 
     #[test]
-    #[should_panic(expected = "grains")]
     fn bad_grain_rejected() {
-        CslConfig {
-            grains: vec![1.5],
-            ..Default::default()
-        }
-        .validate();
+        rejected_with(
+            CslConfig {
+                grains: vec![1.5],
+                ..Default::default()
+            },
+            "grains",
+        );
     }
 
     #[test]
-    #[should_panic(expected = "min_crop")]
     fn zero_min_crop_rejected() {
-        CslConfig {
-            min_crop: 0,
-            ..Default::default()
-        }
-        .validate();
+        rejected_with(
+            CslConfig {
+                min_crop: 0,
+                ..Default::default()
+            },
+            "min_crop",
+        );
+    }
+
+    #[test]
+    fn nan_learning_rate_rejected() {
+        rejected_with(
+            CslConfig {
+                learning_rate: f32::NAN,
+                ..Default::default()
+            },
+            "learning_rate",
+        );
     }
 }

@@ -12,6 +12,7 @@ use crate::finetune::{fine_tune, FineTuneConfig, FineTuneReport, LinearHead};
 use crate::trainer::{pretrain, TrainingReport};
 use tcsl_data::normalize::{normalize_dataset, normalize_series, Normalization};
 use tcsl_data::{Dataset, TimeSeries};
+use tcsl_error::{TcslError, TcslResult};
 use tcsl_shapelet::init::init_from_data;
 use tcsl_shapelet::transform::{transform_dataset, transform_series};
 use tcsl_shapelet::{ShapeletBank, ShapeletConfig};
@@ -103,13 +104,16 @@ impl TimeCsl {
 
     /// Transforms a dataset into its `(N, D_repr)` representation
     /// (normalizing each series the way training did).
-    pub fn transform(&self, ds: &Dataset) -> Tensor {
+    ///
+    /// Empty datasets, dimension mismatches and non-finite samples are
+    /// request errors ([`TcslError`]), not panics.
+    pub fn transform(&self, ds: &Dataset) -> TcslResult<Tensor> {
         let normed = normalize_dataset(ds, self.normalization);
         transform_dataset(&self.bank, &normed)
     }
 
     /// Transforms one series.
-    pub fn transform_one(&self, s: &TimeSeries) -> Vec<f32> {
+    pub fn transform_one(&self, s: &TimeSeries) -> TcslResult<Vec<f32>> {
         let normed = normalize_series(s, self.normalization);
         transform_series(&self.bank, &normed)
     }
@@ -127,20 +131,23 @@ impl TimeCsl {
 
     /// Restricts the model to the shapelets behind the given feature
     /// columns — the demo's iterative re-analysis with a shapelet subset.
-    pub fn with_selected_features(&self, columns: &[usize]) -> TimeCsl {
-        TimeCsl {
-            bank: self.bank.subset_columns(columns),
+    /// Unknown or empty column selections are request errors.
+    pub fn with_selected_features(&self, columns: &[usize]) -> TcslResult<TimeCsl> {
+        Ok(TimeCsl {
+            bank: self.bank.subset_columns(columns)?,
             normalization: self.normalization,
-        }
+        })
     }
 
     /// Restricts the model to all shapelets of one length (the §3
     /// walkthrough: "redo Step 3 using the learned shapelets of length L").
-    pub fn with_scale(&self, len: usize) -> TimeCsl {
-        TimeCsl {
-            bank: self.bank.subset_scale(len),
+    /// A length the bank does not carry is a request error listing the
+    /// available scales.
+    pub fn with_scale(&self, len: usize) -> TcslResult<TimeCsl> {
+        Ok(TimeCsl {
+            bank: self.bank.subset_scale(len)?,
             normalization: self.normalization,
-        }
+        })
     }
 
     /// Serializes the model to a versioned text format: a `tcsl-model v2`
@@ -148,8 +155,8 @@ impl TimeCsl {
     /// A bank saved under `MinMax`/`None` therefore round-trips to the same
     /// features — PR-1-era files persisted only the bank and silently
     /// re-loaded as `ZScore`.
-    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_text())
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> TcslResult<()> {
+        tcsl_error::write_file(path, self.to_text())
     }
 
     /// The versioned model text format written by [`Self::save`].
@@ -165,15 +172,23 @@ impl TimeCsl {
     /// `tcsl-model v2` format and PR-1-era bare-bank files (which carry no
     /// normalization and load under the z-score default they were written
     /// with).
-    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<TimeCsl> {
-        let text = std::fs::read_to_string(path)?;
-        Self::from_text(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    pub fn load(path: impl AsRef<std::path::Path>) -> TcslResult<TimeCsl> {
+        use tcsl_error::ResultExt as _;
+        let text = tcsl_error::read_to_string(&path)?;
+        Self::from_text(&text).with_context(|| format!("loading model {}", path.as_ref().display()))
     }
 
     /// Parses the model text format (see [`Self::load`] for accepted
     /// versions).
-    pub fn from_text(text: &str) -> Result<TimeCsl, String> {
-        let first = text.lines().next().ok_or("empty model file")?;
+    ///
+    /// Structural damage (wrong magic, unsupported version, missing
+    /// sections, bad normalization tag) is [`TcslError::ModelFormat`];
+    /// non-numeric fields inside the bank are [`TcslError::Parse`].
+    pub fn from_text(text: &str) -> TcslResult<TimeCsl> {
+        let first = text
+            .lines()
+            .next()
+            .ok_or_else(|| TcslError::model_format("tcsl-model header", "empty model file"))?;
         if !first.starts_with("tcsl-model") {
             // Backward compatibility: a bare bank file (PR-1 era).
             let bank = ShapeletBank::from_text(text)?;
@@ -188,17 +203,24 @@ impl TimeCsl {
                 }
             }
             if let Some(v) = tok.strip_prefix("normalization=") {
-                normalization =
-                    Some(Normalization::parse(v).ok_or_else(|| format!("bad normalization {v}"))?);
+                normalization = Some(Normalization::parse(v).ok_or_else(|| {
+                    TcslError::model_format("normalization in {zscore, minmax, none}", v)
+                })?);
             }
         }
         if version.as_deref() != Some("2") {
-            return Err(format!("unsupported model header: {first}"));
+            return Err(TcslError::model_format("tcsl-model v2 header", first));
         }
-        let normalization = normalization.ok_or("missing normalization=")?;
+        let normalization = normalization
+            .ok_or_else(|| TcslError::model_format("normalization= in model header", first))?;
         let rest = match text.split_once('\n') {
             Some((_, rest)) => rest,
-            None => return Err("model file has no bank section".into()),
+            None => {
+                return Err(TcslError::model_format(
+                    "bank section after model header",
+                    "end of file",
+                ))
+            }
         };
         let bank = ShapeletBank::from_text(rest)?;
         Ok(TimeCsl::from_bank_normalized(bank, normalization))
@@ -236,12 +258,12 @@ mod tests {
         let (scfg, ccfg) = quick_cfg();
         let (model, report) = TimeCsl::pretrain(&train, Some(scfg), &ccfg);
         assert_eq!(report.epoch_total.len(), 3);
-        let feats = model.transform(&test);
+        let feats = model.transform(&test).unwrap();
         assert_eq!(feats.rows(), test.len());
         assert_eq!(feats.cols(), model.repr_dim());
         assert!(feats.all_finite());
         // Single-series path agrees with the batch path.
-        let one = model.transform_one(test.series(0));
+        let one = model.transform_one(test.series(0)).unwrap();
         for (a, b) in one.iter().zip(feats.row(0)) {
             assert!((a - b).abs() < 1e-5);
         }
@@ -271,12 +293,12 @@ mod tests {
         let (train, test) = archive::generate_split(&entry, 23);
         let (scfg, ccfg) = quick_cfg();
         let (model, _) = TimeCsl::pretrain(&train, Some(scfg), &ccfg);
-        let by_scale = model.with_scale(16);
+        let by_scale = model.with_scale(16).unwrap();
         assert_eq!(by_scale.repr_dim(), 8);
-        let feats = by_scale.transform(&test);
+        let feats = by_scale.transform(&test).unwrap();
         assert_eq!(feats.cols(), 8);
 
-        let by_cols = model.with_selected_features(&[0, 5, 9]);
+        let by_cols = model.with_selected_features(&[0, 5, 9]).unwrap();
         assert_eq!(by_cols.repr_dim(), 3);
     }
 
@@ -291,8 +313,8 @@ mod tests {
         let path = dir.join("model.tcsl");
         model.save(&path).unwrap();
         let loaded = TimeCsl::load(&path).unwrap();
-        let a = model.transform(&test);
-        let b = loaded.transform(&test);
+        let a = model.transform(&test).unwrap();
+        let b = loaded.transform(&test).unwrap();
         assert!(a.max_abs_diff(&b) < 1e-5);
         std::fs::remove_file(path).ok();
     }
@@ -310,8 +332,8 @@ mod tests {
             assert_eq!(model.normalization(), norm);
             let loaded = TimeCsl::from_text(&model.to_text()).unwrap();
             assert_eq!(loaded.normalization(), norm);
-            let a = model.transform(&test);
-            let b = loaded.transform(&test);
+            let a = model.transform(&test).unwrap();
+            let b = loaded.transform(&test).unwrap();
             assert!(a.max_abs_diff(&b) < 1e-5, "features changed under {norm:?}");
         }
         // Distinct normalizations must actually produce distinct features
@@ -319,7 +341,12 @@ mod tests {
         let (m1, _) =
             TimeCsl::pretrain_normalized(&train, Some(scfg.clone()), &ccfg, Normalization::ZScore);
         let wrong = TimeCsl::from_bank_normalized(m1.bank().clone(), Normalization::None);
-        assert!(m1.transform(&test).max_abs_diff(&wrong.transform(&test)) > 1e-3);
+        assert!(
+            m1.transform(&test)
+                .unwrap()
+                .max_abs_diff(&wrong.transform(&test).unwrap())
+                > 1e-3
+        );
     }
 
     #[test]
@@ -335,17 +362,29 @@ mod tests {
         assert!(
             model
                 .transform(&test)
-                .max_abs_diff(&loaded.transform(&test))
+                .unwrap()
+                .max_abs_diff(&loaded.transform(&test).unwrap())
                 < 1e-5
         );
     }
 
     #[test]
     fn model_text_rejects_garbage() {
-        assert!(TimeCsl::from_text("").is_err());
-        assert!(TimeCsl::from_text("tcsl-model v99 normalization=zscore\n").is_err());
-        assert!(TimeCsl::from_text("tcsl-model v2 normalization=sigma\n").is_err());
-        assert!(TimeCsl::from_text("tcsl-model v2\n").is_err());
-        assert!(TimeCsl::from_text("tcsl-model v2 normalization=zscore").is_err());
+        use tcsl_error::ErrorClass;
+        let class = |t: &str| TimeCsl::from_text(t).unwrap_err().class();
+        assert_eq!(class(""), ErrorClass::ModelFormat);
+        assert_eq!(
+            class("tcsl-model v99 normalization=zscore\n"),
+            ErrorClass::ModelFormat
+        );
+        assert_eq!(
+            class("tcsl-model v2 normalization=sigma\n"),
+            ErrorClass::ModelFormat
+        );
+        assert_eq!(class("tcsl-model v2\n"), ErrorClass::ModelFormat);
+        assert_eq!(
+            class("tcsl-model v2 normalization=zscore"),
+            ErrorClass::ModelFormat
+        );
     }
 }

@@ -21,6 +21,11 @@
 //! depends on the schedule, so training is bit-for-bit identical at any
 //! thread count (`training_is_thread_count_invariant`).
 
+// Training/experiment path — panics on internal bugs are policy here
+// (DESIGN.md, "Error taxonomy & panic policy"), so the request-path error
+// wall (clippy.toml) is lifted for this module.
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+
 use crate::config::CslConfig;
 use crate::loss::{multi_scale_alignment, nt_xent};
 use crate::views::{sample_views, ViewPair};
@@ -167,7 +172,11 @@ fn pair_forward_backward(
 /// optimizer step (training would otherwise silently no-op and report
 /// `0.0` losses).
 pub fn pretrain(bank: &mut ShapeletBank, ds: &Dataset, cfg: &CslConfig) -> TrainingReport {
-    cfg.validate();
+    // Training is a panicking layer (see DESIGN.md "Error taxonomy & panic
+    // policy"): surface the typed config error as a loud invariant failure.
+    if let Err(e) = cfg.validate() {
+        panic!("{e}");
+    }
     assert!(
         ds.len() >= 2,
         "contrastive pre-training needs at least two series"

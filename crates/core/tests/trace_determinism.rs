@@ -14,6 +14,9 @@
 //! `TCSL_THREADS` variable are process-global, so concurrent test threads
 //! would race on them.
 
+// Tests are exempt from the request-path error wall (clippy.toml).
+#![allow(clippy::disallowed_methods, clippy::disallowed_macros)]
+
 use tcsl_core::{pretrain, CslConfig};
 use tcsl_data::{archive, Dataset};
 use tcsl_obs::trace::Value;

@@ -287,6 +287,19 @@ pub fn by_name(name: &str) -> Option<ArchiveEntry> {
     all_entries().into_iter().find(|e| e.name == name)
 }
 
+/// Looks an entry up by name, or returns a [`TcslError::Config`] that
+/// lists every available dataset — the error the CLI shows for a typo'd
+/// dataset name.
+pub fn require(name: &str) -> tcsl_error::TcslResult<ArchiveEntry> {
+    by_name(name).ok_or_else(|| {
+        let names: Vec<&str> = all_entries().iter().map(|e| e.name).collect();
+        tcsl_error::TcslError::config(format!(
+            "unknown dataset '{name}'; available: {}",
+            names.join(", ")
+        ))
+    })
+}
+
 /// Generates the `(train, test)` split of an entry, deterministically in
 /// `seed`. Class-structured families share their class prototypes (e.g.
 /// motifs) between the splits, as a real archive would.
@@ -310,6 +323,8 @@ pub fn generate_split(entry: &ArchiveEntry, seed: u64) -> (Dataset, Dataset) {
                 Family::Periodic(cfg) => periodic::generate(cfg, per_class, &mut rng),
                 Family::Trend(cfg) => trend::generate(cfg, per_class, &mut rng),
                 Family::LeadLag(cfg) => leadlag::generate(cfg, per_class, &mut rng),
+                // Invariant: the anomaly family took the branch above.
+                #[allow(clippy::disallowed_macros)]
                 Family::Anomaly(_) => unreachable!("handled above"),
             };
             // Generators emit class blocks of `per_class` consecutive series;
@@ -352,6 +367,17 @@ mod tests {
     fn by_name_round_trip() {
         assert!(by_name("GestureFull").is_some());
         assert!(by_name("NoSuchDataset").is_none());
+    }
+
+    #[test]
+    fn require_lists_available_names_on_unknown() {
+        assert!(require("MotifEasy").is_ok());
+        let err = require("NoSuchDataset").unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::Config);
+        let msg = err.to_string();
+        assert!(msg.contains("NoSuchDataset"), "{msg}");
+        assert!(msg.contains("GestureFull"), "names listed: {msg}");
+        assert!(msg.contains("MotifEasy"), "names listed: {msg}");
     }
 
     #[test]

@@ -21,6 +21,22 @@ impl TimeSeries {
         TimeSeries { values }
     }
 
+    /// Fallible [`Self::new`] for request-path construction: a non-rank-2
+    /// or empty tensor is a typed error instead of a panic.
+    pub fn try_new(values: Tensor) -> tcsl_error::TcslResult<Self> {
+        if values.rank() != 2 {
+            return Err(tcsl_error::TcslError::shape_mismatch(
+                "time series tensor rank",
+                2,
+                values.rank(),
+            ));
+        }
+        if values.dim(0) == 0 || values.dim(1) == 0 {
+            return Err(tcsl_error::TcslError::empty("time series"));
+        }
+        Ok(TimeSeries { values })
+    }
+
     /// A univariate series from raw samples.
     pub fn univariate(samples: Vec<f32>) -> Self {
         let t = samples.len();
@@ -172,6 +188,8 @@ impl Dataset {
     }
 
     /// Label of series `i`. Panics if unlabeled.
+    // Panic-by-contract accessor; callers check `labels()` first.
+    #[allow(clippy::disallowed_methods)]
     pub fn label(&self, i: usize) -> usize {
         self.labels.as_ref().expect("dataset is unlabeled")[i]
     }

@@ -12,8 +12,8 @@
 
 use crate::dataset::{Dataset, TimeSeries};
 use std::fmt::Write as _;
-use std::io::{self, Read, Write};
 use std::path::Path;
+use tcsl_error::{TcslError, TcslResult};
 
 /// Serializes a dataset to the long-CSV string format.
 pub fn to_csv(ds: &Dataset) -> String {
@@ -35,12 +35,17 @@ pub fn to_csv(ds: &Dataset) -> String {
 ///
 /// Returns `Err` on malformed rows; a label of `-1` on every row yields an
 /// unlabeled dataset.
-pub fn from_csv(name: &str, text: &str) -> io::Result<Dataset> {
-    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+pub fn from_csv(name: &str, text: &str) -> TcslResult<Dataset> {
     let mut lines = text.lines();
-    let header = lines.next().ok_or_else(|| bad("empty csv".into()))?;
+    let header = lines
+        .next()
+        .ok_or_else(|| TcslError::empty(format!("csv {name}")))?;
     if header.trim() != "series,label,variable,t,value" {
-        return Err(bad(format!("unexpected header: {header}")));
+        return Err(TcslError::parse(
+            name,
+            1,
+            format!("unexpected header: {header}"),
+        ));
     }
     // rows[series][variable] = samples in t order.
     let mut rows: Vec<Vec<Vec<f32>>> = Vec::new();
@@ -53,23 +58,23 @@ pub fn from_csv(name: &str, text: &str) -> io::Result<Dataset> {
         let mut next = |what: &str| {
             parts
                 .next()
-                .ok_or_else(|| bad(format!("line {}: missing {what}", lineno + 2)))
+                .ok_or_else(|| TcslError::parse(name, lineno + 2, format!("missing {what}")))
         };
         let series: usize = next("series")?
             .parse()
-            .map_err(|e| bad(format!("line {}: bad series: {e}", lineno + 2)))?;
+            .map_err(|e| TcslError::parse(name, lineno + 2, format!("bad series: {e}")))?;
         let label: i64 = next("label")?
             .parse()
-            .map_err(|e| bad(format!("line {}: bad label: {e}", lineno + 2)))?;
+            .map_err(|e| TcslError::parse(name, lineno + 2, format!("bad label: {e}")))?;
         let var: usize = next("variable")?
             .parse()
-            .map_err(|e| bad(format!("line {}: bad variable: {e}", lineno + 2)))?;
+            .map_err(|e| TcslError::parse(name, lineno + 2, format!("bad variable: {e}")))?;
         let t: usize = next("t")?
             .parse()
-            .map_err(|e| bad(format!("line {}: bad t: {e}", lineno + 2)))?;
+            .map_err(|e| TcslError::parse(name, lineno + 2, format!("bad t: {e}")))?;
         let value: f32 = next("value")?
             .parse()
-            .map_err(|e| bad(format!("line {}: bad value: {e}", lineno + 2)))?;
+            .map_err(|e| TcslError::parse(name, lineno + 2, format!("bad value: {e}")))?;
         while rows.len() <= series {
             rows.push(Vec::new());
             labels.push(-1);
@@ -80,33 +85,46 @@ pub fn from_csv(name: &str, text: &str) -> io::Result<Dataset> {
             vars.push(Vec::new());
         }
         if vars[var].len() != t {
-            return Err(bad(format!(
-                "line {}: out-of-order t={t} for series {series} var {var} (expected {})",
+            return Err(TcslError::parse(
+                name,
                 lineno + 2,
-                vars[var].len()
-            )));
+                format!(
+                    "out-of-order t={t} for series {series} var {var} (expected {})",
+                    vars[var].len()
+                ),
+            ));
         }
         vars[var].push(value);
     }
     if rows.is_empty() {
-        return Err(bad("csv contains no observations".into()));
+        return Err(TcslError::empty(format!(
+            "csv {name} contains no observations"
+        )));
     }
     // Validate before constructing: `TimeSeries::multivariate` treats these
     // as internal invariants (panics), but here they are user data.
     let mut series = Vec::with_capacity(rows.len());
     for (i, vars) in rows.into_iter().enumerate() {
         if vars.is_empty() {
-            return Err(bad(format!(
-                "series {i} has no observations — series indices must be contiguous from 0"
-            )));
+            return Err(TcslError::parse(
+                name,
+                0,
+                format!(
+                    "series {i} has no observations — series indices must be contiguous from 0"
+                ),
+            ));
         }
         let t0 = vars[0].len();
         if let Some(v) = vars.iter().position(|v| v.len() != t0) {
-            return Err(bad(format!(
-                "series {i}: variable {v} has {} samples but variable 0 has {t0} — all \
-                 variables of a series must cover the same timesteps",
-                vars[v].len()
-            )));
+            return Err(TcslError::parse(
+                name,
+                0,
+                format!(
+                    "series {i}: variable {v} has {} samples but variable 0 has {t0} — all \
+                     variables of a series must cover the same timesteps",
+                    vars[v].len()
+                ),
+            ));
         }
         series.push(TimeSeries::multivariate(vars));
     }
@@ -119,20 +137,22 @@ pub fn from_csv(name: &str, text: &str) -> io::Result<Dataset> {
             labels.into_iter().map(|l| l as usize).collect(),
         ))
     } else {
-        Err(bad("mixed labeled and unlabeled series".into()))
+        Err(TcslError::parse(
+            name,
+            0,
+            "mixed labeled and unlabeled series",
+        ))
     }
 }
 
 /// Writes a dataset to a CSV file.
-pub fn save_csv(ds: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(to_csv(ds).as_bytes())
+pub fn save_csv(ds: &Dataset, path: impl AsRef<Path>) -> TcslResult<()> {
+    tcsl_error::write_file(path, to_csv(ds))
 }
 
 /// Reads a dataset from a CSV file.
-pub fn load_csv(name: &str, path: impl AsRef<Path>) -> io::Result<Dataset> {
-    let mut text = String::new();
-    std::fs::File::open(path)?.read_to_string(&mut text)?;
+pub fn load_csv(name: &str, path: impl AsRef<Path>) -> TcslResult<Dataset> {
+    let text = tcsl_error::read_to_string(path)?;
     from_csv(name, &text)
 }
 

@@ -19,8 +19,8 @@
 //! dense indices in first-appearance order (the mapping is returned).
 
 use crate::dataset::{Dataset, TimeSeries};
-use std::io::{self, Read};
 use std::path::Path;
+use tcsl_error::{TcslError, TcslResult};
 
 /// A parsed `.ts` file: the dataset plus the label-name mapping
 /// (`labels[i]` is the original string of class id `i`; empty when the
@@ -34,8 +34,8 @@ pub struct TsFile {
 }
 
 /// Parses `.ts` text.
-pub fn parse_ts(name: &str, text: &str) -> io::Result<TsFile> {
-    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+pub fn parse_ts(name: &str, text: &str) -> TcslResult<TsFile> {
+    let bad = |line: usize, msg: String| TcslError::parse(name, line, msg);
     let mut has_class_label = false;
     let mut in_data = false;
     let mut series = Vec::new();
@@ -57,10 +57,7 @@ pub fn parse_ts(name: &str, text: &str) -> io::Result<TsFile> {
                 // Other headers (@problemName, @univariate, ...) are
                 // informational for this reader.
             } else {
-                return Err(bad(format!(
-                    "line {}: expected header or @data",
-                    lineno + 1
-                )));
+                return Err(bad(lineno + 1, "expected header or @data".into()));
             }
             continue;
         }
@@ -70,13 +67,13 @@ pub fn parse_ts(name: &str, text: &str) -> io::Result<TsFile> {
             Some(
                 fields
                     .pop()
-                    .ok_or_else(|| bad(format!("line {}: missing class label", lineno + 1)))?,
+                    .ok_or_else(|| bad(lineno + 1, "missing class label".into()))?,
             )
         } else {
             None
         };
         if fields.is_empty() {
-            return Err(bad(format!("line {}: no dimensions", lineno + 1)));
+            return Err(bad(lineno + 1, "no dimensions".into()));
         }
         let mut vars: Vec<Vec<f32>> = Vec::with_capacity(fields.len());
         for (d, field) in fields.iter().enumerate() {
@@ -87,10 +84,7 @@ pub fn parse_ts(name: &str, text: &str) -> io::Result<TsFile> {
                     samples.push(f32::NAN); // bridged below
                 } else {
                     samples.push(tok.parse::<f32>().map_err(|e| {
-                        bad(format!(
-                            "line {}: dim {d}: bad value '{tok}': {e}",
-                            lineno + 1
-                        ))
+                        bad(lineno + 1, format!("dim {d}: bad value '{tok}': {e}"))
                     })?);
                 }
             }
@@ -99,10 +93,7 @@ pub fn parse_ts(name: &str, text: &str) -> io::Result<TsFile> {
         }
         let t0 = vars[0].len();
         if vars.iter().any(|v| v.len() != t0) {
-            return Err(bad(format!(
-                "line {}: dimensions have different lengths",
-                lineno + 1
-            )));
+            return Err(bad(lineno + 1, "dimensions have different lengths".into()));
         }
         series.push(TimeSeries::multivariate(vars));
         if let Some(label) = label_field {
@@ -118,7 +109,7 @@ pub fn parse_ts(name: &str, text: &str) -> io::Result<TsFile> {
         }
     }
     if series.is_empty() {
-        return Err(bad("no data lines found".into()));
+        return Err(TcslError::empty(format!("ts {name}: no data lines found")));
     }
     let dataset = if has_class_label {
         Dataset::labeled(name, series, labels)
@@ -163,9 +154,8 @@ fn bridge_missing(xs: &mut [f32]) {
 }
 
 /// Loads a `.ts` file from disk.
-pub fn load_ts(name: &str, path: impl AsRef<Path>) -> io::Result<TsFile> {
-    let mut text = String::new();
-    std::fs::File::open(path)?.read_to_string(&mut text)?;
+pub fn load_ts(name: &str, path: impl AsRef<Path>) -> TcslResult<TsFile> {
+    let text = tcsl_error::read_to_string(path)?;
     parse_ts(name, &text)
 }
 

@@ -86,6 +86,7 @@ pub fn variance_scores(features: &Tensor) -> Vec<f64> {
 /// Indices of the `k` highest-scoring columns, best first.
 pub fn top_k(scores: &[f64], k: usize) -> Vec<usize> {
     let mut order: Vec<usize> = (0..scores.len()).collect();
+    #[allow(clippy::disallowed_methods)] // scores come from a validated transform
     order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
     order.truncate(k);
     order

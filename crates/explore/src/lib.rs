@@ -1,5 +1,7 @@
 #![warn(missing_docs)]
-
+// The error wall (clippy.toml) exempts test builds: tests assert on values
+// and unwrap() freely.
+#![cfg_attr(test, allow(clippy::disallowed_methods, clippy::disallowed_macros))]
 //! # tcsl-explore
 //!
 //! Explorable Time Series Analysis (paper §2.2 "Visual exploration" and §3

@@ -5,6 +5,7 @@
 
 use crate::session::ExploreSession;
 use crate::tsne::TsneConfig;
+use tcsl_error::TcslResult;
 
 /// What to include in the report.
 #[derive(Clone, Debug)]
@@ -35,7 +36,8 @@ impl Default for ReportConfig {
 }
 
 /// Renders the full exploration report as a standalone HTML string.
-pub fn html_report(session: &ExploreSession, cfg: &ReportConfig) -> String {
+/// Out-of-range panel indices surface as typed errors from the session.
+pub fn html_report(session: &ExploreSession, cfg: &ReportConfig) -> TcslResult<String> {
     let mut body = String::new();
     let ds = session.dataset();
     body.push_str(&format!(
@@ -48,20 +50,20 @@ pub fn html_report(session: &ExploreSession, cfg: &ReportConfig) -> String {
 
     body.push_str("<h2>(a) Time series</h2>\n<div class=\"row\">\n");
     for &i in &cfg.series {
-        body.push_str(&session.render_series(i));
+        body.push_str(&session.render_series(i)?);
     }
     body.push_str("</div>\n");
 
     body.push_str("<h2>(c) Learned shapelets</h2>\n<div class=\"row\">\n");
     for &col in &cfg.shapelets {
-        body.push_str(&session.render_shapelet(col));
+        body.push_str(&session.render_shapelet(col)?);
     }
     body.push_str("</div>\n");
 
     body.push_str("<h2>(b) Best matches</h2>\n<div class=\"row\">\n");
     if let Some(&first_series) = cfg.series.first() {
         for &col in &cfg.shapelets {
-            body.push_str(&session.render_match(first_series, col));
+            body.push_str(&session.render_match(first_series, col)?);
         }
     }
     body.push_str("</div>\n");
@@ -72,14 +74,14 @@ pub fn html_report(session: &ExploreSession, cfg: &ReportConfig) -> String {
     } else {
         cfg.table_columns.clone()
     };
-    let table = session.tabular(Some(&cols));
+    let table = session.tabular(Some(&cols))?;
     let order = table.sort_by(0, true);
     body.push_str(&format!("<pre>{}</pre>\n", table.render(Some(&order))));
 
     body.push_str("<h2>(e) t-SNE of the representation</h2>\n");
-    body.push_str(&session.render_tsne(None, &cfg.tsne));
+    body.push_str(&session.render_tsne(None, &cfg.tsne)?);
 
-    format!(
+    Ok(format!(
         concat!(
             "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">",
             "<title>TimeCSL exploration</title>",
@@ -89,7 +91,7 @@ pub fn html_report(session: &ExploreSession, cfg: &ReportConfig) -> String {
             "</head><body>\n{}\n</body></html>\n"
         ),
         body
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -116,13 +118,13 @@ mod tests {
             ..Default::default()
         };
         let (model, _) = TimeCsl::pretrain(&train, Some(scfg), &ccfg);
-        ExploreSession::new(model, test)
+        ExploreSession::new(model, test).unwrap()
     }
 
     #[test]
     fn report_contains_all_panels() {
         let s = session();
-        let html = html_report(&s, &ReportConfig::default());
+        let html = html_report(&s, &ReportConfig::default()).unwrap();
         assert!(html.starts_with("<!DOCTYPE html>"));
         assert!(html.contains("(a) Time series"));
         assert!(html.contains("(b) Best matches"));
@@ -142,9 +144,20 @@ mod tests {
             table_columns: vec![1, 2],
             ..Default::default()
         };
-        let html = html_report(&s, &cfg);
+        let html = html_report(&s, &cfg).unwrap();
         // Two shapelet panels and two match panels.
         assert!(html.matches("shapelet 0").count() >= 1);
         assert!(html.matches("shapelet 3").count() >= 1);
+    }
+
+    #[test]
+    fn out_of_range_panel_is_a_typed_error() {
+        let s = session();
+        let cfg = ReportConfig {
+            series: vec![s.dataset().len() + 5],
+            ..Default::default()
+        };
+        let err = html_report(&s, &cfg).unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::Config);
     }
 }

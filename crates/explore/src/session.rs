@@ -5,6 +5,10 @@
 //! view a series or shapelet, "Match" a shapelet against a series, "Show in
 //! Tabular", "Show in t-SNE", and derive a reduced model from a shapelet
 //! selection to redo the analysis.
+//!
+//! Every entry point that depends on request data — series/column indices,
+//! dataset size — is fallible and returns a typed [`TcslError`] instead of
+//! panicking (DESIGN.md, "Error taxonomy & panic policy").
 
 use crate::svg;
 use crate::tabular::FeatureTable;
@@ -12,10 +16,12 @@ use crate::tsne::{tsne, TsneConfig};
 use tcsl_core::TimeCsl;
 use tcsl_data::normalize::{normalize_series, Normalization};
 use tcsl_data::Dataset;
+use tcsl_error::{TcslError, TcslResult};
 use tcsl_shapelet::matching::{best_match_for_feature, ShapeletMatch};
 use tcsl_tensor::Tensor;
 
 /// An interactive exploration session over one dataset.
+#[derive(Debug)]
 pub struct ExploreSession {
     model: TimeCsl,
     dataset: Dataset,
@@ -24,14 +30,14 @@ pub struct ExploreSession {
 
 impl ExploreSession {
     /// Builds a session, computing (and caching) the representation.
-    pub fn new(model: TimeCsl, dataset: Dataset) -> Self {
-        assert!(!dataset.is_empty(), "cannot explore an empty dataset");
-        let features = model.transform(&dataset);
-        ExploreSession {
+    /// Empty datasets are an [`EmptyInput`](tcsl_error::ErrorClass) error.
+    pub fn new(model: TimeCsl, dataset: Dataset) -> TcslResult<Self> {
+        let features = model.transform(&dataset)?;
+        Ok(ExploreSession {
             model,
             dataset,
             features,
-        }
+        })
     }
 
     /// The wrapped model.
@@ -49,29 +55,57 @@ impl ExploreSession {
         &self.features
     }
 
+    /// Out-of-range series index → `Config` (request error).
+    fn check_series(&self, i: usize) -> TcslResult<()> {
+        if i >= self.dataset.len() {
+            return Err(TcslError::config(format!(
+                "series index {i} out of range: dataset {} has {} series",
+                self.dataset.name,
+                self.dataset.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Out-of-range feature columns → `Config` (request error).
+    fn check_columns(&self, columns: &[usize]) -> TcslResult<()> {
+        if columns.is_empty() {
+            return Err(TcslError::config("select at least one feature column"));
+        }
+        let width = self.features.cols();
+        if let Some(&bad) = columns.iter().find(|&&c| c >= width) {
+            return Err(TcslError::config(format!(
+                "feature column {bad} out of range: representation has {width} columns"
+            )));
+        }
+        Ok(())
+    }
+
     /// Fig. 3a: renders series `i` as SVG.
-    pub fn render_series(&self, i: usize) -> String {
-        svg::series_chart(
+    pub fn render_series(&self, i: usize) -> TcslResult<String> {
+        self.check_series(i)?;
+        Ok(svg::series_chart(
             self.dataset.series(i),
             &format!("{} — series {i}", self.dataset.name),
-        )
+        ))
     }
 
     /// Fig. 3c: renders the shapelet behind feature column `col` as SVG.
-    pub fn render_shapelet(&self, col: usize) -> String {
-        let (gi, k) = self.model.bank().feature_to_shapelet(col);
+    pub fn render_shapelet(&self, col: usize) -> TcslResult<String> {
+        let (gi, k) = self.model.bank().feature_to_shapelet(col)?;
         let grp = &self.model.bank().groups()[gi];
         let shapelet = grp.shapelet(k, self.model.bank().d);
         let pseudo = tcsl_data::TimeSeries::new(shapelet);
-        svg::series_chart(
+        Ok(svg::series_chart(
             &pseudo,
             &format!("shapelet {} (len {}, {})", col, grp.len, grp.measure.name()),
-        )
+        ))
     }
 
     /// The demo's "Match" button: locates the best-matching subsequence of
     /// shapelet `col` in series `i`.
-    pub fn match_shapelet(&self, i: usize, col: usize) -> ShapeletMatch {
+    pub fn match_shapelet(&self, i: usize, col: usize) -> TcslResult<ShapeletMatch> {
+        self.check_series(i)?;
         // Matching runs on the normalized series — the space the features
         // live in.
         let normed = normalize_series(self.dataset.series(i), Normalization::ZScore);
@@ -79,48 +113,63 @@ impl ExploreSession {
     }
 
     /// Fig. 3b: renders the match of shapelet `col` in series `i` as SVG.
-    pub fn render_match(&self, i: usize, col: usize) -> String {
+    pub fn render_match(&self, i: usize, col: usize) -> TcslResult<String> {
+        self.check_series(i)?;
         let normed = normalize_series(self.dataset.series(i), Normalization::ZScore);
-        let m = best_match_for_feature(self.model.bank(), col, &normed);
-        let (gi, k) = self.model.bank().feature_to_shapelet(col);
+        let m = best_match_for_feature(self.model.bank(), col, &normed)?;
+        let (gi, k) = self.model.bank().feature_to_shapelet(col)?;
         let shapelet = self.model.bank().groups()[gi].shapelet(k, self.model.bank().d);
-        svg::match_chart(
+        Ok(svg::match_chart(
             &normed,
             &shapelet,
             m.start,
             m.score,
             &format!("series {i} × shapelet {col}"),
-        )
+        ))
     }
 
     /// Fig. 3d: the tabular feature view over selected columns (all when
     /// `None`).
-    pub fn tabular(&self, columns: Option<&[usize]>) -> FeatureTable {
+    pub fn tabular(&self, columns: Option<&[usize]>) -> TcslResult<FeatureTable> {
         let full = FeatureTable::new(self.model.feature_names(), self.features.clone());
         match columns {
-            Some(cols) => full.select_columns(cols),
-            None => full,
+            Some(cols) => {
+                self.check_columns(cols)?;
+                Ok(full.select_columns(cols))
+            }
+            None => Ok(full),
         }
     }
 
     /// Fig. 3e: t-SNE of the representation restricted to selected columns
     /// (all when `None`). Returns the `(N, 2)` layout.
-    pub fn tsne_embedding(&self, columns: Option<&[usize]>, cfg: &TsneConfig) -> Tensor {
+    pub fn tsne_embedding(
+        &self,
+        columns: Option<&[usize]>,
+        cfg: &TsneConfig,
+    ) -> TcslResult<Tensor> {
+        if self.dataset.len() < 4 {
+            return Err(TcslError::config(format!(
+                "t-SNE needs at least 4 series; dataset {} has {}",
+                self.dataset.name,
+                self.dataset.len()
+            )));
+        }
         let feats = match columns {
-            Some(cols) => self.tabular(Some(cols)).matrix().clone(),
+            Some(cols) => self.tabular(Some(cols))?.matrix().clone(),
             None => self.features.clone(),
         };
-        tsne(&feats, cfg)
+        Ok(tsne(&feats, cfg))
     }
 
     /// Fig. 3e rendered: t-SNE scatter coloured by labels when present.
-    pub fn render_tsne(&self, columns: Option<&[usize]>, cfg: &TsneConfig) -> String {
-        let layout = self.tsne_embedding(columns, cfg);
-        svg::scatter_chart(
+    pub fn render_tsne(&self, columns: Option<&[usize]>, cfg: &TsneConfig) -> TcslResult<String> {
+        let layout = self.tsne_embedding(columns, cfg)?;
+        Ok(svg::scatter_chart(
             &layout,
             self.dataset.labels(),
             &format!("{} — t-SNE of shapelet features", self.dataset.name),
-        )
+        ))
     }
 
     /// Suggests the `k` most "interesting" shapelets to explore: ANOVA-F
@@ -139,15 +188,15 @@ impl ExploreSession {
     /// Derives a reduced session using only the selected feature columns —
     /// the "redo Step 3 with the shapelets of interest" loop. The analysis
     /// can then be re-run on `reduced.features()`.
-    pub fn with_selected(&self, columns: &[usize]) -> ExploreSession {
-        let model = self.model.with_selected_features(columns);
+    pub fn with_selected(&self, columns: &[usize]) -> TcslResult<ExploreSession> {
+        let model = self.model.with_selected_features(columns)?;
         ExploreSession::new(model, self.dataset.clone())
     }
 
     /// Derives a reduced session keeping one scale only (§3: "restart Step 3
     /// using the learned shapelets of length L").
-    pub fn with_scale(&self, len: usize) -> ExploreSession {
-        let model = self.model.with_scale(len);
+    pub fn with_scale(&self, len: usize) -> TcslResult<ExploreSession> {
+        let model = self.model.with_scale(len)?;
         ExploreSession::new(model, self.dataset.clone())
     }
 }
@@ -157,6 +206,7 @@ mod tests {
     use super::*;
     use tcsl_core::CslConfig;
     use tcsl_data::archive;
+    use tcsl_error::ErrorClass;
     use tcsl_shapelet::{Measure, ShapeletConfig};
 
     fn session() -> ExploreSession {
@@ -176,7 +226,7 @@ mod tests {
             ..Default::default()
         };
         let (model, _) = TimeCsl::pretrain(&train, Some(scfg), &ccfg);
-        ExploreSession::new(model, test)
+        ExploreSession::new(model, test).unwrap()
     }
 
     #[test]
@@ -190,7 +240,7 @@ mod tests {
     fn match_score_equals_cached_feature() {
         let s = session();
         for col in [0usize, 5, 11] {
-            let m = s.match_shapelet(2, col);
+            let m = s.match_shapelet(2, col).unwrap();
             assert!(
                 (m.score - s.features().at2(2, col)).abs() < 1e-4,
                 "column {col}: {} vs {}",
@@ -203,24 +253,26 @@ mod tests {
     #[test]
     fn svg_panels_render() {
         let s = session();
-        assert!(s.render_series(0).starts_with("<svg"));
-        assert!(s.render_shapelet(3).contains("shapelet 3"));
-        let m = s.render_match(1, 0);
+        assert!(s.render_series(0).unwrap().starts_with("<svg"));
+        assert!(s.render_shapelet(3).unwrap().contains("shapelet 3"));
+        let m = s.render_match(1, 0).unwrap();
         assert!(m.contains("stroke-dasharray"));
-        let t = s.render_tsne(
-            None,
-            &TsneConfig {
-                iterations: 30,
-                ..Default::default()
-            },
-        );
+        let t = s
+            .render_tsne(
+                None,
+                &TsneConfig {
+                    iterations: 30,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         assert!(t.matches("<circle").count() == s.dataset().len());
     }
 
     #[test]
     fn tabular_sorting_round_trip() {
         let s = session();
-        let table = s.tabular(Some(&[0, 1]));
+        let table = s.tabular(Some(&[0, 1])).unwrap();
         assert_eq!(table.column_names().len(), 2);
         let order = table.sort_by(0, true);
         assert_eq!(order.len(), s.dataset().len());
@@ -247,14 +299,74 @@ mod tests {
     #[test]
     fn selection_reduces_dimensions_consistently() {
         let s = session();
-        let reduced = s.with_selected(&[0, 2, 7]);
+        let reduced = s.with_selected(&[0, 2, 7]).unwrap();
         assert_eq!(reduced.features().cols(), 3);
         // Selected columns carry the same values as in the full session.
         for i in 0..s.dataset().len() {
             assert!((reduced.features().at2(i, 0) - s.features().at2(i, 0)).abs() < 1e-5);
             assert!((reduced.features().at2(i, 2) - s.features().at2(i, 7)).abs() < 1e-5);
         }
-        let by_scale = s.with_scale(16);
+        let by_scale = s.with_scale(16).unwrap();
         assert_eq!(by_scale.features().cols(), 6);
+    }
+
+    #[test]
+    fn bad_requests_are_typed_errors_not_panics() {
+        let s = session();
+        let n = s.dataset().len();
+        let width = s.features().cols();
+
+        // Out-of-range series index → Config, names the dataset.
+        let err = s.render_series(n + 3).unwrap_err();
+        assert_eq!(err.class(), ErrorClass::Config);
+        assert!(err.to_string().contains("out of range"), "{err}");
+        assert_eq!(
+            s.match_shapelet(n, 0).unwrap_err().class(),
+            ErrorClass::Config
+        );
+        assert_eq!(
+            s.render_match(n, 0).unwrap_err().class(),
+            ErrorClass::Config
+        );
+
+        // Out-of-range feature column → typed error from the bank / session.
+        assert!(s.render_shapelet(width + 10).is_err());
+        assert!(s.match_shapelet(0, width + 10).is_err());
+        assert_eq!(
+            s.tabular(Some(&[width])).unwrap_err().class(),
+            ErrorClass::Config
+        );
+        assert_eq!(
+            s.tabular(Some(&[])).unwrap_err().class(),
+            ErrorClass::Config
+        );
+        assert_eq!(
+            s.with_selected(&[width + 1]).unwrap_err().class(),
+            ErrorClass::Config
+        );
+
+        // A scale the model never learned → typed error, not a panic.
+        assert!(s.with_scale(9999).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_is_a_typed_error() {
+        let s = session();
+        let empty = Dataset::unlabeled("empty", Vec::new());
+        let err = ExploreSession::new(s.model().clone(), empty).unwrap_err();
+        assert_eq!(err.class(), ErrorClass::EmptyInput);
+    }
+
+    #[test]
+    fn tiny_dataset_tsne_is_a_config_error() {
+        let s = session();
+        let tiny = Dataset::unlabeled(
+            "tiny",
+            (0..3).map(|i| s.dataset().series(i).clone()).collect(),
+        );
+        let small = ExploreSession::new(s.model().clone(), tiny).unwrap();
+        let err = small.render_tsne(None, &TsneConfig::default()).unwrap_err();
+        assert_eq!(err.class(), ErrorClass::Config);
+        assert!(err.to_string().contains("at least 4"), "{err}");
     }
 }

@@ -61,6 +61,7 @@ impl FeatureTable {
             "column {column} out of range"
         );
         let mut order: Vec<usize> = (0..self.features.rows()).collect();
+        #[allow(clippy::disallowed_methods)] // features come from a validated transform
         order.sort_by(|&a, &b| {
             let cmp = self
                 .features

@@ -214,6 +214,46 @@ pub static IVF_CELLS_PROBED: Counter = Counter::new("ivf.cells_probed");
 /// would touch).
 pub static IVF_CANDIDATES: Counter = Counter::new("ivf.candidates");
 
+// Failed requests by error class — one well-known counter per variant of
+// the workspace `TcslError` taxonomy (`tcsl-obs` stays dependency-free, so
+// the mapping is by the class's snake name; see [`error_counter`]). The CLI
+// bumps these before `finish_run`, so a failed run's summary still carries
+// a valid, attributed error tally.
+
+/// Failed requests: configuration / API misuse (`TcslError::Config`).
+pub static ERROR_CONFIG: Counter = Counter::new("error.config");
+/// Failed requests: filesystem I/O (`TcslError::Io`).
+pub static ERROR_IO: Counter = Counter::new("error.io");
+/// Failed requests: text parsing (`TcslError::Parse`).
+pub static ERROR_PARSE: Counter = Counter::new("error.parse");
+/// Failed requests: model-file structure (`TcslError::ModelFormat`).
+pub static ERROR_MODEL_FORMAT: Counter = Counter::new("error.model_format");
+/// Failed requests: dimension mismatches (`TcslError::ShapeMismatch`).
+pub static ERROR_SHAPE_MISMATCH: Counter = Counter::new("error.shape_mismatch");
+/// Failed requests: empty inputs (`TcslError::EmptyInput`).
+pub static ERROR_EMPTY_INPUT: Counter = Counter::new("error.empty_input");
+/// Failed requests: NaN/inf inputs (`TcslError::NonFiniteInput`).
+pub static ERROR_NON_FINITE_INPUT: Counter = Counter::new("error.non_finite_input");
+/// Failed requests: broken internal invariants (`TcslError::Internal`).
+pub static ERROR_INTERNAL: Counter = Counter::new("error.internal");
+
+/// Looks up the failed-request counter for an error class by its snake
+/// name (`TcslError::class().name()`). Unknown names — a class added to
+/// the taxonomy without a counter here — fall back to [`ERROR_INTERNAL`]
+/// so no failure goes untallied.
+pub fn error_counter(class_name: &str) -> &'static Counter {
+    match class_name {
+        "config" => &ERROR_CONFIG,
+        "io" => &ERROR_IO,
+        "parse" => &ERROR_PARSE,
+        "model_format" => &ERROR_MODEL_FORMAT,
+        "shape_mismatch" => &ERROR_SHAPE_MISMATCH,
+        "empty_input" => &ERROR_EMPTY_INPUT,
+        "non_finite_input" => &ERROR_NON_FINITE_INPUT,
+        _ => &ERROR_INTERNAL,
+    }
+}
+
 /// Workers resident in the persistent thread pool. Written only when the
 /// pool grows (lazy init / a dispatch that needed more workers), **never**
 /// from the serial fallback path — the old per-dispatch last-writer-wins
@@ -244,6 +284,14 @@ static WELL_KNOWN: &[&Counter] = &[
     &SHAPELET_POOL_BLOCKED,
     &IVF_CELLS_PROBED,
     &IVF_CANDIDATES,
+    &ERROR_CONFIG,
+    &ERROR_IO,
+    &ERROR_PARSE,
+    &ERROR_MODEL_FORMAT,
+    &ERROR_SHAPE_MISMATCH,
+    &ERROR_EMPTY_INPUT,
+    &ERROR_NON_FINITE_INPUT,
+    &ERROR_INTERNAL,
 ];
 
 static WELL_KNOWN_GAUGES: &[&Gauge] = &[&PARALLEL_THREADS];
@@ -471,6 +519,37 @@ mod tests {
         // Disabled-overhead pricing still counts their gate checks.
         POOL_DISPATCH.add(1);
         assert_eq!(counter_hits_upper_bound(), 1);
+        crate::set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn error_counters_resolve_by_class_name() {
+        let _g = testlock::hold();
+        crate::set_enabled(true);
+        reset();
+        // Every taxonomy class maps to its own well-known counter...
+        error_counter("parse").add(1);
+        error_counter("io").add(2);
+        assert_eq!(ERROR_PARSE.value(), 1);
+        assert_eq!(ERROR_IO.value(), 2);
+        // ...and an unknown class lands on `internal`, never dropped.
+        error_counter("not_a_class").add(1);
+        assert_eq!(ERROR_INTERNAL.value(), 1);
+        // Present (zero-valued when untouched) in the deterministic snapshot.
+        let snap = counter_snapshot();
+        for name in [
+            "error.config",
+            "error.io",
+            "error.parse",
+            "error.model_format",
+            "error.shape_mismatch",
+            "error.empty_input",
+            "error.non_finite_input",
+            "error.internal",
+        ] {
+            assert!(snap.iter().any(|&(n, _)| n == name), "missing {name}");
+        }
         crate::set_enabled(false);
         reset();
     }

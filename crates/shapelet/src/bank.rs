@@ -6,6 +6,7 @@ use crate::measure::Measure;
 use std::fmt::Write as _;
 use std::ops::Range;
 use std::sync::OnceLock;
+use tcsl_error::{TcslError, TcslResult};
 use tcsl_tensor::Tensor;
 
 /// One (scale, measure) group of `K` shapelets, stored flattened as a
@@ -219,27 +220,34 @@ impl ShapeletBank {
         names
     }
 
-    /// Resolves a feature column back to `(group index, shapelet index)`.
-    pub fn feature_to_shapelet(&self, column: usize) -> (usize, usize) {
+    /// Resolves a feature column back to `(group index, shapelet index)`,
+    /// or a [`TcslError::Config`] when the column does not exist — columns
+    /// come from user selections in the exploration UI.
+    pub fn feature_to_shapelet(&self, column: usize) -> TcslResult<(usize, usize)> {
         let mut col = column;
         for (gi, g) in self.groups.iter().enumerate() {
             if col < g.k() {
-                return (gi, col);
+                return Ok((gi, col));
             }
             col -= g.k();
         }
-        panic!("feature column {column} out of range {}", self.repr_dim());
+        Err(TcslError::config(format!(
+            "feature column {column} out of range (bank has {} features)",
+            self.repr_dim()
+        )))
     }
 
     /// Builds a sub-bank containing only the shapelets behind the given
     /// feature columns — the demo's "redo the analysis with the selected
     /// shapelets" interaction (§3, step 4). Group order is preserved; empty
     /// groups are dropped.
-    pub fn subset_columns(&self, columns: &[usize]) -> ShapeletBank {
-        assert!(!columns.is_empty(), "cannot build an empty sub-bank");
+    pub fn subset_columns(&self, columns: &[usize]) -> TcslResult<ShapeletBank> {
+        if columns.is_empty() {
+            return Err(TcslError::empty("feature column selection"));
+        }
         let mut per_group: Vec<Vec<usize>> = vec![Vec::new(); self.groups.len()];
         for &c in columns {
-            let (g, k) = self.feature_to_shapelet(c);
+            let (g, k) = self.feature_to_shapelet(c)?;
             per_group[g].push(k);
         }
         let mut groups = Vec::new();
@@ -260,11 +268,11 @@ impl ShapeletBank {
                 shapelets: Tensor::from_vec(data, [ks.len(), width]),
             });
         }
-        ShapeletBank {
+        Ok(ShapeletBank {
             d: self.d,
             groups,
             precomp: OnceLock::new(),
-        }
+        })
     }
 
     /// Prunes near-duplicate shapelets: within each group, a shapelet whose
@@ -274,11 +282,12 @@ impl ShapeletBank {
     /// subset consistently. Contrastive training can converge several
     /// shapelets onto the same pattern; pruning keeps the representation
     /// interpretable without retraining.
-    pub fn prune_redundant(&self, max_cosine: f32) -> (ShapeletBank, Vec<usize>) {
-        assert!(
-            (0.0..=1.0).contains(&max_cosine),
-            "max_cosine must be in [0, 1]"
-        );
+    pub fn prune_redundant(&self, max_cosine: f32) -> TcslResult<(ShapeletBank, Vec<usize>)> {
+        if !(0.0..=1.0).contains(&max_cosine) {
+            return Err(TcslError::config(format!(
+                "max_cosine must be in [0, 1], got {max_cosine}"
+            )));
+        }
         let mut kept_columns = Vec::new();
         let mut groups = Vec::new();
         let mut col_base = 0usize;
@@ -315,34 +324,41 @@ impl ShapeletBank {
             }
             col_base += src.k();
         }
-        assert!(!groups.is_empty(), "pruning removed every shapelet");
-        (
+        if groups.is_empty() {
+            return Err(TcslError::config(format!(
+                "pruning at max_cosine={max_cosine} removed every shapelet"
+            )));
+        }
+        Ok((
             ShapeletBank {
                 d: self.d,
                 groups,
                 precomp: OnceLock::new(),
             },
             kept_columns,
-        )
+        ))
     }
 
     /// Builds a sub-bank with every shapelet of one scale (length).
-    pub fn subset_scale(&self, len: usize) -> ShapeletBank {
+    pub fn subset_scale(&self, len: usize) -> TcslResult<ShapeletBank> {
         let groups: Vec<ShapeletGroup> = self
             .groups
             .iter()
             .filter(|g| g.len == len)
             .cloned()
             .collect();
-        assert!(
-            !groups.is_empty(),
-            "no shapelets of length {len} in the bank"
-        );
-        ShapeletBank {
+        if groups.is_empty() {
+            let scales: Vec<String> = self.scales().iter().map(|l| l.to_string()).collect();
+            return Err(TcslError::config(format!(
+                "no shapelets of length {len} in the bank; available scales: {}",
+                scales.join(", ")
+            )));
+        }
+        Ok(ShapeletBank {
             d: self.d,
             groups,
             precomp: OnceLock::new(),
-        }
+        })
     }
 
     // ------------------------------------------------------- serialization
@@ -375,63 +391,90 @@ impl ShapeletBank {
     }
 
     /// Parses the text format produced by [`Self::to_text`].
-    pub fn from_text(text: &str) -> Result<Self, String> {
+    ///
+    /// Structural damage (missing/unsupported header, truncated sections,
+    /// wrong value counts) surfaces as [`TcslError::ModelFormat`];
+    /// non-numeric fields surface as [`TcslError::Parse`] with the 1-based
+    /// line inside the bank section.
+    pub fn from_text(text: &str) -> TcslResult<Self> {
         let mut lines = text.lines();
-        let header = lines.next().ok_or("empty bank file")?;
+        let mut lineno = 0usize; // 1-based once the first line is consumed
+        let mut next_line = |what: &str| {
+            lineno += 1;
+            lines.next().map(|l| (lineno, l)).ok_or_else(|| {
+                TcslError::model_format(what, format!("end of file after line {}", lineno - 1))
+            })
+        };
+        let (hline, header) = next_line("tcsl-bank v1 header")
+            .map_err(|_| TcslError::model_format("tcsl-bank v1 header", "empty bank file"))?;
+        if !header.starts_with("tcsl-bank v1") {
+            return Err(TcslError::model_format("tcsl-bank v1 header", header));
+        }
         let mut d = None;
         let mut n_groups = None;
         for tok in header.split_whitespace() {
             if let Some(v) = tok.strip_prefix("d=") {
-                d = Some(v.parse::<usize>().map_err(|e| e.to_string())?);
+                d = Some(v.parse::<usize>().map_err(|e| {
+                    TcslError::parse("tcsl-bank", hline, format!("bad d={v}: {e}"))
+                })?);
             } else if let Some(v) = tok.strip_prefix("groups=") {
-                n_groups = Some(v.parse::<usize>().map_err(|e| e.to_string())?);
+                n_groups = Some(v.parse::<usize>().map_err(|e| {
+                    TcslError::parse("tcsl-bank", hline, format!("bad groups={v}: {e}"))
+                })?);
             }
         }
-        if !header.starts_with("tcsl-bank v1") {
-            return Err(format!("unsupported bank header: {header}"));
-        }
-        let d = d.ok_or("missing d=")?;
-        let n_groups = n_groups.ok_or("missing groups=")?;
+        let d = d.ok_or_else(|| TcslError::model_format("d=<vars> in bank header", header))?;
+        let n_groups =
+            n_groups.ok_or_else(|| TcslError::model_format("groups=<n> in bank header", header))?;
         let mut groups = Vec::with_capacity(n_groups);
         for _ in 0..n_groups {
-            let gh = lines
-                .next()
-                .ok_or("truncated bank file: missing group header")?;
+            let (gline, gh) = next_line("group header")?;
+            if !gh.starts_with("group ") {
+                return Err(TcslError::model_format("group header", gh));
+            }
             let mut len = None;
             let mut stride = None;
             let mut measure = None;
             let mut k = None;
             for tok in gh.split_whitespace() {
                 if let Some(v) = tok.strip_prefix("len=") {
-                    len = Some(v.parse::<usize>().map_err(|e| e.to_string())?);
+                    len = Some(v.parse::<usize>().map_err(|e| {
+                        TcslError::parse("tcsl-bank", gline, format!("bad len={v}: {e}"))
+                    })?);
                 } else if let Some(v) = tok.strip_prefix("stride=") {
-                    stride = Some(v.parse::<usize>().map_err(|e| e.to_string())?);
+                    stride = Some(v.parse::<usize>().map_err(|e| {
+                        TcslError::parse("tcsl-bank", gline, format!("bad stride={v}: {e}"))
+                    })?);
                 } else if let Some(v) = tok.strip_prefix("measure=") {
-                    measure = Some(Measure::parse(v).ok_or_else(|| format!("bad measure {v}"))?);
+                    measure = Some(
+                        Measure::parse(v)
+                            .ok_or_else(|| TcslError::model_format("a known measure name", v))?,
+                    );
                 } else if let Some(v) = tok.strip_prefix("k=") {
-                    k = Some(v.parse::<usize>().map_err(|e| e.to_string())?);
+                    k = Some(v.parse::<usize>().map_err(|e| {
+                        TcslError::parse("tcsl-bank", gline, format!("bad k={v}: {e}"))
+                    })?);
                 }
             }
             let (len, stride, measure, k) = (
-                len.ok_or("missing len=")?,
-                stride.ok_or("missing stride=")?,
-                measure.ok_or("missing measure=")?,
-                k.ok_or("missing k=")?,
+                len.ok_or_else(|| TcslError::model_format("len= in group header", gh))?,
+                stride.ok_or_else(|| TcslError::model_format("stride= in group header", gh))?,
+                measure.ok_or_else(|| TcslError::model_format("measure= in group header", gh))?,
+                k.ok_or_else(|| TcslError::model_format("k= in group header", gh))?,
             );
             let mut data = Vec::with_capacity(k * d * len);
             for _ in 0..k {
-                let line = lines
-                    .next()
-                    .ok_or("truncated bank file: missing shapelet row")?;
+                let (rline, line) = next_line("shapelet row")?;
                 for tok in line.split_whitespace() {
-                    data.push(tok.parse::<f32>().map_err(|e| e.to_string())?);
+                    data.push(tok.parse::<f32>().map_err(|e| {
+                        TcslError::parse("tcsl-bank", rline, format!("bad weight '{tok}': {e}"))
+                    })?);
                 }
             }
             if data.len() != k * d * len {
-                return Err(format!(
-                    "group len={len}: expected {} values, got {}",
-                    k * d * len,
-                    data.len()
+                return Err(TcslError::model_format(
+                    format!("{} values for group len={len}", k * d * len),
+                    format!("{}", data.len()),
                 ));
             }
             groups.push(ShapeletGroup {
@@ -490,14 +533,15 @@ mod tests {
         assert_eq!(names.len(), 18);
         assert_eq!(names[0], "L4:euc:0");
         assert_eq!(names[17], "L8:xcorr:2");
-        assert_eq!(b.feature_to_shapelet(0), (0, 0));
-        assert_eq!(b.feature_to_shapelet(17), (5, 2));
+        assert_eq!(b.feature_to_shapelet(0).unwrap(), (0, 0));
+        assert_eq!(b.feature_to_shapelet(17).unwrap(), (5, 2));
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn bad_feature_column_panics() {
-        bank().feature_to_shapelet(18);
+    fn bad_feature_column_is_a_config_error() {
+        let err = bank().feature_to_shapelet(18).unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::Config);
+        assert!(err.to_string().contains("out of range"), "{err}");
     }
 
     #[test]
@@ -514,7 +558,7 @@ mod tests {
         let mut b = bank();
         b.randomize(&mut seeded(4));
         // Columns 0..3 = group 0 entirely, column 4 = group 1 shapelet 1.
-        let sub = b.subset_columns(&[0, 1, 2, 4]);
+        let sub = b.subset_columns(&[0, 1, 2, 4]).unwrap();
         assert_eq!(sub.repr_dim(), 4);
         assert_eq!(sub.groups().len(), 2);
         assert_eq!(sub.groups()[0].shapelets, b.groups()[0].shapelets);
@@ -528,16 +572,25 @@ mod tests {
     fn subset_scale_selects_all_measures_of_that_length() {
         let mut b = bank();
         b.randomize(&mut seeded(5));
-        let sub = b.subset_scale(8);
+        let sub = b.subset_scale(8).unwrap();
         assert_eq!(sub.groups().len(), 3);
         assert!(sub.groups().iter().all(|g| g.len == 8));
         assert_eq!(sub.repr_dim(), 9);
     }
 
     #[test]
-    #[should_panic(expected = "no shapelets of length")]
-    fn subset_missing_scale_panics() {
-        bank().subset_scale(99);
+    fn subset_missing_scale_lists_available_scales() {
+        let err = bank().subset_scale(99).unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::Config);
+        let msg = err.to_string();
+        assert!(msg.contains("no shapelets of length 99"), "{msg}");
+        assert!(msg.contains("4, 8"), "available scales listed: {msg}");
+    }
+
+    #[test]
+    fn empty_subset_selection_is_an_empty_input_error() {
+        let err = bank().subset_columns(&[]).unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::EmptyInput);
     }
 
     #[test]
@@ -556,7 +609,7 @@ mod tests {
             .row_mut(1)
             .copy_from_slice(&copy);
         let before = b.repr_dim();
-        let (pruned, kept) = b.prune_redundant(0.99);
+        let (pruned, kept) = b.prune_redundant(0.99).unwrap();
         assert_eq!(
             pruned.repr_dim(),
             before - 1,
@@ -566,7 +619,7 @@ mod tests {
         assert!(!kept.contains(&1), "column 1 was the duplicate");
         assert!(kept.contains(&0));
         // Surviving columns map back to identical shapelet content.
-        let (gi, k) = pruned.feature_to_shapelet(0);
+        let (gi, k) = pruned.feature_to_shapelet(0).unwrap();
         assert_eq!(
             pruned.groups()[gi].shapelets.row(k),
             b.groups()[0].shapelets.row(0)
@@ -577,7 +630,7 @@ mod tests {
     fn prune_with_loose_threshold_keeps_everything() {
         let mut b = bank();
         b.randomize(&mut seeded(7));
-        let (pruned, kept) = b.prune_redundant(1.0);
+        let (pruned, kept) = b.prune_redundant(1.0).unwrap();
         assert_eq!(pruned.repr_dim(), b.repr_dim());
         assert_eq!(kept, (0..b.repr_dim()).collect::<Vec<_>>());
     }
@@ -613,9 +666,22 @@ mod tests {
     }
 
     #[test]
-    fn from_text_rejects_garbage() {
-        assert!(ShapeletBank::from_text("").is_err());
-        assert!(ShapeletBank::from_text("bogus header").is_err());
-        assert!(ShapeletBank::from_text("tcsl-bank v1 d=1 groups=1\n").is_err());
+    fn from_text_rejects_garbage_with_typed_variants() {
+        use tcsl_error::ErrorClass;
+        let class = |t: &str| ShapeletBank::from_text(t).unwrap_err().class();
+        assert_eq!(class(""), ErrorClass::ModelFormat);
+        assert_eq!(class("bogus header"), ErrorClass::ModelFormat);
+        // Truncated: group header promised but missing.
+        assert_eq!(
+            class("tcsl-bank v1 d=1 groups=1\n"),
+            ErrorClass::ModelFormat
+        );
+        // Non-numeric weight is a parse error carrying the line number.
+        let err = ShapeletBank::from_text(
+            "tcsl-bank v1 d=1 groups=1\ngroup len=2 stride=1 measure=euc k=1\n0.5 nope\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.class(), ErrorClass::Parse);
+        assert!(err.to_string().contains("line 3"), "{err}");
     }
 }

@@ -387,7 +387,7 @@ mod tests {
         let b = bank(2);
         let mut rng = seeded(4);
         let series = TimeSeries::new(Tensor::randn([2, 20], &mut rng));
-        let fast = transform_series(&b, &series);
+        let fast = transform_series(&b, &series).unwrap();
 
         let mut g = Graph::new();
         let bound = bind_trainable(&mut g, &b);
@@ -403,7 +403,7 @@ mod tests {
     fn diff_path_matches_fast_path_on_short_series() {
         let b = bank(1);
         let series = TimeSeries::univariate(vec![0.4, -0.2]); // shorter than both scales
-        let fast = transform_series(&b, &series);
+        let fast = transform_series(&b, &series).unwrap();
         let mut g = Graph::new();
         let bound = bind_trainable(&mut g, &b);
         let feats = diff_features(&mut g, &b, &bound, series.values());

@@ -2,7 +2,9 @@
 // Index-based loops in the numeric kernels walk several parallel
 // buffers at once; iterator rewrites obscure that correspondence.
 #![allow(clippy::needless_range_loop)]
-
+// The error wall (clippy.toml) exempts test builds: tests assert on values
+// and unwrap() freely.
+#![cfg_attr(test, allow(clippy::disallowed_methods, clippy::disallowed_macros))]
 //! # tcsl-shapelet
 //!
 //! The **Shapelet Transformer** `f` — the representation encoder at the

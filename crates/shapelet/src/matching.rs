@@ -73,13 +73,14 @@ pub fn best_match(
 }
 
 /// Finds the best match for a *feature column* (the layout analyzers see).
+/// An out-of-range column is a request error, not a panic.
 pub fn best_match_for_feature(
     bank: &ShapeletBank,
     feature_column: usize,
     series: &TimeSeries,
-) -> ShapeletMatch {
-    let (group, shapelet) = bank.feature_to_shapelet(feature_column);
-    best_match(bank, group, shapelet, series)
+) -> tcsl_error::TcslResult<ShapeletMatch> {
+    let (group, shapelet) = bank.feature_to_shapelet(feature_column)?;
+    Ok(best_match(bank, group, shapelet, series))
 }
 
 #[cfg(test)]
@@ -122,9 +123,9 @@ mod tests {
     fn match_score_equals_feature_value() {
         let b = bank();
         let s = TimeSeries::univariate((0..25).map(|i| (i as f32 * 0.7).sin()).collect());
-        let feats = transform_series(&b, &s);
+        let feats = transform_series(&b, &s).unwrap();
         for col in 0..b.repr_dim() {
-            let m = best_match_for_feature(&b, col, &s);
+            let m = best_match_for_feature(&b, col, &s).unwrap();
             assert!(
                 (m.score - feats[col]).abs() < 1e-5,
                 "column {col}: match {} vs feature {}",

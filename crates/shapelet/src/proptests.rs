@@ -56,7 +56,7 @@ proptest! {
 
     #[test]
     fn fast_and_diff_paths_agree((bank, series) in arb_setup()) {
-        let fast = transform_series(&bank, &series);
+        let fast = transform_series(&bank, &series).unwrap();
         let mut g = Graph::new();
         let bound = bind_trainable(&mut g, &bank);
         let feats = diff_features(&mut g, &bank, &bound, series.values());
@@ -68,9 +68,9 @@ proptest! {
 
     #[test]
     fn euclidean_features_are_nonnegative((bank, series) in arb_setup()) {
-        let feats = transform_series(&bank, &series);
+        let feats = transform_series(&bank, &series).unwrap();
         for (col, &f) in feats.iter().enumerate() {
-            let (gi, _) = bank.feature_to_shapelet(col);
+            let (gi, _) = bank.feature_to_shapelet(col).unwrap();
             if bank.groups()[gi].measure == Measure::Euclidean {
                 prop_assert!(f >= 0.0, "negative euclidean feature {}", f);
             }
@@ -82,23 +82,23 @@ proptest! {
 
     #[test]
     fn transform_is_deterministic((bank, series) in arb_setup()) {
-        let a = transform_series(&bank, &series);
-        let b = transform_series(&bank, &series);
+        let a = transform_series(&bank, &series).unwrap();
+        let b = transform_series(&bank, &series).unwrap();
         prop_assert_eq!(a, b);
     }
 
     #[test]
     fn match_scores_equal_features((bank, series) in arb_setup()) {
-        let feats = transform_series(&bank, &series);
+        let feats = transform_series(&bank, &series).unwrap();
         for col in (0..bank.repr_dim()).step_by(5) {
-            let m = crate::matching::best_match_for_feature(&bank, col, &series);
+            let m = crate::matching::best_match_for_feature(&bank, col, &series).unwrap();
             prop_assert!((m.score - feats[col]).abs() < 1e-4);
         }
     }
 
     #[test]
     fn fused_transform_agrees_with_oracle((bank, series) in arb_fused_setup()) {
-        let fast = transform_series(&bank, &series);
+        let fast = transform_series(&bank, &series).unwrap();
         let slow = transform_series_oracle(&bank, &series);
         prop_assert_eq!(fast.len(), slow.len());
         for (i, (&f, &s)) in fast.iter().zip(&slow).enumerate() {

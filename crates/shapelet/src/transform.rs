@@ -16,6 +16,7 @@
 use crate::bank::ShapeletBank;
 use crate::fused::{pool_group, ScaleWindows};
 use tcsl_data::{Dataset, TimeSeries};
+use tcsl_error::{TcslError, TcslResult};
 use tcsl_tensor::parallel::parallel_map;
 use tcsl_tensor::window::unfold;
 use tcsl_tensor::Tensor;
@@ -41,9 +42,40 @@ pub fn windows_for(values: &Tensor, len: usize, stride: usize) -> Tensor {
     unfold(&padded, len, stride)
 }
 
+/// Validates one request series against the bank: the variable count must
+/// match and every sample must be finite. `label` names the series in the
+/// error (e.g. `"series 3"`).
+pub fn check_series(bank: &ShapeletBank, series: &TimeSeries, label: &str) -> TcslResult<()> {
+    if series.n_vars() != bank.d {
+        return Err(TcslError::shape_mismatch(
+            format!("{label} variables"),
+            bank.d,
+            series.n_vars(),
+        ));
+    }
+    if series.is_empty() {
+        return Err(TcslError::empty(label.to_string()));
+    }
+    if !series.values().as_slice().iter().all(|x| x.is_finite()) {
+        return Err(TcslError::non_finite(label.to_string()));
+    }
+    Ok(())
+}
+
 /// Transforms one series into its `D_repr`-dimensional representation via
 /// the fused streaming kernel.
-pub fn transform_series(bank: &ShapeletBank, series: &TimeSeries) -> Vec<f32> {
+///
+/// Dimension mismatches, empty series and non-finite samples are request
+/// errors, not panics.
+pub fn transform_series(bank: &ShapeletBank, series: &TimeSeries) -> TcslResult<Vec<f32>> {
+    check_series(bank, series, "series")?;
+    Ok(transform_series_unchecked(bank, series))
+}
+
+/// [`transform_series`] without the request validation — the training and
+/// benchmark hot paths call this on data they already validated. A
+/// mismatched series is an internal invariant violation here (panics).
+pub fn transform_series_unchecked(bank: &ShapeletBank, series: &TimeSeries) -> Vec<f32> {
     assert_eq!(
         series.n_vars(),
         bank.d,
@@ -63,6 +95,7 @@ pub fn transform_series(bank: &ShapeletBank, series: &TimeSeries) -> Vec<f32> {
         {
             cached = Some(ScaleWindows::new(series.values(), g.len, g.stride));
         }
+        #[allow(clippy::disallowed_methods)] // populated on the previous line
         let sw = cached.as_ref().expect("just populated");
         let (pooled, _args) = pool_group(sw, g, &pre[gi]);
         features.extend_from_slice(&pooled);
@@ -90,6 +123,7 @@ pub fn transform_series_oracle(bank: &ShapeletBank, series: &TimeSeries) -> Vec<
         if cached.as_ref().is_none_or(|(len, _)| *len != g.len) {
             cached = Some((g.len, windows_for(series.values(), g.len, g.stride)));
         }
+        #[allow(clippy::disallowed_methods)] // populated on the previous line
         let windows = &cached.as_ref().expect("just populated").1;
         let scores = g.measure.score_matrix(windows, &g.shapelets);
         let (pooled, _args) = g.measure.pool(&scores);
@@ -102,10 +136,24 @@ pub fn transform_series_oracle(bank: &ShapeletBank, series: &TimeSeries) -> Vec<
 /// parallel over series on the persistent pool. The bank-side
 /// precomputation is forced once up front so the pool workers share it
 /// instead of racing to build it.
-pub fn transform_dataset(bank: &ShapeletBank, ds: &Dataset) -> Tensor {
+pub fn transform_dataset(bank: &ShapeletBank, ds: &Dataset) -> TcslResult<Tensor> {
+    if ds.is_empty() {
+        return Err(TcslError::empty(format!("dataset {}", ds.name)));
+    }
+    // Validate every series up front so the parallel fan-out below only
+    // ever sees clean data (worker panics are internal bugs, not inputs).
+    for i in 0..ds.len() {
+        check_series(bank, ds.series(i), &format!("series {i}"))?;
+    }
+    Ok(transform_dataset_unchecked(bank, ds))
+}
+
+/// [`transform_dataset`] without the request validation — for data the
+/// caller already validated (training loops, benchmarks).
+pub fn transform_dataset_unchecked(bank: &ShapeletBank, ds: &Dataset) -> Tensor {
     let dim = bank.repr_dim();
     let _ = bank.precomputed();
-    let rows = parallel_map(ds.len(), |i| transform_series(bank, ds.series(i)));
+    let rows = parallel_map(ds.len(), |i| transform_series_unchecked(bank, ds.series(i)));
     let mut out = Tensor::zeros([ds.len(), dim]);
     for (i, row) in rows.into_iter().enumerate() {
         out.row_mut(i).copy_from_slice(&row);
@@ -136,7 +184,7 @@ mod tests {
     fn feature_vector_has_bank_dimension() {
         let bank = small_bank(2);
         let s = TimeSeries::multivariate(vec![vec![0.0; 16], vec![1.0; 16]]);
-        let f = transform_series(&bank, &s);
+        let f = transform_series(&bank, &s).unwrap();
         assert_eq!(f.len(), bank.repr_dim());
         assert!(f.iter().all(|x| x.is_finite()));
     }
@@ -151,7 +199,7 @@ mod tests {
         let mut vals = vec![5.0f32; 12];
         vals[4..7].copy_from_slice(planted.as_slice());
         let s = TimeSeries::univariate(vals);
-        let f = transform_series(&bank, &s);
+        let f = transform_series(&bank, &s).unwrap();
         // Column 0 = group 0 (euclidean, len 3), shapelet 0.
         assert!(f[0] < 1e-3, "euclidean feature should be ~0, got {}", f[0]);
     }
@@ -164,7 +212,7 @@ mod tests {
             let vals = Tensor::randn([2, t], &mut rng);
             let s =
                 TimeSeries::multivariate((0..2).map(|v| vals.row(v).to_vec()).collect::<Vec<_>>());
-            let fast = transform_series(&bank, &s);
+            let fast = transform_series(&bank, &s).unwrap();
             let slow = transform_series_oracle(&bank, &s);
             assert_eq!(fast.len(), slow.len());
             for (a, b) in fast.iter().zip(&slow) {
@@ -177,7 +225,7 @@ mod tests {
     fn short_series_are_padded_not_rejected() {
         let bank = small_bank(1);
         let s = TimeSeries::univariate(vec![1.0, 2.0]); // shorter than len 3 and 5
-        let f = transform_series(&bank, &s);
+        let f = transform_series(&bank, &s).unwrap();
         assert_eq!(f.len(), bank.repr_dim());
         assert!(f.iter().all(|x| x.is_finite()));
     }
@@ -191,10 +239,10 @@ mod tests {
             })
             .collect();
         let ds = Dataset::unlabeled("x", series);
-        let m = transform_dataset(&bank, &ds);
+        let m = transform_dataset(&bank, &ds).unwrap();
         assert_eq!(m.rows(), 5);
         for i in 0..5 {
-            let f = transform_series(&bank, ds.series(i));
+            let f = transform_series(&bank, ds.series(i)).unwrap();
             assert_eq!(m.row(i), &f[..]);
         }
     }
@@ -204,15 +252,41 @@ mod tests {
         // Different-length series map to the same feature space — the
         // property the unified pipeline exploits.
         let bank = small_bank(1);
-        let a = transform_series(&bank, &TimeSeries::univariate(vec![0.5; 10]));
-        let b = transform_series(&bank, &TimeSeries::univariate(vec![0.5; 50]));
+        let a = transform_series(&bank, &TimeSeries::univariate(vec![0.5; 10])).unwrap();
+        let b = transform_series(&bank, &TimeSeries::univariate(vec![0.5; 50])).unwrap();
         assert_eq!(a.len(), b.len());
     }
 
     #[test]
-    #[should_panic(expected = "variables")]
-    fn variable_mismatch_panics() {
+    fn variable_mismatch_is_a_shape_error() {
         let bank = small_bank(2);
-        transform_series(&bank, &TimeSeries::univariate(vec![0.0; 10]));
+        let err = transform_series(&bank, &TimeSeries::univariate(vec![0.0; 10])).unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::ShapeMismatch);
+        assert!(err.to_string().contains("expected 2, got 1"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_series_is_a_typed_error() {
+        let bank = small_bank(1);
+        for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let err = transform_series(&bank, &TimeSeries::univariate(vec![0.0, poison, 1.0]))
+                .unwrap_err();
+            assert_eq!(err.class(), tcsl_error::ErrorClass::NonFiniteInput);
+        }
+    }
+
+    #[test]
+    fn dataset_transform_reports_the_offending_series() {
+        let bank = small_bank(1);
+        let ds = Dataset::unlabeled(
+            "x",
+            vec![
+                TimeSeries::univariate(vec![1.0; 8]),
+                TimeSeries::univariate(vec![1.0, f32::NAN, 3.0]),
+            ],
+        );
+        let err = transform_dataset(&bank, &ds).unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::NonFiniteInput);
+        assert!(err.to_string().contains("series 1"), "{err}");
     }
 }

@@ -8,8 +8,8 @@ use timecsl::data::archive;
 use timecsl::eval::metrics::anomaly::{average_precision, best_f1, roc_auc};
 use timecsl::prelude::*;
 
-fn main() {
-    let entry = archive::by_name("AnomMixed").expect("archive entry");
+fn main() -> TcslResult<()> {
+    let entry = archive::require("AnomMixed")?;
     let (train, test) = archive::generate_split(&entry, 7);
     let anomalies = test.labels().unwrap().iter().filter(|&&l| l == 1).count();
     println!(
@@ -27,13 +27,13 @@ fn main() {
     };
     let (model, _) = TimeCsl::pretrain(&train.without_labels(), None, &csl_cfg);
 
-    let ztr = model.transform(&train);
-    let zte = model.transform(&test);
+    let ztr = model.transform(&train)?;
+    let zte = model.transform(&test)?;
     let truth: Vec<bool> = test.labels().unwrap().iter().map(|&l| l == 1).collect();
 
     let mut forest = IsolationForest::new();
-    forest.fit(&ztr);
-    let scores = forest.score(&zte);
+    forest.fit(&ztr)?;
+    let scores = forest.score(&zte)?;
     println!(
         "\nisolation forest: ROC-AUC = {:.3}, AP = {:.3}, best F1 = {:.3}",
         roc_auc(&scores, &truth),
@@ -42,8 +42,8 @@ fn main() {
     );
 
     let mut knn = KnnDistance::new(5);
-    knn.fit(&ztr);
-    let scores = knn.score(&zte);
+    knn.fit(&ztr)?;
+    let scores = knn.score(&zte)?;
     println!(
         "kNN distance:     ROC-AUC = {:.3}, AP = {:.3}, best F1 = {:.3}",
         roc_auc(&scores, &truth),
@@ -66,4 +66,5 @@ fn main() {
         "\nmost anomaly-indicative single shapelet feature: {} (AUC {:.3})",
         names[best_col], best_auc
     );
+    Ok(())
 }

@@ -13,17 +13,17 @@ use timecsl::eval::metrics::classification::accuracy;
 use timecsl::prelude::*;
 use timecsl::tensor::rng::seeded;
 
-fn main() -> std::io::Result<()> {
+fn main() -> TcslResult<()> {
     let dir = PathBuf::from("target/custom_data");
-    std::fs::create_dir_all(&dir)?;
+    std::fs::create_dir_all(&dir).map_err(|e| TcslError::io(&dir, e))?;
     let path = dir.join("my_dataset.ts");
 
     // Pretend this came from your own measurement campaign: here we export
     // an archive dataset to `.ts` to produce a realistic file.
-    let entry = archive::by_name("LeadLag3").expect("archive entry");
+    let entry = archive::require("LeadLag3")?;
     let (all, _) = archive::generate_split(&entry, 99);
     let class_names = vec!["alpha".into(), "beta".into(), "gamma".into()];
-    std::fs::write(&path, io_ts::to_ts(&all, Some(&class_names)))?;
+    timecsl::error::write_file(&path, io_ts::to_ts(&all, Some(&class_names)))?;
     println!("wrote example .ts file: {}", path.display());
 
     // --- from here on, everything works on any .ts file -----------------
@@ -43,18 +43,18 @@ fn main() -> std::io::Result<()> {
     let (model, _) = TimeCsl::pretrain(&train, None, &csl_cfg);
 
     let mut svm = LinearSvm::new();
-    svm.fit(&model.transform(&train), train.labels().unwrap());
-    let pred = svm.predict(&model.transform(&test));
+    svm.fit(&model.transform(&train)?, train.labels().unwrap())?;
+    let pred = svm.predict(&model.transform(&test)?)?;
     println!(
         "\nfreeze-mode SVM accuracy on the held-out 40%: {:.3}",
         accuracy(&pred, test.labels().unwrap())
     );
 
     // Exploration works on custom data too.
-    let session = ExploreSession::new(model, test);
+    let session = ExploreSession::new(model, test)?;
     let suggested = session.suggest_shapelets(3);
     println!("suggested shapelets: {:?}", suggested);
-    let m = session.match_shapelet(0, suggested[0]);
+    let m = session.match_shapelet(0, suggested[0])?;
     println!(
         "top shapelet best matches series 0 at t={}..{} ({} {:.4})",
         m.start,

@@ -12,11 +12,11 @@ use timecsl::data::archive;
 use timecsl::eval::metrics::classification::accuracy;
 use timecsl::prelude::*;
 
-fn main() -> std::io::Result<()> {
+fn main() -> TcslResult<()> {
     let out_dir = PathBuf::from("target/explore_output");
-    fs::create_dir_all(&out_dir)?;
+    fs::create_dir_all(&out_dir).map_err(|e| TcslError::io(&out_dir, e))?;
 
-    let entry = archive::by_name("GestureSmall").expect("archive entry");
+    let entry = archive::require("GestureSmall")?;
     let (train, test) = archive::generate_split(&entry, 5);
     let csl_cfg = CslConfig {
         epochs: 8,
@@ -27,19 +27,19 @@ fn main() -> std::io::Result<()> {
     let (model, report) = TimeCsl::pretrain(&train, None, &csl_cfg);
 
     // The learning-curve diagnostic the GUI plots during step 2.
-    fs::write(
+    timecsl::error::write_file(
         out_dir.join("learning_curve.svg"),
         timecsl::explore::svg::learning_curve_chart(&report.epoch_total, "CSL training loss"),
     )?;
 
-    let session = ExploreSession::new(model, test.clone());
+    let session = ExploreSession::new(model, test.clone())?;
 
     // Fig. 3a — a raw series; Fig. 3c — a learned shapelet.
-    fs::write(out_dir.join("series_0.svg"), session.render_series(0))?;
-    fs::write(out_dir.join("shapelet_0.svg"), session.render_shapelet(0))?;
+    timecsl::error::write_file(out_dir.join("series_0.svg"), session.render_series(0)?)?;
+    timecsl::error::write_file(out_dir.join("shapelet_0.svg"), session.render_shapelet(0)?)?;
 
     // Fig. 3b — the "Match" button.
-    let m = session.match_shapelet(0, 0);
+    let m = session.match_shapelet(0, 0)?;
     println!(
         "shapelet 0 best matches series 0 at t={}..{} with {} score {:.4}",
         m.start,
@@ -47,12 +47,12 @@ fn main() -> std::io::Result<()> {
         m.measure.name(),
         m.score
     );
-    fs::write(out_dir.join("match_0x0.svg"), session.render_match(0, 0))?;
+    timecsl::error::write_file(out_dir.join("match_0x0.svg"), session.render_match(0, 0)?)?;
 
     // Fig. 3d — tabular view, sorted by the first shapelet.
-    let table = session.tabular(Some(&[0, 1, 2, 3]));
+    let table = session.tabular(Some(&[0, 1, 2, 3]))?;
     let order = table.sort_by(0, true);
-    fs::write(out_dir.join("tabular.txt"), table.render(Some(&order)))?;
+    timecsl::error::write_file(out_dir.join("tabular.txt"), table.render(Some(&order)))?;
     println!("tabular view (4 shapelets, sorted) written; first rows:");
     for line in table.render(Some(&order)).lines().take(4) {
         println!("  {line}");
@@ -63,9 +63,9 @@ fn main() -> std::io::Result<()> {
         iterations: 250,
         ..Default::default()
     };
-    fs::write(
+    timecsl::error::write_file(
         out_dir.join("tsne.svg"),
-        session.render_tsne(None, &tsne_cfg),
+        session.render_tsne(None, &tsne_cfg)?,
     )?;
 
     // Which shapelets are worth looking at? (ANOVA-F against the labels.)
@@ -85,16 +85,16 @@ fn main() -> std::io::Result<()> {
             table_columns: suggested,
             ..Default::default()
         },
-    );
-    fs::write(out_dir.join("report.html"), report)?;
+    )?;
+    timecsl::error::write_file(out_dir.join("report.html"), report)?;
 
     // Step-4 loop: redo the analysis with only the longest-scale shapelets.
     let scales = session.model().bank().scales();
     let longest = *scales.last().unwrap();
-    let reduced = session.with_scale(longest);
+    let reduced = session.with_scale(longest)?;
     let mut svm = LinearSvm::new();
-    svm.fit(&reduced.model().transform(&train), train.labels().unwrap());
-    let pred = svm.predict(reduced.features());
+    svm.fit(&reduced.model().transform(&train)?, train.labels().unwrap())?;
+    let pred = svm.predict(reduced.features())?;
     println!(
         "redo with only length-{longest} shapelets: accuracy = {:.3}",
         accuracy(&pred, test.labels().unwrap())

@@ -10,8 +10,8 @@ use timecsl::data::archive;
 use timecsl::eval::metrics::classification::accuracy;
 use timecsl::prelude::*;
 
-fn main() {
-    let entry = archive::by_name("GestureFull").expect("archive entry");
+fn main() -> TcslResult<()> {
+    let entry = archive::require("GestureFull")?;
     let (train, test) = archive::generate_split(&entry, 31);
     println!(
         "gesture dataset: {} train / {} test, D={}, {} classes, T={}",
@@ -31,26 +31,27 @@ fn main() {
     let (model, _) = TimeCsl::pretrain(&train, None, &csl_cfg);
     println!("scales learned: {:?}\n", model.bank().scales());
 
-    let eval_model = |m: &TimeCsl, label: &str| {
+    let eval_model = |m: &TimeCsl, label: &str| -> TcslResult<f64> {
         let mut svm = LinearSvm::new();
-        svm.fit(&m.transform(&train), train.labels().unwrap());
-        let pred = svm.predict(&m.transform(&test));
+        svm.fit(&m.transform(&train)?, train.labels().unwrap())?;
+        let pred = svm.predict(&m.transform(&test)?)?;
         let acc = accuracy(&pred, test.labels().unwrap());
         println!("SVM on {label:<22} accuracy = {acc:.3}");
-        acc
+        Ok(acc)
     };
 
     let mut last = 0.0;
     for len in model.bank().scales() {
         last = eval_model(
-            &model.with_scale(len),
+            &model.with_scale(len)?,
             &format!("shapelets of length {len}"),
-        );
+        )?;
     }
-    let all = eval_model(&model, "ALL shapelets");
+    let all = eval_model(&model, "ALL shapelets")?;
     println!(
         "\nAs in the demo: longer shapelets separate the gesture classes better,\n\
          and the full multi-scale bank ({all:.3}) is comparable to or better than\n\
          the best single scale ({last:.3})."
     );
+    Ok(())
 }

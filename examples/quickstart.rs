@@ -8,9 +8,10 @@ use timecsl::data::archive;
 use timecsl::eval::metrics::{classification::accuracy, clustering::nmi};
 use timecsl::prelude::*;
 
-fn main() {
-    // The synthetic archive stands in for the UEA datasets the demo ships.
-    let entry = archive::by_name("MotifMulti").expect("archive entry");
+fn main() -> TcslResult<()> {
+    // The synthetic archive stands in for the UEA datasets the demo ships;
+    // a typo'd name is a typed Config error listing the alternatives.
+    let entry = archive::require("MotifMulti")?;
     let (train, test) = archive::generate_split(&entry, 2024);
     println!(
         "dataset {}: {} train / {} test series, D={}, {} classes",
@@ -39,27 +40,27 @@ fn main() {
     println!("{}", report.learning_curve_ascii());
 
     // Step 3 (freezing mode): the same features feed any analyzer.
-    let ztr = model.transform(&train);
-    let zte = model.transform(&test);
+    let ztr = model.transform(&train)?;
+    let zte = model.transform(&test)?;
 
     let mut svm = LinearSvm::new();
-    svm.fit(&ztr, train.labels().unwrap());
-    let pred = svm.predict(&zte);
+    svm.fit(&ztr, train.labels().unwrap())?;
+    let pred = svm.predict(&zte)?;
     println!(
         "classification: SVM accuracy = {:.3}",
         accuracy(&pred, test.labels().unwrap())
     );
 
     let mut km = KMeans::new(train.n_classes());
-    let assign = km.fit_predict(&zte);
+    let assign = km.fit_predict(&zte)?;
     println!(
         "clustering:     k-means NMI  = {:.3}",
         nmi(&assign, test.labels().unwrap())
     );
 
     let mut forest = IsolationForest::new();
-    forest.fit(&ztr);
-    let scores = forest.score(&zte);
+    forest.fit(&ztr)?;
+    let scores = forest.score(&zte)?;
     let max_score = scores.iter().copied().fold(f32::MIN, f32::max);
     println!("anomaly:        iforest max score = {max_score:.3} (higher = more anomalous)");
 
@@ -70,9 +71,10 @@ fn main() {
         ..Default::default()
     };
     let (head, _) = tuned.fine_tune(&train, &ft_cfg);
-    let pred = head.predict(&tuned.transform(&test));
+    let pred = head.predict(&tuned.transform(&test)?);
     println!(
         "fine-tuning:    linear-head accuracy = {:.3}",
         accuracy(&pred, test.labels().unwrap())
     );
+    Ok(())
 }

@@ -14,8 +14,8 @@ use timecsl::eval::metrics::classification::accuracy;
 use timecsl::prelude::*;
 use timecsl::tensor::rng::seeded;
 
-fn main() {
-    let entry = archive::by_name("GestureSmall").expect("archive entry");
+fn main() -> TcslResult<()> {
+    let entry = archive::require("GestureSmall")?;
     let (train, test) = archive::generate_split(&entry, 11);
     println!(
         "gesture data: {} train / {} test, {} classes\n",
@@ -47,7 +47,7 @@ fn main() {
         };
         let (head, _) = model.fine_tune(&labeled, &ft_cfg);
         let csl_acc = accuracy(
-            &head.predict(&model.transform(&test)),
+            &head.predict(&model.transform(&test)?),
             test.labels().unwrap(),
         );
 
@@ -68,4 +68,5 @@ fn main() {
         "\nWith few labels, the pre-trained + fine-tuned pipeline retains most of\n\
          its accuracy while the from-scratch supervised model degrades (§2.2)."
     );
+    Ok(())
 }

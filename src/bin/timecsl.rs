@@ -14,6 +14,14 @@
 //! ```
 //!
 //! Datasets are loaded by extension: `.ts` (sktime/UEA) or CSV (long format).
+//!
+//! **Errors.** Every failure is a typed [`TcslError`]: one line on stderr,
+//! and a process exit code pinned to the error class (see the README's
+//! exit-code table — `Config`=2, `Io`=3, `Parse`=4, `ModelFormat`=5,
+//! `ShapeMismatch`=6, `EmptyInput`=7, `NonFiniteInput`=8, `Internal`=9).
+//! With `TCSL_TRACE=1` a failed run still writes a valid `RUN_trace.json`:
+//! an `error` event carrying the class and message, plus an
+//! `error.<class>` counter in the summary.
 
 use std::process::ExitCode;
 use timecsl::data::archive;
@@ -45,14 +53,22 @@ fn main() -> ExitCode {
         "info" => cmd_info(&args[1..]),
         "report" => cmd_report(&args[1..]),
         "demo" => cmd_demo(),
-        _ => {
-            eprintln!(
-                "usage: timecsl <pretrain|transform|classify|cluster|match|info|report|demo> ... \
-                 (see crate docs)"
-            );
-            return ExitCode::from(2);
-        }
+        _ => Err(TcslError::config(
+            "usage: timecsl <pretrain|transform|classify|cluster|match|info|report|demo> ... \
+             (see crate docs)",
+        )),
     };
+    // A failed run still produces a complete, attributed trace: the error
+    // event and the error.<class> counter land *before* finish_run seals
+    // the summary.
+    if let Err(e) = &result {
+        timecsl::obs::counters::error_counter(e.class().name()).add(1);
+        timecsl::obs::trace::emit(
+            timecsl::obs::trace::Event::new("error")
+                .str("class", e.class().name())
+                .str("message", e.to_string()),
+        );
+    }
     // With TCSL_TRACE=1 the run streamed JSONL events as it went; close
     // the stream and write the aggregated counter/span summary next to it.
     if let Some(path) = timecsl::obs::trace::finish_run(&format!("timecsl {cmd}")) {
@@ -62,39 +78,47 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-type CliResult = Result<(), String>;
+type CliResult = TcslResult<()>;
 
-fn arg<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
+fn arg<'a>(args: &'a [String], i: usize, what: &str) -> TcslResult<&'a str> {
     args.get(i)
         .map(String::as_str)
-        .ok_or_else(|| format!("missing argument: {what}"))
+        .ok_or_else(|| TcslError::config(format!("missing argument: {what}")))
+}
+
+/// Parses a numeric CLI argument; a non-numeric value is a `Config`
+/// (usage) error naming the argument and the offending text.
+fn parse_arg<T: std::str::FromStr>(value: &str, what: &str) -> TcslResult<T> {
+    value
+        .parse()
+        .map_err(|_| TcslError::config(format!("{what} must be a number, got '{value}'")))
 }
 
 /// Loads a dataset, dispatching on extension: `.ts` (sktime/UEA format)
 /// or CSV (this crate's long format).
-fn load(name: &str, path: &str) -> Result<Dataset, String> {
+fn load(name: &str, path: &str) -> TcslResult<Dataset> {
     if path.ends_with(".ts") {
-        timecsl::data::io_ts::load_ts(name, path)
-            .map(|f| f.dataset)
-            .map_err(|e| format!("{path}: {e}"))
+        timecsl::data::io_ts::load_ts(name, path).map(|f| f.dataset)
     } else {
-        io::load_csv(name, path).map_err(|e| format!("{path}: {e}"))
+        io::load_csv(name, path)
     }
 }
 
 fn cmd_pretrain(args: &[String]) -> CliResult {
     let train_path = arg(args, 0, "train.csv")?;
     let model_path = arg(args, 1, "model.tcsl")?;
-    let epochs: usize = args
-        .get(2)
-        .map(|s| s.parse().map_err(|e| format!("bad epochs: {e}")))
-        .transpose()?
-        .unwrap_or(20);
+    let epochs: usize = match args.get(2) {
+        Some(s) => parse_arg(s, "epochs")?,
+        None => 20,
+    };
+    if epochs == 0 {
+        return Err(TcslError::config("epochs must be at least 1"));
+    }
     let train = load("train", train_path)?;
     println!(
         "pre-training on {} series (D={})...",
@@ -107,18 +131,18 @@ fn cmd_pretrain(args: &[String]) -> CliResult {
     };
     let (model, report) = TimeCsl::pretrain(&train, None, &cfg);
     print!("{}", report.learning_curve_ascii());
-    model.save(model_path).map_err(|e| e.to_string())?;
+    model.save(model_path)?;
     println!("saved {} shapelets to {model_path}", model.repr_dim());
     Ok(())
 }
 
 fn cmd_transform(args: &[String]) -> CliResult {
-    let model = TimeCsl::load(arg(args, 0, "model.tcsl")?).map_err(|e| e.to_string())?;
+    let model = TimeCsl::load(arg(args, 0, "model.tcsl")?)?;
     let data = load("data", arg(args, 1, "data.csv")?)?;
     let out_path = arg(args, 2, "out.csv")?;
-    let feats = model.transform(&data);
+    let feats = model.transform(&data)?;
     let csv = io::matrix_to_csv(&feats, &model.feature_names());
-    std::fs::write(out_path, csv).map_err(|e| e.to_string())?;
+    tcsl_error::write_file(out_path, &csv)?;
     println!(
         "wrote {}×{} features to {out_path}",
         feats.rows(),
@@ -128,13 +152,15 @@ fn cmd_transform(args: &[String]) -> CliResult {
 }
 
 fn cmd_classify(args: &[String]) -> CliResult {
-    let model = TimeCsl::load(arg(args, 0, "model.tcsl")?).map_err(|e| e.to_string())?;
+    let model = TimeCsl::load(arg(args, 0, "model.tcsl")?)?;
     let train = load("train", arg(args, 1, "train.csv")?)?;
     let test = load("test", arg(args, 2, "test.csv")?)?;
-    let ytr = train.labels().ok_or("training csv has no labels")?;
+    let ytr = train
+        .labels()
+        .ok_or_else(|| TcslError::config("training csv has no labels"))?;
     let mut svm = LinearSvm::new();
-    svm.fit(&model.transform(&train), ytr);
-    let pred = svm.predict(&model.transform(&test));
+    svm.fit(&model.transform(&train)?, ytr)?;
+    let pred = svm.predict(&model.transform(&test)?)?;
     match test.labels() {
         Some(yte) => println!("accuracy = {:.4}", accuracy(&pred, yte)),
         None => println!("predictions: {pred:?}"),
@@ -143,13 +169,14 @@ fn cmd_classify(args: &[String]) -> CliResult {
 }
 
 fn cmd_cluster(args: &[String]) -> CliResult {
-    let model = TimeCsl::load(arg(args, 0, "model.tcsl")?).map_err(|e| e.to_string())?;
+    let model = TimeCsl::load(arg(args, 0, "model.tcsl")?)?;
     let data = load("data", arg(args, 1, "data.csv")?)?;
-    let k: usize = arg(args, 2, "k")?
-        .parse()
-        .map_err(|e| format!("bad k: {e}"))?;
+    let k: usize = parse_arg(arg(args, 2, "k")?, "k")?;
+    if k == 0 {
+        return Err(TcslError::config("k must be at least 1"));
+    }
     let mut km = KMeans::new(k);
-    let assign = km.fit_predict(&model.transform(&data));
+    let assign = km.fit_predict(&model.transform(&data)?)?;
     println!("assignments: {assign:?}");
     if let Some(labels) = data.labels() {
         println!("NMI vs labels = {:.4}", nmi(&assign, labels));
@@ -158,29 +185,14 @@ fn cmd_cluster(args: &[String]) -> CliResult {
 }
 
 fn cmd_match(args: &[String]) -> CliResult {
-    let model = TimeCsl::load(arg(args, 0, "model.tcsl")?).map_err(|e| e.to_string())?;
+    let model = TimeCsl::load(arg(args, 0, "model.tcsl")?)?;
     let data = load("data", arg(args, 1, "data.csv")?)?;
-    let series: usize = arg(args, 2, "series")?
-        .parse()
-        .map_err(|e| format!("bad series: {e}"))?;
-    let feature: usize = arg(args, 3, "feature")?
-        .parse()
-        .map_err(|e| format!("bad feature: {e}"))?;
+    let series: usize = parse_arg(arg(args, 2, "series")?, "series")?;
+    let feature: usize = parse_arg(arg(args, 3, "feature")?, "feature")?;
     let out = arg(args, 4, "out.svg")?;
-    if series >= data.len() {
-        return Err(format!(
-            "series {series} out of range ({} series)",
-            data.len()
-        ));
-    }
-    if feature >= model.repr_dim() {
-        return Err(format!(
-            "feature {feature} out of range ({} features)",
-            model.repr_dim()
-        ));
-    }
-    let session = ExploreSession::new(model, data);
-    let m = session.match_shapelet(series, feature);
+    // Out-of-range indices are typed Config errors from the session.
+    let session = ExploreSession::new(model, data)?;
+    let m = session.match_shapelet(series, feature)?;
     println!(
         "best match at t={}..{} ({} score {:.4})",
         m.start,
@@ -188,7 +200,7 @@ fn cmd_match(args: &[String]) -> CliResult {
         m.measure.name(),
         m.score
     );
-    std::fs::write(out, session.render_match(series, feature)).map_err(|e| e.to_string())?;
+    tcsl_error::write_file(out, &session.render_match(series, feature)?)?;
     println!("wrote {out}");
     Ok(())
 }
@@ -201,10 +213,10 @@ fn cmd_info(args: &[String]) -> CliResult {
 }
 
 fn cmd_report(args: &[String]) -> CliResult {
-    let model = TimeCsl::load(arg(args, 0, "model.tcsl")?).map_err(|e| e.to_string())?;
+    let model = TimeCsl::load(arg(args, 0, "model.tcsl")?)?;
     let data = load("data", arg(args, 1, "data.csv")?)?;
     let out = arg(args, 2, "out.html")?;
-    let session = ExploreSession::new(model, data);
+    let session = ExploreSession::new(model, data)?;
     let shapelets = session.suggest_shapelets(4);
     let html = timecsl::explore::html_report(
         &session,
@@ -214,8 +226,8 @@ fn cmd_report(args: &[String]) -> CliResult {
             table_columns: shapelets,
             ..Default::default()
         },
-    );
-    std::fs::write(out, html).map_err(|e| e.to_string())?;
+    )?;
+    tcsl_error::write_file(out, &html)?;
     println!("wrote {out}");
     Ok(())
 }
@@ -224,13 +236,16 @@ fn cmd_report(args: &[String]) -> CliResult {
 /// classify, exercising every CLI path.
 fn cmd_demo() -> CliResult {
     let dir = std::env::temp_dir().join("timecsl_cli_demo");
-    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
-    let entry = archive::by_name("MotifEasy").ok_or("missing archive entry")?;
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| TcslError::io(dir.to_string_lossy().into_owned(), e))?;
+    // `require` lists every available dataset on a typo — same error a
+    // user-supplied name would get.
+    let entry = archive::require("MotifEasy")?;
     let (train, test) = archive::generate_split(&entry, 1);
     let train_csv = dir.join("train.csv");
     let test_csv = dir.join("test.csv");
-    io::save_csv(&train, &train_csv).map_err(|e| e.to_string())?;
-    io::save_csv(&test, &test_csv).map_err(|e| e.to_string())?;
+    io::save_csv(&train, &train_csv)?;
+    io::save_csv(&test, &test_csv)?;
     let model_path = dir.join("model.tcsl");
     cmd_pretrain(&[
         train_csv.to_string_lossy().into_owned(),

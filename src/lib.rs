@@ -20,11 +20,15 @@
 //!
 //! ## Quickstart
 //!
+//! Fallible steps return the workspace-wide [`TcslError`] and compose
+//! with `?` (DESIGN.md, "Error taxonomy & panic policy"):
+//!
 //! ```
 //! use timecsl::prelude::*;
 //!
+//! # fn main() -> TcslResult<()> {
 //! // A small archive dataset (synthetic stand-in for UEA).
-//! let entry = timecsl::data::archive::by_name("MotifEasy").unwrap();
+//! let entry = timecsl::data::archive::require("MotifEasy")?;
 //! let (train, test) = timecsl::data::archive::generate_split(&entry, 7);
 //!
 //! // Step 1–2: configure + unsupervised contrastive shapelet learning.
@@ -34,11 +38,13 @@
 //! let (model, _report) = TimeCsl::pretrain(&train, Some(shapelet_cfg), &csl_cfg);
 //!
 //! // Step 3: freezing mode — any analyzer on the representation.
-//! let (ztr, zte) = (model.transform(&train), model.transform(&test));
+//! let (ztr, zte) = (model.transform(&train)?, model.transform(&test)?);
 //! let mut svm = LinearSvm::new();
-//! svm.fit(&ztr, train.labels().unwrap());
-//! let acc = svm.accuracy(&zte, test.labels().unwrap());
+//! svm.fit(&ztr, train.labels().unwrap())?;
+//! let acc = svm.accuracy(&zte, test.labels().unwrap())?;
 //! assert!(acc > 0.4);
+//! # Ok(())
+//! # }
 //! ```
 
 pub use tcsl_analyzers as analyzers;
@@ -46,6 +52,7 @@ pub use tcsl_autodiff as autodiff;
 pub use tcsl_baselines as baselines;
 pub use tcsl_core as core;
 pub use tcsl_data as data;
+pub use tcsl_error as error;
 pub use tcsl_eval as eval;
 pub use tcsl_explore as explore;
 pub use tcsl_obs as obs;
@@ -53,6 +60,7 @@ pub use tcsl_shapelet as shapelet;
 pub use tcsl_tensor as tensor;
 
 pub use tcsl_core::{CslConfig, FineTuneConfig, LinearHead, TimeCsl, TrainingReport};
+pub use tcsl_error::{ErrorClass, TcslError, TcslResult};
 pub use tcsl_shapelet::{Measure, ShapeletBank, ShapeletConfig};
 
 /// The commonly used surface in one import.
@@ -65,5 +73,8 @@ pub mod prelude {
     pub use crate::analyzers::{AnomalyScorer, Classifier, Clusterer};
     pub use crate::data::{Dataset, TimeSeries};
     pub use crate::explore::{ExploreSession, TsneConfig};
-    pub use crate::{CslConfig, FineTuneConfig, LinearHead, Measure, ShapeletConfig, TimeCsl};
+    pub use crate::{
+        CslConfig, ErrorClass, FineTuneConfig, LinearHead, Measure, ShapeletConfig, TcslError,
+        TcslResult, TimeCsl,
+    };
 }

@@ -15,8 +15,8 @@ fn freeze_accuracy(
     yte: &[usize],
 ) -> f64 {
     let mut svm = LinearSvm::new();
-    svm.fit(ztr, ytr);
-    accuracy(&svm.predict(zte), yte)
+    svm.fit(ztr, ytr).unwrap();
+    accuracy(&svm.predict(zte).unwrap(), yte)
 }
 
 #[test]
@@ -34,7 +34,12 @@ fn csl_beats_stat_features_on_random_position_motifs() {
         ..Default::default()
     };
     let (model, _) = TimeCsl::pretrain(&train, None, &csl_cfg);
-    let csl_acc = freeze_accuracy(&model.transform(&train), ytr, &model.transform(&test), yte);
+    let csl_acc = freeze_accuracy(
+        &model.transform(&train).unwrap(),
+        ytr,
+        &model.transform(&test).unwrap(),
+        yte,
+    );
 
     let stat_tr = features::extract_dataset(&train.znormed());
     let stat_te = features::extract_dataset(&test.znormed());
@@ -63,7 +68,12 @@ fn csl_beats_tnc_on_periodic_data() {
         ..Default::default()
     };
     let (model, _) = TimeCsl::pretrain(&train, None, &csl_cfg);
-    let csl_acc = freeze_accuracy(&model.transform(&train), ytr, &model.transform(&test), yte);
+    let csl_acc = freeze_accuracy(
+        &model.transform(&train).unwrap(),
+        ytr,
+        &model.transform(&test).unwrap(),
+        yte,
+    );
 
     let arch = CnnArch {
         hidden: 8,

@@ -29,8 +29,8 @@ fn csv_round_trip_preserves_pipeline_behaviour() {
     };
     let (m1, _) = TimeCsl::pretrain(&train, None, &cfg);
     let (m2, _) = TimeCsl::pretrain(&reloaded, None, &cfg);
-    let f1 = m1.transform(&test);
-    let f2 = m2.transform(&test);
+    let f1 = m1.transform(&test).unwrap();
+    let f2 = m2.transform(&test).unwrap();
     assert!(
         f1.max_abs_diff(&f2) < 1e-5,
         "CSV round trip changed the model"
@@ -49,7 +49,7 @@ fn feature_matrix_exports_with_stable_header() {
         ..CslConfig::fast()
     };
     let (model, _) = TimeCsl::pretrain(&train, None, &cfg);
-    let feats = model.transform(&test);
+    let feats = model.transform(&test).unwrap();
     let csv = io::matrix_to_csv(&feats, &model.feature_names());
     let mut lines = csv.lines();
     let header = lines.next().unwrap();

@@ -15,7 +15,7 @@ fn run(seed: u64) -> (Vec<f32>, timecsl::tensor::Tensor) {
         ..CslConfig::fast()
     };
     let (model, report) = TimeCsl::pretrain(&train, None, &cfg);
-    (report.epoch_total, model.transform(&test))
+    (report.epoch_total, model.transform(&test).unwrap())
 }
 
 #[test]

@@ -15,7 +15,11 @@ fn session() -> (ExploreSession, Dataset, Dataset) {
         ..Default::default()
     };
     let (model, _) = TimeCsl::pretrain(&train, None, &csl);
-    (ExploreSession::new(model, test.clone()), train, test)
+    (
+        ExploreSession::new(model, test.clone()).unwrap(),
+        train,
+        test,
+    )
 }
 
 #[test]
@@ -23,7 +27,7 @@ fn matches_localize_and_agree_with_features() {
     let (session, _, test) = session();
     for col in [0usize, 7, 20] {
         for i in [0usize, 3] {
-            let m = session.match_shapelet(i, col);
+            let m = session.match_shapelet(i, col).unwrap();
             assert!(m.start + m.len <= test.series(i).len().max(m.len));
             assert!(
                 (m.score - session.features().at2(i, col)).abs() < 1e-4,
@@ -37,21 +41,23 @@ fn matches_localize_and_agree_with_features() {
 fn figure3_panels_render_as_svg() {
     let (session, _, test) = session();
     for svg in [
-        session.render_series(0),
-        session.render_shapelet(0),
-        session.render_match(0, 0),
+        session.render_series(0).unwrap(),
+        session.render_shapelet(0).unwrap(),
+        session.render_match(0, 0).unwrap(),
     ] {
         assert!(svg.starts_with("<svg"));
         assert!(svg.trim_end().ends_with("</svg>"));
         assert!(!svg.contains("NaN"));
     }
-    let tsne = session.render_tsne(
-        None,
-        &TsneConfig {
-            iterations: 50,
-            ..Default::default()
-        },
-    );
+    let tsne = session
+        .render_tsne(
+            None,
+            &TsneConfig {
+                iterations: 50,
+                ..Default::default()
+            },
+        )
+        .unwrap();
     assert_eq!(tsne.matches("<circle").count(), test.len());
 }
 
@@ -59,7 +65,7 @@ fn figure3_panels_render_as_svg() {
 fn tabular_sorting_ranks_best_matches_first() {
     let (session, _, _) = session();
     // Column 0 is a euclidean feature: ascending sort = best matches first.
-    let table = session.tabular(None);
+    let table = session.tabular(None).unwrap();
     let order = table.sort_by(0, true);
     for w in order.windows(2) {
         assert!(table.value(w[0], 0) <= table.value(w[1], 0));
@@ -71,12 +77,14 @@ fn redo_analysis_with_subset_still_classifies() {
     let (session, train, test) = session();
     // Keep the longest scale only (the demo's exploration insight).
     let scales = session.model().bank().scales();
-    let reduced = session.with_scale(*scales.last().unwrap());
+    let reduced = session.with_scale(*scales.last().unwrap()).unwrap();
     assert!(reduced.features().cols() < session.features().cols());
 
     let mut svm = LinearSvm::new();
-    svm.fit(&reduced.model().transform(&train), train.labels().unwrap());
-    let acc = accuracy(&svm.predict(reduced.features()), test.labels().unwrap());
+    let ztr = reduced.model().transform(&train).unwrap();
+    svm.fit(&ztr, train.labels().unwrap()).unwrap();
+    let pred = svm.predict(reduced.features()).unwrap();
+    let acc = accuracy(&pred, test.labels().unwrap());
     assert!(acc > 0.5, "subset accuracy only {acc}");
 }
 
@@ -84,7 +92,7 @@ fn redo_analysis_with_subset_still_classifies() {
 fn feature_subsets_match_full_model_columns() {
     let (session, _, _) = session();
     let cols = [1usize, 4, 9];
-    let reduced = session.with_selected(&cols);
+    let reduced = session.with_selected(&cols).unwrap();
     for i in 0..session.dataset().len() {
         for (k, &c) in cols.iter().enumerate() {
             assert!((reduced.features().at2(i, k) - session.features().at2(i, c)).abs() < 1e-5);

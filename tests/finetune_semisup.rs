@@ -53,8 +53,8 @@ fn finetuning_improves_over_frozen_head_on_training_loss() {
     );
     // Both reach reasonable test accuracy.
     let yt = test.labels().unwrap();
-    let acc_frozen = accuracy(&head_frozen.predict(&frozen.transform(&test)), yt);
-    let acc_joint = accuracy(&head_joint.predict(&joint.transform(&test)), yt);
+    let acc_frozen = accuracy(&head_frozen.predict(&frozen.transform(&test).unwrap()), yt);
+    let acc_joint = accuracy(&head_joint.predict(&joint.transform(&test).unwrap()), yt);
     assert!(acc_frozen > 0.5, "frozen accuracy {acc_frozen}");
     assert!(acc_joint > 0.5, "joint accuracy {acc_joint}");
 }
@@ -86,7 +86,7 @@ fn pretraining_beats_from_scratch_with_scarce_labels() {
             ..Default::default()
         },
     );
-    let csl_acc = accuracy(&head.predict(&model.transform(&test)), yt);
+    let csl_acc = accuracy(&head.predict(&model.transform(&test).unwrap()), yt);
 
     // Supervised CNN from scratch on the same 10%.
     let mut fcn = SupervisedCnn::new(

@@ -24,13 +24,13 @@ fn capped_window_config_handles_4k_series() {
     };
     let t0 = Instant::now();
     let (model, _) = TimeCsl::pretrain(&train, Some(scfg), &ccfg);
-    let ztr = model.transform(&train);
-    let zte = model.transform(&test);
+    let ztr = model.transform(&train).unwrap();
+    let zte = model.transform(&test).unwrap();
     let elapsed = t0.elapsed();
 
     let mut svm = LinearSvm::new();
-    svm.fit(&ztr, train.labels().unwrap());
-    let acc = accuracy(&svm.predict(&zte), test.labels().unwrap());
+    svm.fit(&ztr, train.labels().unwrap()).unwrap();
+    let acc = accuracy(&svm.predict(&zte).unwrap(), test.labels().unwrap());
     assert!(acc > 0.7, "long-series accuracy only {acc}");
     // Tractability: whole train+encode cycle stays interactive.
     assert!(
@@ -53,7 +53,7 @@ fn long_and_short_series_share_one_feature_space() {
         ..Default::default()
     };
     let (model, _) = TimeCsl::pretrain(&train_1k, Some(scfg), &ccfg);
-    let z = model.transform(&other_4k);
+    let z = model.transform(&other_4k).unwrap();
     assert_eq!(z.cols(), model.repr_dim());
     assert!(z.all_finite());
 }

@@ -27,18 +27,18 @@ fn one_pretraining_serves_three_tasks() {
     assert_eq!(report.epoch_total.len(), 6);
     assert!(report.epoch_total.iter().all(|l| l.is_finite()));
 
-    let ztr = model.transform(&train);
-    let zte = model.transform(&test);
+    let ztr = model.transform(&train).unwrap();
+    let zte = model.transform(&test).unwrap();
 
     // Classification well above the 20% chance level of 5 classes.
     let mut svm = LinearSvm::new();
-    svm.fit(&ztr, train.labels().unwrap());
-    let acc = accuracy(&svm.predict(&zte), test.labels().unwrap());
+    svm.fit(&ztr, train.labels().unwrap()).unwrap();
+    let acc = accuracy(&svm.predict(&zte).unwrap(), test.labels().unwrap());
     assert!(acc > 0.6, "freeze-mode SVM accuracy only {acc}");
 
     // Clustering recovers most of the class structure.
     let mut km = KMeans::new(5);
-    let assign = km.fit_predict(&zte);
+    let assign = km.fit_predict(&zte).unwrap();
     let score = nmi(&assign, test.labels().unwrap());
     assert!(score > 0.4, "k-means NMI only {score}");
     assert!(adjusted_rand_index(&assign, test.labels().unwrap()) > 0.2);
@@ -48,15 +48,15 @@ fn one_pretraining_serves_three_tasks() {
     // training distribution" (isolation forests care about axis-aligned
     // sparsity, which random seeds can wash out on small samples).
     let mut forest = KnnDistance::new(5);
-    forest.fit(&ztr);
-    let mut scores = forest.score(&zte);
+    forest.fit(&ztr).unwrap();
+    let mut scores = forest.score(&zte).unwrap();
     // Append scores of pure-noise imposters.
     let mut rng = timecsl::tensor::rng::seeded(9);
     let noise_series: Vec<TimeSeries> = (0..20)
         .map(|_| TimeSeries::new(timecsl::tensor::Tensor::randn([2, 160], &mut rng).scale(3.0)))
         .collect();
     let noise = Dataset::unlabeled("noise", noise_series);
-    scores.extend(forest.score(&model.transform(&noise)));
+    scores.extend(forest.score(&model.transform(&noise).unwrap()).unwrap());
     let labels: Vec<bool> = (0..zte.rows())
         .map(|_| false)
         .chain((0..20).map(|_| true))
@@ -72,8 +72,8 @@ fn freezing_mode_accepts_any_analyzer() {
     let entry = archive::by_name("MotifEasy").unwrap();
     let (train, test) = archive::generate_split(&entry, 101);
     let (model, _) = TimeCsl::pretrain(&train, None, &quick_cfg(2));
-    let ztr = model.transform(&train);
-    let zte = model.transform(&test);
+    let ztr = model.transform(&train).unwrap();
+    let zte = model.transform(&test).unwrap();
     let y = train.labels().unwrap();
     let yt = test.labels().unwrap();
 
@@ -85,8 +85,8 @@ fn freezing_mode_accepts_any_analyzer() {
         ("gbdt", Box::new(GradientBoosting::new(15))),
     ];
     for (name, mut clf) in analyzers {
-        clf.fit(&ztr, y);
-        let acc = accuracy(&clf.predict(&zte), yt);
+        clf.fit(&ztr, y).unwrap();
+        let acc = accuracy(&clf.predict(&zte).unwrap(), yt);
         assert!(
             acc > 0.6,
             "{name} accuracy only {acc} on MotifEasy features"
@@ -101,7 +101,7 @@ fn representation_is_length_and_dataset_agnostic() {
     let (train, _) = archive::generate_split(&archive::by_name("MotifEasy").unwrap(), 102);
     let (model, _) = TimeCsl::pretrain(&train, None, &quick_cfg(3));
     let (other, _) = archive::generate_split(&archive::by_name("PeriodicWave").unwrap(), 103);
-    let z = model.transform(&other);
+    let z = model.transform(&other).unwrap();
     assert_eq!(z.cols(), model.repr_dim());
     assert_eq!(z.rows(), other.len());
     assert!(z.all_finite());
@@ -120,7 +120,8 @@ fn model_save_load_preserves_features_through_facade() {
     assert!(
         model
             .transform(&test)
-            .max_abs_diff(&loaded.transform(&test))
+            .unwrap()
+            .max_abs_diff(&loaded.transform(&test).unwrap())
             < 1e-5
     );
     std::fs::remove_file(path).ok();
