@@ -49,9 +49,10 @@ struct EngineReport {
     series_per_sec: f64,
     peak_extra_mb: f64,
     total_mb_per_series: f64,
+    bytes_streamed_per_series: u64,
 }
 
-fn profile_engine<F: FnMut()>(mut f: F) -> EngineReport {
+fn profile_engine<F: FnMut()>(mut f: F, bytes_streamed: u64) -> EngineReport {
     let secs = time_per_call(&mut f);
     let ((), allocs) = alloc_profile(&mut f);
     EngineReport {
@@ -59,17 +60,41 @@ fn profile_engine<F: FnMut()>(mut f: F) -> EngineReport {
         series_per_sec: 1.0 / secs,
         peak_extra_mb: allocs.peak_extra_mb(),
         total_mb_per_series: allocs.total_mb(),
+        bytes_streamed_per_series: bytes_streamed,
     }
 }
 
 fn engine_json(r: &EngineReport) -> String {
     format!(
-        "{{\"ms_per_series\":{:.4},\"series_per_sec\":{:.2},\"peak_alloc_mb\":{:.4},\"total_alloc_mb_per_series\":{:.4}}}",
+        "{{\"ms_per_series\":{:.4},\"series_per_sec\":{:.2},\"peak_alloc_mb\":{:.4},\"total_alloc_mb_per_series\":{:.4},\"bytes_streamed_per_series\":{}}}",
         r.secs_per_series * 1e3,
         r.series_per_sec,
         r.peak_extra_mb,
-        r.total_mb_per_series
+        r.total_mb_per_series,
+        r.bytes_streamed_per_series
     )
+}
+
+/// Modeled bytes of tap + window traffic one transform call streams, per
+/// series (the quantity the quantized bank halves on the tap side). Fused:
+/// every window re-reads all `K` tap rows (`tap_bytes` each) and is itself
+/// read once per 4-shapelet block. Naive: the unfold writes + matmul reads
+/// the window matrix, and the matmul streams the f32 tap matrix once per
+/// window row.
+fn modeled_bytes_streamed(bank: &ShapeletBank, t: usize, tap_elt_bytes: usize, naive: bool) -> u64 {
+    let mut total = 0u64;
+    for g in bank.groups() {
+        let width = bank.d * g.len;
+        let n = tcsl_tensor::window::count_windows(t.max(g.len), g.len, g.stride) as u64;
+        total += if naive {
+            // unfold write + matmul read of each window row, f32 taps
+            // re-streamed per window.
+            n * (width as u64) * 8 + n * (g.k() * width) as u64 * 4
+        } else {
+            n * (g.k() * width * tap_elt_bytes) as u64 + n * (g.k().div_ceil(4) * width) as u64 * 4
+        };
+    }
+    total
 }
 
 struct Case {
@@ -117,14 +142,20 @@ fn main() {
         bank.randomize(&mut rng);
         let series = TimeSeries::new(Tensor::randn([case.d, case.t], &mut rng));
 
-        let naive = profile_engine(|| {
-            std::hint::black_box(transform_series_oracle(&bank, &series));
-        });
-        let fused = profile_engine(|| {
-            std::hint::black_box(
-                transform_series(&bank, &series).expect("bench series are well-formed"),
-            );
-        });
+        let naive = profile_engine(
+            || {
+                std::hint::black_box(transform_series_oracle(&bank, &series));
+            },
+            modeled_bytes_streamed(&bank, case.t, 4, true),
+        );
+        let fused = profile_engine(
+            || {
+                std::hint::black_box(
+                    transform_series(&bank, &series).expect("bench series are well-formed"),
+                );
+            },
+            modeled_bytes_streamed(&bank, case.t, 4, false),
+        );
         let speedup = naive.secs_per_series / fused.secs_per_series;
 
         let mut entry = String::new();

@@ -2,6 +2,7 @@
 
 use tcsl_error::{TcslError, TcslResult};
 use tcsl_shapelet::diff_transform::DiffPath;
+use tcsl_shapelet::BankPrecision;
 
 /// Configuration of unsupervised contrastive shapelet learning.
 #[derive(Clone, Debug)]
@@ -32,6 +33,12 @@ pub struct CslConfig {
     /// the fused custom-op kernel (default) or the eager-graph oracle
     /// (parity tests and old-vs-new benchmarking).
     pub diff_path: DiffPath,
+    /// Inference precision of the trained bank: with [`BankPrecision::F16`]
+    /// or [`BankPrecision::I16`], pre-training finishes with an automatic
+    /// [`tcsl_shapelet::ShapeletBank::quantize`] step, so the returned model
+    /// serves (and saves) at half tap width. Training itself always runs in
+    /// f32 — only the post-training bank is affected.
+    pub bank_precision: BankPrecision,
 }
 
 impl Default for CslConfig {
@@ -48,6 +55,7 @@ impl Default for CslConfig {
             validation_frac: 0.0,
             seed: 0,
             diff_path: DiffPath::default(),
+            bank_precision: BankPrecision::Full,
         }
     }
 }

@@ -15,7 +15,8 @@ use tcsl_data::{Dataset, TimeSeries};
 use tcsl_error::{TcslError, TcslResult};
 use tcsl_shapelet::init::init_from_data;
 use tcsl_shapelet::transform::{transform_dataset, transform_series};
-use tcsl_shapelet::{ShapeletBank, ShapeletConfig};
+use tcsl_shapelet::{BankPrecision, ShapeletBank, ShapeletConfig};
+use tcsl_tensor::quant::QuantScheme;
 use tcsl_tensor::rng::seeded;
 use tcsl_tensor::Tensor;
 
@@ -58,6 +59,16 @@ impl TimeCsl {
         let mut rng = seeded(csl_cfg.seed ^ 0x5113);
         init_from_data(&mut bank, &normed, csl_cfg.init_oversample, &mut rng);
         let report = pretrain(&mut bank, &normed, csl_cfg);
+        if let Some(scheme) = csl_cfg.bank_precision.scheme() {
+            // Freshly trained taps are finite (the trainer optimizes a
+            // finite loss under a validated config) and i16's per-row scale
+            // absorbs any range, so the only quantize failure reachable
+            // from here would be an f16 overflow from wildly diverged
+            // training — a trainer bug, not a request error.
+            #[allow(clippy::disallowed_methods)]
+            bank.quantize(scheme)
+                .expect("post-training quantization of freshly trained taps");
+        }
         (
             TimeCsl {
                 bank,
@@ -90,6 +101,20 @@ impl TimeCsl {
     /// The input normalization applied before every transform.
     pub fn normalization(&self) -> Normalization {
         self.normalization
+    }
+
+    /// The model's inference precision ([`BankPrecision::Full`] unless
+    /// quantized).
+    pub fn precision(&self) -> BankPrecision {
+        self.bank.precision()
+    }
+
+    /// Quantizes the model's bank in place for inference — the explicit
+    /// post-training step behind `timecsl quantize`. See
+    /// [`ShapeletBank::quantize`] for the precision contract; non-finite
+    /// taps and f16 range overflow are typed request errors.
+    pub fn quantize(&mut self, scheme: QuantScheme) -> TcslResult<()> {
+        self.bank.quantize(scheme)
     }
 
     /// Representation dimensionality `D_repr`.
@@ -150,28 +175,51 @@ impl TimeCsl {
         })
     }
 
-    /// Serializes the model to a versioned text format: a `tcsl-model v2`
-    /// header carrying the input normalization, followed by the bank text.
-    /// A bank saved under `MinMax`/`None` therefore round-trips to the same
-    /// features — PR-1-era files persisted only the bank and silently
-    /// re-loaded as `ZScore`.
+    /// Serializes the model to a versioned text format: a `tcsl-model v3`
+    /// header carrying the input normalization and the bank precision,
+    /// followed by the bank text (always the f32 view — for a quantized
+    /// bank that is the *dequantized* view, so the stored weights are
+    /// exactly what the kernels compute with) and, for i16, a `scales`
+    /// section persisting the per-shapelet quantization scales. Re-loading
+    /// therefore reconstructs the identical half-width taps, and transforms
+    /// round-trip bit-identically at every precision.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> TcslResult<()> {
         tcsl_error::write_file(path, self.to_text())
     }
 
     /// The versioned model text format written by [`Self::save`].
     pub fn to_text(&self) -> String {
-        format!(
-            "tcsl-model v2 normalization={}\n{}",
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "tcsl-model v3 normalization={} precision={}\n{}",
             self.normalization.name(),
+            self.bank.precision().name(),
             self.bank.to_text()
-        )
+        );
+        // i16 is the one precision whose dequantized f32 view does not
+        // determine the stored taps (the scale is a free parameter), so its
+        // scales are part of the format.
+        if self.bank.precision() == BankPrecision::I16 {
+            if let Some(qps) = self.bank.quantized() {
+                let _ = writeln!(out, "scales groups={}", qps.len());
+                for qp in qps {
+                    let row: Vec<String> = qp
+                        .scales()
+                        .unwrap_or(&[])
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect();
+                    let _ = writeln!(out, "{}", row.join(" "));
+                }
+            }
+        }
+        out
     }
 
-    /// Loads a model saved by [`Self::save`]. Accepts both the current
-    /// `tcsl-model v2` format and PR-1-era bare-bank files (which carry no
-    /// normalization and load under the z-score default they were written
-    /// with).
+    /// Loads a model saved by [`Self::save`]. Accepts the current
+    /// `tcsl-model v3` format, v2 files (no precision token — they load as
+    /// f32) and PR-1-era bare-bank files (which carry no normalization and
+    /// load under the z-score default they were written with).
     pub fn load(path: impl AsRef<std::path::Path>) -> TcslResult<TimeCsl> {
         use tcsl_error::ResultExt as _;
         let text = tcsl_error::read_to_string(&path)?;
@@ -196,6 +244,7 @@ impl TimeCsl {
         }
         let mut version = None;
         let mut normalization = None;
+        let mut precision = None;
         for tok in first.split_whitespace().skip(1) {
             if let Some(v) = tok.strip_prefix('v') {
                 if version.is_none() && v.chars().all(|c| c.is_ascii_digit()) {
@@ -207,10 +256,20 @@ impl TimeCsl {
                     TcslError::model_format("normalization in {zscore, minmax, none}", v)
                 })?);
             }
+            if let Some(v) = tok.strip_prefix("precision=") {
+                precision =
+                    Some(BankPrecision::parse(v).ok_or_else(|| {
+                        TcslError::model_format("precision in {f32, f16, i16}", v)
+                    })?);
+            }
         }
-        if version.as_deref() != Some("2") {
-            return Err(TcslError::model_format("tcsl-model v2 header", first));
-        }
+        let precision = match version.as_deref() {
+            // v2 predates quantization: always full precision.
+            Some("2") => BankPrecision::Full,
+            Some("3") => precision
+                .ok_or_else(|| TcslError::model_format("precision= in model header", first))?,
+            _ => return Err(TcslError::model_format("tcsl-model v2/v3 header", first)),
+        };
         let normalization = normalization
             .ok_or_else(|| TcslError::model_format("normalization= in model header", first))?;
         let rest = match text.split_once('\n') {
@@ -222,9 +281,70 @@ impl TimeCsl {
                 ))
             }
         };
-        let bank = ShapeletBank::from_text(rest)?;
+        // The bank parser reads exactly its own section; a trailing scales
+        // section passes through untouched.
+        let mut bank = ShapeletBank::from_text(rest)?;
+        match precision {
+            BankPrecision::Full => {}
+            // The stored weights are the dequantized view; f16
+            // re-quantization of dequantized values is exact, so this
+            // reconstructs the identical half-width taps.
+            BankPrecision::F16 => bank.quantize(QuantScheme::F16)?,
+            // i16 needs the persisted scales: re-quantizing the dequantized
+            // view under the original scale is exact, while a re-derived
+            // scale would drift.
+            BankPrecision::I16 => {
+                let scales = parse_scales_section(rest, bank.groups().len())?;
+                bank.quantize_with_scales(&scales)?;
+            }
+        }
         Ok(TimeCsl::from_bank_normalized(bank, normalization))
     }
+}
+
+/// Parses the `scales` section of a `precision=i16` model: a
+/// `scales groups=<n>` line after the bank section, then one
+/// whitespace-separated row of per-shapelet scales per group.
+fn parse_scales_section(bank_text: &str, n_groups: usize) -> TcslResult<Vec<Vec<f32>>> {
+    let mut lines = bank_text.lines().enumerate();
+    let header = loop {
+        match lines.next() {
+            Some((_, l)) if l.starts_with("scales ") => break l,
+            Some(_) => continue,
+            None => {
+                return Err(TcslError::model_format(
+                    "scales section for precision=i16",
+                    "end of file",
+                ))
+            }
+        }
+    };
+    let declared = header
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("groups="))
+        .ok_or_else(|| TcslError::model_format("groups=<n> in scales header", header))?;
+    if declared != n_groups.to_string() {
+        return Err(TcslError::model_format(
+            format!("scales for {n_groups} groups"),
+            format!("groups={declared}"),
+        ));
+    }
+    let mut out = Vec::with_capacity(n_groups);
+    for gi in 0..n_groups {
+        let (lineno, line) = lines.next().ok_or_else(|| {
+            TcslError::model_format(format!("scale row for group {gi}"), "end of file")
+        })?;
+        let row = line
+            .split_whitespace()
+            .map(|tok| {
+                tok.parse::<f32>().map_err(|e| {
+                    TcslError::parse("tcsl-model", lineno + 1, format!("bad scale '{tok}': {e}"))
+                })
+            })
+            .collect::<TcslResult<Vec<f32>>>()?;
+        out.push(row);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -386,5 +506,116 @@ mod tests {
             class("tcsl-model v2 normalization=zscore"),
             ErrorClass::ModelFormat
         );
+        // v3 structural damage: missing/unknown precision, and an i16 model
+        // without its scales section.
+        assert_eq!(
+            class("tcsl-model v3 normalization=zscore\ntcsl-bank v1 d=1 groups=0\n"),
+            ErrorClass::ModelFormat
+        );
+        assert_eq!(
+            class("tcsl-model v3 normalization=zscore precision=f8\n"),
+            ErrorClass::ModelFormat
+        );
+        assert_eq!(
+            class(
+                "tcsl-model v3 normalization=zscore precision=i16\n\
+                 tcsl-bank v1 d=1 groups=1\ngroup len=2 stride=1 measure=euc k=1\n0.5 0.25\n"
+            ),
+            ErrorClass::ModelFormat
+        );
+        // Wrong group count and a non-numeric value in the scales section.
+        let with_scales = |scales: &str| {
+            format!(
+                "tcsl-model v3 normalization=zscore precision=i16\n\
+                 tcsl-bank v1 d=1 groups=1\ngroup len=2 stride=1 measure=euc k=1\n0.5 0.25\n{scales}"
+            )
+        };
+        assert_eq!(
+            class(&with_scales("scales groups=2\n0.01\n0.01\n")),
+            ErrorClass::ModelFormat
+        );
+        assert_eq!(
+            class(&with_scales("scales groups=1\nnope\n")),
+            ErrorClass::Parse
+        );
+        // A non-positive persisted scale is rejected, not divided by.
+        assert_eq!(
+            class(&with_scales("scales groups=1\n0\n")),
+            ErrorClass::ModelFormat
+        );
+    }
+
+    #[test]
+    fn quantized_models_round_trip_bit_identically() {
+        use tcsl_shapelet::BankPrecision;
+        use tcsl_tensor::quant::QuantScheme;
+        let entry = archive::by_name("MotifEasy").unwrap();
+        let (train, test) = archive::generate_split(&entry, 27);
+        let (scfg, ccfg) = quick_cfg();
+        for (scheme, precision) in [
+            (QuantScheme::F16, BankPrecision::F16),
+            (QuantScheme::I16, BankPrecision::I16),
+        ] {
+            let (mut model, _) = TimeCsl::pretrain(&train, Some(scfg.clone()), &ccfg);
+            model.quantize(scheme).unwrap();
+            assert_eq!(model.precision(), precision);
+            let text = model.to_text();
+            assert!(text.starts_with(&format!(
+                "tcsl-model v3 normalization=zscore precision={}",
+                precision.name()
+            )));
+            let loaded = TimeCsl::from_text(&text).unwrap();
+            assert_eq!(loaded.precision(), precision);
+            let a = model.transform(&test).unwrap();
+            let b = loaded.transform(&test).unwrap();
+            // Save → load reconstructs the identical half-width taps, so
+            // features are bit-identical, not merely close.
+            assert_eq!(
+                a.max_abs_diff(&b),
+                0.0,
+                "{precision:?} round trip must be exact"
+            );
+            // And a second round trip is a fixed point of the format.
+            assert_eq!(loaded.to_text(), text, "{precision:?}");
+        }
+    }
+
+    #[test]
+    fn pretrain_quantizes_when_config_asks() {
+        use tcsl_shapelet::BankPrecision;
+        let entry = archive::by_name("MotifEasy").unwrap();
+        let (train, test) = archive::generate_split(&entry, 28);
+        let (scfg, mut ccfg) = quick_cfg();
+        ccfg.bank_precision = BankPrecision::F16;
+        let (model, _) = TimeCsl::pretrain(&train, Some(scfg.clone()), &ccfg);
+        assert_eq!(model.precision(), BankPrecision::F16);
+        assert!(model.bank().quantized().is_some());
+        // The quantized model stays close to the full-precision one.
+        ccfg.bank_precision = BankPrecision::Full;
+        let (full, _) = TimeCsl::pretrain(&train, Some(scfg), &ccfg);
+        let a = model.transform(&test).unwrap();
+        let b = full.transform(&test).unwrap();
+        assert!(a.max_abs_diff(&b) < 0.05, "{}", a.max_abs_diff(&b));
+    }
+
+    #[test]
+    fn quantized_feature_parity_with_full_precision() {
+        use tcsl_tensor::quant::QuantScheme;
+        let entry = archive::by_name("MotifEasy").unwrap();
+        let (train, test) = archive::generate_split(&entry, 29);
+        let (scfg, ccfg) = quick_cfg();
+        let (model, _) = TimeCsl::pretrain(&train, Some(scfg), &ccfg);
+        let full = model.transform(&test).unwrap();
+        for scheme in [QuantScheme::F16, QuantScheme::I16] {
+            let mut q = model.clone();
+            q.quantize(scheme).unwrap();
+            let feats = q.transform(&test).unwrap();
+            assert!(feats.all_finite());
+            assert!(
+                full.max_abs_diff(&feats) < 0.05,
+                "{scheme:?}: {}",
+                full.max_abs_diff(&feats)
+            );
+        }
     }
 }

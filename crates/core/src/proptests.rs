@@ -1,9 +1,11 @@
-//! Property tests for the data-parallel trainer's reduction contract: the
+//! Property tests for the data-parallel trainer's reduction contract (the
 //! gradient of a batch loss computed as one monolithic graph over all view
-//! pairs must agree with per-pair subgraphs reduced in fixed pair order
-//! (the worker/reducer split of `pretrain`). Agreement is up to f32
-//! round-off — the two paths sum the same per-pair contributions in
-//! different association orders.
+//! pairs must agree with per-pair subgraphs reduced in fixed pair order —
+//! the worker/reducer split of `pretrain`; agreement is up to f32
+//! round-off, as the two paths sum the same per-pair contributions in
+//! different association orders), and for the model format's cross-version
+//! compatibility: v2 and legacy bare-bank files load as f32, re-save as v3
+//! and keep transforms bit-identical.
 
 use crate::views::sample_views;
 use proptest::prelude::*;
@@ -132,6 +134,55 @@ proptest! {
                 gi,
                 diff
             );
+        }
+    }
+
+    #[test]
+    fn old_model_files_resave_as_v3_bit_identically(
+        (d, t, seed) in (1usize..3, 12usize..30, 0u64..1000)
+    ) {
+        // Cross-version contract of the model format: a v2 file and a
+        // PR-1-era bare-bank file both load as full-precision f32, re-save
+        // under the current v3 header, and the re-saved model transforms
+        // bit-identically to (a) the loaded one and (b) a model wrapping
+        // the original in-memory bank. f32 weights survive the text round
+        // trip exactly (shortest round-trip formatting), so this is
+        // equality, not a tolerance.
+        use crate::pipeline::TimeCsl;
+        use tcsl_data::normalize::Normalization;
+        use tcsl_shapelet::BankPrecision;
+
+        let mut rng = seeded(seed);
+        let cfg = ShapeletConfig {
+            lengths: vec![3, 6],
+            k_per_group: 2,
+            measures: Measure::ALL.to_vec(),
+            stride: 1,
+        };
+        let mut bank = ShapeletBank::new(&cfg, d);
+        bank.randomize(&mut rng);
+        let series = TimeSeries::new(Tensor::randn([d, t], &mut rng));
+
+        let norm = [Normalization::ZScore, Normalization::MinMax, Normalization::None]
+            [(seed % 3) as usize];
+        let legacy = bank.to_text();
+        let v2 = format!("tcsl-model v2 normalization={}\n{}", norm.name(), legacy);
+        for text in [legacy, v2] {
+            let loaded = TimeCsl::from_text(&text).unwrap();
+            prop_assert_eq!(loaded.precision(), BankPrecision::Full);
+            let original =
+                TimeCsl::from_bank_normalized(bank.clone(), loaded.normalization());
+            let resaved = loaded.to_text();
+            prop_assert!(resaved.starts_with("tcsl-model v3 normalization="));
+            prop_assert!(resaved.contains("precision=f32"));
+            let reloaded = TimeCsl::from_text(&resaved).unwrap();
+            prop_assert_eq!(reloaded.precision(), BankPrecision::Full);
+            prop_assert_eq!(reloaded.normalization(), loaded.normalization());
+            let a = original.transform_one(&series).unwrap();
+            let b = loaded.transform_one(&series).unwrap();
+            let c = reloaded.transform_one(&series).unwrap();
+            prop_assert_eq!(&a, &b, "load changed features");
+            prop_assert_eq!(&b, &c, "v3 re-save changed features");
         }
     }
 }

@@ -3,10 +3,12 @@
 
 use crate::config::ShapeletConfig;
 use crate::measure::Measure;
+use crate::quant::{BankPrecision, QuantizedPrecomp};
 use std::fmt::Write as _;
 use std::ops::Range;
 use std::sync::OnceLock;
 use tcsl_error::{TcslError, TcslResult};
+use tcsl_tensor::quant::{QuantScheme, F16_MAX};
 use tcsl_tensor::Tensor;
 
 /// One (scale, measure) group of `K` shapelets, stored flattened as a
@@ -110,6 +112,14 @@ pub struct ShapeletBank {
     /// Reset by every mutable access to the groups so it can never go
     /// stale; shared by all series of a batch transform.
     precomp: OnceLock<Vec<GroupPrecomp>>,
+    /// Half-width tap storage, present iff the bank has been quantized
+    /// ([`Self::quantize`]). When set, `groups[..].shapelets` hold the
+    /// **dequantized** values, so every f32 consumer (oracle, localization,
+    /// serialization) sees exactly what the quantized kernels compute with.
+    /// Cleared by any mutable access to the groups.
+    quant: Option<Vec<QuantizedPrecomp>>,
+    /// Inference precision; [`BankPrecision::Full`] unless quantized.
+    precision: BankPrecision,
 }
 
 impl ShapeletBank {
@@ -134,12 +144,16 @@ impl ShapeletBank {
             d,
             groups,
             precomp: OnceLock::new(),
+            quant: None,
+            precision: BankPrecision::Full,
         }
     }
 
     /// Fills every shapelet with standard-normal noise (scaled down).
     pub fn randomize(&mut self, rng: &mut impl rand::Rng) {
         self.precomp = OnceLock::new();
+        self.quant = None;
+        self.precision = BankPrecision::Full;
         for g in &mut self.groups {
             g.shapelets = Tensor::randn(g.shapelets.shape().clone(), rng).scale(0.5);
         }
@@ -153,9 +167,12 @@ impl ShapeletBank {
     /// Mutable access to the groups (used by training to write back learned
     /// shapelets). Invalidates the cached precomputation — the only way to
     /// mutate shapelets is through `&mut self`, so [`Self::precomputed`]
-    /// can never observe stale norms.
+    /// can never observe stale norms. Also drops any quantized taps: a
+    /// mutated bank is a full-precision bank until re-quantized.
     pub fn groups_mut(&mut self) -> &mut [ShapeletGroup] {
         self.precomp = OnceLock::new();
+        self.quant = None;
+        self.precision = BankPrecision::Full;
         &mut self.groups
     }
 
@@ -169,6 +186,116 @@ impl ShapeletBank {
                 .map(|g| GroupPrecomp::of(&g.shapelets))
                 .collect()
         })
+    }
+
+    /// The bank's inference precision ([`BankPrecision::Full`] unless
+    /// [`Self::quantize`]d).
+    pub fn precision(&self) -> BankPrecision {
+        self.precision
+    }
+
+    /// The per-group half-width tap storage, present iff the bank is
+    /// quantized. The transform and localization paths route through these
+    /// instead of [`Self::precomputed`] when set.
+    pub fn quantized(&self) -> Option<&[QuantizedPrecomp]> {
+        self.quant.as_deref()
+    }
+
+    /// Quantizes the bank in place for inference — an explicit post-training
+    /// step. Tap rows are converted to the half-width `scheme`, and the f32
+    /// shapelet tensors are replaced by their **dequantized** values, so
+    /// every consumer of the f32 view (oracle transform, localization,
+    /// serialization, norms) is consistent with what the quantized kernels
+    /// compute. Idempotent: re-quantizing an already-quantized bank with the
+    /// same scheme changes nothing.
+    ///
+    /// Fails with [`TcslError::NonFiniteInput`](tcsl_error::ErrorClass) on
+    /// NaN/infinite taps, and with a config error for finite f16 overflow
+    /// (|tap| > 65504 — use i16, whose per-row scale absorbs any range).
+    pub fn quantize(&mut self, scheme: QuantScheme) -> TcslResult<()> {
+        for (gi, g) in self.groups.iter().enumerate() {
+            for k in 0..g.k() {
+                let row = g.shapelets.row(k);
+                if !row.iter().all(|x| x.is_finite()) {
+                    return Err(TcslError::non_finite(format!(
+                        "shapelet taps (group {gi}, shapelet {k})"
+                    )));
+                }
+                if scheme == QuantScheme::F16 {
+                    if let Some(&big) = row.iter().find(|x| x.abs() > F16_MAX) {
+                        return Err(TcslError::config(format!(
+                            "tap {big} in group {gi} shapelet {k} exceeds the f16 range \
+                             (±{F16_MAX}); quantize with scheme=i16 instead"
+                        )));
+                    }
+                }
+            }
+        }
+        let mut qps = Vec::with_capacity(self.groups.len());
+        for g in &mut self.groups {
+            let qp = QuantizedPrecomp::of(&g.shapelets, scheme);
+            g.shapelets = qp.dequantized();
+            qps.push(qp);
+        }
+        self.precomp = OnceLock::new();
+        self.quant = Some(qps);
+        self.precision = match scheme {
+            QuantScheme::F16 => BankPrecision::F16,
+            QuantScheme::I16 => BankPrecision::I16,
+        };
+        Ok(())
+    }
+
+    /// i16 quantization with externally supplied per-group, per-shapelet
+    /// scales — the model-loading path, where reusing the persisted scales
+    /// makes save → load → re-quantize reconstruct the exact same taps.
+    /// Scales must be positive and finite and every `round(tap / scale)`
+    /// must land in `[-32767, 32767]`.
+    pub fn quantize_with_scales(&mut self, scales: &[Vec<f32>]) -> TcslResult<()> {
+        if scales.len() != self.groups.len() {
+            return Err(TcslError::model_format(
+                format!("{} scale rows", self.groups.len()),
+                format!("{}", scales.len()),
+            ));
+        }
+        for (gi, (g, gs)) in self.groups.iter().zip(scales).enumerate() {
+            if gs.len() != g.k() {
+                return Err(TcslError::model_format(
+                    format!("{} scales for group {gi}", g.k()),
+                    format!("{}", gs.len()),
+                ));
+            }
+            for (k, &s) in gs.iter().enumerate() {
+                if !(s.is_finite() && s > 0.0) {
+                    return Err(TcslError::model_format(
+                        format!("a positive finite scale (group {gi}, shapelet {k})"),
+                        format!("{s}"),
+                    ));
+                }
+                let row = g.shapelets.row(k);
+                if !row.iter().all(|x| x.is_finite()) {
+                    return Err(TcslError::non_finite(format!(
+                        "shapelet taps (group {gi}, shapelet {k})"
+                    )));
+                }
+                if let Some(&big) = row.iter().find(|x| (x.abs() / s).round() > 32767.0) {
+                    return Err(TcslError::model_format(
+                        format!("taps within ±32767·scale (group {gi}, shapelet {k})"),
+                        format!("tap {big} at scale {s}"),
+                    ));
+                }
+            }
+        }
+        let mut qps = Vec::with_capacity(self.groups.len());
+        for (g, gs) in self.groups.iter_mut().zip(scales) {
+            let qp = QuantizedPrecomp::with_scales(&g.shapelets, gs.clone());
+            g.shapelets = qp.dequantized();
+            qps.push(qp);
+        }
+        self.precomp = OnceLock::new();
+        self.quant = Some(qps);
+        self.precision = BankPrecision::I16;
+        Ok(())
     }
 
     /// Total representation dimensionality.
@@ -251,6 +378,7 @@ impl ShapeletBank {
             per_group[g].push(k);
         }
         let mut groups = Vec::new();
+        let mut sub_quant = self.quant.as_ref().map(|_| Vec::new());
         for (gi, ks) in per_group.into_iter().enumerate() {
             if ks.is_empty() {
                 continue;
@@ -260,6 +388,12 @@ impl ShapeletBank {
             let mut data = Vec::with_capacity(ks.len() * width);
             for &k in &ks {
                 data.extend_from_slice(src.shapelets.row(k));
+            }
+            // A quantized bank subsets to a quantized bank: the selected
+            // half-width rows are carried over, no re-quantization round
+            // trip.
+            if let (Some(sq), Some(qps)) = (sub_quant.as_mut(), self.quant.as_ref()) {
+                sq.push(qps[gi].subset_rows(&ks));
             }
             groups.push(ShapeletGroup {
                 len: src.len,
@@ -272,6 +406,8 @@ impl ShapeletBank {
             d: self.d,
             groups,
             precomp: OnceLock::new(),
+            quant: sub_quant,
+            precision: self.precision,
         })
     }
 
@@ -290,8 +426,9 @@ impl ShapeletBank {
         }
         let mut kept_columns = Vec::new();
         let mut groups = Vec::new();
+        let mut sub_quant = self.quant.as_ref().map(|_| Vec::new());
         let mut col_base = 0usize;
-        for src in &self.groups {
+        for (gi, src) in self.groups.iter().enumerate() {
             let width = src.shapelets.cols();
             let mut kept_rows: Vec<usize> = Vec::new();
             for k in 0..src.k() {
@@ -315,6 +452,9 @@ impl ShapeletBank {
                 for &k in &kept_rows {
                     data.extend_from_slice(src.shapelets.row(k));
                 }
+                if let (Some(sq), Some(qps)) = (sub_quant.as_mut(), self.quant.as_ref()) {
+                    sq.push(qps[gi].subset_rows(&kept_rows));
+                }
                 groups.push(ShapeletGroup {
                     len: src.len,
                     stride: src.stride,
@@ -334,6 +474,8 @@ impl ShapeletBank {
                 d: self.d,
                 groups,
                 precomp: OnceLock::new(),
+                quant: sub_quant,
+                precision: self.precision,
             },
             kept_columns,
         ))
@@ -341,12 +483,16 @@ impl ShapeletBank {
 
     /// Builds a sub-bank with every shapelet of one scale (length).
     pub fn subset_scale(&self, len: usize) -> TcslResult<ShapeletBank> {
-        let groups: Vec<ShapeletGroup> = self
-            .groups
-            .iter()
-            .filter(|g| g.len == len)
-            .cloned()
-            .collect();
+        let mut groups = Vec::new();
+        let mut sub_quant = self.quant.as_ref().map(|_| Vec::new());
+        for (gi, g) in self.groups.iter().enumerate() {
+            if g.len == len {
+                if let (Some(sq), Some(qps)) = (sub_quant.as_mut(), self.quant.as_ref()) {
+                    sq.push(qps[gi].clone());
+                }
+                groups.push(g.clone());
+            }
+        }
         if groups.is_empty() {
             let scales: Vec<String> = self.scales().iter().map(|l| l.to_string()).collect();
             return Err(TcslError::config(format!(
@@ -358,6 +504,8 @@ impl ShapeletBank {
             d: self.d,
             groups,
             precomp: OnceLock::new(),
+            quant: sub_quant,
+            precision: self.precision,
         })
     }
 
@@ -466,9 +614,18 @@ impl ShapeletBank {
             for _ in 0..k {
                 let (rline, line) = next_line("shapelet row")?;
                 for tok in line.split_whitespace() {
-                    data.push(tok.parse::<f32>().map_err(|e| {
+                    let w = tok.parse::<f32>().map_err(|e| {
                         TcslError::parse("tcsl-bank", rline, format!("bad weight '{tok}': {e}"))
-                    })?);
+                    })?;
+                    // Rust's f32 parser accepts "inf"/"NaN"; a bank with
+                    // non-finite taps poisons every transform (and can't be
+                    // quantized), so reject it at the door.
+                    if !w.is_finite() {
+                        return Err(TcslError::non_finite(format!(
+                            "shapelet weight '{tok}' on line {rline}"
+                        )));
+                    }
+                    data.push(w);
                 }
             }
             if data.len() != k * d * len {
@@ -488,6 +645,8 @@ impl ShapeletBank {
             d,
             groups,
             precomp: OnceLock::new(),
+            quant: None,
+            precision: BankPrecision::Full,
         })
     }
 }
@@ -662,6 +821,103 @@ mod tests {
             assert_eq!(g1.len, g2.len);
             assert_eq!(g1.measure, g2.measure);
             assert!(g1.shapelets.max_abs_diff(&g2.shapelets) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn from_text_rejects_non_finite_weights() {
+        use tcsl_error::ErrorClass;
+        // Rust's f32 parser happily accepts these spellings; the loader
+        // must not.
+        for bad in ["inf", "-inf", "infinity", "NaN", "nan"] {
+            let err = ShapeletBank::from_text(&format!(
+                "tcsl-bank v1 d=1 groups=1\ngroup len=2 stride=1 measure=euc k=1\n0.5 {bad}\n"
+            ))
+            .unwrap_err();
+            assert_eq!(err.class(), ErrorClass::NonFiniteInput, "{bad}: {err}");
+            assert!(err.to_string().contains("line 3"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn quantize_sets_precision_and_survives_round_trips() {
+        use crate::quant::BankPrecision;
+        use tcsl_tensor::quant::QuantScheme;
+        for (scheme, precision) in [
+            (QuantScheme::F16, BankPrecision::F16),
+            (QuantScheme::I16, BankPrecision::I16),
+        ] {
+            let mut b = bank();
+            b.randomize(&mut seeded(41));
+            assert_eq!(b.precision(), BankPrecision::Full);
+            assert!(b.quantized().is_none());
+            b.quantize(scheme).unwrap();
+            assert_eq!(b.precision(), precision);
+            let qps = b.quantized().unwrap();
+            assert_eq!(qps.len(), b.groups().len());
+            // f32 view == dequantized view, so a second quantization is a
+            // no-op on the values.
+            let before: Vec<Tensor> = b.groups().iter().map(|g| g.shapelets.clone()).collect();
+            b.quantize(scheme).unwrap();
+            for (g, want) in b.groups().iter().zip(&before) {
+                assert_eq!(&g.shapelets, want, "{scheme:?} idempotence");
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_drops_quantization() {
+        use tcsl_tensor::quant::QuantScheme;
+        let mut b = bank();
+        b.randomize(&mut seeded(42));
+        b.quantize(QuantScheme::F16).unwrap();
+        let _ = b.groups_mut();
+        assert!(b.quantized().is_none());
+        assert_eq!(b.precision(), crate::quant::BankPrecision::Full);
+        b.quantize(QuantScheme::I16).unwrap();
+        b.randomize(&mut seeded(43));
+        assert!(b.quantized().is_none());
+    }
+
+    #[test]
+    fn quantize_rejects_non_finite_and_f16_overflow() {
+        use tcsl_tensor::quant::QuantScheme;
+        let mut b = bank();
+        b.randomize(&mut seeded(44));
+        b.groups_mut()[1].shapelets.row_mut(0)[2] = f32::NAN;
+        let err = b.quantize(QuantScheme::F16).unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::NonFiniteInput);
+        assert!(err.to_string().contains("group 1"), "{err}");
+
+        let mut b = bank();
+        b.randomize(&mut seeded(45));
+        b.groups_mut()[0].shapelets.row_mut(1)[0] = 1.0e6; // finite, > f16 max
+        let err = b.quantize(QuantScheme::F16).unwrap_err();
+        assert_eq!(err.class(), tcsl_error::ErrorClass::Config);
+        assert!(err.to_string().contains("i16"), "suggests i16: {err}");
+        // The same bank quantizes fine as i16 (per-row scale absorbs range).
+        b.quantize(QuantScheme::I16).unwrap();
+    }
+
+    #[test]
+    fn subsetting_carries_quantized_taps() {
+        use tcsl_tensor::quant::QuantScheme;
+        for scheme in [QuantScheme::F16, QuantScheme::I16] {
+            let mut b = bank();
+            b.randomize(&mut seeded(46));
+            b.quantize(scheme).unwrap();
+            let sub = b.subset_columns(&[0, 1, 2, 4]).unwrap();
+            assert_eq!(sub.precision(), b.precision());
+            let qps = sub.quantized().unwrap();
+            assert_eq!(qps.len(), sub.groups().len());
+            for (g, qp) in sub.groups().iter().zip(qps) {
+                assert_eq!(qp.k(), g.k());
+                assert_eq!(qp.dequantized(), g.shapelets, "{scheme:?}");
+            }
+            let scale_sub = b.subset_scale(8).unwrap();
+            assert_eq!(scale_sub.quantized().unwrap().len(), 3);
+            let (pruned, _) = b.prune_redundant(1.0).unwrap();
+            assert_eq!(pruned.quantized().unwrap().len(), pruned.groups().len());
         }
     }
 

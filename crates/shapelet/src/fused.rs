@@ -170,9 +170,10 @@ pub fn shapelet_scores(
 /// One (window, shapelet) score. Mirrors [`Measure::finish`] exactly —
 /// cosine uses the cached inverse norms, which are bit-identical to the
 /// ones `finish` derives — so every engine produces the same value for the
-/// same raw dot product.
+/// same raw dot product. Shared with the quantized engines
+/// ([`crate::quant`]), which differ only in the dot kernel.
 #[inline]
-fn score(
+pub(crate) fn score(
     m: Measure,
     cross: f32,
     sw: &ScaleWindows,

@@ -40,11 +40,13 @@ pub mod fused;
 pub mod init;
 pub mod matching;
 pub mod measure;
+pub mod quant;
 pub mod transform;
 
 pub use bank::{GroupPrecomp, ShapeletBank, ShapeletGroup};
 pub use config::ShapeletConfig;
 pub use measure::Measure;
+pub use quant::{BankPrecision, QuantizedPrecomp};
 
 #[cfg(test)]
 mod proptests;

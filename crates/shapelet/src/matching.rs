@@ -43,6 +43,11 @@ pub fn window_scores(
 ) -> Vec<f32> {
     let g = &bank.groups()[group];
     let sw = ScaleWindows::new(series.values(), g.len, g.stride);
+    // A quantized bank localizes through the same half-width kernels the
+    // transform pooled with, so score == feature value holds per precision.
+    if let Some(qps) = bank.quantized() {
+        return crate::quant::shapelet_scores_quant(&sw, g.measure, &qps[group], shapelet);
+    }
     shapelet_scores(&sw, g, &bank.precomputed()[group], shapelet)
 }
 

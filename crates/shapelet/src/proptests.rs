@@ -1,5 +1,5 @@
 //! Property tests: fused-kernel/oracle agreement, fast-path/diff-path
-//! agreement and measure axioms.
+//! agreement, measure axioms, and the quantized-bank error budget.
 
 use crate::bank::ShapeletBank;
 use crate::config::ShapeletConfig;
@@ -7,10 +7,11 @@ use crate::diff_transform::oracle::diff_features_oracle;
 use crate::diff_transform::{bind_trainable, diff_features};
 use crate::fused::{pool_group_blocked, pool_group_fused, ScaleWindows};
 use crate::measure::Measure;
-use crate::transform::{transform_series, transform_series_oracle, windows_for};
+use crate::transform::{transform_dataset, transform_series, transform_series_oracle, windows_for};
 use proptest::prelude::*;
 use tcsl_autodiff::Graph;
-use tcsl_data::TimeSeries;
+use tcsl_data::{Dataset, TimeSeries};
+use tcsl_tensor::quant::QuantScheme;
 use tcsl_tensor::rng::seeded;
 use tcsl_tensor::Tensor;
 
@@ -160,6 +161,121 @@ proptest! {
                 prop_assert!(
                     (fv - ov).abs() < 1e-3,
                     "group {} grad {}: fused {} vs oracle {}", gi, i, fv, ov
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_transform_stays_within_error_budget((bank, series) in arb_fused_setup()) {
+        // The quantized transform must stay within an *analytically derived*
+        // tolerance of the full-precision transform on the original bank.
+        // Per shapelet row, ε = max measured tap perturbation; per window,
+        // |Δ(w·s)| ≤ ‖w‖₁·ε ≤ width·M·ε with M = max |series value|, and
+        // min/max pooling contracts: |pool f − pool g| ≤ max |f − g|.
+        let full = transform_series(&bank, &series).unwrap();
+        let m_series = series
+            .values()
+            .as_slice()
+            .iter()
+            .fold(0f32, |a, &x| a.max(x.abs()));
+        for scheme in [QuantScheme::F16, QuantScheme::I16] {
+            let mut qb = bank.clone();
+            qb.quantize(scheme).unwrap();
+            let qfeats = transform_series(&qb, &series).unwrap();
+            for (col, (&f, &q)) in full.iter().zip(&qfeats).enumerate() {
+                let (gi, k) = bank.feature_to_shapelet(col).unwrap();
+                let g = &bank.groups()[gi];
+                let orig = g.shapelets.row(k);
+                let deq = qb.groups()[gi].shapelets.row(k);
+                let eps = orig
+                    .iter()
+                    .zip(deq)
+                    .map(|(&a, &b)| (a - b).abs())
+                    .fold(0f32, f32::max);
+                let a_max = orig.iter().fold(0f32, |a, &x| a.max(x.abs()));
+                let s_norm = orig.iter().map(|&x| x * x).sum::<f32>().sqrt();
+                let width = (bank.d * g.len) as f32;
+                // Additive slack for f32 kernel rounding (both paths
+                // accumulate in f32 with different association).
+                let slack = 1e-4 * (1.0 + f.abs());
+                let tol = match g.measure {
+                    // |√a − √b| ≤ √|a − b|; the inner /width cancels one
+                    // width factor of the Δ bounds.
+                    Measure::Euclidean => {
+                        (2.0 * m_series * eps + 2.0 * a_max * eps + eps * eps).sqrt() + slack
+                    }
+                    // |cos(w, s_q) − cos(w, s)| ≤ 2·‖Δs‖ / ‖s‖.
+                    Measure::Cosine => {
+                        2.0 * width.sqrt() * eps / s_norm.max(1e-6) + slack
+                    }
+                    Measure::CrossCorrelation => m_series * eps + slack,
+                };
+                prop_assert!(
+                    (f - q).abs() <= tol,
+                    "{scheme:?} col {col} ({:?}): quant {q} vs full {f}, |Δ|={} > tol {tol}",
+                    g.measure, (f - q).abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_transform_localizes_planted_motifs(
+        (len, t, seed) in (4usize..10, 40usize..80, 0u64..1000)
+    ) {
+        // Argmin agreement on data with a planted ground truth: the exact
+        // copy of a shapelet buried in a hostile background must be located
+        // at the same window by the f32 and both quantized banks.
+        let mut rng = seeded(seed);
+        let cfg = ShapeletConfig {
+            lengths: vec![len],
+            k_per_group: 1,
+            measures: vec![Measure::Euclidean],
+            stride: 1,
+        };
+        let mut bank = ShapeletBank::new(&cfg, 1);
+        bank.randomize(&mut rng);
+        let pos = (seed as usize) % (t - len);
+        let planted: Vec<f32> = bank.groups()[0].shapelets.row(0).to_vec();
+        let mut vals = vec![9.0f32; t];
+        vals[pos..pos + len].copy_from_slice(&planted);
+        let series = TimeSeries::univariate(vals);
+        let full = crate::matching::best_match(&bank, 0, 0, &series);
+        prop_assert_eq!(full.start, pos);
+        for scheme in [QuantScheme::F16, QuantScheme::I16] {
+            let mut qb = bank.clone();
+            qb.quantize(scheme).unwrap();
+            let m = crate::matching::best_match(&qb, 0, 0, &series);
+            prop_assert_eq!(m.start, pos, "{:?} seed {}", scheme, seed);
+            prop_assert!(m.score < 1e-2, "{:?}: planted match score {}", scheme, m.score);
+        }
+    }
+
+    #[test]
+    fn quantized_batch_transform_matches_single_series(
+        (bank, series) in arb_fused_setup(), n in 2usize..5
+    ) {
+        // Per-series independence at every precision: the (worker-pool)
+        // batch transform must be bit-identical to transforming each series
+        // alone, so features cannot depend on TCSL_THREADS or batch
+        // composition.
+        let all: Vec<TimeSeries> = (0..n)
+            .map(|i| {
+                let mut rng = seeded(i as u64 ^ 0xD15);
+                TimeSeries::new(Tensor::randn(series.values().shape().clone(), &mut rng))
+            })
+            .collect();
+        let ds = Dataset::unlabeled("quant-batch", all.clone());
+        for scheme in [QuantScheme::F16, QuantScheme::I16] {
+            let mut qb = bank.clone();
+            qb.quantize(scheme).unwrap();
+            let batch = transform_dataset(&qb, &ds).unwrap();
+            for (i, s) in all.iter().enumerate() {
+                let one = transform_series(&qb, s).unwrap();
+                prop_assert_eq!(
+                    batch.row(i), one.as_slice(),
+                    "{:?} series {} batch/single mismatch", scheme, i
                 );
             }
         }

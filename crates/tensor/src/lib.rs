@@ -26,6 +26,7 @@ pub mod matmul;
 pub mod pairdist;
 pub mod parallel;
 mod pool;
+pub mod quant;
 pub mod reduce;
 pub mod rng;
 pub mod shape;

@@ -1,0 +1,1568 @@
+//! Half-precision / fixed-point tap storage and mixed-precision dot kernels.
+//!
+//! The fused shapelet transform is memory-traffic-bound at serving shapes:
+//! the hot stream is the repacked tap rows, re-read once per window. Storing
+//! those taps at half width (IEEE 754 binary16, or i16 fixed-point with a
+//! per-shapelet scale) halves the bytes streamed; the kernels here dequantize
+//! **in-register** and accumulate in f32, so precision is only lost at the
+//! one rounding step when the bank is quantized — never in the accumulation.
+//!
+//! Two invariants every kernel in this module maintains:
+//!
+//! * **f32 accumulation.** Products and sums are computed in f32 exactly like
+//!   the [`crate::matmul`] kernels; only the stored taps are narrow.
+//! * **Length-only dispatch.** Like [`crate::matmul::dot`], the SIMD/scalar
+//!   decision depends only on the operand length and the host CPU, so the
+//!   same operands give bit-identical results at every call site and for any
+//!   `TCSL_THREADS`.
+//!
+//! The i16 kernels return the **unscaled** integer-weighted sum `Σ w·q` (in
+//! f32); the caller multiplies by the per-shapelet scale once per dot
+//! product, after summing across variables. This keeps the hot loop free of
+//! per-element scale multiplies and makes the scale exactly one rounding.
+
+use crate::tensor::Tensor;
+
+/// How a quantized tap row is stored. Both schemes use 2 bytes per tap —
+/// half the f32 stream — and differ in where the dynamic range lives:
+/// `F16` keeps a per-value exponent, `I16` spends all 15 magnitude bits on
+/// mantissa and shares one scale across the shapelet row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QuantScheme {
+    /// IEEE 754 binary16 (1 sign, 5 exponent, 10 mantissa bits). Relative
+    /// error ≤ 2⁻¹¹ per tap over the normal range; values of magnitude
+    /// above [`F16_MAX`] are not representable.
+    F16,
+    /// Fixed-point i16 with a per-shapelet-row scale `s = max|x| / 32767`;
+    /// stored value `q = round(x / s)`. Absolute error ≤ s/2 per tap.
+    I16,
+}
+
+impl QuantScheme {
+    /// Stable lowercase name used by the model format and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            QuantScheme::F16 => "f16",
+            QuantScheme::I16 => "i16",
+        }
+    }
+
+    /// Parses [`Self::name`] output; `None` for anything else.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "f16" => Some(QuantScheme::F16),
+            "i16" => Some(QuantScheme::I16),
+            _ => None,
+        }
+    }
+
+    /// Bytes each stored tap occupies (2 for both schemes).
+    pub fn bytes_per_tap(self) -> usize {
+        2
+    }
+}
+
+/// Largest finite value representable in IEEE 754 binary16.
+pub const F16_MAX: f32 = 65504.0;
+
+/// Below this length the call into the runtime-detected intrinsics path
+/// costs more than it saves (same rationale and value as the f32 kernels'
+/// `FMA_MIN_LEN`, so the quantized and full-precision paths flip between
+/// SIMD and scalar at the same operand length). Callers holding half-width
+/// taps should prefer a dequantized f32 row below this length: the scalar
+/// fallbacks here pay a per-element software conversion that the f32
+/// scalar kernel does not, and a sub-64-element row is cache-resident
+/// anyway, so storing it at half width saves no memory traffic.
+pub const QUANT_MIN_LEN: usize = 64;
+
+/// Operand length above which the 512-bit f16 kernel takes over from the
+/// AVX2+F16C one. The wide kernel has the lowest µop count per element but
+/// 512-bit FMAs run at reduced throughput on single-FMA-unit hosts, which
+/// makes it a net loss while the operands are L1-resident and the kernel is
+/// FMA-bound; as the tap rows grow past L1 the kernels turn load-bound and
+/// the wide path's halved load/convert µop count wins decisively (measured
+/// crossover between 820 and 1639 elements on an AVX-512 Xeon).
+pub const QUANT_AVX512_F16_MIN_LEN: usize = 1024;
+
+// ---------------------------------------------------------------------------
+// binary16 conversions
+// ---------------------------------------------------------------------------
+
+/// Converts an f32 to IEEE 754 binary16 bits with round-to-nearest-even.
+///
+/// Overflow (finite `|x| > 65504`) rounds to signed infinity and NaN maps to
+/// a quiet NaN — callers that need to *reject* those cases (bank
+/// quantization does) must validate before converting. Subnormal halves are
+/// produced exactly, with the same tie-to-even rule.
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let frac = bits & 0x7f_ffff;
+    if exp == 0xff {
+        // Inf stays inf; every NaN maps to one quiet NaN payload.
+        return sign | 0x7c00 | if frac != 0 { 0x200 } else { 0 };
+    }
+    let e = exp - 127 + 15;
+    if e >= 0x1f {
+        return sign | 0x7c00; // overflow → inf
+    }
+    if e <= 0 {
+        if e < -10 {
+            return sign; // underflow → signed zero
+        }
+        // Subnormal half: shift the (implicit-1) mantissa into place and
+        // round the dropped bits to nearest, ties to even.
+        let m = frac | 0x80_0000;
+        let shift = (14 - e) as u32;
+        let half = m >> shift;
+        let rem = m & ((1 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let rounded = if rem > halfway || (rem == halfway && half & 1 == 1) {
+            half + 1
+        } else {
+            half
+        };
+        return sign | rounded as u16;
+    }
+    let half = (frac >> 13) | ((e as u32) << 10);
+    let rem = frac & 0x1fff;
+    let rounded = if rem > 0x1000 || (rem == 0x1000 && half & 1 == 1) {
+        half + 1
+    } else {
+        half
+    };
+    sign | rounded as u16
+}
+
+/// Converts IEEE 754 binary16 bits to f32. Exact: every binary16 value
+/// (including subnormals) is representable in f32.
+pub fn f16_to_f32(bits: u16) -> f32 {
+    let sign = (bits >> 15) as u32;
+    let exp = ((bits >> 10) & 0x1f) as u32;
+    let frac = (bits & 0x3ff) as u32;
+    let out = if exp == 0 {
+        if frac == 0 {
+            sign << 31
+        } else {
+            // Subnormal half: renormalize the mantissa into an f32 normal.
+            let mut e: i32 = 127 - 15 + 1;
+            let mut f = frac;
+            while f & 0x400 == 0 {
+                f <<= 1;
+                e -= 1;
+            }
+            (sign << 31) | ((e as u32) << 23) | ((f & 0x3ff) << 13)
+        }
+    } else if exp == 0x1f {
+        (sign << 31) | 0x7f80_0000 | (frac << 13)
+    } else {
+        (sign << 31) | ((exp + 127 - 15) << 23) | (frac << 13)
+    };
+    f32::from_bits(out)
+}
+
+/// [`f32_to_f16`] over a slice.
+pub fn quantize_f16(src: &[f32]) -> Vec<u16> {
+    src.iter().map(|&x| f32_to_f16(x)).collect()
+}
+
+/// [`f16_to_f32`] over a slice.
+pub fn dequantize_f16(src: &[u16]) -> Vec<f32> {
+    src.iter().map(|&b| f16_to_f32(b)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// i16 fixed-point quantization
+// ---------------------------------------------------------------------------
+
+/// Per-row scale for i16 quantization: `max|x| / 32767`, or `1.0` for an
+/// all-zero row (any positive scale represents zeros exactly; 1.0 keeps the
+/// text format canonical).
+pub fn i16_scale(src: &[f32]) -> f32 {
+    let max_abs = src.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    if max_abs == 0.0 {
+        1.0
+    } else {
+        max_abs / 32767.0
+    }
+}
+
+/// Quantizes a row to i16 with the given scale: `q = round(x / scale)`.
+/// With `scale = `[`i16_scale`]`(src)` every quotient lands in
+/// `[-32767, 32767]`, so the cast never saturates.
+pub fn quantize_i16(src: &[f32], scale: f32) -> Vec<i16> {
+    src.iter().map(|&x| (x / scale).round() as i16).collect()
+}
+
+/// Dequantizes an i16 row: `x ≈ q · scale`.
+pub fn dequantize_i16(src: &[i16], scale: f32) -> Vec<f32> {
+    src.iter().map(|&q| q as f32 * scale).collect()
+}
+
+// ---------------------------------------------------------------------------
+// mixed-precision dot kernels
+// ---------------------------------------------------------------------------
+
+/// Dot product of an f32 window against a binary16 tap row, dequantizing
+/// in-register and accumulating in f32.
+///
+/// Dispatches to the AVX-512F `vcvtph2ps`-to-16-lanes kernel first (one
+/// 32-byte load + one convert + one FMA per 16 taps — the lowest µop count
+/// per element of any path), then the AVX2+F16C kernel (one 32-byte load
+/// carries 16 taps — half the tap load µops of the f32 path), else to
+/// [`dot_f16_scalar`].
+#[inline]
+pub fn dot_f16(a: &[f32], b: &[u16]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if a.len() >= QUANT_AVX512_F16_MIN_LEN && x86::avx512_f16_available() {
+            // SAFETY: gated on runtime detection of avx512f+f16c.
+            return unsafe { x86::dot_f16_avx512(a, b) };
+        }
+        if a.len() >= QUANT_MIN_LEN && x86::f16c_available() {
+            // SAFETY: gated on runtime detection of avx2+fma+f16c.
+            return unsafe { x86::dot_f16_f16c(a, b) };
+        }
+    }
+    dot_f16_scalar(a, b)
+}
+
+/// Portable f16 dot product mirroring [`crate::matmul::dot_scalar`]'s
+/// eight-accumulator shape, so for short operands the quantized path
+/// produces **bit-identical** results to `dot_scalar` run on the
+/// dequantized taps.
+#[inline]
+pub fn dot_f16_scalar(a: &[f32], b: &[u16]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for c in 0..chunks {
+        let (x, y) = (&a[c * 8..c * 8 + 8], &b[c * 8..c * 8 + 8]);
+        for l in 0..8 {
+            acc[l] += x[l] * f16_to_f32(y[l]);
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * 8..a.len() {
+        tail += a[i] * f16_to_f32(b[i]);
+    }
+    acc.iter().sum::<f32>() + tail
+}
+
+/// Four binary16 dot products sharing the `w` operand — the quantized
+/// sibling of [`crate::matmul::dot4`].
+#[inline]
+pub fn dot4_f16(w: &[f32], t0: &[u16], t1: &[u16], t2: &[u16], t3: &[u16]) -> [f32; 4] {
+    debug_assert!(
+        t0.len() == w.len() && t1.len() == w.len() && t2.len() == w.len() && t3.len() == w.len()
+    );
+    #[cfg(target_arch = "x86_64")]
+    {
+        if w.len() >= QUANT_AVX512_F16_MIN_LEN && x86::avx512_f16_available() {
+            // SAFETY: gated on runtime detection of avx512f+f16c.
+            return unsafe { x86::dot4_f16_avx512(w, t0, t1, t2, t3) };
+        }
+        if w.len() >= QUANT_MIN_LEN && x86::f16c_available() {
+            // SAFETY: gated on runtime detection of avx2+fma+f16c.
+            return unsafe { x86::dot4_f16_f16c(w, t0, t1, t2, t3) };
+        }
+    }
+    [
+        dot_f16_scalar(w, t0),
+        dot_f16_scalar(w, t1),
+        dot_f16_scalar(w, t2),
+        dot_f16_scalar(w, t3),
+    ]
+}
+
+/// Two binary16 dot products sharing the `w` operand — the narrow block
+/// used when a 4-row half-width block would no longer be L1-resident
+/// alongside the series (the caller decides; see
+/// `tcsl_shapelet::quant`). Per-row accumulation structure matches
+/// [`dot4_f16`]'s AVX-512 path exactly, so a row's dot product is
+/// bit-identical whichever block width streams it.
+#[inline]
+pub fn dot2_f16(w: &[f32], t0: &[u16], t1: &[u16]) -> [f32; 2] {
+    debug_assert!(t0.len() == w.len() && t1.len() == w.len());
+    #[cfg(target_arch = "x86_64")]
+    if w.len() >= QUANT_AVX512_F16_MIN_LEN && x86::avx512_f16_available() {
+        // SAFETY: gated on runtime detection of avx512f+f16c.
+        return unsafe { x86::dot2_f16_avx512(w, t0, t1) };
+    }
+    [dot_f16(w, t0), dot_f16(w, t1)]
+}
+
+/// **Unscaled** dot product of an f32 window against an i16 tap row:
+/// returns `Σ wᵢ·qᵢ` in f32; the caller multiplies by the per-shapelet
+/// scale once (after summing variables).
+///
+/// Dispatches AVX-512F/BW first (converts 32 taps per two loads), then
+/// AVX2+FMA (widening converts), then scalar.
+#[inline]
+pub fn dot_i16(a: &[f32], b: &[i16]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if a.len() >= QUANT_MIN_LEN && x86::avx512_i16_available() {
+            // SAFETY: gated on runtime detection of avx512f+avx512bw.
+            return unsafe { x86::dot_i16_avx512(a, b) };
+        }
+        if a.len() >= QUANT_MIN_LEN && x86::fma_available() {
+            // SAFETY: gated on runtime detection of avx2+fma.
+            return unsafe { x86::dot_i16_avx2(a, b) };
+        }
+    }
+    dot_i16_scalar(a, b)
+}
+
+/// Portable unscaled i16 dot product (same eight-accumulator shape as
+/// [`crate::matmul::dot_scalar`]).
+#[inline]
+pub fn dot_i16_scalar(a: &[f32], b: &[i16]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for c in 0..chunks {
+        let (x, y) = (&a[c * 8..c * 8 + 8], &b[c * 8..c * 8 + 8]);
+        for l in 0..8 {
+            acc[l] += x[l] * y[l] as f32;
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * 8..a.len() {
+        tail += a[i] * b[i] as f32;
+    }
+    acc.iter().sum::<f32>() + tail
+}
+
+/// Four unscaled i16 dot products sharing the `w` operand.
+#[inline]
+pub fn dot4_i16(w: &[f32], t0: &[i16], t1: &[i16], t2: &[i16], t3: &[i16]) -> [f32; 4] {
+    debug_assert!(
+        t0.len() == w.len() && t1.len() == w.len() && t2.len() == w.len() && t3.len() == w.len()
+    );
+    #[cfg(target_arch = "x86_64")]
+    {
+        if w.len() >= QUANT_MIN_LEN && x86::avx512_i16_available() {
+            // SAFETY: gated on runtime detection of avx512f+avx512bw.
+            return unsafe { x86::dot4_i16_avx512(w, t0, t1, t2, t3) };
+        }
+        if w.len() >= QUANT_MIN_LEN && x86::fma_available() {
+            // SAFETY: gated on runtime detection of avx2+fma.
+            return unsafe { x86::dot4_i16_avx2(w, t0, t1, t2, t3) };
+        }
+    }
+    [
+        dot_i16_scalar(w, t0),
+        dot_i16_scalar(w, t1),
+        dot_i16_scalar(w, t2),
+        dot_i16_scalar(w, t3),
+    ]
+}
+
+/// Two unscaled i16 dot products sharing the `w` operand — the narrow
+/// block sibling of [`dot2_f16`]; per-row accumulation matches
+/// [`dot4_i16`]'s AVX-512 path exactly.
+#[inline]
+pub fn dot2_i16(w: &[f32], t0: &[i16], t1: &[i16]) -> [f32; 2] {
+    debug_assert!(t0.len() == w.len() && t1.len() == w.len());
+    #[cfg(target_arch = "x86_64")]
+    if w.len() >= QUANT_MIN_LEN && x86::avx512_i16_available() {
+        // SAFETY: gated on runtime detection of avx512f+avx512bw.
+        return unsafe { x86::dot2_i16_avx512(w, t0, t1) };
+    }
+    [dot_i16(w, t0), dot_i16(w, t1)]
+}
+
+/// [`dot2_f16`] against **four** windows at once: shares every tap load and
+/// f16→f32 conversion across the windows, cutting the non-FMA µop count per
+/// MAC to a quarter — the lever that matters once the tap set is
+/// L1-resident and the kernel is µop-throughput-bound. Each of the eight
+/// (window, row) dots keeps the exact accumulation order of [`dot2_f16`]'s
+/// AVX-512 path (two 512-bit chains, 32 elements per iteration, scalar
+/// tail), so values are bit-identical to per-window [`dot2_f16`] calls.
+/// Returns `out[w][row]`.
+#[inline]
+pub fn dot2x4_f16(ws: [&[f32]; 4], t0: &[u16], t1: &[u16]) -> [[f32; 2]; 4] {
+    debug_assert!(ws.iter().all(|w| w.len() == t0.len()) && t1.len() == t0.len());
+    #[cfg(target_arch = "x86_64")]
+    if t0.len() >= QUANT_AVX512_F16_MIN_LEN && x86::avx512_f16_available() {
+        // SAFETY: gated on runtime detection of avx512f+f16c.
+        return unsafe { x86::dot2x4_f16_avx512(ws, t0, t1) };
+    }
+    [
+        dot2_f16(ws[0], t0, t1),
+        dot2_f16(ws[1], t0, t1),
+        dot2_f16(ws[2], t0, t1),
+        dot2_f16(ws[3], t0, t1),
+    ]
+}
+
+/// [`dot2_i16`] against four windows at once (unscaled sums); the i16
+/// sibling of [`dot2x4_f16`]. Sharing the widening-convert chain across
+/// four windows matters more here than for f16: `vcvtdq2ps` competes with
+/// the FMA port, so conversions are the i16 kernel's scarcest resource.
+/// Returns `out[w][row]`.
+#[inline]
+pub fn dot2x4_i16(ws: [&[f32]; 4], t0: &[i16], t1: &[i16]) -> [[f32; 2]; 4] {
+    debug_assert!(ws.iter().all(|w| w.len() == t0.len()) && t1.len() == t0.len());
+    #[cfg(target_arch = "x86_64")]
+    if t0.len() >= QUANT_MIN_LEN && x86::avx512_i16_available() {
+        // SAFETY: gated on runtime detection of avx512f+avx512bw.
+        return unsafe { x86::dot2x4_i16_avx512(ws, t0, t1) };
+    }
+    [
+        dot2_i16(ws[0], t0, t1),
+        dot2_i16(ws[1], t0, t1),
+        dot2_i16(ws[2], t0, t1),
+        dot2_i16(ws[3], t0, t1),
+    ]
+}
+
+/// Whether [`dot2_f16`] / [`dot2_i16`] have a fused shared-load kernel for
+/// per-variable spans of `len` on this machine. Narrow (2-row) tap blocking
+/// only pays when the pair kernel still shares every window load across both
+/// rows — otherwise it degenerates to two single-row dots, which re-stream
+/// the window and lose to the 4-row block. Callers must derive their block
+/// width from this once per group, so pooling and localization agree.
+#[inline]
+pub fn paired_kernel_available(scheme: QuantScheme, len: usize) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match scheme {
+            QuantScheme::F16 => len >= QUANT_AVX512_F16_MIN_LEN && x86::avx512_f16_available(),
+            QuantScheme::I16 => len >= QUANT_MIN_LEN && x86::avx512_i16_available(),
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (scheme, len);
+        false
+    }
+}
+
+/// Records `n` quantized dot products of operand length `len` against the
+/// `dot.dispatch.*` counters — the same length-only decision the kernels
+/// above make, hoisted out so hot loops pay one enabled-gate check per
+/// batch (the quantized sibling of [`crate::matmul::count_dot_dispatch`]).
+#[inline]
+pub fn count_quant_dot_dispatch(scheme: QuantScheme, len: usize, n: u64) {
+    if n == 0 {
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = len;
+    match scheme {
+        QuantScheme::F16 => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                if len >= QUANT_AVX512_F16_MIN_LEN && x86::avx512_f16_available() {
+                    tcsl_obs::counters::DOT_DISPATCH_F16_AVX512.add(n);
+                    return;
+                }
+                if len >= QUANT_MIN_LEN && x86::f16c_available() {
+                    tcsl_obs::counters::DOT_DISPATCH_F16C.add(n);
+                    return;
+                }
+            }
+            tcsl_obs::counters::DOT_DISPATCH_F16_SCALAR.add(n);
+        }
+        QuantScheme::I16 => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                if len >= QUANT_MIN_LEN && x86::avx512_i16_available() {
+                    tcsl_obs::counters::DOT_DISPATCH_I16_AVX512.add(n);
+                    return;
+                }
+                if len >= QUANT_MIN_LEN && x86::fma_available() {
+                    tcsl_obs::counters::DOT_DISPATCH_I16_AVX2.add(n);
+                    return;
+                }
+            }
+            tcsl_obs::counters::DOT_DISPATCH_I16_SCALAR.add(n);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// window-level wrappers (quantized siblings of crate::window::window_dot*)
+// ---------------------------------------------------------------------------
+
+/// [`crate::window::window_dot`] with binary16 taps: dot of a flattened
+/// channel-major f16 shapelet row against the window starting at `start`.
+/// Dispatch telemetry is the caller's job ([`count_quant_dot_dispatch`]).
+#[inline]
+pub fn window_dot_f16(series: &Tensor, taps: &[u16], start: usize, len: usize) -> f32 {
+    let d = series.rows();
+    debug_assert_eq!(taps.len(), d * len, "shapelet width mismatch");
+    let mut cross = 0.0f32;
+    for v in 0..d {
+        let row = series.row(v);
+        cross += dot_f16(&row[start..start + len], &taps[v * len..(v + 1) * len]);
+    }
+    cross
+}
+
+/// [`crate::window::window_dot4`] with binary16 taps.
+#[inline]
+pub fn window_dot4_f16(series: &Tensor, taps: [&[u16]; 4], start: usize, len: usize) -> [f32; 4] {
+    let d = series.rows();
+    debug_assert!(
+        taps.iter().all(|t| t.len() == d * len),
+        "shapelet width mismatch"
+    );
+    let mut cross = [0.0f32; 4];
+    for v in 0..d {
+        let row = &series.row(v)[start..start + len];
+        let span = v * len..(v + 1) * len;
+        let r = dot4_f16(
+            row,
+            &taps[0][span.clone()],
+            &taps[1][span.clone()],
+            &taps[2][span.clone()],
+            &taps[3][span],
+        );
+        for (c, x) in cross.iter_mut().zip(r) {
+            *c += x;
+        }
+    }
+    cross
+}
+
+/// [`crate::window::window_dot`] with i16 taps — returns the **unscaled**
+/// sum across all variables; multiply by the shapelet's scale once.
+#[inline]
+pub fn window_dot_i16(series: &Tensor, taps: &[i16], start: usize, len: usize) -> f32 {
+    let d = series.rows();
+    debug_assert_eq!(taps.len(), d * len, "shapelet width mismatch");
+    let mut cross = 0.0f32;
+    for v in 0..d {
+        let row = series.row(v);
+        cross += dot_i16(&row[start..start + len], &taps[v * len..(v + 1) * len]);
+    }
+    cross
+}
+
+/// [`crate::window::window_dot4`] with i16 taps (unscaled sums).
+#[inline]
+pub fn window_dot4_i16(series: &Tensor, taps: [&[i16]; 4], start: usize, len: usize) -> [f32; 4] {
+    let d = series.rows();
+    debug_assert!(
+        taps.iter().all(|t| t.len() == d * len),
+        "shapelet width mismatch"
+    );
+    let mut cross = [0.0f32; 4];
+    for v in 0..d {
+        let row = &series.row(v)[start..start + len];
+        let span = v * len..(v + 1) * len;
+        let r = dot4_i16(
+            row,
+            &taps[0][span.clone()],
+            &taps[1][span.clone()],
+            &taps[2][span.clone()],
+            &taps[3][span],
+        );
+        for (c, x) in cross.iter_mut().zip(r) {
+            *c += x;
+        }
+    }
+    cross
+}
+
+/// [`window_dot4_f16`] with a 2-row tap block.
+#[inline]
+pub fn window_dot2_f16(series: &Tensor, taps: [&[u16]; 2], start: usize, len: usize) -> [f32; 2] {
+    let d = series.rows();
+    debug_assert!(
+        taps.iter().all(|t| t.len() == d * len),
+        "shapelet width mismatch"
+    );
+    let mut cross = [0.0f32; 2];
+    for v in 0..d {
+        let row = &series.row(v)[start..start + len];
+        let span = v * len..(v + 1) * len;
+        let r = dot2_f16(row, &taps[0][span.clone()], &taps[1][span]);
+        for (c, x) in cross.iter_mut().zip(r) {
+            *c += x;
+        }
+    }
+    cross
+}
+
+/// [`window_dot4_i16`] with a 2-row tap block (unscaled sums).
+#[inline]
+pub fn window_dot2_i16(series: &Tensor, taps: [&[i16]; 2], start: usize, len: usize) -> [f32; 2] {
+    let d = series.rows();
+    debug_assert!(
+        taps.iter().all(|t| t.len() == d * len),
+        "shapelet width mismatch"
+    );
+    let mut cross = [0.0f32; 2];
+    for v in 0..d {
+        let row = &series.row(v)[start..start + len];
+        let span = v * len..(v + 1) * len;
+        let r = dot2_i16(row, &taps[0][span.clone()], &taps[1][span]);
+        for (c, x) in cross.iter_mut().zip(r) {
+            *c += x;
+        }
+    }
+    cross
+}
+
+/// [`window_dot2_f16`] against four window positions at once, sharing every
+/// tap load and conversion across them ([`dot2x4_f16`]). Returns
+/// `cross[w][row]`; each entry is bit-identical to the corresponding
+/// single-window [`window_dot2_f16`] value on the AVX-512 path.
+#[inline]
+pub fn window_dot2x4_f16(
+    series: &Tensor,
+    taps: [&[u16]; 2],
+    starts: [usize; 4],
+    len: usize,
+) -> [[f32; 2]; 4] {
+    let d = series.rows();
+    debug_assert!(
+        taps.iter().all(|t| t.len() == d * len),
+        "shapelet width mismatch"
+    );
+    let mut cross = [[0.0f32; 2]; 4];
+    for v in 0..d {
+        let row = series.row(v);
+        let span = v * len..(v + 1) * len;
+        let ws = [
+            &row[starts[0]..starts[0] + len],
+            &row[starts[1]..starts[1] + len],
+            &row[starts[2]..starts[2] + len],
+            &row[starts[3]..starts[3] + len],
+        ];
+        let r = dot2x4_f16(ws, &taps[0][span.clone()], &taps[1][span]);
+        for (c, x) in cross.iter_mut().zip(r) {
+            for (cc, xx) in c.iter_mut().zip(x) {
+                *cc += xx;
+            }
+        }
+    }
+    cross
+}
+
+/// [`window_dot2_i16`] against four window positions at once (unscaled
+/// sums); the i16 sibling of [`window_dot2x4_f16`].
+#[inline]
+pub fn window_dot2x4_i16(
+    series: &Tensor,
+    taps: [&[i16]; 2],
+    starts: [usize; 4],
+    len: usize,
+) -> [[f32; 2]; 4] {
+    let d = series.rows();
+    debug_assert!(
+        taps.iter().all(|t| t.len() == d * len),
+        "shapelet width mismatch"
+    );
+    let mut cross = [[0.0f32; 2]; 4];
+    for v in 0..d {
+        let row = series.row(v);
+        let span = v * len..(v + 1) * len;
+        let ws = [
+            &row[starts[0]..starts[0] + len],
+            &row[starts[1]..starts[1] + len],
+            &row[starts[2]..starts[2] + len],
+            &row[starts[3]..starts[3] + len],
+        ];
+        let r = dot2x4_i16(ws, &taps[0][span.clone()], &taps[1][span]);
+        for (c, x) in cross.iter_mut().zip(r) {
+            for (cc, xx) in c.iter_mut().zip(x) {
+                *cc += xx;
+            }
+        }
+    }
+    cross
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::f16_to_f32;
+    use std::arch::x86_64::*;
+
+    /// Cached runtime check for the avx2+fma+f16c f16 path.
+    #[inline]
+    pub fn f16c_available() -> bool {
+        std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
+            && std::arch::is_x86_feature_detected!("f16c")
+    }
+
+    /// Cached runtime check for the avx2+fma i16 fallback path.
+    #[inline]
+    pub fn fma_available() -> bool {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+
+    /// Cached runtime check for the avx512f+avx512bw i16 path.
+    #[inline]
+    pub fn avx512_i16_available() -> bool {
+        std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512bw")
+    }
+
+    /// Cached runtime check for the avx512f+f16c f16 path (`vcvtph2ps`
+    /// with a 512-bit destination needs AVX-512F; the scalar tail uses the
+    /// same bit-exact software conversion as every other path).
+    #[inline]
+    pub fn avx512_f16_available() -> bool {
+        std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("f16c")
+    }
+
+    /// AVX2+F16C f16 dot product: four 8-lane chains; each 32-byte tap load
+    /// carries 16 halves, converted in-register with `vcvtph2ps`.
+    ///
+    /// # Safety
+    ///
+    /// Requires the `avx2`, `fma` and `f16c` target features at runtime
+    /// ([`f16c_available`]); `a` and `b` must be the same length.
+    #[target_feature(enable = "avx2", enable = "fma", enable = "f16c")]
+    pub unsafe fn dot_f16_f16c(a: &[f32], b: &[u16]) -> f32 {
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        unsafe {
+            let mut acc = [_mm256_setzero_ps(); 4];
+            let mut i = 0usize;
+            while i + 32 <= n {
+                for c in 0..2 {
+                    let off = i + c * 16;
+                    let h = _mm256_loadu_si256(pb.add(off) as *const __m256i);
+                    let lo = _mm256_cvtph_ps(_mm256_castsi256_si128(h));
+                    let hi = _mm256_cvtph_ps(_mm256_extracti128_si256(h, 1));
+                    acc[c * 2] = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(off)), lo, acc[c * 2]);
+                    acc[c * 2 + 1] =
+                        _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(off + 8)), hi, acc[c * 2 + 1]);
+                }
+                i += 32;
+            }
+            while i + 16 <= n {
+                let h = _mm256_loadu_si256(pb.add(i) as *const __m256i);
+                let lo = _mm256_cvtph_ps(_mm256_castsi256_si128(h));
+                let hi = _mm256_cvtph_ps(_mm256_extracti128_si256(h, 1));
+                acc[0] = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), lo, acc[0]);
+                acc[1] = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i + 8)), hi, acc[1]);
+                i += 16;
+            }
+            let sum = _mm256_add_ps(_mm256_add_ps(acc[0], acc[1]), _mm256_add_ps(acc[2], acc[3]));
+            let mut lanes = [0.0f32; 8];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), sum);
+            let mut s: f32 = lanes.iter().sum();
+            while i < n {
+                s += *pa.add(i) * f16_to_f32(*pb.add(i));
+                i += 1;
+            }
+            s
+        }
+    }
+
+    /// Four AVX2+F16C f16 dot products sharing the `w` operand: the window
+    /// chunk is loaded once and FMA-ed against all four tap rows (two
+    /// 8-lane chains per row).
+    ///
+    /// # Safety
+    ///
+    /// Requires the `avx2`, `fma` and `f16c` target features at runtime
+    /// ([`f16c_available`]); all five slices must be the same length.
+    #[target_feature(enable = "avx2", enable = "fma", enable = "f16c")]
+    pub unsafe fn dot4_f16_f16c(
+        w: &[f32],
+        t0: &[u16],
+        t1: &[u16],
+        t2: &[u16],
+        t3: &[u16],
+    ) -> [f32; 4] {
+        let n = w.len();
+        let pw = w.as_ptr();
+        let pts = [t0.as_ptr(), t1.as_ptr(), t2.as_ptr(), t3.as_ptr()];
+        unsafe {
+            let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+            let mut i = 0usize;
+            while i + 16 <= n {
+                let w0 = _mm256_loadu_ps(pw.add(i));
+                let w1 = _mm256_loadu_ps(pw.add(i + 8));
+                for (j, a) in acc.iter_mut().enumerate() {
+                    // One 32-byte load carries 16 taps; halves convert
+                    // in-register instead of through a second load port µop.
+                    let h = _mm256_loadu_si256(pts[j].add(i) as *const __m256i);
+                    let lo = _mm256_cvtph_ps(_mm256_castsi256_si128(h));
+                    let hi = _mm256_cvtph_ps(_mm256_extracti128_si256(h, 1));
+                    a[0] = _mm256_fmadd_ps(w0, lo, a[0]);
+                    a[1] = _mm256_fmadd_ps(w1, hi, a[1]);
+                }
+                i += 16;
+            }
+            let mut out = [0.0f32; 4];
+            for (j, a) in acc.iter().enumerate() {
+                let s8 = _mm256_add_ps(a[0], a[1]);
+                let mut lanes = [0.0f32; 8];
+                _mm256_storeu_ps(lanes.as_mut_ptr(), s8);
+                let mut s: f32 = lanes.iter().sum();
+                let mut k = i;
+                while k < n {
+                    s += *pw.add(k) * f16_to_f32(*pts[j].add(k));
+                    k += 1;
+                }
+                out[j] = s;
+            }
+            out
+        }
+    }
+
+    /// AVX-512F f16 dot product: one 32-byte tap load + one `vcvtph2ps` to
+    /// a full 512-bit lane + one FMA per 16 taps — the lowest µop count per
+    /// element of any f16 path, which is what lets it beat the f32 kernel
+    /// even when the taps are cache resident.
+    ///
+    /// # Safety
+    ///
+    /// Requires the `avx512f` target feature at runtime
+    /// ([`avx512_f16_available`]); `a` and `b` must be the same length.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn dot_f16_avx512(a: &[f32], b: &[u16]) -> f32 {
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        unsafe {
+            let mut acc = [_mm512_setzero_ps(); 2];
+            let mut i = 0usize;
+            while i + 32 <= n {
+                let h0 = _mm256_loadu_si256(pb.add(i) as *const __m256i);
+                let h1 = _mm256_loadu_si256(pb.add(i + 16) as *const __m256i);
+                acc[0] = _mm512_fmadd_ps(_mm512_loadu_ps(pa.add(i)), _mm512_cvtph_ps(h0), acc[0]);
+                acc[1] =
+                    _mm512_fmadd_ps(_mm512_loadu_ps(pa.add(i + 16)), _mm512_cvtph_ps(h1), acc[1]);
+                i += 32;
+            }
+            let mut s = _mm512_reduce_add_ps(_mm512_add_ps(acc[0], acc[1]));
+            while i < n {
+                s += *pa.add(i) * f16_to_f32(*pb.add(i));
+                i += 1;
+            }
+            s
+        }
+    }
+
+    /// Four AVX-512F f16 dot products sharing the `w` operand.
+    ///
+    /// # Safety
+    ///
+    /// Requires the `avx512f` target feature at runtime
+    /// ([`avx512_f16_available`]); all five slices must be the same length.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn dot4_f16_avx512(
+        w: &[f32],
+        t0: &[u16],
+        t1: &[u16],
+        t2: &[u16],
+        t3: &[u16],
+    ) -> [f32; 4] {
+        let n = w.len();
+        let pw = w.as_ptr();
+        let pts = [t0.as_ptr(), t1.as_ptr(), t2.as_ptr(), t3.as_ptr()];
+        unsafe {
+            let mut acc = [[_mm512_setzero_ps(); 2]; 4];
+            let mut i = 0usize;
+            while i + 32 <= n {
+                let w0 = _mm512_loadu_ps(pw.add(i));
+                let w1 = _mm512_loadu_ps(pw.add(i + 16));
+                for (j, a) in acc.iter_mut().enumerate() {
+                    let h0 = _mm256_loadu_si256(pts[j].add(i) as *const __m256i);
+                    let h1 = _mm256_loadu_si256(pts[j].add(i + 16) as *const __m256i);
+                    a[0] = _mm512_fmadd_ps(w0, _mm512_cvtph_ps(h0), a[0]);
+                    a[1] = _mm512_fmadd_ps(w1, _mm512_cvtph_ps(h1), a[1]);
+                }
+                i += 32;
+            }
+            let mut out = [0.0f32; 4];
+            for (j, a) in acc.iter().enumerate() {
+                let mut s = _mm512_reduce_add_ps(_mm512_add_ps(a[0], a[1]));
+                let mut k = i;
+                while k < n {
+                    s += *pw.add(k) * f16_to_f32(*pts[j].add(k));
+                    k += 1;
+                }
+                out[j] = s;
+            }
+            out
+        }
+    }
+
+    /// Two AVX-512F f16 dot products sharing the `w` operand. Same per-row
+    /// accumulation structure as [`dot4_f16_avx512`] (two 512-bit chains,
+    /// 32 elements per iteration, scalar tail) so a row's dot value is
+    /// bit-identical regardless of the block width the caller picked.
+    ///
+    /// # Safety
+    ///
+    /// Requires the `avx512f` target feature at runtime
+    /// ([`avx512_f16_available`]); all three slices must be the same length.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn dot2_f16_avx512(w: &[f32], t0: &[u16], t1: &[u16]) -> [f32; 2] {
+        let n = w.len();
+        let pw = w.as_ptr();
+        let pts = [t0.as_ptr(), t1.as_ptr()];
+        unsafe {
+            let mut acc = [[_mm512_setzero_ps(); 2]; 2];
+            let mut i = 0usize;
+            while i + 32 <= n {
+                let w0 = _mm512_loadu_ps(pw.add(i));
+                let w1 = _mm512_loadu_ps(pw.add(i + 16));
+                for (j, a) in acc.iter_mut().enumerate() {
+                    let h0 = _mm256_loadu_si256(pts[j].add(i) as *const __m256i);
+                    let h1 = _mm256_loadu_si256(pts[j].add(i + 16) as *const __m256i);
+                    a[0] = _mm512_fmadd_ps(w0, _mm512_cvtph_ps(h0), a[0]);
+                    a[1] = _mm512_fmadd_ps(w1, _mm512_cvtph_ps(h1), a[1]);
+                }
+                i += 32;
+            }
+            let mut out = [0.0f32; 2];
+            for (j, a) in acc.iter().enumerate() {
+                let mut s = _mm512_reduce_add_ps(_mm512_add_ps(a[0], a[1]));
+                let mut k = i;
+                while k < n {
+                    s += *pw.add(k) * f16_to_f32(*pts[j].add(k));
+                    k += 1;
+                }
+                out[j] = s;
+            }
+            out
+        }
+    }
+
+    /// Two AVX-512F f16 tap rows against four windows: one tap load + one
+    /// `vcvtph2ps` feeds four FMAs (one per window), and the sixteen
+    /// accumulator chains fully hide FMA latency on a single-FMA-unit core.
+    /// Per (window, row) accumulation structure matches [`dot2_f16_avx512`].
+    ///
+    /// # Safety
+    ///
+    /// Requires the `avx512f` target feature at runtime
+    /// ([`avx512_f16_available`]); all six slices must be the same length.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn dot2x4_f16_avx512(ws: [&[f32]; 4], t0: &[u16], t1: &[u16]) -> [[f32; 2]; 4] {
+        let n = t0.len();
+        let pws = [
+            ws[0].as_ptr(),
+            ws[1].as_ptr(),
+            ws[2].as_ptr(),
+            ws[3].as_ptr(),
+        ];
+        let pts = [t0.as_ptr(), t1.as_ptr()];
+        unsafe {
+            let mut acc = [[[_mm512_setzero_ps(); 2]; 2]; 4]; // [window][row][chain]
+            let mut i = 0usize;
+            while i + 32 <= n {
+                for (j, pt) in pts.iter().enumerate() {
+                    let f0 = _mm512_cvtph_ps(_mm256_loadu_si256(pt.add(i) as *const __m256i));
+                    let f1 = _mm512_cvtph_ps(_mm256_loadu_si256(pt.add(i + 16) as *const __m256i));
+                    for (wi, pw) in pws.iter().enumerate() {
+                        let a0 = _mm512_loadu_ps(pw.add(i));
+                        let a1 = _mm512_loadu_ps(pw.add(i + 16));
+                        acc[wi][j][0] = _mm512_fmadd_ps(a0, f0, acc[wi][j][0]);
+                        acc[wi][j][1] = _mm512_fmadd_ps(a1, f1, acc[wi][j][1]);
+                    }
+                }
+                i += 32;
+            }
+            let mut out = [[0.0f32; 2]; 4];
+            for (wi, aw) in acc.iter().enumerate() {
+                for (j, chains) in aw.iter().enumerate() {
+                    let mut s = _mm512_reduce_add_ps(_mm512_add_ps(chains[0], chains[1]));
+                    let mut k = i;
+                    while k < n {
+                        s += *pws[wi].add(k) * f16_to_f32(*pts[j].add(k));
+                        k += 1;
+                    }
+                    out[wi][j] = s;
+                }
+            }
+            out
+        }
+    }
+
+    /// AVX-512F/BW unscaled i16 dot product: each 32-byte tap load carries
+    /// 16 values, widened to i32 then converted to f32 in-register.
+    ///
+    /// # Safety
+    ///
+    /// Requires the `avx512f` and `avx512bw` target features at runtime
+    /// ([`avx512_i16_available`]); `a` and `b` must be the same length.
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    pub unsafe fn dot_i16_avx512(a: &[f32], b: &[i16]) -> f32 {
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        unsafe {
+            let mut acc = [_mm512_setzero_ps(); 2];
+            let mut i = 0usize;
+            while i + 32 <= n {
+                let h0 = _mm256_loadu_si256(pb.add(i) as *const __m256i);
+                let h1 = _mm256_loadu_si256(pb.add(i + 16) as *const __m256i);
+                let f0 = _mm512_cvtepi32_ps(_mm512_cvtepi16_epi32(h0));
+                let f1 = _mm512_cvtepi32_ps(_mm512_cvtepi16_epi32(h1));
+                acc[0] = _mm512_fmadd_ps(_mm512_loadu_ps(pa.add(i)), f0, acc[0]);
+                acc[1] = _mm512_fmadd_ps(_mm512_loadu_ps(pa.add(i + 16)), f1, acc[1]);
+                i += 32;
+            }
+            let mut s = _mm512_reduce_add_ps(_mm512_add_ps(acc[0], acc[1]));
+            while i < n {
+                s += *pa.add(i) * (*pb.add(i) as f32);
+                i += 1;
+            }
+            s
+        }
+    }
+
+    /// Four AVX-512F/BW unscaled i16 dot products sharing the `w` operand.
+    ///
+    /// # Safety
+    ///
+    /// Requires the `avx512f` and `avx512bw` target features at runtime
+    /// ([`avx512_i16_available`]); all five slices must be the same length.
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    pub unsafe fn dot4_i16_avx512(
+        w: &[f32],
+        t0: &[i16],
+        t1: &[i16],
+        t2: &[i16],
+        t3: &[i16],
+    ) -> [f32; 4] {
+        let n = w.len();
+        let pw = w.as_ptr();
+        let pts = [t0.as_ptr(), t1.as_ptr(), t2.as_ptr(), t3.as_ptr()];
+        unsafe {
+            let mut acc = [[_mm512_setzero_ps(); 2]; 4];
+            let mut i = 0usize;
+            while i + 32 <= n {
+                let w0 = _mm512_loadu_ps(pw.add(i));
+                let w1 = _mm512_loadu_ps(pw.add(i + 16));
+                for (j, a) in acc.iter_mut().enumerate() {
+                    let h0 = _mm256_loadu_si256(pts[j].add(i) as *const __m256i);
+                    let h1 = _mm256_loadu_si256(pts[j].add(i + 16) as *const __m256i);
+                    let f0 = _mm512_cvtepi32_ps(_mm512_cvtepi16_epi32(h0));
+                    let f1 = _mm512_cvtepi32_ps(_mm512_cvtepi16_epi32(h1));
+                    a[0] = _mm512_fmadd_ps(w0, f0, a[0]);
+                    a[1] = _mm512_fmadd_ps(w1, f1, a[1]);
+                }
+                i += 32;
+            }
+            let mut out = [0.0f32; 4];
+            for (j, a) in acc.iter().enumerate() {
+                let mut s = _mm512_reduce_add_ps(_mm512_add_ps(a[0], a[1]));
+                let mut k = i;
+                while k < n {
+                    s += *pw.add(k) * (*pts[j].add(k) as f32);
+                    k += 1;
+                }
+                out[j] = s;
+            }
+            out
+        }
+    }
+
+    /// Two AVX-512F/BW unscaled i16 dot products sharing the `w` operand.
+    /// Same per-row accumulation structure as [`dot4_i16_avx512`] so a row's
+    /// dot value is bit-identical regardless of the block width.
+    ///
+    /// # Safety
+    ///
+    /// Requires the `avx512f` and `avx512bw` target features at runtime
+    /// ([`avx512_i16_available`]); all three slices must be the same length.
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    pub unsafe fn dot2_i16_avx512(w: &[f32], t0: &[i16], t1: &[i16]) -> [f32; 2] {
+        let n = w.len();
+        let pw = w.as_ptr();
+        let pts = [t0.as_ptr(), t1.as_ptr()];
+        unsafe {
+            let mut acc = [[_mm512_setzero_ps(); 2]; 2];
+            let mut i = 0usize;
+            while i + 32 <= n {
+                let w0 = _mm512_loadu_ps(pw.add(i));
+                let w1 = _mm512_loadu_ps(pw.add(i + 16));
+                for (j, a) in acc.iter_mut().enumerate() {
+                    let h0 = _mm256_loadu_si256(pts[j].add(i) as *const __m256i);
+                    let h1 = _mm256_loadu_si256(pts[j].add(i + 16) as *const __m256i);
+                    let f0 = _mm512_cvtepi32_ps(_mm512_cvtepi16_epi32(h0));
+                    let f1 = _mm512_cvtepi32_ps(_mm512_cvtepi16_epi32(h1));
+                    a[0] = _mm512_fmadd_ps(w0, f0, a[0]);
+                    a[1] = _mm512_fmadd_ps(w1, f1, a[1]);
+                }
+                i += 32;
+            }
+            let mut out = [0.0f32; 2];
+            for (j, a) in acc.iter().enumerate() {
+                let mut s = _mm512_reduce_add_ps(_mm512_add_ps(a[0], a[1]));
+                let mut k = i;
+                while k < n {
+                    s += *pw.add(k) * (*pts[j].add(k) as f32);
+                    k += 1;
+                }
+                out[j] = s;
+            }
+            out
+        }
+    }
+
+    /// Two AVX-512F/BW unscaled i16 tap rows against four windows; the i16
+    /// sibling of [`dot2x4_f16_avx512`], sharing the widening conversion
+    /// chain across all four windows. Per (window, row) accumulation
+    /// structure matches [`dot2_i16_avx512`].
+    ///
+    /// # Safety
+    ///
+    /// Requires the `avx512f` and `avx512bw` target features at runtime
+    /// ([`avx512_i16_available`]); all six slices must be the same length.
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    pub unsafe fn dot2x4_i16_avx512(ws: [&[f32]; 4], t0: &[i16], t1: &[i16]) -> [[f32; 2]; 4] {
+        let n = t0.len();
+        let pws = [
+            ws[0].as_ptr(),
+            ws[1].as_ptr(),
+            ws[2].as_ptr(),
+            ws[3].as_ptr(),
+        ];
+        let pts = [t0.as_ptr(), t1.as_ptr()];
+        unsafe {
+            let mut acc = [[[_mm512_setzero_ps(); 2]; 2]; 4]; // [window][row][chain]
+            let mut i = 0usize;
+            while i + 32 <= n {
+                for (j, pt) in pts.iter().enumerate() {
+                    let h0 = _mm256_loadu_si256(pt.add(i) as *const __m256i);
+                    let h1 = _mm256_loadu_si256(pt.add(i + 16) as *const __m256i);
+                    let f0 = _mm512_cvtepi32_ps(_mm512_cvtepi16_epi32(h0));
+                    let f1 = _mm512_cvtepi32_ps(_mm512_cvtepi16_epi32(h1));
+                    for (wi, pw) in pws.iter().enumerate() {
+                        let a0 = _mm512_loadu_ps(pw.add(i));
+                        let a1 = _mm512_loadu_ps(pw.add(i + 16));
+                        acc[wi][j][0] = _mm512_fmadd_ps(a0, f0, acc[wi][j][0]);
+                        acc[wi][j][1] = _mm512_fmadd_ps(a1, f1, acc[wi][j][1]);
+                    }
+                }
+                i += 32;
+            }
+            let mut out = [[0.0f32; 2]; 4];
+            for (wi, aw) in acc.iter().enumerate() {
+                for (j, chains) in aw.iter().enumerate() {
+                    let mut s = _mm512_reduce_add_ps(_mm512_add_ps(chains[0], chains[1]));
+                    let mut k = i;
+                    while k < n {
+                        s += *pws[wi].add(k) * (*pts[j].add(k) as f32);
+                        k += 1;
+                    }
+                    out[wi][j] = s;
+                }
+            }
+            out
+        }
+    }
+
+    /// AVX2+FMA unscaled i16 dot product (fallback when AVX-512 is absent):
+    /// widening converts via `vpmovsxwd` + `vcvtdq2ps`.
+    ///
+    /// # Safety
+    ///
+    /// Requires the `avx2` and `fma` target features at runtime
+    /// ([`fma_available`]); `a` and `b` must be the same length.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_i16_avx2(a: &[f32], b: &[i16]) -> f32 {
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        unsafe {
+            let mut acc = [_mm256_setzero_ps(); 4];
+            let mut i = 0usize;
+            while i + 32 <= n {
+                for c in 0..2 {
+                    let off = i + c * 16;
+                    let h = _mm256_loadu_si256(pb.add(off) as *const __m256i);
+                    let lo = _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(_mm256_castsi256_si128(h)));
+                    let hi =
+                        _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(_mm256_extracti128_si256(h, 1)));
+                    acc[c * 2] = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(off)), lo, acc[c * 2]);
+                    acc[c * 2 + 1] =
+                        _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(off + 8)), hi, acc[c * 2 + 1]);
+                }
+                i += 32;
+            }
+            while i + 16 <= n {
+                let h = _mm256_loadu_si256(pb.add(i) as *const __m256i);
+                let lo = _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(_mm256_castsi256_si128(h)));
+                let hi = _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(_mm256_extracti128_si256(h, 1)));
+                acc[0] = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), lo, acc[0]);
+                acc[1] = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i + 8)), hi, acc[1]);
+                i += 16;
+            }
+            let sum = _mm256_add_ps(_mm256_add_ps(acc[0], acc[1]), _mm256_add_ps(acc[2], acc[3]));
+            let mut lanes = [0.0f32; 8];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), sum);
+            let mut s: f32 = lanes.iter().sum();
+            while i < n {
+                s += *pa.add(i) * (*pb.add(i) as f32);
+                i += 1;
+            }
+            s
+        }
+    }
+
+    /// Four AVX2+FMA unscaled i16 dot products sharing the `w` operand.
+    ///
+    /// # Safety
+    ///
+    /// Requires the `avx2` and `fma` target features at runtime
+    /// ([`fma_available`]); all five slices must be the same length.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot4_i16_avx2(
+        w: &[f32],
+        t0: &[i16],
+        t1: &[i16],
+        t2: &[i16],
+        t3: &[i16],
+    ) -> [f32; 4] {
+        let n = w.len();
+        let pw = w.as_ptr();
+        let pts = [t0.as_ptr(), t1.as_ptr(), t2.as_ptr(), t3.as_ptr()];
+        unsafe {
+            let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+            let mut i = 0usize;
+            while i + 16 <= n {
+                let w0 = _mm256_loadu_ps(pw.add(i));
+                let w1 = _mm256_loadu_ps(pw.add(i + 8));
+                for (j, a) in acc.iter_mut().enumerate() {
+                    let h = _mm256_loadu_si256(pts[j].add(i) as *const __m256i);
+                    let lo = _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(_mm256_castsi256_si128(h)));
+                    let hi =
+                        _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(_mm256_extracti128_si256(h, 1)));
+                    a[0] = _mm256_fmadd_ps(w0, lo, a[0]);
+                    a[1] = _mm256_fmadd_ps(w1, hi, a[1]);
+                }
+                i += 16;
+            }
+            let mut out = [0.0f32; 4];
+            for (j, a) in acc.iter().enumerate() {
+                let s8 = _mm256_add_ps(a[0], a[1]);
+                let mut lanes = [0.0f32; 8];
+                _mm256_storeu_ps(lanes.as_mut_ptr(), s8);
+                let mut s: f32 = lanes.iter().sum();
+                let mut k = i;
+                while k < n {
+                    s += *pw.add(k) * (*pts[j].add(k) as f32);
+                    k += 1;
+                }
+                out[j] = s;
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::dot_scalar;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn scheme_name_parse_round_trip() {
+        for s in [QuantScheme::F16, QuantScheme::I16] {
+            assert_eq!(QuantScheme::parse(s.name()), Some(s));
+            assert_eq!(s.bytes_per_tap(), 2);
+        }
+        assert_eq!(QuantScheme::parse("f32"), None);
+        assert_eq!(QuantScheme::parse(""), None);
+    }
+
+    #[test]
+    fn f16_known_values_round_trip_exactly() {
+        // Values exactly representable in binary16 must survive unchanged.
+        for &x in &[
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            2.0,
+            65504.0,
+            -65504.0,
+            0.25,
+            1.5,
+            1024.0,
+            6.103_515_6e-5, // smallest normal half
+            5.960_464_5e-8, // smallest subnormal half
+            6.097_555e-5,   // largest subnormal half
+        ] {
+            let back = f16_to_f32(f32_to_f16(x));
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} → {back}");
+        }
+    }
+
+    #[test]
+    fn f16_round_to_nearest_even() {
+        // 1 + 2⁻¹¹ is exactly halfway between 1.0 and the next half
+        // (1 + 2⁻¹⁰); ties go to the even mantissa, i.e. down to 1.0.
+        assert_eq!(f16_to_f32(f32_to_f16(1.0 + 0.000_488_281_25)), 1.0);
+        // 1 + 3·2⁻¹¹ is halfway between 1+2⁻¹⁰ and 1+2·2⁻¹⁰; even is up.
+        let up = f16_to_f32(f32_to_f16(1.0 + 3.0 * 0.000_488_281_25));
+        assert_eq!(up, 1.0 + 2.0 * 0.000_976_562_5);
+    }
+
+    #[test]
+    fn f16_overflow_and_nan() {
+        assert_eq!(f16_to_f32(f32_to_f16(1e6)), f32::INFINITY);
+        assert_eq!(f16_to_f32(f32_to_f16(-1e6)), f32::NEG_INFINITY);
+        assert_eq!(f16_to_f32(f32_to_f16(f32::INFINITY)), f32::INFINITY);
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+        // Tiny values flush to signed zero.
+        assert_eq!(f16_to_f32(f32_to_f16(1e-10)), 0.0);
+        assert_eq!(
+            f16_to_f32(f32_to_f16(-1e-10)).to_bits(),
+            (-0.0f32).to_bits()
+        );
+    }
+
+    #[test]
+    fn f16_relative_error_within_budget() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = (rng.gen::<f32>() - 0.5) * 100.0;
+            let back = f16_to_f32(f32_to_f16(x));
+            // RTNE over the normal range: relative error ≤ 2⁻¹¹.
+            assert!(
+                (back - x).abs() <= x.abs() * 4.883e-4 + 1e-9,
+                "{x} → {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn i16_quantization_error_within_half_step() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let row: Vec<f32> = (0..513).map(|_| (rng.gen::<f32>() - 0.5) * 3.0).collect();
+        let scale = i16_scale(&row);
+        let q = quantize_i16(&row, scale);
+        let back = dequantize_i16(&q, scale);
+        for (&x, &b) in row.iter().zip(&back) {
+            assert!((x - b).abs() <= scale * 0.5 + 1e-9, "{x} vs {b}");
+        }
+        // The max-|x| element quantizes to exactly ±32767.
+        assert_eq!(q.iter().map(|&v| v.abs()).max(), Some(32767));
+    }
+
+    #[test]
+    fn i16_scale_of_zero_row_is_one() {
+        assert_eq!(i16_scale(&[0.0, -0.0, 0.0]), 1.0);
+        assert_eq!(quantize_i16(&[0.0, 0.0], 1.0), vec![0, 0]);
+    }
+
+    #[test]
+    fn dot_f16_matches_dequantized_scalar() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for n in [0usize, 1, 3, 7, 8, 9, 31, 32, 33, 63, 64, 65, 100, 1023] {
+            let a: Vec<f32> = (0..n).map(|_| rng.gen::<f32>() - 0.5).collect();
+            let b: Vec<f32> = (0..n).map(|_| rng.gen::<f32>() - 0.5).collect();
+            let bq = quantize_f16(&b);
+            let deq = dequantize_f16(&bq);
+            let want = dot_scalar(&a, &deq);
+            let got = dot_f16(&a, &bq);
+            let scale = 1.0f32.max(want.abs());
+            assert!(
+                (got - want).abs() / scale < 1e-5,
+                "n={n}: dot_f16 {got} vs dequantized scalar {want}"
+            );
+            // Below the SIMD threshold the scalar path is bit-identical to
+            // dot_scalar on the dequantized taps.
+            if n < 64 {
+                assert_eq!(got.to_bits(), want.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot4_f16_matches_four_dots() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        for n in [0usize, 3, 15, 16, 17, 63, 64, 65, 200, 1031] {
+            let w: Vec<f32> = (0..n).map(|_| rng.gen::<f32>() - 0.5).collect();
+            let ts: Vec<Vec<u16>> = (0..4)
+                .map(|_| quantize_f16(&(0..n).map(|_| rng.gen::<f32>() - 0.5).collect::<Vec<_>>()))
+                .collect();
+            let got = dot4_f16(&w, &ts[0], &ts[1], &ts[2], &ts[3]);
+            for j in 0..4 {
+                let want = dot_f16_scalar(&w, &ts[j]);
+                let scale = 1.0f32.max(want.abs());
+                assert!(
+                    (got[j] - want).abs() / scale < 1e-5,
+                    "n={n} j={j}: dot4_f16 {} vs scalar {want}",
+                    got[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_i16_matches_dequantized_scalar() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for n in [1usize, 7, 8, 31, 33, 63, 64, 65, 100, 1023] {
+            let a: Vec<f32> = (0..n).map(|_| rng.gen::<f32>() - 0.5).collect();
+            let b: Vec<f32> = (0..n).map(|_| (rng.gen::<f32>() - 0.5) * 2.0).collect();
+            let scale = i16_scale(&b);
+            let q = quantize_i16(&b, scale);
+            let deq = dequantize_i16(&q, scale);
+            let want = dot_scalar(&a, &deq);
+            let got = dot_i16(&a, &q) * scale;
+            // The unscaled sum is huge (|q| ≤ 32767); compare relative to
+            // the magnitudes involved.
+            let tol = 1e-5 * (1.0 + a.iter().map(|x| x.abs()).sum::<f32>() * scale * 32767.0);
+            assert!(
+                (got - want).abs() < tol,
+                "n={n}: dot_i16·scale {got} vs dequantized scalar {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot4_i16_matches_four_dots() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        for n in [0usize, 3, 16, 63, 64, 65, 200, 1031] {
+            let w: Vec<f32> = (0..n).map(|_| rng.gen::<f32>() - 0.5).collect();
+            let rows: Vec<Vec<f32>> = (0..4)
+                .map(|_| (0..n).map(|_| rng.gen::<f32>() - 0.5).collect())
+                .collect();
+            let qs: Vec<Vec<i16>> = rows.iter().map(|r| quantize_i16(r, i16_scale(r))).collect();
+            let got = dot4_i16(&w, &qs[0], &qs[1], &qs[2], &qs[3]);
+            for j in 0..4 {
+                let want = dot_i16_scalar(&w, &qs[j]);
+                let scale = 1.0f32.max(want.abs());
+                assert!(
+                    (got[j] - want).abs() / scale < 1e-5,
+                    "n={n} j={j}: dot4_i16 {} vs scalar {want}",
+                    got[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_wrappers_match_plain_window_dot_on_dequantized_taps() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for &(d, t, len) in &[(1usize, 40usize, 5usize), (3, 300, 80)] {
+            let s = Tensor::randn([d, t], &mut rng);
+            let bank = Tensor::randn([4, d * len], &mut rng);
+            let f16_rows: Vec<Vec<u16>> = (0..4).map(|j| quantize_f16(bank.row(j))).collect();
+            let scales: Vec<f32> = (0..4).map(|j| i16_scale(bank.row(j))).collect();
+            let i16_rows: Vec<Vec<i16>> = (0..4)
+                .map(|j| quantize_i16(bank.row(j), scales[j]))
+                .collect();
+            for w in 0..(t - len + 1) {
+                let g4f = window_dot4_f16(
+                    &s,
+                    [&f16_rows[0], &f16_rows[1], &f16_rows[2], &f16_rows[3]],
+                    w,
+                    len,
+                );
+                let g4i = window_dot4_i16(
+                    &s,
+                    [&i16_rows[0], &i16_rows[1], &i16_rows[2], &i16_rows[3]],
+                    w,
+                    len,
+                );
+                for j in 0..4 {
+                    let deq_f = dequantize_f16(&f16_rows[j]);
+                    let want_f = crate::window::window_dot(&s, &deq_f, w, len);
+                    assert!(
+                        (g4f[j] - want_f).abs() < 1e-4 * (1.0 + want_f.abs()),
+                        "f16 w={w} j={j}"
+                    );
+                    assert!(
+                        (window_dot_f16(&s, &f16_rows[j], w, len) - want_f).abs()
+                            < 1e-4 * (1.0 + want_f.abs()),
+                        "f16 single w={w} j={j}"
+                    );
+                    let deq_i = dequantize_i16(&i16_rows[j], scales[j]);
+                    let want_i = crate::window::window_dot(&s, &deq_i, w, len);
+                    let tol = 1e-4 * (1.0 + want_i.abs());
+                    assert!((g4i[j] * scales[j] - want_i).abs() < tol, "i16 w={w} j={j}");
+                    assert!(
+                        (window_dot_i16(&s, &i16_rows[j], w, len) * scales[j] - want_i).abs() < tol,
+                        "i16 single w={w} j={j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_and_quad_kernels_are_bit_identical_to_single_dots() {
+        // The 2-row and 2-row×4-window kernels keep each (window, row)
+        // dot's accumulation order identical to the single-dot kernels, so
+        // narrow blocking must never change a value — the shapelet engines
+        // rely on this to keep pooling and localization bit-consistent
+        // whatever block width they pick. Lengths straddle both the i16
+        // (64) and AVX-512 f16 (1024) dispatch thresholds.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        for n in [64usize, 1023, 1024, 1100, 3277] {
+            let rows: Vec<Vec<f32>> = (0..2)
+                .map(|_| (0..n).map(|_| rng.gen::<f32>() - 0.5).collect())
+                .collect();
+            let f16s: Vec<Vec<u16>> = rows.iter().map(|r| quantize_f16(r)).collect();
+            let i16s: Vec<Vec<i16>> = rows.iter().map(|r| quantize_i16(r, i16_scale(r))).collect();
+            let wins: Vec<Vec<f32>> = (0..4)
+                .map(|_| (0..n).map(|_| rng.gen::<f32>() - 0.5).collect())
+                .collect();
+            for w in &wins {
+                let pf = dot2_f16(w, &f16s[0], &f16s[1]);
+                assert_eq!(pf[0].to_bits(), dot_f16(w, &f16s[0]).to_bits(), "n={n}");
+                assert_eq!(pf[1].to_bits(), dot_f16(w, &f16s[1]).to_bits(), "n={n}");
+                let pi = dot2_i16(w, &i16s[0], &i16s[1]);
+                assert_eq!(pi[0].to_bits(), dot_i16(w, &i16s[0]).to_bits(), "n={n}");
+                assert_eq!(pi[1].to_bits(), dot_i16(w, &i16s[1]).to_bits(), "n={n}");
+            }
+            let ws = [&wins[0][..], &wins[1][..], &wins[2][..], &wins[3][..]];
+            let qf = dot2x4_f16(ws, &f16s[0], &f16s[1]);
+            let qi = dot2x4_i16(ws, &i16s[0], &i16s[1]);
+            for (wi, w) in ws.iter().enumerate() {
+                let pf = dot2_f16(w, &f16s[0], &f16s[1]);
+                let pi = dot2_i16(w, &i16s[0], &i16s[1]);
+                for j in 0..2 {
+                    assert_eq!(
+                        qf[wi][j].to_bits(),
+                        pf[j].to_bits(),
+                        "f16 n={n} w={wi} j={j}"
+                    );
+                    assert_eq!(
+                        qi[wi][j].to_bits(),
+                        pi[j].to_bits(),
+                        "i16 n={n} w={wi} j={j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paired_kernel_availability_is_length_monotone() {
+        // Whatever this machine supports, a longer span never *loses* the
+        // fused pair kernel once a shorter one has it.
+        for scheme in [QuantScheme::F16, QuantScheme::I16] {
+            let mut seen = false;
+            for len in [8usize, 64, 1024, 4096] {
+                let avail = paired_kernel_available(scheme, len);
+                assert!(avail || !seen, "{scheme:?} lost pair kernel at {len}");
+                seen = avail;
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_counting_smoke() {
+        // Just exercise both schemes at both sides of the threshold; the
+        // counters are process-global so we only check it doesn't panic.
+        for scheme in [QuantScheme::F16, QuantScheme::I16] {
+            count_quant_dot_dispatch(scheme, 8, 3);
+            count_quant_dot_dispatch(scheme, 4096, 3);
+            count_quant_dot_dispatch(scheme, 4096, 0);
+        }
+    }
+}

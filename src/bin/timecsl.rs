@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! timecsl pretrain  <train.csv> <model.tcsl> [epochs]   # steps 1–2
+//! timecsl quantize  <model.tcsl> <f16|i16> [out.tcsl]   # half-width taps
 //! timecsl transform <model.tcsl> <data.csv> <out.csv>   # features to CSV
 //! timecsl classify  <model.tcsl> <train.csv> <test.csv> # freeze-mode SVM
 //! timecsl cluster   <model.tcsl> <data.csv> <k>         # freeze-mode k-means
@@ -46,6 +47,7 @@ fn main() -> ExitCode {
     timecsl::obs::trace::emit(timecsl::obs::trace::Event::new("run_start").str("cmd", cmd.clone()));
     let result = match cmd.as_str() {
         "pretrain" => cmd_pretrain(&args[1..]),
+        "quantize" => cmd_quantize(&args[1..]),
         "transform" => cmd_transform(&args[1..]),
         "classify" => cmd_classify(&args[1..]),
         "cluster" => cmd_cluster(&args[1..]),
@@ -54,8 +56,8 @@ fn main() -> ExitCode {
         "report" => cmd_report(&args[1..]),
         "demo" => cmd_demo(),
         _ => Err(TcslError::config(
-            "usage: timecsl <pretrain|transform|classify|cluster|match|info|report|demo> ... \
-             (see crate docs)",
+            "usage: timecsl <pretrain|quantize|transform|classify|cluster|match|info|report|demo> \
+             ... (see crate docs)",
         )),
     };
     // A failed run still produces a complete, attributed trace: the error
@@ -133,6 +135,31 @@ fn cmd_pretrain(args: &[String]) -> CliResult {
     print!("{}", report.learning_curve_ascii());
     model.save(model_path)?;
     println!("saved {} shapelets to {model_path}", model.repr_dim());
+    Ok(())
+}
+
+fn cmd_quantize(args: &[String]) -> CliResult {
+    use timecsl::shapelet::BankPrecision;
+    let model_path = arg(args, 0, "model.tcsl")?;
+    let precision_arg = arg(args, 1, "precision (f16|i16)")?;
+    let out_path = args.get(2).map(String::as_str).unwrap_or(model_path);
+    let scheme = BankPrecision::parse(precision_arg)
+        .and_then(BankPrecision::scheme)
+        .ok_or_else(|| {
+            TcslError::config(format!(
+                "precision must be f16 or i16, got '{precision_arg}'"
+            ))
+        })?;
+    let mut model = TimeCsl::load(model_path)?;
+    let before = model.precision();
+    model.quantize(scheme)?;
+    model.save(out_path)?;
+    println!(
+        "quantized {} shapelets {} -> {}, saved to {out_path}",
+        model.repr_dim(),
+        before.name(),
+        model.precision().name()
+    );
     Ok(())
 }
 

@@ -1,4 +1,4 @@
-//! Corrupted-model corpus for the `tcsl-model v2` save/load format
+//! Corrupted-model corpus for the `tcsl-model v3` save/load format
 //! (DESIGN.md, "Error taxonomy & panic policy"): every structural mutation
 //! of a valid file — truncation at each section boundary, a bad magic, a
 //! wrong normalization tag, non-numeric weights — must surface as the
@@ -30,7 +30,7 @@ fn class_of(text: &str) -> ErrorClass {
 fn good_file_round_trips_bit_identically() {
     let text = model().to_text();
     let reloaded = TimeCsl::from_text(&text).unwrap();
-    assert_eq!(reloaded.to_text(), text, "v2 round-trip is not bit-stable");
+    assert_eq!(reloaded.to_text(), text, "v3 round-trip is not bit-stable");
 }
 
 #[test]
@@ -83,7 +83,8 @@ fn bad_magic_is_model_format() {
     let bad = text.replacen("tcsl-model", "tcsl-zzzzz", 1);
     assert_eq!(class_of(&bad), ErrorClass::ModelFormat);
     // An unsupported version number with an otherwise intact file.
-    let v99 = text.replacen("tcsl-model v2", "tcsl-model v99", 1);
+    let v99 = text.replacen("tcsl-model v3", "tcsl-model v99", 1);
+    assert_ne!(v99, text, "header version drifted — update this test");
     assert_eq!(class_of(&v99), ErrorClass::ModelFormat);
 }
 
