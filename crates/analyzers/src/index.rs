@@ -232,8 +232,17 @@ impl IvfIndex {
             // counter totals are thread-count invariant.
             let mut probed = LocalCounter::new(&IVF_CELLS_PROBED);
             let mut cands = LocalCounter::new(&IVF_CANDIDATES);
+            // Per-query distributions, batched per block like the counters:
+            // candidates scanned is a function of the data alone
+            // (deterministic set); per-query latency is host-class, and the
+            // clock is only read while tracing is on.
+            let mut q_cands =
+                tcsl_obs::hist::LocalHistogram::new(&tcsl_obs::hist::IVF_QUERY_CANDIDATES);
+            let mut q_ns = tcsl_obs::hist::LocalHistogram::new(&tcsl_obs::hist::IVF_QUERY_NS);
+            let timing = tcsl_obs::enabled();
             let mut order: Vec<(usize, f32)> = Vec::new();
             for (r, acc) in rows_out.iter_mut().enumerate() {
+                let t0 = timing.then(std::time::Instant::now);
                 let i = lo + r;
                 let q = queries.row(i);
                 let crow = cd.row(i);
@@ -248,13 +257,21 @@ impl IvfIndex {
                 // Nearest centroids first; ties and all-NaN rows resolve by
                 // cell index, so the probe set is always deterministic.
                 topk_sort(&mut order);
+                let mut scanned = 0u64;
                 for &(c, _) in order.iter().take(nprobe) {
                     let cell = &self.cells[c];
                     probed.add(1);
                     cands.add(cell.ids.len() as u64);
+                    scanned += cell.ids.len() as u64;
                     scan_cell_into(q, qnorms[i], &cell.rows, &cell.norms, &cell.ids, k, acc);
                 }
                 topk_sort(acc);
+                if timing {
+                    q_cands.record(scanned);
+                }
+                if let Some(t0) = t0 {
+                    q_ns.record(t0.elapsed().as_nanos() as u64);
+                }
             }
         });
         Ok(())

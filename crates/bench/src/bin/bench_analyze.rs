@@ -426,12 +426,22 @@ fn main() {
     }
 
     let report = format!(
-        "{{\"bench\":\"analyze\",\"host_cores\":{},\"smoke\":{},\"unit_note\":\"naive = pre-engine scalar distance paths (full-matrix scan for kNN, per-point scans for k-means, double loop for affinities); blocked = pairdist engine (norms + AVX2/FMA dot kernels, heap-bounded top-k for kNN); secs are min over {} runs; peak_alloc_mb = high-water mark above pre-call live bytes (min over runs); labels_identical = blocked kNN predictions bit-equal to the naive scan; agreement_nmi compares k-means assignments (k-means++ picks may round differently); pairdist_pool_modes = the same pairdist call fanned out on the persistent pool vs TCSL_POOL=scoped per-call spawning at an explicit thread count, matrices asserted bit-identical\",\"cases\":[\n  {}\n]}}\n",
+        "{{\"bench\":\"analyze\",\"schema_version\":{},\"host_cores\":{},\"smoke\":{},\"unit_note\":\"naive = pre-engine scalar distance paths (full-matrix scan for kNN, per-point scans for k-means, double loop for affinities); blocked = pairdist engine (norms + AVX2/FMA dot kernels, heap-bounded top-k for kNN); secs are min over {} runs; peak_alloc_mb = high-water mark above pre-call live bytes (min over runs); labels_identical = blocked kNN predictions bit-equal to the naive scan; agreement_nmi compares k-means assignments (k-means++ picks may round differently); pairdist_pool_modes = the same pairdist call fanned out on the persistent pool vs TCSL_POOL=scoped per-call spawning at an explicit thread count, matrices asserted bit-identical\",\"cases\":[\n  {}\n]}}\n",
+        tcsl_bench::contract::SCHEMA_VERSION,
         host_cores,
         smoke,
         reps,
         entries.join(",\n  ")
     );
-    std::fs::write("BENCH_analyze.json", &report).expect("write BENCH_analyze.json");
-    println!("wrote BENCH_analyze.json");
+    tcsl_bench::contract::write_report(
+        "BENCH_analyze.json",
+        "analyze",
+        &report,
+        &[
+            "cases[].speedup",
+            "cases[].blocked.peak_alloc_mb",
+            "cases[].labels_identical=true",
+            "cases[].matrices_identical=true",
+        ],
+    );
 }

@@ -204,7 +204,8 @@ fn main() {
     }
 
     let report = format!(
-        "{{\"bench\":\"index\",\"host_cores\":{},\"smoke\":{},\"dim\":{},\"latent_dim\":{},\"k\":{},\"unit_note\":\"corpus = low-rank Gaussian (LATENT-dim latent x fixed projection + 0.05 ambient noise); exact/ivf p50 = median over individually timed single-row queries (serving shape, ms); recall_at_10 = fraction of exact top-10 indices the IVF shortlist returns; cells_probed/candidates = ivf.* counter totals over one instrumented batch pass; crossover_n = smallest benched N where IVF p50 beats exact; nlist = round(sqrt(N)), nprobe = max(4, nlist/16); full-probe parity asserted at the smallest N\",\"cases\":[\n  {}\n],\"crossover_n\":{}}}\n",
+        "{{\"bench\":\"index\",\"schema_version\":{},\"host_cores\":{},\"smoke\":{},\"dim\":{},\"latent_dim\":{},\"k\":{},\"unit_note\":\"corpus = low-rank Gaussian (LATENT-dim latent x fixed projection + 0.05 ambient noise); exact/ivf p50 = median over individually timed single-row queries (serving shape, ms); recall_at_10 = fraction of exact top-10 indices the IVF shortlist returns; cells_probed/candidates = ivf.* counter totals over one instrumented batch pass; crossover_n = smallest benched N where IVF p50 beats exact; nlist = round(sqrt(N)), nprobe = max(4, nlist/16); full-probe parity asserted at the smallest N\",\"cases\":[\n  {}\n],\"crossover_n\":{}}}\n",
+        tcsl_bench::contract::SCHEMA_VERSION,
         host_cores,
         smoke,
         DIM,
@@ -213,6 +214,16 @@ fn main() {
         entries.join(",\n  "),
         crossover_n.map_or_else(|| "null".to_string(), |n| n.to_string()),
     );
-    std::fs::write("BENCH_index.json", &report).expect("write BENCH_index.json");
-    println!("wrote BENCH_index.json");
+    tcsl_bench::contract::write_report(
+        "BENCH_index.json",
+        "index",
+        &report,
+        &[
+            "crossover_n",
+            "cases[].build_secs",
+            "cases[].recall_at_10",
+            "cases[].cells_probed",
+            "cases[].speedup_p50",
+        ],
+    );
 }

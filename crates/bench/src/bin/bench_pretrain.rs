@@ -134,10 +134,12 @@ fn disabled_overhead_bound(bank0: &ShapeletBank, ds: &Dataset, cfg: &CslConfig) 
     tcsl_obs::trace::use_memory_sink();
     tcsl_obs::set_enabled(true);
     tcsl_obs::counters::reset();
+    tcsl_obs::hist::reset();
     tcsl_obs::spans::reset();
     let mut bank = bank0.clone();
     let _ = pretrain(&mut bank, ds, cfg);
     let hits = tcsl_obs::counters::counter_hits_upper_bound()
+        + tcsl_obs::hist::hist_hits_upper_bound()
         + tcsl_obs::spans::span_snapshot()
             .iter()
             .map(|(_, s)| s.count)
@@ -145,6 +147,7 @@ fn disabled_overhead_bound(bank0: &ShapeletBank, ds: &Dataset, cfg: &CslConfig) 
     tcsl_obs::set_enabled(false);
     tcsl_obs::trace::reset_sink();
     tcsl_obs::counters::reset();
+    tcsl_obs::hist::reset();
     tcsl_obs::spans::reset();
     std::env::remove_var("TCSL_THREADS");
     let per_op = tcsl_obs::disabled_probe_secs_per_op(1_000_000);
@@ -196,6 +199,7 @@ fn per_thread_span_json(
     tcsl_obs::trace::use_memory_sink();
     tcsl_obs::set_enabled(true);
     tcsl_obs::counters::reset();
+    tcsl_obs::hist::reset();
     tcsl_obs::spans::reset();
     let mut bank = bank0.clone();
     let _ = pretrain(&mut bank, ds, cfg);
@@ -396,12 +400,24 @@ fn main() {
     );
 
     let report = format!(
-        "{{\"bench\":\"pretrain\",\"host_cores\":{},\"pool_overhead\":{},\"unit_note\":\"serial = TCSL_THREADS=1, parallel = one worker per core (oversubscribed to 4 on 1-core hosts, where no speedup is possible) on the persistent pool; parallel_scoped = same thread count under TCSL_POOL=scoped (per-call thread spawning); oracle_serial = eager-graph diff path (materialized window leaves) on 1 thread; secs are min over {} runs; peak_alloc_mb = high-water mark above pre-call live bytes (min over runs); deterministic = bit-identical losses and final shapelets across legs (also asserted pool vs scoped); pool_overhead prices one near-empty dispatch per mode in microseconds; per_thread_spans = busy-time of each pool context over one instrumented rep\",\"cases\":[\n  {}\n]}}\n",
+        "{{\"bench\":\"pretrain\",\"schema_version\":{},\"host_cores\":{},\"pool_overhead\":{},\"unit_note\":\"serial = TCSL_THREADS=1, parallel = one worker per core (oversubscribed to 4 on 1-core hosts, where no speedup is possible) on the persistent pool; parallel_scoped = same thread count under TCSL_POOL=scoped (per-call thread spawning); oracle_serial = eager-graph diff path (materialized window leaves) on 1 thread; secs are min over {} runs; peak_alloc_mb = high-water mark above pre-call live bytes (min over runs); deterministic = bit-identical losses and final shapelets across legs (also asserted pool vs scoped); pool_overhead prices one near-empty dispatch per mode in microseconds; per_thread_spans = busy-time of each pool context over one instrumented rep\",\"cases\":[\n  {}\n]}}\n",
+        tcsl_bench::contract::SCHEMA_VERSION,
         host_cores,
         pool_overhead,
         reps,
         entries.join(",\n  ")
     );
-    std::fs::write("BENCH_pretrain.json", &report).expect("write BENCH_pretrain.json");
-    eprintln!("wrote BENCH_pretrain.json");
+    tcsl_bench::contract::write_report(
+        "BENCH_pretrain.json",
+        "pretrain",
+        &report,
+        &[
+            "pool_overhead.pool_dispatch_us",
+            "cases[].serial.peak_alloc_mb",
+            "cases[].oracle_serial",
+            "cases[].parallel_scoped",
+            "cases[].per_thread_spans",
+            "cases[].deterministic=true",
+        ],
+    );
 }

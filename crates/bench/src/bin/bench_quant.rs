@@ -284,9 +284,21 @@ fn main() {
     }
 
     let report = format!(
-        "{{\"bench\":\"quant\",\"unit_note\":\"fused transform from f32 vs half-width tap banks; bytes_streamed_per_series = modeled tap+window traffic; max_transform_error vs the f32 leg; argmin_agreement = every shapelet localizes to the same window\",\"cases\":[\n  {}\n]}}\n",
+        "{{\"bench\":\"quant\",\"schema_version\":{},\"unit_note\":\"fused transform from f32 vs half-width tap banks; bytes_streamed_per_series = modeled tap+window traffic; max_transform_error vs the f32 leg; argmin_agreement = every shapelet localizes to the same window\",\"cases\":[\n  {}\n]}}\n",
+        tcsl_bench::contract::SCHEMA_VERSION,
         entries.join(",\n  ")
     );
-    std::fs::write("BENCH_quant.json", &report).expect("write BENCH_quant.json");
-    eprintln!("wrote BENCH_quant.json");
+    tcsl_bench::contract::write_report(
+        "BENCH_quant.json",
+        "quant",
+        &report,
+        &[
+            "cases[].legs[].precision",
+            "cases[].legs[].ns_per_series",
+            "cases[].legs[].bytes_streamed_per_series",
+            "cases[].legs[].max_transform_error",
+            "cases[].legs[].speedup_vs_f32",
+            "cases[].legs[].argmin_agreement=true",
+        ],
+    );
 }

@@ -177,9 +177,20 @@ fn main() {
     }
 
     let report = format!(
-        "{{\"bench\":\"transform\",\"unit_note\":\"naive = unfold+matmul oracle, fused = streaming kernel; peak_alloc_mb = high-water mark above pre-call live bytes\",\"cases\":[\n  {}\n]}}\n",
+        "{{\"bench\":\"transform\",\"schema_version\":{},\"unit_note\":\"naive = unfold+matmul oracle, fused = streaming kernel; peak_alloc_mb = high-water mark above pre-call live bytes\",\"cases\":[\n  {}\n]}}\n",
+        tcsl_bench::contract::SCHEMA_VERSION,
         entries.join(",\n  ")
     );
-    std::fs::write("BENCH_transform.json", &report).expect("write BENCH_transform.json");
-    eprintln!("wrote BENCH_transform.json");
+    tcsl_bench::contract::write_report(
+        "BENCH_transform.json",
+        "transform",
+        &report,
+        &[
+            "cases[].speedup",
+            "cases[].naive.ms_per_series",
+            "cases[].fused.ms_per_series",
+            "cases[].fused.peak_alloc_mb",
+            "cases[].fused.bytes_streamed_per_series",
+        ],
+    );
 }

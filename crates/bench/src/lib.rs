@@ -16,5 +16,6 @@
 
 pub use tcsl_obs::alloc_track;
 
+pub mod contract;
 pub mod harness;
 pub mod methods;

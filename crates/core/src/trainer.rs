@@ -248,10 +248,15 @@ pub fn pretrain(bank: &mut ShapeletBank, ds: &Dataset, cfg: &CslConfig) -> Train
                 continue; // NT-Xent needs at least one negative.
             }
             let _batch_span = tcsl_obs::spans::span("batch");
+            // Batch latency (host-class) and batch-size (deterministic —
+            // the sampled pair count is a function of the epoch partition
+            // alone) distributions for the run summary.
+            let _batch_timer = tcsl_obs::hist::TRAINER_BATCH_NS.start_timer();
             // View sampling stays on the main-thread RNG — the sampled
             // crops are identical at any thread count.
             let pairs = sample_views(ds, &chunk, &cfg.grains, cfg.min_crop, &mut rng);
             tcsl_obs::counters::TRAINER_PAIRS.add(pairs.len() as u64);
+            tcsl_obs::hist::TRAINER_BATCH_PAIRS.record(pairs.len() as u64);
             epoch_pairs += pairs.len();
 
             // Fan out: one independent subgraph per pair, on the shared

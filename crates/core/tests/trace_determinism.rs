@@ -55,12 +55,45 @@ fn deterministic_json(ev: &tcsl_obs::trace::Event) -> String {
     stripped.to_json()
 }
 
+/// Extracts the serialized `"histograms":{...}` section from a run
+/// summary by brace counting (instrument names never contain braces).
+/// Pinning the serialized bytes — not just the parsed stats — is the
+/// contract `timecsl trace --diff` relies on across schedules.
+fn histograms_section(summary: &str) -> String {
+    let start = summary
+        .find("\"histograms\":{")
+        .expect("summary has a histograms section");
+    let mut depth = 0usize;
+    for (i, b) in summary.bytes().enumerate().skip(start) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return summary[start..=i].to_string();
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unbalanced histograms section in summary");
+}
+
+/// What one fully-instrumented pretrain run leaves in the registries.
+struct TracedRun {
+    counters: Vec<(&'static str, u64)>,
+    events: Vec<String>,
+    hists: Vec<(&'static str, tcsl_obs::hist::HistStat)>,
+    hist_section: String,
+}
+
 /// One fully-instrumented pretrain run at the given worker count,
 /// returning the aggregated counter totals and the stripped event stream.
-fn traced_run(threads: &str) -> (Vec<(&'static str, u64)>, Vec<String>) {
+fn traced_run(threads: &str) -> TracedRun {
     std::env::set_var("TCSL_THREADS", threads);
     tcsl_obs::trace::use_memory_sink();
     tcsl_obs::counters::reset();
+    tcsl_obs::hist::reset();
     tcsl_obs::spans::reset();
     tcsl_obs::set_enabled(true);
 
@@ -80,13 +113,27 @@ fn traced_run(threads: &str) -> (Vec<(&'static str, u64)>, Vec<String>) {
         .iter()
         .map(deterministic_json)
         .collect();
+    let hists = tcsl_obs::hist::hist_snapshot();
+    let summary = tcsl_obs::trace::summary_json("det");
+    assert!(
+        summary.starts_with("{\"schema\":\"tcsl-run-trace-v2\""),
+        "run summary is not schema v2: {}",
+        &summary[..summary.len().min(60)]
+    );
+    let hist_section = histograms_section(&summary);
 
     tcsl_obs::set_enabled(false);
     tcsl_obs::trace::reset_sink();
     tcsl_obs::counters::reset();
+    tcsl_obs::hist::reset();
     tcsl_obs::spans::reset();
     std::env::remove_var("TCSL_THREADS");
-    (counters, events)
+    TracedRun {
+        counters,
+        events,
+        hists,
+        hist_section,
+    }
 }
 
 #[test]
@@ -94,16 +141,46 @@ fn trainer_trace_is_deterministic() {
     // Serial vs oversubscribed (7 workers on any host): aggregated
     // counter totals and all non-wall-clock event content must be
     // bit-identical.
-    let (counters_1, events_1) = traced_run("1");
-    let (counters_7, events_7) = traced_run("7");
+    let run_1 = traced_run("1");
+    let run_7 = traced_run("7");
+    let (counters_1, events_1) = (&run_1.counters, &run_1.events);
 
     assert_eq!(
-        counters_1, counters_7,
+        counters_1, &run_7.counters,
         "aggregated counter totals differ between TCSL_THREADS=1 and 7"
     );
     assert_eq!(
-        events_1, events_7,
+        events_1, &run_7.events,
         "trace event values differ between TCSL_THREADS=1 and 7"
+    );
+
+    // The deterministic histogram class: full bucket arrays, counts and
+    // sums — and their serialized summary section — must be bit-identical
+    // across schedules (host-class latency histograms are exempt; they
+    // live in the separate `host_histograms` section).
+    assert_eq!(
+        run_1.hists, run_7.hists,
+        "deterministic histogram buckets differ between TCSL_THREADS=1 and 7"
+    );
+    assert_eq!(
+        run_1.hist_section, run_7.hist_section,
+        "serialized histograms section differs between TCSL_THREADS=1 and 7"
+    );
+    let batch_pairs = run_1
+        .hists
+        .iter()
+        .find(|(n, _)| *n == "trainer.batch_pairs")
+        .map(|&(_, s)| s)
+        .expect("trainer.batch_pairs histogram missing from snapshot");
+    assert!(
+        batch_pairs.count > 0,
+        "pretrain recorded no trainer.batch_pairs histogram samples"
+    );
+    assert!(
+        run_1
+            .hist_section
+            .contains("\"trainer.batch_pairs\":{\"count\":"),
+        "summary histograms section does not serialize trainer.batch_pairs"
     );
 
     // The run actually exercised the instruments: every well-known

@@ -40,6 +40,15 @@ unsafe impl GlobalAlloc for CountingAlloc {
             let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
             PEAK.fetch_max(live, Ordering::Relaxed);
             TOTAL.fetch_add(layout.size(), Ordering::Relaxed);
+            // Size-distribution histogram. Gated on `enabled_no_init`, not
+            // `enabled`: first-use init reads `TCSL_TRACE`, which allocates
+            // a `String` and would recurse straight back in here. Until
+            // some non-allocator call site resolves the gate, sizes are
+            // simply not recorded — matching the "counters stay zero
+            // without opt-in" contract of this module.
+            if crate::enabled_no_init() {
+                crate::hist::record_alloc_size_unchecked(layout.size() as u64);
+            }
         }
         p
     }

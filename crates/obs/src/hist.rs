@@ -1,0 +1,565 @@
+//! Deterministic log2-bucketed histograms — the distribution layer behind
+//! latency/size reporting (`p50`/`p99` columns in run summaries and the
+//! `timecsl trace` report).
+//!
+//! A [`Histogram`] is a named, fixed-layout 64-bucket distribution over
+//! `u64` values (nanoseconds, bytes, counts). Bucket `0` holds zeros and
+//! bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)` (the last bucket is
+//! open-ended), so **bucket assignment is a pure function of the recorded
+//! value** — no run-dependent boundaries, no reservoir sampling. Buckets
+//! are relaxed-atomic `u64`s merged exactly like counters: unsigned
+//! addition commutes, so bucket totals depend only on *what values were
+//! recorded*, never on thread count or schedule.
+//!
+//! **Determinism classes.** The same split as counters applies one level
+//! up: a histogram of *input-determined values* (pairs per batch,
+//! candidates per IVF query) has bit-identical bucket counts for any
+//! `TCSL_THREADS` and belongs to the deterministic set ([`hist_snapshot`],
+//! compared verbatim by the trace-determinism tests). A histogram of
+//! *wall-clock or host-shaped values* (latencies, allocation sizes —
+//! per-thread scratch makes even byte distributions schedule-dependent) is
+//! exact but not invariant, and lives in the host set
+//! ([`host_hist_snapshot`]), reported separately — the analogue of
+//! span timings and `sched_counters`.
+//!
+//! Hot loops batch through a [`LocalHistogram`] (plain per-thread bucket
+//! array, one atomic merge per region) mirroring
+//! [`crate::counters::LocalCounter`]. Derived quantiles
+//! ([`HistStat::quantile`]) use deterministic linear interpolation inside
+//! the hit bucket, so two runs with identical buckets report bit-identical
+//! percentiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of buckets: one zero bucket plus one per power of two.
+pub const BUCKETS: usize = 64;
+
+/// The bucket a value lands in: `0` for zero, else `64 - leading_zeros`
+/// clamped to the last bucket — i.e. `⌊log2 v⌋ + 1`. Pure in `v`.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+#[inline]
+pub fn bucket_lo(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (the last bucket is open-ended and
+/// reports `u64::MAX`).
+#[inline]
+pub fn bucket_hi(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        i if i >= BUCKETS - 1 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// A named log2-bucketed distribution. Declare as a `static`; the
+/// well-known instances every layer records into are defined in this
+/// module so they are always present in reports (zero-valued when a run
+/// never touched them). There is deliberately no dynamic registry:
+/// [`ALLOC_SIZE_BYTES`] is recorded from inside the global allocator,
+/// where registration must never allocate.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; BUCKETS],
+    /// Sum of recorded values (deterministic for the same reasons the
+    /// buckets are).
+    sum: AtomicU64,
+    /// Number of `record`/`flush` invocations — one enabled-gate check
+    /// each, the quantity the disabled-overhead estimate prices.
+    calls: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+
+impl Histogram {
+    /// Declares a histogram. Use as a `static`.
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram {
+            name,
+            buckets: [ZERO; BUCKETS],
+            sum: AtomicU64::new(0),
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Histogram name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one value when instrumentation is enabled; a relaxed load
+    /// and a branch otherwise.
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if crate::enabled() {
+            self.record_slow(v);
+        }
+    }
+
+    #[cold]
+    fn record_slow(&'static self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Starts a timer that records elapsed nanoseconds into this histogram
+    /// on drop. Reads the clock only when instrumentation is enabled — a
+    /// disabled timer is a no-op holding nothing.
+    #[inline]
+    pub fn start_timer(&'static self) -> HistTimer {
+        HistTimer {
+            inner: crate::enabled().then(|| (Instant::now(), self)),
+        }
+    }
+
+    /// Current snapshot of this histogram.
+    pub fn stat(&'static self) -> HistStat {
+        let mut buckets = [0u64; BUCKETS];
+        let mut count = 0u64;
+        for (slot, b) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = b.load(Ordering::Relaxed);
+            count += *slot;
+        }
+        HistStat {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&'static self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.calls.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII latency probe returned by [`Histogram::start_timer`].
+pub struct HistTimer {
+    inner: Option<(Instant, &'static Histogram)>,
+}
+
+impl Drop for HistTimer {
+    fn drop(&mut self) {
+        if let Some((start, hist)) = self.inner.take() {
+            hist.record_slow(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Per-thread accumulator for a hot loop: buckets values locally and
+/// merges into its [`Histogram`] once on drop (or [`flush`]), costing one
+/// batch of atomics per region instead of per element — same
+/// order-independent totals.
+///
+/// [`flush`]: LocalHistogram::flush
+pub struct LocalHistogram {
+    target: &'static Histogram,
+    pending: [u64; BUCKETS],
+    pending_sum: u64,
+    pending_calls: u64,
+}
+
+impl LocalHistogram {
+    /// Starts accumulating for `target`.
+    pub fn new(target: &'static Histogram) -> LocalHistogram {
+        LocalHistogram {
+            target,
+            pending: [0; BUCKETS],
+            pending_sum: 0,
+            pending_calls: 0,
+        }
+    }
+
+    /// Records locally — no atomics until the merge.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.pending[bucket_of(v)] += 1;
+        self.pending_sum = self.pending_sum.wrapping_add(v);
+        self.pending_calls += 1;
+    }
+
+    /// Merges pending buckets now (drop does the same). One gate check for
+    /// the whole batch, like [`crate::counters::LocalCounter`].
+    pub fn flush(&mut self) {
+        if self.pending_calls == 0 {
+            return;
+        }
+        if crate::enabled() {
+            for (slot, n) in self.target.buckets.iter().zip(self.pending) {
+                if n > 0 {
+                    slot.fetch_add(n, Ordering::Relaxed);
+                }
+            }
+            self.target
+                .sum
+                .fetch_add(self.pending_sum, Ordering::Relaxed);
+            self.target.calls.fetch_add(1, Ordering::Relaxed);
+        }
+        self.pending = [0; BUCKETS];
+        self.pending_sum = 0;
+        self.pending_calls = 0;
+    }
+}
+
+impl Drop for LocalHistogram {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Snapshot of one histogram: the full bucket array plus derived totals.
+/// Merging ([`HistStat::merge`]) is element-wise unsigned addition —
+/// associative and commutative, pinned by proptests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistStat {
+    /// Count per bucket (see [`bucket_lo`]/[`bucket_hi`] for ranges).
+    pub buckets: [u64; BUCKETS],
+    /// Total recorded values (sum of all buckets).
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+}
+
+impl HistStat {
+    /// The all-zero histogram (merge identity).
+    pub fn empty() -> HistStat {
+        HistStat {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Builds a snapshot from a raw bucket array plus a known value sum
+    /// (the span registry stores exactly that).
+    pub fn from_buckets(buckets: [u64; BUCKETS], sum: u64) -> HistStat {
+        HistStat {
+            buckets,
+            count: buckets.iter().sum(),
+            sum,
+        }
+    }
+
+    /// Element-wise merge of another snapshot into this one.
+    pub fn merge(&mut self, other: &HistStat) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) estimated by deterministic linear
+    /// interpolation inside the bucket where the cumulative count crosses
+    /// `q · count`. Pure in the bucket array: two runs with identical
+    /// buckets report bit-identical percentiles, and the estimate is
+    /// monotone in `q` (p50 ≤ p90 ≤ p99, pinned by proptests). Returns
+    /// `0.0` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        let last = match self.buckets.iter().rposition(|&c| c > 0) {
+            Some(i) => i,
+            None => return 0.0,
+        };
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if next as f64 >= rank || i == last {
+                let lo = bucket_lo(i) as f64;
+                // The open-ended last bucket interpolates over one octave
+                // like its neighbours would, rather than to u64::MAX.
+                let hi = if i >= BUCKETS - 1 {
+                    bucket_lo(i) as f64 * 2.0
+                } else {
+                    bucket_hi(i) as f64
+                };
+                let frac = ((rank - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return lo + frac * (hi - lo);
+            }
+            cum = next;
+        }
+        0.0
+    }
+
+    /// Mean of recorded values (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+// --- Well-known instruments ---------------------------------------------
+
+// Deterministic set: recorded values are functions of the input alone, so
+// bucket counts are bit-identical for any `TCSL_THREADS` (compared
+// verbatim by `trace_determinism`).
+
+/// View pairs per pre-training batch (batch-size distribution — the
+/// trailing-batch fold and grain fan-out shape it).
+pub static TRAINER_BATCH_PAIRS: Histogram = Histogram::new("trainer.batch_pairs");
+/// Candidate corpus rows scanned per IVF query (the per-request shortlist
+/// size the sublinear path pays — the companion distribution to the
+/// `ivf.candidates` total).
+pub static IVF_QUERY_CANDIDATES: Histogram = Histogram::new("ivf.query_candidates");
+
+// Host set: wall-clock latencies and allocation sizes — exact, but
+// schedule/host-shaped, so excluded from the determinism comparison like
+// span timings and `sched_counters`.
+
+/// Per-series fused-transform latency, nanoseconds (the serving-path unit
+/// of work: one series in, one feature row out).
+pub static TRANSFORM_SERIES_NS: Histogram = Histogram::new("transform.series_ns");
+/// Per-tile pairwise-distance kernel time, nanoseconds (one (row-block,
+/// corpus-tile) pair).
+pub static PAIRDIST_TILE_NS: Histogram = Histogram::new("pairdist.tile_ns");
+/// Per-query IVF latency, nanoseconds (centroid ranking + cell scans +
+/// final sort for one query row).
+pub static IVF_QUERY_NS: Histogram = Histogram::new("ivf.query_ns");
+/// Time a `parallel_*` dispatch waited for the pool's job slot before its
+/// work could start, nanoseconds. Schedule-class by construction, like the
+/// `pool.*` counters.
+pub static POOL_DISPATCH_WAIT_NS: Histogram = Histogram::new("pool.dispatch_wait_ns");
+/// Per-batch pre-training step latency, nanoseconds (sampling, fan-out,
+/// reduction and the optimizer step).
+pub static TRAINER_BATCH_NS: Histogram = Histogram::new("trainer.batch_ns");
+/// Allocation-size distribution, bytes, recorded by
+/// [`crate::alloc_track::CountingAlloc`] in binaries that install it.
+pub static ALLOC_SIZE_BYTES: Histogram = Histogram::new("alloc.size_bytes");
+
+/// Records into [`ALLOC_SIZE_BYTES`] without consulting the enablement
+/// gate. The only caller is [`crate::alloc_track::CountingAlloc::alloc`],
+/// which has already checked [`crate::enabled_no_init`] — calling the
+/// normal gate from inside the allocator could trigger the allocating
+/// `TCSL_TRACE` env read and recurse. The body is pure atomics.
+pub(crate) fn record_alloc_size_unchecked(v: u64) {
+    ALLOC_SIZE_BYTES.record_slow(v);
+}
+
+static WELL_KNOWN_DET: &[&Histogram] = &[&TRAINER_BATCH_PAIRS, &IVF_QUERY_CANDIDATES];
+
+static WELL_KNOWN_HOST: &[&Histogram] = &[
+    &TRANSFORM_SERIES_NS,
+    &PAIRDIST_TILE_NS,
+    &IVF_QUERY_NS,
+    &POOL_DISPATCH_WAIT_NS,
+    &TRAINER_BATCH_NS,
+    &ALLOC_SIZE_BYTES,
+];
+
+fn snapshot_of(set: &[&'static Histogram]) -> Vec<(&'static str, HistStat)> {
+    let mut out: Vec<(&'static str, HistStat)> = set.iter().map(|h| (h.name, h.stat())).collect();
+    out.sort_by_key(|&(name, _)| name);
+    out
+}
+
+/// Deterministic histograms `(name, stat)`, sorted by name — the set whose
+/// bucket counts are bit-identical across `TCSL_THREADS`, compared
+/// verbatim by the trace-determinism tests.
+pub fn hist_snapshot() -> Vec<(&'static str, HistStat)> {
+    snapshot_of(WELL_KNOWN_DET)
+}
+
+/// Host-shaped histograms `(name, stat)`, sorted by name: latency and
+/// allocation distributions — exact but wall-clock/schedule-dependent,
+/// reported separately (the histogram analogue of `sched_counters`).
+pub fn host_hist_snapshot() -> Vec<(&'static str, HistStat)> {
+    snapshot_of(WELL_KNOWN_HOST)
+}
+
+/// Total `record`/`flush` invocations across every histogram — each is one
+/// enabled-gate check, priced by `bench_pretrain`'s disabled-overhead
+/// bound alongside counter and span hits.
+pub fn hist_hits_upper_bound() -> u64 {
+    WELL_KNOWN_DET
+        .iter()
+        .chain(WELL_KNOWN_HOST)
+        .map(|h| h.calls.load(Ordering::Relaxed))
+        .sum()
+}
+
+/// Zeroes every histogram (run isolation in tests and benchmarks).
+pub fn reset() {
+    for h in WELL_KNOWN_DET.iter().chain(WELL_KNOWN_HOST) {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testlock;
+
+    static TEST_HIST: Histogram = Histogram::new("test.hist");
+
+    #[test]
+    fn bucket_layout_is_log2_with_zero_bucket() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        // Every value sits inside its bucket's [lo, hi] range.
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, 1 << 40, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(bucket_lo(b) <= v && v <= bucket_hi(b), "v={v} bucket={b}");
+        }
+        // Buckets tile the line: hi(i) + 1 == lo(i + 1).
+        for i in 0..BUCKETS - 2 {
+            assert_eq!(bucket_hi(i) + 1, bucket_lo(i + 1));
+        }
+    }
+
+    #[test]
+    fn disabled_histograms_do_not_move() {
+        let _g = testlock::hold();
+        crate::set_enabled(false);
+        let before = TEST_HIST.stat();
+        TEST_HIST.record(42);
+        let t = TEST_HIST.start_timer();
+        drop(t);
+        assert_eq!(TEST_HIST.stat(), before);
+    }
+
+    #[test]
+    fn record_accumulates_and_snapshots() {
+        let _g = testlock::hold();
+        crate::set_enabled(true);
+        TEST_HIST.reset();
+        TEST_HIST.record(0);
+        TEST_HIST.record(5);
+        TEST_HIST.record(5);
+        TEST_HIST.record(1000);
+        let s = TEST_HIST.stat();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1010);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[bucket_of(5)], 2);
+        assert_eq!(s.buckets[bucket_of(1000)], 1);
+        crate::set_enabled(false);
+        TEST_HIST.reset();
+    }
+
+    #[test]
+    fn local_histogram_merges_once_and_counts_one_call() {
+        let _g = testlock::hold();
+        crate::set_enabled(true);
+        TEST_HIST.reset();
+        {
+            let mut local = LocalHistogram::new(&TEST_HIST);
+            for v in 0..100u64 {
+                local.record(v);
+            }
+        } // drop merges
+        let s = TEST_HIST.stat();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 4950);
+        assert_eq!(TEST_HIST.calls.load(Ordering::Relaxed), 1);
+        crate::set_enabled(false);
+        TEST_HIST.reset();
+    }
+
+    #[test]
+    fn timer_records_elapsed_ns_when_enabled() {
+        let _g = testlock::hold();
+        crate::set_enabled(true);
+        TEST_HIST.reset();
+        {
+            let _t = TEST_HIST.start_timer();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let s = TEST_HIST.stat();
+        assert_eq!(s.count, 1);
+        assert!(s.sum >= 1_000_000, "timer recorded {} ns", s.sum);
+        crate::set_enabled(false);
+        TEST_HIST.reset();
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_stay_ordered() {
+        let mut s = HistStat::empty();
+        assert_eq!(s.quantile(0.5), 0.0);
+        // 100 values in bucket 7 ([64, 127]).
+        s.buckets[7] = 100;
+        s.count = 100;
+        s.sum = 100 * 90;
+        let p50 = s.quantile(0.5);
+        let p90 = s.quantile(0.9);
+        let p99 = s.quantile(0.99);
+        assert!((64.0..=127.0).contains(&p50));
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!((s.mean() - 90.0).abs() < 1e-9);
+        // All mass in one bucket: q=0 pins lo, q=1 pins hi.
+        assert_eq!(s.quantile(0.0), 64.0);
+        assert_eq!(s.quantile(1.0), 127.0);
+    }
+
+    #[test]
+    fn well_known_sets_are_disjoint_and_sorted() {
+        let _g = testlock::hold();
+        crate::set_enabled(false);
+        let det = hist_snapshot();
+        let host = host_hist_snapshot();
+        for (n, _) in &det {
+            assert!(!host.iter().any(|(h, _)| h == n), "{n} in both sets");
+        }
+        for snap in [&det, &host] {
+            let names: Vec<_> = snap.iter().map(|&(n, _)| n).collect();
+            let mut sorted = names.clone();
+            sorted.sort();
+            assert_eq!(names, sorted);
+        }
+        assert!(det.iter().any(|&(n, _)| n == "trainer.batch_pairs"));
+        assert!(host.iter().any(|&(n, _)| n == "transform.series_ns"));
+        assert!(host.iter().any(|&(n, _)| n == "alloc.size_bytes"));
+    }
+
+    #[test]
+    fn hits_bound_prices_calls_not_values() {
+        let _g = testlock::hold();
+        crate::set_enabled(true);
+        reset();
+        TRAINER_BATCH_PAIRS.record(10);
+        TRAINER_BATCH_PAIRS.record(20);
+        let mut local = LocalHistogram::new(&IVF_QUERY_CANDIDATES);
+        for _ in 0..50 {
+            local.record(3);
+        }
+        local.flush();
+        // Two direct records + one batched flush = 3 gate checks.
+        assert_eq!(hist_hits_upper_bound(), 3);
+        crate::set_enabled(false);
+        reset();
+        assert_eq!(hist_hits_upper_bound(), 0);
+    }
+}

@@ -1,7 +1,15 @@
-//! Minimal JSON writer for the trace sink — no external deps, output is
-//! deterministic (fields serialize in insertion order, floats via Rust's
-//! shortest round-trip formatting, non-finite floats as strings so the
-//! stream stays valid JSON).
+//! Minimal JSON writer *and reader* for the trace pipeline — no external
+//! deps.
+//!
+//! The writer side is deterministic (fields serialize in insertion order,
+//! floats via Rust's shortest round-trip formatting, non-finite floats as
+//! strings so the stream stays valid JSON). The reader ([`parse`]) is a
+//! recursive-descent parser sized for the artifacts this repo emits
+//! (`RUN_trace.json` summaries, `BENCH_*.json` reports): it preserves
+//! object key order, reports errors with line/column positions, and caps
+//! nesting depth so hostile inputs (`tests/hostile_inputs.rs` feeds it
+//! truncated and bit-flipped files) fail with a typed error instead of
+//! exhausting the stack.
 
 /// Escapes `s` into `out` as a JSON string literal (with quotes).
 pub fn write_str(out: &mut String, s: &str) {
@@ -38,6 +46,309 @@ pub fn write_f64(out: &mut String, v: f64) {
     }
 }
 
+/// Maximum container nesting [`parse`] accepts. The deepest artifact this
+/// repo writes is four levels (`summary → spans → path → hist → buckets`);
+/// 64 leaves headroom without letting a hostile file recurse unboundedly.
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value. Objects keep their key order as written.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (integers included — JSON has one number type).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<JsonValue>),
+    /// Object, in key order as written (duplicate keys: last one wins on
+    /// [`JsonValue::get`], both retained in the vec).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup (last occurrence wins); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64` when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The object fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: what went wrong and where (1-based line/column).
+#[derive(Clone, Debug, PartialEq)]
+pub struct JsonError {
+    /// What the parser expected or rejected.
+    pub msg: String,
+    /// 1-based line of the offending byte.
+    pub line: usize,
+    /// 1-based column of the offending byte.
+    pub col: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at line {}, column {}", self.msg, self.line, self.col)
+    }
+}
+
+/// Parses one JSON document. Trailing non-whitespace, unterminated
+/// containers, bad escapes and over-deep nesting are all errors — never
+/// panics, whatever the input.
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing data after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        let (mut line, mut col) = (1, 1);
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        JsonError {
+            msg: msg.into(),
+            line,
+            col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected byte '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            // Unpaired surrogates map to the replacement
+                            // char; the repo's own writer never emits them.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so the byte
+                    // stream is valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("raw control character in string"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(JsonValue::Num(n)),
+            _ => {
+                self.pos = start;
+                Err(self.err(format!("bad number '{text}'")))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,5 +373,84 @@ mod tests {
         assert_eq!(s(|o| write_f64(o, f64::NAN)), "\"NaN\"");
         assert_eq!(s(|o| write_f64(o, f64::INFINITY)), "\"inf\"");
         assert_eq!(s(|o| write_f64(o, f64::NEG_INFINITY)), "\"-inf\"");
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let mut doc = String::from("{\"run\":");
+        write_str(&mut doc, "pre\"train\n");
+        doc.push_str(",\"secs\":");
+        write_f64(&mut doc, 1.25);
+        doc.push_str(",\"n\":42,\"neg\":-3,\"ok\":true,\"none\":null,\"xs\":[1,2.5,\"three\"]}");
+        let v = parse(&doc).unwrap();
+        assert_eq!(
+            v.get("run").and_then(JsonValue::as_str),
+            Some("pre\"train\n")
+        );
+        assert_eq!(v.get("secs").and_then(JsonValue::as_f64), Some(1.25));
+        assert_eq!(v.get("n").and_then(JsonValue::as_u64), Some(42));
+        assert_eq!(v.get("neg").and_then(JsonValue::as_u64), None);
+        assert_eq!(v.get("neg").and_then(JsonValue::as_f64), Some(-3.0));
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("none"), Some(&JsonValue::Null));
+        let xs = v.get("xs").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(xs.len(), 3);
+        assert_eq!(xs[2].as_str(), Some("three"));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn objects_preserve_key_order() {
+        let v = parse("{\"z\":1,\"a\":2,\"m\":3}").unwrap();
+        let keys: Vec<&str> = v
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, vec!["z", "a", "m"]);
+    }
+
+    #[test]
+    fn hostile_inputs_error_with_positions_never_panic() {
+        for (input, needle) in [
+            ("", "unexpected end"),
+            ("{\"a\":1", "expected ',' or '}'"),
+            ("{\"a\" 1}", "expected ':'"),
+            ("[1,2", "expected ',' or ']'"),
+            ("\"unterminated", "unterminated string"),
+            ("{\"a\":tru}", "expected 'true'"),
+            ("nul", "expected 'null'"),
+            ("{\"a\":1}x", "trailing data"),
+            ("{\"a\":1e999}", "bad number"),
+            ("\"bad \\q escape\"", "bad escape"),
+            ("\"\\uZZZZ\"", "bad \\u escape"),
+            ("\u{1}", "unexpected byte"),
+        ] {
+            let e = parse(input).unwrap_err();
+            assert!(
+                e.to_string().contains(needle),
+                "input {input:?}: got {e}, wanted {needle:?}"
+            );
+        }
+        // Error positions are 1-based line/column.
+        let e = parse("{\n  \"a\": }").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 8), "{e}");
+    }
+
+    #[test]
+    fn depth_limit_rejects_deep_nesting() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        let e = parse(&deep).unwrap_err();
+        assert!(e.msg.contains("nesting deeper"), "{e}");
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins_on_get() {
+        let v = parse("{\"k\":1,\"k\":2}").unwrap();
+        assert_eq!(v.get("k").and_then(JsonValue::as_f64), Some(2.0));
+        assert_eq!(v.as_obj().unwrap().len(), 2, "both occurrences retained");
     }
 }

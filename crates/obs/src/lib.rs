@@ -3,7 +3,8 @@
 //! # tcsl-obs
 //!
 //! Zero-dependency observability for the TimeCSL workspace: hierarchical
-//! [`spans`], registered atomic [`counters`] and gauges, and a structured
+//! [`spans`], registered atomic [`counters`] and gauges, deterministic
+//! log2-bucketed [`hist`]ograms (the p50/p99 layer), and a structured
 //! JSONL run [`trace`] — the instrumentation layer behind the demo's
 //! "diagnose the model" promise and the perf work the ROADMAP calls for.
 //!
@@ -46,6 +47,7 @@
 
 pub mod alloc_track;
 pub mod counters;
+pub mod hist;
 pub mod json;
 pub mod spans;
 pub mod trace;
@@ -54,6 +56,10 @@ use std::sync::atomic::{AtomicU8, Ordering};
 
 /// 0 = uninitialized (read `TCSL_TRACE` on first query), 1 = off, 2 = on.
 static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// 0 = uninitialized (read `TCSL_TRACE_HIST` on first query), 1 = off,
+/// 2 = on.
+static HIST_ENABLED: AtomicU8 = AtomicU8::new(0);
 
 /// Whether instrumentation is currently enabled. The hot-path gate: one
 /// relaxed load and a compare once initialized.
@@ -80,11 +86,53 @@ fn init_from_env() -> bool {
     on
 }
 
+/// Like [`enabled`], but **never** initializes from the environment:
+/// returns `false` while the state is still unresolved. The one legitimate
+/// caller is [`alloc_track`] — reading `TCSL_TRACE` allocates a `String`,
+/// which would recurse straight back into the allocator hook.
+#[inline]
+pub fn enabled_no_init() -> bool {
+    ENABLED.load(Ordering::Relaxed) == 2
+}
+
 /// Programmatically enables or disables instrumentation, overriding the
 /// `TCSL_TRACE` environment variable. Tests and benchmarks use this to run
 /// traced and untraced legs in one process.
 pub fn set_enabled(on: bool) {
     ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Whether per-span-path duration histograms are enabled (`TCSL_TRACE_HIST`
+/// is `1`/`true`, or [`set_hist_enabled`] was called). An opt-in *on top
+/// of* [`enabled`]: span aggregates always keep count/total/min/max, but
+/// bucketing every span duration costs a little more per drop, so the
+/// distribution layer is off unless asked for — keeping the disabled-mode
+/// overhead budget (`bench_pretrain`'s <1% assertion) untouched.
+#[inline]
+pub fn hist_enabled() -> bool {
+    match HIST_ENABLED.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_hist_from_env(),
+    }
+}
+
+#[cold]
+fn init_hist_from_env() -> bool {
+    let on = std::env::var("TCSL_TRACE_HIST")
+        .map(|v| {
+            let v = v.trim();
+            v == "1" || v.eq_ignore_ascii_case("true")
+        })
+        .unwrap_or(false);
+    HIST_ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
+/// Programmatically enables or disables per-span-path duration histograms,
+/// overriding `TCSL_TRACE_HIST`.
+pub fn set_hist_enabled(on: bool) {
+    HIST_ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
 }
 
 /// Measures the per-call cost of the *disabled* instrumentation gate: a

@@ -52,8 +52,28 @@ impl SpanStat {
     }
 }
 
-fn registry() -> &'static Mutex<BTreeMap<String, SpanStat>> {
-    static REG: Mutex<BTreeMap<String, SpanStat>> = Mutex::new(BTreeMap::new());
+/// Registry entry: the always-on aggregate plus, when `TCSL_TRACE_HIST`
+/// opted in ([`crate::hist_enabled`]), a log2 duration histogram for the
+/// path — the data behind the percentile columns of `timecsl trace`.
+struct SpanAgg {
+    stat: SpanStat,
+    hist: Option<Box<[u64; crate::hist::BUCKETS]>>,
+}
+
+impl SpanAgg {
+    fn fold(&mut self, ns: u64) {
+        self.stat.fold(ns);
+        if crate::hist_enabled() {
+            let buckets = self
+                .hist
+                .get_or_insert_with(|| Box::new([0; crate::hist::BUCKETS]));
+            buckets[crate::hist::bucket_of(ns)] += 1;
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, SpanAgg>> {
+    static REG: Mutex<BTreeMap<String, SpanAgg>> = Mutex::new(BTreeMap::new());
     &REG
 }
 
@@ -73,11 +93,14 @@ impl Drop for SpanGuard {
             });
             let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
             reg.entry(path)
-                .or_insert(SpanStat {
-                    count: 0,
-                    total_ns: 0,
-                    min_ns: u64::MAX,
-                    max_ns: 0,
+                .or_insert(SpanAgg {
+                    stat: SpanStat {
+                        count: 0,
+                        total_ns: 0,
+                        min_ns: u64::MAX,
+                        max_ns: 0,
+                    },
+                    hist: None,
                 })
                 .fold(ns);
         }
@@ -151,7 +174,27 @@ pub fn span_snapshot() -> Vec<(String, SpanStat)> {
         .lock()
         .unwrap_or_else(|p| p.into_inner())
         .iter()
-        .map(|(k, v)| (k.clone(), *v))
+        .map(|(k, v)| (k.clone(), v.stat))
+        .collect()
+}
+
+/// Per-path duration histograms, sorted by path — present only for paths
+/// that completed at least one span while [`crate::hist_enabled`] was on.
+/// The `sum` of each stat is the path's aggregate `total_ns` (the one
+/// clock both layers share), so the derived mean matches the span report.
+pub fn span_hist_snapshot() -> Vec<(String, crate::hist::HistStat)> {
+    registry()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .iter()
+        .filter_map(|(k, v)| {
+            v.hist.as_ref().map(|h| {
+                (
+                    k.clone(),
+                    crate::hist::HistStat::from_buckets(**h, v.stat.total_ns),
+                )
+            })
+        })
         .collect()
 }
 
@@ -219,6 +262,39 @@ mod tests {
         let paths: Vec<String> = span_snapshot().into_iter().map(|(p, _)| p).collect();
         // The worker span is NOT nested under main_phase — fresh stack.
         assert_eq!(paths, vec!["main_phase".to_string(), "worker".to_string()]);
+        crate::set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn span_histograms_are_opt_in_per_path() {
+        let _g = testlock::hold();
+        crate::set_enabled(true);
+        crate::set_hist_enabled(false);
+        reset();
+        {
+            let _s = span("ungated");
+        }
+        assert!(
+            span_hist_snapshot().is_empty(),
+            "no histograms without TCSL_TRACE_HIST"
+        );
+        crate::set_hist_enabled(true);
+        for _ in 0..5 {
+            let _s = span("gated");
+        }
+        let hists = span_hist_snapshot();
+        assert_eq!(hists.len(), 1);
+        assert_eq!(hists[0].0, "gated");
+        assert_eq!(hists[0].1.count, 5);
+        let stat = span_snapshot()
+            .into_iter()
+            .find(|(p, _)| p == "gated")
+            .unwrap()
+            .1;
+        assert_eq!(hists[0].1.sum, stat.total_ns, "one clock for both layers");
+        assert!(hists[0].1.quantile(0.5) <= hists[0].1.quantile(0.99));
+        crate::set_hist_enabled(false);
         crate::set_enabled(false);
         reset();
     }

@@ -202,12 +202,42 @@ fn write_event(event: Event) {
     }
 }
 
-/// Renders the run summary JSON: run metadata, all counters
-/// (deterministic and schedule-class, each sorted by name), gauges, and
-/// span aggregates (sorted by path, nanoseconds).
+/// Serializes one histogram snapshot: totals, deterministic interpolated
+/// percentiles, and the sparse bucket array (`"<bucket index>": count`,
+/// zero buckets omitted — see `tcsl_obs::hist::bucket_lo`/`bucket_hi` for
+/// the value range a bucket index covers).
+fn write_hist(out: &mut String, h: &crate::hist::HistStat) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{{\"count\":{},\"sum\":{},\"mean\":", h.count, h.sum);
+    json::write_f64(out, h.mean());
+    for (name, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99), ("p999", 0.999)] {
+        let _ = write!(out, ",\"{name}\":");
+        json::write_f64(out, h.quantile(q));
+    }
+    out.push_str(",\"buckets\":{");
+    let mut first = true;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{i}\":{c}");
+    }
+    out.push_str("}}");
+}
+
+/// Renders the run summary JSON (`tcsl-run-trace-v2`): run metadata, all
+/// counters (deterministic and schedule-class, each sorted by name),
+/// gauges, histogram distributions (deterministic and host-shaped sets,
+/// with derived percentiles), and span aggregates (sorted by path,
+/// nanoseconds — each carrying its duration histogram when
+/// `TCSL_TRACE_HIST` opted in).
 pub fn summary_json(run: &str) -> String {
     let mut out = String::with_capacity(1024);
-    out.push_str("{\"schema\":\"tcsl-run-trace-v1\",\"run\":");
+    out.push_str("{\"schema\":\"tcsl-run-trace-v2\",\"run\":");
     json::write_str(&mut out, run);
     out.push_str(",\"counters\":{");
     for (i, (name, value)) in crate::counters::counter_snapshot().iter().enumerate() {
@@ -236,6 +266,26 @@ pub fn summary_json(run: &str) -> String {
         out.push(':');
         out.push_str(&value.to_string());
     }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, stat)) in crate::hist::hist_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_str(&mut out, name);
+        out.push(':');
+        write_hist(&mut out, stat);
+    }
+    out.push_str("},\"host_histograms\":{");
+    for (i, (name, stat)) in crate::hist::host_hist_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_str(&mut out, name);
+        out.push(':');
+        write_hist(&mut out, stat);
+    }
+    let span_hists: std::collections::BTreeMap<String, crate::hist::HistStat> =
+        crate::spans::span_hist_snapshot().into_iter().collect();
     out.push_str("},\"spans\":{");
     for (i, (path, stat)) in crate::spans::span_snapshot().iter().enumerate() {
         if i > 0 {
@@ -243,9 +293,14 @@ pub fn summary_json(run: &str) -> String {
         }
         json::write_str(&mut out, path);
         out.push_str(&format!(
-            ":{{\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+            ":{{\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{}",
             stat.count, stat.total_ns, stat.min_ns, stat.max_ns
         ));
+        if let Some(h) = span_hists.get(path) {
+            out.push_str(",\"hist\":");
+            write_hist(&mut out, h);
+        }
+        out.push('}');
     }
     out.push_str("}}");
     out
@@ -325,15 +380,20 @@ mod tests {
     fn summary_json_is_valid_and_lists_instruments() {
         let _g = testlock::hold();
         crate::set_enabled(true);
+        crate::set_hist_enabled(true);
         crate::counters::reset();
         crate::spans::reset();
+        crate::hist::reset();
         crate::counters::TRAINER_PAIRS.add(7);
+        crate::hist::TRAINER_BATCH_PAIRS.record(7);
+        crate::hist::TRANSFORM_SERIES_NS.record(1500);
         {
             let _s = crate::spans::span("phase");
         }
         let s = summary_json("unit-test");
         crate::set_enabled(false);
-        assert!(s.starts_with("{\"schema\":\"tcsl-run-trace-v1\""));
+        crate::set_hist_enabled(false);
+        assert!(s.starts_with("{\"schema\":\"tcsl-run-trace-v2\""));
         assert!(s.contains("\"run\":\"unit-test\""));
         assert!(s.contains("\"trainer.pairs\":7"));
         assert!(s.contains("\"pairdist.tiles\":0"), "zero counters present");
@@ -341,13 +401,38 @@ mod tests {
             s.contains("\"sched_counters\":{\"pool.dispatch\":"),
             "schedule-class counters have their own section"
         );
+        // Deterministic vs host histogram sections, both with derived
+        // percentiles and sparse buckets.
+        assert!(s.contains("\"histograms\":{"));
+        assert!(s.contains("\"trainer.batch_pairs\":{\"count\":1,\"sum\":7,"));
+        assert!(s.contains("\"host_histograms\":{"));
+        assert!(s.contains("\"transform.series_ns\":{\"count\":1,\"sum\":1500,"));
+        assert!(s.contains("\"p999\":"));
+        let zero_hist = format!("\"{}\":0", crate::hist::bucket_of(0));
+        assert!(
+            !s.contains(&zero_hist.replace(":0", ":0,\"")),
+            "zero buckets are omitted from the sparse map"
+        );
+        // The span carries its duration histogram (TCSL_TRACE_HIST was on).
         assert!(s.contains("\"phase\":{\"count\":1"));
+        assert!(
+            s.contains(",\"hist\":{\"count\":1,"),
+            "span entries embed their histogram when the gate is on"
+        );
         // Braces balance — cheap structural validity check.
         let open = s.matches('{').count();
         let close = s.matches('}').count();
         assert_eq!(open, close);
+        // And the writer's output round-trips through the crate's parser.
+        let parsed = json::parse(&s).expect("summary parses");
+        assert_eq!(
+            parsed.get("schema").and_then(json::JsonValue::as_str),
+            Some("tcsl-run-trace-v2")
+        );
+        assert!(parsed.get("histograms").is_some());
         crate::counters::reset();
         crate::spans::reset();
+        crate::hist::reset();
     }
 
     #[test]

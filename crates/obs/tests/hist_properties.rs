@@ -1,0 +1,119 @@
+//! Property tests for the deterministic histogram core (DESIGN.md,
+//! "Observability": bucket totals must be a pure function of the recorded
+//! multiset — independent of merge order, batching, and thread count).
+
+use proptest::prelude::*;
+use tcsl_obs::hist::{bucket_hi, bucket_lo, bucket_of, HistStat, Histogram, LocalHistogram};
+
+/// Builds a `HistStat` from raw values the same way the atomics do.
+fn stat_of(values: &[u64]) -> HistStat {
+    let mut buckets = [0u64; tcsl_obs::hist::BUCKETS];
+    let mut sum = 0u64;
+    for &v in values {
+        buckets[bucket_of(v)] += 1;
+        sum = sum.wrapping_add(v);
+    }
+    HistStat::from_buckets(buckets, sum)
+}
+
+/// Values spanning every octave class: zeros, small ints, and wide-range
+/// magnitudes built from a (mantissa, shift) pair so high buckets are hit.
+fn value() -> impl Strategy<Value = u64> {
+    (0u64..1024, 0u32..54).prop_map(|(m, s)| m << (s % 54))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative_and_associative(
+        xs in collection::vec(value(), 0..40),
+        ys in collection::vec(value(), 0..40),
+        zs in collection::vec(value(), 0..40),
+    ) {
+        let (a, b, c) = (stat_of(&xs), stat_of(&ys), stat_of(&zs));
+
+        // a + b == b + a
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+
+        // (a + b) + c == a + (b + c)
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+
+        // Merging matches recording the concatenated multiset directly.
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        all.extend_from_slice(&zs);
+        prop_assert_eq!(ab_c, stat_of(&all));
+    }
+
+    #[test]
+    fn bucket_totals_are_thread_count_invariant(
+        values in collection::vec(value(), 1..200),
+    ) {
+        // The same multiset recorded serially and split across 7 scoped
+        // threads (the CI determinism leg's TCSL_THREADS value) must land
+        // bit-identical bucket totals: integer atomic adds commute exactly.
+        static SERIAL: Histogram = Histogram::new("prop.serial");
+        static THREADED: Histogram = Histogram::new("prop.threaded");
+        tcsl_obs::set_enabled(true);
+
+        for &v in &values {
+            SERIAL.record(v);
+        }
+        let chunk = values.len().div_ceil(7);
+        std::thread::scope(|s| {
+            for part in values.chunks(chunk) {
+                s.spawn(move || {
+                    let mut local = LocalHistogram::new(&THREADED);
+                    for &v in part {
+                        local.record(v);
+                    }
+                    // Drop flushes the remainder batch.
+                });
+            }
+        });
+
+        // Both sides accumulate the same multiset every case, so the
+        // cumulative stats stay equal without any global reset.
+        prop_assert_eq!(SERIAL.stat(), THREADED.stat());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in collection::vec(value(), 1..120),
+    ) {
+        let st = stat_of(&values);
+        let qs = [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0];
+        let mut prev = f64::NEG_INFINITY;
+        for q in qs {
+            let v = st.quantile(q);
+            prop_assert!(v.is_finite(), "q{q} not finite");
+            prop_assert!(v >= prev, "quantile not monotone at q{q}: {v} < {prev}");
+            prev = v;
+        }
+
+        // Every quantile lies within the populated bucket range (the open
+        // last bucket interpolates at most one octave past its floor).
+        let lo_bucket = (0..tcsl_obs::hist::BUCKETS)
+            .find(|&i| st.buckets[i] > 0)
+            .unwrap();
+        let hi_bucket = (0..tcsl_obs::hist::BUCKETS)
+            .rfind(|&i| st.buckets[i] > 0)
+            .unwrap();
+        let lo = bucket_lo(lo_bucket) as f64;
+        let hi = bucket_hi(hi_bucket) as f64;
+        prop_assert!(st.quantile(0.0) >= lo);
+        prop_assert!(st.quantile(1.0) <= hi);
+        prop_assert!(st.mean() >= 0.0);
+    }
+}

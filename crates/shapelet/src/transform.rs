@@ -84,6 +84,10 @@ pub fn transform_series_unchecked(bank: &ShapeletBank, series: &TimeSeries) -> V
         series.n_vars(),
         bank.d
     );
+    // The serving-path unit of work: one series in, one feature row out.
+    // Host-class latency distribution; a disabled timer never reads the
+    // clock.
+    let _t = tcsl_obs::hist::TRANSFORM_SERIES_NS.start_timer();
     let mut features = Vec::with_capacity(bank.repr_dim());
     // The per-scale window state (padded buffer + prefix-sum norms) is
     // shared between the measures of one scale.

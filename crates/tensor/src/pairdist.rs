@@ -153,12 +153,18 @@ pub fn pairdist(a: &Tensor, b: &Tensor) -> Tensor {
         // chunk: the tile partition depends only on (n, m), so the total is
         // thread-count invariant.
         let mut tiles = tcsl_obs::counters::LocalCounter::new(&tcsl_obs::counters::PAIRDIST_TILES);
+        // Per-tile wall time, batched like the tile counter (one atomic
+        // merge per chunk). Host-class: the clock is only read while
+        // tracing is on, so the disabled path stays a plain tile loop.
+        let mut tile_ns = tcsl_obs::hist::LocalHistogram::new(&tcsl_obs::hist::PAIRDIST_TILE_NS);
+        let timing = tcsl_obs::enabled();
         // `dot4` doesn't count its own dispatch (it's the innermost hot
         // call); tally the chunk's dot products here and record them once.
         let mut dots = 0u64;
         let mut tile = 0usize;
         while tile < m {
             tiles.add(1);
+            let t0 = timing.then(std::time::Instant::now);
             let te = (tile + COL_TILE).min(m);
             dots += 4 * (te - tile).div_ceil(4) as u64 * rows as u64;
             for r in 0..rows {
@@ -175,6 +181,9 @@ pub fn pairdist(a: &Tensor, b: &Tensor) -> Tensor {
                     }
                     j += take;
                 }
+            }
+            if let Some(t0) = t0 {
+                tile_ns.record(t0.elapsed().as_nanos() as u64);
             }
             tile = te;
         }
@@ -365,10 +374,13 @@ pub fn knn_into(queries: &Tensor, corpus: &Tensor, k: usize, out: &mut Vec<Vec<(
         let lo = bi * ROW_BLOCK;
         // Same tile accounting as `pairdist`: deterministic in (n, m).
         let mut tiles = tcsl_obs::counters::LocalCounter::new(&tcsl_obs::counters::PAIRDIST_TILES);
+        let mut tile_ns = tcsl_obs::hist::LocalHistogram::new(&tcsl_obs::hist::PAIRDIST_TILE_NS);
+        let timing = tcsl_obs::enabled();
         let mut dots = 0u64;
         let mut tile = 0usize;
         while tile < m {
             tiles.add(1);
+            let t0 = timing.then(std::time::Instant::now);
             let te = (tile + COL_TILE).min(m);
             dots += 4 * (te - tile).div_ceil(4) as u64 * rows_out.len() as u64;
             for (r, heap) in rows_out.iter_mut().enumerate() {
@@ -385,6 +397,9 @@ pub fn knn_into(queries: &Tensor, corpus: &Tensor, k: usize, out: &mut Vec<Vec<(
                     }
                     j += take;
                 }
+            }
+            if let Some(t0) = t0 {
+                tile_ns.record(t0.elapsed().as_nanos() as u64);
             }
             tile = te;
         }

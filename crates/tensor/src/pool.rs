@@ -250,12 +250,19 @@ pub(crate) fn dispatch(helpers: usize, body: &(dyn Fn() + Sync)) {
     // the job between those two points.
     let job: Job = unsafe { std::mem::transmute::<&(dyn Fn() + Sync), Job>(body) };
     {
+        // Time from wanting the job slot to owning it (lock + any wait for
+        // an in-flight dispatch to drain) — the pool's queueing delay.
+        // Schedule-class like the pool.* counters; reads the clock only
+        // when tracing is on, and the drop that records is pure atomics so
+        // it is safe under the state lock.
+        let wait = tcsl_obs::hist::POOL_DISPATCH_WAIT_NS.start_timer();
         let mut st = pool.state.lock().unwrap_or_else(|p| p.into_inner());
         // One job slot: concurrent dispatches from different user threads
         // serialize here, each waiting for the pool to go idle.
         while st.job.is_some() {
             st = pool.done_cv.wait(st).unwrap_or_else(|p| p.into_inner());
         }
+        drop(wait);
         grow(pool, &mut st, helpers);
         st.epoch += 1;
         st.job = Some(job);

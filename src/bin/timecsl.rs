@@ -12,6 +12,9 @@
 //! timecsl info      <data.csv|data.ts>                  # dataset summary
 //! timecsl report    <model.tcsl> <data.csv> <out.html>  # Fig.3-style report
 //! timecsl demo                                          # synthetic end-to-end run
+//! timecsl trace     <RUN_trace.json> [--collapsed] [--diff <baseline.json>]
+//!                   [--bench-diff <baseline.json>] [--threshold <pct>]
+//!                   [--ignore <prefix>]...              # trace report / perf gate
 //! ```
 //!
 //! Datasets are loaded by extension: `.ts` (sktime/UEA) or CSV (long format).
@@ -38,6 +41,30 @@ use timecsl::prelude::*;
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
 
+/// The dispatch table: every subcommand name next to its handler, in the
+/// order the usage line lists them. [`usage`] is generated from this
+/// table, so a new verb can never silently drift out of the usage string
+/// (pinned by the `usage_lists_every_subcommand` test below).
+type Command = (&'static str, fn(&[String]) -> CliResult);
+
+const COMMANDS: &[Command] = &[
+    ("pretrain", cmd_pretrain),
+    ("quantize", cmd_quantize),
+    ("transform", cmd_transform),
+    ("classify", cmd_classify),
+    ("cluster", cmd_cluster),
+    ("match", cmd_match),
+    ("info", cmd_info),
+    ("report", cmd_report),
+    ("demo", cmd_demo),
+    ("trace", cmd_trace),
+];
+
+fn usage() -> String {
+    let names: Vec<&str> = COMMANDS.iter().map(|&(name, _)| name).collect();
+    format!("usage: timecsl <{}> ... (see crate docs)", names.join("|"))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().cloned().unwrap_or_default();
@@ -45,20 +72,9 @@ fn main() -> ExitCode {
     // command — even one that emits no events of its own — gets a run
     // summary at exit.
     timecsl::obs::trace::emit(timecsl::obs::trace::Event::new("run_start").str("cmd", cmd.clone()));
-    let result = match cmd.as_str() {
-        "pretrain" => cmd_pretrain(&args[1..]),
-        "quantize" => cmd_quantize(&args[1..]),
-        "transform" => cmd_transform(&args[1..]),
-        "classify" => cmd_classify(&args[1..]),
-        "cluster" => cmd_cluster(&args[1..]),
-        "match" => cmd_match(&args[1..]),
-        "info" => cmd_info(&args[1..]),
-        "report" => cmd_report(&args[1..]),
-        "demo" => cmd_demo(),
-        _ => Err(TcslError::config(
-            "usage: timecsl <pretrain|quantize|transform|classify|cluster|match|info|report|demo> \
-             ... (see crate docs)",
-        )),
+    let result = match COMMANDS.iter().find(|&&(name, _)| name == cmd) {
+        Some(&(_, handler)) => handler(&args[1..]),
+        None => Err(TcslError::config(usage())),
     };
     // A failed run still produces a complete, attributed trace: the error
     // event and the error.<class> counter land *before* finish_run seals
@@ -77,7 +93,7 @@ fn main() -> ExitCode {
         eprintln!("wrote run summary to {}", path.display());
     }
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::from(e.exit_code())
@@ -85,7 +101,13 @@ fn main() -> ExitCode {
     }
 }
 
-type CliResult = TcslResult<()>;
+/// Handlers return the process exit code on success so the perf gate
+/// (`trace --diff`) can exit non-zero on a regression breach (code 1 —
+/// distinct from the error-class codes 2–9) without inventing an error.
+type CliResult = TcslResult<ExitCode>;
+
+/// The all-good return for commands with no exit-code semantics.
+const OK: CliResult = Ok(ExitCode::SUCCESS);
 
 fn arg<'a>(args: &'a [String], i: usize, what: &str) -> TcslResult<&'a str> {
     args.get(i)
@@ -135,7 +157,7 @@ fn cmd_pretrain(args: &[String]) -> CliResult {
     print!("{}", report.learning_curve_ascii());
     model.save(model_path)?;
     println!("saved {} shapelets to {model_path}", model.repr_dim());
-    Ok(())
+    OK
 }
 
 fn cmd_quantize(args: &[String]) -> CliResult {
@@ -160,7 +182,7 @@ fn cmd_quantize(args: &[String]) -> CliResult {
         before.name(),
         model.precision().name()
     );
-    Ok(())
+    OK
 }
 
 fn cmd_transform(args: &[String]) -> CliResult {
@@ -175,7 +197,7 @@ fn cmd_transform(args: &[String]) -> CliResult {
         feats.rows(),
         feats.cols()
     );
-    Ok(())
+    OK
 }
 
 fn cmd_classify(args: &[String]) -> CliResult {
@@ -192,7 +214,7 @@ fn cmd_classify(args: &[String]) -> CliResult {
         Some(yte) => println!("accuracy = {:.4}", accuracy(&pred, yte)),
         None => println!("predictions: {pred:?}"),
     }
-    Ok(())
+    OK
 }
 
 fn cmd_cluster(args: &[String]) -> CliResult {
@@ -208,7 +230,7 @@ fn cmd_cluster(args: &[String]) -> CliResult {
     if let Some(labels) = data.labels() {
         println!("NMI vs labels = {:.4}", nmi(&assign, labels));
     }
-    Ok(())
+    OK
 }
 
 fn cmd_match(args: &[String]) -> CliResult {
@@ -229,14 +251,14 @@ fn cmd_match(args: &[String]) -> CliResult {
     );
     tcsl_error::write_file(out, &session.render_match(series, feature)?)?;
     println!("wrote {out}");
-    Ok(())
+    OK
 }
 
 fn cmd_info(args: &[String]) -> CliResult {
     let path = arg(args, 0, "data.csv|data.ts")?;
     let data = load("data", path)?;
     print!("{}", timecsl::data::describe::describe(&data));
-    Ok(())
+    OK
 }
 
 fn cmd_report(args: &[String]) -> CliResult {
@@ -256,12 +278,12 @@ fn cmd_report(args: &[String]) -> CliResult {
     )?;
     tcsl_error::write_file(out, &html)?;
     println!("wrote {out}");
-    Ok(())
+    OK
 }
 
 /// A self-contained synthetic run: generate → save CSVs → pretrain →
 /// classify, exercising every CLI path.
-fn cmd_demo() -> CliResult {
+fn cmd_demo(_args: &[String]) -> CliResult {
     let dir = std::env::temp_dir().join("timecsl_cli_demo");
     std::fs::create_dir_all(&dir)
         .map_err(|e| TcslError::io(dir.to_string_lossy().into_owned(), e))?;
@@ -285,5 +307,123 @@ fn cmd_demo() -> CliResult {
         test_csv.to_string_lossy().into_owned(),
     ])?;
     println!("demo artifacts in {}", dir.display());
-    Ok(())
+    OK
+}
+
+/// `timecsl trace` — render, export, or gate on a `RUN_trace.json`
+/// summary (see `timecsl::trace_tool` for the formats and the error
+/// taxonomy). In `--diff`/`--bench-diff` mode a regression breach exits
+/// with code 1; load failures exit with their error-class codes.
+fn cmd_trace(args: &[String]) -> CliResult {
+    let path = arg(args, 0, "RUN_trace.json")?;
+    let mut collapsed = false;
+    let mut diff_base: Option<&str> = None;
+    let mut bench_base: Option<&str> = None;
+    let mut cfg = timecsl::trace_tool::DiffConfig::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--collapsed" => collapsed = true,
+            "--diff" => {
+                i += 1;
+                diff_base = Some(arg(args, i, "--diff <baseline.json>")?);
+            }
+            "--bench-diff" => {
+                i += 1;
+                bench_base = Some(arg(args, i, "--bench-diff <baseline.json>")?);
+            }
+            "--threshold" => {
+                i += 1;
+                cfg.threshold_pct = parse_arg(arg(args, i, "--threshold <pct>")?, "--threshold")?;
+            }
+            "--ignore" => {
+                i += 1;
+                cfg.ignore
+                    .push(arg(args, i, "--ignore <prefix>")?.to_string());
+            }
+            other => {
+                return Err(TcslError::config(format!(
+                    "unknown trace option '{other}' (flags: --collapsed --diff --bench-diff \
+                     --threshold --ignore)"
+                )))
+            }
+        }
+        i += 1;
+    }
+    if let Some(base) = bench_base {
+        let cur = timecsl::trace_tool::load_bench_metrics(path)?;
+        let baseline = timecsl::trace_tool::load_bench_metrics(base)?;
+        return finish_diff(timecsl::trace_tool::diff_bench(&cur, &baseline, &cfg));
+    }
+    let summary = timecsl::trace_tool::load_summary(path)?;
+    if collapsed {
+        print!("{}", timecsl::trace_tool::render_collapsed(&summary));
+        return OK;
+    }
+    if let Some(base) = diff_base {
+        let baseline = timecsl::trace_tool::load_summary(base)?;
+        return finish_diff(timecsl::trace_tool::diff(&summary, &baseline, &cfg));
+    }
+    print!("{}", timecsl::trace_tool::render_report(&summary));
+    OK
+}
+
+/// Prints a diff report and maps breaches to the gate's exit code.
+fn finish_diff(report: timecsl::trace_tool::DiffReport) -> CliResult {
+    for line in &report.lines {
+        println!("{line}");
+    }
+    if report.breaches.is_empty() {
+        println!(
+            "perf gate: OK ({} delta(s) within tolerance)",
+            report.lines.len()
+        );
+        OK
+    } else {
+        eprintln!(
+            "perf gate: {} regression(s): {}",
+            report.breaches.len(),
+            report.breaches.join(", ")
+        );
+        Ok(ExitCode::from(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The satellite drift guard: with `trace` the CLI dispatches ten
+    /// subcommands, and the generated usage string must name every one.
+    #[test]
+    fn usage_lists_every_subcommand() {
+        let expected = [
+            "pretrain",
+            "quantize",
+            "transform",
+            "classify",
+            "cluster",
+            "match",
+            "info",
+            "report",
+            "demo",
+            "trace",
+        ];
+        assert_eq!(COMMANDS.len(), expected.len(), "dispatch table drifted");
+        let names: Vec<&str> = COMMANDS.iter().map(|&(name, _)| name).collect();
+        assert_eq!(names, expected);
+        let u = usage();
+        for name in expected {
+            assert!(u.contains(name), "usage string is missing '{name}': {u}");
+        }
+        // And the module doc (the long-form usage block) mentions each verb
+        // too — the doc text is compiled into the binary's crate docs, so
+        // this pins the human-readable listing as well.
+        for name in expected {
+            assert!(
+                include_str!("timecsl.rs").contains(&format!("timecsl {name}")),
+                "crate-docs usage block is missing 'timecsl {name}'"
+            );
+        }
+    }
 }

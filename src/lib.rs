@@ -59,6 +59,8 @@ pub use tcsl_obs as obs;
 pub use tcsl_shapelet as shapelet;
 pub use tcsl_tensor as tensor;
 
+pub mod trace_tool;
+
 pub use tcsl_core::{CslConfig, FineTuneConfig, LinearHead, TimeCsl, TrainingReport};
 pub use tcsl_error::{ErrorClass, TcslError, TcslResult};
 pub use tcsl_shapelet::{Measure, ShapeletBank, ShapeletConfig};

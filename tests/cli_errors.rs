@@ -259,7 +259,7 @@ fn failed_runs_still_write_a_complete_trace() {
     // braces) and counts the failure under error.config.
     let body = std::fs::read_to_string(&summary).expect("run summary written");
     assert!(
-        body.starts_with("{\"schema\":\"tcsl-run-trace-v1\""),
+        body.starts_with("{\"schema\":\"tcsl-run-trace-v2\""),
         "summary lost its schema header: {body}"
     );
     let opens = body.matches('{').count();
@@ -283,4 +283,70 @@ fn successful_runs_exit_zero() {
     assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
     let written = std::fs::read_to_string(&out_csv).unwrap();
     assert!(written.lines().count() > 1, "no features written");
+}
+
+/// A real v2 run summary to feed `timecsl trace`: one traced transform
+/// run, summarized next to its JSONL stream.
+fn real_summary(tag: &str) -> (PathBuf, PathBuf) {
+    let (dir, model, data) = fixtures(tag);
+    let jsonl = dir.join("trace.jsonl");
+    let summary = dir.join("trace.json");
+    std::fs::remove_file(&jsonl).ok();
+    std::fs::remove_file(&summary).ok();
+    let out = Command::new(bin())
+        .args(["transform", &p(&model), &p(&data), &p(&dir.join("z.csv"))])
+        .env("TCSL_TRACE", "1")
+        .env("TCSL_TRACE_OUT", &jsonl)
+        .output()
+        .expect("spawn timecsl");
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    std::fs::read_to_string(&summary).expect("run summary written");
+    (dir, summary)
+}
+
+#[test]
+fn trace_subcommand_rejects_hostile_summaries_with_typed_errors() {
+    let (dir, summary) = real_summary("trace_hostile");
+
+    // Missing file is Io (3); an unknown flag is Config (2), caught
+    // before any file is touched.
+    assert_fails_with(
+        &["trace", "/nonexistent/RUN_trace.json"],
+        3,
+        "RUN_trace.json",
+    );
+    assert_fails_with(&["trace", &p(&summary), "--frobnicate"], 2, "--frobnicate");
+
+    // Non-JSON garbage is Parse (4) with a 1-based position.
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, "this is not json {{{").unwrap();
+    assert_fails_with(&["trace", &p(&garbage)], 4, "line 1");
+
+    // Valid JSON that is not a run summary is ModelFormat (5).
+    let wrong = dir.join("wrong_schema.json");
+    std::fs::write(&wrong, "{\"schema\":\"not-a-trace\",\"run\":\"x\"}").unwrap();
+    assert_fails_with(&["trace", &p(&wrong)], 5, "tcsl-run-trace");
+    let arr = dir.join("array.json");
+    std::fs::write(&arr, "[1,2,3]").unwrap();
+    assert_fails_with(&["trace", &p(&arr)], 5, "schema");
+
+    // The real summary truncated mid-stream, or with a structural byte
+    // flipped, is Parse (4) — never a panic (101) or a success.
+    let body = std::fs::read_to_string(&summary).unwrap();
+    let truncated = dir.join("truncated.json");
+    std::fs::write(&truncated, &body[..body.len() / 2]).unwrap();
+    assert_fails_with(&["trace", &p(&truncated)], 4, "");
+    let flipped = dir.join("flipped.json");
+    std::fs::write(&flipped, body.replacen(':', ";", 1)).unwrap();
+    assert_fails_with(&["trace", &p(&flipped)], 4, "");
+
+    // --diff with a missing baseline is Io (3); against itself it is a
+    // clean pass (0).
+    assert_fails_with(
+        &["trace", &p(&summary), "--diff", "/nonexistent/base.json"],
+        3,
+        "base.json",
+    );
+    let out = run(&["trace", &p(&summary), "--diff", &p(&summary)]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
 }

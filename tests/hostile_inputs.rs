@@ -282,3 +282,89 @@ fn tsne_needs_four_series_as_a_typed_error() {
     assert_eq!(err.class(), ErrorClass::Config);
     assert!(err.to_string().contains("at least 4"), "{err}");
 }
+
+// ------------------------------------------------------------ run traces
+
+/// A real v2 run summary body (zero-valued instruments are fine — the
+/// shape is what matters to the parser).
+fn summary_fixture() -> String {
+    timecsl::obs::trace::summary_json("hostile-fixture")
+}
+
+fn scratch(name: &str, body: &str) -> String {
+    let dir = std::env::temp_dir().join("tcsl_hostile_trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, body).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn every_truncated_trace_summary_is_a_typed_error() {
+    let body = summary_fixture();
+    // Every strict prefix is either Parse (cut mid-JSON) or ModelFormat
+    // (cut so early the schema header is gone) — never a panic, and
+    // never accepted. Step through byte positions; skip the full length.
+    for n in (0..body.len()).step_by(7) {
+        if !body.is_char_boundary(n) {
+            continue;
+        }
+        let path = scratch("truncated.json", &body[..n]);
+        let err = must_err(&format!("summary prefix of {n} bytes"), || {
+            timecsl::trace_tool::load_summary(&path)
+        });
+        assert!(
+            matches!(err.class(), ErrorClass::Parse | ErrorClass::ModelFormat),
+            "summary prefix of {n} bytes: unexpected class {:?}",
+            err.class()
+        );
+    }
+}
+
+#[test]
+fn byte_corrupted_trace_summaries_never_panic() {
+    let body = summary_fixture();
+    // A '#' is never valid JSON syntax outside a string, and inside one
+    // it merely changes a name — either way the loader must return,
+    // not panic. Some mutations (inside the run name) still load.
+    for pos in (0..body.len()).step_by(11) {
+        if !body.is_char_boundary(pos) {
+            continue;
+        }
+        let mut bad = String::with_capacity(body.len() + 1);
+        bad.push_str(&body[..pos]);
+        bad.push('#');
+        bad.push_str(&body[pos + body[pos..].chars().next().map_or(1, char::len_utf8)..]);
+        let path = scratch("flipped.json", &bad);
+        must_not_panic(&format!("summary with '#' at byte {pos}"), || {
+            timecsl::trace_tool::load_summary(&path)
+        });
+    }
+}
+
+#[test]
+fn deep_nesting_and_non_json_summaries_are_rejected() {
+    // A recursion bomb must hit the parser's depth cap, not the stack.
+    let bomb = format!("{}{}", "[".repeat(20_000), "]".repeat(20_000));
+    let path = scratch("bomb.json", &bomb);
+    let err = must_err("20k-deep nesting bomb", || {
+        timecsl::trace_tool::load_summary(&path)
+    });
+    assert_eq!(err.class(), ErrorClass::Parse);
+    assert!(err.to_string().contains("nesting deeper than"), "{err}");
+
+    for (name, junk) in [
+        ("empty.json", ""),
+        ("nul.json", "\u{0}\u{0}"),
+        ("half_utf8.json", "{\"schema\": \"tcsl"),
+        ("numbers.json", "1e999"),
+    ] {
+        let path = scratch(name, junk);
+        let err = must_err(name, || timecsl::trace_tool::load_summary(&path));
+        assert!(
+            matches!(err.class(), ErrorClass::Parse | ErrorClass::ModelFormat),
+            "{name}: unexpected class {:?}",
+            err.class()
+        );
+    }
+}
